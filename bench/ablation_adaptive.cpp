@@ -1,0 +1,120 @@
+// Ablation D': the paper's §8 "dynamic schemes" — per-user adaptive
+// thresholds on non-stationary mobility.
+//
+// A commuter alternates fast and slow phases.  Three contenders run the
+// same number of slots:
+//   * oracle  — clairvoyant: re-planned analytically at each phase edge
+//               (simulated as two stationary runs of the right lengths);
+//   * static  — one plan tuned to the time-averaged profile;
+//   * adaptive— EWMA estimation + near-optimal re-planning on-line.
+// Reported: long-run cost per slot and the adaptive regret vs the oracle,
+// across phase-asymmetry settings.
+#include <cstdio>
+#include <memory>
+
+#include "pcn/core/adaptive.hpp"
+#include "pcn/core/location_manager.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace {
+
+constexpr pcn::Dimension kDim = pcn::Dimension::kTwoD;
+constexpr pcn::CostWeights kWeights{100.0, 10.0};
+constexpr double kCallProb = 0.01;
+constexpr pcn::sim::SimTime kPhase = 25000;
+constexpr int kPhasePairs = 4;
+constexpr std::int64_t kSlots = 2 * kPhasePairs * kPhase;
+
+std::unique_ptr<pcn::sim::MobilityModel> commuter(double fast_q,
+                                                  double slow_q) {
+  return std::make_unique<pcn::sim::PhasedRandomWalk>(
+      kDim, std::vector<pcn::sim::PhasedRandomWalk::Phase>{
+                {fast_q, kPhase}, {slow_q, kPhase}});
+}
+
+double run_static(double fast_q, double slow_q,
+                  pcn::MobilityProfile plan_profile,
+                  const pcn::DelayBound& bound) {
+  const pcn::core::LocationManager manager(kDim, plan_profile, kWeights);
+  pcn::sim::TerminalSpec spec =
+      manager.make_terminal_spec(manager.plan(bound));
+  spec.mobility = commuter(fast_q, slow_q);
+  pcn::sim::Network network(
+      pcn::sim::NetworkConfig{kDim, pcn::sim::SlotSemantics::kChainFaithful,
+                              77},
+      kWeights);
+  const auto id = network.add_terminal(std::move(spec));
+  network.run(kSlots);
+  return network.metrics(id).cost_per_slot();
+}
+
+double run_oracle(double fast_q, double slow_q,
+                  const pcn::DelayBound& bound) {
+  // Clairvoyant bound: each phase billed at its own optimal expected cost.
+  const double fast = pcn::core::LocationManager(
+                          kDim, {fast_q, kCallProb}, kWeights)
+                          .plan(bound)
+                          .expected_total();
+  const double slow = pcn::core::LocationManager(
+                          kDim, {slow_q, kCallProb}, kWeights)
+                          .plan(bound)
+                          .expected_total();
+  return (fast + slow) / 2.0;
+}
+
+double run_adaptive(double fast_q, double slow_q,
+                    const pcn::DelayBound& bound) {
+  pcn::core::AdaptivePolicyConfig config;
+  config.ewma_alpha = 0.003;
+  config.replan_interval = 1000;
+  pcn::sim::TerminalSpec spec;
+  spec.call_prob = kCallProb;
+  spec.mobility = commuter(fast_q, slow_q);
+  spec.update_policy = std::make_unique<pcn::core::AdaptiveDistancePolicy>(
+      kDim, kWeights, bound, pcn::MobilityProfile{0.1, kCallProb}, config);
+  spec.paging_policy =
+      std::make_unique<pcn::sim::SdfSequentialPaging>(kDim, bound);
+  spec.knowledge_kind = pcn::sim::KnowledgeKind::kFixedDisk;
+  spec.knowledge_radius = config.max_threshold;
+  pcn::sim::Network network(
+      pcn::sim::NetworkConfig{kDim, pcn::sim::SlotSemantics::kChainFaithful,
+                              77},
+      kWeights);
+  const auto id = network.add_terminal(std::move(spec));
+  network.run(kSlots);
+  return network.metrics(id).cost_per_slot();
+}
+
+}  // namespace
+
+int main() {
+  const pcn::DelayBound bound(2);
+  std::printf("Ablation D': adaptive per-user thresholds on phased "
+              "mobility (c = %.2f, U = %.0f, V = %.0f, m <= 2, %lld "
+              "slots)\n\n",
+              kCallProb, kWeights.update_cost, kWeights.poll_cost,
+              static_cast<long long>(kSlots));
+  std::printf("  fast q / slow q | oracle  | static-avg (reg%%) | adaptive "
+              "(reg%%)\n");
+  std::printf("  ----------------+---------+-------------------+"
+              "------------------\n");
+  const double pairs[][2] = {
+      {0.10, 0.05}, {0.20, 0.02}, {0.40, 0.02}, {0.40, 0.005}};
+  for (const auto& pair : pairs) {
+    const double fast_q = pair[0];
+    const double slow_q = pair[1];
+    const pcn::MobilityProfile average{(fast_q + slow_q) / 2.0, kCallProb};
+    const double oracle = run_oracle(fast_q, slow_q, bound);
+    const double fixed = run_static(fast_q, slow_q, average, bound);
+    const double adaptive = run_adaptive(fast_q, slow_q, bound);
+    std::printf("   %5.2f / %5.3f  | %7.4f | %7.4f (%+6.1f%%) | %7.4f "
+                "(%+6.1f%%)\n",
+                fast_q, slow_q, oracle, fixed,
+                100.0 * (fixed - oracle) / oracle, adaptive,
+                100.0 * (adaptive - oracle) / oracle);
+  }
+  std::printf("\nReading: the adaptive controller's regret vs the "
+              "clairvoyant oracle should undercut the static "
+              "average-profile plan, and shrink as the phases diverge.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Performance E: microbenchmarks of the computational kernels, via
+// google-benchmark.  These quantify the paper's computational claims: the
+// closed form is the cheap path suitable for power-limited terminals, the
+// O(d) recurrence is the exact reference, and the dense LU solve is the
+// O(d^3) cross-check only.
+#include <benchmark/benchmark.h>
+
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/geometry/la_tiling.hpp"
+#include "pcn/markov/closed_form.hpp"
+#include "pcn/markov/steady_state.hpp"
+#include "pcn/optimize/annealing.hpp"
+#include "pcn/optimize/exhaustive.hpp"
+#include "pcn/optimize/near_optimal.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace {
+
+constexpr pcn::MobilityProfile kProfile{0.05, 0.01};
+constexpr pcn::CostWeights kWeights{100.0, 10.0};
+
+void BM_SteadyStateRecurrence1D(benchmark::State& state) {
+  const auto spec = pcn::markov::ChainSpec::one_dim(kProfile);
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pcn::markov::solve_steady_state(spec, d));
+  }
+}
+BENCHMARK(BM_SteadyStateRecurrence1D)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SteadyStateDenseLu1D(benchmark::State& state) {
+  const auto spec = pcn::markov::ChainSpec::one_dim(kProfile);
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pcn::markov::solve_steady_state_dense(spec, d));
+  }
+}
+BENCHMARK(BM_SteadyStateDenseLu1D)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_ClosedForm1D(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pcn::markov::closed_form_1d(kProfile, d));
+  }
+}
+BENCHMARK(BM_ClosedForm1D)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ClosedFormBoundaryProbability(benchmark::State& state) {
+  // The O(1) fast path a terminal would evaluate on-line.
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pcn::markov::closed_form_1d_boundary_probability(kProfile, d));
+  }
+}
+BENCHMARK(BM_ClosedFormBoundaryProbability)->Arg(8)->Arg(512);
+
+void BM_TotalCost2D(benchmark::State& state) {
+  const auto model =
+      pcn::costs::CostModel::exact(pcn::Dimension::kTwoD, kProfile, kWeights);
+  const pcn::DelayBound bound(3);
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.total_cost(d, bound));
+  }
+}
+BENCHMARK(BM_TotalCost2D)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  const auto model =
+      pcn::costs::CostModel::exact(pcn::Dimension::kTwoD, kProfile, kWeights);
+  const int max_threshold = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pcn::optimize::exhaustive_search(
+        model, pcn::DelayBound(3), max_threshold));
+  }
+}
+BENCHMARK(BM_ExhaustiveSearch)->Arg(20)->Arg(80);
+
+void BM_SimulatedAnnealing(benchmark::State& state) {
+  const auto model =
+      pcn::costs::CostModel::exact(pcn::Dimension::kTwoD, kProfile, kWeights);
+  pcn::optimize::AnnealingConfig config;
+  config.max_threshold = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pcn::optimize::simulated_annealing(model, pcn::DelayBound(3), config));
+  }
+}
+BENCHMARK(BM_SimulatedAnnealing)->Arg(20)->Arg(80);
+
+void BM_NearOptimalSearch(benchmark::State& state) {
+  const auto model =
+      pcn::costs::CostModel::exact(pcn::Dimension::kTwoD, kProfile, kWeights);
+  const int max_threshold = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pcn::optimize::near_optimal_search(
+        model, pcn::DelayBound(3), max_threshold));
+  }
+}
+BENCHMARK(BM_NearOptimalSearch)->Arg(20)->Arg(80);
+
+void BM_HexLaCenterLookup(benchmark::State& state) {
+  const pcn::geometry::HexLaTiling tiling(
+      static_cast<int>(state.range(0)));
+  std::int64_t coordinate = 0;
+  for (auto _ : state) {
+    const pcn::geometry::HexCell cell{coordinate, -coordinate / 2};
+    benchmark::DoNotOptimize(tiling.la_center(cell));
+    coordinate = (coordinate + 97) % 100000;
+  }
+}
+BENCHMARK(BM_HexLaCenterLookup)->Arg(1)->Arg(4);
+
+void BM_SimulationSlots(benchmark::State& state) {
+  // Cost of one simulated slot including metrics (single terminal).
+  for (auto _ : state) {
+    state.PauseTiming();
+    pcn::sim::Network network(
+        pcn::sim::NetworkConfig{pcn::Dimension::kTwoD,
+                                pcn::sim::SlotSemantics::kChainFaithful, 1},
+        kWeights);
+    network.add_terminal(pcn::sim::make_distance_terminal(
+        pcn::Dimension::kTwoD, kProfile, 3, pcn::DelayBound(2)));
+    state.ResumeTiming();
+    network.run(state.range(0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationSlots)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

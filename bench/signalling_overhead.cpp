@@ -1,0 +1,80 @@
+// Validation E': air-interface byte overhead per policy and delay bound.
+//
+// The paper counts abstract cost units; this bench reports what the
+// signalling actually weighs on the air interface using the proto codec
+// (varint/zigzag frames, delta-encoded page requests, CRC-32 trailers):
+// bytes per slot, split into update and paging traffic, plus frame-size
+// averages — across delay bounds and policy families.
+#include <cstdio>
+
+#include "pcn/core/location_manager.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace {
+
+constexpr pcn::Dimension kDim = pcn::Dimension::kTwoD;
+constexpr pcn::MobilityProfile kProfile{0.1, 0.01};
+constexpr pcn::CostWeights kWeights{100.0, 10.0};
+constexpr std::int64_t kSlots = 300000;
+
+void report(const char* label, const pcn::sim::TerminalMetrics& m) {
+  const double update_frame =
+      m.updates > 0 ? static_cast<double>(m.update_bytes) /
+                          static_cast<double>(m.updates)
+                    : 0.0;
+  const double page_bytes_per_call =
+      m.calls > 0 ? static_cast<double>(m.paging_bytes) /
+                        static_cast<double>(m.calls)
+                  : 0.0;
+  std::printf("  %-26s | %8.4f | %6.1f | %8.1f | %9.4f\n", label,
+              static_cast<double>(m.total_bytes()) /
+                  static_cast<double>(m.slots),
+              update_frame, page_bytes_per_call, m.cost_per_slot());
+}
+
+pcn::sim::TerminalMetrics measure(pcn::sim::TerminalSpec spec) {
+  pcn::sim::Network network(
+      pcn::sim::NetworkConfig{kDim, pcn::sim::SlotSemantics::kChainFaithful,
+                              31},
+      kWeights);
+  const auto id = network.add_terminal(std::move(spec));
+  network.run(kSlots);
+  return network.metrics(id);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Validation E': air-interface signalling overhead "
+              "(q = %.2f, c = %.2f, %lld slots)\n\n",
+              kProfile.move_prob, kProfile.call_prob,
+              static_cast<long long>(kSlots));
+  std::printf("  policy                     | bytes/slot | B/upd | "
+              "B/call pg | cost/slot\n");
+  std::printf("  ---------------------------+------------+-------+"
+              "-----------+----------\n");
+
+  const pcn::core::LocationManager manager(kDim, kProfile, kWeights);
+  for (int delay : {1, 2, 3, 0}) {
+    const pcn::DelayBound bound =
+        delay == 0 ? pcn::DelayBound::unbounded() : pcn::DelayBound(delay);
+    const pcn::core::LocationPlan plan = manager.plan(bound);
+    const std::string label = "distance d*=" +
+                              std::to_string(plan.threshold) + " m=" +
+                              (delay == 0 ? "unbnd" : std::to_string(delay));
+    report(label.c_str(), measure(manager.make_terminal_spec(plan)));
+  }
+  report("movement M=4 m=3",
+         measure(pcn::sim::make_movement_terminal(kDim, kProfile, 4,
+                                                  pcn::DelayBound(3))));
+  report("time T=50 (unbounded)",
+         measure(pcn::sim::make_time_terminal(kDim, kProfile, 50)));
+  report("location-area R=2",
+         measure(pcn::sim::make_la_terminal(kDim, kProfile, 2)));
+
+  std::printf("\nReading: sequential paging shrinks page-request frames "
+              "(fewer cells per call); delta encoding keeps the per-cell "
+              "cost near 2 bytes, so byte overhead tracks the abstract "
+              "poll counts the paper optimizes.\n");
+  return 0;
+}

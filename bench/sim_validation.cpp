@@ -1,0 +1,86 @@
+// Validation D: analytical model vs discrete-event simulation.
+//
+// For a grid of (geometry, q, c, d, m) scenarios, runs the PCN simulator
+// under both slot semantics and reports the measured per-slot update and
+// paging costs next to the Markov-chain predictions C_u(d) and C_v(d, m),
+// plus the measured mean paging delay vs the partition's prediction.
+#include <cstdio>
+
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/costs/partition.hpp"
+#include "pcn/markov/steady_state.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace {
+
+constexpr pcn::CostWeights kWeights{100.0, 10.0};
+constexpr std::int64_t kSlots = 500000;
+
+struct Scenario {
+  pcn::Dimension dim;
+  double q;
+  double c;
+  int d;
+  int m;
+};
+
+void run(const Scenario& s) {
+  const pcn::MobilityProfile profile{s.q, s.c};
+  const pcn::DelayBound bound(s.m);
+  const pcn::costs::CostModel model =
+      pcn::costs::CostModel::exact(s.dim, profile, kWeights);
+  const pcn::costs::CostBreakdown predicted = model.cost(s.d, bound);
+  const double predicted_delay =
+      pcn::costs::Partition::sdf(s.d, bound)
+          .expected_delay_cycles(pcn::markov::solve_steady_state(
+              model.spec(), s.d));
+
+  std::printf("  %s q=%.3f c=%.3f d=%d m=%d\n", to_string(s.dim).c_str(),
+              s.q, s.c, s.d, s.m);
+  std::printf("    predicted : C_u=%7.4f C_v=%7.4f C_T=%7.4f delay=%5.3f\n",
+              predicted.update, predicted.paging, predicted.total(),
+              predicted_delay);
+
+  for (const auto semantics : {pcn::sim::SlotSemantics::kChainFaithful,
+                               pcn::sim::SlotSemantics::kIndependent}) {
+    pcn::sim::Network network(
+        pcn::sim::NetworkConfig{s.dim, semantics, 0xd1ce}, kWeights);
+    const pcn::sim::TerminalId id = network.add_terminal(
+        pcn::sim::make_distance_terminal(s.dim, profile, s.d, bound));
+    network.run(kSlots);
+    const pcn::sim::TerminalMetrics& metrics = network.metrics(id);
+    std::printf(
+        "    %-10s: C_u=%7.4f C_v=%7.4f C_T=%7.4f delay=%5.3f "
+        "(err %+5.1f%%)\n",
+        semantics == pcn::sim::SlotSemantics::kChainFaithful ? "chain"
+                                                             : "indep",
+        metrics.update_cost_per_slot(), metrics.paging_cost_per_slot(),
+        metrics.cost_per_slot(), metrics.paging_cycles.mean(),
+        100.0 * (metrics.cost_per_slot() - predicted.total()) /
+            predicted.total());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Validation D: Markov-chain model vs discrete-event "
+              "simulation (%lld slots per run, U = %.0f, V = %.0f)\n\n",
+              static_cast<long long>(kSlots), kWeights.update_cost,
+              kWeights.poll_cost);
+  const Scenario scenarios[] = {
+      {pcn::Dimension::kOneD, 0.05, 0.01, 3, 1},
+      {pcn::Dimension::kOneD, 0.05, 0.01, 5, 3},
+      {pcn::Dimension::kOneD, 0.3, 0.02, 6, 2},
+      {pcn::Dimension::kTwoD, 0.05, 0.01, 1, 1},
+      {pcn::Dimension::kTwoD, 0.05, 0.01, 2, 3},
+      {pcn::Dimension::kTwoD, 0.3, 0.02, 4, 2},
+      {pcn::Dimension::kTwoD, 0.5, 0.005, 6, 3},
+  };
+  for (const Scenario& s : scenarios) run(s);
+  std::printf("Reading: chain-faithful errors are pure Monte-Carlo noise "
+              "(<~2%%); independent-semantics errors additionally contain "
+              "the modeling gap, small for small q and c.\n");
+  return 0;
+}

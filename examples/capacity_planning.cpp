@@ -1,0 +1,57 @@
+// Paging-channel capacity planning: the paper's "very limited wireless
+// bandwidth" motivation made concrete.  For a growing per-cell user
+// population, computes the per-cell signalling load each delay bound
+// induces at its own optimal threshold, converts it to offered Erlangs,
+// and dimensions the paging channel group for 1% blocking.
+//
+// The punchline is subtler than "more delay = fewer channels": going from
+// m = 1 to m = 2 cuts the channel count (same d*, sequential paging polls
+// fewer cells), but at m = 3 the *cost* optimizer moves to a larger
+// threshold — trading update signalling for paging — and the channel
+// demand goes back up.  Cost-optimal is not channel-minimal; dimensioning
+// has to evaluate the actual plan, which is exactly what this module does.
+#include <cstdio>
+
+#include "pcn/capacity/paging_capacity.hpp"
+
+int main() {
+  const pcn::MobilityProfile profile{0.05, 0.01};
+  const pcn::CostWeights weights{100.0, 10.0};
+  const pcn::core::LocationManager manager(pcn::Dimension::kTwoD, profile,
+                                           weights);
+  const double slots_per_message = 1.0;
+  const double target_blocking = 0.01;
+
+  std::printf("paging-channel dimensioning, 2-D, q=%.2f c=%.2f, 1%% "
+              "blocking target\n\n",
+              profile.move_prob, profile.call_prob);
+  std::printf("  users/cell | delay | d* | polls/slot | updates/slot | "
+              "Erlangs | channels\n");
+  std::printf("  -----------+-------+----+------------+--------------+"
+              "---------+---------\n");
+
+  for (double users : {50.0, 200.0, 500.0, 1000.0}) {
+    for (int delay : {1, 2, 3, 0}) {
+      const pcn::DelayBound bound =
+          delay == 0 ? pcn::DelayBound::unbounded() : pcn::DelayBound(delay);
+      const pcn::core::LocationPlan plan = manager.plan(bound);
+      const pcn::capacity::CellLoad load =
+          pcn::capacity::cell_load(manager, plan, users);
+      const double erlangs =
+          pcn::capacity::offered_erlangs(load, slots_per_message);
+      const int channels =
+          pcn::capacity::min_channels(erlangs, target_blocking);
+      std::printf("  %10.0f | %5s | %2d | %10.3f | %12.4f | %7.2f | %8d\n",
+                  users, delay == 0 ? "unbnd" : std::to_string(delay).c_str(),
+                  plan.threshold, load.polls_per_slot,
+                  load.updates_per_slot, erlangs, channels);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Reading: m=1 -> m=2 saves channels at the same d*; at m=3 "
+              "the cost optimizer grows d* (cheaper updates, more polls), "
+              "so the cost-optimal plan is not the channel-minimal one — "
+              "dimension against the actual plan.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Explore the cost surface C_T(d, m): prints the average total cost for
+// every threshold distance and delay bound, marking each column's optimum.
+// Useful to see the update/paging trade-off and the local minima that rule
+// out gradient descent (paper §6).
+//
+// Usage: cost_surface [q] [c] [U] [V] [max_d]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/optimize/exhaustive.hpp"
+
+int main(int argc, char** argv) {
+  const double q = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const double c = argc > 2 ? std::atof(argv[2]) : 0.01;
+  const double update_cost = argc > 3 ? std::atof(argv[3]) : 100.0;
+  const double poll_cost = argc > 4 ? std::atof(argv[4]) : 10.0;
+  const int max_d = argc > 5 ? std::atoi(argv[5]) : 15;
+
+  const pcn::MobilityProfile profile{q, c};
+  const pcn::CostWeights weights{update_cost, poll_cost};
+  const std::vector<int> delays = {1, 2, 3, 5, 0};  // 0 = unbounded
+
+  for (pcn::Dimension dim : {pcn::Dimension::kOneD, pcn::Dimension::kTwoD}) {
+    const pcn::costs::CostModel model =
+        pcn::costs::CostModel::exact(dim, profile, weights);
+
+    std::printf("%s model: C_T(d, m) for q=%.3f c=%.3f U=%.0f V=%.0f\n",
+                to_string(dim).c_str(), q, c, update_cost, poll_cost);
+    std::printf("    d |");
+    for (int m : delays) {
+      std::printf("  m=%-9s", m == 0 ? "unbnd" : std::to_string(m).c_str());
+    }
+    std::printf("\n  ----+%s\n",
+                std::string(13 * delays.size(), '-').c_str());
+
+    std::vector<int> optima;
+    for (int m : delays) {
+      const pcn::DelayBound bound =
+          m == 0 ? pcn::DelayBound::unbounded() : pcn::DelayBound(m);
+      optima.push_back(
+          pcn::optimize::exhaustive_search(model, bound, max_d).threshold);
+    }
+
+    for (int d = 0; d <= max_d; ++d) {
+      std::printf("  %3d |", d);
+      for (std::size_t i = 0; i < delays.size(); ++i) {
+        const int m = delays[i];
+        const pcn::DelayBound bound =
+            m == 0 ? pcn::DelayBound::unbounded() : pcn::DelayBound(m);
+        std::printf("  %8.4f%s", model.total_cost(d, bound),
+                    optima[i] == d ? " *" : "  ");
+      }
+      std::printf("\n");
+    }
+    std::printf("  (* = column optimum d*)\n\n");
+  }
+  return 0;
+}

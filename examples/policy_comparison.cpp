@@ -1,0 +1,76 @@
+// Head-to-head comparison of the four update-policy families on one user
+// profile: distance-based (this paper, analytically planned), movement-
+// based and time-based (Bar-Noy et al. [3]), and the static location-area
+// scheme (Xie et al. [8]).  All run side by side in one network over the
+// same slots; prints measured costs, update/paging split, and paging delay.
+//
+// Usage: policy_comparison [q] [c] [slots]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pcn/core/location_manager.hpp"
+#include "pcn/sim/network.hpp"
+
+int main(int argc, char** argv) {
+  const double q = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const double c = argc > 2 ? std::atof(argv[2]) : 0.01;
+  const std::int64_t slots = argc > 3 ? std::atoll(argv[3]) : 300000;
+
+  const pcn::Dimension dim = pcn::Dimension::kTwoD;
+  const pcn::MobilityProfile profile{q, c};
+  const pcn::CostWeights weights{100.0, 10.0};
+  const pcn::DelayBound bound(3);
+
+  pcn::sim::Network network(
+      pcn::sim::NetworkConfig{dim, pcn::sim::SlotSemantics::kChainFaithful,
+                              1701},
+      weights);
+
+  const pcn::core::LocationManager manager(dim, profile, weights);
+  const pcn::core::LocationPlan plan = manager.plan(bound);
+
+  struct Entry {
+    const char* label;
+    pcn::sim::TerminalId id;
+  };
+  const Entry entries[] = {
+      {"distance (planned d*)",
+       network.add_terminal(manager.make_terminal_spec(plan))},
+      {"movement (M = d* + 1)",
+       network.add_terminal(pcn::sim::make_movement_terminal(
+           dim, profile, plan.threshold + 1, bound))},
+      {"time (T = 50)",
+       network.add_terminal(pcn::sim::make_time_terminal(dim, profile, 50))},
+      {"location-area (R = 2)",
+       network.add_terminal(pcn::sim::make_la_terminal(dim, profile, 2))},
+  };
+
+  std::printf("profile q=%.3f c=%.3f, U=%.0f V=%.0f, delay bound 3, "
+              "%lld slots; planned d* = %d (expected %.4f/slot)\n\n",
+              q, c, weights.update_cost, weights.poll_cost,
+              static_cast<long long>(slots), plan.threshold,
+              plan.expected_total());
+  network.run(slots);
+
+  std::printf("  %-22s | cost/slot | update%% | paging%% | updates/1k | "
+              "cells/call | delay\n", "policy");
+  std::printf("  -----------------------+-----------+---------+---------+"
+              "------------+------------+------\n");
+  for (const Entry& entry : entries) {
+    const pcn::sim::TerminalMetrics& m = network.metrics(entry.id);
+    const double cost = m.cost_per_slot();
+    std::printf("  %-22s | %9.4f | %6.1f%% | %6.1f%% | %10.2f | %10.1f | "
+                "%5.2f\n",
+                entry.label, cost, 100.0 * m.update_cost / m.total_cost(),
+                100.0 * m.paging_cost / m.total_cost(),
+                1000.0 * static_cast<double>(m.updates) /
+                    static_cast<double>(m.slots),
+                static_cast<double>(m.polled_cells) /
+                    static_cast<double>(m.calls ? m.calls : 1),
+                m.calls ? m.paging_cycles.mean() : 0.0);
+  }
+  std::printf("\nThe distance policy pays updates only when the user "
+              "actually strays, and pages a disk sized to its own "
+              "threshold — the trade-off the paper optimizes.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: compute the optimal location-update threshold and paging plan
+// for one mobile user, then print what the network should do.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "pcn/core/location_manager.hpp"
+
+int main() {
+  // A pedestrian in a city: moves to a neighboring cell in 5% of time
+  // slots, receives a call in 1% of them.  A location update costs 100
+  // cost units of signalling; polling one cell during paging costs 10.
+  const pcn::MobilityProfile profile{/*move_prob=*/0.05,
+                                     /*call_prob=*/0.01};
+  const pcn::CostWeights weights{/*update_cost=*/100.0,
+                                 /*poll_cost=*/10.0};
+
+  const pcn::core::LocationManager manager(pcn::Dimension::kTwoD, profile,
+                                           weights);
+
+  std::printf("user profile: q = %.2f, c = %.2f (2-D hexagonal cells)\n\n",
+              profile.move_prob, profile.call_prob);
+
+  for (int delay : {1, 2, 3, 0}) {
+    const pcn::DelayBound bound =
+        delay == 0 ? pcn::DelayBound::unbounded() : pcn::DelayBound(delay);
+    const pcn::core::LocationPlan plan = manager.plan(bound);
+
+    std::printf("max paging delay %-9s -> update beyond ring %d; page %d "
+                "subarea(s):",
+                to_string(bound).c_str(), plan.threshold,
+                plan.partition.subarea_count());
+    for (int j = 0; j < plan.partition.subarea_count(); ++j) {
+      std::printf(" {");
+      for (std::size_t k = 0; k < plan.partition.rings(j).size(); ++k) {
+        std::printf("%s r%d", k ? "," : "", plan.partition.rings(j)[k]);
+      }
+      std::printf(" }");
+    }
+    std::printf("\n  expected cost/slot: %.4f (update %.4f + paging %.4f), "
+                "mean paging delay %.2f cycles\n",
+                plan.expected_total(), plan.expected.update,
+                plan.expected.paging, plan.expected_delay_cycles);
+  }
+
+  std::printf("\nNote the paper's headline: allowing just 2 polling cycles "
+              "instead of 1 recovers most of the unbounded-delay saving.\n");
+  return 0;
+}

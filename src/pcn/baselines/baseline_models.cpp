@@ -1,0 +1,193 @@
+#include "pcn/baselines/baseline_models.hpp"
+
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+#include "pcn/costs/partition.hpp"
+#include "pcn/geometry/ring_metrics.hpp"
+
+namespace pcn::baselines {
+namespace {
+
+/// Per-move outward probability from ring i (ring-averaged).
+double p_out(Dimension dim, int ring) {
+  if (ring == 0) return 1.0;
+  return dim == Dimension::kOneD ? 0.5 : 1.0 / 3.0 + 1.0 / (6.0 * ring);
+}
+
+/// Per-move inward probability from ring i >= 1.
+double p_in(Dimension dim, int ring) {
+  return dim == Dimension::kOneD ? 0.5 : 1.0 / 3.0 - 1.0 / (6.0 * ring);
+}
+
+/// One *move* of the direction walk (2-D moves can be sideways and stay on
+/// the same ring).  `dist` has at least current_support + 2 entries.
+void walk_step(Dimension dim, std::vector<double>& dist) {
+  std::vector<double> next(dist.size(), 0.0);
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    const double mass = dist[i];
+    if (mass == 0.0) continue;
+    const int ring = static_cast<int>(i);
+    const double out = p_out(dim, ring);
+    const double in = ring >= 1 ? p_in(dim, ring) : 0.0;
+    if (i + 1 < next.size()) next[i + 1] += mass * out;
+    if (ring >= 1) next[i - 1] += mass * in;
+    next[i] += mass * (1.0 - out - in);  // sideways (2-D only)
+  }
+  dist.swap(next);
+}
+
+}  // namespace
+
+std::vector<double> walk_ring_distribution(Dimension dim, int moves) {
+  PCN_EXPECT(moves >= 0, "walk_ring_distribution: moves must be >= 0");
+  std::vector<double> current(static_cast<std::size_t>(moves) + 1, 0.0);
+  current[0] = 1.0;
+  for (int step = 1; step <= moves; ++step) {
+    walk_step(dim, current);
+  }
+  return current;
+}
+
+std::vector<double> lazy_walk_ring_distribution(Dimension dim,
+                                                double move_prob,
+                                                int slots) {
+  PCN_EXPECT(slots >= 0, "lazy_walk_ring_distribution: slots must be >= 0");
+  PCN_EXPECT(move_prob >= 0.0 && move_prob <= 1.0,
+             "lazy_walk_ring_distribution: move_prob must lie in [0, 1]");
+  std::vector<double> current(static_cast<std::size_t>(slots) + 1, 0.0);
+  current[0] = 1.0;
+  for (int slot = 1; slot <= slots; ++slot) {
+    std::vector<double> moved = current;
+    walk_step(dim, moved);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      current[i] = (1.0 - move_prob) * current[i] + move_prob * moved[i];
+    }
+  }
+  return current;
+}
+
+BaselineCosts movement_based_costs(Dimension dim, MobilityProfile profile,
+                                   CostWeights weights, int max_moves,
+                                   DelayBound bound) {
+  profile.validate();
+  weights.validate();
+  PCN_EXPECT(max_moves >= 1,
+             "movement_based_costs: max_moves must be >= 1");
+  const double q = profile.move_prob;
+  const double c = profile.call_prob;
+  const int threshold = max_moves - 1;  // containment radius between updates
+
+  // Stationary crossing-count distribution: π_j ∝ (q/(q+c))^j, j < M.
+  const double ratio = q / (q + c);
+  std::vector<double> count(static_cast<std::size_t>(max_moves), 0.0);
+  double mass = 1.0;
+  double total = 0.0;
+  for (int j = 0; j < max_moves; ++j) {
+    count[static_cast<std::size_t>(j)] = mass;
+    total += mass;
+    mass *= ratio;
+  }
+  for (double& value : count) value /= total;
+
+  BaselineCosts costs;
+  // An update fires whenever the count is M-1 and a move happens.
+  costs.update = weights.update_cost * count.back() * q;
+
+  // Ring distribution at call instants: mix the pure walks over counts.
+  std::vector<double> rings(static_cast<std::size_t>(threshold) + 1, 0.0);
+  std::vector<double> walk(rings.size(), 0.0);
+  walk[0] = 1.0;
+  for (int j = 0; j < max_moves; ++j) {
+    if (j > 0) walk_step(dim, walk);
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+      rings[i] += count[static_cast<std::size_t>(j)] * walk[i];
+    }
+  }
+
+  const costs::Partition partition = costs::Partition::sdf(threshold, bound);
+  costs.paging = c * weights.poll_cost *
+                 partition.expected_polled_cells(rings, dim);
+  costs.expected_delay_cycles = partition.expected_delay_cycles(rings);
+  return costs;
+}
+
+BaselineCosts time_based_costs(Dimension dim, MobilityProfile profile,
+                               CostWeights weights, std::int64_t period,
+                               int rings_per_cycle) {
+  profile.validate();
+  weights.validate();
+  PCN_EXPECT(period >= 1, "time_based_costs: period must be >= 1");
+  PCN_EXPECT(rings_per_cycle >= 1,
+             "time_based_costs: rings_per_cycle must be >= 1");
+  const double q = profile.move_prob;
+  const double c = profile.call_prob;
+  // In a slot without a call the terminal moves with probability q/(1-c)
+  // (chain-faithful competing events).
+  const double conditional_move = c < 1.0 ? q / (1.0 - c) : 0.0;
+
+  // Stationary elapsed-time distribution: π(e) ∝ (1-c)^{e-1}, e in 1..T.
+  const auto t = static_cast<std::size_t>(period);
+  std::vector<double> elapsed(t + 1, 0.0);  // index e = 1..T
+  double mass = 1.0;
+  double total = 0.0;
+  for (std::size_t e = 1; e <= t; ++e) {
+    elapsed[e] = mass;
+    total += mass;
+    mass *= 1.0 - c;
+  }
+  for (double& value : elapsed) value /= total;
+
+  BaselineCosts costs;
+  // The update fires on every visit to e = T (before a same-slot call).
+  costs.update = weights.update_cost * elapsed[t];
+
+  // Expanding-ring paging: a terminal at ring i with knowledge radius e is
+  // found in cycle floor(i/g)+1 after polling all rings through the end of
+  // that group (clamped to the radius).
+  auto polled_cells = [&](int ring, int radius) {
+    const int group_end = (ring / rings_per_cycle + 1) * rings_per_cycle - 1;
+    return static_cast<double>(
+        geometry::cells_within(dim, std::min(group_end, radius)));
+  };
+  auto cycles_for = [&](int ring) { return ring / rings_per_cycle + 1; };
+
+  double expected_polled = 0.0;
+  double expected_cycles = 0.0;
+  std::vector<double> rings(t, 0.0);  // support after at most T-1 slots
+  rings[0] = 1.0;
+  std::vector<double> moved(rings.size(), 0.0);
+  for (std::size_t e = 1; e <= t; ++e) {
+    if (e > 1) {
+      // Advance the lazy walk by one slot (to e-1 slots since reset).
+      moved = rings;
+      walk_step(dim, moved);
+      for (std::size_t i = 0; i < rings.size(); ++i) {
+        rings[i] = (1.0 - conditional_move) * rings[i] +
+                   conditional_move * moved[i];
+      }
+    }
+    if (e == t) {
+      // A call in the update slot is paged right after the update with a
+      // fresh center: one cell, one cycle.
+      expected_polled += elapsed[e] * 1.0;
+      expected_cycles += elapsed[e] * 1.0;
+      continue;
+    }
+    const int radius = static_cast<int>(e);
+    double polled = 0.0;
+    double cycles = 0.0;
+    for (std::size_t i = 0; i < e; ++i) {  // position within e-1 rings
+      if (rings[i] == 0.0) continue;
+      polled += rings[i] * polled_cells(static_cast<int>(i), radius);
+      cycles += rings[i] * static_cast<double>(cycles_for(static_cast<int>(i)));
+    }
+    expected_polled += elapsed[e] * polled;
+    expected_cycles += elapsed[e] * cycles;
+  }
+  costs.paging = c * weights.poll_cost * expected_polled;
+  costs.expected_delay_cycles = expected_cycles;
+  return costs;
+}
+
+}  // namespace pcn::baselines

@@ -1,0 +1,70 @@
+// Analytical cost models for the baseline update schemes (Bar-Noy,
+// Kessler & Sidi [3]) under the paper's slotted mobility model — so the
+// distance-vs-baseline comparison is available in closed form, not only by
+// simulation.  Both models are exact for the simulator's chain-faithful
+// semantics and are validated against it in tests.
+//
+// Movement-based (threshold M): update after M cell crossings.
+//   * The crossing count j ∈ {0..M-1} is a birth chain with reset: per
+//     slot, a call (prob c) resets it, a move (prob q) increments it, and
+//     reaching M updates.  Stationary: π_j ∝ (q/(q+c))^j.
+//   * Given the count j at a call instant (calls see the stationary law),
+//     the terminal's ring distance is the pure direction walk after
+//     exactly j moves — `walk_ring_distribution`.
+//   * Paging = SDF partition of the disk of radius M-1 under the delay
+//     bound, exactly what the simulator's movement terminal executes.
+//
+// Time-based (period T): update every T slots since the last reset.
+//   * The elapsed time e ∈ {1..T} since reset satisfies π(e) ∝ (1-c)^{e-1}
+//     (each further slot survives without a call); reaching e = T updates.
+//   * At a call with elapsed e, the e-1 prior slots each moved with the
+//     conditional probability q' = q/(1-c) (the slot had no call), so the
+//     position follows the lazy walk after e-1 slots —
+//     `lazy_walk_ring_distribution`.  A call in the update slot (e = T) is
+//     paged after the update with radius 0.
+//   * Paging = expanding-ring search from the stale center (the
+//     simulator's growing-disk knowledge), `rings_per_cycle` per cycle.
+#pragma once
+
+#include <vector>
+
+#include "pcn/common/params.hpp"
+
+namespace pcn::baselines {
+
+/// Expected per-slot costs of a baseline policy.
+struct BaselineCosts {
+  double update = 0.0;  ///< counterpart of C_u
+  double paging = 0.0;  ///< counterpart of C_v
+  double expected_delay_cycles = 0.0;  ///< mean paging delay per call
+
+  double total() const { return update + paging; }
+};
+
+/// Ring-distance distribution after exactly `moves` steps of the pure
+/// direction walk from the center (each step goes outward/inward with the
+/// geometry's ring-averaged probabilities; from ring 0 always outward).
+/// Returns moves+1 entries.
+std::vector<double> walk_ring_distribution(Dimension dim, int moves);
+
+/// Ring-distance distribution after `slots` slots of the lazy walk: each
+/// slot moves with probability `move_prob`, else stays.  Returns slots+1
+/// entries.
+std::vector<double> lazy_walk_ring_distribution(Dimension dim,
+                                                double move_prob, int slots);
+
+/// Exact expected costs of the movement-based policy with threshold
+/// `max_moves` >= 1 and SDF paging under `bound` — the analytic twin of
+/// sim::make_movement_terminal.
+BaselineCosts movement_based_costs(Dimension dim, MobilityProfile profile,
+                                   CostWeights weights, int max_moves,
+                                   DelayBound bound);
+
+/// Exact expected costs of the time-based policy with period `period` >= 1
+/// and expanding-ring paging (`rings_per_cycle` rings per polling cycle) —
+/// the analytic twin of sim::make_time_terminal.
+BaselineCosts time_based_costs(Dimension dim, MobilityProfile profile,
+                               CostWeights weights, std::int64_t period,
+                               int rings_per_cycle = 1);
+
+}  // namespace pcn::baselines

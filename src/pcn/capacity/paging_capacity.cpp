@@ -1,0 +1,62 @@
+#include "pcn/capacity/paging_capacity.hpp"
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::capacity {
+
+CellLoad cell_load(const core::LocationManager& manager,
+                   const core::LocationPlan& plan, double users_per_cell) {
+  PCN_EXPECT(users_per_cell >= 0.0,
+             "cell_load: users_per_cell must be >= 0");
+  const CostWeights& weights = manager.model().weights();
+  // The plan's expected costs decompose as C_v = V · (polls per slot) and
+  // C_u = U · (updates per slot) for one user; with uniformly placed users
+  // every cell carries users_per_cell times the per-user message rates.
+  CellLoad load;
+  load.polls_per_slot =
+      users_per_cell * plan.expected.paging / weights.poll_cost;
+  load.updates_per_slot =
+      users_per_cell * plan.expected.update / weights.update_cost;
+  return load;
+}
+
+double erlang_b_blocking(int channels, double offered_erlangs) {
+  PCN_EXPECT(channels >= 0, "erlang_b_blocking: channels must be >= 0");
+  PCN_EXPECT(offered_erlangs >= 0.0,
+             "erlang_b_blocking: offered load must be >= 0");
+  if (offered_erlangs == 0.0) return channels == 0 ? 1.0 : 0.0;
+  // Stable forward recursion: B_0 = 1, B_k = A·B_{k-1} / (k + A·B_{k-1}).
+  double blocking = 1.0;
+  for (int k = 1; k <= channels; ++k) {
+    blocking = offered_erlangs * blocking /
+               (static_cast<double>(k) + offered_erlangs * blocking);
+  }
+  return blocking;
+}
+
+int min_channels(double offered_erlangs, double target, int max_channels) {
+  PCN_EXPECT(target > 0.0 && target < 1.0,
+             "min_channels: target blocking must lie in (0, 1)");
+  PCN_EXPECT(max_channels >= 0, "min_channels: max_channels must be >= 0");
+  PCN_EXPECT(offered_erlangs >= 0.0,
+             "min_channels: offered load must be >= 0");
+  if (offered_erlangs == 0.0) return 0;
+  double blocking = 1.0;
+  for (int k = 0; k <= max_channels; ++k) {
+    if (k > 0) {
+      blocking = offered_erlangs * blocking /
+                 (static_cast<double>(k) + offered_erlangs * blocking);
+    }
+    if (blocking <= target) return k;
+  }
+  PCN_EXPECT(false, "min_channels: target unreachable within max_channels");
+  return max_channels;
+}
+
+double offered_erlangs(const CellLoad& load, double slots_per_message) {
+  PCN_EXPECT(slots_per_message > 0.0,
+             "offered_erlangs: service time must be > 0");
+  return load.total_per_slot() * slots_per_message;
+}
+
+}  // namespace pcn::capacity

@@ -1,0 +1,54 @@
+// Paging-channel capacity planning.
+//
+// The paper's opening motivation is "the very limited wireless bandwidth":
+// each location update and each poll consumes air-interface resources.
+// This module turns a planned location-management policy into channel
+// requirements for a cell:
+//
+//   * per-cell signalling load — expected polls and updates per slot that
+//     one cell carries, given a population of N statistically identical
+//     users whose residing areas are uniformly positioned over the area
+//     (each poll hits one cell; each update is sent in one cell);
+//   * Erlang-B dimensioning — blocking probability of a g-channel paging
+//     group offered that load, and the smallest channel count meeting a
+//     target blocking probability (the classic telephone-engineering
+//     recursion, evaluated stably in linear time).
+#pragma once
+
+#include "pcn/common/params.hpp"
+#include "pcn/core/location_manager.hpp"
+
+namespace pcn::capacity {
+
+/// Expected signalling messages per slot carried by one cell.
+struct CellLoad {
+  double polls_per_slot = 0.0;    ///< paging polls addressed to the cell
+  double updates_per_slot = 0.0;  ///< location updates received by the cell
+
+  double total_per_slot() const { return polls_per_slot + updates_per_slot; }
+};
+
+/// Per-cell load induced by `users_per_cell` statistically identical users
+/// following `plan` (profile/weights taken from `manager`).  With uniform
+/// user positions, each of a user's expected polled cells per slot lands
+/// on a given cell with probability 1/g(d)… aggregated over the population
+/// this reduces to load(cell) = users_per_cell · (expected polls per user
+/// per slot), and similarly one update message per update event.
+CellLoad cell_load(const core::LocationManager& manager,
+                   const core::LocationPlan& plan, double users_per_cell);
+
+/// Erlang-B blocking probability B(channels, offered_erlangs); channels >=
+/// 0 (0 channels block everything), offered >= 0.
+double erlang_b_blocking(int channels, double offered_erlangs);
+
+/// Smallest channel count with blocking <= `target` for the offered load;
+/// `target` in (0, 1).  Returns at most `max_channels` (throws if even
+/// that is insufficient).
+int min_channels(double offered_erlangs, double target,
+                 int max_channels = 10000);
+
+/// Offered paging load in Erlangs for a cell: messages/slot × (message
+/// service time in slots).
+double offered_erlangs(const CellLoad& load, double slots_per_message);
+
+}  // namespace pcn::capacity

@@ -1,0 +1,118 @@
+#include "pcn/cli/args.hpp"
+
+#include <cstdlib>
+
+namespace pcn::cli {
+namespace {
+
+bool is_flag(const std::string& token) {
+  return token.size() > 2 && token[0] == '-' && token[1] == '-';
+}
+
+}  // namespace
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args args;
+  int index = 1;
+  if (index < argc && !is_flag(argv[index])) {
+    args.command_ = argv[index];
+    ++index;
+  }
+  while (index < argc) {
+    const std::string token = argv[index];
+    if (!is_flag(token)) {
+      throw UsageError("unexpected positional argument: " + token);
+    }
+    const std::string key = token.substr(2);
+    if (args.values_.count(key) != 0) {
+      throw UsageError("duplicate flag: --" + key);
+    }
+    ++index;
+    if (index < argc && !is_flag(argv[index])) {
+      args.values_[key] = argv[index];
+      ++index;
+    } else {
+      args.values_[key] = "";  // bare switch
+    }
+  }
+  return args;
+}
+
+std::optional<std::string> Args::raw(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[key] = true;
+  return it->second;
+}
+
+std::string Args::get_string(const std::string& key) const {
+  const auto value = raw(key);
+  if (!value || value->empty()) {
+    throw UsageError("missing required flag: --" + key);
+  }
+  return *value;
+}
+
+std::string Args::get_string_or(const std::string& key,
+                                const std::string& fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  if (value->empty()) {
+    throw UsageError("flag --" + key + " requires a value");
+  }
+  return *value;
+}
+
+double Args::get_double(const std::string& key) const {
+  const std::string value = get_string(key);
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw UsageError("flag --" + key + " expects a number, got: " + value);
+  }
+  return parsed;
+}
+
+double Args::get_double_or(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+std::int64_t Args::get_int(const std::string& key) const {
+  const std::string value = get_string(key);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw UsageError("flag --" + key + " expects an integer, got: " + value);
+  }
+  return parsed;
+}
+
+std::int64_t Args::get_int_or(const std::string& key,
+                              std::int64_t fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+bool Args::get_switch(const std::string& key) const {
+  const auto value = raw(key);
+  if (!value) return false;
+  if (!value->empty()) {
+    throw UsageError("flag --" + key + " does not take a value");
+  }
+  return true;
+}
+
+bool Args::has(const std::string& key) const {
+  if (values_.count(key) == 0) return false;
+  consumed_[key] = true;
+  return true;
+}
+
+void Args::reject_unconsumed() const {
+  for (const auto& [key, value] : values_) {
+    if (consumed_.find(key) == consumed_.end()) {
+      throw UsageError("unknown flag: --" + key);
+    }
+  }
+}
+
+}  // namespace pcn::cli

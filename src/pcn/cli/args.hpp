@@ -1,0 +1,57 @@
+// Tiny command-line argument parser for the pcnctl tool.
+//
+// Grammar: `program <command> [--flag value]... [--switch]...`
+// Typed getters validate and convert values, report unknown or unconsumed
+// flags, and collect a usage string — enough for a focused operations
+// tool without an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace pcn::cli {
+
+/// Thrown for malformed command lines (also carries usage guidance).
+class UsageError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+class Args {
+ public:
+  /// Parses argv[1..): the first token is the command (may be empty), the
+  /// rest `--key value` pairs or bare `--switch` flags (value-less).
+  static Args parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+
+  /// Typed getters: the _or variants supply a default; the required
+  /// variants throw UsageError when the flag is missing.
+  std::string get_string(const std::string& key) const;
+  std::string get_string_or(const std::string& key,
+                            const std::string& fallback) const;
+  double get_double(const std::string& key) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key) const;
+  std::int64_t get_int_or(const std::string& key,
+                          std::int64_t fallback) const;
+  bool get_switch(const std::string& key) const;
+
+  bool has(const std::string& key) const;
+
+  /// Fails with UsageError if any parsed flag was never queried — catches
+  /// typos like `--trehshold`.
+  void reject_unconsumed() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace pcn::cli

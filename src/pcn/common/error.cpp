@@ -1,0 +1,18 @@
+#include "pcn/common/error.hpp"
+
+#include <sstream>
+
+namespace pcn::detail {
+
+void throw_invalid_argument(const std::string& what) {
+  throw InvalidArgument(what);
+}
+
+void throw_internal_error(const char* expr, const char* file, int line) {
+  std::ostringstream oss;
+  oss << "libpcn internal invariant violated: `" << expr << "` at " << file
+      << ":" << line;
+  throw InternalError(oss.str());
+}
+
+}  // namespace pcn::detail

@@ -1,0 +1,47 @@
+// Error handling for libpcn.
+//
+// The library validates all externally supplied parameters at API
+// boundaries and throws `pcn::InvalidArgument` (a std::invalid_argument)
+// with a descriptive message on violation.  Internal invariants use
+// `PCN_ASSERT`, which throws `pcn::InternalError` so that a broken
+// invariant is loud in release builds too (the analytical code is cheap;
+// we never need to compile the checks out).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pcn {
+
+/// Thrown when a caller-supplied parameter is outside its documented domain.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant of the library is violated (a bug).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const std::string& what);
+[[noreturn]] void throw_internal_error(const char* expr, const char* file,
+                                       int line);
+}  // namespace detail
+
+/// Validates a caller-facing precondition; throws InvalidArgument on failure.
+#define PCN_EXPECT(cond, msg)                           \
+  do {                                                  \
+    if (!(cond)) ::pcn::detail::throw_invalid_argument(msg); \
+  } while (false)
+
+/// Checks an internal invariant; throws InternalError on failure.
+#define PCN_ASSERT(cond)                                                    \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pcn::detail::throw_internal_error(#cond, __FILE__, __LINE__);       \
+  } while (false)
+
+}  // namespace pcn

@@ -1,0 +1,58 @@
+#include "pcn/common/params.hpp"
+
+#include <algorithm>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn {
+
+std::string to_string(Dimension dim) {
+  return dim == Dimension::kOneD ? "1-D" : "2-D";
+}
+
+int neighbor_count(Dimension dim) {
+  return dim == Dimension::kOneD ? 2 : 6;
+}
+
+void MobilityProfile::validate() const {
+  PCN_EXPECT(move_prob > 0.0 && move_prob <= 1.0,
+             "MobilityProfile: move_prob (q) must lie in (0, 1]");
+  PCN_EXPECT(call_prob >= 0.0 && call_prob < 1.0,
+             "MobilityProfile: call_prob (c) must lie in [0, 1)");
+  PCN_EXPECT(move_prob + call_prob <= 1.0,
+             "MobilityProfile: q + c must not exceed 1 (competing per-slot "
+             "events)");
+}
+
+void CostWeights::validate() const {
+  PCN_EXPECT(update_cost > 0.0, "CostWeights: update_cost (U) must be > 0");
+  PCN_EXPECT(poll_cost > 0.0, "CostWeights: poll_cost (V) must be > 0");
+}
+
+DelayBound::DelayBound(int cycles) : cycles_(cycles) {
+  PCN_EXPECT(cycles >= 1, "DelayBound: at least one polling cycle required");
+}
+
+DelayBound DelayBound::unbounded() {
+  DelayBound bound(1);
+  bound.cycles_ = kUnbounded;
+  return bound;
+}
+
+int DelayBound::cycles() const {
+  PCN_EXPECT(!is_unbounded(), "DelayBound: unbounded bound has no cycle count");
+  return cycles_;
+}
+
+int DelayBound::subarea_count(int threshold_distance) const {
+  PCN_EXPECT(threshold_distance >= 0,
+             "DelayBound: threshold distance must be >= 0");
+  return std::min(threshold_distance + 1, cycles_);
+}
+
+std::string to_string(const DelayBound& bound) {
+  return bound.is_unbounded() ? std::string("unbounded")
+                              : std::to_string(bound.cycles());
+}
+
+}  // namespace pcn

@@ -1,0 +1,82 @@
+// Core validated parameter types shared across the library.
+//
+// The paper's model is parameterized by:
+//   * the coverage-area dimensionality (1-D line of cells or 2-D hex grid),
+//   * the per-slot movement probability `q` and call-arrival probability `c`
+//     of a terminal (its mobility / traffic profile),
+//   * the location-update cost `U` and per-cell polling cost `V`,
+//   * the maximum paging delay `m` in polling cycles (possibly unbounded).
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace pcn {
+
+/// Coverage-area dimensionality (paper §2.1).
+enum class Dimension {
+  kOneD,  ///< Cells on a line; each cell has 2 neighbors (roads, tunnels, rail).
+  kTwoD,  ///< Hexagonal cells; each cell has 6 neighbors (open areas, cities).
+};
+
+/// Human-readable name ("1-D" / "2-D").
+std::string to_string(Dimension dim);
+
+/// Number of neighbors of every cell in the given geometry (2 or 6).
+int neighbor_count(Dimension dim);
+
+/// Per-terminal mobility and traffic profile (paper §2.1).
+///
+/// In each discrete time slot the terminal moves to a uniformly chosen
+/// neighboring cell with probability `move_prob` (q) and an incoming call
+/// arrives with probability `call_prob` (c).
+struct MobilityProfile {
+  double move_prob = 0.1;   ///< q ∈ (0, 1]
+  double call_prob = 0.01;  ///< c ∈ [0, 1)
+
+  /// Throws InvalidArgument unless q ∈ (0,1], c ∈ [0,1) and q + c <= 1.
+  /// (q + c <= 1 keeps the competing-event slot semantics well defined.)
+  void validate() const;
+};
+
+/// Signalling costs (paper §5): one location update costs `update_cost` (U);
+/// polling a single cell during paging costs `poll_cost` (V).
+struct CostWeights {
+  double update_cost = 100.0;  ///< U > 0
+  double poll_cost = 1.0;      ///< V > 0
+
+  void validate() const;  ///< Throws InvalidArgument unless U > 0 and V > 0.
+};
+
+/// Maximum paging delay in polling cycles (paper §2.2).
+///
+/// The network must locate a called terminal within `cycles` polling cycles;
+/// `DelayBound::unbounded()` models the unconstrained case (the residing
+/// area is then paged one ring per cycle).
+class DelayBound {
+ public:
+  /// A bound of `cycles` polling cycles; `cycles` >= 1.
+  explicit DelayBound(int cycles);
+
+  /// No delay constraint (m = ∞).
+  static DelayBound unbounded();
+
+  bool is_unbounded() const { return cycles_ == kUnbounded; }
+
+  /// The bound in cycles; only valid when `!is_unbounded()`.
+  int cycles() const;
+
+  /// Number of paging subareas ℓ = min(d+1, m) for threshold distance d
+  /// (paper eq. 2); for the unbounded case this is d+1.
+  int subarea_count(int threshold_distance) const;
+
+  friend bool operator==(const DelayBound&, const DelayBound&) = default;
+
+ private:
+  static constexpr int kUnbounded = std::numeric_limits<int>::max();
+  int cycles_;
+};
+
+std::string to_string(const DelayBound& bound);
+
+}  // namespace pcn

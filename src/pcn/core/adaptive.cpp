@@ -1,0 +1,90 @@
+#include "pcn/core/adaptive.hpp"
+
+#include <algorithm>
+
+#include "pcn/common/error.hpp"
+#include "pcn/markov/chain_spec.hpp"
+#include "pcn/optimize/near_optimal.hpp"
+
+namespace pcn::core {
+
+AdaptiveDistancePolicy::AdaptiveDistancePolicy(Dimension dim,
+                                               CostWeights weights,
+                                               DelayBound bound,
+                                               MobilityProfile initial,
+                                               Config config)
+    : dim_(dim),
+      weights_(weights),
+      bound_(bound),
+      config_(config),
+      inner_(dim, 1),
+      pending_threshold_(1),
+      q_hat_(initial.move_prob),
+      c_hat_(initial.call_prob) {
+  initial.validate();
+  weights_.validate();
+  PCN_EXPECT(config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
+             "AdaptiveDistancePolicy: ewma_alpha must lie in (0, 1]");
+  PCN_EXPECT(config.replan_interval >= 1,
+             "AdaptiveDistancePolicy: replan_interval must be >= 1");
+  PCN_EXPECT(config.max_threshold >= 1,
+             "AdaptiveDistancePolicy: max_threshold must be >= 1");
+  PCN_EXPECT(config.floor_probability > 0.0,
+             "AdaptiveDistancePolicy: floor_probability must be > 0");
+  maybe_replan(0);
+  inner_.set_threshold(pending_threshold_);  // no reset pending yet
+}
+
+void AdaptiveDistancePolicy::on_center_reset(geometry::Cell center,
+                                             sim::SimTime now) {
+  // Apply a pending re-plan exactly when the containment disk restarts, so
+  // the paging area the network records at this reset stays valid.
+  inner_.set_threshold(pending_threshold_);
+  inner_.on_center_reset(center, now);
+}
+
+void AdaptiveDistancePolicy::on_slot(geometry::Cell position, bool moved,
+                                     sim::SimTime now) {
+  inner_.on_slot(position, moved, now);
+  const double alpha = config_.ewma_alpha;
+  q_hat_ = (1.0 - alpha) * q_hat_ + alpha * (moved ? 1.0 : 0.0);
+  c_hat_ = (1.0 - alpha) * c_hat_ + alpha * (call_this_slot_ ? 1.0 : 0.0);
+  call_this_slot_ = false;
+  if (now - last_replan_ >= config_.replan_interval) maybe_replan(now);
+}
+
+void AdaptiveDistancePolicy::on_call(sim::SimTime) {
+  call_this_slot_ = true;
+}
+
+bool AdaptiveDistancePolicy::update_due(geometry::Cell position,
+                                        sim::SimTime now) const {
+  return inner_.update_due(position, now);
+}
+
+std::optional<int> AdaptiveDistancePolicy::containment_radius() const {
+  return inner_.containment_radius();
+}
+
+std::string AdaptiveDistancePolicy::name() const {
+  return "adaptive-" + inner_.name();
+}
+
+void AdaptiveDistancePolicy::maybe_replan(sim::SimTime now) {
+  last_replan_ = now;
+  ++replans_;
+
+  // Clamp the estimates into the model's domain before planning.
+  MobilityProfile estimate;
+  estimate.move_prob = std::clamp(q_hat_, config_.floor_probability,
+                                  1.0 - config_.floor_probability);
+  estimate.call_prob = std::clamp(c_hat_, config_.floor_probability,
+                                  1.0 - estimate.move_prob);
+  const costs::CostModel model =
+      costs::CostModel::exact(dim_, estimate, weights_);
+  const optimize::Optimum optimum =
+      optimize::near_optimal_search(model, bound_, config_.max_threshold);
+  pending_threshold_ = optimum.threshold;
+}
+
+}  // namespace pcn::core

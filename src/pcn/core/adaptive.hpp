@@ -1,0 +1,68 @@
+// Per-user adaptive threshold control (the paper's §8 "dynamic schemes",
+// in the spirit of Akyildiz & Ho's dynamic location update [1]).
+//
+// The terminal estimates its own movement and call-arrival probabilities
+// on-line with exponentially weighted moving averages and periodically
+// re-plans its distance threshold with the cheap near-optimal search, so a
+// user whose mobility changes through the day (commute vs. office) keeps a
+// near-optimal threshold without any network-side configuration.
+#pragma once
+
+#include <memory>
+
+#include "pcn/common/params.hpp"
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/sim/update_policy.hpp"
+
+namespace pcn::core {
+
+struct AdaptivePolicyConfig {
+  double ewma_alpha = 0.01;  ///< per-slot EWMA weight for q̂ and ĉ
+  sim::SimTime replan_interval = 1000;  ///< slots between re-plans
+  int max_threshold = 50;    ///< cap D for the near-optimal scan
+  double floor_probability = 1e-4;  ///< lower clamp for q̂ and ĉ
+};
+
+/// Distance-based update policy whose threshold re-tunes itself.
+class AdaptiveDistancePolicy final : public sim::UpdatePolicy {
+ public:
+  using Config = AdaptivePolicyConfig;
+
+  /// `bound` is the paging delay the network enforces for this terminal;
+  /// `weights` are the signalling costs the plan optimizes; `initial`
+  /// seeds the estimators.
+  AdaptiveDistancePolicy(Dimension dim, CostWeights weights, DelayBound bound,
+                         MobilityProfile initial, Config config = {});
+
+  void on_center_reset(geometry::Cell center, sim::SimTime now) override;
+  void on_slot(geometry::Cell position, bool moved, sim::SimTime now) override;
+  void on_call(sim::SimTime now) override;
+  bool update_due(geometry::Cell position, sim::SimTime now) const override;
+  std::optional<int> containment_radius() const override;
+  std::string name() const override;
+
+  /// The threshold currently in force.  Re-planned values take effect at
+  /// the next center reset, so the network's paging disk (set at reset
+  /// time) always covers the terminal.
+  int threshold() const { return inner_.threshold(); }
+  double estimated_move_prob() const { return q_hat_; }
+  double estimated_call_prob() const { return c_hat_; }
+  std::int64_t replans() const { return replans_; }
+
+ private:
+  void maybe_replan(sim::SimTime now);
+
+  Dimension dim_;
+  CostWeights weights_;
+  DelayBound bound_;
+  Config config_;
+  sim::DistanceUpdatePolicy inner_;
+  int pending_threshold_;
+  double q_hat_;
+  double c_hat_;
+  bool call_this_slot_ = false;
+  sim::SimTime last_replan_ = 0;
+  std::int64_t replans_ = 0;
+};
+
+}  // namespace pcn::core

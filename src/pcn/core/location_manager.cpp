@@ -1,0 +1,76 @@
+#include "pcn/core/location_manager.hpp"
+
+#include "pcn/common/error.hpp"
+#include "pcn/optimize/exhaustive.hpp"
+#include "pcn/optimize/near_optimal.hpp"
+
+namespace pcn::core {
+namespace {
+
+costs::CostModel build_model(Dimension dim, MobilityProfile profile,
+                             CostWeights weights,
+                             const PlannerConfig& config) {
+  costs::CostModelOptions options;
+  options.scheme = config.scheme;
+  options.legacy_d0_generic_update_rate = config.legacy_d0_generic_update_rate;
+  return costs::CostModel::exact(dim, profile, weights, options);
+}
+
+}  // namespace
+
+LocationManager::LocationManager(Dimension dim, MobilityProfile profile,
+                                 CostWeights weights, PlannerConfig config)
+    : model_(build_model(dim, profile, weights, config)), config_(config) {
+  PCN_EXPECT(config.max_threshold >= 0,
+             "LocationManager: max_threshold must be >= 0");
+}
+
+LocationPlan LocationManager::plan(DelayBound bound) const {
+  optimize::Optimum optimum;
+  switch (config_.optimizer) {
+    case OptimizerKind::kExhaustive:
+      optimum = optimize::exhaustive_search(model_, bound,
+                                            config_.max_threshold);
+      break;
+    case OptimizerKind::kSimulatedAnnealing: {
+      optimize::AnnealingConfig annealing = config_.annealing;
+      annealing.max_threshold = config_.max_threshold;
+      optimum = optimize::simulated_annealing(model_, bound, annealing);
+      break;
+    }
+    case OptimizerKind::kNearOptimal:
+      optimum =
+          optimize::near_optimal_search(model_, bound, config_.max_threshold);
+      break;
+  }
+
+  LocationPlan plan{optimum.threshold,
+                    model_.partition(optimum.threshold, bound),
+                    model_.cost(optimum.threshold, bound), 0.0,
+                    optimum.evaluations};
+  plan.expected_delay_cycles = plan.partition.expected_delay_cycles(
+      model_.steady_state(optimum.threshold));
+  return plan;
+}
+
+double LocationManager::total_cost(int threshold, DelayBound bound) const {
+  return model_.total_cost(threshold, bound);
+}
+
+sim::TerminalSpec LocationManager::make_terminal_spec(
+    const LocationPlan& plan) const {
+  const MobilityProfile profile = this->profile();
+  sim::TerminalSpec spec;
+  spec.call_prob = profile.call_prob;
+  spec.mobility = std::make_unique<sim::RandomWalk>(dimension(),
+                                                    profile.move_prob);
+  spec.update_policy =
+      std::make_unique<sim::DistanceUpdatePolicy>(dimension(), plan.threshold);
+  spec.paging_policy =
+      std::make_unique<sim::PlanPartitionPaging>(dimension(), plan.partition);
+  spec.knowledge_kind = sim::KnowledgeKind::kFixedDisk;
+  spec.knowledge_radius = plan.threshold;
+  return spec;
+}
+
+}  // namespace pcn::core

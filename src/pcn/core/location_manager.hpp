@@ -1,0 +1,73 @@
+// High-level facade: "give me the optimal location-management policy for
+// this user profile" — the paper's end-to-end mechanism in one call.
+//
+// A LocationManager wraps a cost model for one (geometry, mobility profile,
+// cost weights) triple and produces a LocationPlan per delay bound: the
+// optimal threshold distance d*, the paging partition for it, and the
+// expected costs/delay.  Plans can be turned directly into simulator
+// terminal specs for end-to-end validation.
+#pragma once
+
+#include <string>
+
+#include "pcn/common/params.hpp"
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/costs/partition.hpp"
+#include "pcn/optimize/annealing.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace pcn::core {
+
+enum class OptimizerKind {
+  kExhaustive,          ///< bounded scan (paper §6, always finds d*)
+  kSimulatedAnnealing,  ///< the paper's annealing loop
+  kNearOptimal,         ///< approximate-chain scan + the paper's correction
+};
+
+struct PlannerConfig {
+  int max_threshold = 100;  ///< the paper's cap D on candidate thresholds
+  costs::PartitionScheme scheme = costs::PartitionScheme::kSdfEqual;
+  OptimizerKind optimizer = OptimizerKind::kExhaustive;
+  optimize::AnnealingConfig annealing{};  ///< used by kSimulatedAnnealing
+  /// Reproduce the paper's published Table 1 d = 0 quirk (see CostModel).
+  bool legacy_d0_generic_update_rate = false;
+};
+
+/// A concrete recommendation for one terminal and delay bound.
+struct LocationPlan {
+  int threshold = 0;                ///< d*
+  costs::Partition partition;       ///< paging subareas for d*
+  costs::CostBreakdown expected;    ///< expected C_u and C_v per slot
+  double expected_delay_cycles = 0; ///< mean paging delay under the plan
+  int evaluations = 0;              ///< optimizer cost evaluations
+
+  double expected_total() const { return expected.total(); }
+};
+
+class LocationManager {
+ public:
+  LocationManager(Dimension dim, MobilityProfile profile, CostWeights weights,
+                  PlannerConfig config = {});
+
+  /// Computes the optimal plan for the given maximum paging delay.
+  LocationPlan plan(DelayBound bound) const;
+
+  /// Expected total cost of an arbitrary (not necessarily optimal)
+  /// threshold under this manager's model and partition scheme.
+  double total_cost(int threshold, DelayBound bound) const;
+
+  /// A simulator terminal spec that implements `plan` (distance-based
+  /// updates + the plan's paging partition).
+  sim::TerminalSpec make_terminal_spec(const LocationPlan& plan) const;
+
+  const costs::CostModel& model() const { return model_; }
+  const PlannerConfig& config() const { return config_; }
+  Dimension dimension() const { return model_.dimension(); }
+  MobilityProfile profile() const { return model_.spec().profile(); }
+
+ private:
+  costs::CostModel model_;
+  PlannerConfig config_;
+};
+
+}  // namespace pcn::core

@@ -1,0 +1,81 @@
+#include "pcn/costs/cost_model.hpp"
+
+#include "pcn/common/error.hpp"
+#include "pcn/markov/steady_state.hpp"
+
+namespace pcn::costs {
+
+CostModel::CostModel(markov::ChainSpec spec, CostWeights weights,
+                     Options options)
+    : spec_(spec), weights_(weights), options_(options) {
+  weights_.validate();
+  PCN_EXPECT(!options_.legacy_d0_generic_update_rate ||
+                 spec_.kind() != markov::ChainKind::kTwoDimExact,
+             "CostModel: the legacy d = 0 quirk applies to the 1-D chain "
+             "and the approximate 2-D chain only");
+}
+
+CostModel CostModel::exact(Dimension dim, MobilityProfile profile,
+                           CostWeights weights, Options options) {
+  return CostModel(markov::ChainSpec::exact(dim, profile), weights, options);
+}
+
+CostModel CostModel::approximate_2d(MobilityProfile profile,
+                                    CostWeights weights, Options options) {
+  return CostModel(markov::ChainSpec::two_dim_approx(profile), weights,
+                   options);
+}
+
+std::vector<double> CostModel::steady_state(int threshold) const {
+  return markov::solve_steady_state(spec_, threshold);
+}
+
+double CostModel::update_cost(int threshold) const {
+  PCN_EXPECT(threshold >= 0, "CostModel: threshold must be >= 0");
+  const std::vector<double> pi = steady_state(threshold);
+  double exit_rate = spec_.up(threshold);
+  if (threshold == 0 && options_.legacy_d0_generic_update_rate) {
+    // The published numbers used the generic i >= 1 formula at d = 0.
+    exit_rate = spec_.kind() == markov::ChainKind::kOneDimExact
+                    ? spec_.profile().move_prob / 2.0
+                    : spec_.profile().move_prob / 3.0;
+  }
+  return pi.back() * exit_rate * weights_.update_cost;
+}
+
+Partition CostModel::partition(int threshold, DelayBound bound) const {
+  switch (options_.scheme) {
+    case PartitionScheme::kSdfEqual:
+      return Partition::sdf(threshold, bound);
+    case PartitionScheme::kOptimalContiguous:
+      return Partition::optimal(steady_state(threshold), dimension(), bound);
+    case PartitionScheme::kHighestProbabilityFirst:
+      return Partition::highest_probability_first(steady_state(threshold),
+                                                  dimension(), bound);
+  }
+  PCN_ASSERT(false);
+  return Partition::blanket(threshold);
+}
+
+double CostModel::paging_cost(int threshold, DelayBound bound) const {
+  return paging_cost(threshold, partition(threshold, bound));
+}
+
+double CostModel::paging_cost(int threshold,
+                              const Partition& partition) const {
+  PCN_EXPECT(partition.threshold() == threshold,
+             "CostModel::paging_cost: partition threshold mismatch");
+  const std::vector<double> pi = steady_state(threshold);
+  return spec_.call() * weights_.poll_cost *
+         partition.expected_polled_cells(pi, dimension());
+}
+
+CostBreakdown CostModel::cost(int threshold, DelayBound bound) const {
+  return CostBreakdown{update_cost(threshold), paging_cost(threshold, bound)};
+}
+
+double CostModel::total_cost(int threshold, DelayBound bound) const {
+  return cost(threshold, bound).total();
+}
+
+}  // namespace pcn::costs

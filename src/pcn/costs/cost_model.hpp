@@ -1,0 +1,92 @@
+// Average location-update and paging cost model (paper §5).
+//
+// Given a chain spec (geometry + mobility/traffic profile) and cost weights
+// (U, V), `CostModel` evaluates, for a threshold distance d and delay bound
+// m:
+//   C_u(d)    = p_{d,d} · a_{d,d+1} · U                 (eq. 61)
+//   C_v(d,m)  = c · V · Σ_j α_j w_j                     (eqs. 62-65)
+//   C_T(d,m)  = C_u(d) + C_v(d,m)                       (eq. 66)
+// with the partitioning scheme selectable (paper SDF default).
+#pragma once
+
+#include <vector>
+
+#include "pcn/common/params.hpp"
+#include "pcn/costs/partition.hpp"
+#include "pcn/markov/chain_spec.hpp"
+
+namespace pcn::costs {
+
+/// How the residing area is split into paging subareas.
+enum class PartitionScheme {
+  kSdfEqual,                 ///< the paper's equal-split SDF rule
+  kOptimalContiguous,        ///< DP-optimal contiguous split (paper §8)
+  kHighestProbabilityFirst,  ///< per-cell-probability ring order + DP split
+};
+
+struct CostBreakdown {
+  double update = 0.0;  ///< C_u(d)
+  double paging = 0.0;  ///< C_v(d, m)
+
+  double total() const { return update + paging; }
+};
+
+struct CostModelOptions {
+  PartitionScheme scheme = PartitionScheme::kSdfEqual;
+  /// Reproduce the paper's published numbers exactly: its Table 1 (1-D)
+  /// and its Table 2 near-optimal columns (2-D approximate chain) computed
+  /// C_u(0) with the generic i >= 1 outward rate (q/2 resp. q/3) although
+  /// eqs. (3)/(43) print a_{0,1} = q.  Affects d = 0 only; defaults to the
+  /// equations.  Rejected for the 2-D exact chain (the paper's Table 2
+  /// exact columns correctly used q there).
+  bool legacy_d0_generic_update_rate = false;
+};
+
+class CostModel {
+ public:
+  using Options = CostModelOptions;
+
+  CostModel(markov::ChainSpec spec, CostWeights weights,
+            Options options = {});
+
+  /// Model with the exact chain for `dim`.
+  static CostModel exact(Dimension dim, MobilityProfile profile,
+                         CostWeights weights, Options options = {});
+
+  /// Model with the approximate 2-D chain (paper §4.2).
+  static CostModel approximate_2d(MobilityProfile profile, CostWeights weights,
+                                  Options options = {});
+
+  const markov::ChainSpec& spec() const { return spec_; }
+  const CostWeights& weights() const { return weights_; }
+  const Options& options() const { return options_; }
+  Dimension dimension() const { return spec_.dimension(); }
+
+  /// Steady-state ring-distance distribution for threshold d (d+1 entries).
+  std::vector<double> steady_state(int threshold) const;
+
+  /// Average location-update cost C_u(d).
+  double update_cost(int threshold) const;
+
+  /// Average paging cost C_v(d, m) under the configured partition scheme.
+  double paging_cost(int threshold, DelayBound bound) const;
+
+  /// Average paging cost under an explicit partition (must match d).
+  double paging_cost(int threshold, const Partition& partition) const;
+
+  /// C_u + C_v under the configured scheme.
+  CostBreakdown cost(int threshold, DelayBound bound) const;
+
+  /// Convenience: cost(threshold, bound).total().
+  double total_cost(int threshold, DelayBound bound) const;
+
+  /// The partition the configured scheme produces for (d, m).
+  Partition partition(int threshold, DelayBound bound) const;
+
+ private:
+  markov::ChainSpec spec_;
+  CostWeights weights_;
+  Options options_;
+};
+
+}  // namespace pcn::costs

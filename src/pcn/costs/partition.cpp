@@ -1,0 +1,219 @@
+#include "pcn/costs/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "pcn/common/error.hpp"
+#include "pcn/geometry/ring_metrics.hpp"
+
+namespace pcn::costs {
+namespace {
+
+void validate_probabilities(std::span<const double> probabilities,
+                            int threshold) {
+  PCN_EXPECT(static_cast<int>(probabilities.size()) == threshold + 1,
+             "Partition: probability vector must have threshold+1 entries");
+  for (double p : probabilities) {
+    PCN_EXPECT(p >= 0.0, "Partition: probabilities must be non-negative");
+  }
+}
+
+}  // namespace
+
+Partition::Partition(int threshold, std::vector<std::vector<int>> subareas)
+    : threshold_(threshold), subareas_(std::move(subareas)) {}
+
+Partition Partition::sdf(int threshold, DelayBound bound) {
+  PCN_EXPECT(threshold >= 0, "Partition::sdf: threshold must be >= 0");
+  const int rings = threshold + 1;
+  const int groups = bound.subarea_count(threshold);
+  // γ = ⌊(d+1)/ℓ⌋ rings per subarea; the last subarea takes the remainder
+  // (paper §2.2 partitioning steps 1-3).
+  const int per_group = rings / groups;
+  std::vector<std::vector<int>> subareas(static_cast<std::size_t>(groups));
+  for (int j = 0; j < groups; ++j) {
+    const int first = j * per_group;
+    const int last = (j == groups - 1) ? rings - 1 : (j + 1) * per_group - 1;
+    for (int i = first; i <= last; ++i) {
+      subareas[static_cast<std::size_t>(j)].push_back(i);
+    }
+  }
+  return Partition(threshold, std::move(subareas));
+}
+
+Partition Partition::single_rings(int threshold) {
+  return sdf(threshold, DelayBound::unbounded());
+}
+
+Partition Partition::blanket(int threshold) {
+  return sdf(threshold, DelayBound(1));
+}
+
+Partition Partition::optimal(std::span<const double> probabilities,
+                             Dimension dim, DelayBound bound) {
+  const int threshold = static_cast<int>(probabilities.size()) - 1;
+  PCN_EXPECT(threshold >= 0, "Partition::optimal: empty probability vector");
+  validate_probabilities(probabilities, threshold);
+  std::vector<int> order(static_cast<std::size_t>(threshold) + 1);
+  std::iota(order.begin(), order.end(), 0);
+  return Partition(threshold,
+                   detail::dp_group(order, probabilities, dim,
+                                    bound.subarea_count(threshold)));
+}
+
+Partition Partition::highest_probability_first(
+    std::span<const double> probabilities, Dimension dim, DelayBound bound) {
+  const int threshold = static_cast<int>(probabilities.size()) - 1;
+  PCN_EXPECT(threshold >= 0,
+             "Partition::highest_probability_first: empty probability vector");
+  validate_probabilities(probabilities, threshold);
+  std::vector<int> order(static_cast<std::size_t>(threshold) + 1);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const double pa = probabilities[static_cast<std::size_t>(a)] /
+                      static_cast<double>(geometry::ring_size(dim, a));
+    const double pb = probabilities[static_cast<std::size_t>(b)] /
+                      static_cast<double>(geometry::ring_size(dim, b));
+    return pa > pb;
+  });
+  return Partition(threshold,
+                   detail::dp_group(order, probabilities, dim,
+                                    bound.subarea_count(threshold)));
+}
+
+Partition Partition::from_subareas(int threshold,
+                                   std::vector<std::vector<int>> subareas) {
+  PCN_EXPECT(threshold >= 0, "Partition: threshold must be >= 0");
+  std::vector<bool> seen(static_cast<std::size_t>(threshold) + 1, false);
+  PCN_EXPECT(!subareas.empty(), "Partition: at least one subarea required");
+  for (const auto& rings : subareas) {
+    PCN_EXPECT(!rings.empty(), "Partition: subareas must be non-empty");
+    for (int ring : rings) {
+      PCN_EXPECT(ring >= 0 && ring <= threshold,
+                 "Partition: ring index out of range");
+      PCN_EXPECT(!seen[static_cast<std::size_t>(ring)],
+                 "Partition: ring assigned to more than one subarea");
+      seen[static_cast<std::size_t>(ring)] = true;
+    }
+  }
+  for (bool covered : seen) {
+    PCN_EXPECT(covered, "Partition: every ring must be covered");
+  }
+  return Partition(threshold, std::move(subareas));
+}
+
+const std::vector<int>& Partition::rings(int subarea) const {
+  PCN_EXPECT(subarea >= 0 && subarea < subarea_count(),
+             "Partition::rings: subarea index out of range");
+  return subareas_[static_cast<std::size_t>(subarea)];
+}
+
+std::int64_t Partition::cell_count(Dimension dim, int subarea) const {
+  std::int64_t cells = 0;
+  for (int ring : rings(subarea)) cells += geometry::ring_size(dim, ring);
+  return cells;
+}
+
+double Partition::expected_polled_cells(std::span<const double> probabilities,
+                                        Dimension dim) const {
+  validate_probabilities(probabilities, threshold_);
+  double expected = 0.0;
+  std::int64_t polled_so_far = 0;
+  for (int j = 0; j < subarea_count(); ++j) {
+    polled_so_far += cell_count(dim, j);
+    double alpha = 0.0;
+    for (int ring : rings(j)) {
+      alpha += probabilities[static_cast<std::size_t>(ring)];
+    }
+    expected += alpha * static_cast<double>(polled_so_far);
+  }
+  return expected;
+}
+
+double Partition::expected_delay_cycles(
+    std::span<const double> probabilities) const {
+  validate_probabilities(probabilities, threshold_);
+  double expected = 0.0;
+  for (int j = 0; j < subarea_count(); ++j) {
+    double alpha = 0.0;
+    for (int ring : rings(j)) {
+      alpha += probabilities[static_cast<std::size_t>(ring)];
+    }
+    expected += alpha * static_cast<double>(j + 1);
+  }
+  return expected;
+}
+
+namespace detail {
+
+std::vector<std::vector<int>> dp_group(std::span<const int> ring_order,
+                                       std::span<const double> probabilities,
+                                       Dimension dim, int groups) {
+  const int n = static_cast<int>(ring_order.size());
+  PCN_EXPECT(groups >= 1 && groups <= n,
+             "dp_group: group count must lie in [1, ring count]");
+
+  // Prefix sums over the *ordered* ring sequence.
+  std::vector<double> prob_prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<double> cell_prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int ring = ring_order[static_cast<std::size_t>(i)];
+    prob_prefix[static_cast<std::size_t>(i) + 1] =
+        prob_prefix[static_cast<std::size_t>(i)] +
+        probabilities[static_cast<std::size_t>(ring)];
+    cell_prefix[static_cast<std::size_t>(i) + 1] =
+        cell_prefix[static_cast<std::size_t>(i)] +
+        static_cast<double>(geometry::ring_size(dim, ring));
+  }
+
+  // f[g][i] = min expected polled cells for the first i rings in g blocks;
+  // the block ending at ring i-1 contributes (its mass) * (cells of the
+  // whole prefix).  Splitting never hurts, so exactly `groups` blocks.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> f(
+      static_cast<std::size_t>(groups) + 1,
+      std::vector<double>(static_cast<std::size_t>(n) + 1, kInf));
+  std::vector<std::vector<int>> arg(
+      static_cast<std::size_t>(groups) + 1,
+      std::vector<int>(static_cast<std::size_t>(n) + 1, -1));
+  f[0][0] = 0.0;
+  for (int g = 1; g <= groups; ++g) {
+    for (int i = g; i <= n; ++i) {
+      for (int s = g - 1; s < i; ++s) {
+        const double prev = f[static_cast<std::size_t>(g) - 1]
+                             [static_cast<std::size_t>(s)];
+        if (prev == kInf) continue;
+        const double mass = prob_prefix[static_cast<std::size_t>(i)] -
+                            prob_prefix[static_cast<std::size_t>(s)];
+        const double candidate =
+            prev + mass * cell_prefix[static_cast<std::size_t>(i)];
+        if (candidate < f[static_cast<std::size_t>(g)]
+                         [static_cast<std::size_t>(i)]) {
+          f[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)] =
+              candidate;
+          arg[static_cast<std::size_t>(g)][static_cast<std::size_t>(i)] = s;
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> subareas(static_cast<std::size_t>(groups));
+  int end = n;
+  for (int g = groups; g >= 1; --g) {
+    const int start = arg[static_cast<std::size_t>(g)]
+                         [static_cast<std::size_t>(end)];
+    PCN_ASSERT(start >= 0);
+    for (int i = start; i < end; ++i) {
+      subareas[static_cast<std::size_t>(g) - 1].push_back(
+          ring_order[static_cast<std::size_t>(i)]);
+    }
+    end = start;
+  }
+  PCN_ASSERT(end == 0);
+  return subareas;
+}
+
+}  // namespace detail
+
+}  // namespace pcn::costs

@@ -1,0 +1,92 @@
+// Residing-area partitioning for delay-constrained paging (paper §2.2).
+//
+// With threshold distance d the residing area is the d+1 rings r_0..r_d
+// around the center cell.  Under a maximum paging delay of m polling cycles
+// it is split into ℓ = min(d+1, m) ordered subareas, polled one per cycle
+// until the terminal answers.  The expected number of polled cells is
+//   E = Σ_j α_j w_j,   α_j = Σ_{r_i ∈ A_j} p_{i,d},   w_j = Σ_{k<=j} N(A_k)
+// (paper eqs. 63-65).
+//
+// Schemes provided:
+//   * `sdf`      — the paper's shortest-distance-first equal-split rule
+//                  (γ = ⌊(d+1)/ℓ⌋ rings per subarea, remainder in the last);
+//   * `optimal`  — minimal-E contiguous partition via dynamic programming
+//                  (the paper's §8 "optimal partitioning" future work);
+//   * `highest_probability_first` — rings ordered by per-cell probability
+//                  (Rose & Yates [7] ordering), then optimally grouped;
+//   * `blanket` / `single_rings` — the m = 1 and m = ∞ extremes.
+//
+// A Partition is an ordered list of subareas, each an ordered list of ring
+// indices; every ring in 0..d appears exactly once.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pcn/common/params.hpp"
+
+namespace pcn::costs {
+
+class Partition {
+ public:
+  /// The paper's SDF equal-split rule for threshold d under `bound`.
+  static Partition sdf(int threshold, DelayBound bound);
+
+  /// One ring per subarea (the unbounded-delay partition).
+  static Partition single_rings(int threshold);
+
+  /// Everything in one subarea (the m = 1 partition).
+  static Partition blanket(int threshold);
+
+  /// Cost-minimal contiguous (distance-ordered) partition for the given
+  /// steady-state probabilities, via DP.  `probabilities` has d+1 entries.
+  static Partition optimal(std::span<const double> probabilities,
+                           Dimension dim, DelayBound bound);
+
+  /// Rings sorted by per-cell location probability (descending), then
+  /// grouped into ℓ subareas by the same DP.
+  static Partition highest_probability_first(
+      std::span<const double> probabilities, Dimension dim, DelayBound bound);
+
+  /// Builds from explicit subarea ring lists (validated: every ring in
+  /// 0..threshold exactly once, subareas non-empty).
+  static Partition from_subareas(int threshold,
+                                 std::vector<std::vector<int>> subareas);
+
+  int threshold() const { return threshold_; }
+  int subarea_count() const { return static_cast<int>(subareas_.size()); }
+
+  /// Ring indices of subarea j (0-based; polled in cycle j+1).
+  const std::vector<int>& rings(int subarea) const;
+
+  /// Number of cells in subarea j.
+  std::int64_t cell_count(Dimension dim, int subarea) const;
+
+  /// Expected polled cells Σ_j α_j w_j for the given ring probabilities.
+  double expected_polled_cells(std::span<const double> probabilities,
+                               Dimension dim) const;
+
+  /// Expected paging delay in polling cycles, Σ_j α_j (j+1).
+  double expected_delay_cycles(std::span<const double> probabilities) const;
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+ private:
+  Partition(int threshold, std::vector<std::vector<int>> subareas);
+
+  int threshold_ = 0;
+  std::vector<std::vector<int>> subareas_;
+};
+
+namespace detail {
+
+/// Groups `ring_order` (a permutation of 0..d) into exactly `groups`
+/// consecutive blocks minimizing expected polled cells; returns block
+/// boundaries as subarea ring lists.
+std::vector<std::vector<int>> dp_group(std::span<const int> ring_order,
+                                       std::span<const double> probabilities,
+                                       Dimension dim, int groups);
+
+}  // namespace detail
+
+}  // namespace pcn::costs

@@ -1,0 +1,104 @@
+#include "pcn/geometry/hex.hpp"
+
+#include <cstdlib>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::geometry {
+
+const std::array<HexCell, 6>& hex_directions() {
+  static const std::array<HexCell, 6> dirs = {{
+      {+1, 0}, {+1, -1}, {0, -1}, {-1, 0}, {-1, +1}, {0, +1},
+  }};
+  return dirs;
+}
+
+HexCell hex_add(HexCell a, HexCell b) { return {a.q + b.q, a.r + b.r}; }
+
+HexCell hex_scaled_add(HexCell a, HexCell b, std::int64_t k) {
+  return {a.q + k * b.q, a.r + k * b.r};
+}
+
+std::int64_t hex_distance(HexCell a, HexCell b) {
+  const std::int64_t dq = a.q - b.q;
+  const std::int64_t dr = a.r - b.r;
+  return (std::llabs(dq) + std::llabs(dr) + std::llabs(dq + dr)) / 2;
+}
+
+std::array<HexCell, 6> hex_neighbors(HexCell cell) {
+  std::array<HexCell, 6> result;
+  const auto& dirs = hex_directions();
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    result[i] = hex_add(cell, dirs[i]);
+  }
+  return result;
+}
+
+std::vector<HexCell> hex_ring(HexCell center, int ring) {
+  PCN_EXPECT(ring >= 0, "hex_ring: ring index must be >= 0");
+  if (ring == 0) return {center};
+  std::vector<HexCell> cells;
+  cells.reserve(static_cast<std::size_t>(6 * ring));
+  // Start `ring` steps along direction 4 (-1,+1) and walk the six sides.
+  HexCell cursor = hex_scaled_add(center, hex_directions()[4], ring);
+  for (int side = 0; side < 6; ++side) {
+    for (int step = 0; step < ring; ++step) {
+      cells.push_back(cursor);
+      cursor = hex_add(cursor, hex_directions()[static_cast<std::size_t>(side)]);
+    }
+  }
+  return cells;
+}
+
+std::vector<HexCell> hex_disk(HexCell center, int distance) {
+  PCN_EXPECT(distance >= 0, "hex_disk: distance must be >= 0");
+  std::vector<HexCell> cells;
+  cells.reserve(static_cast<std::size_t>(3) * distance * (distance + 1) + 1);
+  for (int i = 0; i <= distance; ++i) {
+    for (HexCell cell : hex_ring(center, i)) cells.push_back(cell);
+  }
+  return cells;
+}
+
+MoveProfile classify_moves(HexCell center, HexCell cell) {
+  const std::int64_t dist = hex_distance(center, cell);
+  MoveProfile profile;
+  for (HexCell next : hex_neighbors(cell)) {
+    const std::int64_t next_dist = hex_distance(center, next);
+    if (next_dist > dist) {
+      ++profile.outward;
+    } else if (next_dist < dist) {
+      ++profile.inward;
+    } else {
+      ++profile.sideways;
+    }
+  }
+  return profile;
+}
+
+MoveProfile ring_edge_profile(int ring) {
+  PCN_EXPECT(ring >= 1, "ring_edge_profile: ring index must be >= 1");
+  MoveProfile total;
+  for (HexCell cell : hex_ring(HexCell{}, ring)) {
+    const MoveProfile p = classify_moves(HexCell{}, cell);
+    total.outward += p.outward;
+    total.inward += p.inward;
+    total.sideways += p.sideways;
+  }
+  return total;
+}
+
+std::size_t HexCellHash::operator()(const HexCell& cell) const noexcept {
+  // SplitMix64-style mix of the two coordinates.
+  auto mix = [](std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  const auto q = static_cast<std::uint64_t>(cell.q);
+  const auto r = static_cast<std::uint64_t>(cell.r);
+  return static_cast<std::size_t>(mix(q ^ mix(r)));
+}
+
+}  // namespace pcn::geometry

@@ -1,0 +1,78 @@
+// 2-D hexagonal-cell geometry (paper §2.1, Figures 1(b) and 3).
+//
+// The coverage area is tiled by identical hexagonal cells; each cell has six
+// neighbors.  We use axial coordinates (q, r): the six unit directions are
+// (+1,0), (+1,-1), (0,-1), (-1,0), (-1,+1), (0,+1), and the hex (ring)
+// distance between cells is
+//   dist(a, b) = (|dq| + |dr| + |dq + dr|) / 2.
+// Ring r_i around a center cell is the set of cells at distance exactly i
+// (6i cells for i >= 1), matching the paper's ring construction.
+//
+// The module also verifies the paper's boundary-crossing counts (Figure 3):
+// from a cell in ring r_i, of the 6 unit moves, the expected fraction that
+// increases the distance from the center is p+(i) = 1/3 + 1/(6i) and the
+// fraction that decreases it is p-(i) = 1/3 - 1/(6i) *averaged over the
+// ring* — tests check this cell-exactly via `ring_edge_profile`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pcn::geometry {
+
+/// A hexagonal cell in axial coordinates.
+struct HexCell {
+  std::int64_t q = 0;
+  std::int64_t r = 0;
+
+  friend bool operator==(const HexCell&, const HexCell&) = default;
+  friend auto operator<=>(const HexCell&, const HexCell&) = default;
+};
+
+/// The six axial unit directions, in counter-clockwise order.
+const std::array<HexCell, 6>& hex_directions();
+
+/// Component-wise sum a + b.
+HexCell hex_add(HexCell a, HexCell b);
+
+/// a + k * b.
+HexCell hex_scaled_add(HexCell a, HexCell b, std::int64_t k);
+
+/// Hex (ring) distance between two cells.
+std::int64_t hex_distance(HexCell a, HexCell b);
+
+/// The six neighbors of a cell, in direction order.
+std::array<HexCell, 6> hex_neighbors(HexCell cell);
+
+/// All cells in ring r_i around `center` (1 cell for i = 0, else 6i),
+/// enumerated by walking the ring.
+std::vector<HexCell> hex_ring(HexCell center, int ring);
+
+/// All cells within distance d of `center`, ordered ring by ring.
+/// Matches g(d) = 3d(d+1) + 1 cells.
+std::vector<HexCell> hex_disk(HexCell center, int distance);
+
+/// Per-cell move classification used to validate the paper's Figure 3
+/// transition probabilities: for a cell at distance i from `center`, counts
+/// how many of its 6 unit moves land at distance i+1 (`outward`), i-1
+/// (`inward`), or i (`sideways`).
+struct MoveProfile {
+  int outward = 0;
+  int inward = 0;
+  int sideways = 0;
+};
+
+MoveProfile classify_moves(HexCell center, HexCell cell);
+
+/// Aggregated move profile over all cells of ring r_i (i >= 1): the paper's
+/// edge counts (e.g. ring 1: 18 outward, 6 inward, 12 sideways edges).
+MoveProfile ring_edge_profile(int ring);
+
+/// Hash functor so HexCell can key unordered containers.
+struct HexCellHash {
+  std::size_t operator()(const HexCell& cell) const noexcept;
+};
+
+}  // namespace pcn::geometry

@@ -1,0 +1,95 @@
+#include "pcn/geometry/la_tiling.hpp"
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::geometry {
+namespace {
+
+/// floor(a / b) for b > 0.
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  std::int64_t quot = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --quot;
+  return quot;
+}
+
+/// Round a/b (b > 0) to the nearest integer, halves toward +inf.
+std::int64_t round_div(std::int64_t a, std::int64_t b) {
+  return floor_div(2 * a + b, 2 * b);
+}
+
+/// Eisenstein product (a + bω)(c + dω) with ω² = ω − 1.
+void eis_mul(std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t d,
+             std::int64_t& out_a, std::int64_t& out_b) {
+  out_a = a * c - b * d;
+  out_b = a * d + b * c + b * d;
+}
+
+}  // namespace
+
+LineLaTiling::LineLaTiling(int radius) : radius_(radius) {
+  PCN_EXPECT(radius >= 0, "LineLaTiling: radius must be >= 0");
+}
+
+LineCell LineLaTiling::la_center(LineCell cell) const {
+  const std::int64_t size = la_size();
+  const std::int64_t index = floor_div(cell.x + radius_, size);
+  return LineCell{index * size};
+}
+
+bool LineLaTiling::same_la(LineCell a, LineCell b) const {
+  return la_center(a) == la_center(b);
+}
+
+std::vector<LineCell> LineLaTiling::la_cells(LineCell center) const {
+  PCN_EXPECT(la_center(center) == center,
+             "LineLaTiling::la_cells: argument is not an LA center");
+  return line_disk(center, radius_);
+}
+
+HexLaTiling::HexLaTiling(int radius) : radius_(radius) {
+  PCN_EXPECT(radius >= 0, "HexLaTiling: radius must be >= 0");
+  const std::int64_t r = radius;
+  alpha_a_ = r + 1;
+  alpha_b_ = r;
+  conj_a_ = 2 * r + 1;
+  conj_b_ = -r;
+  norm_ = 3 * r * r + 3 * r + 1;
+}
+
+std::int64_t HexLaTiling::la_size() const { return norm_; }
+
+HexCell HexLaTiling::la_center(HexCell cell) const {
+  // w = z·ᾱ; the LA index is w/N rounded to the nearest Eisenstein integer,
+  // then mapped back through α.  Rounding can land one lattice step off for
+  // boundary cells, so we scan the rounded index and its neighbors for the
+  // unique center within distance R.
+  std::int64_t wa = 0;
+  std::int64_t wb = 0;
+  eis_mul(cell.q, cell.r, conj_a_, conj_b_, wa, wb);
+  const std::int64_t ma = round_div(wa, norm_);
+  const std::int64_t mb = round_div(wb, norm_);
+
+  for (int dq = -1; dq <= 1; ++dq) {
+    for (int dr = -1; dr <= 1; ++dr) {
+      std::int64_t ca = 0;
+      std::int64_t cb = 0;
+      eis_mul(ma + dq, mb + dr, alpha_a_, alpha_b_, ca, cb);
+      const HexCell center{ca, cb};
+      if (hex_distance(center, cell) <= radius_) return center;
+    }
+  }
+  PCN_ASSERT(false && "HexLaTiling: no LA center found near rounded index");
+  return HexCell{};  // unreachable
+}
+
+bool HexLaTiling::same_la(HexCell a, HexCell b) const {
+  return la_center(a) == la_center(b);
+}
+
+std::vector<HexCell> HexLaTiling::la_cells(HexCell center) const {
+  PCN_EXPECT(la_center(center) == center,
+             "HexLaTiling::la_cells: argument is not an LA center");
+  return hex_disk(center, radius_);
+}
+
+}  // namespace pcn::geometry

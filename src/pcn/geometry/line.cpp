@@ -1,0 +1,33 @@
+#include "pcn/geometry/line.hpp"
+
+#include <cstdlib>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::geometry {
+
+std::int64_t line_distance(LineCell a, LineCell b) {
+  return std::llabs(a.x - b.x);
+}
+
+std::vector<LineCell> line_neighbors(LineCell cell) {
+  return {LineCell{cell.x - 1}, LineCell{cell.x + 1}};
+}
+
+std::vector<LineCell> line_ring(LineCell center, int ring) {
+  PCN_EXPECT(ring >= 0, "line_ring: ring index must be >= 0");
+  if (ring == 0) return {center};
+  return {LineCell{center.x - ring}, LineCell{center.x + ring}};
+}
+
+std::vector<LineCell> line_disk(LineCell center, int distance) {
+  PCN_EXPECT(distance >= 0, "line_disk: distance must be >= 0");
+  std::vector<LineCell> cells;
+  cells.reserve(static_cast<std::size_t>(2 * distance + 1));
+  for (int i = 0; i <= distance; ++i) {
+    for (LineCell cell : line_ring(center, i)) cells.push_back(cell);
+  }
+  return cells;
+}
+
+}  // namespace pcn::geometry

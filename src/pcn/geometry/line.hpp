@@ -1,0 +1,35 @@
+// 1-D line geometry (paper §2.1, Figure 1(a)).
+//
+// Cells are unit-length intervals on an unbounded line, indexed by an
+// integer coordinate.  Each cell has exactly two neighbors.  The ring
+// distance between two cells is |x1 - x2|; "ring r_i around c" is the pair
+// of cells {c - i, c + i} (a single cell for i = 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcn::geometry {
+
+/// A cell on the 1-D line.
+struct LineCell {
+  std::int64_t x = 0;
+
+  friend bool operator==(const LineCell&, const LineCell&) = default;
+  friend auto operator<=>(const LineCell&, const LineCell&) = default;
+};
+
+/// Ring distance |a.x - b.x| between two line cells.
+std::int64_t line_distance(LineCell a, LineCell b);
+
+/// The two neighbors {x-1, x+1} of a line cell.
+std::vector<LineCell> line_neighbors(LineCell cell);
+
+/// All cells in ring r_i around `center` (1 cell for i = 0, else 2).
+std::vector<LineCell> line_ring(LineCell center, int ring);
+
+/// All cells within ring-distance d of `center`, ordered by increasing
+/// distance (ring 0, ring 1, ...).  Matches g(d) = 2d + 1 cells.
+std::vector<LineCell> line_disk(LineCell center, int distance);
+
+}  // namespace pcn::geometry

@@ -1,0 +1,26 @@
+#include "pcn/geometry/ring_metrics.hpp"
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::geometry {
+
+std::int64_t ring_size(Dimension dim, int ring) {
+  PCN_EXPECT(ring >= 0, "ring_size: ring index must be >= 0");
+  if (ring == 0) return 1;
+  return dim == Dimension::kOneD ? 2 : std::int64_t{6} * ring;
+}
+
+std::int64_t cells_within(Dimension dim, int distance) {
+  PCN_EXPECT(distance >= 0, "cells_within: distance must be >= 0");
+  const std::int64_t d = distance;
+  return dim == Dimension::kOneD ? 2 * d + 1 : 3 * d * (d + 1) + 1;
+}
+
+std::int64_t cells_in_ring_span(Dimension dim, int first, int last) {
+  PCN_EXPECT(0 <= first && first <= last,
+             "cells_in_ring_span: need 0 <= first <= last");
+  if (first == 0) return cells_within(dim, last);
+  return cells_within(dim, last) - cells_within(dim, first - 1);
+}
+
+}  // namespace pcn::geometry

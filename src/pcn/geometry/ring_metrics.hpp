@@ -1,0 +1,30 @@
+// Ring metrics for the paper's cell geometries (paper §2.1, eq. 1).
+//
+// Cells are grouped into "rings" around a center cell: ring r_i holds all
+// cells at ring-distance i.  The paper's quantities:
+//   * ring_size(i)      — number of cells in ring r_i,
+//   * cells_within(d)   — g(d), cells within distance d (eq. 1):
+//                           1-D:  g(d) = 2d + 1
+//                           2-D:  g(d) = 3d(d+1) + 1
+// These are pure integer functions used by both the analytical cost model
+// and the simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "pcn/common/params.hpp"
+
+namespace pcn::geometry {
+
+/// Number of cells in ring r_i (i >= 0): 1 for i = 0; otherwise 2 (1-D) or
+/// 6i (2-D).
+std::int64_t ring_size(Dimension dim, int ring);
+
+/// g(d): number of cells within ring-distance d of a cell, inclusive
+/// (paper eq. 1).  d >= 0.
+std::int64_t cells_within(Dimension dim, int distance);
+
+/// Number of cells in rings [first, last], inclusive; 0 <= first <= last.
+std::int64_t cells_in_ring_span(Dimension dim, int first, int last);
+
+}  // namespace pcn::geometry

@@ -1,0 +1,38 @@
+#include "pcn/geometry/spiral.hpp"
+
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+#include "pcn/geometry/ring_metrics.hpp"
+
+namespace pcn::geometry {
+
+std::int64_t hex_spiral_index(HexCell cell, HexCell center) {
+  const std::int64_t ring = hex_distance(cell, center);
+  if (ring == 0) return 0;
+  // Cells before this ring: g(ring - 1) = 3(ring-1)ring + 1.
+  const std::int64_t base = 3 * (ring - 1) * ring + 1;
+  const auto cells = hex_ring(center, static_cast<int>(ring));
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    if (cells[k] == cell) return base + static_cast<std::int64_t>(k);
+  }
+  PCN_ASSERT(false && "hex_spiral_index: cell not found on its own ring");
+  return -1;
+}
+
+HexCell hex_from_spiral(std::int64_t index, HexCell center) {
+  PCN_EXPECT(index >= 0, "hex_from_spiral: index must be >= 0");
+  if (index == 0) return center;
+  // Find the ring r with 3(r-1)r + 1 <= index < 3r(r+1) + 1.
+  const auto approx = static_cast<std::int64_t>(
+      (std::sqrt(9.0 + 12.0 * static_cast<double>(index - 1)) - 3.0) / 6.0);
+  std::int64_t ring = approx > 1 ? approx - 1 : 1;
+  while (3 * ring * (ring + 1) + 1 <= index) ++ring;
+  while (ring > 1 && 3 * (ring - 1) * ring + 1 > index) --ring;
+  const std::int64_t offset = index - (3 * (ring - 1) * ring + 1);
+  PCN_ASSERT(offset >= 0 && offset < 6 * ring);
+  const auto cells = hex_ring(center, static_cast<int>(ring));
+  return cells[static_cast<std::size_t>(offset)];
+}
+
+}  // namespace pcn::geometry

@@ -1,0 +1,23 @@
+// Spiral cell indexing: a bijection between hex cells and non-negative
+// integers, ordered ring by ring (center = 0, ring 1 = 1..6, ring 2 =
+// 7..18, ...).  Gives every cell a compact scalar id whose magnitude grows
+// with distance from the origin — handy for database keys, varint-friendly
+// wire ids, and dense per-cell arrays over a disk.
+//
+// The enumeration order within a ring matches geometry::hex_ring, so
+// `hex_from_spiral(i)` for i in [0, g(d)) enumerates exactly hex_disk(d).
+#pragma once
+
+#include <cstdint>
+
+#include "pcn/geometry/hex.hpp"
+
+namespace pcn::geometry {
+
+/// Spiral index of `cell` relative to `center` (0 for the center itself).
+std::int64_t hex_spiral_index(HexCell cell, HexCell center = HexCell{});
+
+/// Inverse: the cell at spiral index `index` around `center`; index >= 0.
+HexCell hex_from_spiral(std::int64_t index, HexCell center = HexCell{});
+
+}  // namespace pcn::geometry

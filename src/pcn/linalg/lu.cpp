@@ -1,0 +1,84 @@
+#include "pcn/linalg/lu.hpp"
+
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::linalg {
+
+std::vector<double> lu_solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  PCN_EXPECT(a.cols() == n, "lu_solve: matrix must be square");
+  PCN_EXPECT(b.size() == n, "lu_solve: rhs size mismatch");
+
+  // In-place Doolittle LU with partial pivoting, pivoting b alongside.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::fabs(a.at(col, col));
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double mag = std::fabs(a.at(row, col));
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    PCN_EXPECT(best > 0.0, "lu_solve: matrix is singular");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a.at(col, j), a.at(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a.at(row, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      a.at(row, col) = 0.0;
+      for (std::size_t j = col + 1; j < n; ++j) {
+        a.at(row, j) -= factor * a.at(col, j);
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a.at(i, j) * x[j];
+    x[i] = sum / a.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> stationary_distribution(const Matrix& transition) {
+  const std::size_t n = transition.rows();
+  PCN_EXPECT(transition.cols() == n,
+             "stationary_distribution: matrix must be square");
+  PCN_EXPECT(n > 0, "stationary_distribution: empty chain");
+
+  // Build A = Pᵀ − I with diagonals inferred so each row of P sums to 1,
+  // then replace the last equation with Σπ = 1.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off_diagonal = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double p = transition.at(i, j);
+      PCN_EXPECT(p >= 0.0,
+                 "stationary_distribution: negative transition probability");
+      off_diagonal += p;
+      a.at(j, i) += p;
+    }
+    PCN_EXPECT(off_diagonal <= 1.0 + 1e-12,
+               "stationary_distribution: row mass exceeds 1");
+    a.at(i, i) += (1.0 - off_diagonal) - 1.0;  // self-loop − identity
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) a.at(n - 1, j) = 1.0;
+  b[n - 1] = 1.0;
+
+  std::vector<double> pi = lu_solve(std::move(a), std::move(b));
+  for (double& v : pi) {
+    if (v < 0.0 && v > -1e-12) v = 0.0;  // clamp LU round-off
+  }
+  return pi;
+}
+
+}  // namespace pcn::linalg

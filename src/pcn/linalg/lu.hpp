@@ -1,0 +1,20 @@
+// LU decomposition with partial pivoting and linear solves.
+#pragma once
+
+#include <vector>
+
+#include "pcn/linalg/matrix.hpp"
+
+namespace pcn::linalg {
+
+/// Solves A x = b by LU with partial pivoting.  A must be square and
+/// nonsingular (throws InvalidArgument otherwise).
+std::vector<double> lu_solve(Matrix a, std::vector<double> b);
+
+/// Solves the stationary distribution πP = π, Σπ = 1 of a row-stochastic
+/// matrix P by replacing one balance equation with the normalization row.
+/// P must be square; rows need not sum exactly to 1 (self-loop mass is
+/// inferred), but off-diagonal entries must be >= 0.
+std::vector<double> stationary_distribution(const Matrix& transition);
+
+}  // namespace pcn::linalg

@@ -1,0 +1,59 @@
+#include "pcn/linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix eye(n, n);
+  for (std::size_t i = 0; i < n; ++i) eye.at(i, i) = 1.0;
+  return eye;
+}
+
+double& Matrix::at(std::size_t row, std::size_t col) {
+  PCN_EXPECT(row < rows_ && col < cols_, "Matrix::at: index out of range");
+  return data_[row * cols_ + col];
+}
+
+double Matrix::at(std::size_t row, std::size_t col) const {
+  PCN_EXPECT(row < rows_ && col < cols_, "Matrix::at: index out of range");
+  return data_[row * cols_ + col];
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  PCN_EXPECT(cols_ == rhs.rows_, "Matrix::multiply: dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double lhs_ik = data_[i * cols_ + k];
+      if (lhs_ik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) += lhs_ik * rhs.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.at(j, i) = data_[i * cols_ + j];
+    }
+  }
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+}  // namespace pcn::linalg

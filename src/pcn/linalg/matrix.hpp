@@ -1,0 +1,46 @@
+// Minimal dense-matrix type used by the global-balance steady-state solver.
+//
+// The Markov chains in this library are small (state count = threshold
+// distance + 1, rarely above a few hundred), so a straightforward row-major
+// dense matrix with an O(n³) LU solve is both sufficient and an independent
+// cross-check for the O(n) specialized solvers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pcn::linalg {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t row, std::size_t col);
+  double at(std::size_t row, std::size_t col) const;
+
+  /// Matrix product; dimensions must agree.
+  Matrix multiply(const Matrix& rhs) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Max-absolute-entry norm.
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace pcn::linalg

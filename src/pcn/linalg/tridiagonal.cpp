@@ -1,0 +1,40 @@
+#include "pcn/linalg/tridiagonal.hpp"
+
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::linalg {
+
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      const std::vector<double>& rhs) {
+  const std::size_t n = diag.size();
+  PCN_EXPECT(n > 0, "solve_tridiagonal: empty system");
+  PCN_EXPECT(lower.size() == n - 1 && upper.size() == n - 1 && rhs.size() == n,
+             "solve_tridiagonal: band size mismatch");
+
+  std::vector<double> c_prime(n - 1, 0.0);
+  std::vector<double> d_prime(n, 0.0);
+
+  PCN_EXPECT(diag[0] != 0.0, "solve_tridiagonal: zero pivot");
+  if (n > 1) c_prime[0] = upper[0] / diag[0];
+  d_prime[0] = rhs[0] / diag[0];
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const double denom = diag[i] - lower[i - 1] * c_prime[i - 1];
+    PCN_EXPECT(std::fabs(denom) > 0.0, "solve_tridiagonal: zero pivot");
+    if (i < n - 1) c_prime[i] = upper[i] / denom;
+    d_prime[i] = (rhs[i] - lower[i - 1] * d_prime[i - 1]) / denom;
+  }
+
+  std::vector<double> x(n, 0.0);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+  }
+  return x;
+}
+
+}  // namespace pcn::linalg

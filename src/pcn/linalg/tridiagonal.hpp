@@ -1,0 +1,23 @@
+// Thomas algorithm for tridiagonal linear systems.
+//
+// The distance Markov chain is a birth-death chain plus a reset column, so
+// its balance system is "tridiagonal + one dense row".  The tridiagonal
+// solver handles the pure birth-death part and is used in tests as a third
+// independent check on the steady-state solvers.
+#pragma once
+
+#include <vector>
+
+namespace pcn::linalg {
+
+/// Solves the n x n tridiagonal system with sub-diagonal `lower` (n-1),
+/// diagonal `diag` (n), super-diagonal `upper` (n-1) and right-hand side
+/// `rhs` (n) by the Thomas algorithm.  Throws InvalidArgument on size
+/// mismatch or a zero pivot (the algorithm does not pivot; the chains we
+/// solve are diagonally dominant).
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      const std::vector<double>& rhs);
+
+}  // namespace pcn::linalg

@@ -1,0 +1,67 @@
+#include "pcn/markov/chain_spec.hpp"
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::markov {
+
+ChainSpec::ChainSpec(ChainKind kind, MobilityProfile profile)
+    : kind_(kind), profile_(profile) {
+  profile_.validate();
+}
+
+ChainSpec ChainSpec::one_dim(MobilityProfile profile) {
+  return ChainSpec(ChainKind::kOneDimExact, profile);
+}
+
+ChainSpec ChainSpec::two_dim_exact(MobilityProfile profile) {
+  return ChainSpec(ChainKind::kTwoDimExact, profile);
+}
+
+ChainSpec ChainSpec::two_dim_approx(MobilityProfile profile) {
+  return ChainSpec(ChainKind::kTwoDimApprox, profile);
+}
+
+ChainSpec ChainSpec::exact(Dimension dim, MobilityProfile profile) {
+  return dim == Dimension::kOneD ? one_dim(profile) : two_dim_exact(profile);
+}
+
+Dimension ChainSpec::dimension() const {
+  return kind_ == ChainKind::kOneDimExact ? Dimension::kOneD
+                                          : Dimension::kTwoD;
+}
+
+double ChainSpec::up(int state) const {
+  PCN_EXPECT(state >= 0, "ChainSpec::up: state must be >= 0");
+  const double q = profile_.move_prob;
+  if (state == 0) {
+    // All moves from the center cell are outward: a_{0,1} = q (eq. 3 / 41).
+    return q;
+  }
+  switch (kind_) {
+    case ChainKind::kOneDimExact:
+      return q / 2.0;
+    case ChainKind::kTwoDimExact:
+      return q * (1.0 / 3.0 + 1.0 / (6.0 * state));
+    case ChainKind::kTwoDimApprox:
+      return q / 3.0;
+  }
+  PCN_ASSERT(false);
+  return 0.0;
+}
+
+double ChainSpec::down(int state) const {
+  PCN_EXPECT(state >= 1, "ChainSpec::down: state must be >= 1");
+  const double q = profile_.move_prob;
+  switch (kind_) {
+    case ChainKind::kOneDimExact:
+      return q / 2.0;
+    case ChainKind::kTwoDimExact:
+      return q * (1.0 / 3.0 - 1.0 / (6.0 * state));
+    case ChainKind::kTwoDimApprox:
+      return q / 3.0;
+  }
+  PCN_ASSERT(false);
+  return 0.0;
+}
+
+}  // namespace pcn::markov

@@ -1,0 +1,69 @@
+// Transition specifications for the distance Markov chain (paper §3-§4).
+//
+// The chain's state i ∈ {0, .., d} is the ring distance between the
+// terminal and its center cell (the cell of its last location update /
+// located call).  Per slot, three competing events:
+//   * move outward:  probability up(i)   (a_{i,i+1}),
+//   * move inward:   probability down(i) (b_{i,i-1}),
+//   * call arrival:  probability call()  (c) — resets the state to 0,
+// with the remainder a self-loop.  Crossing out of state d (an outward move
+// at distance d) triggers a location update and also resets to 0.
+//
+// Three concrete specs from the paper:
+//   * 1-D exact (eqs. 3-4):        up(0) = q, up(i) = down(i) = q/2
+//   * 2-D exact (eqs. 41-42):      up(0) = q, up(i) = q(1/3 + 1/(6i)),
+//                                  down(i) = q(1/3 − 1/(6i))
+//   * 2-D approximate (eqs. 43-44): up(0) = q, up(i) = down(i) = q/3
+//
+// (The paper's published Table 1 computed the d = 0 update cost with
+// a_{0,1} = q/2 although eq. (3) prints a_{0,1} = q; that quirk is a cost-
+// model option — see costs/cost_model.hpp — and does not affect the chain.)
+#pragma once
+
+#include "pcn/common/params.hpp"
+
+namespace pcn::markov {
+
+/// Which steady-state model to use for a given geometry.
+enum class ChainKind {
+  kOneDimExact,    ///< 1-D chain, eqs. (3)-(4)
+  kTwoDimExact,    ///< 2-D chain, state-dependent rates, eqs. (41)-(42)
+  kTwoDimApprox,   ///< 2-D chain with rates truncated to q/3, eqs. (43)-(44)
+};
+
+/// A birth-death-with-reset chain specification.  Value type; cheap to copy.
+class ChainSpec {
+ public:
+  /// Builds the spec for `kind` with movement probability q and call
+  /// probability c (validated).
+  ChainSpec(ChainKind kind, MobilityProfile profile);
+
+  /// Convenience factories.
+  static ChainSpec one_dim(MobilityProfile profile);
+  static ChainSpec two_dim_exact(MobilityProfile profile);
+  static ChainSpec two_dim_approx(MobilityProfile profile);
+
+  /// Exact chain for a geometry (1-D exact or 2-D exact).
+  static ChainSpec exact(Dimension dim, MobilityProfile profile);
+
+  ChainKind kind() const { return kind_; }
+  MobilityProfile profile() const { return profile_; }
+
+  /// Geometry this spec models (both 2-D kinds → kTwoD).
+  Dimension dimension() const;
+
+  /// a_{i,i+1}: probability of moving one ring outward from state i >= 0.
+  double up(int state) const;
+
+  /// b_{i,i-1}: probability of moving one ring inward from state i >= 1.
+  double down(int state) const;
+
+  /// c: per-slot call-arrival probability.
+  double call() const { return profile_.call_prob; }
+
+ private:
+  ChainKind kind_;
+  MobilityProfile profile_;
+};
+
+}  // namespace pcn::markov

@@ -1,0 +1,57 @@
+// Closed-form steady-state solutions (paper §3.2 and §4.2).
+//
+// For the 1-D chain and the approximate 2-D chain the interior balance
+// equations form the linear recurrence p_{i+1} = β p_i − p_{i−1} with
+//   β = 2 + 2c/q   (1-D, paper eq. 10)
+//   β = 2 + 3c/q   (2-D approximate, paper eq. 50)
+// whose characteristic roots e1 ≥ e2 satisfy e1·e2 = 1 (paper eqs. 16-17).
+// The paper's solution (eqs. 23-32 resp. 45-49, plus the printed boundary
+// cases for d ≤ 2) simplifies algebraically to the compact form
+//
+//   p_{i,d} ∝ e1^{d+1−i} − e2^{d+1−i}          for 1 ≤ i ≤ d,
+//   p_{0,d} ∝ (e1^{d+1} − e2^{d+1}) / w        with w = 2 (1-D), 3 (2-D),
+//
+// which we implement here.  Unit tests verify (a) exact agreement with the
+// recurrence and dense-LU solvers, and (b) exact agreement with every
+// boundary-case formula the paper prints (eqs. 33-38 and 55-60).
+//
+// All powers are evaluated pre-scaled by e1^{d+1}, so every intermediate is
+// in [0, 1] and the evaluation never overflows, for any d and any β.
+//
+// Requires c > 0 (for c = 0 the roots coincide; use the recurrence solver).
+#pragma once
+
+#include <vector>
+
+#include "pcn/common/params.hpp"
+
+namespace pcn::markov {
+
+/// Closed-form steady state of the 1-D chain: d+1 probabilities.
+std::vector<double> closed_form_1d(MobilityProfile profile, int threshold);
+
+/// Closed-form p_{d,d} of the 1-D chain in O(1) (drives the update cost).
+double closed_form_1d_boundary_probability(MobilityProfile profile,
+                                           int threshold);
+
+/// Closed-form steady state of the *approximate* 2-D chain (paper §4.2).
+std::vector<double> closed_form_2d_approx(MobilityProfile profile,
+                                          int threshold);
+
+/// Closed-form p_{d,d} of the approximate 2-D chain in O(1).
+double closed_form_2d_approx_boundary_probability(MobilityProfile profile,
+                                                  int threshold);
+
+namespace detail {
+
+/// Shared evaluator: β and the ring-0 weight divisor w fully determine the
+/// distribution.
+std::vector<double> closed_form_distribution(double beta, double center_weight,
+                                             int threshold);
+
+/// Shared O(1) evaluator for p_{d,d}.
+double closed_form_boundary(double beta, double center_weight, int threshold);
+
+}  // namespace detail
+
+}  // namespace pcn::markov

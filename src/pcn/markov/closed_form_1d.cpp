@@ -1,0 +1,96 @@
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+#include "pcn/markov/closed_form.hpp"
+
+namespace pcn::markov {
+namespace detail {
+namespace {
+
+/// Characteristic roots of x² − βx + 1 = 0 for β > 2; e1 >= 1 >= e2 = 1/e1.
+void roots(double beta, double& e1, double& e2) {
+  PCN_ASSERT(beta > 2.0);
+  const double disc = std::sqrt(beta * beta - 4.0);
+  e1 = (beta + disc) / 2.0;
+  e2 = 1.0 / e1;  // exact product of roots; avoids cancellation in β − disc
+}
+
+double validate_and_beta(double q, double c, double coeff, int threshold) {
+  PCN_EXPECT(threshold >= 0, "closed form: threshold must be >= 0");
+  PCN_EXPECT(c > 0.0,
+             "closed form: requires call_prob > 0 (repeated roots at c = 0; "
+             "use solve_steady_state instead)");
+  return 2.0 + coeff * c / q;
+}
+
+}  // namespace
+
+std::vector<double> closed_form_distribution(double beta, double center_weight,
+                                             int threshold) {
+  const int d = threshold;
+  std::vector<double> p(static_cast<std::size_t>(d) + 1, 0.0);
+  if (d == 0) {
+    p[0] = 1.0;
+    return p;
+  }
+  double e1 = 0.0;
+  double e2 = 0.0;
+  roots(beta, e1, e2);
+
+  // t_k = (e1^k − e2^k) / e1^{d+1} = e1^{k−d−1} − e2^{k+d+1}; both powers
+  // have non-positive exponents for k <= d+1, so t_k ∈ [0, 1].
+  auto t = [&](int k) {
+    return std::pow(e1, k - (d + 1)) - std::pow(e2, k + (d + 1));
+  };
+
+  p[0] = t(d + 1) / center_weight;
+  for (int i = 1; i <= d; ++i) {
+    p[static_cast<std::size_t>(i)] = t(d + 1 - i);
+  }
+  double total = 0.0;
+  for (double v : p) total += v;
+  PCN_ASSERT(total > 0.0 && std::isfinite(total));
+  for (double& v : p) v /= total;
+  return p;
+}
+
+double closed_form_boundary(double beta, double center_weight, int threshold) {
+  const int d = threshold;
+  if (d == 0) return 1.0;
+  double e1 = 0.0;
+  double e2 = 0.0;
+  roots(beta, e1, e2);
+
+  // Z = t_{d+1}/w + Σ_{k=1..d} t_k with t_k = e1^{k−d−1} − e2^{k+d+1}:
+  //   Σ e1^{k−d−1} = (1 − e1^{−d}) / (e1 − 1)
+  //   Σ e2^{k+d+1} = e2^{d+2} (1 − e2^d) / (1 − e2)
+  // and p_{d,d} = t_1 / Z.  All terms are bounded by d, no overflow.
+  const double t_top =
+      1.0 - std::pow(e2, 2 * (d + 1));  // t_{d+1} = 1 − e2^{2(d+1)}
+  const double sum_pos = (1.0 - std::pow(e1, -d)) / (e1 - 1.0);
+  const double sum_neg =
+      std::pow(e2, d + 2) * (1.0 - std::pow(e2, d)) / (1.0 - e2);
+  const double z = t_top / center_weight + (sum_pos - sum_neg);
+  const double t1 = std::pow(e1, -d) - std::pow(e2, d + 2);
+  PCN_ASSERT(z > 0.0);
+  return t1 / z;
+}
+
+}  // namespace detail
+
+std::vector<double> closed_form_1d(MobilityProfile profile, int threshold) {
+  profile.validate();
+  const double beta = detail::validate_and_beta(
+      profile.move_prob, profile.call_prob, 2.0, threshold);
+  return detail::closed_form_distribution(beta, 2.0, threshold);
+}
+
+double closed_form_1d_boundary_probability(MobilityProfile profile,
+                                           int threshold) {
+  profile.validate();
+  const double beta = detail::validate_and_beta(
+      profile.move_prob, profile.call_prob, 2.0, threshold);
+  return detail::closed_form_boundary(beta, 2.0, threshold);
+}
+
+}  // namespace pcn::markov

@@ -1,0 +1,30 @@
+#include "pcn/common/error.hpp"
+#include "pcn/markov/closed_form.hpp"
+
+namespace pcn::markov {
+namespace {
+
+double beta_2d(MobilityProfile profile, int threshold) {
+  profile.validate();
+  PCN_EXPECT(threshold >= 0, "closed form: threshold must be >= 0");
+  PCN_EXPECT(profile.call_prob > 0.0,
+             "closed form: requires call_prob > 0 (repeated roots at c = 0; "
+             "use solve_steady_state instead)");
+  return 2.0 + 3.0 * profile.call_prob / profile.move_prob;
+}
+
+}  // namespace
+
+std::vector<double> closed_form_2d_approx(MobilityProfile profile,
+                                          int threshold) {
+  return detail::closed_form_distribution(beta_2d(profile, threshold), 3.0,
+                                          threshold);
+}
+
+double closed_form_2d_approx_boundary_probability(MobilityProfile profile,
+                                                  int threshold) {
+  return detail::closed_form_boundary(beta_2d(profile, threshold), 3.0,
+                                      threshold);
+}
+
+}  // namespace pcn::markov

@@ -1,0 +1,88 @@
+#include "pcn/markov/renewal.hpp"
+
+#include "pcn/common/error.hpp"
+#include "pcn/linalg/tridiagonal.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pcn::markov {
+
+RenewalAnalysis analyze_renewal(const ChainSpec& spec, int threshold) {
+  PCN_EXPECT(threshold >= 0, "analyze_renewal: threshold must be >= 0");
+  const auto n = static_cast<std::size_t>(threshold) + 1;
+  const double c = spec.call();
+
+  // Row i of the first-step system (call absorbs from every state; the
+  // outward move from state d absorbs as an update):
+  //   (up(i) + down(i) + c)·x_i − up(i)·x_{i+1} − down(i)·x_{i-1} = rhs_i
+  std::vector<double> lower(n - 1, 0.0);
+  std::vector<double> diag(n, 0.0);
+  std::vector<double> upper(n - 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int state = static_cast<int>(i);
+    const double down = state >= 1 ? spec.down(state) : 0.0;
+    diag[i] = spec.up(state) + down + c;
+    if (i + 1 < n) upper[i] = -spec.up(state);
+    if (i >= 1) lower[i - 1] = -spec.down(state);
+  }
+
+  RenewalAnalysis analysis;
+  analysis.expected_cycle_length =
+      linalg::solve_tridiagonal(lower, diag, upper,
+                                std::vector<double>(n, 1.0));
+
+  std::vector<double> update_rhs(n, 0.0);
+  update_rhs[n - 1] = spec.up(threshold);
+  analysis.update_probability =
+      linalg::solve_tridiagonal(lower, diag, upper, update_rhs);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    PCN_ASSERT(analysis.expected_cycle_length[i] > 0.0);
+    PCN_ASSERT(analysis.update_probability[i] >= -1e-12 &&
+               analysis.update_probability[i] <= 1.0 + 1e-12);
+  }
+  return analysis;
+}
+
+std::vector<double> cycle_length_distribution(const ChainSpec& spec,
+                                              int threshold,
+                                              std::int64_t horizon) {
+  PCN_EXPECT(threshold >= 0,
+             "cycle_length_distribution: threshold must be >= 0");
+  PCN_EXPECT(horizon >= 1, "cycle_length_distribution: horizon must be >= 1");
+  const auto n = static_cast<std::size_t>(threshold) + 1;
+  const double c = spec.call();
+
+  // Transient mass vector over {0..d}; each slot some mass is absorbed
+  // (call from any state, update from state d).  PMF[k] = mass absorbed
+  // in slot k.
+  std::vector<double> mass(n, 0.0);
+  mass[0] = 1.0;
+  std::vector<double> pmf(static_cast<std::size_t>(horizon) + 1, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (std::int64_t k = 1; k <= horizon; ++k) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double absorbed = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int state = static_cast<int>(i);
+      const double m = mass[i];
+      if (m == 0.0) continue;
+      const double up = spec.up(state);
+      const double down = state >= 1 ? spec.down(state) : 0.0;
+      absorbed += m * c;  // call ends the cycle from every state
+      if (i + 1 < n) {
+        next[i + 1] += m * up;
+      } else {
+        absorbed += m * up;  // outward move past d: update ends the cycle
+      }
+      if (state >= 1) next[i - 1] += m * down;
+      next[i] += m * (1.0 - up - down - c);
+    }
+    pmf[static_cast<std::size_t>(k)] = absorbed;
+    mass.swap(next);
+  }
+  return pmf;
+}
+
+}  // namespace pcn::markov

@@ -1,0 +1,66 @@
+// Renewal analysis of the distance chain — an independent derivation of
+// the update rate that cross-checks the steady-state route the paper takes.
+//
+// Between two consecutive center-cell resets the terminal performs one
+// "cycle": it starts at ring distance 0 and the cycle ends either with a
+// location update (outward move past d) or with an incoming call (paging
+// locates it).  First-step analysis over the transient states {0..d}
+// yields, per starting state i:
+//   * expected_cycle_length h_i — expected slots until the cycle ends,
+//   * update_probability  u_i  — probability the cycle ends in an update.
+// Both satisfy tridiagonal linear systems (solved with the linalg Thomas
+// solver).
+//
+// Renewal-reward identities (verified by tests against the steady-state
+// solver):
+//   update rate  = u_0 / h_0        = p_{d,d} · a_{d,d+1}
+//   call rate    = (1 − u_0) / h_0  = c
+// so  C_u = U · u_0 / h_0  reproduces eq. (61) without ever computing the
+// stationary distribution.
+#pragma once
+
+#include <vector>
+
+#include "pcn/markov/chain_spec.hpp"
+
+namespace pcn::markov {
+
+struct RenewalAnalysis {
+  /// h_i: expected remaining cycle length from ring distance i (slots).
+  std::vector<double> expected_cycle_length;
+  /// u_i: probability the cycle ends with a location update from state i.
+  std::vector<double> update_probability;
+
+  /// Expected full cycle length (start of cycle = state 0).
+  double cycle_length() const { return expected_cycle_length.front(); }
+
+  /// Probability a cycle ends in an update rather than a call.
+  double update_fraction() const { return update_probability.front(); }
+
+  /// Long-run location updates per slot, u_0 / h_0.
+  double update_rate() const { return update_fraction() / cycle_length(); }
+
+  /// Long-run cycle-ending calls per slot, (1 − u_0) / h_0.  Equals the
+  /// call probability c (calls end cycles regardless of state).
+  double call_rate() const {
+    return (1.0 - update_fraction()) / cycle_length();
+  }
+};
+
+/// Solves both first-step systems for threshold d >= 0.
+/// Requires call_prob > 0 or d >= 1 (at d = 0 with c = 0 every slot a move
+/// happens with probability q and cycles still end; c = 0 with d >= 1 is
+/// fine too — cycles then always end in updates).
+RenewalAnalysis analyze_renewal(const ChainSpec& spec, int threshold);
+
+/// PMF of the cycle length (the inter-reset time): entry k is the
+/// probability that a cycle started at state 0 ends exactly at slot k
+/// (k >= 1), truncated at `horizon` slots.  Computed by evolving the
+/// transient (absorbing) chain; the tail mass beyond the horizon is
+/// whatever is missing from the sum.  Its mean converges to
+/// RenewalAnalysis::cycle_length() as horizon grows.
+std::vector<double> cycle_length_distribution(const ChainSpec& spec,
+                                              int threshold,
+                                              std::int64_t horizon);
+
+}  // namespace pcn::markov

@@ -1,0 +1,91 @@
+#include "pcn/markov/steady_state.hpp"
+
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+#include "pcn/linalg/lu.hpp"
+
+namespace pcn::markov {
+
+std::vector<double> solve_steady_state(const ChainSpec& spec, int threshold) {
+  PCN_EXPECT(threshold >= 0, "solve_steady_state: threshold must be >= 0");
+  const int d = threshold;
+  const double c = spec.call();
+
+  std::vector<double> u(static_cast<std::size_t>(d) + 1, 0.0);
+  u[static_cast<std::size_t>(d)] = 1.0;
+  if (d == 0) return u;
+
+  // Rescale the partially filled tail whenever entries grow huge; only
+  // ratios matter until the final normalization.
+  constexpr double kRescaleAbove = 1e200;
+  auto rescale = [&u, d](int lowest_filled, double by) {
+    for (int k = lowest_filled; k <= d; ++k) {
+      u[static_cast<std::size_t>(k)] /= by;
+    }
+  };
+
+  // Boundary balance at state d (paper eq. 6):
+  //   p_{d-1} a_{d-1,d} = p_d (a_{d,d+1} + b_{d,d-1} + c)
+  u[static_cast<std::size_t>(d) - 1] =
+      u[static_cast<std::size_t>(d)] * (spec.up(d) + spec.down(d) + c) /
+      spec.up(d - 1);
+
+  // Interior balance (paper eq. 7), walked downward:
+  //   p_{i-1} a_{i-1,i} = p_i (a_{i,i+1} + b_{i,i-1} + c) − p_{i+1} b_{i+1,i}
+  for (int i = d - 1; i >= 1; --i) {
+    const double outflow = u[static_cast<std::size_t>(i)] *
+                           (spec.up(i) + spec.down(i) + c);
+    const double inflow_from_above =
+        u[static_cast<std::size_t>(i) + 1] * spec.down(i + 1);
+    double value = (outflow - inflow_from_above) / spec.up(i - 1);
+    // The true solution is strictly positive; tiny negatives can only be
+    // floating-point cancellation.
+    if (value < 0.0) value = 0.0;
+    u[static_cast<std::size_t>(i) - 1] = value;
+    if (value > kRescaleAbove) rescale(i - 1, value);
+  }
+
+  double total = 0.0;
+  for (double v : u) total += v;
+  PCN_ASSERT(total > 0.0 && std::isfinite(total));
+  for (double& v : u) v /= total;
+  return u;
+}
+
+linalg::Matrix transition_matrix(const ChainSpec& spec, int threshold) {
+  PCN_EXPECT(threshold >= 0, "transition_matrix: threshold must be >= 0");
+  const auto d = static_cast<std::size_t>(threshold);
+  const auto n = d + 1;
+  linalg::Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int state = static_cast<int>(i);
+    double off_diag = 0.0;
+    auto add = [&](std::size_t j, double prob) {
+      if (j == i) return;  // self-loops are folded into the diagonal below
+      p.at(i, j) += prob;
+      off_diag += prob;
+    };
+    if (i < d) {
+      add(i + 1, spec.up(state));  // outward move within the residing area
+    } else if (d > 0) {
+      add(0, spec.up(state));  // outward move past d: location update
+    }
+    if (state >= 1) {
+      add(i - 1, spec.down(state));  // inward move
+      add(0, spec.call());           // call arrival resets the center cell
+    }
+    // At state 0 a call leaves the state unchanged; at state d == 0 an
+    // outward move updates and returns to 0 — both are self-loops.
+    p.at(i, i) = 1.0 - off_diag;
+    PCN_ASSERT(p.at(i, i) >= -1e-12);
+  }
+  return p;
+}
+
+std::vector<double> solve_steady_state_dense(const ChainSpec& spec,
+                                             int threshold) {
+  return linalg::stationary_distribution(transition_matrix(spec, threshold));
+}
+
+}  // namespace pcn::markov

@@ -1,0 +1,36 @@
+// Steady-state solvers for the distance Markov chain.
+//
+// `solve_steady_state` is the library's ground-truth solver: the chain is a
+// birth-death chain on {0..d} whose only extra structure is that every
+// state also jumps to 0 (call arrival) and state d additionally jumps to 0
+// on an outward move (location update).  Setting p̃_d = 1 and walking the
+// balance equations (paper eqs. 5-7) downward yields all unnormalized
+// probabilities in O(d); on-the-fly rescaling keeps the walk inside the
+// floating-point range for any parameters (the ratios grow like
+// ((β+√(β²−4))/2)^d with β = 2 + 2c/q).
+//
+// `solve_steady_state_dense` solves the full global-balance linear system
+// with the dense LU substrate — O(d³), used as an independent cross-check.
+#pragma once
+
+#include <vector>
+
+#include "pcn/linalg/matrix.hpp"
+#include "pcn/markov/chain_spec.hpp"
+
+namespace pcn::markov {
+
+/// Steady-state distribution p_{0,d} .. p_{d,d} of the chain `spec` with
+/// location-update threshold `threshold` (= d >= 0).  The returned vector
+/// has d+1 entries summing to 1.
+std::vector<double> solve_steady_state(const ChainSpec& spec, int threshold);
+
+/// Same distribution via a dense global-balance LU solve (cross-check).
+std::vector<double> solve_steady_state_dense(const ChainSpec& spec,
+                                             int threshold);
+
+/// The (d+1)x(d+1) one-slot transition matrix of the chain, row-stochastic
+/// (self-loops on the diagonal).  Row i holds P(i -> j).
+linalg::Matrix transition_matrix(const ChainSpec& spec, int threshold);
+
+}  // namespace pcn::markov

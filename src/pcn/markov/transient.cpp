@@ -1,0 +1,95 @@
+#include "pcn/markov/transient.hpp"
+
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+#include "pcn/markov/steady_state.hpp"
+
+namespace pcn::markov {
+namespace {
+
+/// One slot of evolution: out = in · P, exploiting the chain's sparsity
+/// (tridiagonal plus the reset column) for O(d) per step.
+std::vector<double> step_once(const ChainSpec& spec, int threshold,
+                              const std::vector<double>& in) {
+  const auto n = static_cast<std::size_t>(threshold) + 1;
+  const double c = spec.call();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int state = static_cast<int>(i);
+    const double mass = in[i];
+    if (mass == 0.0) continue;
+    const double up = spec.up(state);
+    const double down = state >= 1 ? spec.down(state) : 0.0;
+    const double call_out = state >= 1 ? c : 0.0;  // call at 0 is a self-loop
+    if (i + 1 < n) {
+      out[i + 1] += mass * up;
+    } else if (threshold > 0) {
+      out[0] += mass * up;  // update resets to the center
+    }
+    if (state >= 1) out[i - 1] += mass * down;
+    out[0] += mass * call_out;
+    double self = 1.0 - up - down - call_out;
+    if (i + 1 == n && threshold == 0) self += up;  // d = 0: update = stay
+    out[i] += mass * self;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> evolve_distribution(const ChainSpec& spec, int threshold,
+                                        std::vector<double> initial,
+                                        std::int64_t steps) {
+  PCN_EXPECT(threshold >= 0, "evolve_distribution: threshold must be >= 0");
+  PCN_EXPECT(steps >= 0, "evolve_distribution: steps must be >= 0");
+  PCN_EXPECT(initial.size() == static_cast<std::size_t>(threshold) + 1,
+             "evolve_distribution: initial distribution size mismatch");
+  double total = 0.0;
+  for (double p : initial) {
+    PCN_EXPECT(p >= 0.0, "evolve_distribution: negative probability");
+    total += p;
+  }
+  PCN_EXPECT(std::fabs(total - 1.0) < 1e-9,
+             "evolve_distribution: initial distribution must sum to 1");
+
+  for (std::int64_t k = 0; k < steps; ++k) {
+    initial = step_once(spec, threshold, initial);
+  }
+  return initial;
+}
+
+std::vector<double> distribution_after(const ChainSpec& spec, int threshold,
+                                       std::int64_t steps) {
+  std::vector<double> at_center(static_cast<std::size_t>(threshold) + 1,
+                                0.0);
+  at_center[0] = 1.0;
+  return evolve_distribution(spec, threshold, std::move(at_center), steps);
+}
+
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  PCN_EXPECT(a.size() == b.size(), "total_variation: size mismatch");
+  double distance = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    distance += std::fabs(a[i] - b[i]);
+  }
+  return distance / 2.0;
+}
+
+std::int64_t mixing_time(const ChainSpec& spec, int threshold, double epsilon,
+                         std::int64_t max_steps) {
+  PCN_EXPECT(epsilon > 0.0, "mixing_time: epsilon must be > 0");
+  PCN_EXPECT(max_steps >= 0, "mixing_time: max_steps must be >= 0");
+  const std::vector<double> stationary =
+      solve_steady_state(spec, threshold);
+  std::vector<double> current(static_cast<std::size_t>(threshold) + 1, 0.0);
+  current[0] = 1.0;
+  for (std::int64_t k = 0; k <= max_steps; ++k) {
+    if (total_variation(current, stationary) < epsilon) return k;
+    current = step_once(spec, threshold, current);
+  }
+  return max_steps;
+}
+
+}  // namespace pcn::markov

@@ -1,0 +1,38 @@
+// Transient (k-step) behaviour of the distance chain.
+//
+// The paper works purely in steady state; these helpers quantify how fast
+// a terminal's ring-distance distribution actually reaches it — relevant
+// for the adaptive controller (how soon after a re-plan the cost model is
+// trustworthy) and used in tests to verify that the k-step distribution
+// converges to the stationary solution.
+#pragma once
+
+#include <vector>
+
+#include "pcn/markov/chain_spec.hpp"
+
+namespace pcn::markov {
+
+/// Distribution over ring distance after `steps` slots, starting from the
+/// given distribution (d+1 entries, summing to ~1).
+std::vector<double> evolve_distribution(const ChainSpec& spec, int threshold,
+                                        std::vector<double> initial,
+                                        std::int64_t steps);
+
+/// Distribution after `steps` slots starting at the center (state 0) —
+/// i.e. immediately after a location update or a located call.
+std::vector<double> distribution_after(const ChainSpec& spec, int threshold,
+                                       std::int64_t steps);
+
+/// Smallest number of slots k such that the total-variation distance
+/// between the k-step distribution (from state 0) and the steady state is
+/// below `epsilon`; search capped at `max_steps` (returns max_steps if not
+/// reached).
+std::int64_t mixing_time(const ChainSpec& spec, int threshold, double epsilon,
+                         std::int64_t max_steps = 1 << 20);
+
+/// Total-variation distance between two distributions of equal size.
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace pcn::markov

@@ -1,0 +1,38 @@
+// Simulated-annealing threshold search (paper §6, second method).
+//
+// Follows the paper's pseudocode: starting from a random threshold, a
+// neighboring candidate d' is generated each iteration and accepted if it
+// lowers the cost, or with probability exp(−Δ/T) otherwise (Boltzmann /
+// Metropolis rule); the temperature follows the paper's cooling schedule
+// T ← y / (y + k) until it drops below exit_T.
+#pragma once
+
+#include <cstdint>
+
+#include "pcn/common/params.hpp"
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/optimize/result.hpp"
+
+namespace pcn::optimize {
+
+struct AnnealingConfig {
+  int max_threshold = 100;    ///< candidate domain is [0, max_threshold]
+  double y = 100.0;           ///< cooling-schedule numerator (paper's y)
+  double exit_temperature = 0.0025;  ///< stop once T < exit_T
+  int neighborhood = 3;       ///< |d' − d| <= neighborhood, d' ≠ d
+  std::uint64_t seed = 0x9eu; ///< RNG seed (deterministic runs)
+};
+// The defaults give ~40k iterations (the paper tunes y and exit_T "based
+// on the required accuracy").  That many steps matter because C_T(d, m)
+// can be nearly flat far from the optimum (differences well below any
+// practical temperature), where the Metropolis walk is undirected and
+// only domain *coverage* — plus incumbent tracking — finds the optimum;
+// cost evaluations are memoized, so iterations are cheap.
+
+/// Runs the paper's annealing loop and returns the best threshold visited
+/// (the paper returns the final d; tracking the incumbent is strictly
+/// better and costs nothing).
+Optimum simulated_annealing(const costs::CostModel& model, DelayBound bound,
+                            const AnnealingConfig& config = {});
+
+}  // namespace pcn::optimize

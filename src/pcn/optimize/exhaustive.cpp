@@ -1,0 +1,23 @@
+#include "pcn/optimize/exhaustive.hpp"
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::optimize {
+
+Optimum exhaustive_search(const costs::CostModel& model, DelayBound bound,
+                          int max_threshold) {
+  PCN_EXPECT(max_threshold >= 0,
+             "exhaustive_search: max_threshold must be >= 0");
+  Optimum best{0, model.total_cost(0, bound), 1};
+  for (int d = 1; d <= max_threshold; ++d) {
+    const double cost = model.total_cost(d, bound);
+    ++best.evaluations;
+    if (cost < best.total_cost) {
+      best.total_cost = cost;
+      best.threshold = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace pcn::optimize

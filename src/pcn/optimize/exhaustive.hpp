@@ -1,0 +1,20 @@
+// Bounded exhaustive threshold search (paper §6, first method).
+//
+// The total-cost curve C_T(d, m) can have local minima (the SDF partition
+// changes shape with d), so gradient descent is unsafe; the paper instead
+// caps the threshold at a maximum D ("the optimal distance rarely exceeds
+// 50") and evaluates every d ∈ [0, D].
+#pragma once
+
+#include "pcn/common/params.hpp"
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/optimize/result.hpp"
+
+namespace pcn::optimize {
+
+/// Evaluates C_T(d, m) for every d in [0, max_threshold] and returns the
+/// minimizer (ties broken toward the smaller d).
+Optimum exhaustive_search(const costs::CostModel& model, DelayBound bound,
+                          int max_threshold);
+
+}  // namespace pcn::optimize

@@ -1,0 +1,35 @@
+// Near-optimal threshold search via the approximate closed form (paper §7).
+//
+// Table 2 of the paper compares the exact optimum d* with the "near
+// optimal" d' found by substituting the approximate 2-D steady state of
+// §4.2 — much cheaper to evaluate thanks to the closed form, at the price
+// of occasionally missing d* by one ring.  The paper also gives a fix for
+// the one pathological case (d' = 0 when d* = 1): evaluate the *exact*
+// C_T(0) and C_T(1) and promote d' to 1 when that is cheaper.  This module
+// implements the search including that correction.
+//
+// For a 1-D model the "approximation" is already exact, so d' = d*.
+#pragma once
+
+#include "pcn/common/params.hpp"
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/optimize/result.hpp"
+
+namespace pcn::optimize {
+
+/// Scans d ∈ [0, max_threshold] under the approximate chain, applies the
+/// paper's d' = 0 correction, and returns d' with its cost **under the
+/// exact model** (the paper's C'_T).  `evaluations` counts approximate and
+/// exact evaluations together.
+///
+/// With `use_published_approximation` the scan reproduces the paper's own
+/// approximate evaluation, which computed C_u(0) with the generic q/3 rate
+/// (see CostModelOptions::legacy_d0_generic_update_rate) — exactly the
+/// variant whose spurious d' = 0 results motivated the correction.  The
+/// default scan uses eq. (43) as printed, which already avoids most of
+/// those cases.
+Optimum near_optimal_search(const costs::CostModel& exact_model,
+                            DelayBound bound, int max_threshold,
+                            bool use_published_approximation = false);
+
+}  // namespace pcn::optimize

@@ -1,0 +1,13 @@
+// Common result type for the threshold-distance optimizers (paper §6).
+#pragma once
+
+namespace pcn::optimize {
+
+/// Outcome of a threshold search.
+struct Optimum {
+  int threshold = 0;      ///< d* (or d' for the near-optimal search)
+  double total_cost = 0;  ///< C_T(d*, m) under the evaluating model
+  int evaluations = 0;    ///< number of cost-function evaluations performed
+};
+
+}  // namespace pcn::optimize

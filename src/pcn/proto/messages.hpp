@@ -1,0 +1,86 @@
+// The PCN signalling messages and their frame codec.
+//
+// Frame layout (all integers varint/zigzag, see wire.hpp):
+//
+//   u8      protocol version (kProtocolVersion)
+//   u8      message type (MessageType)
+//   ...     type-specific payload
+//   u32     CRC-32 over everything before the trailer (4 raw bytes, LE)
+//
+// Messages:
+//   * LocationUpdate  — terminal -> network: "my cell is (q, r)"; carries a
+//     sequence number (duplicate suppression on a lossy air interface) and
+//     the terminal's current containment radius so dynamic per-user
+//     thresholds propagate (paper §8).
+//   * PageRequest     — network -> cells of one polling cycle.  Cells are
+//     delta-encoded against the first cell, which keeps a ring's frame
+//     near-linear in cell count with ~2 bytes/cell.
+//   * PageResponse    — terminal -> network: "here I am" for a page id.
+//
+// Every decoder validates version, type, CRC, and exact frame length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pcn/geometry/cell.hpp"
+#include "pcn/proto/wire.hpp"
+
+namespace pcn::proto {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kLocationUpdate = 1,
+  kPageRequest = 2,
+  kPageResponse = 3,
+};
+
+struct LocationUpdate {
+  std::uint64_t terminal_id = 0;
+  std::uint64_t sequence = 0;       ///< per-terminal update counter
+  geometry::Cell cell{};            ///< reported position
+  std::uint32_t containment_radius = 0;  ///< rings the network may assume
+
+  friend bool operator==(const LocationUpdate&,
+                         const LocationUpdate&) = default;
+};
+
+struct PageRequest {
+  std::uint64_t page_id = 0;        ///< correlates request and response
+  std::uint64_t terminal_id = 0;
+  std::uint32_t cycle = 0;          ///< polling-cycle index (0-based)
+  std::vector<geometry::Cell> cells;  ///< cells polled this cycle
+
+  friend bool operator==(const PageRequest&, const PageRequest&) = default;
+};
+
+struct PageResponse {
+  std::uint64_t page_id = 0;
+  std::uint64_t terminal_id = 0;
+  geometry::Cell cell{};            ///< where the terminal answered
+
+  friend bool operator==(const PageResponse&, const PageResponse&) = default;
+};
+
+/// Serializes one message into a framed byte vector.
+std::vector<std::uint8_t> encode(const LocationUpdate& message);
+std::vector<std::uint8_t> encode(const PageRequest& message);
+std::vector<std::uint8_t> encode(const PageResponse& message);
+
+/// Peeks the message type of a framed buffer (validates version + CRC).
+MessageType peek_type(std::span<const std::uint8_t> frame);
+
+/// Decoders; throw DecodeError on any malformation (wrong version or type,
+/// bad CRC, truncation, trailing bytes).
+LocationUpdate decode_location_update(std::span<const std::uint8_t> frame);
+PageRequest decode_page_request(std::span<const std::uint8_t> frame);
+PageResponse decode_page_response(std::span<const std::uint8_t> frame);
+
+/// Encoded sizes without materializing the frame — used by the simulator's
+/// air-interface byte accounting.
+std::size_t encoded_size(const LocationUpdate& message);
+std::size_t encoded_size(const PageRequest& message);
+std::size_t encoded_size(const PageResponse& message);
+
+}  // namespace pcn::proto

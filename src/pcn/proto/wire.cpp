@@ -1,0 +1,111 @@
+#include "pcn/proto/wire.hpp"
+
+#include <array>
+
+namespace pcn::proto {
+namespace {
+
+constexpr int kMaxVarintBytes = 10;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ 0xedb88320u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void WireWriter::put_u8(std::uint8_t value) { buffer_.push_back(value); }
+
+void WireWriter::put_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void WireWriter::put_signed(std::int64_t value) {
+  put_varint(zigzag_encode(value));
+}
+
+void WireWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  put_varint(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+WireReader::WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+std::uint8_t WireReader::get_u8() {
+  if (offset_ >= bytes_.size()) {
+    throw DecodeError("wire: truncated frame (u8)");
+  }
+  return bytes_[offset_++];
+}
+
+std::uint64_t WireReader::get_varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (int i = 0; i < kMaxVarintBytes; ++i) {
+    if (offset_ >= bytes_.size()) {
+      throw DecodeError("wire: truncated frame (varint)");
+    }
+    const std::uint8_t byte = bytes_[offset_++];
+    if (i == kMaxVarintBytes - 1 && byte > 0x01) {
+      throw DecodeError("wire: varint exceeds 64 bits");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  throw DecodeError("wire: varint too long");
+}
+
+std::int64_t WireReader::get_signed() { return zigzag_decode(get_varint()); }
+
+std::vector<std::uint8_t> WireReader::get_bytes() {
+  const std::uint64_t length = get_varint();
+  if (length > remaining()) {
+    throw DecodeError("wire: truncated frame (bytes)");
+  }
+  std::vector<std::uint8_t> out(bytes_.begin() + static_cast<long>(offset_),
+                                bytes_.begin() +
+                                    static_cast<long>(offset_ + length));
+  offset_ += length;
+  return out;
+}
+
+void WireReader::expect_exhausted() const {
+  if (!exhausted()) {
+    throw DecodeError("wire: trailing bytes after message");
+  }
+}
+
+std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint8_t byte : bytes) {
+    crc = crc_table()[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace pcn::proto

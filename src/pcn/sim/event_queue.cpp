@@ -1,0 +1,41 @@
+#include "pcn/sim/event_queue.hpp"
+
+#include <utility>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+
+void EventQueue::schedule(SimTime at, Callback callback) {
+  PCN_EXPECT(at >= now_, "EventQueue: cannot schedule in the past");
+  PCN_EXPECT(callback != nullptr, "EventQueue: null callback");
+  heap_.push(Entry{at, next_sequence_++, std::move(callback)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Callback callback) {
+  PCN_EXPECT(delay >= 0, "EventQueue: negative delay");
+  schedule(now_ + delay, std::move(callback));
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // std::priority_queue::top() is const; moving the callback out is safe
+  // because we pop immediately after.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.at;
+  entry.callback();
+  return true;
+}
+
+std::int64_t EventQueue::run_until(SimTime until) {
+  std::int64_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    run_next();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace pcn::sim

@@ -1,0 +1,59 @@
+// Discrete-event simulation kernel.
+//
+// A minimal, deterministic event queue: events are (time, callback) pairs
+// executed in time order, FIFO among equal times (a monotone sequence
+// number breaks ties), so simulation runs are exactly reproducible.  The
+// PCN network drives its slotted evolution and paging transactions through
+// this kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pcn::sim {
+
+/// Simulation time in slots (the paper's discrete time t).
+using SimTime = std::int64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute time `at` (>= now()).
+  void schedule(SimTime at, Callback callback);
+
+  /// Schedules `callback` `delay` slots after now().
+  void schedule_in(SimTime delay, Callback callback);
+
+  /// Runs the earliest pending event; returns false when none are pending.
+  bool run_next();
+
+  /// Runs events until the queue is empty or the next event is later than
+  /// `until`; returns the number of events executed.
+  std::int64_t run_until(SimTime until);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace pcn::sim

@@ -1,0 +1,76 @@
+#include "pcn/sim/location_server.hpp"
+
+#include <algorithm>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+
+int Knowledge::radius_at(SimTime now) const {
+  PCN_EXPECT(now >= since, "Knowledge::radius_at: time before last refresh");
+  switch (kind) {
+    case KnowledgeKind::kFixedDisk:
+    case KnowledgeKind::kLocationArea:
+      return radius;
+    case KnowledgeKind::kGrowingDisk: {
+      // At most one ring per elapsed slot; `radius` caps the growth (the
+      // time-based policy guarantees a reset every `radius` slots).
+      const SimTime elapsed = now - since;
+      return static_cast<int>(
+          std::min<SimTime>(elapsed, static_cast<SimTime>(radius)));
+    }
+  }
+  PCN_ASSERT(false);
+  return 0;
+}
+
+LocationServer::LocationServer(Dimension dim) : dim_(dim) {}
+
+void LocationServer::register_terminal(TerminalId id, KnowledgeKind kind,
+                                       int radius, geometry::Cell initial,
+                                       SimTime now) {
+  PCN_EXPECT(radius >= 0, "LocationServer: knowledge radius must be >= 0");
+  PCN_EXPECT(directory_.find(id) == directory_.end(),
+             "LocationServer: terminal already registered");
+  Knowledge knowledge{kind, geometry::Cell{}, radius, now};
+  reset_center(knowledge, initial, now);
+  directory_.emplace(id, knowledge);
+}
+
+void LocationServer::on_update(TerminalId id, geometry::Cell cell,
+                               SimTime now) {
+  auto it = directory_.find(id);
+  PCN_EXPECT(it != directory_.end(), "LocationServer: unknown terminal");
+  reset_center(it->second, cell, now);
+}
+
+void LocationServer::on_located(TerminalId id, geometry::Cell cell,
+                                SimTime now) {
+  on_update(id, cell, now);
+}
+
+void LocationServer::set_radius(TerminalId id, int radius) {
+  PCN_EXPECT(radius >= 0, "LocationServer: knowledge radius must be >= 0");
+  auto it = directory_.find(id);
+  PCN_EXPECT(it != directory_.end(), "LocationServer: unknown terminal");
+  it->second.radius = radius;
+}
+
+const Knowledge& LocationServer::knowledge(TerminalId id) const {
+  auto it = directory_.find(id);
+  PCN_EXPECT(it != directory_.end(), "LocationServer: unknown terminal");
+  return it->second;
+}
+
+void LocationServer::reset_center(Knowledge& knowledge, geometry::Cell cell,
+                                  SimTime now) {
+  if (knowledge.kind == KnowledgeKind::kLocationArea) {
+    knowledge.center =
+        geometry::CellLaTiling(dim_, knowledge.radius).la_center(cell);
+  } else {
+    knowledge.center = cell;
+  }
+  knowledge.since = now;
+}
+
+}  // namespace pcn::sim

@@ -1,0 +1,22 @@
+#include "pcn/sim/metrics.hpp"
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+
+double TerminalMetrics::cost_per_slot() const {
+  PCN_EXPECT(slots > 0, "TerminalMetrics: no slots simulated");
+  return total_cost() / static_cast<double>(slots);
+}
+
+double TerminalMetrics::update_cost_per_slot() const {
+  PCN_EXPECT(slots > 0, "TerminalMetrics: no slots simulated");
+  return update_cost / static_cast<double>(slots);
+}
+
+double TerminalMetrics::paging_cost_per_slot() const {
+  PCN_EXPECT(slots > 0, "TerminalMetrics: no slots simulated");
+  return paging_cost / static_cast<double>(slots);
+}
+
+}  // namespace pcn::sim

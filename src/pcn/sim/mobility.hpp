@@ -1,0 +1,75 @@
+// Terminal mobility models (paper §2.1).
+//
+// The paper's model is a slotted random walk: with probability q the
+// terminal moves to a uniformly chosen neighboring cell, otherwise it
+// stays.  `PhasedRandomWalk` extends this with piecewise-constant q(t)
+// (e.g. commute vs. office hours) to exercise the adaptive per-user
+// controller the paper's §8 points at.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pcn/geometry/cell.hpp"
+#include "pcn/sim/event_queue.hpp"
+#include "pcn/stats/rng.hpp"
+
+namespace pcn::sim {
+
+/// Decides, once per slot, whether and where the terminal moves.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Per-slot movement probability at time `now` (used by the slot loop to
+  /// draw the move event; also what an oracle estimator would know).
+  virtual double move_probability(SimTime now) const = 0;
+
+  /// Destination given that a move happens at `now` from `from`.
+  virtual geometry::Cell move_target(geometry::Cell from, SimTime now,
+                                     stats::Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The paper's uniform random walk with constant q.
+class RandomWalk final : public MobilityModel {
+ public:
+  RandomWalk(Dimension dim, double move_prob);
+
+  double move_probability(SimTime now) const override;
+  geometry::Cell move_target(geometry::Cell from, SimTime now,
+                             stats::Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  Dimension dim_;
+  double move_prob_;
+};
+
+/// Random walk whose q switches between phases on a fixed schedule; the
+/// schedule repeats with period = sum of phase lengths.
+class PhasedRandomWalk final : public MobilityModel {
+ public:
+  struct Phase {
+    double move_prob = 0.1;
+    SimTime length = 1;  ///< slots this phase lasts
+  };
+
+  PhasedRandomWalk(Dimension dim, std::vector<Phase> phases);
+
+  double move_probability(SimTime now) const override;
+  geometry::Cell move_target(geometry::Cell from, SimTime now,
+                             stats::Rng& rng) const override;
+  std::string name() const override;
+
+ private:
+  const Phase& phase_at(SimTime now) const;
+
+  Dimension dim_;
+  std::vector<Phase> phases_;
+  SimTime period_ = 0;
+};
+
+}  // namespace pcn::sim

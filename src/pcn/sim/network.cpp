@@ -1,0 +1,298 @@
+#include "pcn/sim/network.hpp"
+
+#include <algorithm>
+
+#include "pcn/common/error.hpp"
+#include "pcn/proto/messages.hpp"
+
+namespace pcn::sim {
+
+TerminalSpec make_distance_terminal(Dimension dim, MobilityProfile profile,
+                                    int threshold, DelayBound bound) {
+  profile.validate();
+  TerminalSpec spec;
+  spec.call_prob = profile.call_prob;
+  spec.mobility = std::make_unique<RandomWalk>(dim, profile.move_prob);
+  spec.update_policy = std::make_unique<DistanceUpdatePolicy>(dim, threshold);
+  spec.paging_policy = std::make_unique<SdfSequentialPaging>(dim, bound);
+  spec.knowledge_kind = KnowledgeKind::kFixedDisk;
+  spec.knowledge_radius = threshold;
+  return spec;
+}
+
+TerminalSpec make_movement_terminal(Dimension dim, MobilityProfile profile,
+                                    int max_moves, DelayBound bound) {
+  profile.validate();
+  TerminalSpec spec;
+  spec.call_prob = profile.call_prob;
+  spec.mobility = std::make_unique<RandomWalk>(dim, profile.move_prob);
+  spec.update_policy = std::make_unique<MovementUpdatePolicy>(max_moves);
+  spec.paging_policy = std::make_unique<SdfSequentialPaging>(dim, bound);
+  spec.knowledge_kind = KnowledgeKind::kFixedDisk;
+  // The policy updates the moment the crossing count reaches max_moves, so
+  // between updates the count — and hence the ring distance — is at most
+  // max_moves − 1.
+  spec.knowledge_radius = max_moves - 1;
+  return spec;
+}
+
+TerminalSpec make_time_terminal(Dimension dim, MobilityProfile profile,
+                                SimTime period, int rings_per_cycle) {
+  profile.validate();
+  TerminalSpec spec;
+  spec.call_prob = profile.call_prob;
+  spec.mobility = std::make_unique<RandomWalk>(dim, profile.move_prob);
+  spec.update_policy = std::make_unique<TimeUpdatePolicy>(period);
+  spec.paging_policy =
+      std::make_unique<ExpandingRingPaging>(dim, rings_per_cycle);
+  spec.knowledge_kind = KnowledgeKind::kGrowingDisk;
+  spec.knowledge_radius = static_cast<int>(period);
+  return spec;
+}
+
+TerminalSpec make_la_terminal(Dimension dim, MobilityProfile profile,
+                              int la_radius) {
+  profile.validate();
+  TerminalSpec spec;
+  spec.call_prob = profile.call_prob;
+  spec.mobility = std::make_unique<RandomWalk>(dim, profile.move_prob);
+  spec.update_policy = std::make_unique<LaUpdatePolicy>(dim, la_radius);
+  spec.paging_policy = std::make_unique<BlanketPaging>(dim);
+  spec.knowledge_kind = KnowledgeKind::kLocationArea;
+  spec.knowledge_radius = la_radius;
+  return spec;
+}
+
+Network::Network(NetworkConfig config, CostWeights weights)
+    : config_(config),
+      weights_(weights),
+      server_(config.dimension),
+      root_rng_(config.seed) {
+  weights_.validate();
+  PCN_EXPECT(config.update_loss_prob >= 0.0 && config.update_loss_prob < 1.0,
+             "Network: update_loss_prob must lie in [0, 1)");
+}
+
+TerminalId Network::add_terminal(TerminalSpec spec) {
+  PCN_EXPECT(spec.mobility && spec.update_policy && spec.paging_policy,
+             "Network::add_terminal: incomplete terminal spec");
+  const auto id = static_cast<TerminalId>(attachments_.size());
+  const SimTime now = events_.now();
+
+  spec.update_policy->on_center_reset(spec.start, now);
+  if (const auto radius = spec.update_policy->containment_radius()) {
+    spec.knowledge_radius = *radius;
+  }
+  server_.register_terminal(id, spec.knowledge_kind, spec.knowledge_radius,
+                            spec.start, now);
+
+  Attachment attachment;
+  attachment.terminal = std::make_unique<Terminal>(
+      id, spec.start, spec.call_prob, std::move(spec.mobility),
+      std::move(spec.update_policy),
+      root_rng_.split(static_cast<std::uint64_t>(id) + 1));
+  attachment.paging = std::move(spec.paging_policy);
+  attachments_.push_back(std::move(attachment));
+  return id;
+}
+
+void Network::run(std::int64_t slots) {
+  PCN_EXPECT(slots >= 0, "Network::run: slot count must be >= 0");
+  const SimTime end = events_.now() + slots;
+  // Self-rescheduling slot tick: one kernel event per slot.
+  std::function<void()> tick = [this, end, &tick]() {
+    process_slot();
+    if (events_.now() + 1 <= end) {
+      events_.schedule_in(1, tick);  // copies tick; safe beyond this frame
+    }
+  };
+  if (slots > 0) events_.schedule_in(1, tick);
+  events_.run_until(end);
+}
+
+void Network::process_slot() {
+  const SimTime now = events_.now();
+  for (Attachment& attachment : attachments_) {
+    process_terminal(attachment, now);
+  }
+}
+
+void Network::process_terminal(Attachment& attachment, SimTime now) {
+  Terminal& terminal = *attachment.terminal;
+  TerminalMetrics& metrics = attachment.metrics;
+  const double q = terminal.mobility().move_probability(now);
+  const double c = terminal.call_probability();
+
+  bool called = false;
+  bool moved = false;
+  if (config_.semantics == SlotSemantics::kChainFaithful) {
+    // One uniform draw resolves the competing events: call wins with
+    // probability c, a move with probability q, otherwise the terminal
+    // idles — exactly the chain's transition structure.
+    PCN_EXPECT(q + c <= 1.0,
+               "Network: chain-faithful semantics needs q + c <= 1");
+    const double u = terminal.event_rng().next_unit();
+    called = u < c;
+    moved = !called && u < c + q;
+  } else {
+    moved = terminal.event_rng().next_bernoulli(q);
+    called = terminal.event_rng().next_bernoulli(c);
+  }
+
+  if (moved) {
+    const geometry::Cell from = terminal.position();
+    terminal.move_to(
+        terminal.mobility().move_target(from, now, terminal.walk_rng()));
+    ++metrics.moves;
+    if (observer_ != nullptr) {
+      observer_->on_move(terminal.id(), now, from, terminal.position());
+    }
+  }
+  terminal.update_policy().on_slot(terminal.position(), moved, now);
+  if (terminal.update_policy().update_due(terminal.position(), now)) {
+    send_update(attachment, now);
+  }
+  if (called) deliver_call(attachment, now);
+
+  ++metrics.slots;
+  metrics.ring_distance.add(static_cast<int>(geometry::cell_distance(
+      config_.dimension, terminal.position(),
+      server_.knowledge(terminal.id()).center)));
+  if (observer_ != nullptr) {
+    observer_->on_slot_end(terminal.id(), now, terminal.position());
+  }
+}
+
+void Network::send_update(Attachment& attachment, SimTime now) {
+  Terminal& terminal = *attachment.terminal;
+  ++attachment.metrics.updates;
+  attachment.metrics.update_cost += weights_.update_cost;
+  const bool lost =
+      config_.update_loss_prob > 0.0 &&
+      terminal.event_rng().next_bernoulli(config_.update_loss_prob);
+  if (lost) {
+    // No acknowledgement: the network never saw the frame; the policy's
+    // trigger condition stays unsatisfied, so the terminal retries on the
+    // next slot.  The transmission cost is already paid.
+    ++attachment.metrics.lost_updates;
+    return;
+  }
+  server_.on_update(terminal.id(), terminal.position(), now);
+  terminal.update_policy().on_center_reset(terminal.position(), now);
+  if (const auto radius = terminal.update_policy().containment_radius()) {
+    server_.set_radius(terminal.id(), *radius);
+  }
+  if (config_.count_signalling_bytes) {
+    proto::LocationUpdate message;
+    message.terminal_id = static_cast<std::uint64_t>(terminal.id());
+    message.sequence =
+        static_cast<std::uint64_t>(attachment.metrics.updates);
+    message.cell = terminal.position();
+    message.containment_radius = static_cast<std::uint32_t>(
+        server_.knowledge(terminal.id()).radius);
+    attachment.metrics.update_bytes +=
+        static_cast<std::int64_t>(proto::encoded_size(message));
+  }
+  if (observer_ != nullptr) {
+    observer_->on_update(terminal.id(), now, terminal.position());
+  }
+}
+
+void Network::deliver_call(Attachment& attachment, SimTime now) {
+  Terminal& terminal = *attachment.terminal;
+  TerminalMetrics& metrics = attachment.metrics;
+  const Knowledge& knowledge = server_.knowledge(terminal.id());
+
+  const std::uint64_t page_id = next_page_id_++;
+  const std::int64_t polled_before = metrics.polled_cells;
+  auto poll_group = [&](const std::vector<geometry::Cell>& group,
+                        int cycle) {
+    metrics.polled_cells += static_cast<std::int64_t>(group.size());
+    metrics.paging_cost +=
+        weights_.poll_cost * static_cast<double>(group.size());
+    if (config_.count_signalling_bytes) {
+      proto::PageRequest request;
+      request.page_id = page_id;
+      request.terminal_id = static_cast<std::uint64_t>(terminal.id());
+      request.cycle = static_cast<std::uint32_t>(cycle);
+      request.cells = group;
+      metrics.paging_bytes +=
+          static_cast<std::int64_t>(proto::encoded_size(request));
+    }
+    return std::find(group.begin(), group.end(), terminal.position()) !=
+           group.end();
+  };
+
+  int cycles_used = 0;
+  bool located = false;
+  for (int cycle = 0;; ++cycle) {
+    const std::vector<geometry::Cell> group =
+        attachment.paging->polling_group(knowledge, now, cycle);
+    if (group.empty()) break;  // schedule exhausted
+    if (poll_group(group, cycle)) {
+      cycles_used = cycle + 1;
+      located = true;
+      break;
+    }
+  }
+  if (!located) {
+    // Without loss injection the containment invariant makes this
+    // unreachable; with lost updates the knowledge can be stale, and the
+    // network recovers by expanding-ring paging outward from the stale
+    // center until the terminal answers.
+    PCN_ASSERT(config_.update_loss_prob > 0.0);
+    ++metrics.paging_failures;
+    int cycle = attachment.paging->delay_bound().is_unbounded()
+                    ? 0
+                    : attachment.paging->delay_bound().cycles();
+    const int stale_radius = knowledge.radius_at(now);
+    for (int ring = stale_radius + 1;; ++ring, ++cycle) {
+      const std::vector<geometry::Cell> group =
+          geometry::cell_ring(config_.dimension, knowledge.center, ring);
+      if (poll_group(group, cycle)) {
+        cycles_used = cycle + 1;
+        located = true;
+        break;
+      }
+    }
+  }
+  if (config_.count_signalling_bytes) {
+    proto::PageResponse response;
+    response.page_id = page_id;
+    response.terminal_id = static_cast<std::uint64_t>(terminal.id());
+    response.cell = terminal.position();
+    metrics.paging_bytes +=
+        static_cast<std::int64_t>(proto::encoded_size(response));
+  }
+
+  const DelayBound bound = attachment.paging->delay_bound();
+  PCN_ASSERT(config_.update_loss_prob > 0.0 || bound.is_unbounded() ||
+             cycles_used <= bound.cycles());
+  metrics.paging_cycles.add(cycles_used);
+  ++metrics.calls;
+
+  server_.on_located(terminal.id(), terminal.position(), now);
+  terminal.update_policy().on_call(now);
+  terminal.update_policy().on_center_reset(terminal.position(), now);
+  if (const auto radius = terminal.update_policy().containment_radius()) {
+    server_.set_radius(terminal.id(), *radius);
+  }
+  if (observer_ != nullptr) {
+    observer_->on_call(terminal.id(), now, terminal.position(), cycles_used,
+                       metrics.polled_cells - polled_before);
+  }
+}
+
+const TerminalMetrics& Network::metrics(TerminalId id) const {
+  PCN_EXPECT(id >= 0 && static_cast<std::size_t>(id) < attachments_.size(),
+             "Network::metrics: unknown terminal");
+  return attachments_[static_cast<std::size_t>(id)].metrics;
+}
+
+const Terminal& Network::terminal(TerminalId id) const {
+  PCN_EXPECT(id >= 0 && static_cast<std::size_t>(id) < attachments_.size(),
+             "Network::terminal: unknown terminal");
+  return *attachments_[static_cast<std::size_t>(id)].terminal;
+}
+
+}  // namespace pcn::sim

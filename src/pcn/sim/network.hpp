@@ -1,0 +1,110 @@
+// The PCN network simulation: slotted evolution of terminals, location
+// updates, call deliveries and delay-bounded paging, driven through the
+// discrete-event kernel.
+//
+// Slot semantics (see DESIGN.md):
+//   * kChainFaithful — per slot exactly one of {call (prob c), move (prob
+//     q), stay} happens, matching the paper's Markov chain where a, b and c
+//     are competing transition probabilities.  Requires q + c <= 1.
+//   * kIndependent — the move (prob q) and the call (prob c) are drawn
+//     independently each slot (move resolved first).  This is the more
+//     physical model; the gap between the two quantifies the chain's
+//     modeling error.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pcn/common/params.hpp"
+#include "pcn/sim/event_queue.hpp"
+#include "pcn/sim/location_server.hpp"
+#include "pcn/sim/metrics.hpp"
+#include "pcn/sim/observer.hpp"
+#include "pcn/sim/paging_policy.hpp"
+#include "pcn/sim/terminal.hpp"
+
+namespace pcn::sim {
+
+enum class SlotSemantics { kChainFaithful, kIndependent };
+
+struct NetworkConfig {
+  Dimension dimension = Dimension::kTwoD;
+  SlotSemantics semantics = SlotSemantics::kChainFaithful;
+  std::uint64_t seed = 1;
+  /// Encode every signalling message with the proto codec and account the
+  /// air-interface bytes in TerminalMetrics (small per-message overhead).
+  bool count_signalling_bytes = true;
+  /// Probability that a location-update frame is lost on the air
+  /// interface.  The terminal detects the missing acknowledgement and
+  /// retries next slot (paying the update cost again); until a retry
+  /// succeeds the network's containment disk is stale, and a page may have
+  /// to fall back to expanding-ring recovery (see TerminalMetrics::
+  /// paging_failures).
+  double update_loss_prob = 0.0;
+};
+
+/// Everything needed to attach one terminal to the network.
+struct TerminalSpec {
+  double call_prob = 0.0;
+  std::unique_ptr<MobilityModel> mobility;
+  std::unique_ptr<UpdatePolicy> update_policy;
+  std::unique_ptr<PagingPolicy> paging_policy;
+  KnowledgeKind knowledge_kind = KnowledgeKind::kFixedDisk;
+  int knowledge_radius = 0;
+  geometry::Cell start{};
+};
+
+/// Spec factories wiring matched (update policy, knowledge, paging) triples.
+TerminalSpec make_distance_terminal(Dimension dim, MobilityProfile profile,
+                                    int threshold, DelayBound bound);
+TerminalSpec make_movement_terminal(Dimension dim, MobilityProfile profile,
+                                    int max_moves, DelayBound bound);
+TerminalSpec make_time_terminal(Dimension dim, MobilityProfile profile,
+                                SimTime period, int rings_per_cycle = 1);
+TerminalSpec make_la_terminal(Dimension dim, MobilityProfile profile,
+                              int la_radius);
+
+class Network {
+ public:
+  Network(NetworkConfig config, CostWeights weights);
+
+  /// Attaches a terminal; returns its id.
+  TerminalId add_terminal(TerminalSpec spec);
+
+  /// Runs `slots` further slots of simulation.
+  void run(std::int64_t slots);
+
+  const TerminalMetrics& metrics(TerminalId id) const;
+  const Terminal& terminal(TerminalId id) const;
+
+  /// Attaches an observer notified of every simulation event (nullptr to
+  /// detach).  Not owned; must outlive the simulation.
+  void set_observer(NetworkObserver* observer) { observer_ = observer; }
+  LocationServer& server() { return server_; }
+  const LocationServer& server() const { return server_; }
+  EventQueue& events() { return events_; }
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  struct Attachment {
+    std::unique_ptr<Terminal> terminal;
+    std::unique_ptr<PagingPolicy> paging;
+    TerminalMetrics metrics;
+  };
+
+  void process_slot();
+  void process_terminal(Attachment& attachment, SimTime now);
+  void deliver_call(Attachment& attachment, SimTime now);
+  void send_update(Attachment& attachment, SimTime now);
+
+  NetworkConfig config_;
+  CostWeights weights_;
+  EventQueue events_;
+  LocationServer server_;
+  stats::Rng root_rng_;
+  std::vector<Attachment> attachments_;
+  NetworkObserver* observer_ = nullptr;
+  std::uint64_t next_page_id_ = 0;
+};
+
+}  // namespace pcn::sim

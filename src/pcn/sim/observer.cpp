@@ -1,0 +1,15 @@
+#include "pcn/sim/observer.hpp"
+
+namespace pcn::sim {
+
+void NetworkObserver::on_move(TerminalId, SimTime, geometry::Cell,
+                              geometry::Cell) {}
+
+void NetworkObserver::on_update(TerminalId, SimTime, geometry::Cell) {}
+
+void NetworkObserver::on_call(TerminalId, SimTime, geometry::Cell, int,
+                              std::int64_t) {}
+
+void NetworkObserver::on_slot_end(TerminalId, SimTime, geometry::Cell) {}
+
+}  // namespace pcn::sim

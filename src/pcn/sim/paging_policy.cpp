@@ -1,0 +1,100 @@
+#include "pcn/sim/paging_policy.hpp"
+
+#include <algorithm>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+namespace {
+
+/// All cells of the given rings around `center`.
+std::vector<geometry::Cell> cells_of_rings(Dimension dim, geometry::Cell center,
+                                           const std::vector<int>& rings) {
+  std::vector<geometry::Cell> cells;
+  for (int ring : rings) {
+    for (geometry::Cell cell : geometry::cell_ring(dim, center, ring)) {
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+BlanketPaging::BlanketPaging(Dimension dim) : dim_(dim) {}
+
+std::vector<geometry::Cell> BlanketPaging::polling_group(
+    const Knowledge& knowledge, SimTime now, int cycle) const {
+  PCN_EXPECT(cycle >= 0, "polling_group: cycle must be >= 0");
+  if (cycle > 0) return {};
+  if (knowledge.kind == KnowledgeKind::kLocationArea) {
+    return geometry::CellLaTiling(dim_, knowledge.radius)
+        .la_cells(knowledge.center);
+  }
+  return geometry::cell_disk(dim_, knowledge.center, knowledge.radius_at(now));
+}
+
+std::string BlanketPaging::name() const { return "blanket"; }
+
+SdfSequentialPaging::SdfSequentialPaging(Dimension dim, DelayBound bound)
+    : dim_(dim), bound_(bound) {}
+
+std::vector<geometry::Cell> SdfSequentialPaging::polling_group(
+    const Knowledge& knowledge, SimTime now, int cycle) const {
+  PCN_EXPECT(cycle >= 0, "polling_group: cycle must be >= 0");
+  const int radius = knowledge.radius_at(now);
+  const costs::Partition partition = costs::Partition::sdf(radius, bound_);
+  if (cycle >= partition.subarea_count()) return {};
+  return cells_of_rings(dim_, knowledge.center, partition.rings(cycle));
+}
+
+std::string SdfSequentialPaging::name() const {
+  return "sdf-sequential(m=" + to_string(bound_) + ")";
+}
+
+PlanPartitionPaging::PlanPartitionPaging(Dimension dim,
+                                         costs::Partition partition)
+    : dim_(dim), partition_(std::move(partition)) {}
+
+std::vector<geometry::Cell> PlanPartitionPaging::polling_group(
+    const Knowledge& knowledge, SimTime now, int cycle) const {
+  PCN_EXPECT(cycle >= 0, "polling_group: cycle must be >= 0");
+  PCN_EXPECT(knowledge.radius_at(now) == partition_.threshold(),
+             "PlanPartitionPaging: knowledge radius does not match the "
+             "partition's threshold");
+  if (cycle >= partition_.subarea_count()) return {};
+  return cells_of_rings(dim_, knowledge.center, partition_.rings(cycle));
+}
+
+DelayBound PlanPartitionPaging::delay_bound() const {
+  return DelayBound(partition_.subarea_count());
+}
+
+std::string PlanPartitionPaging::name() const {
+  return "plan-partition(l=" + std::to_string(partition_.subarea_count()) +
+         ")";
+}
+
+ExpandingRingPaging::ExpandingRingPaging(Dimension dim, int rings_per_cycle)
+    : dim_(dim), rings_per_cycle_(rings_per_cycle) {
+  PCN_EXPECT(rings_per_cycle >= 1,
+             "ExpandingRingPaging: rings_per_cycle must be >= 1");
+}
+
+std::vector<geometry::Cell> ExpandingRingPaging::polling_group(
+    const Knowledge& knowledge, SimTime now, int cycle) const {
+  PCN_EXPECT(cycle >= 0, "polling_group: cycle must be >= 0");
+  const int radius = knowledge.radius_at(now);
+  const int first = cycle * rings_per_cycle_;
+  if (first > radius) return {};
+  const int last = std::min(radius, first + rings_per_cycle_ - 1);
+  std::vector<int> rings;
+  for (int ring = first; ring <= last; ++ring) rings.push_back(ring);
+  return cells_of_rings(dim_, knowledge.center, rings);
+}
+
+std::string ExpandingRingPaging::name() const {
+  return "expanding-ring(g=" + std::to_string(rings_per_cycle_) + ")";
+}
+
+}  // namespace pcn::sim

@@ -1,0 +1,109 @@
+// Network-side paging policies.
+//
+// When a call arrives, the network polls groups of cells — one group per
+// polling cycle — until the terminal answers (paper §2.2's polling cycle).
+// A PagingPolicy turns the server's knowledge about a terminal into the
+// polling schedule.
+//
+// Implementations:
+//   * BlanketPaging        — everything in one cycle (the m = 1 scheme and
+//                            the LA baseline's paging).
+//   * SdfSequentialPaging  — the paper's scheme: rings grouped by the SDF
+//                            equal-split rule under a delay bound m.
+//   * PlanPartitionPaging  — polls an analytically chosen costs::Partition
+//                            (e.g. the DP-optimal one); knowledge radius
+//                            must equal the partition's threshold.
+//   * ExpandingRingPaging  — rings one by one (optionally several per
+//                            cycle), the natural unbounded-delay scheme for
+//                            growing-disk knowledge.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pcn/common/params.hpp"
+#include "pcn/costs/partition.hpp"
+#include "pcn/geometry/cell.hpp"
+#include "pcn/sim/location_server.hpp"
+
+namespace pcn::sim {
+
+class PagingPolicy {
+ public:
+  virtual ~PagingPolicy() = default;
+
+  /// Cells to poll in polling cycle `cycle` (0-based) given `knowledge` at
+  /// time `now`.  An empty group means the schedule is exhausted; by the
+  /// knowledge-containment invariant the terminal must have been found in
+  /// an earlier group.
+  virtual std::vector<geometry::Cell> polling_group(
+      const Knowledge& knowledge, SimTime now, int cycle) const = 0;
+
+  /// The delay bound this policy honors (unbounded() when none).
+  virtual DelayBound delay_bound() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class BlanketPaging final : public PagingPolicy {
+ public:
+  explicit BlanketPaging(Dimension dim);
+
+  std::vector<geometry::Cell> polling_group(const Knowledge& knowledge,
+                                            SimTime now,
+                                            int cycle) const override;
+  DelayBound delay_bound() const override { return DelayBound(1); }
+  std::string name() const override;
+
+ private:
+  Dimension dim_;
+};
+
+class SdfSequentialPaging final : public PagingPolicy {
+ public:
+  SdfSequentialPaging(Dimension dim, DelayBound bound);
+
+  std::vector<geometry::Cell> polling_group(const Knowledge& knowledge,
+                                            SimTime now,
+                                            int cycle) const override;
+  DelayBound delay_bound() const override { return bound_; }
+  std::string name() const override;
+
+ private:
+  Dimension dim_;
+  DelayBound bound_;
+};
+
+class PlanPartitionPaging final : public PagingPolicy {
+ public:
+  PlanPartitionPaging(Dimension dim, costs::Partition partition);
+
+  std::vector<geometry::Cell> polling_group(const Knowledge& knowledge,
+                                            SimTime now,
+                                            int cycle) const override;
+  DelayBound delay_bound() const override;
+  std::string name() const override;
+
+ private:
+  Dimension dim_;
+  costs::Partition partition_;
+};
+
+class ExpandingRingPaging final : public PagingPolicy {
+ public:
+  /// Polls `rings_per_cycle` consecutive rings per polling cycle.
+  ExpandingRingPaging(Dimension dim, int rings_per_cycle = 1);
+
+  std::vector<geometry::Cell> polling_group(const Knowledge& knowledge,
+                                            SimTime now,
+                                            int cycle) const override;
+  DelayBound delay_bound() const override { return DelayBound::unbounded(); }
+  std::string name() const override;
+
+ private:
+  Dimension dim_;
+  int rings_per_cycle_;
+};
+
+}  // namespace pcn::sim

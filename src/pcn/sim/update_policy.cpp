@@ -1,0 +1,94 @@
+#include "pcn/sim/update_policy.hpp"
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+
+void UpdatePolicy::on_slot(geometry::Cell, bool, SimTime) {}
+
+void UpdatePolicy::on_call(SimTime) {}
+
+std::optional<int> UpdatePolicy::containment_radius() const {
+  return std::nullopt;
+}
+
+DistanceUpdatePolicy::DistanceUpdatePolicy(Dimension dim, int threshold)
+    : dim_(dim), threshold_(threshold) {
+  PCN_EXPECT(threshold >= 0, "DistanceUpdatePolicy: threshold must be >= 0");
+}
+
+void DistanceUpdatePolicy::on_center_reset(geometry::Cell center, SimTime) {
+  center_ = center;
+}
+
+bool DistanceUpdatePolicy::update_due(geometry::Cell position,
+                                      SimTime) const {
+  return geometry::cell_distance(dim_, position, center_) > threshold_;
+}
+
+std::optional<int> DistanceUpdatePolicy::containment_radius() const {
+  return threshold_;
+}
+
+std::string DistanceUpdatePolicy::name() const {
+  return "distance(d=" + std::to_string(threshold_) + ")";
+}
+
+void DistanceUpdatePolicy::set_threshold(int threshold) {
+  PCN_EXPECT(threshold >= 0, "DistanceUpdatePolicy: threshold must be >= 0");
+  threshold_ = threshold;
+}
+
+TimeUpdatePolicy::TimeUpdatePolicy(SimTime period) : period_(period) {
+  PCN_EXPECT(period >= 1, "TimeUpdatePolicy: period must be >= 1 slot");
+}
+
+void TimeUpdatePolicy::on_center_reset(geometry::Cell, SimTime now) {
+  last_reset_ = now;
+}
+
+bool TimeUpdatePolicy::update_due(geometry::Cell, SimTime now) const {
+  return now - last_reset_ >= period_;
+}
+
+std::string TimeUpdatePolicy::name() const {
+  return "time(T=" + std::to_string(period_) + ")";
+}
+
+MovementUpdatePolicy::MovementUpdatePolicy(int max_moves)
+    : max_moves_(max_moves) {
+  PCN_EXPECT(max_moves >= 1, "MovementUpdatePolicy: max_moves must be >= 1");
+}
+
+void MovementUpdatePolicy::on_center_reset(geometry::Cell, SimTime) {
+  moves_since_reset_ = 0;
+}
+
+void MovementUpdatePolicy::on_slot(geometry::Cell, bool moved, SimTime) {
+  if (moved) ++moves_since_reset_;
+}
+
+bool MovementUpdatePolicy::update_due(geometry::Cell, SimTime) const {
+  return moves_since_reset_ >= max_moves_;
+}
+
+std::string MovementUpdatePolicy::name() const {
+  return "movement(M=" + std::to_string(max_moves_) + ")";
+}
+
+LaUpdatePolicy::LaUpdatePolicy(Dimension dim, int la_radius)
+    : tiling_(dim, la_radius) {}
+
+void LaUpdatePolicy::on_center_reset(geometry::Cell center, SimTime) {
+  la_center_ = tiling_.la_center(center);
+}
+
+bool LaUpdatePolicy::update_due(geometry::Cell position, SimTime) const {
+  return tiling_.la_center(position) != la_center_;
+}
+
+std::string LaUpdatePolicy::name() const {
+  return "location-area(R=" + std::to_string(tiling_.radius()) + ")";
+}
+
+}  // namespace pcn::sim

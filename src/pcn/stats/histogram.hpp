@@ -1,0 +1,40 @@
+// Integer-valued histogram — used for paging-delay distributions (cycles
+// per call) and terminal ring-distance occupancy in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcn::stats {
+
+/// Counts occurrences of small non-negative integers, growing on demand.
+class Histogram {
+ public:
+  void add(int value, std::int64_t count = 1);
+
+  std::int64_t total() const { return total_; }
+
+  /// Count in bucket `value` (0 if never seen).
+  std::int64_t count(int value) const;
+
+  /// Largest value observed + 1 (0 when empty).
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+
+  /// Empirical probability of `value`; requires total() > 0.
+  double fraction(int value) const;
+
+  /// Mean of the distribution; requires total() > 0.
+  double mean() const;
+
+  /// Largest observed value; requires total() > 0.
+  int max_value() const;
+
+  /// Empirical distribution as a dense vector over [0, bucket_count()).
+  std::vector<double> distribution() const;
+
+ private:
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace pcn::stats

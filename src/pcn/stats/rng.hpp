@@ -1,0 +1,47 @@
+// Seedable random-number streams for the simulator.
+//
+// Wraps xoshiro256++ (public-domain construction by Blackman & Vigna),
+// seeded through SplitMix64 so that small seeds still produce well-mixed
+// states.  `split()` derives statistically independent child streams, so
+// each simulated entity (mobility, call process, ...) draws from its own
+// stream and results are reproducible regardless of event interleaving.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pcn::stats {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0);
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double next_unit();
+
+  /// Bernoulli trial with success probability p ∈ [0, 1].
+  bool next_bernoulli(double p);
+
+  /// Uniform integer in [0, bound) for bound >= 1 (unbiased, rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi], inclusive.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  /// Derives an independent child stream (keyed by `salt`).
+  Rng split(std::uint64_t salt);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace pcn::stats

@@ -1,0 +1,70 @@
+#include "pcn/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::stats {
+
+void Summary::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Summary::mean() const {
+  PCN_EXPECT(count_ > 0, "Summary::mean: no samples");
+  return mean_;
+}
+
+double Summary::variance() const {
+  PCN_EXPECT(count_ >= 2, "Summary::variance: needs at least two samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::standard_error() const {
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double Summary::ci_half_width(double z) const {
+  PCN_EXPECT(z > 0.0, "Summary::ci_half_width: z must be > 0");
+  return z * standard_error();
+}
+
+double Summary::min() const {
+  PCN_EXPECT(count_ > 0, "Summary::min: no samples");
+  return min_;
+}
+
+double Summary::max() const {
+  PCN_EXPECT(count_ > 0, "Summary::max: no samples");
+  return max_;
+}
+
+}  // namespace pcn::stats

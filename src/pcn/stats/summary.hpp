@@ -1,0 +1,42 @@
+// Streaming summary statistics (Welford's algorithm) with normal-theory
+// confidence intervals — used by the simulator's metrics and the
+// analytic-vs-simulation validation benches.
+#pragma once
+
+#include <cstdint>
+
+namespace pcn::stats {
+
+/// Numerically stable streaming mean/variance accumulator.
+class Summary {
+ public:
+  void add(double value);
+
+  /// Merges another summary (parallel accumulation).
+  void merge(const Summary& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const;
+
+  /// Unbiased sample variance; requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+
+  /// Standard error of the mean; requires count() >= 2.
+  double standard_error() const;
+
+  /// Half-width of the two-sided normal CI at the given z (default 95%).
+  double ci_half_width(double z = 1.959964) const;
+
+  double min() const;
+  double max() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pcn::stats

@@ -1,0 +1,106 @@
+#include "pcn/trace/event_log.hpp"
+
+namespace pcn::trace {
+namespace {
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMove:
+      return "move";
+    case EventKind::kUpdate:
+      return "update";
+    case EventKind::kCall:
+      return "call";
+    case EventKind::kSlotEnd:
+      return "slot";
+  }
+  return "?";
+}
+
+}  // namespace
+
+EventLog::EventLog(bool record_slot_ends)
+    : record_slot_ends_(record_slot_ends) {}
+
+void EventLog::on_move(sim::TerminalId id, sim::SimTime now,
+                       geometry::Cell from, geometry::Cell to) {
+  Event event;
+  event.kind = EventKind::kMove;
+  event.terminal = id;
+  event.time = now;
+  event.cell = to;
+  event.from = from;
+  events_.push_back(event);
+}
+
+void EventLog::on_update(sim::TerminalId id, sim::SimTime now,
+                         geometry::Cell cell) {
+  Event event;
+  event.kind = EventKind::kUpdate;
+  event.terminal = id;
+  event.time = now;
+  event.cell = cell;
+  events_.push_back(event);
+}
+
+void EventLog::on_call(sim::TerminalId id, sim::SimTime now,
+                       geometry::Cell cell, int cycles,
+                       std::int64_t polled_cells) {
+  Event event;
+  event.kind = EventKind::kCall;
+  event.terminal = id;
+  event.time = now;
+  event.cell = cell;
+  event.paging_cycles = cycles;
+  event.polled_cells = polled_cells;
+  events_.push_back(event);
+}
+
+void EventLog::on_slot_end(sim::TerminalId id, sim::SimTime now,
+                           geometry::Cell position) {
+  if (!record_slot_ends_) return;
+  Event event;
+  event.kind = EventKind::kSlotEnd;
+  event.terminal = id;
+  event.time = now;
+  event.cell = position;
+  events_.push_back(event);
+}
+
+std::int64_t EventLog::count(EventKind kind) const {
+  std::int64_t total = 0;
+  for (const Event& event : events_) {
+    if (event.kind == kind) ++total;
+  }
+  return total;
+}
+
+std::int64_t EventLog::count(EventKind kind, sim::TerminalId id) const {
+  std::int64_t total = 0;
+  for (const Event& event : events_) {
+    if (event.kind == kind && event.terminal == id) ++total;
+  }
+  return total;
+}
+
+std::vector<geometry::Cell> EventLog::trajectory(sim::TerminalId id) const {
+  std::vector<geometry::Cell> positions;
+  for (const Event& event : events_) {
+    if (event.kind == EventKind::kSlotEnd && event.terminal == id) {
+      positions.push_back(event.cell);
+    }
+  }
+  return positions;
+}
+
+void EventLog::write_csv(std::ostream& out) const {
+  out << "kind,terminal,time,q,r,from_q,from_r,cycles,polled\n";
+  for (const Event& event : events_) {
+    out << kind_name(event.kind) << ',' << event.terminal << ','
+        << event.time << ',' << event.cell.q << ',' << event.cell.r << ','
+        << event.from.q << ',' << event.from.r << ',' << event.paging_cycles
+        << ',' << event.polled_cells << '\n';
+  }
+}
+
+}  // namespace pcn::trace

@@ -1,0 +1,68 @@
+// Simulation trace recording.
+//
+// EventLog is a NetworkObserver that records every move, location update
+// and delivered call as typed events, can dump them as CSV, and can
+// reconstruct a terminal's full slot-by-slot trajectory — which
+// ScriptedMobility (scripted_mobility.hpp) replays deterministically, so a
+// captured run can be re-executed under different policies.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "pcn/sim/observer.hpp"
+
+namespace pcn::trace {
+
+enum class EventKind : std::uint8_t { kMove, kUpdate, kCall, kSlotEnd };
+
+struct Event {
+  EventKind kind = EventKind::kSlotEnd;
+  sim::TerminalId terminal = 0;
+  sim::SimTime time = 0;
+  geometry::Cell cell{};        ///< position after the event
+  geometry::Cell from{};        ///< kMove only: origin cell
+  int paging_cycles = 0;        ///< kCall only
+  std::int64_t polled_cells = 0;  ///< kCall only
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class EventLog final : public sim::NetworkObserver {
+ public:
+  /// Recording end-of-slot positions makes trajectories replayable but
+  /// costs one event per terminal-slot; disable for counting-only logs.
+  explicit EventLog(bool record_slot_ends = true);
+
+  void on_move(sim::TerminalId id, sim::SimTime now, geometry::Cell from,
+               geometry::Cell to) override;
+  void on_update(sim::TerminalId id, sim::SimTime now,
+                 geometry::Cell cell) override;
+  void on_call(sim::TerminalId id, sim::SimTime now, geometry::Cell cell,
+               int cycles, std::int64_t polled_cells) override;
+  void on_slot_end(sim::TerminalId id, sim::SimTime now,
+                   geometry::Cell position) override;
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Number of recorded events of one kind (optionally one terminal).
+  std::int64_t count(EventKind kind) const;
+  std::int64_t count(EventKind kind, sim::TerminalId id) const;
+
+  /// The terminal's position at the end of every recorded slot, in slot
+  /// order (requires record_slot_ends).  Suitable for ScriptedMobility.
+  std::vector<geometry::Cell> trajectory(sim::TerminalId id) const;
+
+  /// Writes all events as CSV: kind,terminal,time,q,r,from_q,from_r,
+  /// cycles,polled.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  bool record_slot_ends_;
+  std::vector<Event> events_;
+};
+
+}  // namespace pcn::trace

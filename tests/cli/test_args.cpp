@@ -1,0 +1,102 @@
+#include "pcn/cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace pcn::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"pcnctl"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EmptyCommandLine) {
+  const Args args = parse({});
+  EXPECT_EQ(args.command(), "");
+  EXPECT_NO_THROW(args.reject_unconsumed());
+}
+
+TEST(Args, CommandAndFlags) {
+  const Args args = parse({"plan", "--q", "0.05", "--delay", "2"});
+  EXPECT_EQ(args.command(), "plan");
+  EXPECT_DOUBLE_EQ(args.get_double("q"), 0.05);
+  EXPECT_EQ(args.get_int("delay"), 2);
+}
+
+TEST(Args, DefaultsApplyOnlyWhenMissing) {
+  const Args args = parse({"plan", "--q", "0.2"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("q", 0.05), 0.2);
+  EXPECT_DOUBLE_EQ(args.get_double_or("c", 0.01), 0.01);
+  EXPECT_EQ(args.get_int_or("max-d", 100), 100);
+  EXPECT_EQ(args.get_string_or("scheme", "sdf"), "sdf");
+}
+
+TEST(Args, SwitchesAreValueless) {
+  const Args args = parse({"plan", "--verbose", "--q", "0.1"});
+  EXPECT_TRUE(args.get_switch("verbose"));
+  EXPECT_FALSE(args.get_switch("quiet"));
+}
+
+TEST(Args, SwitchWithValueIsRejected) {
+  const Args args = parse({"plan", "--verbose", "yes"});
+  EXPECT_THROW(args.get_switch("verbose"), UsageError);
+}
+
+TEST(Args, MissingRequiredFlagIsReported) {
+  const Args args = parse({"plan"});
+  EXPECT_THROW(args.get_string("q"), UsageError);
+  EXPECT_THROW(args.get_double("q"), UsageError);
+  EXPECT_THROW(args.get_int("q"), UsageError);
+}
+
+TEST(Args, MalformedNumbersAreReported) {
+  const Args args = parse({"plan", "--q", "fast", "--delay", "2.5"});
+  EXPECT_THROW(args.get_double("q"), UsageError);
+  EXPECT_THROW(args.get_int("delay"), UsageError);
+}
+
+TEST(Args, NegativeAndScientificNumbersParse) {
+  // A leading '-' is not a flag marker ('--' is), so negative values work.
+  const Args args = parse({"x", "--a", "-3", "--b", "1e-3"});
+  EXPECT_EQ(args.get_int("a"), -3);
+  EXPECT_DOUBLE_EQ(args.get_double("b"), 1e-3);
+}
+
+TEST(Args, DuplicateFlagsAreRejected) {
+  EXPECT_THROW(parse({"plan", "--q", "0.1", "--q", "0.2"}), UsageError);
+}
+
+TEST(Args, PositionalAfterFlagsIsRejected) {
+  EXPECT_THROW(parse({"plan", "--q", "0.1", "stray"}), UsageError);
+}
+
+TEST(Args, UnknownFlagsAreCaughtByRejectUnconsumed) {
+  const Args args = parse({"plan", "--q", "0.1", "--trehshold", "4"});
+  EXPECT_DOUBLE_EQ(args.get_double("q"), 0.1);
+  EXPECT_THROW(args.reject_unconsumed(), UsageError);
+}
+
+TEST(Args, ConsumedFlagsPassRejectUnconsumed) {
+  const Args args = parse({"plan", "--q", "0.1", "--fast"});
+  EXPECT_DOUBLE_EQ(args.get_double("q"), 0.1);
+  EXPECT_TRUE(args.get_switch("fast"));
+  EXPECT_NO_THROW(args.reject_unconsumed());
+}
+
+TEST(Args, HasMarksAsConsumed) {
+  const Args args = parse({"plan", "--delay", "3"});
+  EXPECT_TRUE(args.has("delay"));
+  EXPECT_NO_THROW(args.reject_unconsumed());
+}
+
+TEST(Args, FlagWithoutCommandIsAllowed) {
+  const Args args = parse({"--q", "0.1"});
+  EXPECT_EQ(args.command(), "");
+  EXPECT_DOUBLE_EQ(args.get_double("q"), 0.1);
+}
+
+}  // namespace
+}  // namespace pcn::cli

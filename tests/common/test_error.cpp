@@ -1,0 +1,47 @@
+#include "pcn/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pcn {
+namespace {
+
+TEST(Expect, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(PCN_EXPECT(1 + 1 == 2, "never"));
+}
+
+TEST(Expect, FailingConditionThrowsInvalidArgumentWithMessage) {
+  try {
+    PCN_EXPECT(false, "the message");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_STREQ(error.what(), "the message");
+  }
+}
+
+TEST(Expect, InvalidArgumentIsAStdInvalidArgument) {
+  EXPECT_THROW(PCN_EXPECT(false, "x"), std::invalid_argument);
+}
+
+TEST(Assert, PassingInvariantDoesNothing) {
+  EXPECT_NO_THROW(PCN_ASSERT(2 > 1));
+}
+
+TEST(Assert, FailingInvariantThrowsInternalErrorNamingTheExpression) {
+  try {
+    PCN_ASSERT(1 == 2);
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Assert, InternalErrorIsAStdLogicError) {
+  EXPECT_THROW(PCN_ASSERT(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pcn

@@ -1,0 +1,97 @@
+#include "pcn/common/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn {
+namespace {
+
+TEST(Dimension, ToStringNamesBothGeometries) {
+  EXPECT_EQ(to_string(Dimension::kOneD), "1-D");
+  EXPECT_EQ(to_string(Dimension::kTwoD), "2-D");
+}
+
+TEST(Dimension, NeighborCountMatchesGeometry) {
+  EXPECT_EQ(neighbor_count(Dimension::kOneD), 2);
+  EXPECT_EQ(neighbor_count(Dimension::kTwoD), 6);
+}
+
+TEST(MobilityProfile, AcceptsPaperParameterRanges) {
+  // The paper sweeps q in [0.001, 0.5] and c in [0.001, 0.1].
+  EXPECT_NO_THROW((MobilityProfile{0.001, 0.001}.validate()));
+  EXPECT_NO_THROW((MobilityProfile{0.5, 0.1}.validate()));
+  EXPECT_NO_THROW((MobilityProfile{1.0, 0.0}.validate()));
+}
+
+TEST(MobilityProfile, RejectsZeroOrNegativeMoveProbability) {
+  EXPECT_THROW((MobilityProfile{0.0, 0.01}.validate()), InvalidArgument);
+  EXPECT_THROW((MobilityProfile{-0.1, 0.01}.validate()), InvalidArgument);
+}
+
+TEST(MobilityProfile, RejectsMoveProbabilityAboveOne) {
+  EXPECT_THROW((MobilityProfile{1.1, 0.0}.validate()), InvalidArgument);
+}
+
+TEST(MobilityProfile, RejectsCallProbabilityOutsideUnitInterval) {
+  EXPECT_THROW((MobilityProfile{0.1, -0.01}.validate()), InvalidArgument);
+  EXPECT_THROW((MobilityProfile{0.1, 1.0}.validate()), InvalidArgument);
+}
+
+TEST(MobilityProfile, RejectsCompetingEventMassAboveOne) {
+  // q + c > 1 leaves no room for the self-loop in the slotted model.
+  EXPECT_THROW((MobilityProfile{0.8, 0.3}.validate()), InvalidArgument);
+}
+
+TEST(CostWeights, AcceptsPositiveCosts) {
+  EXPECT_NO_THROW((CostWeights{1.0, 1.0}.validate()));
+  EXPECT_NO_THROW((CostWeights{1000.0, 10.0}.validate()));
+}
+
+TEST(CostWeights, RejectsNonPositiveCosts) {
+  EXPECT_THROW((CostWeights{0.0, 1.0}.validate()), InvalidArgument);
+  EXPECT_THROW((CostWeights{1.0, 0.0}.validate()), InvalidArgument);
+  EXPECT_THROW((CostWeights{-5.0, 1.0}.validate()), InvalidArgument);
+}
+
+TEST(DelayBound, BoundedCarriesCycleCount) {
+  const DelayBound bound(3);
+  EXPECT_FALSE(bound.is_unbounded());
+  EXPECT_EQ(bound.cycles(), 3);
+  EXPECT_EQ(to_string(bound), "3");
+}
+
+TEST(DelayBound, UnboundedHasNoCycleCount) {
+  const DelayBound bound = DelayBound::unbounded();
+  EXPECT_TRUE(bound.is_unbounded());
+  EXPECT_THROW(bound.cycles(), InvalidArgument);
+  EXPECT_EQ(to_string(bound), "unbounded");
+}
+
+TEST(DelayBound, RejectsNonPositiveCycleCounts) {
+  EXPECT_THROW(DelayBound(0), InvalidArgument);
+  EXPECT_THROW(DelayBound(-1), InvalidArgument);
+}
+
+TEST(DelayBound, SubareaCountIsPaperEquationTwo) {
+  // ℓ = min(d + 1, m)
+  EXPECT_EQ(DelayBound(1).subarea_count(5), 1);
+  EXPECT_EQ(DelayBound(3).subarea_count(5), 3);
+  EXPECT_EQ(DelayBound(10).subarea_count(5), 6);
+  EXPECT_EQ(DelayBound::unbounded().subarea_count(5), 6);
+  EXPECT_EQ(DelayBound::unbounded().subarea_count(0), 1);
+}
+
+TEST(DelayBound, SubareaCountRejectsNegativeThreshold) {
+  EXPECT_THROW(DelayBound(1).subarea_count(-1), InvalidArgument);
+}
+
+TEST(DelayBound, EqualityComparesBoundKindAndCycles) {
+  EXPECT_EQ(DelayBound(2), DelayBound(2));
+  EXPECT_NE(DelayBound(2), DelayBound(3));
+  EXPECT_EQ(DelayBound::unbounded(), DelayBound::unbounded());
+  EXPECT_NE(DelayBound(2), DelayBound::unbounded());
+}
+
+}  // namespace
+}  // namespace pcn

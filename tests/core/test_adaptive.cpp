@@ -1,0 +1,158 @@
+#include "pcn/core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+#include "pcn/optimize/near_optimal.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace pcn::core {
+namespace {
+
+constexpr CostWeights kWeights{100.0, 10.0};
+
+sim::TerminalSpec adaptive_spec(Dimension dim, MobilityProfile true_profile,
+                                MobilityProfile initial_guess,
+                                DelayBound bound,
+                                AdaptivePolicyConfig config = {}) {
+  sim::TerminalSpec spec;
+  spec.call_prob = true_profile.call_prob;
+  spec.mobility = std::make_unique<sim::RandomWalk>(dim,
+                                                    true_profile.move_prob);
+  spec.update_policy = std::make_unique<AdaptiveDistancePolicy>(
+      dim, kWeights, bound, initial_guess, config);
+  spec.paging_policy = std::make_unique<sim::SdfSequentialPaging>(dim, bound);
+  spec.knowledge_kind = sim::KnowledgeKind::kFixedDisk;
+  // The adaptive threshold never exceeds max_threshold; the knowledge disk
+  // must cover the largest threshold the controller may pick.
+  spec.knowledge_radius = config.max_threshold;
+  return spec;
+}
+
+TEST(AdaptiveDistancePolicy, SeedsWithAPlanFromTheInitialEstimates) {
+  const MobilityProfile initial{0.05, 0.01};
+  const AdaptiveDistancePolicy policy(Dimension::kTwoD, kWeights,
+                                      DelayBound(1), initial);
+  // Table 2, U = 100, m = 1: d* = 1.
+  EXPECT_EQ(policy.threshold(), 1);
+  EXPECT_DOUBLE_EQ(policy.estimated_move_prob(), 0.05);
+  EXPECT_DOUBLE_EQ(policy.estimated_call_prob(), 0.01);
+  EXPECT_EQ(policy.replans(), 1);
+}
+
+TEST(AdaptiveDistancePolicy, EstimatesConvergeToTheTrueRates) {
+  const MobilityProfile truth{0.3, 0.02};
+  const MobilityProfile guess{0.01, 0.1};  // badly wrong on purpose
+  AdaptivePolicyConfig config;
+  config.ewma_alpha = 0.005;
+  config.replan_interval = 2000;
+
+  sim::Network network(
+      sim::NetworkConfig{Dimension::kTwoD,
+                         sim::SlotSemantics::kChainFaithful, 77},
+      kWeights);
+  sim::TerminalSpec spec = adaptive_spec(Dimension::kTwoD, truth, guess,
+                                         DelayBound(2), config);
+  auto* policy = static_cast<AdaptiveDistancePolicy*>(spec.update_policy.get());
+  network.add_terminal(std::move(spec));
+  network.run(60000);
+
+  EXPECT_NEAR(policy->estimated_move_prob(), truth.move_prob, 0.05);
+  EXPECT_NEAR(policy->estimated_call_prob(), truth.call_prob, 0.015);
+  EXPECT_GT(policy->replans(), 10);
+}
+
+TEST(AdaptiveDistancePolicy, ConvergesToTheOracleThreshold) {
+  const MobilityProfile truth{0.2, 0.01};
+  const MobilityProfile guess{0.01, 0.1};
+  AdaptivePolicyConfig config;
+  config.ewma_alpha = 0.005;
+  config.replan_interval = 2000;
+  const DelayBound bound(2);
+
+  sim::Network network(
+      sim::NetworkConfig{Dimension::kTwoD,
+                         sim::SlotSemantics::kChainFaithful, 99},
+      kWeights);
+  sim::TerminalSpec spec =
+      adaptive_spec(Dimension::kTwoD, truth, guess, bound, config);
+  auto* policy = static_cast<AdaptiveDistancePolicy*>(spec.update_policy.get());
+  network.add_terminal(std::move(spec));
+  network.run(80000);
+
+  const costs::CostModel oracle =
+      costs::CostModel::exact(Dimension::kTwoD, truth, kWeights);
+  const optimize::Optimum best =
+      optimize::near_optimal_search(oracle, bound, config.max_threshold);
+  EXPECT_LE(std::abs(policy->threshold() - best.threshold), 1)
+      << "adaptive " << policy->threshold() << " oracle " << best.threshold;
+}
+
+TEST(AdaptiveDistancePolicy, TracksAPhasedMobilityProfile) {
+  // Alternating commute (fast) and office (slow) phases: the controller's
+  // threshold after a long slow phase must not exceed its threshold after
+  // a long fast phase.
+  const DelayBound bound(2);
+  AdaptivePolicyConfig config;
+  config.ewma_alpha = 0.01;
+  config.replan_interval = 500;
+
+  sim::TerminalSpec spec;
+  spec.call_prob = 0.01;
+  spec.mobility = std::make_unique<sim::PhasedRandomWalk>(
+      Dimension::kTwoD,
+      std::vector<sim::PhasedRandomWalk::Phase>{{0.4, 20000}, {0.01, 20000}});
+  spec.update_policy = std::make_unique<AdaptiveDistancePolicy>(
+      Dimension::kTwoD, kWeights, bound, MobilityProfile{0.1, 0.01}, config);
+  spec.paging_policy =
+      std::make_unique<sim::SdfSequentialPaging>(Dimension::kTwoD, bound);
+  spec.knowledge_kind = sim::KnowledgeKind::kFixedDisk;
+  spec.knowledge_radius = config.max_threshold;
+  auto* policy = static_cast<AdaptiveDistancePolicy*>(spec.update_policy.get());
+
+  sim::Network network(
+      sim::NetworkConfig{Dimension::kTwoD,
+                         sim::SlotSemantics::kChainFaithful, 1234},
+      kWeights);
+  network.add_terminal(std::move(spec));
+
+  network.run(20000);  // end of fast phase
+  const int fast_threshold = policy->threshold();
+  network.run(20000);  // end of slow phase
+  const int slow_threshold = policy->threshold();
+  EXPECT_LT(slow_threshold, fast_threshold);
+}
+
+TEST(AdaptiveDistancePolicy, ValidatesItsConfiguration) {
+  const MobilityProfile initial{0.05, 0.01};
+  AdaptivePolicyConfig bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(AdaptiveDistancePolicy(Dimension::kTwoD, kWeights,
+                                      DelayBound(1), initial, bad),
+               InvalidArgument);
+  bad = {};
+  bad.replan_interval = 0;
+  EXPECT_THROW(AdaptiveDistancePolicy(Dimension::kTwoD, kWeights,
+                                      DelayBound(1), initial, bad),
+               InvalidArgument);
+  bad = {};
+  bad.max_threshold = 0;
+  EXPECT_THROW(AdaptiveDistancePolicy(Dimension::kTwoD, kWeights,
+                                      DelayBound(1), initial, bad),
+               InvalidArgument);
+  bad = {};
+  bad.floor_probability = 0.0;
+  EXPECT_THROW(AdaptiveDistancePolicy(Dimension::kTwoD, kWeights,
+                                      DelayBound(1), initial, bad),
+               InvalidArgument);
+}
+
+TEST(AdaptiveDistancePolicy, NameReflectsTheCurrentThreshold) {
+  const AdaptiveDistancePolicy policy(Dimension::kTwoD, kWeights,
+                                      DelayBound(1),
+                                      MobilityProfile{0.05, 0.01});
+  EXPECT_EQ(policy.name(), "adaptive-distance(d=1)");
+}
+
+}  // namespace
+}  // namespace pcn::core

@@ -1,0 +1,139 @@
+#include "pcn/core/location_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+#include "pcn/optimize/exhaustive.hpp"
+
+namespace pcn::core {
+namespace {
+
+constexpr MobilityProfile kPaperProfile{0.05, 0.01};
+constexpr CostWeights kPaperWeights{100.0, 10.0};
+
+TEST(LocationManager, PlanReproducesTheExhaustiveOptimum) {
+  const LocationManager manager(Dimension::kTwoD, kPaperProfile,
+                                kPaperWeights);
+  const LocationPlan plan = manager.plan(DelayBound(3));
+  const optimize::Optimum direct = optimize::exhaustive_search(
+      manager.model(), DelayBound(3), manager.config().max_threshold);
+  EXPECT_EQ(plan.threshold, direct.threshold);
+  EXPECT_NEAR(plan.expected_total(), direct.total_cost, 1e-12);
+}
+
+TEST(LocationManager, PaperTable2Row100) {
+  const LocationManager manager(Dimension::kTwoD, kPaperProfile,
+                                kPaperWeights);
+  EXPECT_EQ(manager.plan(DelayBound(1)).threshold, 1);
+  EXPECT_EQ(manager.plan(DelayBound(3)).threshold, 2);
+  EXPECT_EQ(manager.plan(DelayBound::unbounded()).threshold, 2);
+  EXPECT_NEAR(manager.plan(DelayBound(1)).expected_total(), 2.039, 5e-4);
+}
+
+TEST(LocationManager, PlanPartitionMatchesTheThresholdAndBound) {
+  const LocationManager manager(Dimension::kTwoD, kPaperProfile,
+                                kPaperWeights);
+  const DelayBound bound(2);
+  const LocationPlan plan = manager.plan(bound);
+  EXPECT_EQ(plan.partition.threshold(), plan.threshold);
+  EXPECT_EQ(plan.partition.subarea_count(),
+            bound.subarea_count(plan.threshold));
+}
+
+TEST(LocationManager, ExpectedDelayIsWithinTheBound) {
+  const LocationManager manager(Dimension::kTwoD, kPaperProfile,
+                                kPaperWeights);
+  for (int m : {1, 2, 3, 5}) {
+    const LocationPlan plan = manager.plan(DelayBound(m));
+    EXPECT_GE(plan.expected_delay_cycles, 1.0);
+    EXPECT_LE(plan.expected_delay_cycles, static_cast<double>(m));
+  }
+}
+
+TEST(LocationManager, AnnealingOptimizerLandsNearTheScanOptimum) {
+  PlannerConfig config;
+  config.optimizer = OptimizerKind::kSimulatedAnnealing;
+  config.annealing.seed = 5;
+  const LocationManager annealed(Dimension::kTwoD, kPaperProfile,
+                                 kPaperWeights, config);
+  const LocationManager scanned(Dimension::kTwoD, kPaperProfile,
+                                kPaperWeights);
+  const DelayBound bound(3);
+  EXPECT_LE(annealed.plan(bound).expected_total(),
+            scanned.plan(bound).expected_total() * 1.02);
+}
+
+TEST(LocationManager, NearOptimalOptimizerUsesTheApproximateChain) {
+  PlannerConfig config;
+  config.optimizer = OptimizerKind::kNearOptimal;
+  const LocationManager manager(Dimension::kTwoD, kPaperProfile,
+                                kPaperWeights, config);
+  const LocationPlan plan = manager.plan(DelayBound(3));
+  const LocationManager exact(Dimension::kTwoD, kPaperProfile,
+                              kPaperWeights);
+  EXPECT_LE(std::abs(plan.threshold -
+                     exact.plan(DelayBound(3)).threshold),
+            1);
+}
+
+TEST(LocationManager, OptimalContiguousSchemeLowersOrMatchesTheCost) {
+  PlannerConfig dp;
+  dp.scheme = costs::PartitionScheme::kOptimalContiguous;
+  const LocationManager optimal(Dimension::kTwoD, kPaperProfile,
+                                kPaperWeights, dp);
+  const LocationManager sdf(Dimension::kTwoD, kPaperProfile, kPaperWeights);
+  for (int m : {1, 2, 3}) {
+    EXPECT_LE(optimal.plan(DelayBound(m)).expected_total(),
+              sdf.plan(DelayBound(m)).expected_total() + 1e-12);
+  }
+}
+
+TEST(LocationManager, TotalCostDelegatesToTheModel) {
+  const LocationManager manager(Dimension::kOneD, kPaperProfile,
+                                kPaperWeights);
+  EXPECT_NEAR(manager.total_cost(3, DelayBound(1)), 0.897, 5e-4);
+}
+
+TEST(LocationManager, MakeTerminalSpecWiresThePlan) {
+  const LocationManager manager(Dimension::kTwoD, kPaperProfile,
+                                kPaperWeights);
+  const LocationPlan plan = manager.plan(DelayBound(2));
+  sim::TerminalSpec spec = manager.make_terminal_spec(plan);
+  EXPECT_EQ(spec.knowledge_radius, plan.threshold);
+  EXPECT_EQ(spec.knowledge_kind, sim::KnowledgeKind::kFixedDisk);
+  EXPECT_DOUBLE_EQ(spec.call_prob, kPaperProfile.call_prob);
+  ASSERT_NE(spec.update_policy, nullptr);
+  ASSERT_NE(spec.paging_policy, nullptr);
+  EXPECT_LE(spec.paging_policy->delay_bound().cycles(), 2);
+
+  // The spec must actually run.
+  sim::Network network(
+      sim::NetworkConfig{Dimension::kTwoD,
+                         sim::SlotSemantics::kChainFaithful, 5},
+      kPaperWeights);
+  const sim::TerminalId id = network.add_terminal(std::move(spec));
+  network.run(5000);
+  EXPECT_EQ(network.metrics(id).slots, 5000);
+}
+
+TEST(LocationManager, RejectsInvalidConfiguration) {
+  PlannerConfig config;
+  config.max_threshold = -1;
+  EXPECT_THROW(LocationManager(Dimension::kOneD, kPaperProfile,
+                               kPaperWeights, config),
+               InvalidArgument);
+}
+
+TEST(LocationManager, LegacyFlagReproducesTable1DZeroRows) {
+  PlannerConfig config;
+  config.legacy_d0_generic_update_rate = true;
+  const LocationManager legacy(Dimension::kOneD, kPaperProfile,
+                               CostWeights{1.0, 10.0}, config);
+  // Table 1, U = 1: d* = 0, C_T = 0.125 for every delay bound.
+  const LocationPlan plan = legacy.plan(DelayBound(1));
+  EXPECT_EQ(plan.threshold, 0);
+  EXPECT_NEAR(plan.expected_total(), 0.125, 1e-9);
+}
+
+}  // namespace
+}  // namespace pcn::core

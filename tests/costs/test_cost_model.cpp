@@ -1,0 +1,240 @@
+#include "pcn/costs/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+#include "pcn/geometry/ring_metrics.hpp"
+#include "pcn/markov/steady_state.hpp"
+
+namespace pcn::costs {
+namespace {
+
+constexpr MobilityProfile kPaperProfile{0.05, 0.01};  // q, c of Tables 1-2
+constexpr CostWeights kPaperWeights{100.0, 10.0};     // U = 100, V = 10
+
+// --- C_u ---------------------------------------------------------------------
+
+TEST(UpdateCost, EquationSixtyOne) {
+  // C_u(d) = p_{d,d} a_{d,d+1} U, hand-wired against the solver.
+  const CostModel model =
+      CostModel::exact(Dimension::kOneD, kPaperProfile, kPaperWeights);
+  const auto pi = markov::solve_steady_state(model.spec(), 3);
+  EXPECT_NEAR(model.update_cost(3), pi[3] * (0.05 / 2) * 100.0, 1e-12);
+}
+
+TEST(UpdateCost, ThresholdZeroUsesFullOutwardRate) {
+  // At d = 0 every move triggers an update: C_u(0) = q U (eq. 3).
+  const CostModel model =
+      CostModel::exact(Dimension::kOneD, kPaperProfile, kPaperWeights);
+  EXPECT_NEAR(model.update_cost(0), 0.05 * 100.0, 1e-12);
+}
+
+TEST(UpdateCost, LegacyTable1FlagHalvesTheDZeroRate) {
+  // The paper's published Table 1 used q/2 at d = 0; the flag reproduces it.
+  CostModelOptions options;
+  options.legacy_d0_generic_update_rate = true;
+  const CostModel model = CostModel::exact(Dimension::kOneD, kPaperProfile,
+                                           kPaperWeights, options);
+  EXPECT_NEAR(model.update_cost(0), 0.025 * 100.0, 1e-12);
+  // d >= 1 unaffected.
+  const CostModel plain =
+      CostModel::exact(Dimension::kOneD, kPaperProfile, kPaperWeights);
+  EXPECT_NEAR(model.update_cost(3), plain.update_cost(3), 1e-15);
+}
+
+TEST(UpdateCost, LegacyFlagRejectedForTwoDimExactOnly) {
+  CostModelOptions options;
+  options.legacy_d0_generic_update_rate = true;
+  // The paper's Table 2 exact columns used a_{0,1} = q, so the quirk is
+  // rejected there; its near-optimal columns used q/3, so the approximate
+  // chain accepts it.
+  EXPECT_THROW(CostModel::exact(Dimension::kTwoD, kPaperProfile,
+                                kPaperWeights, options),
+               InvalidArgument);
+  const CostModel approx =
+      CostModel::approximate_2d(kPaperProfile, kPaperWeights, options);
+  EXPECT_NEAR(approx.update_cost(0), (0.05 / 3.0) * 100.0, 1e-12);
+}
+
+TEST(UpdateCost, DecreasesWithThreshold) {
+  // Larger residing areas mean rarer updates.
+  const CostModel model =
+      CostModel::exact(Dimension::kTwoD, kPaperProfile, kPaperWeights);
+  double previous = model.update_cost(1);
+  for (int d = 2; d <= 12; ++d) {
+    const double current = model.update_cost(d);
+    EXPECT_LT(current, previous) << "d = " << d;
+    previous = current;
+  }
+}
+
+// --- C_v ---------------------------------------------------------------------
+
+class PagingCostBlanket : public ::testing::TestWithParam<Dimension> {};
+
+TEST_P(PagingCostBlanket, DelayOneIsEquationSixtyTwo) {
+  // C_v(d, 1) = c g(d) V.
+  const Dimension dim = GetParam();
+  const CostModel model = CostModel::exact(dim, kPaperProfile, kPaperWeights);
+  for (int d = 0; d <= 10; ++d) {
+    EXPECT_NEAR(model.paging_cost(d, DelayBound(1)),
+                0.01 * static_cast<double>(geometry::cells_within(dim, d)) *
+                    10.0,
+                1e-12)
+        << "d = " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothGeometries, PagingCostBlanket,
+                         ::testing::Values(Dimension::kOneD,
+                                           Dimension::kTwoD));
+
+TEST(PagingCost, HandComputedOneDimDelayTwo) {
+  // d = 1, m = 2 (1-D): alpha = (p0, p1), w = (1, 3):
+  // C_v = c V (p0 + 3 p1).
+  const CostModel model =
+      CostModel::exact(Dimension::kOneD, kPaperProfile, kPaperWeights);
+  const auto pi = markov::solve_steady_state(model.spec(), 1);
+  EXPECT_NEAR(model.paging_cost(1, DelayBound(2)),
+              0.01 * 10.0 * (pi[0] * 1 + pi[1] * 3), 1e-12);
+}
+
+TEST(PagingCost, SdfNeverExceedsBlanketAndUnboundedIsFinest) {
+  // The paper's SDF equal-split rule is NOT monotone in m (its group
+  // boundaries shift discontinuously with gamma), but every sequential
+  // schedule beats blanket polling, and m >= d + 1 saturates at the
+  // one-ring-per-cycle partition.
+  const CostModel model =
+      CostModel::exact(Dimension::kTwoD, kPaperProfile, kPaperWeights);
+  for (int d : {3, 6, 10}) {
+    const double blanket = model.paging_cost(d, DelayBound(1));
+    const double unbounded =
+        model.paging_cost(d, DelayBound::unbounded());
+    for (int m = 2; m <= d + 2; ++m) {
+      const double current = model.paging_cost(d, DelayBound(m));
+      EXPECT_LE(current, blanket + 1e-12) << "d=" << d << " m=" << m;
+      EXPECT_GE(current, unbounded - 1e-12) << "d=" << d << " m=" << m;
+    }
+    EXPECT_NEAR(model.paging_cost(d, DelayBound(d + 1)), unbounded, 1e-12);
+  }
+}
+
+TEST(PagingCost, OptimalContiguousSchemeIsMonotoneInDelay) {
+  // With DP-optimal partitions, extra polling cycles can only help.
+  CostModelOptions options;
+  options.scheme = PartitionScheme::kOptimalContiguous;
+  const CostModel model = CostModel::exact(Dimension::kTwoD, kPaperProfile,
+                                           kPaperWeights, options);
+  for (int d : {3, 6, 10}) {
+    double previous = model.paging_cost(d, DelayBound(1));
+    for (int m = 2; m <= d + 2; ++m) {
+      const double current = model.paging_cost(d, DelayBound(m));
+      EXPECT_LE(current, previous + 1e-12) << "d=" << d << " m=" << m;
+      previous = current;
+    }
+  }
+}
+
+TEST(PagingCost, ExplicitPartitionOverloadAgreesWithScheme) {
+  const CostModel model =
+      CostModel::exact(Dimension::kTwoD, kPaperProfile, kPaperWeights);
+  const DelayBound bound(3);
+  const Partition partition = model.partition(7, bound);
+  EXPECT_NEAR(model.paging_cost(7, partition),
+              model.paging_cost(7, bound), 1e-15);
+}
+
+TEST(PagingCost, PartitionThresholdMismatchIsRejected) {
+  const CostModel model =
+      CostModel::exact(Dimension::kTwoD, kPaperProfile, kPaperWeights);
+  const Partition partition = Partition::sdf(5, DelayBound(2));
+  EXPECT_THROW(model.paging_cost(4, partition), InvalidArgument);
+}
+
+// --- C_T and scheme options ---------------------------------------------------
+
+TEST(TotalCost, IsSumOfComponents) {
+  const CostModel model =
+      CostModel::exact(Dimension::kTwoD, kPaperProfile, kPaperWeights);
+  const DelayBound bound(2);
+  const CostBreakdown breakdown = model.cost(5, bound);
+  EXPECT_NEAR(breakdown.total(),
+              model.update_cost(5) + model.paging_cost(5, bound), 1e-15);
+  EXPECT_NEAR(model.total_cost(5, bound), breakdown.total(), 1e-15);
+}
+
+TEST(TotalCost, OptimalContiguousSchemeNeverCostsMoreThanSdf) {
+  CostModelOptions optimal;
+  optimal.scheme = PartitionScheme::kOptimalContiguous;
+  const CostModel dp = CostModel::exact(Dimension::kTwoD, kPaperProfile,
+                                        kPaperWeights, optimal);
+  const CostModel sdf =
+      CostModel::exact(Dimension::kTwoD, kPaperProfile, kPaperWeights);
+  for (int d : {2, 5, 9}) {
+    for (int m : {1, 2, 3}) {
+      EXPECT_LE(dp.total_cost(d, DelayBound(m)),
+                sdf.total_cost(d, DelayBound(m)) + 1e-12)
+          << "d=" << d << " m=" << m;
+    }
+  }
+}
+
+TEST(TotalCost, ApproximateTwoDimModelIsCloseToExact) {
+  // Section 4.2: the q/(6i) truncation changes costs only mildly.
+  const CostModel exact =
+      CostModel::exact(Dimension::kTwoD, kPaperProfile, kPaperWeights);
+  const CostModel approx =
+      CostModel::approximate_2d(kPaperProfile, kPaperWeights);
+  for (int d : {2, 4, 8}) {
+    const double a = exact.total_cost(d, DelayBound(3));
+    const double b = approx.total_cost(d, DelayBound(3));
+    EXPECT_NEAR(a, b, 0.35 * a) << "d = " << d;
+  }
+}
+
+// --- regression against published table rows ---------------------------------
+
+TEST(PaperValues, Table1RowU100) {
+  // U = 100, V = 10, q = 0.05, c = 0.01 (1-D):
+  //   d* = 3 -> C_T = 0.897 (m=1); d* = 4 -> 0.589 (m=2);
+  //   d* = 5 -> 0.515 (m=3); d* = 7 -> 0.397 (unbounded).
+  const CostModel model =
+      CostModel::exact(Dimension::kOneD, kPaperProfile, kPaperWeights);
+  EXPECT_NEAR(model.total_cost(3, DelayBound(1)), 0.897, 5e-4);
+  EXPECT_NEAR(model.total_cost(4, DelayBound(2)), 0.589, 5e-4);
+  EXPECT_NEAR(model.total_cost(5, DelayBound(3)), 0.515, 5e-4);
+  EXPECT_NEAR(model.total_cost(7, DelayBound::unbounded()), 0.397, 5e-4);
+}
+
+TEST(PaperValues, Table2RowU100) {
+  // 2-D exact: d* = 1 -> 2.039 (m=1); d* = 2 -> 1.335 (m=3 and unbounded).
+  const CostModel model =
+      CostModel::exact(Dimension::kTwoD, kPaperProfile, kPaperWeights);
+  EXPECT_NEAR(model.total_cost(1, DelayBound(1)), 2.039, 5e-4);
+  EXPECT_NEAR(model.total_cost(2, DelayBound(3)), 1.335, 5e-4);
+  EXPECT_NEAR(model.total_cost(2, DelayBound::unbounded()), 1.335, 5e-4);
+}
+
+TEST(PaperValues, Table2SmallUOptimaAreDZero) {
+  // For U <= 8 (2-D) staying at d = 0 is optimal: C_T = c V + q U.
+  const CostModel model =
+      CostModel::exact(Dimension::kTwoD, kPaperProfile,
+                       CostWeights{6.0, 10.0});
+  EXPECT_NEAR(model.total_cost(0, DelayBound(1)), 0.01 * 10 + 0.05 * 6,
+              1e-12);
+}
+
+TEST(CostModel, RejectsNegativeThreshold) {
+  const CostModel model =
+      CostModel::exact(Dimension::kOneD, kPaperProfile, kPaperWeights);
+  EXPECT_THROW(model.update_cost(-1), InvalidArgument);
+}
+
+TEST(CostModel, RejectsInvalidWeights) {
+  EXPECT_THROW(CostModel::exact(Dimension::kOneD, kPaperProfile,
+                                CostWeights{0.0, 1.0}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::costs

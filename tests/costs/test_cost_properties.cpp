@@ -1,0 +1,157 @@
+// Property sweep over randomized parameters: structural invariants of the
+// cost model that must hold for *any* admissible (q, c, U, V, d, m).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/geometry/ring_metrics.hpp"
+#include "pcn/markov/steady_state.hpp"
+#include "pcn/stats/rng.hpp"
+
+namespace pcn::costs {
+namespace {
+
+struct RandomCase {
+  Dimension dim;
+  MobilityProfile profile;
+  CostWeights weights;
+  int threshold;
+  DelayBound bound;
+};
+
+RandomCase draw_case(stats::Rng& rng) {
+  RandomCase c{Dimension::kOneD, MobilityProfile{}, CostWeights{}, 0,
+               DelayBound(1)};
+  c.dim = rng.next_bernoulli(0.5) ? Dimension::kOneD : Dimension::kTwoD;
+  c.profile.move_prob = 0.001 + rng.next_unit() * 0.6;
+  c.profile.call_prob =
+      0.0005 + rng.next_unit() * std::min(0.2, 1.0 - c.profile.move_prob -
+                                                   0.01);
+  c.weights.update_cost = 0.5 + rng.next_unit() * 500.0;
+  c.weights.poll_cost = 0.1 + rng.next_unit() * 20.0;
+  c.threshold = static_cast<int>(rng.next_below(15));
+  c.bound = rng.next_bernoulli(0.25)
+                ? DelayBound::unbounded()
+                : DelayBound(1 + static_cast<int>(rng.next_below(6)));
+  return c;
+}
+
+class CostModelProperties : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CostModelProperties, ComponentsArePositiveAndFinite) {
+  stats::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const RandomCase c = draw_case(rng);
+    const CostModel model = CostModel::exact(c.dim, c.profile, c.weights);
+    const CostBreakdown breakdown = model.cost(c.threshold, c.bound);
+    EXPECT_GT(breakdown.update, 0.0);
+    EXPECT_GT(breakdown.paging, 0.0);
+    EXPECT_TRUE(std::isfinite(breakdown.total()));
+  }
+}
+
+TEST_P(CostModelProperties, UpdateCostIsLinearInU) {
+  stats::Rng rng(GetParam() ^ 0x11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const RandomCase c = draw_case(rng);
+    CostWeights doubled = c.weights;
+    doubled.update_cost *= 2.0;
+    const CostModel base = CostModel::exact(c.dim, c.profile, c.weights);
+    const CostModel scaled = CostModel::exact(c.dim, c.profile, doubled);
+    EXPECT_NEAR(scaled.update_cost(c.threshold),
+                2.0 * base.update_cost(c.threshold),
+                1e-9 * base.update_cost(c.threshold));
+    // Paging untouched by U.
+    EXPECT_NEAR(scaled.paging_cost(c.threshold, c.bound),
+                base.paging_cost(c.threshold, c.bound), 1e-12);
+  }
+}
+
+TEST_P(CostModelProperties, PagingCostIsLinearInV) {
+  stats::Rng rng(GetParam() ^ 0x22);
+  for (int trial = 0; trial < 25; ++trial) {
+    const RandomCase c = draw_case(rng);
+    CostWeights tripled = c.weights;
+    tripled.poll_cost *= 3.0;
+    const CostModel base = CostModel::exact(c.dim, c.profile, c.weights);
+    const CostModel scaled = CostModel::exact(c.dim, c.profile, tripled);
+    EXPECT_NEAR(scaled.paging_cost(c.threshold, c.bound),
+                3.0 * base.paging_cost(c.threshold, c.bound),
+                1e-9 * base.paging_cost(c.threshold, c.bound));
+    EXPECT_NEAR(scaled.update_cost(c.threshold),
+                base.update_cost(c.threshold), 1e-12);
+  }
+}
+
+TEST_P(CostModelProperties, PagingCostIsBracketedByOnePollAndBlanket) {
+  // cV <= C_v(d, m) <= c g(d) V for every sequential schedule.
+  stats::Rng rng(GetParam() ^ 0x33);
+  for (int trial = 0; trial < 40; ++trial) {
+    const RandomCase c = draw_case(rng);
+    const CostModel model = CostModel::exact(c.dim, c.profile, c.weights);
+    const double paging = model.paging_cost(c.threshold, c.bound);
+    const double floor = c.profile.call_prob * c.weights.poll_cost;
+    const double ceiling =
+        c.profile.call_prob * c.weights.poll_cost *
+        static_cast<double>(geometry::cells_within(c.dim, c.threshold));
+    EXPECT_GE(paging, floor - 1e-12);
+    EXPECT_LE(paging, ceiling + 1e-12);
+  }
+}
+
+TEST_P(CostModelProperties, UpdateCostBoundedByMoveRate) {
+  // Updates can happen at most once per slot and only on a move:
+  // C_u <= q U (with equality only at d = 0).
+  stats::Rng rng(GetParam() ^ 0x44);
+  for (int trial = 0; trial < 40; ++trial) {
+    const RandomCase c = draw_case(rng);
+    const CostModel model = CostModel::exact(c.dim, c.profile, c.weights);
+    EXPECT_LE(model.update_cost(c.threshold),
+              c.profile.move_prob * c.weights.update_cost + 1e-12);
+  }
+}
+
+TEST_P(CostModelProperties, SteadyStateMatchesSolverForTheSameSpec) {
+  stats::Rng rng(GetParam() ^ 0x55);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RandomCase c = draw_case(rng);
+    const CostModel model = CostModel::exact(c.dim, c.profile, c.weights);
+    const auto via_model = model.steady_state(c.threshold);
+    const auto direct = markov::solve_steady_state(model.spec(), c.threshold);
+    ASSERT_EQ(via_model.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_DOUBLE_EQ(via_model[i], direct[i]);
+    }
+  }
+}
+
+TEST_P(CostModelProperties, MorePagingDelayNeverHurtsAtTheOptimum) {
+  // At each bound's own optimal threshold, min_d C_T(d, m) is
+  // non-increasing in m for the DP-optimal scheme.
+  stats::Rng rng(GetParam() ^ 0x66);
+  for (int trial = 0; trial < 8; ++trial) {
+    const RandomCase c = draw_case(rng);
+    CostModelOptions options;
+    options.scheme = PartitionScheme::kOptimalContiguous;
+    const CostModel model =
+        CostModel::exact(c.dim, c.profile, c.weights, options);
+    double previous = 1e300;
+    for (int m = 1; m <= 4; ++m) {
+      double best = 1e300;
+      for (int d = 0; d <= 12; ++d) {
+        best = std::min(best, model.total_cost(d, DelayBound(m)));
+      }
+      EXPECT_LE(best, previous + 1e-9) << "m = " << m;
+      previous = best;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelProperties,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace pcn::costs

@@ -1,0 +1,322 @@
+#include "pcn/costs/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "pcn/common/error.hpp"
+#include "pcn/geometry/ring_metrics.hpp"
+#include "pcn/markov/steady_state.hpp"
+
+namespace pcn::costs {
+namespace {
+
+// --- the paper's SDF equal-split rule ---------------------------------------
+
+TEST(SdfPartition, UnboundedDelayGivesOneRingPerSubarea) {
+  const Partition p = Partition::sdf(4, DelayBound::unbounded());
+  ASSERT_EQ(p.subarea_count(), 5);
+  for (int j = 0; j < 5; ++j) {
+    ASSERT_EQ(p.rings(j).size(), 1u);
+    EXPECT_EQ(p.rings(j)[0], j);
+  }
+}
+
+TEST(SdfPartition, DelayOneIsBlanket) {
+  const Partition p = Partition::sdf(4, DelayBound(1));
+  ASSERT_EQ(p.subarea_count(), 1);
+  EXPECT_EQ(p.rings(0).size(), 5u);
+}
+
+TEST(SdfPartition, EqualSplitWithRemainderInLastSubarea) {
+  // d = 9, m = 3: gamma = floor(10/3) = 3 -> subareas {0-2}, {3-5}, {6-9}.
+  const Partition p = Partition::sdf(9, DelayBound(3));
+  ASSERT_EQ(p.subarea_count(), 3);
+  EXPECT_EQ(p.rings(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(p.rings(1), (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(p.rings(2), (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(SdfPartition, SubareaCountIsEquationTwo) {
+  for (int d = 0; d <= 20; ++d) {
+    for (int m = 1; m <= 25; ++m) {
+      EXPECT_EQ(Partition::sdf(d, DelayBound(m)).subarea_count(),
+                std::min(d + 1, m))
+          << "d=" << d << " m=" << m;
+    }
+  }
+}
+
+class PartitionCoverage
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionCoverage, SdfCoversEveryRingExactlyOnce) {
+  const auto& [d, m] = GetParam();
+  const Partition p = Partition::sdf(d, DelayBound(m));
+  std::set<int> covered;
+  for (int j = 0; j < p.subarea_count(); ++j) {
+    for (int ring : p.rings(j)) {
+      EXPECT_TRUE(covered.insert(ring).second) << "duplicate ring " << ring;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), d + 1);
+  EXPECT_EQ(*covered.begin(), 0);
+  EXPECT_EQ(*covered.rbegin(), d);
+}
+
+TEST_P(PartitionCoverage, SdfRingsAreInShortestDistanceFirstOrder) {
+  const auto& [d, m] = GetParam();
+  const Partition p = Partition::sdf(d, DelayBound(m));
+  int previous = -1;
+  for (int j = 0; j < p.subarea_count(); ++j) {
+    for (int ring : p.rings(j)) {
+      EXPECT_EQ(ring, previous + 1);
+      previous = ring;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdsByDelays, PartitionCoverage,
+    ::testing::Combine(::testing::Values(0, 1, 2, 5, 9, 17),
+                       ::testing::Values(1, 2, 3, 4, 8)));
+
+// --- cost evaluation ---------------------------------------------------------
+
+TEST(PartitionCost, BlanketExpectedCellsIsGOfD) {
+  // With one subarea every call polls g(d) cells regardless of location.
+  const std::vector<double> pi{0.5, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(Partition::blanket(2).expected_polled_cells(
+                       pi, Dimension::kTwoD),
+                   static_cast<double>(
+                       geometry::cells_within(Dimension::kTwoD, 2)));
+}
+
+TEST(PartitionCost, HandComputedTwoSubareaExample) {
+  // 1-D, d = 1, subareas {r0}, {r1}: w = (1, 3);
+  // E = p0*1 + p1*3.
+  const std::vector<double> pi{0.6, 0.4};
+  const Partition p = Partition::sdf(1, DelayBound(2));
+  EXPECT_DOUBLE_EQ(p.expected_polled_cells(pi, Dimension::kOneD),
+                   0.6 * 1 + 0.4 * 3);
+}
+
+TEST(PartitionCost, ExpectedDelayWeightsCyclesByMass) {
+  const std::vector<double> pi{0.6, 0.3, 0.1};
+  const Partition p = Partition::sdf(2, DelayBound(3));
+  EXPECT_DOUBLE_EQ(p.expected_delay_cycles(pi), 0.6 * 1 + 0.3 * 2 + 0.1 * 3);
+}
+
+TEST(PartitionCost, SequentialSchedulesNeverExceedBlanket) {
+  // Note the SDF equal-split rule itself is not monotone in m (gamma
+  // changes shift the group boundaries discontinuously); the guarantees
+  // are: any schedule <= blanket, and the one-ring-per-cycle partition is
+  // the cheapest contiguous one.
+  const MobilityProfile profile{0.1, 0.01};
+  const auto pi = markov::solve_steady_state(
+      markov::ChainSpec::two_dim_exact(profile), 8);
+  const double blanket =
+      Partition::blanket(8).expected_polled_cells(pi, Dimension::kTwoD);
+  const double finest = Partition::single_rings(8).expected_polled_cells(
+      pi, Dimension::kTwoD);
+  for (int m = 2; m <= 9; ++m) {
+    const double current =
+        Partition::sdf(8, DelayBound(m)).expected_polled_cells(
+            pi, Dimension::kTwoD);
+    EXPECT_LE(current, blanket + 1e-12) << "m = " << m;
+    EXPECT_GE(current, finest - 1e-12) << "m = " << m;
+  }
+}
+
+TEST(PartitionCost, DpOptimalIsMonotoneNonIncreasingInDelay) {
+  const MobilityProfile profile{0.1, 0.01};
+  const auto pi = markov::solve_steady_state(
+      markov::ChainSpec::two_dim_exact(profile), 8);
+  double previous = Partition::optimal(pi, Dimension::kTwoD, DelayBound(1))
+                        .expected_polled_cells(pi, Dimension::kTwoD);
+  for (int m = 2; m <= 9; ++m) {
+    const double current =
+        Partition::optimal(pi, Dimension::kTwoD, DelayBound(m))
+            .expected_polled_cells(pi, Dimension::kTwoD);
+    EXPECT_LE(current, previous + 1e-12) << "m = " << m;
+    previous = current;
+  }
+}
+
+// --- optimal (DP) partitioning ----------------------------------------------
+
+class OptimalPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<Dimension, int, int>> {};
+
+TEST_P(OptimalPartitionSweep, NeverWorseThanSdfEqualSplit) {
+  const auto& [dim, d, m] = GetParam();
+  const MobilityProfile profile{0.1, 0.02};
+  const auto pi =
+      markov::solve_steady_state(markov::ChainSpec::exact(dim, profile), d);
+  const DelayBound bound(m);
+  const double optimal =
+      Partition::optimal(pi, dim, bound).expected_polled_cells(pi, dim);
+  const double sdf =
+      Partition::sdf(d, bound).expected_polled_cells(pi, dim);
+  EXPECT_LE(optimal, sdf + 1e-12);
+}
+
+TEST_P(OptimalPartitionSweep, RespectsTheDelayBound) {
+  const auto& [dim, d, m] = GetParam();
+  const MobilityProfile profile{0.1, 0.02};
+  const auto pi =
+      markov::solve_steady_state(markov::ChainSpec::exact(dim, profile), d);
+  const Partition p = Partition::optimal(pi, dim, DelayBound(m));
+  EXPECT_LE(p.subarea_count(), m);
+  EXPECT_EQ(p.subarea_count(), std::min(d + 1, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometriesThresholdsDelays, OptimalPartitionSweep,
+    ::testing::Combine(::testing::Values(Dimension::kOneD, Dimension::kTwoD),
+                       ::testing::Values(1, 3, 6, 11),
+                       ::testing::Values(1, 2, 3, 5)));
+
+TEST(OptimalPartition, UnboundedDelayMakesSingletonsOptimal) {
+  // With strictly positive ring mass, one ring per cycle minimizes cost.
+  const std::vector<double> pi{0.4, 0.3, 0.2, 0.1};
+  const Partition p =
+      Partition::optimal(pi, Dimension::kOneD, DelayBound::unbounded());
+  EXPECT_EQ(p.subarea_count(), 4);
+}
+
+TEST(HighestProbabilityFirst, ReordersRingsByPerCellMass) {
+  // Ring 1 carries almost all mass per cell; HPF must poll it first even
+  // though SDF would start at ring 0.
+  const std::vector<double> pi{0.02, 0.9, 0.08};
+  const Partition p = Partition::highest_probability_first(
+      pi, Dimension::kOneD, DelayBound::unbounded());
+  ASSERT_EQ(p.subarea_count(), 3);
+  EXPECT_EQ(p.rings(0), (std::vector<int>{1}));
+}
+
+TEST(HighestProbabilityFirst, NeverWorseThanSdfUnbounded) {
+  // Rose & Yates: decreasing per-cell probability order minimizes expected
+  // polled cells when delay is unconstrained.
+  const MobilityProfile profile{0.3, 0.005};
+  for (int d : {2, 5, 9}) {
+    const auto pi = markov::solve_steady_state(
+        markov::ChainSpec::two_dim_exact(profile), d);
+    const double hpf =
+        Partition::highest_probability_first(pi, Dimension::kTwoD,
+                                             DelayBound::unbounded())
+            .expected_polled_cells(pi, Dimension::kTwoD);
+    const double sdf = Partition::sdf(d, DelayBound::unbounded())
+                           .expected_polled_cells(pi, Dimension::kTwoD);
+    EXPECT_LE(hpf, sdf + 1e-12) << "d = " << d;
+  }
+}
+
+// --- explicit construction and validation ------------------------------------
+
+TEST(FromSubareas, AcceptsAValidPartition) {
+  const Partition p = Partition::from_subareas(2, {{1}, {0, 2}});
+  EXPECT_EQ(p.subarea_count(), 2);
+  EXPECT_EQ(p.cell_count(Dimension::kTwoD, 1), 1 + 12);
+}
+
+TEST(FromSubareas, RejectsMissingDuplicateOrOutOfRangeRings) {
+  EXPECT_THROW(Partition::from_subareas(2, {{0, 1}}), InvalidArgument);
+  EXPECT_THROW(Partition::from_subareas(2, {{0, 1, 1}, {2}}),
+               InvalidArgument);
+  EXPECT_THROW(Partition::from_subareas(2, {{0, 1}, {2, 3}}),
+               InvalidArgument);
+  EXPECT_THROW(Partition::from_subareas(2, {{0, 1, 2}, {}}),
+               InvalidArgument);
+}
+
+TEST(Partition, ExpectedCostRejectsWrongProbabilityVectorLength) {
+  const Partition p = Partition::sdf(3, DelayBound(2));
+  const std::vector<double> wrong{0.5, 0.5};
+  EXPECT_THROW(p.expected_polled_cells(wrong, Dimension::kOneD),
+               InvalidArgument);
+}
+
+namespace brute {
+
+/// Enumerates every contiguous partition of rings 0..d into exactly
+/// `groups` blocks and returns the minimal expected polled cells.
+double best_contiguous(std::span<const double> pi, Dimension dim, int d,
+                       int groups) {
+  // Choose group boundaries 0 < b1 < ... < b_{g-1} <= d over ring indices.
+  std::vector<int> cuts(static_cast<std::size_t>(groups) - 1, 0);
+  double best = 1e300;
+  // Iterate over all increasing cut sequences via odometer.
+  std::vector<int> state;
+  for (int i = 1; i < groups; ++i) state.push_back(i);
+  auto evaluate = [&]() {
+    std::vector<std::vector<int>> subareas;
+    int start = 0;
+    for (int cut : state) {
+      std::vector<int> rings;
+      for (int r = start; r < cut; ++r) rings.push_back(r);
+      subareas.push_back(std::move(rings));
+      start = cut;
+    }
+    std::vector<int> tail;
+    for (int r = start; r <= d; ++r) tail.push_back(r);
+    subareas.push_back(std::move(tail));
+    const Partition partition =
+        Partition::from_subareas(d, std::move(subareas));
+    best = std::min(best, partition.expected_polled_cells(pi, dim));
+  };
+  if (groups == 1) {
+    return Partition::blanket(d).expected_polled_cells(pi, dim);
+  }
+  for (;;) {
+    evaluate();
+    // Advance the odometer of strictly increasing cuts in [1, d].
+    int idx = groups - 2;
+    while (idx >= 0) {
+      ++state[static_cast<std::size_t>(idx)];
+      bool ok = true;
+      for (int j = idx; j < groups - 1; ++j) {
+        if (j > idx) {
+          state[static_cast<std::size_t>(j)] =
+              state[static_cast<std::size_t>(j) - 1] + 1;
+        }
+        if (state[static_cast<std::size_t>(j)] > d) ok = false;
+      }
+      if (ok) break;
+      --idx;
+    }
+    if (idx < 0) break;
+  }
+  return best;
+}
+
+}  // namespace brute
+
+TEST(OptimalPartition, MatchesBruteForceEnumerationOnSmallCases) {
+  // The DP must equal exhaustive enumeration of all contiguous splits.
+  const MobilityProfile profile{0.15, 0.02};
+  for (Dimension dim : {Dimension::kOneD, Dimension::kTwoD}) {
+    for (int d : {2, 4, 6}) {
+      const auto pi = markov::solve_steady_state(
+          markov::ChainSpec::exact(dim, profile), d);
+      for (int m = 1; m <= d + 1; ++m) {
+        const double dp = Partition::optimal(pi, dim, DelayBound(m))
+                              .expected_polled_cells(pi, dim);
+        const double brute_best =
+            brute::best_contiguous(pi, dim, d, std::min(d + 1, m));
+        EXPECT_NEAR(dp, brute_best, 1e-12)
+            << to_string(dim) << " d=" << d << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(Partition, RingsRejectsOutOfRangeSubarea) {
+  const Partition p = Partition::sdf(3, DelayBound(2));
+  EXPECT_THROW(p.rings(-1), InvalidArgument);
+  EXPECT_THROW(p.rings(2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::costs

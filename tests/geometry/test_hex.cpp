@@ -1,0 +1,180 @@
+#include "pcn/geometry/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::geometry {
+namespace {
+
+TEST(HexDistance, ZeroOnlyForIdenticalCells) {
+  EXPECT_EQ(hex_distance(HexCell{2, -1}, HexCell{2, -1}), 0);
+  EXPECT_GT(hex_distance(HexCell{2, -1}, HexCell{2, 0}), 0);
+}
+
+TEST(HexDistance, UnitDirectionsAreAtDistanceOne) {
+  for (const HexCell& dir : hex_directions()) {
+    EXPECT_EQ(hex_distance(HexCell{0, 0}, dir), 1);
+  }
+}
+
+TEST(HexDistance, IsSymmetricAndTranslationInvariant) {
+  const HexCell a{3, -2};
+  const HexCell b{-1, 4};
+  const HexCell shift{7, -5};
+  EXPECT_EQ(hex_distance(a, b), hex_distance(b, a));
+  EXPECT_EQ(hex_distance(hex_add(a, shift), hex_add(b, shift)),
+            hex_distance(a, b));
+}
+
+TEST(HexDistance, SatisfiesTriangleInequalityOnASample) {
+  const std::vector<HexCell> cells = hex_disk(HexCell{}, 4);
+  for (const HexCell& a : cells) {
+    for (const HexCell& b : cells) {
+      for (const HexCell& c : cells) {
+        EXPECT_LE(hex_distance(a, c),
+                  hex_distance(a, b) + hex_distance(b, c));
+      }
+    }
+  }
+}
+
+TEST(HexNeighbors, SixDistinctCellsAtDistanceOne) {
+  const HexCell center{5, 5};
+  const auto neighbors = hex_neighbors(center);
+  std::set<std::pair<std::int64_t, std::int64_t>> unique;
+  for (const HexCell& n : neighbors) {
+    EXPECT_EQ(hex_distance(center, n), 1);
+    unique.insert({n.q, n.r});
+  }
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(HexRing, SizesMatchSixTimesIndex) {
+  for (int i = 0; i <= 12; ++i) {
+    const auto ring = hex_ring(HexCell{1, -3}, i);
+    EXPECT_EQ(ring.size(), static_cast<std::size_t>(i == 0 ? 1 : 6 * i));
+  }
+}
+
+TEST(HexRing, EveryCellIsAtExactlyTheRingDistance) {
+  const HexCell center{-4, 9};
+  for (int i = 1; i <= 10; ++i) {
+    for (const HexCell& cell : hex_ring(center, i)) {
+      EXPECT_EQ(hex_distance(center, cell), i) << "ring " << i;
+    }
+  }
+}
+
+TEST(HexRing, CellsAreDistinct) {
+  for (int i = 1; i <= 10; ++i) {
+    const auto ring = hex_ring(HexCell{}, i);
+    std::unordered_set<HexCell, HexCellHash> unique(ring.begin(), ring.end());
+    EXPECT_EQ(unique.size(), ring.size()) << "ring " << i;
+  }
+}
+
+TEST(HexRing, RejectsNegativeIndex) {
+  EXPECT_THROW(hex_ring(HexCell{}, -1), InvalidArgument);
+}
+
+TEST(HexDisk, EnumeratesCenteredHexagonalNumbers) {
+  for (int d = 0; d <= 10; ++d) {
+    const auto disk = hex_disk(HexCell{2, 2}, d);
+    EXPECT_EQ(disk.size(), static_cast<std::size_t>(3 * d * (d + 1) + 1));
+  }
+}
+
+TEST(HexDisk, OrderedByRingAndDuplicateFree) {
+  const HexCell center{0, 0};
+  const auto disk = hex_disk(center, 5);
+  std::int64_t previous = 0;
+  std::unordered_set<HexCell, HexCellHash> unique;
+  for (const HexCell& cell : disk) {
+    const std::int64_t dist = hex_distance(center, cell);
+    EXPECT_GE(dist, previous);
+    previous = dist;
+    EXPECT_TRUE(unique.insert(cell).second);
+  }
+}
+
+TEST(HexDisk, ContainsExactlyCellsWithinDistance) {
+  // Cross-check membership against a bounding-box scan.
+  const int d = 4;
+  const auto disk = hex_disk(HexCell{}, d);
+  const std::unordered_set<HexCell, HexCellHash> in_disk(disk.begin(),
+                                                         disk.end());
+  for (std::int64_t q = -2 * d; q <= 2 * d; ++q) {
+    for (std::int64_t r = -2 * d; r <= 2 * d; ++r) {
+      const HexCell cell{q, r};
+      const bool within = hex_distance(HexCell{}, cell) <= d;
+      EXPECT_EQ(in_disk.count(cell) == 1, within)
+          << "(" << q << ", " << r << ")";
+    }
+  }
+}
+
+// --- Paper Figure 3: edge counts of rings 1 and 2 -------------------------
+
+TEST(RingEdgeProfile, RingOneMatchesPaperFigure3a) {
+  // 6 cells x 6 edges = 36: 18 outward, 6 inward, 12 sideways.
+  const MoveProfile profile = ring_edge_profile(1);
+  EXPECT_EQ(profile.outward, 18);
+  EXPECT_EQ(profile.inward, 6);
+  EXPECT_EQ(profile.sideways, 12);
+}
+
+TEST(RingEdgeProfile, RingTwoMatchesPaperFigure3b) {
+  // 12 cells x 6 edges = 72; p+ = 5/12 -> 30 outward, p- = 1/4 -> 18 inward.
+  const MoveProfile profile = ring_edge_profile(2);
+  EXPECT_EQ(profile.outward, 30);
+  EXPECT_EQ(profile.inward, 18);
+  EXPECT_EQ(profile.sideways, 24);
+}
+
+class RingTransitionFractions : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingTransitionFractions, MatchPaperEquations39And40) {
+  // Averaged over ring i: p+(i) = 1/3 + 1/(6i), p-(i) = 1/3 - 1/(6i).
+  const int ring = GetParam();
+  const MoveProfile profile = ring_edge_profile(ring);
+  const double edges = 6.0 * 6.0 * ring;
+  EXPECT_DOUBLE_EQ(profile.outward / edges, 1.0 / 3 + 1.0 / (6 * ring));
+  EXPECT_DOUBLE_EQ(profile.inward / edges, 1.0 / 3 - 1.0 / (6 * ring));
+}
+
+INSTANTIATE_TEST_SUITE_P(RingsOneToTwelve, RingTransitionFractions,
+                         ::testing::Range(1, 13));
+
+TEST(ClassifyMoves, CenterCellHasOnlyOutwardMoves) {
+  const MoveProfile profile = classify_moves(HexCell{}, HexCell{});
+  EXPECT_EQ(profile.outward, 6);
+  EXPECT_EQ(profile.inward, 0);
+  EXPECT_EQ(profile.sideways, 0);
+}
+
+TEST(ClassifyMoves, CornerCellsOfARingHaveOneInwardMove) {
+  // Corner cells of ring i sit along a lattice direction from the center;
+  // exactly one neighbor is closer.
+  const HexCell corner = hex_scaled_add(HexCell{}, hex_directions()[0], 3);
+  const MoveProfile profile = classify_moves(HexCell{}, corner);
+  EXPECT_EQ(profile.inward, 1);
+  EXPECT_EQ(profile.outward, 3);
+  EXPECT_EQ(profile.sideways, 2);
+}
+
+TEST(HexCellHash, DistinguishesNearbyCells) {
+  HexCellHash hash;
+  std::set<std::size_t> hashes;
+  for (const HexCell& cell : hex_disk(HexCell{}, 8)) {
+    hashes.insert(hash(cell));
+  }
+  // No collisions among a few hundred nearby cells.
+  EXPECT_EQ(hashes.size(), hex_disk(HexCell{}, 8).size());
+}
+
+}  // namespace
+}  // namespace pcn::geometry

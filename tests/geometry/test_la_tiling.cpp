@@ -1,0 +1,162 @@
+#include "pcn/geometry/la_tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::geometry {
+namespace {
+
+TEST(LineLaTiling, LaSizeIsTwoRadiusPlusOne) {
+  EXPECT_EQ(LineLaTiling(0).la_size(), 1);
+  EXPECT_EQ(LineLaTiling(2).la_size(), 5);
+  EXPECT_EQ(LineLaTiling(10).la_size(), 21);
+}
+
+TEST(LineLaTiling, CenterCellMapsToItself) {
+  const LineLaTiling tiling(3);
+  EXPECT_EQ(tiling.la_center(LineCell{0}), (LineCell{0}));
+  EXPECT_EQ(tiling.la_center(LineCell{7}), (LineCell{7}));
+  EXPECT_EQ(tiling.la_center(LineCell{-7}), (LineCell{-7}));
+}
+
+TEST(LineLaTiling, EveryCellIsWithinRadiusOfItsCenter) {
+  const LineLaTiling tiling(3);
+  for (std::int64_t x = -40; x <= 40; ++x) {
+    const LineCell center = tiling.la_center(LineCell{x});
+    EXPECT_LE(line_distance(LineCell{x}, center), 3) << "x = " << x;
+  }
+}
+
+TEST(LineLaTiling, BlocksPartitionTheLine) {
+  const LineLaTiling tiling(2);
+  // Consecutive LA centers differ by exactly the LA size.
+  std::int64_t boundary_changes = 0;
+  LineCell previous = tiling.la_center(LineCell{-30});
+  for (std::int64_t x = -29; x <= 30; ++x) {
+    const LineCell center = tiling.la_center(LineCell{x});
+    if (center != previous) {
+      EXPECT_EQ(center.x - previous.x, tiling.la_size());
+      ++boundary_changes;
+      previous = center;
+    }
+  }
+  EXPECT_EQ(boundary_changes, 60 / tiling.la_size());
+}
+
+TEST(LineLaTiling, LaCellsEnumeratesTheBlock) {
+  const LineLaTiling tiling(2);
+  const auto cells = tiling.la_cells(LineCell{5});
+  EXPECT_EQ(cells.size(), 5u);
+  for (const LineCell& cell : cells) {
+    EXPECT_EQ(tiling.la_center(cell), (LineCell{5}));
+  }
+}
+
+TEST(LineLaTiling, LaCellsRejectsNonCenterArgument) {
+  const LineLaTiling tiling(2);
+  EXPECT_THROW(tiling.la_cells(LineCell{1}), InvalidArgument);
+}
+
+TEST(HexLaTiling, LaSizeIsCenteredHexagonalNumber) {
+  EXPECT_EQ(HexLaTiling(0).la_size(), 1);
+  EXPECT_EQ(HexLaTiling(1).la_size(), 7);
+  EXPECT_EQ(HexLaTiling(2).la_size(), 19);
+  EXPECT_EQ(HexLaTiling(3).la_size(), 37);
+}
+
+TEST(HexLaTiling, RadiusZeroMakesEveryCellItsOwnLa) {
+  const HexLaTiling tiling(0);
+  for (const HexCell& cell : hex_disk(HexCell{}, 5)) {
+    EXPECT_EQ(tiling.la_center(cell), cell);
+  }
+}
+
+TEST(HexLaTiling, OriginIsAnLaCenter) {
+  for (int radius = 1; radius <= 5; ++radius) {
+    EXPECT_EQ(HexLaTiling(radius).la_center(HexCell{}), (HexCell{}))
+        << "radius " << radius;
+  }
+}
+
+class HexLaTilingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HexLaTilingProperty, EveryCellIsWithinRadiusOfItsCenter) {
+  const int radius = GetParam();
+  const HexLaTiling tiling(radius);
+  for (const HexCell& cell : hex_disk(HexCell{}, 6 * radius + 7)) {
+    const HexCell center = tiling.la_center(cell);
+    EXPECT_LE(hex_distance(cell, center), radius)
+        << "cell (" << cell.q << ", " << cell.r << ")";
+  }
+}
+
+TEST_P(HexLaTilingProperty, CentersFormAPerfectTiling) {
+  // Group a large disk of cells by LA center: every *interior* LA (one
+  // whose full disk lies inside the scanned region) must contain exactly
+  // la_size() cells — disks tile with no gaps or overlaps.
+  const int radius = GetParam();
+  const HexLaTiling tiling(radius);
+  const int scan = 6 * radius + 8;
+  std::unordered_map<HexCell, int, HexCellHash> population;
+  for (const HexCell& cell : hex_disk(HexCell{}, scan)) {
+    ++population[tiling.la_center(cell)];
+  }
+  int interior_las = 0;
+  for (const auto& [center, count] : population) {
+    if (hex_distance(HexCell{}, center) + radius <= scan) {
+      EXPECT_EQ(count, tiling.la_size())
+          << "LA at (" << center.q << ", " << center.r << ")";
+      ++interior_las;
+    }
+  }
+  EXPECT_GT(interior_las, 3);
+}
+
+TEST_P(HexLaTilingProperty, CenterMappingIsIdempotent) {
+  const int radius = GetParam();
+  const HexLaTiling tiling(radius);
+  for (const HexCell& cell : hex_disk(HexCell{}, 4 * radius + 5)) {
+    const HexCell center = tiling.la_center(cell);
+    EXPECT_EQ(tiling.la_center(center), center);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RadiiOneToFive, HexLaTilingProperty,
+                         ::testing::Range(1, 6));
+
+TEST(HexLaTiling, LaCellsEnumeratesTheDiskOfTheCenter) {
+  const HexLaTiling tiling(2);
+  const auto cells = tiling.la_cells(HexCell{});
+  EXPECT_EQ(cells.size(), static_cast<std::size_t>(tiling.la_size()));
+  for (const HexCell& cell : cells) {
+    EXPECT_TRUE(tiling.same_la(cell, HexCell{}));
+  }
+}
+
+TEST(HexLaTiling, LaCellsRejectsNonCenterArgument) {
+  const HexLaTiling tiling(2);
+  EXPECT_THROW(tiling.la_cells(HexCell{1, 0}), InvalidArgument);
+}
+
+TEST(HexLaTiling, SameLaDistinguishesNeighborsAcrossBoundaries) {
+  const HexLaTiling tiling(1);
+  // In the 7-cell cluster tiling, a cell at distance 2 from the origin is
+  // in another LA.
+  EXPECT_FALSE(tiling.same_la(HexCell{}, HexCell{2, 0}));
+  EXPECT_TRUE(tiling.same_la(HexCell{}, HexCell{1, 0}));
+}
+
+TEST(HexLaTiling, FarAwayCellsStillMapConsistently) {
+  const HexLaTiling tiling(3);
+  const HexCell far{100000, -54321};
+  const HexCell center = tiling.la_center(far);
+  EXPECT_LE(hex_distance(far, center), 3);
+  EXPECT_EQ(tiling.la_center(center), center);
+}
+
+}  // namespace
+}  // namespace pcn::geometry

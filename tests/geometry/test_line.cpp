@@ -1,0 +1,89 @@
+#include "pcn/geometry/line.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::geometry {
+namespace {
+
+TEST(LineDistance, IsAbsoluteCoordinateDifference) {
+  EXPECT_EQ(line_distance(LineCell{0}, LineCell{0}), 0);
+  EXPECT_EQ(line_distance(LineCell{-3}, LineCell{4}), 7);
+  EXPECT_EQ(line_distance(LineCell{10}, LineCell{3}), 7);
+}
+
+TEST(LineDistance, IsSymmetric) {
+  for (std::int64_t a = -5; a <= 5; ++a) {
+    for (std::int64_t b = -5; b <= 5; ++b) {
+      EXPECT_EQ(line_distance(LineCell{a}, LineCell{b}),
+                line_distance(LineCell{b}, LineCell{a}));
+    }
+  }
+}
+
+TEST(LineNeighbors, EveryCellHasExactlyTwoNeighborsAtDistanceOne) {
+  const LineCell cell{42};
+  const auto neighbors = line_neighbors(cell);
+  ASSERT_EQ(neighbors.size(), 2u);
+  for (const LineCell& n : neighbors) {
+    EXPECT_EQ(line_distance(cell, n), 1);
+  }
+  EXPECT_NE(neighbors[0], neighbors[1]);
+}
+
+TEST(LineRing, RingZeroIsTheCenterItself) {
+  const auto ring = line_ring(LineCell{7}, 0);
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0], (LineCell{7}));
+}
+
+TEST(LineRing, PositiveRingsHoldTheTwoCellsAtThatDistance) {
+  for (int i = 1; i <= 20; ++i) {
+    const auto ring = line_ring(LineCell{-2}, i);
+    ASSERT_EQ(ring.size(), 2u) << "ring " << i;
+    for (const LineCell& cell : ring) {
+      EXPECT_EQ(line_distance(LineCell{-2}, cell), i);
+    }
+  }
+}
+
+TEST(LineRing, RejectsNegativeIndex) {
+  EXPECT_THROW(line_ring(LineCell{0}, -1), InvalidArgument);
+}
+
+TEST(LineDisk, EnumeratesGOfDCellsOrderedByDistance) {
+  const int d = 6;
+  const auto disk = line_disk(LineCell{100}, d);
+  ASSERT_EQ(disk.size(), static_cast<std::size_t>(2 * d + 1));
+
+  // Ordered ring by ring and all cells distinct.
+  std::int64_t previous_distance = 0;
+  std::set<std::int64_t> seen;
+  for (const LineCell& cell : disk) {
+    const std::int64_t dist = line_distance(LineCell{100}, cell);
+    EXPECT_GE(dist, previous_distance);
+    EXPECT_LE(dist, d);
+    previous_distance = dist;
+    EXPECT_TRUE(seen.insert(cell.x).second) << "duplicate cell " << cell.x;
+  }
+}
+
+TEST(LineDisk, CoversExactlyTheInterval) {
+  const auto disk = line_disk(LineCell{0}, 3);
+  std::set<std::int64_t> coords;
+  for (const LineCell& cell : disk) coords.insert(cell.x);
+  const std::set<std::int64_t> expected{-3, -2, -1, 0, 1, 2, 3};
+  EXPECT_EQ(coords, expected);
+}
+
+TEST(LineCellOrdering, ComparesByCoordinate) {
+  EXPECT_LT((LineCell{1}), (LineCell{2}));
+  EXPECT_EQ((LineCell{5}), (LineCell{5}));
+}
+
+}  // namespace
+}  // namespace pcn::geometry

@@ -1,0 +1,97 @@
+#include "pcn/geometry/ring_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::geometry {
+namespace {
+
+TEST(RingSize, CenterRingIsOneCellInBothGeometries) {
+  EXPECT_EQ(ring_size(Dimension::kOneD, 0), 1);
+  EXPECT_EQ(ring_size(Dimension::kTwoD, 0), 1);
+}
+
+TEST(RingSize, OneDimRingsHoldTwoCells) {
+  for (int ring = 1; ring <= 50; ++ring) {
+    EXPECT_EQ(ring_size(Dimension::kOneD, ring), 2) << "ring " << ring;
+  }
+}
+
+TEST(RingSize, TwoDimRingsHoldSixTimesIndexCells) {
+  for (int ring = 1; ring <= 50; ++ring) {
+    EXPECT_EQ(ring_size(Dimension::kTwoD, ring), 6 * ring) << "ring " << ring;
+  }
+}
+
+TEST(RingSize, RejectsNegativeRing) {
+  EXPECT_THROW(ring_size(Dimension::kOneD, -1), InvalidArgument);
+}
+
+TEST(CellsWithin, MatchesPaperEquationOneOneDim) {
+  // g(d) = 2d + 1
+  EXPECT_EQ(cells_within(Dimension::kOneD, 0), 1);
+  EXPECT_EQ(cells_within(Dimension::kOneD, 1), 3);
+  EXPECT_EQ(cells_within(Dimension::kOneD, 5), 11);
+}
+
+TEST(CellsWithin, MatchesPaperEquationOneTwoDim) {
+  // g(d) = 3d(d+1) + 1
+  EXPECT_EQ(cells_within(Dimension::kTwoD, 0), 1);
+  EXPECT_EQ(cells_within(Dimension::kTwoD, 1), 7);
+  EXPECT_EQ(cells_within(Dimension::kTwoD, 2), 19);
+  EXPECT_EQ(cells_within(Dimension::kTwoD, 3), 37);
+}
+
+TEST(CellsWithin, RejectsNegativeDistance) {
+  EXPECT_THROW(cells_within(Dimension::kTwoD, -1), InvalidArgument);
+}
+
+class RingMetricsConsistency
+    : public ::testing::TestWithParam<Dimension> {};
+
+TEST_P(RingMetricsConsistency, DiskIsSumOfItsRings) {
+  const Dimension dim = GetParam();
+  for (int d = 0; d <= 100; ++d) {
+    std::int64_t sum = 0;
+    for (int i = 0; i <= d; ++i) sum += ring_size(dim, i);
+    EXPECT_EQ(sum, cells_within(dim, d)) << "d = " << d;
+  }
+}
+
+TEST_P(RingMetricsConsistency, SpanEqualsDifferenceOfDisks) {
+  const Dimension dim = GetParam();
+  for (int first = 0; first <= 20; ++first) {
+    for (int last = first; last <= 25; ++last) {
+      std::int64_t sum = 0;
+      for (int i = first; i <= last; ++i) sum += ring_size(dim, i);
+      EXPECT_EQ(cells_in_ring_span(dim, first, last), sum)
+          << "[" << first << ", " << last << "]";
+    }
+  }
+}
+
+TEST_P(RingMetricsConsistency, SpanFromZeroIsTheFullDisk) {
+  const Dimension dim = GetParam();
+  for (int d = 0; d <= 30; ++d) {
+    EXPECT_EQ(cells_in_ring_span(dim, 0, d), cells_within(dim, d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothGeometries, RingMetricsConsistency,
+                         ::testing::Values(Dimension::kOneD,
+                                           Dimension::kTwoD));
+
+TEST(CellsInRingSpan, RejectsReversedOrNegativeSpan) {
+  EXPECT_THROW(cells_in_ring_span(Dimension::kOneD, 3, 2), InvalidArgument);
+  EXPECT_THROW(cells_in_ring_span(Dimension::kOneD, -1, 2), InvalidArgument);
+}
+
+TEST(CellsWithin, NoOverflowForCityScaleDistances) {
+  // 2-D g(d) stays well inside int64 for any realistic coverage area.
+  EXPECT_EQ(cells_within(Dimension::kTwoD, 100000),
+            std::int64_t{3} * 100000 * 100001 + 1);
+}
+
+}  // namespace
+}  // namespace pcn::geometry

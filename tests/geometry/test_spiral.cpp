@@ -1,0 +1,85 @@
+#include "pcn/geometry/spiral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pcn/common/error.hpp"
+#include "pcn/geometry/ring_metrics.hpp"
+
+namespace pcn::geometry {
+namespace {
+
+TEST(Spiral, CenterIsIndexZero) {
+  EXPECT_EQ(hex_spiral_index(HexCell{}), 0);
+  EXPECT_EQ(hex_from_spiral(0), (HexCell{}));
+  const HexCell other{7, -3};
+  EXPECT_EQ(hex_spiral_index(other, other), 0);
+  EXPECT_EQ(hex_from_spiral(0, other), other);
+}
+
+TEST(Spiral, RingBoundariesMatchCenteredHexagonalNumbers) {
+  // Ring r occupies indices [3(r-1)r + 1, 3r(r+1)].
+  for (int ring = 1; ring <= 6; ++ring) {
+    const std::int64_t first = 3 * (ring - 1) * ring + 1;
+    const std::int64_t last = 3 * ring * (ring + 1);
+    EXPECT_EQ(hex_distance(HexCell{}, hex_from_spiral(first)), ring);
+    EXPECT_EQ(hex_distance(HexCell{}, hex_from_spiral(last)), ring);
+    EXPECT_EQ(hex_distance(HexCell{}, hex_from_spiral(last + 1)), ring + 1);
+  }
+}
+
+TEST(Spiral, RoundTripsOverADisk) {
+  const HexCell center{3, -8};
+  for (const HexCell& cell : hex_disk(center, 12)) {
+    const std::int64_t index = hex_spiral_index(cell, center);
+    EXPECT_EQ(hex_from_spiral(index, center), cell);
+  }
+}
+
+TEST(Spiral, InverseRoundTripsOverARange) {
+  for (std::int64_t index = 0; index < 1000; ++index) {
+    const HexCell cell = hex_from_spiral(index);
+    EXPECT_EQ(hex_spiral_index(cell), index) << "index " << index;
+  }
+}
+
+TEST(Spiral, EnumeratesTheDiskInHexDiskOrder) {
+  const auto disk = hex_disk(HexCell{}, 7);
+  for (std::size_t k = 0; k < disk.size(); ++k) {
+    EXPECT_EQ(hex_spiral_index(disk[k]), static_cast<std::int64_t>(k));
+  }
+}
+
+TEST(Spiral, IndicesAreABijectionOnTheDisk) {
+  std::set<std::int64_t> indices;
+  const int d = 9;
+  for (const HexCell& cell : hex_disk(HexCell{}, d)) {
+    indices.insert(hex_spiral_index(cell));
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(indices.size()),
+            cells_within(Dimension::kTwoD, d));
+  EXPECT_EQ(*indices.begin(), 0);
+  EXPECT_EQ(*indices.rbegin(), cells_within(Dimension::kTwoD, d) - 1);
+}
+
+TEST(Spiral, IndexMagnitudeGrowsWithDistance) {
+  // Any cell strictly closer to the center has a strictly smaller ring
+  // block, hence smaller maximum index.
+  const HexCell near{1, 0};
+  const HexCell far{5, -2};
+  EXPECT_LT(hex_spiral_index(near), hex_spiral_index(far));
+}
+
+TEST(Spiral, WorksForLargeIndices) {
+  const std::int64_t index = 2999999;  // ring ~1000
+  const HexCell cell = hex_from_spiral(index);
+  EXPECT_EQ(hex_spiral_index(cell), index);
+}
+
+TEST(Spiral, RejectsNegativeIndex) {
+  EXPECT_THROW(hex_from_spiral(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::geometry

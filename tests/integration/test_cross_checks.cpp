@@ -1,0 +1,156 @@
+// Grand cross-validation: the same quantity computed by three independent
+// routes — closed form / linear algebra, renewal theory, and discrete-event
+// simulation — must agree.  Any bug in one route shows up as a triangle
+// inequality violation here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pcn/baselines/baseline_models.hpp"
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/markov/closed_form.hpp"
+#include "pcn/markov/renewal.hpp"
+#include "pcn/markov/steady_state.hpp"
+#include "pcn/markov/transient.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace pcn {
+namespace {
+
+constexpr MobilityProfile kProfile{0.1, 0.02};
+constexpr CostWeights kWeights{100.0, 10.0};
+
+TEST(CrossCheck, UpdateRateFourWays) {
+  // (1) steady state x exit rate, (2) renewal reward, (3) long-run
+  // transient average, (4) simulation frequency.
+  const Dimension dim = Dimension::kOneD;
+  const int d = 4;
+  const markov::ChainSpec spec = markov::ChainSpec::exact(dim, kProfile);
+
+  const double via_steady =
+      markov::solve_steady_state(spec, d).back() * spec.up(d);
+  const double via_renewal = markov::analyze_renewal(spec, d).update_rate();
+  const double via_transient =
+      markov::distribution_after(spec, d, 50000).back() * spec.up(d);
+
+  sim::Network network(
+      sim::NetworkConfig{dim, sim::SlotSemantics::kChainFaithful, 0xc0de},
+      kWeights);
+  const sim::TerminalId id = network.add_terminal(
+      sim::make_distance_terminal(dim, kProfile, d, DelayBound(2)));
+  network.run(500000);
+  const double via_simulation =
+      static_cast<double>(network.metrics(id).updates) / 500000.0;
+
+  EXPECT_NEAR(via_renewal, via_steady, 1e-10);
+  EXPECT_NEAR(via_transient, via_steady, 1e-8);
+  EXPECT_NEAR(via_simulation, via_steady, 0.08 * via_steady);
+}
+
+TEST(CrossCheck, OneDimSteadyStateThreeWays) {
+  const int d = 7;
+  const markov::ChainSpec spec = markov::ChainSpec::one_dim(kProfile);
+  const auto recurrence = markov::solve_steady_state(spec, d);
+  const auto dense = markov::solve_steady_state_dense(spec, d);
+  const auto closed = markov::closed_form_1d(kProfile, d);
+  for (int i = 0; i <= d; ++i) {
+    EXPECT_NEAR(recurrence[static_cast<std::size_t>(i)],
+                dense[static_cast<std::size_t>(i)], 1e-12);
+    EXPECT_NEAR(recurrence[static_cast<std::size_t>(i)],
+                closed[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(CrossCheck, MeanCycleLengthThreeWays) {
+  // Renewal solve vs truncated PMF vs measured update+call inter-reset
+  // times (slots / resets).
+  const Dimension dim = Dimension::kTwoD;
+  const int d = 3;
+  const markov::ChainSpec spec = markov::ChainSpec::exact(dim, kProfile);
+
+  const double via_renewal =
+      markov::analyze_renewal(spec, d).cycle_length();
+  const auto pmf = markov::cycle_length_distribution(spec, d, 20000);
+  double via_pmf = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    via_pmf += static_cast<double>(k) * pmf[k];
+  }
+
+  sim::Network network(
+      sim::NetworkConfig{dim, sim::SlotSemantics::kChainFaithful, 0xfade},
+      kWeights);
+  const sim::TerminalId id = network.add_terminal(
+      sim::make_distance_terminal(dim, kProfile, d, DelayBound(2)));
+  const std::int64_t slots = 500000;
+  network.run(slots);
+  const sim::TerminalMetrics& m = network.metrics(id);
+  const double via_simulation =
+      static_cast<double>(slots) /
+      static_cast<double>(m.updates + m.calls);
+
+  EXPECT_NEAR(via_pmf, via_renewal, 1e-6 * via_renewal);
+  EXPECT_NEAR(via_simulation, via_renewal, 0.05 * via_renewal);
+}
+
+TEST(CrossCheck, MovementPolicyCostThreeWays) {
+  // Analytic baseline model vs simulation, with the analytic paging cost
+  // re-derived from the mixed walk distribution by hand.
+  const Dimension dim = Dimension::kTwoD;
+  const int max_moves = 4;
+  const DelayBound bound(2);
+  const baselines::BaselineCosts model = baselines::movement_based_costs(
+      dim, kProfile, kWeights, max_moves, bound);
+
+  // Hand recomputation of the paging component.
+  const double q = kProfile.move_prob;
+  const double c = kProfile.call_prob;
+  std::vector<double> count(static_cast<std::size_t>(max_moves), 0.0);
+  double total = 0.0;
+  for (int j = 0; j < max_moves; ++j) {
+    count[static_cast<std::size_t>(j)] = std::pow(q / (q + c), j);
+    total += count[static_cast<std::size_t>(j)];
+  }
+  std::vector<double> rings(static_cast<std::size_t>(max_moves), 0.0);
+  for (int j = 0; j < max_moves; ++j) {
+    const auto walk = baselines::walk_ring_distribution(dim, j);
+    for (std::size_t i = 0; i < walk.size(); ++i) {
+      rings[i] += count[static_cast<std::size_t>(j)] / total * walk[i];
+    }
+  }
+  const double paging_by_hand =
+      c * kWeights.poll_cost *
+      costs::Partition::sdf(max_moves - 1, bound)
+          .expected_polled_cells(rings, dim);
+  EXPECT_NEAR(model.paging, paging_by_hand, 1e-12);
+
+  sim::Network network(
+      sim::NetworkConfig{dim, sim::SlotSemantics::kChainFaithful, 0xbead},
+      kWeights);
+  const sim::TerminalId id = network.add_terminal(
+      sim::make_movement_terminal(dim, kProfile, max_moves, bound));
+  network.run(500000);
+  EXPECT_NEAR(network.metrics(id).cost_per_slot(), model.total(),
+              0.05 * model.total());
+}
+
+TEST(CrossCheck, PagingDelayPredictionMatchesPartitionAndSimulation) {
+  const Dimension dim = Dimension::kTwoD;
+  const int d = 4;
+  const DelayBound bound(3);
+  const auto pi = markov::solve_steady_state(
+      markov::ChainSpec::exact(dim, kProfile), d);
+  const double via_partition =
+      costs::Partition::sdf(d, bound).expected_delay_cycles(pi);
+
+  sim::Network network(
+      sim::NetworkConfig{dim, sim::SlotSemantics::kChainFaithful, 0xfeed},
+      kWeights);
+  const sim::TerminalId id = network.add_terminal(
+      sim::make_distance_terminal(dim, kProfile, d, bound));
+  network.run(500000);
+  EXPECT_NEAR(network.metrics(id).paging_cycles.mean(), via_partition,
+              0.05);
+}
+
+}  // namespace
+}  // namespace pcn

@@ -1,0 +1,230 @@
+// Full regression of the paper's Table 1 and Table 2.
+//
+// These are analytical results, so we require the *absolute* published
+// numbers (to the tables' 3-decimal precision), not just the trend:
+//   * Table 1 (1-D): optimal d* and C_T for U in {1..10, 20..100,
+//     200..1000}, V = 10, c = 0.01, q = 0.05, delays m = 1, 2, 3, infinity.
+//     The published d = 0 rows used a_{0,1} = q/2 (see DESIGN.md), so this
+//     table is checked under the legacy cost-model flag.
+//   * Table 2 (2-D): d*, C_T under the exact chain and d', C'_T under the
+//     approximate chain, delays m = 1, 3, infinity.  The published d'
+//     columns computed C_u(0) with the generic q/3 rate (the 2-D analogue
+//     of the Table 1 quirk), reproduced via the same legacy flag.
+//
+// Tolerance: the paper prints 3 decimals, so we allow 1.5e-3 absolute to
+// absorb its rounding; thresholds must match exactly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/optimize/exhaustive.hpp"
+#include "pcn/optimize/near_optimal.hpp"
+
+namespace pcn {
+namespace {
+
+constexpr MobilityProfile kProfile{0.05, 0.01};
+constexpr double kPollCost = 10.0;
+constexpr double kTolerance = 1.5e-3;
+
+DelayBound bound_of(int m) {
+  return m == 0 ? DelayBound::unbounded() : DelayBound(m);
+}
+
+struct Table1Row {
+  double update_cost;
+  // {d*, C_T} for m = 1, 2, 3, unbounded.
+  int d1;
+  double c1;
+  int d2;
+  double c2;
+  int d3;
+  double c3;
+  int du;
+  double cu;
+};
+
+// Table 1 of the paper, transcribed verbatim.
+const std::vector<Table1Row>& table1() {
+  static const std::vector<Table1Row> rows = {
+      {1, 0, 0.125, 0, 0.125, 0, 0.125, 0, 0.125},
+      {2, 0, 0.150, 0, 0.150, 0, 0.150, 0, 0.150},
+      {3, 0, 0.175, 0, 0.175, 0, 0.175, 0, 0.175},
+      {4, 0, 0.200, 0, 0.200, 0, 0.200, 0, 0.200},
+      {5, 0, 0.225, 0, 0.225, 0, 0.225, 0, 0.225},
+      {6, 0, 0.250, 0, 0.250, 0, 0.250, 0, 0.250},
+      {7, 0, 0.275, 1, 0.270, 1, 0.270, 1, 0.270},
+      {8, 0, 0.300, 1, 0.282, 1, 0.282, 1, 0.282},
+      {9, 0, 0.325, 1, 0.293, 2, 0.291, 2, 0.291},
+      {10, 0, 0.350, 1, 0.305, 2, 0.296, 2, 0.296},
+      {20, 1, 0.527, 1, 0.418, 2, 0.339, 3, 0.338},
+      {30, 2, 0.630, 2, 0.465, 2, 0.382, 3, 0.357},
+      {40, 2, 0.673, 3, 0.486, 3, 0.415, 4, 0.371},
+      {50, 2, 0.716, 3, 0.506, 3, 0.435, 4, 0.381},
+      {60, 2, 0.760, 3, 0.526, 3, 0.454, 5, 0.386},
+      {70, 2, 0.803, 3, 0.545, 3, 0.474, 6, 0.391},
+      {80, 2, 0.846, 3, 0.565, 3, 0.494, 6, 0.394},
+      {90, 3, 0.878, 4, 0.579, 5, 0.510, 7, 0.396},
+      {100, 3, 0.897, 4, 0.589, 5, 0.515, 7, 0.397},
+      {200, 3, 1.095, 4, 0.686, 6, 0.548, 12, 0.401},
+      {300, 4, 1.193, 6, 0.724, 7, 0.565, 17, 0.402},
+      {400, 4, 1.290, 6, 0.750, 7, 0.579, 22, 0.402},
+      {500, 5, 1.351, 6, 0.776, 7, 0.593, 27, 0.402},
+      {600, 5, 1.401, 6, 0.803, 7, 0.607, 32, 0.402},
+      {700, 5, 1.451, 6, 0.829, 7, 0.621, 37, 0.402},
+      {800, 5, 1.501, 6, 0.855, 7, 0.635, 42, 0.402},
+      {900, 6, 1.537, 8, 0.868, 7, 0.649, 47, 0.402},
+      {1000, 6, 1.563, 8, 0.876, 7, 0.663, 52, 0.402},
+  };
+  return rows;
+}
+
+class Table1 : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1, OptimalThresholdAndCostMatchThePublishedRow) {
+  const Table1Row row = GetParam();
+  costs::CostModelOptions options;
+  options.legacy_d0_generic_update_rate = true;
+  const costs::CostModel model =
+      costs::CostModel::exact(Dimension::kOneD, kProfile,
+                              CostWeights{row.update_cost, kPollCost},
+                              options);
+  const struct {
+    int m;
+    int d_expected;
+    double cost_expected;
+  } cases[] = {{1, row.d1, row.c1},
+               {2, row.d2, row.c2},
+               {3, row.d3, row.c3},
+               {0, row.du, row.cu}};
+  for (const auto& expected : cases) {
+    const optimize::Optimum optimum =
+        optimize::exhaustive_search(model, bound_of(expected.m), 80);
+    EXPECT_NEAR(optimum.total_cost, expected.cost_expected, kTolerance)
+        << "U = " << row.update_cost << " m = " << expected.m;
+    // Near-degenerate rows can have two thresholds within print precision;
+    // accept the published threshold when its cost is within tolerance.
+    if (optimum.threshold != expected.d_expected) {
+      EXPECT_NEAR(model.total_cost(expected.d_expected, bound_of(expected.m)),
+                  optimum.total_cost, kTolerance)
+          << "U = " << row.update_cost << " m = " << expected.m
+          << " (threshold " << optimum.threshold << " vs published "
+          << expected.d_expected << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table1, ::testing::ValuesIn(table1()));
+
+struct Table2Row {
+  double update_cost;
+  // delay = 1: d*, d', C_T, C'_T; delay = 3: same; unbounded: same.
+  int d1;
+  int dp1;
+  double c1;
+  double cp1;
+  int d3;
+  int dp3;
+  double c3;
+  double cp3;
+  int du;
+  int dpu;
+  double cu;
+  double cpu;
+};
+
+// Table 2 of the paper, transcribed verbatim.
+const std::vector<Table2Row>& table2() {
+  static const std::vector<Table2Row> rows = {
+      {1, 0, 0, 0.150, 0.150, 0, 0, 0.150, 0.150, 0, 0, 0.150, 0.150},
+      {2, 0, 0, 0.200, 0.200, 0, 0, 0.200, 0.200, 0, 0, 0.200, 0.200},
+      {3, 0, 0, 0.250, 0.250, 0, 0, 0.250, 0.250, 0, 0, 0.250, 0.250},
+      {4, 0, 0, 0.300, 0.300, 0, 0, 0.300, 0.300, 0, 0, 0.300, 0.300},
+      {5, 0, 0, 0.350, 0.350, 0, 0, 0.350, 0.350, 0, 0, 0.350, 0.350},
+      {6, 0, 0, 0.400, 0.400, 0, 0, 0.400, 0.400, 0, 0, 0.400, 0.400},
+      {7, 0, 0, 0.450, 0.450, 0, 0, 0.450, 0.450, 0, 0, 0.450, 0.450},
+      {8, 0, 0, 0.500, 0.500, 0, 0, 0.500, 0.500, 0, 0, 0.500, 0.500},
+      {9, 0, 0, 0.550, 0.550, 1, 0, 0.542, 0.550, 1, 0, 0.542, 0.550},
+      {10, 0, 0, 0.600, 0.600, 1, 0, 0.555, 0.600, 1, 0, 0.555, 0.600},
+      {20, 1, 0, 0.968, 1.100, 1, 0, 0.689, 1.100, 1, 0, 0.689, 1.100},
+      {30, 1, 0, 1.102, 1.600, 1, 0, 0.823, 1.600, 1, 0, 0.823, 1.600},
+      {40, 1, 0, 1.236, 2.100, 1, 0, 0.957, 2.100, 1, 0, 0.957, 2.100},
+      {50, 1, 0, 1.370, 2.600, 2, 2, 1.074, 1.074, 2, 2, 1.074, 1.074},
+      {60, 1, 0, 1.504, 3.100, 2, 2, 1.126, 1.126, 2, 2, 1.126, 1.126},
+      {70, 1, 0, 1.638, 3.600, 2, 2, 1.178, 1.178, 2, 2, 1.178, 1.178},
+      {80, 1, 1, 1.771, 1.771, 2, 2, 1.231, 1.231, 2, 2, 1.231, 1.231},
+      {90, 1, 1, 1.905, 1.905, 2, 2, 1.283, 1.283, 2, 2, 1.283, 1.283},
+      {100, 1, 1, 2.039, 2.039, 2, 2, 1.335, 1.335, 2, 2, 1.335, 1.335},
+      {200, 2, 1, 2.945, 3.379, 2, 2, 1.858, 1.858, 3, 3, 1.683, 1.683},
+      {300, 2, 2, 3.468, 3.468, 3, 2, 2.372, 2.381, 4, 3, 1.912, 1.918},
+      {400, 2, 2, 3.991, 3.991, 3, 3, 2.608, 2.608, 4, 4, 2.025, 2.025},
+      {500, 2, 2, 4.514, 4.514, 3, 3, 2.843, 2.843, 4, 4, 2.138, 2.138},
+      {600, 2, 2, 5.036, 5.036, 5, 3, 2.955, 3.079, 5, 5, 2.204, 2.204},
+      {700, 3, 2, 5.349, 5.559, 5, 5, 3.011, 3.011, 5, 5, 2.260, 2.260},
+      {800, 3, 2, 5.585, 6.082, 5, 5, 3.066, 3.066, 5, 5, 2.315, 2.315},
+      {900, 3, 2, 5.820, 6.604, 5, 5, 3.122, 3.122, 6, 6, 2.346, 2.346},
+      {1000, 3, 2, 6.056, 7.127, 5, 5, 3.177, 3.177, 6, 6, 2.374, 2.374},
+  };
+  return rows;
+}
+
+class Table2 : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2, ExactAndNearOptimalMatchThePublishedRow) {
+  const Table2Row row = GetParam();
+  const CostWeights weights{row.update_cost, kPollCost};
+  const costs::CostModel model =
+      costs::CostModel::exact(Dimension::kTwoD, kProfile, weights);
+
+  const struct {
+    int m;
+    int d_expected;
+    int dp_expected;
+    double cost_expected;
+    double near_cost_expected;
+  } cases[] = {{1, row.d1, row.dp1, row.c1, row.cp1},
+               {3, row.d3, row.dp3, row.c3, row.cp3},
+               {0, row.du, row.dpu, row.cu, row.cpu}};
+
+  for (const auto& expected : cases) {
+    const DelayBound bound = bound_of(expected.m);
+    const optimize::Optimum exact =
+        optimize::exhaustive_search(model, bound, 80);
+    EXPECT_NEAR(exact.total_cost, expected.cost_expected, kTolerance)
+        << "U = " << row.update_cost << " m = " << expected.m;
+    if (exact.threshold != expected.d_expected) {
+      EXPECT_NEAR(model.total_cost(expected.d_expected, bound),
+                  exact.total_cost, kTolerance)
+          << "U = " << row.update_cost << " m = " << expected.m
+          << " (threshold " << exact.threshold << " vs published "
+          << expected.d_expected << ")";
+    }
+
+    // The paper's published d' (and C'_T) come from the *uncorrected*
+    // approximate scan: rows like U = 20 report d' = 0 with C'_T double the
+    // optimum, which motivates the correction.  Those published numbers
+    // also computed C_u(0) with the generic q/3 rate (DESIGN.md), hence
+    // the legacy flag.  Reproduce the uncorrected value here.
+    costs::CostModelOptions approx_options;
+    approx_options.legacy_d0_generic_update_rate = true;
+    const costs::CostModel approx =
+        costs::CostModel::approximate_2d(kProfile, weights, approx_options);
+    const optimize::Optimum near =
+        optimize::exhaustive_search(approx, bound, 80);
+    const double near_cost = model.total_cost(near.threshold, bound);
+    EXPECT_NEAR(near_cost, expected.near_cost_expected, kTolerance)
+        << "U = " << row.update_cost << " m = " << expected.m << " (d' = "
+        << near.threshold << " vs published " << expected.dp_expected << ")";
+    if (near.threshold != expected.dp_expected) {
+      EXPECT_NEAR(model.total_cost(expected.dp_expected, bound), near_cost,
+                  kTolerance)
+          << "U = " << row.update_cost << " m = " << expected.m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table2, ::testing::ValuesIn(table2()));
+
+}  // namespace
+}  // namespace pcn

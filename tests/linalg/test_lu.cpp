@@ -1,0 +1,132 @@
+#include "pcn/linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+#include "pcn/stats/rng.hpp"
+
+namespace pcn::linalg {
+namespace {
+
+TEST(LuSolve, SolvesAKnownSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2; a.at(0, 1) = 1;
+  a.at(1, 0) = 1; a.at(1, 1) = 3;
+  const std::vector<double> x = lu_solve(a, {5.0, 10.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolve, HandlesSystemsRequiringPivoting) {
+  // Zero leading pivot forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0; a.at(0, 1) = 1;
+  a.at(1, 0) = 1; a.at(1, 1) = 0;
+  const std::vector<double> x = lu_solve(a, {3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolve, RejectsSingularMatrices) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2;
+  a.at(1, 0) = 2; a.at(1, 1) = 4;
+  EXPECT_THROW(lu_solve(a, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(LuSolve, RejectsNonSquareOrMismatchedSizes) {
+  EXPECT_THROW(lu_solve(Matrix(2, 3), {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(lu_solve(Matrix(2, 2), {1.0}), InvalidArgument);
+}
+
+TEST(LuSolve, RandomSystemsRoundTrip) {
+  stats::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + trial % 12;
+    Matrix a(n, n);
+    std::vector<double> x_true(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.next_unit() * 4.0 - 2.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(i, j) = rng.next_unit() * 2.0 - 1.0;
+      }
+      a.at(i, i) += static_cast<double>(n);  // diagonally dominant
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+    }
+    const std::vector<double> x = lu_solve(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-9) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(StationaryDistribution, TwoStateChainHasKnownSolution) {
+  // P = [[1-a, a], [b, 1-b]] -> pi = (b, a) / (a + b).
+  const double a = 0.3;
+  const double b = 0.1;
+  Matrix p(2, 2);
+  p.at(0, 1) = a;
+  p.at(1, 0) = b;
+  const std::vector<double> pi = stationary_distribution(p);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-12);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-12);
+}
+
+TEST(StationaryDistribution, UniformForDoublyStochasticChain) {
+  // Cyclic walk: stationary distribution is uniform.
+  const std::size_t n = 5;
+  Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.at(i, (i + 1) % n) = 0.4;
+    p.at(i, (i + n - 1) % n) = 0.4;
+  }
+  const std::vector<double> pi = stationary_distribution(p);
+  for (double v : pi) EXPECT_NEAR(v, 1.0 / static_cast<double>(n), 1e-12);
+}
+
+TEST(StationaryDistribution, SumsToOneAndNonNegative) {
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + trial % 8;
+    Matrix p(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double mass = 0.9;  // leave some self-loop probability
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double share = mass * rng.next_unit() * 0.5;
+        p.at(i, j) = share;
+        mass -= share;
+      }
+    }
+    const std::vector<double> pi = stationary_distribution(p);
+    double total = 0.0;
+    for (double v : pi) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  }
+}
+
+TEST(StationaryDistribution, RejectsNegativeProbabilitiesAndExcessMass) {
+  Matrix negative(2, 2);
+  negative.at(0, 1) = -0.1;
+  EXPECT_THROW(stationary_distribution(negative), InvalidArgument);
+
+  Matrix heavy(2, 2);
+  heavy.at(0, 1) = 0.7;
+  heavy.at(1, 0) = 0.6;
+  heavy.at(0, 0) = 0.0;  // row 0 mass fine
+  heavy.at(1, 1) = 0.0;
+  heavy.at(0, 1) = 1.2;  // row 0 off-diagonal exceeds 1
+  EXPECT_THROW(stationary_distribution(heavy), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::linalg

@@ -1,0 +1,96 @@
+#include "pcn/linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m.at(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix eye = Matrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(eye.at(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, AtRejectsOutOfRangeIndices) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+  const Matrix& cm = m;
+  EXPECT_THROW(cm.at(2, 0), InvalidArgument);
+}
+
+TEST(Matrix, MultiplyComputesTheProduct) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  Matrix b(3, 2);
+  b.at(0, 0) = 7;  b.at(0, 1) = 8;
+  b.at(1, 0) = 9;  b.at(1, 1) = 10;
+  b.at(2, 0) = 11; b.at(2, 1) = 12;
+
+  const Matrix c = a.multiply(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c.at(0, 0), 58.0);
+  EXPECT_EQ(c.at(0, 1), 64.0);
+  EXPECT_EQ(c.at(1, 0), 139.0);
+  EXPECT_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsANoOp) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a.at(i, j) = static_cast<double>(i * 3 + j + 1);
+    }
+  }
+  const Matrix product = a.multiply(Matrix::identity(3));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(product.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(Matrix, MultiplyRejectsDimensionMismatch) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), InvalidArgument);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix a(2, 3);
+  a.at(0, 2) = 5.0;
+  a.at(1, 0) = -2.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(2, 0), 5.0);
+  EXPECT_EQ(t.at(0, 1), -2.0);
+}
+
+TEST(Matrix, MaxAbsFindsLargestMagnitude) {
+  Matrix a(2, 2);
+  a.at(0, 1) = -7.5;
+  a.at(1, 0) = 3.0;
+  EXPECT_EQ(a.max_abs(), 7.5);
+}
+
+}  // namespace
+}  // namespace pcn::linalg

@@ -1,0 +1,76 @@
+#include "pcn/linalg/tridiagonal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+#include "pcn/linalg/lu.hpp"
+#include "pcn/stats/rng.hpp"
+
+namespace pcn::linalg {
+namespace {
+
+TEST(Tridiagonal, SolvesOneByOneSystem) {
+  const auto x = solve_tridiagonal({}, {4.0}, {}, {8.0});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+}
+
+TEST(Tridiagonal, SolvesAKnownThreeByThreeSystem) {
+  //  [ 2 -1  0 ] [x0]   [1]
+  //  [-1  2 -1 ] [x1] = [0]   ->  x = (3/4, 1/2, 1/4)... solve below
+  //  [ 0 -1  2 ] [x2]   [0]
+  const auto x =
+      solve_tridiagonal({-1.0, -1.0}, {2.0, 2.0, 2.0}, {-1.0, -1.0},
+                        {1.0, 0.0, 0.0});
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_NEAR(x[0], 0.75, 1e-12);
+  EXPECT_NEAR(x[1], 0.5, 1e-12);
+  EXPECT_NEAR(x[2], 0.25, 1e-12);
+}
+
+TEST(Tridiagonal, MatchesDenseLuOnRandomDominantSystems) {
+  stats::Rng rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 2 + trial % 15;
+    std::vector<double> lower(n - 1), upper(n - 1), diag(n), rhs(n);
+    for (std::size_t i = 0; i < n - 1; ++i) {
+      lower[i] = rng.next_unit() - 0.5;
+      upper[i] = rng.next_unit() - 0.5;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      diag[i] = 3.0 + rng.next_unit();  // dominant
+      rhs[i] = rng.next_unit() * 10.0 - 5.0;
+    }
+
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a.at(i, i) = diag[i];
+      if (i > 0) a.at(i, i - 1) = lower[i - 1];
+      if (i + 1 < n) a.at(i, i + 1) = upper[i];
+    }
+
+    const auto fast = solve_tridiagonal(lower, diag, upper, rhs);
+    const auto dense = lu_solve(a, rhs);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(fast[i], dense[i], 1e-10) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Tridiagonal, RejectsSizeMismatches) {
+  EXPECT_THROW(solve_tridiagonal({1.0}, {1.0}, {}, {1.0}), InvalidArgument);
+  EXPECT_THROW(solve_tridiagonal({}, {1.0}, {1.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(solve_tridiagonal({}, {1.0}, {}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(solve_tridiagonal({}, {}, {}, {}), InvalidArgument);
+}
+
+TEST(Tridiagonal, RejectsZeroPivot) {
+  EXPECT_THROW(solve_tridiagonal({}, {0.0}, {}, {1.0}), InvalidArgument);
+  // Fill-in pivot becomes zero: diag[1] - lower[0]*upper[0]/diag[0] = 0.
+  EXPECT_THROW(
+      solve_tridiagonal({1.0}, {1.0, 1.0}, {1.0}, {1.0, 1.0}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::linalg

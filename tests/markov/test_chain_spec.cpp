@@ -1,0 +1,111 @@
+#include "pcn/markov/chain_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::markov {
+namespace {
+
+constexpr MobilityProfile kProfile{0.12, 0.03};
+
+TEST(ChainSpec, OneDimRatesMatchEquationsThreeAndFour) {
+  const ChainSpec spec = ChainSpec::one_dim(kProfile);
+  EXPECT_DOUBLE_EQ(spec.up(0), 0.12);         // a_{0,1} = q
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_DOUBLE_EQ(spec.up(i), 0.06);       // a_{i,i+1} = q/2
+    EXPECT_DOUBLE_EQ(spec.down(i), 0.06);     // b_{i,i-1} = q/2
+  }
+  EXPECT_DOUBLE_EQ(spec.call(), 0.03);
+}
+
+TEST(ChainSpec, TwoDimExactRatesMatchEquations41And42) {
+  const ChainSpec spec = ChainSpec::two_dim_exact(kProfile);
+  EXPECT_DOUBLE_EQ(spec.up(0), 0.12);
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_DOUBLE_EQ(spec.up(i), 0.12 * (1.0 / 3 + 1.0 / (6.0 * i)));
+    EXPECT_DOUBLE_EQ(spec.down(i), 0.12 * (1.0 / 3 - 1.0 / (6.0 * i)));
+  }
+}
+
+TEST(ChainSpec, TwoDimExactRingOneMatchesPaperFigure3) {
+  // p+(1) = 1/2 and p-(1) = 1/6 (paper §4.1).
+  const ChainSpec spec = ChainSpec::two_dim_exact(kProfile);
+  EXPECT_DOUBLE_EQ(spec.up(1), 0.12 * 0.5);
+  EXPECT_DOUBLE_EQ(spec.down(1), 0.12 / 6.0);
+  // p+(2) = 5/12 and p-(2) = 1/4.
+  EXPECT_DOUBLE_EQ(spec.up(2), 0.12 * 5.0 / 12.0);
+  EXPECT_DOUBLE_EQ(spec.down(2), 0.12 * 0.25);
+}
+
+TEST(ChainSpec, TwoDimApproxRatesMatchEquations43And44) {
+  const ChainSpec spec = ChainSpec::two_dim_approx(kProfile);
+  EXPECT_DOUBLE_EQ(spec.up(0), 0.12);
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_DOUBLE_EQ(spec.up(i), 0.04);
+    EXPECT_DOUBLE_EQ(spec.down(i), 0.04);
+  }
+}
+
+TEST(ChainSpec, ApproxConvergesToExactForLargeRings) {
+  const ChainSpec exact = ChainSpec::two_dim_exact(kProfile);
+  const ChainSpec approx = ChainSpec::two_dim_approx(kProfile);
+  // The truncated term is q/(6i) = q * 1.67e-4 at i = 1000.
+  EXPECT_NEAR(exact.up(1000), approx.up(1000), 2e-4 * kProfile.move_prob);
+  EXPECT_NEAR(exact.down(1000), approx.down(1000),
+              2e-4 * kProfile.move_prob);
+}
+
+TEST(ChainSpec, ExactFactorySelectsByDimension) {
+  EXPECT_EQ(ChainSpec::exact(Dimension::kOneD, kProfile).kind(),
+            ChainKind::kOneDimExact);
+  EXPECT_EQ(ChainSpec::exact(Dimension::kTwoD, kProfile).kind(),
+            ChainKind::kTwoDimExact);
+}
+
+TEST(ChainSpec, DimensionReportsGeometry) {
+  EXPECT_EQ(ChainSpec::one_dim(kProfile).dimension(), Dimension::kOneD);
+  EXPECT_EQ(ChainSpec::two_dim_exact(kProfile).dimension(), Dimension::kTwoD);
+  EXPECT_EQ(ChainSpec::two_dim_approx(kProfile).dimension(), Dimension::kTwoD);
+}
+
+TEST(ChainSpec, RejectsInvalidProfiles) {
+  EXPECT_THROW(ChainSpec::one_dim(MobilityProfile{0.0, 0.1}),
+               InvalidArgument);
+  EXPECT_THROW(ChainSpec::two_dim_exact(MobilityProfile{0.9, 0.5}),
+               InvalidArgument);
+}
+
+TEST(ChainSpec, RejectsOutOfDomainStates) {
+  const ChainSpec spec = ChainSpec::one_dim(kProfile);
+  EXPECT_THROW(spec.up(-1), InvalidArgument);
+  EXPECT_THROW(spec.down(0), InvalidArgument);
+}
+
+class ChainSpecMassConservation
+    : public ::testing::TestWithParam<ChainKind> {};
+
+TEST_P(ChainSpecMassConservation, PerSlotEventMassStaysBelowOne) {
+  // up(i) + down(i) + c <= 1 must hold for the slotted model to be a
+  // probability distribution, for every state and a grid of profiles.
+  for (double q : {0.001, 0.05, 0.3, 0.7}) {
+    for (double c : {0.0001, 0.01, 0.1}) {
+      if (q + c > 1.0) continue;
+      const ChainSpec spec(GetParam(), MobilityProfile{q, c});
+      EXPECT_LE(spec.up(0) + spec.call(), 1.0 + 1e-15);
+      for (int i = 1; i <= 64; ++i) {
+        EXPECT_LE(spec.up(i) + spec.down(i) + spec.call(), 1.0 + 1e-15);
+        EXPECT_GE(spec.up(i), 0.0);
+        EXPECT_GE(spec.down(i), 0.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ChainSpecMassConservation,
+                         ::testing::Values(ChainKind::kOneDimExact,
+                                           ChainKind::kTwoDimExact,
+                                           ChainKind::kTwoDimApprox));
+
+}  // namespace
+}  // namespace pcn::markov

@@ -1,0 +1,174 @@
+#include "pcn/markov/closed_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pcn/common/error.hpp"
+#include "pcn/markov/steady_state.hpp"
+
+namespace pcn::markov {
+namespace {
+
+// --- equivalence with the exact solver --------------------------------------
+
+using Param = std::tuple<double, double, int>;  // q, c, d
+
+class ClosedForm1dSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ClosedForm1dSweep, MatchesExactRecurrenceSolver) {
+  const auto& [q, c, d] = GetParam();
+  const MobilityProfile profile{q, c};
+  const auto closed = closed_form_1d(profile, d);
+  const auto exact = solve_steady_state(ChainSpec::one_dim(profile), d);
+  ASSERT_EQ(closed.size(), exact.size());
+  for (std::size_t i = 0; i < closed.size(); ++i) {
+    EXPECT_NEAR(closed[i], exact[i], 1e-12) << "state " << i;
+  }
+}
+
+TEST_P(ClosedForm1dSweep, BoundaryProbabilityMatchesFullDistribution) {
+  const auto& [q, c, d] = GetParam();
+  const MobilityProfile profile{q, c};
+  EXPECT_NEAR(closed_form_1d_boundary_probability(profile, d),
+              closed_form_1d(profile, d).back(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesByThreshold, ClosedForm1dSweep,
+    ::testing::Combine(::testing::Values(0.001, 0.05, 0.3),
+                       ::testing::Values(0.001, 0.01, 0.1),
+                       ::testing::Values(0, 1, 2, 3, 5, 12, 40)));
+
+class ClosedForm2dSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ClosedForm2dSweep, MatchesApproxRecurrenceSolver) {
+  const auto& [q, c, d] = GetParam();
+  const MobilityProfile profile{q, c};
+  const auto closed = closed_form_2d_approx(profile, d);
+  const auto exact = solve_steady_state(ChainSpec::two_dim_approx(profile), d);
+  ASSERT_EQ(closed.size(), exact.size());
+  for (std::size_t i = 0; i < closed.size(); ++i) {
+    EXPECT_NEAR(closed[i], exact[i], 1e-12) << "state " << i;
+  }
+}
+
+TEST_P(ClosedForm2dSweep, BoundaryProbabilityMatchesFullDistribution) {
+  const auto& [q, c, d] = GetParam();
+  const MobilityProfile profile{q, c};
+  EXPECT_NEAR(closed_form_2d_approx_boundary_probability(profile, d),
+              closed_form_2d_approx(profile, d).back(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesByThreshold, ClosedForm2dSweep,
+    ::testing::Combine(::testing::Values(0.001, 0.05, 0.3),
+                       ::testing::Values(0.001, 0.01, 0.1),
+                       ::testing::Values(0, 1, 2, 3, 5, 12, 40)));
+
+// --- the paper's printed boundary cases -------------------------------------
+
+TEST(ClosedForm1d, ThresholdZeroOneTwoMatchPaperEquations33To38) {
+  const double q = 0.08;
+  const double c = 0.03;
+  const MobilityProfile profile{q, c};
+
+  EXPECT_DOUBLE_EQ(closed_form_1d(profile, 0)[0], 1.0);  // eq. 33
+
+  const auto d1 = closed_form_1d(profile, 1);
+  EXPECT_NEAR(d1[0], (q + c) / (2 * q + c), 1e-13);      // eq. 34
+  EXPECT_NEAR(d1[1], q / (2 * q + c), 1e-13);            // eq. 35
+
+  const auto d2 = closed_form_1d(profile, 2);
+  const double denom = 9 * q * q + 12 * q * c + 4 * c * c;
+  EXPECT_NEAR(d2[0], (2 * c + q) / (2 * c + 3 * q), 1e-13);  // eq. 36
+  EXPECT_NEAR(d2[1], 4 * q * (c + q) / denom, 1e-13);        // eq. 37
+  EXPECT_NEAR(d2[2], 2 * q * q / denom, 1e-13);              // eq. 38
+}
+
+TEST(ClosedForm2d, ThresholdZeroOneTwoMatchPaperEquations55To60) {
+  const double q = 0.08;
+  const double c = 0.03;
+  const MobilityProfile profile{q, c};
+
+  EXPECT_DOUBLE_EQ(closed_form_2d_approx(profile, 0)[0], 1.0);  // eq. 55
+
+  const auto d1 = closed_form_2d_approx(profile, 1);
+  EXPECT_NEAR(d1[0], (2 * q + 3 * c) / (5 * q + 3 * c), 1e-13);  // eq. 56
+  EXPECT_NEAR(d1[1], 3 * q / (5 * q + 3 * c), 1e-13);            // eq. 57
+
+  const auto d2 = closed_form_2d_approx(profile, 2);
+  const double denom = 4 * q * q + 7 * q * c + 3 * c * c;
+  EXPECT_NEAR(d2[0], (3 * c + q) / (3 * c + 4 * q), 1e-13);       // eq. 58
+  EXPECT_NEAR(d2[1], q * (3 * c + 2 * q) / denom, 1e-13);         // eq. 59
+  EXPECT_NEAR(d2[2], q * q / denom, 1e-13);                       // eq. 60
+}
+
+// --- structural properties ---------------------------------------------------
+
+TEST(ClosedForm1d, TailIsGeometricWithRatioBetweenRootBounds) {
+  // p_i proportional to e1^{d+1-i} - e2^{d+1-i}: consecutive ratios
+  // p_i / p_{i+1} decrease from beta (at i = d - 1, since p_{d-1} =
+  // beta p_d) toward the dominant root e1, always staying in (e1, beta].
+  const MobilityProfile profile{0.05, 0.01};
+  const double beta = 2.0 + 2.0 * profile.call_prob / profile.move_prob;
+  const double e1 = (beta + std::sqrt(beta * beta - 4.0)) / 2.0;
+  const auto pi = closed_form_1d(profile, 20);
+  for (std::size_t i = 1; i + 1 < pi.size(); ++i) {
+    const double ratio = pi[i] / pi[i + 1];
+    EXPECT_GT(ratio, e1);
+    EXPECT_LE(ratio, beta + 1e-9);
+  }
+  EXPECT_NEAR(pi[19] / pi[20], beta, 1e-9);
+}
+
+TEST(ClosedForm, NoOverflowForHugeThresholdAndExtremeBeta) {
+  // c/q = 100 -> beta = 202; naive e1^d evaluation would overflow long
+  // before d = 2000.  The scaled form must stay finite and normalized.
+  // (p_{d,d} itself is ~ e1^{-2000}, far below double's denormal range, so
+  // it legitimately underflows to +0 — finiteness and normalization are
+  // the meaningful requirements at this extreme.)
+  const MobilityProfile profile{0.001, 0.1};
+  const auto pi = closed_form_1d(profile, 2000);
+  double total = 0.0;
+  for (double p : pi) {
+    ASSERT_TRUE(std::isfinite(p));
+    ASSERT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GE(closed_form_1d_boundary_probability(profile, 2000), 0.0);
+}
+
+TEST(ClosedForm, BoundaryProbabilityStaysPositiveWithinDoubleRange) {
+  // beta = 2.4 -> e1 = 1.86: at d = 300, p_{d,d} ~ e1^{-300} ~ 1e-81 is
+  // comfortably representable and must be computed as positive.
+  const MobilityProfile profile{0.05, 0.01};
+  const double p = closed_form_1d_boundary_probability(profile, 300);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1e-60);
+  EXPECT_NEAR(p, closed_form_1d(profile, 300).back(), p * 1e-6);
+}
+
+TEST(ClosedForm, RequiresPositiveCallProbability) {
+  // c = 0 collapses the characteristic roots; the closed form refuses and
+  // points at the recurrence solver.
+  const MobilityProfile profile{0.1, 0.0};
+  EXPECT_THROW(closed_form_1d(profile, 3), InvalidArgument);
+  EXPECT_THROW(closed_form_2d_approx(profile, 3), InvalidArgument);
+  EXPECT_THROW(closed_form_1d_boundary_probability(profile, 3),
+               InvalidArgument);
+  // The recurrence solver handles c = 0 fine (uniform-ish random walk with
+  // resets only at the boundary).
+  EXPECT_NO_THROW(solve_steady_state(ChainSpec::one_dim(profile), 3));
+}
+
+TEST(ClosedForm, RejectsNegativeThreshold) {
+  const MobilityProfile profile{0.1, 0.01};
+  EXPECT_THROW(closed_form_1d(profile, -1), InvalidArgument);
+  EXPECT_THROW(closed_form_2d_approx(profile, -2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::markov

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pcn/common/error.hpp"
+#include "pcn/markov/renewal.hpp"
+
+namespace pcn::markov {
+namespace {
+
+const ChainSpec& spec() {
+  static const ChainSpec s =
+      ChainSpec::two_dim_exact(MobilityProfile{0.1, 0.02});
+  return s;
+}
+
+TEST(CycleDistribution, IsAProbabilityDistributionUpToTailMass) {
+  const auto pmf = cycle_length_distribution(spec(), 4, 5000);
+  double total = 0.0;
+  for (double p : pmf) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_LE(total, 1.0 + 1e-12);
+  EXPECT_GT(total, 1.0 - 1e-9);  // horizon long enough to capture the tail
+  EXPECT_DOUBLE_EQ(pmf[0], 0.0);  // cycles take at least one slot
+}
+
+TEST(CycleDistribution, ThresholdZeroIsGeometric) {
+  // d = 0: the cycle ends in each slot independently with prob q + c.
+  const double q = 0.1;
+  const double c = 0.05;
+  const auto pmf = cycle_length_distribution(
+      ChainSpec::one_dim(MobilityProfile{q, c}), 0, 200);
+  const double p = q + c;
+  for (int k = 1; k <= 50; ++k) {
+    EXPECT_NEAR(pmf[static_cast<std::size_t>(k)],
+                std::pow(1.0 - p, k - 1) * p, 1e-12)
+        << "k = " << k;
+  }
+}
+
+TEST(CycleDistribution, FirstSlotMassIsTheImmediateEndProbability) {
+  // From state 0 the cycle can end in slot 1 only via a call (d >= 1).
+  const auto pmf = cycle_length_distribution(spec(), 3, 10);
+  EXPECT_NEAR(pmf[1], spec().call(), 1e-12);
+}
+
+TEST(CycleDistribution, MeanMatchesTheRenewalAnalysis) {
+  const int d = 3;
+  const auto pmf = cycle_length_distribution(spec(), d, 20000);
+  double mean = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    mean += static_cast<double>(k) * pmf[k];
+    total += pmf[k];
+  }
+  ASSERT_GT(total, 1.0 - 1e-10);
+  const RenewalAnalysis renewal = analyze_renewal(spec(), d);
+  EXPECT_NEAR(mean, renewal.cycle_length(),
+              1e-6 * renewal.cycle_length());
+}
+
+TEST(CycleDistribution, LargerThresholdShiftsMassRight) {
+  // P(cycle <= 20 slots) decreases with d: bigger residing areas survive
+  // longer before an update.
+  auto mass_within = [](int d) {
+    const auto pmf = cycle_length_distribution(spec(), d, 20);
+    double total = 0.0;
+    for (double p : pmf) total += p;
+    return total;
+  };
+  EXPECT_GT(mass_within(0), mass_within(2));
+  EXPECT_GT(mass_within(2), mass_within(6));
+}
+
+TEST(CycleDistribution, ValidatesInputs) {
+  EXPECT_THROW(cycle_length_distribution(spec(), -1, 10), InvalidArgument);
+  EXPECT_THROW(cycle_length_distribution(spec(), 2, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::markov

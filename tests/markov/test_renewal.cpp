@@ -1,0 +1,121 @@
+#include "pcn/markov/renewal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pcn/common/error.hpp"
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/markov/steady_state.hpp"
+
+namespace pcn::markov {
+namespace {
+
+TEST(Renewal, ThresholdZeroHasClosedFormCycle) {
+  // d = 0: the cycle ends with the first move (update) or call:
+  // h_0 = 1/(q+c), u_0 = q/(q+c).
+  const double q = 0.1;
+  const double c = 0.02;
+  const RenewalAnalysis analysis =
+      analyze_renewal(ChainSpec::one_dim(MobilityProfile{q, c}), 0);
+  EXPECT_NEAR(analysis.cycle_length(), 1.0 / (q + c), 1e-12);
+  EXPECT_NEAR(analysis.update_fraction(), q / (q + c), 1e-12);
+  EXPECT_NEAR(analysis.update_rate(), q, 1e-12);
+  EXPECT_NEAR(analysis.call_rate(), c, 1e-12);
+}
+
+TEST(Renewal, CycleLengthGrowsWithThreshold) {
+  // A larger residing area means longer excursions before an update.
+  const ChainSpec spec = ChainSpec::two_dim_exact(MobilityProfile{0.1, 0.01});
+  double previous = analyze_renewal(spec, 0).cycle_length();
+  for (int d = 1; d <= 10; ++d) {
+    const double current = analyze_renewal(spec, d).cycle_length();
+    EXPECT_GT(current, previous) << "d = " << d;
+    previous = current;
+  }
+}
+
+TEST(Renewal, UpdateProbabilityDecreasesWithDistanceFromBoundaryInverse) {
+  // u_i increases with i: starting closer to the boundary makes ending in
+  // an update more likely.
+  const ChainSpec spec = ChainSpec::one_dim(MobilityProfile{0.2, 0.02});
+  const RenewalAnalysis analysis = analyze_renewal(spec, 8);
+  for (std::size_t i = 0; i + 1 < analysis.update_probability.size(); ++i) {
+    EXPECT_LT(analysis.update_probability[i],
+              analysis.update_probability[i + 1])
+        << "state " << i;
+  }
+}
+
+using Param = std::tuple<ChainKind, double, double, int>;
+
+class RenewalRewardIdentity : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RenewalRewardIdentity, UpdateRateMatchesSteadyStateDerivation) {
+  // Renewal-reward vs. eq. (61): u_0 / h_0 == p_{d,d} · a_{d,d+1}.
+  const auto& [kind, q, c, d] = GetParam();
+  const ChainSpec spec(kind, MobilityProfile{q, c});
+  const RenewalAnalysis renewal = analyze_renewal(spec, d);
+  const double via_steady_state =
+      solve_steady_state(spec, d).back() * spec.up(d);
+  EXPECT_NEAR(renewal.update_rate(), via_steady_state,
+              1e-10 * (1.0 + via_steady_state));
+}
+
+TEST_P(RenewalRewardIdentity, CallRateIsExactlyTheCallProbability) {
+  // Calls end cycles from every state, so cycles end in calls at rate c.
+  const auto& [kind, q, c, d] = GetParam();
+  const ChainSpec spec(kind, MobilityProfile{q, c});
+  const RenewalAnalysis renewal = analyze_renewal(spec, d);
+  EXPECT_NEAR(renewal.call_rate(), c, 1e-10);
+}
+
+TEST_P(RenewalRewardIdentity, UpdateCostMatchesTheCostModel) {
+  // C_u = U · u_0 / h_0 without ever touching the stationary distribution.
+  const auto& [kind, q, c, d] = GetParam();
+  const ChainSpec spec(kind, MobilityProfile{q, c});
+  const CostWeights weights{137.0, 10.0};
+  const costs::CostModel model(spec, weights);
+  const RenewalAnalysis renewal = analyze_renewal(spec, d);
+  EXPECT_NEAR(renewal.update_rate() * weights.update_cost,
+              model.update_cost(d), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsProfilesThresholds, RenewalRewardIdentity,
+    ::testing::Combine(
+        ::testing::Values(ChainKind::kOneDimExact, ChainKind::kTwoDimExact,
+                          ChainKind::kTwoDimApprox),
+        ::testing::Values(0.01, 0.2),
+        ::testing::Values(0.002, 0.05),
+        ::testing::Values(0, 1, 2, 5, 12)));
+
+TEST(Renewal, WithoutCallsEveryCycleEndsInAnUpdate) {
+  const ChainSpec spec = ChainSpec::one_dim(MobilityProfile{0.3, 0.0});
+  const RenewalAnalysis analysis = analyze_renewal(spec, 4);
+  EXPECT_NEAR(analysis.update_fraction(), 1.0, 1e-10);
+  for (double u : analysis.update_probability) {
+    EXPECT_NEAR(u, 1.0, 1e-10);
+  }
+}
+
+TEST(Renewal, OneDimCycleLengthHasGamblersRuinScale) {
+  // With c = 0 and threshold d, reaching d+1 from 0 on a lazy symmetric
+  // walk (one-sided boundary at the center) takes (d+1)^2 / q expected
+  // slots — the classic ruin time, scaled by the move rate.  (The walk's
+  // first step from 0 is always outward, hence the exact identity.)
+  const double q = 0.4;
+  const int d = 6;
+  const RenewalAnalysis analysis =
+      analyze_renewal(ChainSpec::one_dim(MobilityProfile{q, 0.0}), d);
+  const double expected = static_cast<double>((d + 1) * (d + 1)) / q;
+  EXPECT_NEAR(analysis.cycle_length(), expected, expected * 1e-9);
+}
+
+TEST(Renewal, RejectsNegativeThreshold) {
+  const ChainSpec spec = ChainSpec::one_dim(MobilityProfile{0.1, 0.01});
+  EXPECT_THROW(analyze_renewal(spec, -1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::markov

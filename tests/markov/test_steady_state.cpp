@@ -1,0 +1,216 @@
+#include "pcn/markov/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::markov {
+namespace {
+
+// --- basic shape -----------------------------------------------------------
+
+TEST(SteadyState, ThresholdZeroIsDegenerate) {
+  const ChainSpec spec = ChainSpec::one_dim(MobilityProfile{0.1, 0.01});
+  const auto pi = solve_steady_state(spec, 0);
+  ASSERT_EQ(pi.size(), 1u);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);  // paper eq. 33 / 55
+}
+
+TEST(SteadyState, RejectsNegativeThreshold) {
+  const ChainSpec spec = ChainSpec::one_dim(MobilityProfile{0.1, 0.01});
+  EXPECT_THROW(solve_steady_state(spec, -1), InvalidArgument);
+}
+
+// --- paper boundary-case formulas (eqs. 34-38) -----------------------------
+
+TEST(SteadyState, OneDimThresholdOneMatchesEquations34And35) {
+  const double q = 0.07;
+  const double c = 0.02;
+  const auto pi =
+      solve_steady_state(ChainSpec::one_dim(MobilityProfile{q, c}), 1);
+  EXPECT_NEAR(pi[0], (q + c) / (2 * q + c), 1e-14);
+  EXPECT_NEAR(pi[1], q / (2 * q + c), 1e-14);
+}
+
+TEST(SteadyState, OneDimThresholdTwoMatchesEquations36To38) {
+  const double q = 0.05;
+  const double c = 0.01;
+  const auto pi =
+      solve_steady_state(ChainSpec::one_dim(MobilityProfile{q, c}), 2);
+  EXPECT_NEAR(pi[0], (2 * c + q) / (2 * c + 3 * q), 1e-14);
+  EXPECT_NEAR(pi[1],
+              4 * q * (c + q) / (9 * q * q + 12 * q * c + 4 * c * c), 1e-14);
+  EXPECT_NEAR(pi[2], 2 * q * q / (9 * q * q + 12 * q * c + 4 * c * c),
+              1e-14);
+}
+
+// --- paper boundary-case formulas for the approximate 2-D chain (56-60) ----
+
+TEST(SteadyState, TwoDimApproxThresholdOneMatchesEquations56And57) {
+  const double q = 0.2;
+  const double c = 0.04;
+  const auto pi =
+      solve_steady_state(ChainSpec::two_dim_approx(MobilityProfile{q, c}), 1);
+  EXPECT_NEAR(pi[0], (2 * q + 3 * c) / (5 * q + 3 * c), 1e-14);
+  EXPECT_NEAR(pi[1], 3 * q / (5 * q + 3 * c), 1e-14);
+}
+
+TEST(SteadyState, TwoDimApproxThresholdTwoMatchesEquations58To60) {
+  const double q = 0.05;
+  const double c = 0.01;
+  const auto pi =
+      solve_steady_state(ChainSpec::two_dim_approx(MobilityProfile{q, c}), 2);
+  EXPECT_NEAR(pi[0], (3 * c + q) / (3 * c + 4 * q), 1e-14);
+  EXPECT_NEAR(pi[1],
+              q * (3 * c + 2 * q) / (4 * q * q + 7 * q * c + 3 * c * c),
+              1e-14);
+  EXPECT_NEAR(pi[2], q * q / (4 * q * q + 7 * q * c + 3 * c * c), 1e-14);
+}
+
+// --- exact 2-D chain, hand-solved d = 1 ------------------------------------
+
+TEST(SteadyState, TwoDimExactThresholdOneHandSolved) {
+  // From state 1 every event leads to 0 with total rate 2q/3 + c; from 0
+  // outward with rate q:  p1/p0 = q / (2q/3 + c).
+  const double q = 0.05;
+  const double c = 0.01;
+  const auto pi =
+      solve_steady_state(ChainSpec::two_dim_exact(MobilityProfile{q, c}), 1);
+  const double ratio = q / (2 * q / 3 + c);
+  EXPECT_NEAR(pi[1] / pi[0], ratio, 1e-12);
+}
+
+// --- property sweep: recurrence vs dense LU vs global balance --------------
+
+using SweepParam = std::tuple<ChainKind, double, double, int>;
+
+class SteadyStateSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  ChainSpec spec() const {
+    const auto& [kind, q, c, d] = GetParam();
+    return ChainSpec(kind, MobilityProfile{q, c});
+  }
+  int threshold() const { return std::get<3>(GetParam()); }
+};
+
+TEST_P(SteadyStateSweep, DistributionIsNormalizedAndPositive) {
+  const auto pi = solve_steady_state(spec(), threshold());
+  ASSERT_EQ(pi.size(), static_cast<std::size_t>(threshold()) + 1);
+  double total = 0.0;
+  for (double p : pi) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_P(SteadyStateSweep, RecurrenceMatchesDenseLuSolver) {
+  const auto fast = solve_steady_state(spec(), threshold());
+  const auto dense = solve_steady_state_dense(spec(), threshold());
+  ASSERT_EQ(fast.size(), dense.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], dense[i], 1e-10) << "state " << i;
+  }
+}
+
+TEST_P(SteadyStateSweep, DistributionIsInvariantUnderTheTransitionMatrix) {
+  // pi P = pi: the recurrence solution satisfies global balance.
+  const auto pi = solve_steady_state(spec(), threshold());
+  const linalg::Matrix p = transition_matrix(spec(), threshold());
+  for (std::size_t j = 0; j < pi.size(); ++j) {
+    double inflow = 0.0;
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+      inflow += pi[i] * p.at(i, j);
+    }
+    EXPECT_NEAR(inflow, pi[j], 1e-12) << "state " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsByProfilesByThresholds, SteadyStateSweep,
+    ::testing::Combine(
+        ::testing::Values(ChainKind::kOneDimExact, ChainKind::kTwoDimExact,
+                          ChainKind::kTwoDimApprox),
+        ::testing::Values(0.001, 0.05, 0.4),
+        ::testing::Values(0.0005, 0.01, 0.1),
+        ::testing::Values(1, 2, 3, 7, 25)));
+
+// --- transition matrix structure -------------------------------------------
+
+TEST(TransitionMatrix, RowsAreStochastic) {
+  const ChainSpec spec = ChainSpec::two_dim_exact(MobilityProfile{0.3, 0.05});
+  const linalg::Matrix p = transition_matrix(spec, 6);
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      EXPECT_GE(p.at(i, j), -1e-15);
+      row += p.at(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-12) << "row " << i;
+  }
+}
+
+TEST(TransitionMatrix, BoundaryStateFoldsUpdateIntoResetColumn) {
+  const double q = 0.1;
+  const double c = 0.02;
+  const ChainSpec spec = ChainSpec::one_dim(MobilityProfile{q, c});
+  const linalg::Matrix p = transition_matrix(spec, 3);
+  // From state 3: outward (q/2, update) + call (c) both land in 0;
+  // inward q/2 lands in 2.
+  EXPECT_NEAR(p.at(3, 0), q / 2 + c, 1e-15);
+  EXPECT_NEAR(p.at(3, 2), q / 2, 1e-15);
+  EXPECT_NEAR(p.at(3, 3), 1.0 - q - c, 1e-15);
+}
+
+TEST(TransitionMatrix, CallFromStateZeroIsASelfLoop) {
+  const ChainSpec spec = ChainSpec::one_dim(MobilityProfile{0.1, 0.02});
+  const linalg::Matrix p = transition_matrix(spec, 2);
+  // Row 0: up q; rest is self-loop (call does not change state 0).
+  EXPECT_NEAR(p.at(0, 1), 0.1, 1e-15);
+  EXPECT_NEAR(p.at(0, 0), 0.9, 1e-15);
+}
+
+// --- numerical robustness ---------------------------------------------------
+
+TEST(SteadyState, StableForLargeThresholdAndExtremeRatios) {
+  // beta = 2 + 2c/q is huge when c >> q; the scaled recurrence must not
+  // overflow and must stay a distribution.
+  const ChainSpec spec = ChainSpec::one_dim(MobilityProfile{0.001, 0.1});
+  const auto pi = solve_steady_state(spec, 400);
+  double total = 0.0;
+  for (double p : pi) {
+    ASSERT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Probability mass should concentrate near the center.
+  EXPECT_GT(pi[0] + pi[1], 0.99);
+}
+
+TEST(SteadyState, MassMovesOutwardWhenMobilityDominates) {
+  // With q >> c the terminal wanders: p_d grows relative to the c >> q case.
+  const auto mobile = solve_steady_state(
+      ChainSpec::one_dim(MobilityProfile{0.4, 0.001}), 10);
+  const auto sessile = solve_steady_state(
+      ChainSpec::one_dim(MobilityProfile{0.001, 0.1}), 10);
+  EXPECT_GT(mobile.back(), 100 * sessile.back());
+}
+
+TEST(SteadyState, TwoDimExactPushesMassFurtherOutThanApprox) {
+  // The exact chain's outward bias (1/3 + 1/(6i) > 1/3) moves mass outward
+  // relative to the symmetric approximation.
+  const MobilityProfile profile{0.1, 0.01};
+  const auto exact =
+      solve_steady_state(ChainSpec::two_dim_exact(profile), 8);
+  const auto approx =
+      solve_steady_state(ChainSpec::two_dim_approx(profile), 8);
+  EXPECT_GT(exact.back(), approx.back());
+}
+
+}  // namespace
+}  // namespace pcn::markov

@@ -1,0 +1,125 @@
+#include "pcn/markov/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+#include "pcn/linalg/matrix.hpp"
+#include "pcn/markov/steady_state.hpp"
+
+namespace pcn::markov {
+namespace {
+
+const ChainSpec& spec_2d() {
+  static const ChainSpec spec =
+      ChainSpec::two_dim_exact(MobilityProfile{0.1, 0.02});
+  return spec;
+}
+
+TEST(Transient, ZeroStepsReturnsTheInitialDistribution) {
+  const std::vector<double> initial{0.25, 0.5, 0.25};
+  const auto out = evolve_distribution(spec_2d(), 2, initial, 0);
+  EXPECT_EQ(out, initial);
+}
+
+TEST(Transient, OneStepMatchesTheTransitionMatrix) {
+  const int d = 5;
+  const linalg::Matrix p = transition_matrix(spec_2d(), d);
+  std::vector<double> initial(static_cast<std::size_t>(d) + 1, 0.0);
+  initial[2] = 1.0;
+  const auto fast = evolve_distribution(spec_2d(), d, initial, 1);
+  for (std::size_t j = 0; j <= static_cast<std::size_t>(d); ++j) {
+    EXPECT_NEAR(fast[j], p.at(2, j), 1e-15) << "state " << j;
+  }
+}
+
+TEST(Transient, ManyStepsMatchRepeatedMatrixMultiplication) {
+  const int d = 4;
+  const int steps = 37;
+  const linalg::Matrix p = transition_matrix(spec_2d(), d);
+  linalg::Matrix power = linalg::Matrix::identity(static_cast<std::size_t>(d) + 1);
+  for (int k = 0; k < steps; ++k) power = power.multiply(p);
+
+  const auto fast = distribution_after(spec_2d(), d, steps);
+  for (std::size_t j = 0; j <= static_cast<std::size_t>(d); ++j) {
+    EXPECT_NEAR(fast[j], power.at(0, j), 1e-12) << "state " << j;
+  }
+}
+
+TEST(Transient, MassIsConservedEveryStep) {
+  const int d = 7;
+  for (int steps : {1, 3, 10, 100, 1000}) {
+    const auto dist = distribution_after(spec_2d(), d, steps);
+    double total = 0.0;
+    for (double v : dist) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "steps " << steps;
+  }
+}
+
+TEST(Transient, ConvergesToTheSteadyState) {
+  const int d = 6;
+  const auto stationary = solve_steady_state(spec_2d(), d);
+  const auto late = distribution_after(spec_2d(), d, 20000);
+  for (std::size_t i = 0; i < stationary.size(); ++i) {
+    EXPECT_NEAR(late[i], stationary[i], 1e-9) << "state " << i;
+  }
+}
+
+TEST(Transient, SteadyStateIsAFixedPoint) {
+  const int d = 6;
+  const auto stationary = solve_steady_state(spec_2d(), d);
+  const auto stepped = evolve_distribution(spec_2d(), d, stationary, 1);
+  for (std::size_t i = 0; i < stationary.size(); ++i) {
+    EXPECT_NEAR(stepped[i], stationary[i], 1e-14) << "state " << i;
+  }
+}
+
+TEST(Transient, TotalVariationBasics) {
+  EXPECT_DOUBLE_EQ(total_variation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(total_variation({0.7, 0.3}, {0.5, 0.5}), 0.2);
+  EXPECT_THROW(total_variation({1.0}, {0.5, 0.5}), InvalidArgument);
+}
+
+TEST(Transient, MixingTimeIsMonotoneInEpsilon) {
+  const int d = 5;
+  const auto strict = mixing_time(spec_2d(), d, 1e-6);
+  const auto loose = mixing_time(spec_2d(), d, 1e-2);
+  EXPECT_GT(strict, loose);
+  EXPECT_GT(loose, 0);
+}
+
+TEST(Transient, MixingTimeZeroForDegenerateChain) {
+  // d = 0 has a single state; the chain is already mixed.
+  EXPECT_EQ(mixing_time(spec_2d(), 0, 1e-9), 0);
+}
+
+TEST(Transient, MixingTimeHonorsTheCap) {
+  EXPECT_EQ(mixing_time(spec_2d(), 10, 1e-300, /*max_steps=*/50), 50);
+}
+
+TEST(Transient, FasterResetsMixFaster) {
+  // Higher call probability pulls the chain back to 0 more often, so it
+  // reaches stationarity sooner.
+  const ChainSpec chatty =
+      ChainSpec::two_dim_exact(MobilityProfile{0.1, 0.1});
+  const ChainSpec quiet =
+      ChainSpec::two_dim_exact(MobilityProfile{0.1, 0.001});
+  EXPECT_LT(mixing_time(chatty, 6, 1e-4), mixing_time(quiet, 6, 1e-4));
+}
+
+TEST(Transient, ValidatesInputs) {
+  EXPECT_THROW(evolve_distribution(spec_2d(), 2, {0.5, 0.5}, 1),
+               InvalidArgument);  // wrong size
+  EXPECT_THROW(evolve_distribution(spec_2d(), 1, {0.9, 0.2}, 1),
+               InvalidArgument);  // not a distribution
+  EXPECT_THROW(evolve_distribution(spec_2d(), 1, {1.2, -0.2}, 1),
+               InvalidArgument);  // negative mass
+  EXPECT_THROW(distribution_after(spec_2d(), 2, -1), InvalidArgument);
+  EXPECT_THROW(mixing_time(spec_2d(), 2, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::markov

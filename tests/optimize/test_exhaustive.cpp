@@ -1,0 +1,92 @@
+#include "pcn/optimize/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::optimize {
+namespace {
+
+constexpr MobilityProfile kPaperProfile{0.05, 0.01};
+
+costs::CostModel paper_model(Dimension dim, double update_cost) {
+  return costs::CostModel::exact(dim, kPaperProfile,
+                                 CostWeights{update_cost, 10.0});
+}
+
+TEST(ExhaustiveSearch, EvaluatesEveryCandidateOnce) {
+  const Optimum optimum =
+      exhaustive_search(paper_model(Dimension::kOneD, 100.0), DelayBound(1),
+                        30);
+  EXPECT_EQ(optimum.evaluations, 31);
+}
+
+TEST(ExhaustiveSearch, FindsTable1OptimaAtU100) {
+  const costs::CostModel model = paper_model(Dimension::kOneD, 100.0);
+  EXPECT_EQ(exhaustive_search(model, DelayBound(1), 60).threshold, 3);
+  EXPECT_EQ(exhaustive_search(model, DelayBound(2), 60).threshold, 4);
+  EXPECT_EQ(exhaustive_search(model, DelayBound(3), 60).threshold, 5);
+  EXPECT_EQ(exhaustive_search(model, DelayBound::unbounded(), 60).threshold,
+            7);
+}
+
+TEST(ExhaustiveSearch, FindsTable2OptimaAtU100) {
+  const costs::CostModel model = paper_model(Dimension::kTwoD, 100.0);
+  EXPECT_EQ(exhaustive_search(model, DelayBound(1), 60).threshold, 1);
+  EXPECT_EQ(exhaustive_search(model, DelayBound(3), 60).threshold, 2);
+  EXPECT_EQ(exhaustive_search(model, DelayBound::unbounded(), 60).threshold,
+            2);
+}
+
+TEST(ExhaustiveSearch, ReturnedCostMatchesModelEvaluation) {
+  const costs::CostModel model = paper_model(Dimension::kTwoD, 300.0);
+  const DelayBound bound(3);
+  const Optimum optimum = exhaustive_search(model, bound, 40);
+  EXPECT_DOUBLE_EQ(optimum.total_cost,
+                   model.total_cost(optimum.threshold, bound));
+}
+
+TEST(ExhaustiveSearch, ResultIsAGlobalMinimumOverTheScan) {
+  const costs::CostModel model = paper_model(Dimension::kTwoD, 500.0);
+  const DelayBound bound(2);
+  const Optimum optimum = exhaustive_search(model, bound, 40);
+  for (int d = 0; d <= 40; ++d) {
+    EXPECT_GE(model.total_cost(d, bound), optimum.total_cost - 1e-12)
+        << "d = " << d;
+  }
+}
+
+TEST(ExhaustiveSearch, LargerUpdateCostNeverShrinksTheOptimalThreshold) {
+  // Table 1/2 monotonicity: d* is non-decreasing in U.
+  const DelayBound bound(3);
+  int previous = 0;
+  for (double update_cost : {1.0, 10.0, 50.0, 100.0, 400.0, 1000.0}) {
+    const Optimum optimum = exhaustive_search(
+        paper_model(Dimension::kOneD, update_cost), bound, 80);
+    EXPECT_GE(optimum.threshold, previous) << "U = " << update_cost;
+    previous = optimum.threshold;
+  }
+}
+
+TEST(ExhaustiveSearch, TinyUpdateCostDrivesThresholdToZero) {
+  const Optimum optimum =
+      exhaustive_search(paper_model(Dimension::kTwoD, 1.0), DelayBound(1),
+                        40);
+  EXPECT_EQ(optimum.threshold, 0);
+}
+
+TEST(ExhaustiveSearch, ZeroMaxThresholdStillEvaluatesDZero) {
+  const Optimum optimum = exhaustive_search(
+      paper_model(Dimension::kOneD, 100.0), DelayBound(1), 0);
+  EXPECT_EQ(optimum.threshold, 0);
+  EXPECT_EQ(optimum.evaluations, 1);
+}
+
+TEST(ExhaustiveSearch, RejectsNegativeMaxThreshold) {
+  EXPECT_THROW(exhaustive_search(paper_model(Dimension::kOneD, 100.0),
+                                 DelayBound(1), -1),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::optimize

@@ -1,0 +1,154 @@
+#include "pcn/proto/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "pcn/stats/rng.hpp"
+
+namespace pcn::proto {
+namespace {
+
+TEST(Varint, SmallValuesUseOneByte) {
+  WireWriter writer;
+  writer.put_varint(0);
+  writer.put_varint(127);
+  EXPECT_EQ(writer.size(), 2u);
+}
+
+TEST(Varint, BoundaryEncodingsAreCanonical) {
+  WireWriter writer;
+  writer.put_varint(128);
+  EXPECT_EQ(writer.buffer(), (std::vector<std::uint8_t>{0x80, 0x01}));
+}
+
+TEST(Varint, RoundTripsAcrossTheFullRange) {
+  stats::Rng rng(1);
+  WireWriter writer;
+  std::vector<std::uint64_t> values{0, 1, 127, 128, 16383, 16384,
+                                    std::numeric_limits<std::uint64_t>::max()};
+  for (int i = 0; i < 100; ++i) values.push_back(rng.next());
+  for (std::uint64_t v : values) writer.put_varint(v);
+
+  WireReader reader(writer.buffer());
+  for (std::uint64_t v : values) {
+    EXPECT_EQ(reader.get_varint(), v);
+  }
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Varint, TruncationIsDetected) {
+  WireWriter writer;
+  writer.put_varint(1u << 20);
+  std::vector<std::uint8_t> bytes = writer.take();
+  bytes.pop_back();
+  WireReader reader(bytes);
+  EXPECT_THROW(reader.get_varint(), DecodeError);
+}
+
+TEST(Varint, OverlongEncodingIsRejected) {
+  // 11 continuation bytes can never be a valid 64-bit varint.
+  const std::vector<std::uint8_t> bytes(11, 0xff);
+  WireReader reader(bytes);
+  EXPECT_THROW(reader.get_varint(), DecodeError);
+}
+
+TEST(Varint, SixtyFiveBitValueIsRejected) {
+  // Ten bytes whose final byte carries more than one significant bit.
+  std::vector<std::uint8_t> bytes(9, 0x80);
+  bytes.push_back(0x02);
+  WireReader reader(bytes);
+  EXPECT_THROW(reader.get_varint(), DecodeError);
+}
+
+TEST(Zigzag, MapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(Zigzag, RoundTripsExtremes) {
+  for (std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(Signed, RoundTripsThroughTheWire) {
+  stats::Rng rng(2);
+  WireWriter writer;
+  std::vector<std::int64_t> values{0, -1, 1, -1000000, 1000000};
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(static_cast<std::int64_t>(rng.next()));
+  }
+  for (std::int64_t v : values) writer.put_signed(v);
+  WireReader reader(writer.buffer());
+  for (std::int64_t v : values) {
+    EXPECT_EQ(reader.get_signed(), v);
+  }
+}
+
+TEST(Bytes, LengthPrefixedRoundTrip) {
+  WireWriter writer;
+  const std::vector<std::uint8_t> payload{1, 2, 3, 255, 0};
+  writer.put_bytes(payload);
+  writer.put_bytes({});  // empty blob is legal
+  WireReader reader(writer.buffer());
+  EXPECT_EQ(reader.get_bytes(), payload);
+  EXPECT_TRUE(reader.get_bytes().empty());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Bytes, LengthBeyondBufferIsRejected) {
+  WireWriter writer;
+  writer.put_varint(100);  // claims 100 bytes follow
+  writer.put_u8(1);
+  WireReader reader(writer.buffer());
+  EXPECT_THROW(reader.get_bytes(), DecodeError);
+}
+
+TEST(Reader, U8AndExhaustion) {
+  WireWriter writer;
+  writer.put_u8(42);
+  WireReader reader(writer.buffer());
+  EXPECT_EQ(reader.remaining(), 1u);
+  EXPECT_EQ(reader.get_u8(), 42);
+  EXPECT_NO_THROW(reader.expect_exhausted());
+  EXPECT_THROW(reader.get_u8(), DecodeError);
+}
+
+TEST(Reader, TrailingGarbageIsDetected) {
+  WireWriter writer;
+  writer.put_u8(1);
+  writer.put_u8(2);
+  WireReader reader(writer.buffer());
+  reader.get_u8();
+  EXPECT_THROW(reader.expect_exhausted(), DecodeError);
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // IEEE CRC-32 of "123456789" is 0xCBF43926.
+  const char* digits = "123456789";
+  std::vector<std::uint8_t> bytes(digits, digits + 9);
+  EXPECT_EQ(crc32(bytes), 0xcbf43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> bytes{10, 20, 30, 40, 50};
+  const std::uint32_t original = crc32(bytes);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(bytes), original) << "byte " << i << " bit " << bit;
+      bytes[i] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcn::proto

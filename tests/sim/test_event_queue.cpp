@@ -1,0 +1,103 @@
+#include "pcn/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.now(), 0);
+  EXPECT_FALSE(queue.run_next());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&] { order.push_back(3); });
+  queue.schedule(10, [&] { order.push_back(1); });
+  queue.schedule(20, [&] { order.push_back(2); });
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30);
+}
+
+TEST(EventQueue, EqualTimesRunFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (queue.run_next()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ClockAdvancesToTheEventTime) {
+  EventQueue queue;
+  SimTime observed = -1;
+  queue.schedule(7, [&] { observed = queue.now(); });
+  queue.run_next();
+  EXPECT_EQ(observed, 7);
+}
+
+TEST(EventQueue, EventsMayScheduleFurtherEvents) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) queue.schedule_in(2, chain);
+  };
+  queue.schedule(1, chain);
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(queue.now(), 1 + 2 * 4);
+}
+
+TEST(EventQueue, RunUntilStopsAtTheHorizonAndAdvancesTheClock) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(5, [&] { ++fired; });
+  queue.schedule(15, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(10), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), 10);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.run_until(20), 1);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.now(), 20);
+}
+
+TEST(EventQueue, SchedulingInThePastIsRejected) {
+  EventQueue queue;
+  queue.schedule(10, [] {});
+  queue.run_next();
+  EXPECT_THROW(queue.schedule(5, [] {}), InvalidArgument);
+  EXPECT_THROW(queue.schedule_in(-1, [] {}), InvalidArgument);
+}
+
+TEST(EventQueue, NullCallbackIsRejected) {
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule(1, nullptr), InvalidArgument);
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed) {
+  EventQueue queue;
+  queue.schedule(10, [] {});
+  queue.run_next();
+  bool ran = false;
+  queue.schedule(10, [&] { ran = true; });
+  queue.run_next();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(queue.now(), 10);
+}
+
+}  // namespace
+}  // namespace pcn::sim

@@ -1,0 +1,104 @@
+#include "pcn/sim/location_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+namespace {
+
+using geometry::Cell;
+
+TEST(Knowledge, FixedDiskRadiusIsConstant) {
+  const Knowledge k{KnowledgeKind::kFixedDisk, Cell{}, 4, 10};
+  EXPECT_EQ(k.radius_at(10), 4);
+  EXPECT_EQ(k.radius_at(1000), 4);
+}
+
+TEST(Knowledge, GrowingDiskGrowsOneRingPerSlotUpToTheCap) {
+  const Knowledge k{KnowledgeKind::kGrowingDisk, Cell{}, 5, 100};
+  EXPECT_EQ(k.radius_at(100), 0);
+  EXPECT_EQ(k.radius_at(103), 3);
+  EXPECT_EQ(k.radius_at(105), 5);
+  EXPECT_EQ(k.radius_at(200), 5);  // capped
+}
+
+TEST(Knowledge, LocationAreaRadiusIsTheLaRadius) {
+  const Knowledge k{KnowledgeKind::kLocationArea, Cell{}, 2, 0};
+  EXPECT_EQ(k.radius_at(50), 2);
+}
+
+TEST(Knowledge, RejectsQueriesBeforeTheLastRefresh) {
+  const Knowledge k{KnowledgeKind::kGrowingDisk, Cell{}, 5, 100};
+  EXPECT_THROW(k.radius_at(99), InvalidArgument);
+}
+
+TEST(LocationServer, RegistersAndReportsKnowledge) {
+  LocationServer server(Dimension::kTwoD);
+  server.register_terminal(7, KnowledgeKind::kFixedDisk, 3, Cell{1, 1}, 0);
+  const Knowledge& k = server.knowledge(7);
+  EXPECT_EQ(k.center, (Cell{1, 1}));
+  EXPECT_EQ(k.radius, 3);
+  EXPECT_EQ(k.since, 0);
+}
+
+TEST(LocationServer, RejectsDuplicateRegistrationAndUnknownIds) {
+  LocationServer server(Dimension::kTwoD);
+  server.register_terminal(1, KnowledgeKind::kFixedDisk, 2, Cell{}, 0);
+  EXPECT_THROW(
+      server.register_terminal(1, KnowledgeKind::kFixedDisk, 2, Cell{}, 0),
+      InvalidArgument);
+  EXPECT_THROW(server.knowledge(2), InvalidArgument);
+  EXPECT_THROW(server.on_update(2, Cell{}, 1), InvalidArgument);
+}
+
+TEST(LocationServer, UpdateMovesTheCenterAndRefreshesTheClock) {
+  LocationServer server(Dimension::kTwoD);
+  server.register_terminal(0, KnowledgeKind::kGrowingDisk, 50, Cell{}, 0);
+  server.on_update(0, Cell{4, -2}, 12);
+  const Knowledge& k = server.knowledge(0);
+  EXPECT_EQ(k.center, (Cell{4, -2}));
+  EXPECT_EQ(k.since, 12);
+  EXPECT_EQ(k.radius_at(12), 0);
+}
+
+TEST(LocationServer, LocatedBehavesLikeAnUpdate) {
+  LocationServer server(Dimension::kOneD);
+  server.register_terminal(0, KnowledgeKind::kFixedDisk, 2, Cell{}, 0);
+  server.on_located(0, Cell{9, 0}, 5);
+  EXPECT_EQ(server.knowledge(0).center, (Cell{9, 0}));
+  EXPECT_EQ(server.knowledge(0).since, 5);
+}
+
+TEST(LocationServer, LocationAreaKnowledgeStoresTheLaCenter) {
+  LocationServer server(Dimension::kTwoD);
+  // Radius-1 LAs: cell (1, 0) belongs to the LA centered at the origin.
+  server.register_terminal(0, KnowledgeKind::kLocationArea, 1, Cell{1, 0},
+                           0);
+  EXPECT_EQ(server.knowledge(0).center, (Cell{0, 0}));
+  // An update from a far cell re-centers on that cell's LA center.
+  const geometry::CellLaTiling tiling(Dimension::kTwoD, 1);
+  const Cell far{10, 3};
+  server.on_update(0, far, 4);
+  EXPECT_EQ(server.knowledge(0).center, tiling.la_center(far));
+}
+
+TEST(LocationServer, RejectsNegativeRadius) {
+  LocationServer server(Dimension::kOneD);
+  EXPECT_THROW(
+      server.register_terminal(0, KnowledgeKind::kFixedDisk, -1, Cell{}, 0),
+      InvalidArgument);
+}
+
+TEST(LocationServer, TracksMultipleTerminalsIndependently) {
+  LocationServer server(Dimension::kTwoD);
+  server.register_terminal(0, KnowledgeKind::kFixedDisk, 1, Cell{}, 0);
+  server.register_terminal(1, KnowledgeKind::kFixedDisk, 9, Cell{5, 5}, 0);
+  server.on_update(0, Cell{2, 2}, 3);
+  EXPECT_EQ(server.knowledge(0).center, (Cell{2, 2}));
+  EXPECT_EQ(server.knowledge(1).center, (Cell{5, 5}));
+  EXPECT_EQ(server.knowledge(1).radius, 9);
+}
+
+}  // namespace
+}  // namespace pcn::sim

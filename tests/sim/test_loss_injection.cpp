@@ -1,0 +1,107 @@
+// Failure injection: lossy update frames with retry, and expanding-ring
+// paging recovery when stale knowledge makes the normal schedule miss.
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace pcn::sim {
+namespace {
+
+constexpr MobilityProfile kProfile{0.3, 0.02};
+constexpr CostWeights kWeights{50.0, 2.0};
+
+Network lossy_network(std::uint64_t seed, double loss) {
+  NetworkConfig config{Dimension::kTwoD, SlotSemantics::kChainFaithful,
+                       seed};
+  config.update_loss_prob = loss;
+  return Network(config, kWeights);
+}
+
+TEST(LossInjection, ZeroLossRecordsNoFailures) {
+  Network network = lossy_network(1, 0.0);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 2, DelayBound(2)));
+  network.run(50000);
+  EXPECT_EQ(network.metrics(id).lost_updates, 0);
+  EXPECT_EQ(network.metrics(id).paging_failures, 0);
+}
+
+TEST(LossInjection, LostFractionMatchesTheLossProbability) {
+  const double loss = 0.3;
+  Network network = lossy_network(2, loss);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 2, DelayBound(2)));
+  network.run(200000);
+  const TerminalMetrics& m = network.metrics(id);
+  ASSERT_GT(m.updates, 1000);
+  const double measured = static_cast<double>(m.lost_updates) /
+                          static_cast<double>(m.updates);
+  EXPECT_NEAR(measured, loss, 0.03);
+}
+
+TEST(LossInjection, EveryCallIsStillDelivered) {
+  Network network = lossy_network(3, 0.5);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 2, DelayBound(2)));
+  network.run(100000);
+  const TerminalMetrics& m = network.metrics(id);
+  ASSERT_GT(m.calls, 0);
+  EXPECT_EQ(m.paging_cycles.total(), m.calls);
+  // Recovery paging happened at least once under 50% loss...
+  EXPECT_GT(m.paging_failures, 0);
+  // ...and every recovered page still located the terminal (the run would
+  // have thrown otherwise).
+}
+
+TEST(LossInjection, RecoveryCanExceedTheNominalDelayBound) {
+  Network network = lossy_network(4, 0.5);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 1, DelayBound(1)));
+  network.run(200000);
+  const TerminalMetrics& m = network.metrics(id);
+  ASSERT_GT(m.paging_failures, 0);
+  // Blanket paging normally locates in 1 cycle; recovered pages take more.
+  EXPECT_GT(m.paging_cycles.max_value(), 1);
+  EXPECT_LT(m.paging_cycles.fraction(1), 1.0);
+}
+
+TEST(LossInjection, RetriesMakeUpdatesMoreFrequentAndCostlier) {
+  auto cost_with_loss = [](double loss) {
+    Network network = lossy_network(5, loss);
+    const TerminalId id = network.add_terminal(make_distance_terminal(
+        Dimension::kTwoD, kProfile, 2, DelayBound(2)));
+    network.run(200000);
+    return network.metrics(id);
+  };
+  const TerminalMetrics clean = cost_with_loss(0.0);
+  const TerminalMetrics lossy = cost_with_loss(0.4);
+  // Each loss forces a retransmission, so attempted updates rise...
+  EXPECT_GT(lossy.updates, clean.updates);
+  // ...and the measured total cost strictly exceeds the clean run's.
+  EXPECT_GT(lossy.cost_per_slot(), clean.cost_per_slot());
+}
+
+TEST(LossInjection, FailureRateDropsWithLossProbability) {
+  auto failures_per_call = [](double loss) {
+    Network network = lossy_network(6, loss);
+    const TerminalId id = network.add_terminal(make_distance_terminal(
+        Dimension::kTwoD, kProfile, 2, DelayBound(2)));
+    network.run(300000);
+    const TerminalMetrics& m = network.metrics(id);
+    return static_cast<double>(m.paging_failures) /
+           static_cast<double>(m.calls);
+  };
+  EXPECT_GT(failures_per_call(0.6), failures_per_call(0.1));
+}
+
+TEST(LossInjection, RejectsInvalidLossProbability) {
+  NetworkConfig config;
+  config.update_loss_prob = 1.0;
+  EXPECT_THROW(Network(config, kWeights), InvalidArgument);
+  config.update_loss_prob = -0.1;
+  EXPECT_THROW(Network(config, kWeights), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::sim

@@ -1,0 +1,49 @@
+#include "pcn/sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+namespace {
+
+TEST(TerminalMetrics, FreshMetricsAreZeroed) {
+  const TerminalMetrics m;
+  EXPECT_EQ(m.slots, 0);
+  EXPECT_EQ(m.moves, 0);
+  EXPECT_EQ(m.calls, 0);
+  EXPECT_EQ(m.updates, 0);
+  EXPECT_EQ(m.polled_cells, 0);
+  EXPECT_EQ(m.total_bytes(), 0);
+  EXPECT_EQ(m.lost_updates, 0);
+  EXPECT_EQ(m.paging_failures, 0);
+  EXPECT_DOUBLE_EQ(m.total_cost(), 0.0);
+}
+
+TEST(TerminalMetrics, PerSlotRatesRequireSimulatedSlots) {
+  const TerminalMetrics m;
+  EXPECT_THROW(m.cost_per_slot(), InvalidArgument);
+  EXPECT_THROW(m.update_cost_per_slot(), InvalidArgument);
+  EXPECT_THROW(m.paging_cost_per_slot(), InvalidArgument);
+}
+
+TEST(TerminalMetrics, PerSlotRatesDivideBySlots) {
+  TerminalMetrics m;
+  m.slots = 100;
+  m.update_cost = 30.0;
+  m.paging_cost = 20.0;
+  EXPECT_DOUBLE_EQ(m.update_cost_per_slot(), 0.3);
+  EXPECT_DOUBLE_EQ(m.paging_cost_per_slot(), 0.2);
+  EXPECT_DOUBLE_EQ(m.cost_per_slot(), 0.5);
+  EXPECT_DOUBLE_EQ(m.total_cost(), 50.0);
+}
+
+TEST(TerminalMetrics, TotalBytesSumsBothDirections) {
+  TerminalMetrics m;
+  m.update_bytes = 120;
+  m.paging_bytes = 45;
+  EXPECT_EQ(m.total_bytes(), 165);
+}
+
+}  // namespace
+}  // namespace pcn::sim

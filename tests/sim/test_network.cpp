@@ -1,0 +1,189 @@
+#include "pcn/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+namespace {
+
+constexpr MobilityProfile kProfile{0.2, 0.05};
+constexpr CostWeights kWeights{50.0, 2.0};
+
+NetworkConfig config_2d(std::uint64_t seed,
+                        SlotSemantics semantics =
+                            SlotSemantics::kChainFaithful) {
+  return NetworkConfig{Dimension::kTwoD, semantics, seed};
+}
+
+TEST(Network, RunsTheRequestedNumberOfSlots) {
+  Network network(config_2d(1), kWeights);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 3, DelayBound(2)));
+  network.run(500);
+  EXPECT_EQ(network.metrics(id).slots, 500);
+  network.run(250);
+  EXPECT_EQ(network.metrics(id).slots, 750);
+}
+
+TEST(Network, IsDeterministicForAFixedSeed) {
+  auto run_once = [] {
+    Network network(config_2d(99), kWeights);
+    const TerminalId id = network.add_terminal(make_distance_terminal(
+        Dimension::kTwoD, kProfile, 2, DelayBound(3)));
+    network.run(2000);
+    return network.metrics(id);
+  };
+  const TerminalMetrics a = run_once();
+  const TerminalMetrics b = run_once();
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.calls, b.calls);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.polled_cells, b.polled_cells);
+}
+
+TEST(Network, DifferentSeedsProduceDifferentTrajectories) {
+  auto moves_for = [](std::uint64_t seed) {
+    Network network(NetworkConfig{Dimension::kTwoD,
+                                  SlotSemantics::kChainFaithful, seed},
+                    kWeights);
+    const TerminalId id = network.add_terminal(make_distance_terminal(
+        Dimension::kTwoD, kProfile, 2, DelayBound(3)));
+    network.run(2000);
+    return network.metrics(id).moves;
+  };
+  EXPECT_NE(moves_for(1), moves_for(2));
+}
+
+TEST(Network, EventCountsAreStatisticallyPlausible) {
+  Network network(config_2d(7), kWeights);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 3, DelayBound(2)));
+  const std::int64_t slots = 200000;
+  network.run(slots);
+  const TerminalMetrics& m = network.metrics(id);
+  // Chain-faithful: P(move) = q, P(call) = c exactly.
+  EXPECT_NEAR(static_cast<double>(m.moves) / static_cast<double>(slots),
+              kProfile.move_prob, 0.01);
+  EXPECT_NEAR(static_cast<double>(m.calls) / static_cast<double>(slots),
+              kProfile.call_prob, 0.005);
+}
+
+TEST(Network, CostAccountingMatchesEventCounts) {
+  Network network(config_2d(3), kWeights);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 2, DelayBound(2)));
+  network.run(20000);
+  const TerminalMetrics& m = network.metrics(id);
+  EXPECT_DOUBLE_EQ(m.update_cost,
+                   static_cast<double>(m.updates) * kWeights.update_cost);
+  EXPECT_DOUBLE_EQ(m.paging_cost,
+                   static_cast<double>(m.polled_cells) * kWeights.poll_cost);
+  EXPECT_DOUBLE_EQ(m.total_cost(), m.update_cost + m.paging_cost);
+  EXPECT_EQ(m.paging_cycles.total(), m.calls);
+}
+
+class NetworkInvariants
+    : public ::testing::TestWithParam<SlotSemantics> {};
+
+TEST_P(NetworkInvariants, DistancePolicyNeverExceedsItsThreshold) {
+  const int d = 3;
+  Network network(config_2d(11, GetParam()), kWeights);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, d, DelayBound(2)));
+  network.run(50000);
+  // Ring-distance occupancy is sampled after the update check, so the
+  // distance must never exceed d.
+  EXPECT_LE(network.metrics(id).ring_distance.max_value(), d);
+}
+
+TEST_P(NetworkInvariants, PagingDelayBoundHolds) {
+  const DelayBound bound(2);
+  Network network(config_2d(13, GetParam()), kWeights);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 5, bound));
+  network.run(50000);
+  const TerminalMetrics& m = network.metrics(id);
+  ASSERT_GT(m.calls, 0);
+  EXPECT_LE(m.paging_cycles.max_value(), bound.cycles());
+}
+
+TEST_P(NetworkInvariants, AllPolicyKindsRunCleanly) {
+  Network network(config_2d(17, GetParam()), kWeights);
+  const TerminalId distance = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 3, DelayBound(2)));
+  const TerminalId movement = network.add_terminal(
+      make_movement_terminal(Dimension::kTwoD, kProfile, 4, DelayBound(3)));
+  const TerminalId time = network.add_terminal(
+      make_time_terminal(Dimension::kTwoD, kProfile, 20));
+  const TerminalId la =
+      network.add_terminal(make_la_terminal(Dimension::kTwoD, kProfile, 2));
+  network.run(20000);
+  for (TerminalId id : {distance, movement, time, la}) {
+    const TerminalMetrics& m = network.metrics(id);
+    EXPECT_EQ(m.slots, 20000);
+    EXPECT_GT(m.calls, 0) << "terminal " << id;
+    EXPECT_GT(m.updates, 0) << "terminal " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSemantics, NetworkInvariants,
+                         ::testing::Values(SlotSemantics::kChainFaithful,
+                                           SlotSemantics::kIndependent));
+
+TEST(Network, MovementPolicyUpdatesEveryMaxMovesCrossings) {
+  // With calls disabled-ish (tiny c), updates ~= moves / max_moves.
+  const MobilityProfile profile{0.3, 0.0001};
+  Network network(config_2d(23), kWeights);
+  const TerminalId id = network.add_terminal(
+      make_movement_terminal(Dimension::kTwoD, profile, 5, DelayBound(2)));
+  network.run(100000);
+  const TerminalMetrics& m = network.metrics(id);
+  EXPECT_NEAR(static_cast<double>(m.updates),
+              static_cast<double>(m.moves) / 5.0,
+              static_cast<double>(m.moves) * 0.01 + 10);
+}
+
+TEST(Network, TimePolicyUpdatesAtMostEveryPeriod) {
+  const MobilityProfile profile{0.1, 0.0001};
+  Network network(config_2d(29), kWeights);
+  const TerminalId id = network.add_terminal(
+      make_time_terminal(Dimension::kTwoD, profile, 50));
+  const std::int64_t slots = 100000;
+  network.run(slots);
+  const TerminalMetrics& m = network.metrics(id);
+  // Roughly one update per 50 slots (calls are rare).
+  EXPECT_NEAR(static_cast<double>(m.updates),
+              static_cast<double>(slots) / 50.0, slots / 50.0 * 0.1);
+}
+
+TEST(Network, LaPolicyBlanketPagesTheLa) {
+  Network network(config_2d(31), kWeights);
+  const TerminalId id =
+      network.add_terminal(make_la_terminal(Dimension::kTwoD, kProfile, 2));
+  network.run(20000);
+  const TerminalMetrics& m = network.metrics(id);
+  ASSERT_GT(m.calls, 0);
+  // Every page polls exactly the 19-cell LA in a single cycle.
+  EXPECT_EQ(m.polled_cells, m.calls * 19);
+  EXPECT_EQ(m.paging_cycles.max_value(), 1);
+}
+
+TEST(Network, RejectsIncompleteSpecsAndBadQueries) {
+  Network network(config_2d(1), kWeights);
+  EXPECT_THROW(network.add_terminal(TerminalSpec{}), InvalidArgument);
+  EXPECT_THROW(network.metrics(0), InvalidArgument);
+  EXPECT_THROW(network.run(-1), InvalidArgument);
+}
+
+TEST(Network, ChainFaithfulRejectsOverfullEventMass) {
+  Network network(config_2d(1), kWeights);
+  TerminalSpec spec =
+      make_distance_terminal(Dimension::kTwoD, kProfile, 2, DelayBound(1));
+  spec.call_prob = 0.85;  // q + c > 1
+  network.add_terminal(std::move(spec));
+  EXPECT_THROW(network.run(10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::sim

@@ -1,0 +1,184 @@
+#include "pcn/sim/paging_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pcn/common/error.hpp"
+#include "pcn/geometry/ring_metrics.hpp"
+
+namespace pcn::sim {
+namespace {
+
+using geometry::Cell;
+
+Knowledge fixed_disk(Cell center, int radius, SimTime since = 0) {
+  return Knowledge{KnowledgeKind::kFixedDisk, center, radius, since};
+}
+
+std::vector<Cell> full_schedule(const PagingPolicy& policy,
+                                const Knowledge& knowledge, SimTime now,
+                                int* groups_out = nullptr) {
+  std::vector<Cell> all;
+  int groups = 0;
+  for (int cycle = 0;; ++cycle) {
+    const auto group = policy.polling_group(knowledge, now, cycle);
+    if (group.empty()) break;
+    ++groups;
+    all.insert(all.end(), group.begin(), group.end());
+  }
+  if (groups_out != nullptr) *groups_out = groups;
+  return all;
+}
+
+TEST(BlanketPaging, PollsTheWholeResidingAreaInOneCycle) {
+  const BlanketPaging policy(Dimension::kTwoD);
+  int groups = 0;
+  const auto cells = full_schedule(policy, fixed_disk(Cell{}, 3), 0, &groups);
+  EXPECT_EQ(groups, 1);
+  EXPECT_EQ(cells.size(),
+            static_cast<std::size_t>(
+                geometry::cells_within(Dimension::kTwoD, 3)));
+  EXPECT_EQ(policy.delay_bound(), DelayBound(1));
+}
+
+TEST(BlanketPaging, LocationAreaKnowledgePollsTheLa) {
+  const BlanketPaging policy(Dimension::kTwoD);
+  const Knowledge knowledge{KnowledgeKind::kLocationArea, Cell{}, 2, 0};
+  const auto cells = policy.polling_group(knowledge, 0, 0);
+  EXPECT_EQ(cells.size(), 19u);  // 3R^2 + 3R + 1 with R = 2
+}
+
+TEST(SdfSequentialPaging, GroupsFollowTheSdfPartition) {
+  // radius 9, m = 3: groups of rings {0-2}, {3-5}, {6-9}.
+  const SdfSequentialPaging policy(Dimension::kOneD, DelayBound(3));
+  const Knowledge knowledge = fixed_disk(Cell{}, 9);
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 0).size(), 5u);   // 1+2+2
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 1).size(), 6u);   // 2+2+2
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 2).size(), 8u);   // 2+2+2+2
+  EXPECT_TRUE(policy.polling_group(knowledge, 0, 3).empty());
+}
+
+TEST(SdfSequentialPaging, ScheduleCoversTheDiskExactlyOnce) {
+  const SdfSequentialPaging policy(Dimension::kTwoD, DelayBound(4));
+  const Knowledge knowledge = fixed_disk(Cell{2, -1}, 6);
+  const auto cells = full_schedule(policy, knowledge, 0);
+  const auto disk = geometry::cell_disk(Dimension::kTwoD, Cell{2, -1}, 6);
+  EXPECT_EQ(cells.size(), disk.size());
+  const std::set<std::pair<std::int64_t, std::int64_t>> covered = [&] {
+    std::set<std::pair<std::int64_t, std::int64_t>> s;
+    for (const Cell& cell : cells) s.insert({cell.q, cell.r});
+    return s;
+  }();
+  EXPECT_EQ(covered.size(), disk.size());
+  for (const Cell& cell : disk) {
+    EXPECT_TRUE(covered.count({cell.q, cell.r})) << cell.q << "," << cell.r;
+  }
+}
+
+TEST(SdfSequentialPaging, HonorsTheDelayBound) {
+  for (int radius : {0, 1, 4, 11}) {
+    for (int m : {1, 2, 3, 6}) {
+      const SdfSequentialPaging policy(Dimension::kTwoD, DelayBound(m));
+      int groups = 0;
+      full_schedule(policy, fixed_disk(Cell{}, radius), 0, &groups);
+      EXPECT_LE(groups, m) << "radius " << radius << " m " << m;
+      EXPECT_EQ(groups, std::min(radius + 1, m));
+    }
+  }
+}
+
+TEST(SdfSequentialPaging, UnboundedPollsOneRingPerCycle) {
+  const SdfSequentialPaging policy(Dimension::kTwoD,
+                                   DelayBound::unbounded());
+  const Knowledge knowledge = fixed_disk(Cell{}, 4);
+  for (int ring = 0; ring <= 4; ++ring) {
+    EXPECT_EQ(policy.polling_group(knowledge, 0, ring).size(),
+              static_cast<std::size_t>(
+                  geometry::ring_size(Dimension::kTwoD, ring)));
+  }
+}
+
+TEST(PlanPartitionPaging, FollowsTheExplicitPartition) {
+  const costs::Partition partition =
+      costs::Partition::from_subareas(2, {{1}, {0, 2}});
+  const PlanPartitionPaging policy(Dimension::kTwoD, partition);
+  const Knowledge knowledge = fixed_disk(Cell{}, 2);
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 0).size(), 6u);        // ring 1
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 1).size(), 1u + 12u);  // 0 + 2
+  EXPECT_TRUE(policy.polling_group(knowledge, 0, 2).empty());
+  EXPECT_EQ(policy.delay_bound(), DelayBound(2));
+}
+
+TEST(PlanPartitionPaging, RejectsMismatchedKnowledgeRadius) {
+  const PlanPartitionPaging policy(
+      Dimension::kTwoD, costs::Partition::sdf(3, DelayBound(2)));
+  EXPECT_THROW(policy.polling_group(fixed_disk(Cell{}, 4), 0, 0),
+               InvalidArgument);
+}
+
+TEST(ExpandingRingPaging, OneRingPerCycleByDefault) {
+  const ExpandingRingPaging policy(Dimension::kOneD);
+  const Knowledge knowledge = fixed_disk(Cell{}, 3);
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 0).size(), 1u);
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 1).size(), 2u);
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 3).size(), 2u);
+  EXPECT_TRUE(policy.polling_group(knowledge, 0, 4).empty());
+}
+
+TEST(ExpandingRingPaging, GroupsSeveralRingsWhenConfigured) {
+  const ExpandingRingPaging policy(Dimension::kTwoD, 2);
+  const Knowledge knowledge = fixed_disk(Cell{}, 4);
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 0).size(), 1u + 6u);
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 1).size(), 12u + 18u);
+  EXPECT_EQ(policy.polling_group(knowledge, 0, 2).size(), 24u);
+  EXPECT_TRUE(policy.polling_group(knowledge, 0, 3).empty());
+  EXPECT_THROW(ExpandingRingPaging(Dimension::kTwoD, 0), InvalidArgument);
+}
+
+TEST(ExpandingRingPaging, GrowingKnowledgeWidensTheSchedule) {
+  const ExpandingRingPaging policy(Dimension::kOneD);
+  const Knowledge young{KnowledgeKind::kGrowingDisk, Cell{}, 100, 0};
+  int groups = 0;
+  full_schedule(policy, young, 2, &groups);
+  EXPECT_EQ(groups, 3);  // radius_at(2) = 2 -> rings 0, 1, 2
+  full_schedule(policy, young, 7, &groups);
+  EXPECT_EQ(groups, 8);
+}
+
+TEST(SdfSequentialPaging, TracksGrowingKnowledgeRadius) {
+  // With growing-disk knowledge the partition is rebuilt per page from the
+  // current radius, so the schedule widens with elapsed time.
+  const SdfSequentialPaging policy(Dimension::kTwoD, DelayBound(2));
+  const Knowledge knowledge{KnowledgeKind::kGrowingDisk, Cell{}, 100, 10};
+  int groups_young = 0;
+  const auto young = full_schedule(policy, knowledge, 11, &groups_young);
+  int groups_old = 0;
+  const auto old = full_schedule(policy, knowledge, 17, &groups_old);
+  EXPECT_EQ(young.size(),
+            static_cast<std::size_t>(
+                geometry::cells_within(Dimension::kTwoD, 1)));
+  EXPECT_EQ(old.size(),
+            static_cast<std::size_t>(
+                geometry::cells_within(Dimension::kTwoD, 7)));
+  EXPECT_LE(groups_young, 2);
+  EXPECT_LE(groups_old, 2);
+}
+
+TEST(PagingPolicies, RejectNegativeCycles) {
+  const BlanketPaging policy(Dimension::kOneD);
+  EXPECT_THROW(policy.polling_group(fixed_disk(Cell{}, 1), 0, -1),
+               InvalidArgument);
+}
+
+TEST(PagingPolicies, HaveDescriptiveNames) {
+  EXPECT_EQ(BlanketPaging(Dimension::kOneD).name(), "blanket");
+  EXPECT_EQ(SdfSequentialPaging(Dimension::kOneD, DelayBound(2)).name(),
+            "sdf-sequential(m=2)");
+  EXPECT_EQ(ExpandingRingPaging(Dimension::kOneD, 3).name(),
+            "expanding-ring(g=3)");
+}
+
+}  // namespace
+}  // namespace pcn::sim

@@ -1,0 +1,102 @@
+// Air-interface byte accounting: the simulator encodes every signalling
+// message with the proto codec and aggregates frame sizes per terminal.
+#include <gtest/gtest.h>
+
+#include "pcn/proto/messages.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace pcn::sim {
+namespace {
+
+constexpr MobilityProfile kProfile{0.2, 0.05};
+constexpr CostWeights kWeights{50.0, 2.0};
+
+Network make_network(std::uint64_t seed, bool count_bytes = true) {
+  NetworkConfig config{Dimension::kTwoD, SlotSemantics::kChainFaithful,
+                       seed};
+  config.count_signalling_bytes = count_bytes;
+  return Network(config, kWeights);
+}
+
+TEST(SignallingBytes, AccumulateForBothMessageDirections) {
+  Network network = make_network(1);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 3, DelayBound(2)));
+  network.run(20000);
+  const TerminalMetrics& m = network.metrics(id);
+  ASSERT_GT(m.updates, 0);
+  ASSERT_GT(m.calls, 0);
+  EXPECT_GT(m.update_bytes, 0);
+  EXPECT_GT(m.paging_bytes, 0);
+  EXPECT_EQ(m.total_bytes(), m.update_bytes + m.paging_bytes);
+}
+
+TEST(SignallingBytes, UpdateBytesScaleWithUpdateCount) {
+  Network network = make_network(2);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 2, DelayBound(1)));
+  network.run(20000);
+  const TerminalMetrics& m = network.metrics(id);
+  // Every update frame is small (id + sequence + cell + radius + framing):
+  // between the 6-byte floor and ~30 bytes.
+  ASSERT_GT(m.updates, 0);
+  const double per_update =
+      static_cast<double>(m.update_bytes) / static_cast<double>(m.updates);
+  EXPECT_GE(per_update, 6.0);
+  EXPECT_LE(per_update, 30.0);
+}
+
+TEST(SignallingBytes, PagingBytesReflectPolledCells) {
+  // Delta-encoded page requests cost a couple of bytes per polled cell
+  // plus per-cycle framing and one response frame per call.
+  Network network = make_network(3);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 4, DelayBound(2)));
+  network.run(20000);
+  const TerminalMetrics& m = network.metrics(id);
+  ASSERT_GT(m.calls, 0);
+  EXPECT_GT(m.paging_bytes, m.polled_cells);          // > 1 byte per cell
+  EXPECT_LT(m.paging_bytes, 6 * m.polled_cells + 40 * m.calls);
+}
+
+TEST(SignallingBytes, AccountingCanBeDisabled) {
+  Network network = make_network(4, /*count_bytes=*/false);
+  const TerminalId id = network.add_terminal(
+      make_distance_terminal(Dimension::kTwoD, kProfile, 3, DelayBound(2)));
+  network.run(20000);
+  const TerminalMetrics& m = network.metrics(id);
+  ASSERT_GT(m.updates, 0);
+  EXPECT_EQ(m.total_bytes(), 0);
+}
+
+TEST(SignallingBytes, DoNotPerturbTheSimulation) {
+  auto run_with = [](bool count_bytes) {
+    Network network = make_network(5, count_bytes);
+    const TerminalId id = network.add_terminal(make_distance_terminal(
+        Dimension::kTwoD, kProfile, 3, DelayBound(2)));
+    network.run(20000);
+    return network.metrics(id);
+  };
+  const TerminalMetrics with = run_with(true);
+  const TerminalMetrics without = run_with(false);
+  EXPECT_EQ(with.moves, without.moves);
+  EXPECT_EQ(with.updates, without.updates);
+  EXPECT_EQ(with.calls, without.calls);
+  EXPECT_EQ(with.polled_cells, without.polled_cells);
+}
+
+TEST(SignallingBytes, LargerResidingAreasCostMorePagingBytes) {
+  auto paging_bytes_for = [](int threshold) {
+    Network network = make_network(6);
+    const TerminalId id = network.add_terminal(make_distance_terminal(
+        Dimension::kTwoD, kProfile, threshold, DelayBound(1)));
+    network.run(40000);
+    const TerminalMetrics& m = network.metrics(id);
+    return static_cast<double>(m.paging_bytes) /
+           static_cast<double>(m.calls);
+  };
+  EXPECT_LT(paging_bytes_for(1), paging_bytes_for(5));
+}
+
+}  // namespace
+}  // namespace pcn::sim

@@ -1,0 +1,135 @@
+// Randomized whole-system invariants: for arbitrary admissible
+// configurations and mixed terminal populations, properties that must hold
+// in every run regardless of parameters.
+#include <gtest/gtest.h>
+
+#include "pcn/sim/network.hpp"
+#include "pcn/stats/rng.hpp"
+
+namespace pcn::sim {
+namespace {
+
+struct RandomSetup {
+  NetworkConfig config;
+  CostWeights weights{};
+  std::vector<MobilityProfile> profiles;
+};
+
+RandomSetup draw_setup(stats::Rng& rng) {
+  RandomSetup setup;
+  setup.config.dimension =
+      rng.next_bernoulli(0.5) ? Dimension::kOneD : Dimension::kTwoD;
+  setup.config.semantics = rng.next_bernoulli(0.5)
+                               ? SlotSemantics::kChainFaithful
+                               : SlotSemantics::kIndependent;
+  setup.config.seed = rng.next();
+  setup.weights.update_cost = 1.0 + rng.next_unit() * 200.0;
+  setup.weights.poll_cost = 0.5 + rng.next_unit() * 20.0;
+  const int terminals = 1 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < terminals; ++i) {
+    MobilityProfile profile;
+    profile.move_prob = 0.02 + rng.next_unit() * 0.5;
+    profile.call_prob = 0.005 + rng.next_unit() * 0.08;
+    setup.profiles.push_back(profile);
+  }
+  return setup;
+}
+
+TerminalSpec draw_terminal(stats::Rng& rng, Dimension dim,
+                           MobilityProfile profile) {
+  const int kind = static_cast<int>(rng.next_below(4));
+  const int param = 1 + static_cast<int>(rng.next_below(5));
+  const DelayBound bound(1 + static_cast<int>(rng.next_below(4)));
+  switch (kind) {
+    case 0:
+      return make_distance_terminal(dim, profile, param - 1, bound);
+    case 1:
+      return make_movement_terminal(dim, profile, param, bound);
+    case 2:
+      return make_time_terminal(dim, profile, 10 * param);
+    default:
+      return make_la_terminal(dim, profile, param);
+  }
+}
+
+class SimInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimInvariants, AccountingIdentitiesHoldForRandomPopulations) {
+  stats::Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    const RandomSetup setup = draw_setup(rng);
+    Network network(setup.config, setup.weights);
+    std::vector<TerminalId> ids;
+    for (const MobilityProfile& profile : setup.profiles) {
+      ids.push_back(network.add_terminal(
+          draw_terminal(rng, setup.config.dimension, profile)));
+    }
+    const std::int64_t slots = 30000;
+    network.run(slots);
+
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const TerminalMetrics& m = network.metrics(ids[k]);
+      // Slot bookkeeping.
+      EXPECT_EQ(m.slots, slots);
+      EXPECT_EQ(m.ring_distance.total(), slots);
+      // Every call produced exactly one paging-delay sample, and at least
+      // one poll.
+      EXPECT_EQ(m.paging_cycles.total(), m.calls);
+      EXPECT_GE(m.polled_cells, m.calls);
+      // Cost identities (incremental accumulation vs product, so allow
+      // floating-point round-off).
+      const double expected_update =
+          static_cast<double>(m.updates) * setup.weights.update_cost;
+      const double expected_paging =
+          static_cast<double>(m.polled_cells) * setup.weights.poll_cost;
+      EXPECT_NEAR(m.update_cost, expected_update,
+                  1e-9 * (1.0 + expected_update));
+      EXPECT_NEAR(m.paging_cost, expected_paging,
+                  1e-9 * (1.0 + expected_paging));
+      // Event frequencies are probabilities.
+      EXPECT_LE(m.moves, slots);
+      EXPECT_LE(m.updates, slots);
+      // Bytes only flow when messages do.
+      EXPECT_EQ(m.update_bytes > 0, m.updates > 0);
+      EXPECT_EQ(m.paging_bytes > 0, m.calls > 0);
+      // No failure injection configured.
+      EXPECT_EQ(m.lost_updates, 0);
+      EXPECT_EQ(m.paging_failures, 0);
+    }
+  }
+}
+
+TEST_P(SimInvariants, ReRunningTheSameSetupIsBitIdentical) {
+  stats::Rng rng(GetParam() ^ 0x77);
+  const RandomSetup setup = draw_setup(rng);
+
+  auto run_once = [&](stats::Rng terminal_rng) {
+    Network network(setup.config, setup.weights);
+    std::vector<TerminalId> ids;
+    for (const MobilityProfile& profile : setup.profiles) {
+      ids.push_back(network.add_terminal(
+          draw_terminal(terminal_rng, setup.config.dimension, profile)));
+    }
+    network.run(20000);
+    std::vector<std::int64_t> signature;
+    for (TerminalId id : ids) {
+      const TerminalMetrics& m = network.metrics(id);
+      signature.push_back(m.moves);
+      signature.push_back(m.updates);
+      signature.push_back(m.calls);
+      signature.push_back(m.polled_cells);
+      signature.push_back(m.total_bytes());
+    }
+    return signature;
+  };
+
+  stats::Rng terminal_rng_a(GetParam() ^ 0x88);
+  stats::Rng terminal_rng_b(GetParam() ^ 0x88);
+  EXPECT_EQ(run_once(terminal_rng_a), run_once(terminal_rng_b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimInvariants,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace pcn::sim

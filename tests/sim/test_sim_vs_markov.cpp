@@ -1,0 +1,133 @@
+// Validation of the analytical model against the discrete-event simulator:
+// under chain-faithful slot semantics the empirical ring-distance occupancy
+// must converge to the Markov chain's steady state, and the measured
+// per-slot costs must converge to C_u(d) and C_v(d, m).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/markov/steady_state.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace pcn::sim {
+namespace {
+
+constexpr CostWeights kWeights{100.0, 10.0};
+
+TerminalMetrics simulate(Dimension dim, MobilityProfile profile, int d,
+                         DelayBound bound, std::int64_t slots,
+                         std::uint64_t seed,
+                         SlotSemantics semantics =
+                             SlotSemantics::kChainFaithful) {
+  Network network(NetworkConfig{dim, semantics, seed}, kWeights);
+  const TerminalId id =
+      network.add_terminal(make_distance_terminal(dim, profile, d, bound));
+  network.run(slots);
+  return network.metrics(id);
+}
+
+using Param = std::tuple<Dimension, double, double, int>;
+
+class SimVsMarkov : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SimVsMarkov, RingOccupancyMatchesSteadyState) {
+  const auto& [dim, q, c, d] = GetParam();
+  const MobilityProfile profile{q, c};
+  const std::int64_t slots = 400000;
+  const TerminalMetrics metrics =
+      simulate(dim, profile, d, DelayBound(2), slots, 0xfeed);
+
+  const auto pi = markov::solve_steady_state(
+      markov::ChainSpec::exact(dim, profile), d);
+  for (int i = 0; i <= d; ++i) {
+    const double empirical = metrics.ring_distance.fraction(i);
+    // Binomial-ish tolerance; correlated samples, so allow generous slack.
+    const double sigma = std::sqrt(pi[static_cast<std::size_t>(i)] /
+                                   static_cast<double>(slots));
+    EXPECT_NEAR(empirical, pi[static_cast<std::size_t>(i)],
+                0.02 + 20 * sigma)
+        << "ring " << i;
+  }
+}
+
+TEST_P(SimVsMarkov, MeasuredCostsMatchTheCostModel) {
+  const auto& [dim, q, c, d] = GetParam();
+  const MobilityProfile profile{q, c};
+  const DelayBound bound(2);
+  const TerminalMetrics metrics =
+      simulate(dim, profile, d, bound, 400000, 0xbeef);
+
+  const costs::CostModel model = costs::CostModel::exact(dim, profile,
+                                                         kWeights);
+  const costs::CostBreakdown expected = model.cost(d, bound);
+  EXPECT_NEAR(metrics.update_cost_per_slot(), expected.update,
+              0.12 * expected.update + 0.003);
+  EXPECT_NEAR(metrics.paging_cost_per_slot(), expected.paging,
+              0.12 * expected.paging + 0.003);
+  EXPECT_NEAR(metrics.cost_per_slot(), expected.total(),
+              0.12 * expected.total() + 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, SimVsMarkov,
+    ::testing::Values(Param{Dimension::kOneD, 0.05, 0.01, 3},
+                      Param{Dimension::kOneD, 0.2, 0.02, 5},
+                      Param{Dimension::kTwoD, 0.05, 0.01, 2},
+                      Param{Dimension::kTwoD, 0.2, 0.02, 4},
+                      Param{Dimension::kTwoD, 0.4, 0.005, 6}));
+
+TEST(SimVsMarkov, ExpectedPagingDelayMatchesPartitionPrediction) {
+  const MobilityProfile profile{0.2, 0.02};
+  const Dimension dim = Dimension::kTwoD;
+  const int d = 5;
+  const DelayBound bound(3);
+  const TerminalMetrics metrics =
+      simulate(dim, profile, d, bound, 400000, 0x5eed);
+
+  const auto pi = markov::solve_steady_state(
+      markov::ChainSpec::exact(dim, profile), d);
+  const double expected =
+      costs::Partition::sdf(d, bound).expected_delay_cycles(pi);
+  ASSERT_GT(metrics.calls, 100);
+  // Histogram buckets are 1-based polling cycles.
+  EXPECT_NEAR(metrics.paging_cycles.mean(), expected, 0.1);
+}
+
+TEST(SimVsMarkov, IndependentSemanticsStaysCloseToTheChainModel) {
+  // The modeling gap between independent and chain-faithful semantics is
+  // small for small q and c (the paper's regime).
+  const MobilityProfile profile{0.05, 0.01};
+  const Dimension dim = Dimension::kTwoD;
+  const int d = 3;
+  const DelayBound bound(2);
+  const TerminalMetrics chain = simulate(dim, profile, d, bound, 400000,
+                                         0xaaaa,
+                                         SlotSemantics::kChainFaithful);
+  const TerminalMetrics indep = simulate(dim, profile, d, bound, 400000,
+                                         0xaaaa,
+                                         SlotSemantics::kIndependent);
+  EXPECT_NEAR(indep.cost_per_slot(), chain.cost_per_slot(),
+              0.15 * chain.cost_per_slot());
+}
+
+TEST(SimVsMarkov, OptimalThresholdBeatsNeighborsInSimulationToo) {
+  // End-to-end sanity: simulate d* and its neighbors; d* should not be
+  // measurably worse than either.
+  const MobilityProfile profile{0.05, 0.01};
+  const Dimension dim = Dimension::kTwoD;
+  const DelayBound bound(1);
+  const costs::CostModel model =
+      costs::CostModel::exact(dim, profile, kWeights);
+  // Table 2, U = 100, m = 1: d* = 1.
+  const double at0 = simulate(dim, profile, 0, bound, 400000, 1).cost_per_slot();
+  const double at1 = simulate(dim, profile, 1, bound, 400000, 1).cost_per_slot();
+  const double at3 = simulate(dim, profile, 3, bound, 400000, 1).cost_per_slot();
+  EXPECT_LT(at1, at0);
+  EXPECT_LT(at1, at3);
+  EXPECT_NEAR(at1, model.total_cost(1, bound), 0.1 * model.total_cost(1, bound));
+}
+
+}  // namespace
+}  // namespace pcn::sim

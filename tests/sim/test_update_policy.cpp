@@ -1,0 +1,138 @@
+#include "pcn/sim/update_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::sim {
+namespace {
+
+using geometry::Cell;
+
+TEST(DistanceUpdatePolicy, TriggersOnlyBeyondTheThreshold) {
+  DistanceUpdatePolicy policy(Dimension::kTwoD, 2);
+  policy.on_center_reset(Cell{}, 0);
+  EXPECT_FALSE(policy.update_due(Cell{}, 1));
+  EXPECT_FALSE(policy.update_due(Cell{2, 0}, 1));   // at the threshold
+  EXPECT_TRUE(policy.update_due(Cell{3, 0}, 1));    // beyond it
+}
+
+TEST(DistanceUpdatePolicy, CenterResetMovesTheReference) {
+  DistanceUpdatePolicy policy(Dimension::kTwoD, 1);
+  policy.on_center_reset(Cell{}, 0);
+  EXPECT_TRUE(policy.update_due(Cell{5, 0}, 1));
+  policy.on_center_reset(Cell{5, 0}, 1);
+  EXPECT_FALSE(policy.update_due(Cell{5, 0}, 2));
+  EXPECT_FALSE(policy.update_due(Cell{6, 0}, 2));
+  EXPECT_TRUE(policy.update_due(Cell{7, 0}, 2));
+}
+
+TEST(DistanceUpdatePolicy, ThresholdZeroUpdatesOnAnyMove) {
+  DistanceUpdatePolicy policy(Dimension::kOneD, 0);
+  policy.on_center_reset(Cell{3, 0}, 0);
+  EXPECT_FALSE(policy.update_due(Cell{3, 0}, 1));
+  EXPECT_TRUE(policy.update_due(Cell{4, 0}, 1));
+}
+
+TEST(DistanceUpdatePolicy, SetThresholdTakesEffectImmediately) {
+  DistanceUpdatePolicy policy(Dimension::kTwoD, 5);
+  policy.on_center_reset(Cell{}, 0);
+  EXPECT_FALSE(policy.update_due(Cell{4, 0}, 1));
+  policy.set_threshold(3);
+  EXPECT_TRUE(policy.update_due(Cell{4, 0}, 1));
+  EXPECT_EQ(policy.threshold(), 3);
+  EXPECT_THROW(policy.set_threshold(-1), InvalidArgument);
+}
+
+TEST(DistanceUpdatePolicy, RejectsNegativeThreshold) {
+  EXPECT_THROW(DistanceUpdatePolicy(Dimension::kOneD, -1), InvalidArgument);
+}
+
+TEST(TimeUpdatePolicy, FiresEveryPeriodSlots) {
+  TimeUpdatePolicy policy(10);
+  policy.on_center_reset(Cell{}, 0);
+  EXPECT_FALSE(policy.update_due(Cell{}, 9));
+  EXPECT_TRUE(policy.update_due(Cell{}, 10));
+  policy.on_center_reset(Cell{}, 10);
+  EXPECT_FALSE(policy.update_due(Cell{}, 19));
+  EXPECT_TRUE(policy.update_due(Cell{}, 20));
+}
+
+TEST(TimeUpdatePolicy, CallResetRestartsTheTimer) {
+  TimeUpdatePolicy policy(10);
+  policy.on_center_reset(Cell{}, 0);
+  policy.on_center_reset(Cell{}, 7);  // paged call at t = 7
+  EXPECT_FALSE(policy.update_due(Cell{}, 16));
+  EXPECT_TRUE(policy.update_due(Cell{}, 17));
+}
+
+TEST(TimeUpdatePolicy, IndependentOfPosition) {
+  TimeUpdatePolicy policy(5);
+  policy.on_center_reset(Cell{}, 0);
+  EXPECT_TRUE(policy.update_due(Cell{100, -50}, 5));
+}
+
+TEST(TimeUpdatePolicy, RejectsNonPositivePeriod) {
+  EXPECT_THROW(TimeUpdatePolicy(0), InvalidArgument);
+}
+
+TEST(MovementUpdatePolicy, CountsOnlyActualMoves) {
+  MovementUpdatePolicy policy(3);
+  policy.on_center_reset(Cell{}, 0);
+  policy.on_slot(Cell{1, 0}, true, 1);
+  policy.on_slot(Cell{1, 0}, false, 2);  // idle slot does not count
+  policy.on_slot(Cell{2, 0}, true, 3);
+  EXPECT_FALSE(policy.update_due(Cell{2, 0}, 3));
+  policy.on_slot(Cell{3, 0}, true, 4);
+  EXPECT_TRUE(policy.update_due(Cell{3, 0}, 4));
+}
+
+TEST(MovementUpdatePolicy, ResetClearsTheCounter) {
+  MovementUpdatePolicy policy(2);
+  policy.on_center_reset(Cell{}, 0);
+  policy.on_slot(Cell{1, 0}, true, 1);
+  policy.on_slot(Cell{2, 0}, true, 2);
+  EXPECT_TRUE(policy.update_due(Cell{2, 0}, 2));
+  policy.on_center_reset(Cell{2, 0}, 2);
+  EXPECT_FALSE(policy.update_due(Cell{2, 0}, 3));
+}
+
+TEST(MovementUpdatePolicy, RejectsNonPositiveBound) {
+  EXPECT_THROW(MovementUpdatePolicy(0), InvalidArgument);
+}
+
+TEST(LaUpdatePolicy, TriggersOnLocationAreaCrossing) {
+  // Radius-1 hex LAs: distance-2 cells are outside the home LA.
+  LaUpdatePolicy policy(Dimension::kTwoD, 1);
+  policy.on_center_reset(Cell{}, 0);
+  EXPECT_FALSE(policy.update_due(Cell{}, 1));
+  EXPECT_FALSE(policy.update_due(Cell{1, 0}, 1));
+  EXPECT_TRUE(policy.update_due(Cell{2, 0}, 1));
+}
+
+TEST(LaUpdatePolicy, OneDimBlocks) {
+  // Radius-2 line LAs are 5-cell blocks [-2, 2], [3, 7], ...
+  LaUpdatePolicy policy(Dimension::kOneD, 2);
+  policy.on_center_reset(Cell{0, 0}, 0);
+  EXPECT_FALSE(policy.update_due(Cell{2, 0}, 1));
+  EXPECT_TRUE(policy.update_due(Cell{3, 0}, 1));
+}
+
+TEST(LaUpdatePolicy, ResetAnywhereInsideTheLaKeepsTheSameLa) {
+  LaUpdatePolicy policy(Dimension::kTwoD, 1);
+  policy.on_center_reset(Cell{1, 0}, 0);  // non-center cell of the home LA
+  EXPECT_FALSE(policy.update_due(Cell{}, 1));
+  EXPECT_FALSE(policy.update_due(Cell{1, -1}, 1));
+}
+
+TEST(UpdatePolicies, HaveDescriptiveNames) {
+  EXPECT_EQ(DistanceUpdatePolicy(Dimension::kOneD, 4).name(),
+            "distance(d=4)");
+  EXPECT_EQ(TimeUpdatePolicy(9).name(), "time(T=9)");
+  EXPECT_EQ(MovementUpdatePolicy(7).name(), "movement(M=7)");
+  EXPECT_EQ(LaUpdatePolicy(Dimension::kTwoD, 2).name(),
+            "location-area(R=2)");
+}
+
+}  // namespace
+}  // namespace pcn::sim

@@ -1,0 +1,78 @@
+#include "pcn/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::stats {
+namespace {
+
+TEST(Histogram, EmptyHistogramRefusesStatistics) {
+  const Histogram h;
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_EQ(h.bucket_count(), 0);
+  EXPECT_THROW(h.fraction(0), InvalidArgument);
+  EXPECT_THROW(h.mean(), InvalidArgument);
+  EXPECT_THROW(h.max_value(), InvalidArgument);
+  EXPECT_THROW(h.distribution(), InvalidArgument);
+}
+
+TEST(Histogram, CountsAndGrowsOnDemand) {
+  Histogram h;
+  h.add(0);
+  h.add(3);
+  h.add(3);
+  EXPECT_EQ(h.total(), 3);
+  EXPECT_EQ(h.bucket_count(), 4);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 0);
+  EXPECT_EQ(h.count(3), 2);
+  EXPECT_EQ(h.count(99), 0);  // never seen, no growth
+  EXPECT_EQ(h.bucket_count(), 4);
+}
+
+TEST(Histogram, BulkAddWithCount) {
+  Histogram h;
+  h.add(2, 10);
+  h.add(2, 5);
+  EXPECT_EQ(h.count(2), 15);
+  EXPECT_EQ(h.total(), 15);
+  h.add(4, 0);  // zero count is a no-op on totals
+  EXPECT_EQ(h.total(), 15);
+}
+
+TEST(Histogram, FractionAndDistribution) {
+  Histogram h;
+  h.add(0, 1);
+  h.add(1, 3);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+  const auto dist = h.distribution();
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist[0] + dist[1], 1.0);
+}
+
+TEST(Histogram, MeanIsTheWeightedAverage) {
+  Histogram h;
+  h.add(1, 2);
+  h.add(4, 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(Histogram, MaxValueSkipsEmptyTrailingBuckets) {
+  Histogram h;
+  h.add(5);
+  h.add(2);
+  EXPECT_EQ(h.max_value(), 5);
+}
+
+TEST(Histogram, RejectsNegativeValuesAndCounts) {
+  Histogram h;
+  EXPECT_THROW(h.add(-1), InvalidArgument);
+  EXPECT_THROW(h.add(1, -2), InvalidArgument);
+  EXPECT_THROW(h.count(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::stats

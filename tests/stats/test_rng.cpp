@@ -1,0 +1,137 @@
+#include "pcn/stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::stats {
+namespace {
+
+TEST(Rng, DeterministicForAFixedSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SmallSeedsAreWellMixed) {
+  // Seeds 0 and 1 must not produce correlated low-entropy streams.
+  Rng a(0);
+  Rng b(1);
+  const std::uint64_t x = a.next();
+  const std::uint64_t y = b.next();
+  EXPECT_NE(x, 0u);
+  EXPECT_NE(x, y);
+}
+
+TEST(Rng, UnitValuesLieInHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UnitMeanIsNearOneHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_unit();
+  // Standard error ~ 0.0009; allow 5 sigma.
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  Rng rng(5);
+  const double p = 0.05;  // the paper's favorite q
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bernoulli(p)) ++hits;
+  }
+  const double freq = static_cast<double>(hits) / n;
+  const double sigma = std::sqrt(p * (1 - p) / n);
+  EXPECT_NEAR(freq, p, 5 * sigma);
+}
+
+TEST(Rng, BernoulliEdgesAreExact) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.next_bernoulli(-0.1), InvalidArgument);
+  EXPECT_THROW(rng.next_bernoulli(1.1), InvalidArgument);
+}
+
+TEST(Rng, NextBelowCoversTheRangeUniformly) {
+  Rng rng(7);
+  const std::uint64_t bound = 6;  // hex neighbor selection
+  std::vector<int> counts(bound, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.next_below(bound);
+    ASSERT_LT(v, bound);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(v)], n / 6.0, 5 * 100.0)
+        << "value " << v;
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, NextInRangeIsInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_in_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.next_in_range(3, 2), InvalidArgument);
+}
+
+TEST(Rng, SplitStreamsAreUncorrelated) {
+  Rng parent(10);
+  Rng child_a = parent.split(1);
+  Rng child_b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a.next() == child_b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(11);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace pcn::stats

@@ -1,0 +1,118 @@
+#include "pcn/stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pcn/common/error.hpp"
+#include "pcn/stats/rng.hpp"
+
+namespace pcn::stats {
+namespace {
+
+TEST(Summary, EmptySummaryRefusesStatistics) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_THROW(s.mean(), InvalidArgument);
+  EXPECT_THROW(s.min(), InvalidArgument);
+  EXPECT_THROW(s.max(), InvalidArgument);
+}
+
+TEST(Summary, SingleSampleHasMeanButNoVariance) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_THROW(s.variance(), InvalidArgument);
+}
+
+TEST(Summary, MatchesDirectTwoPassComputation) {
+  Rng rng(5);
+  std::vector<double> values;
+  Summary s;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_unit() * 10.0 - 5.0;
+    values.push_back(v);
+    s.add(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double m2 = 0.0;
+  for (double v : values) m2 += (v - mean) * (v - mean);
+  const double variance = m2 / static_cast<double>(values.size() - 1);
+
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), variance, 1e-10);
+  EXPECT_NEAR(s.stddev(), std::sqrt(variance), 1e-10);
+}
+
+TEST(Summary, TracksMinAndMax) {
+  Summary s;
+  for (double v : {2.0, -7.0, 5.0, 0.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, StableForLargeOffsets) {
+  // Classic catastrophic-cancellation check: tiny variance around 1e9.
+  Summary s;
+  for (double v : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) s.add(v);
+  EXPECT_NEAR(s.mean(), 1e9 + 10.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+TEST(Summary, MergeEqualsSequentialAccumulation) {
+  Rng rng(9);
+  Summary all;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.next_unit();
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  Summary empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2);
+  Summary other;
+  other.merge(s);
+  EXPECT_EQ(other.count(), 2);
+  EXPECT_DOUBLE_EQ(other.mean(), 1.5);
+}
+
+TEST(Summary, ConfidenceIntervalScalesWithZ) {
+  Summary s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i % 10));
+  const double ci95 = s.ci_half_width();
+  const double ci99 = s.ci_half_width(2.575829);
+  EXPECT_GT(ci99, ci95);
+  EXPECT_NEAR(ci95, 1.959964 * s.standard_error(), 1e-12);
+  EXPECT_THROW(s.ci_half_width(0.0), InvalidArgument);
+}
+
+TEST(Summary, CoversTheTrueMeanOfAUniformSample) {
+  Rng rng(1234);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.next_unit());
+  // True mean 0.5; a 99.99% interval should contain it.
+  EXPECT_NEAR(s.mean(), 0.5, 5.0 * s.standard_error());
+}
+
+}  // namespace
+}  // namespace pcn::stats

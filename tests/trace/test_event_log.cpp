@@ -1,0 +1,156 @@
+#include "pcn/trace/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pcn/sim/network.hpp"
+
+namespace pcn::trace {
+namespace {
+
+constexpr MobilityProfile kProfile{0.2, 0.05};
+constexpr CostWeights kWeights{50.0, 2.0};
+
+sim::Network make_network(std::uint64_t seed) {
+  return sim::Network(
+      sim::NetworkConfig{Dimension::kTwoD,
+                         sim::SlotSemantics::kChainFaithful, seed},
+      kWeights);
+}
+
+TEST(EventLog, CountsAgreeWithTheMetrics) {
+  sim::Network network = make_network(5);
+  EventLog log;
+  network.set_observer(&log);
+  const sim::TerminalId id = network.add_terminal(
+      sim::make_distance_terminal(Dimension::kTwoD, kProfile, 3,
+                                  DelayBound(2)));
+  network.run(5000);
+  const sim::TerminalMetrics& metrics = network.metrics(id);
+  EXPECT_EQ(log.count(EventKind::kMove), metrics.moves);
+  EXPECT_EQ(log.count(EventKind::kUpdate), metrics.updates);
+  EXPECT_EQ(log.count(EventKind::kCall), metrics.calls);
+  EXPECT_EQ(log.count(EventKind::kSlotEnd), metrics.slots);
+}
+
+TEST(EventLog, PerTerminalCountsSeparateTwoTerminals) {
+  sim::Network network = make_network(6);
+  EventLog log;
+  network.set_observer(&log);
+  const sim::TerminalId a = network.add_terminal(
+      sim::make_distance_terminal(Dimension::kTwoD, kProfile, 2,
+                                  DelayBound(1)));
+  const sim::TerminalId b = network.add_terminal(
+      sim::make_distance_terminal(Dimension::kTwoD,
+                                  MobilityProfile{0.01, 0.001}, 2,
+                                  DelayBound(1)));
+  network.run(5000);
+  EXPECT_EQ(log.count(EventKind::kMove, a), network.metrics(a).moves);
+  EXPECT_EQ(log.count(EventKind::kMove, b), network.metrics(b).moves);
+  EXPECT_GT(log.count(EventKind::kMove, a), log.count(EventKind::kMove, b));
+}
+
+TEST(EventLog, MovesAreBetweenNeighboringCells) {
+  sim::Network network = make_network(7);
+  EventLog log;
+  network.set_observer(&log);
+  network.add_terminal(sim::make_distance_terminal(
+      Dimension::kTwoD, kProfile, 3, DelayBound(2)));
+  network.run(2000);
+  for (const Event& event : log.events()) {
+    if (event.kind != EventKind::kMove) continue;
+    EXPECT_EQ(geometry::cell_distance(Dimension::kTwoD, event.from,
+                                      event.cell),
+              1);
+  }
+}
+
+TEST(EventLog, CallEventsCarryPagingOutcome) {
+  sim::Network network = make_network(8);
+  EventLog log;
+  network.set_observer(&log);
+  const sim::TerminalId id = network.add_terminal(
+      sim::make_distance_terminal(Dimension::kTwoD, kProfile, 4,
+                                  DelayBound(2)));
+  network.run(20000);
+  std::int64_t polled = 0;
+  for (const Event& event : log.events()) {
+    if (event.kind != EventKind::kCall) continue;
+    EXPECT_GE(event.paging_cycles, 1);
+    EXPECT_LE(event.paging_cycles, 2);
+    EXPECT_GT(event.polled_cells, 0);
+    polled += event.polled_cells;
+  }
+  EXPECT_EQ(polled, network.metrics(id).polled_cells);
+}
+
+TEST(EventLog, TrajectoryHasOnePositionPerSlot) {
+  sim::Network network = make_network(9);
+  EventLog log;
+  network.set_observer(&log);
+  const sim::TerminalId id = network.add_terminal(
+      sim::make_distance_terminal(Dimension::kTwoD, kProfile, 3,
+                                  DelayBound(2)));
+  network.run(1234);
+  const auto trajectory = log.trajectory(id);
+  ASSERT_EQ(trajectory.size(), 1234u);
+  for (std::size_t k = 1; k < trajectory.size(); ++k) {
+    EXPECT_LE(geometry::cell_distance(Dimension::kTwoD, trajectory[k - 1],
+                                      trajectory[k]),
+              1);
+  }
+}
+
+TEST(EventLog, SlotEndRecordingCanBeDisabled) {
+  sim::Network network = make_network(10);
+  EventLog log(/*record_slot_ends=*/false);
+  network.set_observer(&log);
+  network.add_terminal(sim::make_distance_terminal(
+      Dimension::kTwoD, kProfile, 3, DelayBound(2)));
+  network.run(1000);
+  EXPECT_EQ(log.count(EventKind::kSlotEnd), 0);
+  EXPECT_GT(log.count(EventKind::kMove), 0);
+}
+
+TEST(EventLog, CsvHasHeaderAndOneLinePerEvent) {
+  sim::Network network = make_network(11);
+  EventLog log;
+  network.set_observer(&log);
+  network.add_terminal(sim::make_distance_terminal(
+      Dimension::kTwoD, kProfile, 2, DelayBound(1)));
+  network.run(50);
+  std::ostringstream out;
+  log.write_csv(out);
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (char ch : csv) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, log.size() + 1);  // header + events
+  EXPECT_EQ(csv.rfind("kind,terminal,time,", 0), 0u);
+}
+
+TEST(EventLog, ClearResetsTheLog) {
+  EventLog log;
+  log.on_update(0, 1, geometry::Cell{});
+  EXPECT_EQ(log.size(), 1u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, DetachingTheObserverStopsRecording) {
+  sim::Network network = make_network(12);
+  EventLog log;
+  network.set_observer(&log);
+  network.add_terminal(sim::make_distance_terminal(
+      Dimension::kTwoD, kProfile, 2, DelayBound(1)));
+  network.run(100);
+  const std::size_t recorded = log.size();
+  network.set_observer(nullptr);
+  network.run(100);
+  EXPECT_EQ(log.size(), recorded);
+}
+
+}  // namespace
+}  // namespace pcn::trace

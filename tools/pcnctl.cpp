@@ -1,0 +1,329 @@
+// pcnctl — operations front-end for libpcn.
+//
+// Commands:
+//   plan      compute the optimal threshold + paging plan for one profile
+//   surface   print the C_T(d, m) trade-off surface
+//   simulate  run the discrete-event network and report measured metrics
+//   sweep     sweep q or c at the optimal threshold (figure 4/5 style)
+//   baselines analytic comparison vs movement-/time-based schemes
+//
+// Common flags:
+//   --dim {1|2}        geometry (default 2)
+//   --q F --c F        movement / call probability (defaults 0.05 / 0.01)
+//   --U F --V F        update / poll cost (defaults 100 / 10)
+//   --delay N          max paging delay in cycles; omit for unbounded
+//   --max-d N          threshold search cap D (default 100)
+//   --scheme {sdf|optimal|hpf}   residing-area partitioner (default sdf)
+//   --optimizer {scan|anneal|near}  threshold search (default scan)
+// simulate extras:
+//   --slots N          slots to run (default 200000)
+//   --seed N           RNG seed (default 1)
+//   --policy {distance|movement|time|la}  update policy (default distance)
+//   --param N          policy parameter (M, T or R; distance uses the plan)
+// sweep extras:
+//   --variable {q|c}   which rate to sweep
+//   --from F --to F --points N
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "pcn/baselines/baseline_models.hpp"
+#include "pcn/cli/args.hpp"
+#include "pcn/core/location_manager.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace {
+
+using pcn::cli::Args;
+using pcn::cli::UsageError;
+
+constexpr const char* kUsage = R"(usage: pcnctl <command> [flags]
+
+commands:
+  plan      optimal threshold + paging plan for one user profile
+  surface   C_T(d, m) trade-off surface
+  simulate  discrete-event run with measured metrics
+  sweep     cost-at-optimum sweep over q or c
+  baselines analytic movement-/time-based comparison vs the planned policy
+
+common flags: --dim {1|2} --q F --c F --U F --V F --delay N --max-d N
+              --scheme {sdf|optimal|hpf} --optimizer {scan|anneal|near}
+simulate:     --slots N --seed N --policy {distance|movement|time|la} --param N
+sweep:        --variable {q|c} --from F --to F --points N
+)";
+
+pcn::Dimension parse_dim(const Args& args) {
+  const std::int64_t dim = args.get_int_or("dim", 2);
+  if (dim == 1) return pcn::Dimension::kOneD;
+  if (dim == 2) return pcn::Dimension::kTwoD;
+  throw UsageError("--dim must be 1 or 2");
+}
+
+pcn::MobilityProfile parse_profile(const Args& args) {
+  return pcn::MobilityProfile{args.get_double_or("q", 0.05),
+                              args.get_double_or("c", 0.01)};
+}
+
+pcn::CostWeights parse_weights(const Args& args) {
+  return pcn::CostWeights{args.get_double_or("U", 100.0),
+                          args.get_double_or("V", 10.0)};
+}
+
+pcn::DelayBound parse_delay(const Args& args) {
+  if (!args.has("delay")) return pcn::DelayBound::unbounded();
+  return pcn::DelayBound(static_cast<int>(args.get_int("delay")));
+}
+
+pcn::core::PlannerConfig parse_planner(const Args& args) {
+  pcn::core::PlannerConfig config;
+  config.max_threshold = static_cast<int>(args.get_int_or("max-d", 100));
+  const std::string scheme = args.get_string_or("scheme", "sdf");
+  if (scheme == "sdf") {
+    config.scheme = pcn::costs::PartitionScheme::kSdfEqual;
+  } else if (scheme == "optimal") {
+    config.scheme = pcn::costs::PartitionScheme::kOptimalContiguous;
+  } else if (scheme == "hpf") {
+    config.scheme = pcn::costs::PartitionScheme::kHighestProbabilityFirst;
+  } else {
+    throw UsageError("--scheme must be sdf, optimal or hpf");
+  }
+  const std::string optimizer = args.get_string_or("optimizer", "scan");
+  if (optimizer == "scan") {
+    config.optimizer = pcn::core::OptimizerKind::kExhaustive;
+  } else if (optimizer == "anneal") {
+    config.optimizer = pcn::core::OptimizerKind::kSimulatedAnnealing;
+  } else if (optimizer == "near") {
+    config.optimizer = pcn::core::OptimizerKind::kNearOptimal;
+  } else {
+    throw UsageError("--optimizer must be scan, anneal or near");
+  }
+  return config;
+}
+
+int cmd_plan(const Args& args) {
+  const pcn::Dimension dim = parse_dim(args);
+  const pcn::MobilityProfile profile = parse_profile(args);
+  const pcn::CostWeights weights = parse_weights(args);
+  const pcn::DelayBound bound = parse_delay(args);
+  const pcn::core::LocationManager manager(dim, profile, weights,
+                                           parse_planner(args));
+  args.reject_unconsumed();
+
+  const pcn::core::LocationPlan plan = manager.plan(bound);
+  std::printf("profile       : %s, q=%.4f, c=%.4f\n",
+              to_string(dim).c_str(), profile.move_prob, profile.call_prob);
+  std::printf("costs         : U=%.2f, V=%.2f, max delay=%s\n",
+              weights.update_cost, weights.poll_cost,
+              to_string(bound).c_str());
+  std::printf("threshold d*  : %d\n", plan.threshold);
+  std::printf("paging plan   :");
+  for (int j = 0; j < plan.partition.subarea_count(); ++j) {
+    std::printf(" cycle%d={", j + 1);
+    for (std::size_t k = 0; k < plan.partition.rings(j).size(); ++k) {
+      std::printf("%sr%d", k ? "," : "", plan.partition.rings(j)[k]);
+    }
+    std::printf("}");
+  }
+  std::printf("\n");
+  std::printf("expected cost : %.6f per slot (update %.6f + paging %.6f)\n",
+              plan.expected_total(), plan.expected.update,
+              plan.expected.paging);
+  std::printf("expected delay: %.3f polling cycles\n",
+              plan.expected_delay_cycles);
+  std::printf("evaluations   : %d\n", plan.evaluations);
+  return 0;
+}
+
+int cmd_surface(const Args& args) {
+  const pcn::Dimension dim = parse_dim(args);
+  const pcn::MobilityProfile profile = parse_profile(args);
+  const pcn::CostWeights weights = parse_weights(args);
+  const int max_d = static_cast<int>(args.get_int_or("max-d", 12));
+  const pcn::core::LocationManager manager(dim, profile, weights);
+  args.reject_unconsumed();
+
+  std::printf("C_T(d, m), %s, q=%.4f c=%.4f U=%.1f V=%.1f\n",
+              to_string(dim).c_str(), profile.move_prob, profile.call_prob,
+              weights.update_cost, weights.poll_cost);
+  std::printf("   d |       m=1       m=2       m=3   unbounded\n");
+  for (int d = 0; d <= max_d; ++d) {
+    std::printf(" %3d |", d);
+    for (int m : {1, 2, 3, 0}) {
+      const pcn::DelayBound bound =
+          m == 0 ? pcn::DelayBound::unbounded() : pcn::DelayBound(m);
+      std::printf(" %9.4f", manager.total_cost(d, bound));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const pcn::Dimension dim = parse_dim(args);
+  const pcn::MobilityProfile profile = parse_profile(args);
+  const pcn::CostWeights weights = parse_weights(args);
+  const pcn::DelayBound bound = parse_delay(args);
+  const std::int64_t slots = args.get_int_or("slots", 200000);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const std::string policy = args.get_string_or("policy", "distance");
+  const pcn::core::LocationManager manager(dim, profile, weights,
+                                           parse_planner(args));
+
+  pcn::sim::TerminalSpec spec;
+  std::string description;
+  if (policy == "distance") {
+    const pcn::core::LocationPlan plan = manager.plan(bound);
+    spec = manager.make_terminal_spec(plan);
+    description = "distance d*=" + std::to_string(plan.threshold);
+  } else if (policy == "movement") {
+    const int moves = static_cast<int>(args.get_int_or("param", 5));
+    spec = pcn::sim::make_movement_terminal(dim, profile, moves, bound);
+    description = "movement M=" + std::to_string(moves);
+  } else if (policy == "time") {
+    const auto period = args.get_int_or("param", 50);
+    spec = pcn::sim::make_time_terminal(dim, profile, period);
+    description = "time T=" + std::to_string(period);
+  } else if (policy == "la") {
+    const int radius = static_cast<int>(args.get_int_or("param", 2));
+    spec = pcn::sim::make_la_terminal(dim, profile, radius);
+    description = "location-area R=" + std::to_string(radius);
+  } else {
+    throw UsageError("--policy must be distance, movement, time or la");
+  }
+  args.reject_unconsumed();
+
+  pcn::sim::Network network(
+      pcn::sim::NetworkConfig{dim, pcn::sim::SlotSemantics::kChainFaithful,
+                              seed},
+      weights);
+  const pcn::sim::TerminalId id = network.add_terminal(std::move(spec));
+  network.run(slots);
+  const pcn::sim::TerminalMetrics& m = network.metrics(id);
+
+  std::printf("policy        : %s over %lld slots (seed %llu)\n",
+              description.c_str(), static_cast<long long>(slots),
+              static_cast<unsigned long long>(seed));
+  std::printf("events        : %lld moves, %lld updates, %lld calls\n",
+              static_cast<long long>(m.moves),
+              static_cast<long long>(m.updates),
+              static_cast<long long>(m.calls));
+  std::printf("cost          : %.6f per slot (update %.6f + paging %.6f)\n",
+              m.cost_per_slot(), m.update_cost_per_slot(),
+              m.paging_cost_per_slot());
+  if (m.calls > 0) {
+    std::printf("paging        : %.1f cells/call, delay mean %.3f max %d\n",
+                static_cast<double>(m.polled_cells) /
+                    static_cast<double>(m.calls),
+                m.paging_cycles.mean(), m.paging_cycles.max_value());
+  }
+  std::printf("air interface : %lld update bytes + %lld paging bytes "
+              "(%.2f bytes/slot)\n",
+              static_cast<long long>(m.update_bytes),
+              static_cast<long long>(m.paging_bytes),
+              static_cast<double>(m.total_bytes()) /
+                  static_cast<double>(m.slots));
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const pcn::Dimension dim = parse_dim(args);
+  const pcn::MobilityProfile base = parse_profile(args);
+  const pcn::CostWeights weights = parse_weights(args);
+  const pcn::DelayBound bound = parse_delay(args);
+  const std::string variable = args.get_string_or("variable", "q");
+  const double from = args.get_double_or("from", 0.001);
+  const double to = args.get_double_or("to", variable == "q" ? 0.5 : 0.1);
+  const auto points = args.get_int_or("points", 15);
+  const int max_d = static_cast<int>(args.get_int_or("max-d", 100));
+  args.reject_unconsumed();
+  if (variable != "q" && variable != "c") {
+    throw UsageError("--variable must be q or c");
+  }
+  if (!(from > 0.0) || !(to > from) || points < 2) {
+    throw UsageError("need 0 < --from < --to and --points >= 2");
+  }
+
+  std::printf("sweep %s in [%g, %g], %s, delay %s, U=%.1f V=%.1f\n",
+              variable.c_str(), from, to, to_string(dim).c_str(),
+              to_string(bound).c_str(), weights.update_cost,
+              weights.poll_cost);
+  std::printf("  %8s |      C_T*   d*\n", variable.c_str());
+  for (std::int64_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    const double value = from * std::pow(to / from, t);
+    pcn::MobilityProfile profile = base;
+    (variable == "q" ? profile.move_prob : profile.call_prob) = value;
+    pcn::core::PlannerConfig config;
+    config.max_threshold = max_d;
+    const pcn::core::LocationManager manager(dim, profile, weights, config);
+    const pcn::core::LocationPlan plan = manager.plan(bound);
+    std::printf("  %8.5f | %9.4f  %3d\n", value, plan.expected_total(),
+                plan.threshold);
+  }
+  return 0;
+}
+
+int cmd_baselines(const Args& args) {
+  const pcn::Dimension dim = parse_dim(args);
+  const pcn::MobilityProfile profile = parse_profile(args);
+  const pcn::CostWeights weights = parse_weights(args);
+  const pcn::DelayBound bound = parse_delay(args);
+  const pcn::core::LocationManager manager(dim, profile, weights,
+                                           parse_planner(args));
+  args.reject_unconsumed();
+
+  const pcn::core::LocationPlan plan = manager.plan(bound);
+  std::printf("analytic policy comparison, %s, q=%.4f c=%.4f, U=%.1f "
+              "V=%.1f, delay %s\n\n",
+              to_string(dim).c_str(), profile.move_prob, profile.call_prob,
+              weights.update_cost, weights.poll_cost,
+              to_string(bound).c_str());
+  std::printf("  %-26s | cost/slot | update    | paging    | delay\n",
+              "policy");
+  std::printf("  ---------------------------+-----------+-----------+"
+              "-----------+------\n");
+  std::printf("  distance d*=%-2d (planned)   | %9.4f | %9.4f | %9.4f | "
+              "%5.2f\n",
+              plan.threshold, plan.expected_total(), plan.expected.update,
+              plan.expected.paging, plan.expected_delay_cycles);
+  for (int max_moves : {plan.threshold + 1, 2 * (plan.threshold + 1)}) {
+    const pcn::baselines::BaselineCosts costs =
+        pcn::baselines::movement_based_costs(dim, profile, weights,
+                                             max_moves, bound);
+    std::printf("  movement M=%-3d             | %9.4f | %9.4f | %9.4f | "
+                "%5.2f\n",
+                max_moves, costs.total(), costs.update, costs.paging,
+                costs.expected_delay_cycles);
+  }
+  for (std::int64_t period : {25, 100}) {
+    const pcn::baselines::BaselineCosts costs =
+        pcn::baselines::time_based_costs(dim, profile, weights, period);
+    std::printf("  time T=%-4lld (unbounded)   | %9.4f | %9.4f | %9.4f | "
+                "%5.2f\n",
+                static_cast<long long>(period), costs.total(), costs.update,
+                costs.paging, costs.expected_delay_cycles);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = Args::parse(argc, argv);
+    if (args.command() == "plan") return cmd_plan(args);
+    if (args.command() == "surface") return cmd_surface(args);
+    if (args.command() == "simulate") return cmd_simulate(args);
+    if (args.command() == "sweep") return cmd_sweep(args);
+    if (args.command() == "baselines") return cmd_baselines(args);
+    std::fputs(kUsage, args.command().empty() ? stdout : stderr);
+    return args.command().empty() ? 0 : 2;
+  } catch (const UsageError& error) {
+    std::fprintf(stderr, "pcnctl: %s\n\n%s", error.what(), kUsage);
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "pcnctl: error: %s\n", error.what());
+    return 1;
+  }
+}
