@@ -25,3 +25,10 @@ target_link_libraries(perf_micro PRIVATE pcn benchmark::benchmark
                       pcn_warnings)
 set_target_properties(perf_micro PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Multi-core scaling: simulator throughput over terminals x threads.
+add_executable(perf_scale ${CMAKE_CURRENT_SOURCE_DIR}/bench/perf_scale.cpp)
+target_link_libraries(perf_scale PRIVATE pcn benchmark::benchmark
+                      pcn_warnings)
+set_target_properties(perf_scale PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,92 @@
+// Performance F: multi-core simulator throughput, via google-benchmark.
+//
+// Measures slot throughput (items = slots x terminals) of Network::run for
+// a mixed-policy terminal fleet as the worker-thread count grows.  The
+// sharded engine guarantees bit-identical per-terminal metrics for every
+// thread count, so these numbers compare pure scheduling overhead and
+// scaling — BENCH_*.json can track slots*terminals/sec across commits.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "pcn/costs/cost_model.hpp"
+#include "pcn/optimize/exhaustive.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace {
+
+constexpr pcn::MobilityProfile kProfile{0.1, 0.02};
+constexpr pcn::CostWeights kWeights{100.0, 10.0};
+constexpr std::int64_t kSlots = 4096;
+
+/// A fleet mixing all four policy kinds, round-robin.
+void add_fleet(pcn::sim::Network& network, int terminals) {
+  using namespace pcn::sim;
+  for (int i = 0; i < terminals; ++i) {
+    switch (i % 4) {
+      case 0:
+        network.add_terminal(make_distance_terminal(
+            pcn::Dimension::kTwoD, kProfile, 2 + i % 3, pcn::DelayBound(2)));
+        break;
+      case 1:
+        network.add_terminal(make_movement_terminal(
+            pcn::Dimension::kTwoD, kProfile, 3 + i % 3, pcn::DelayBound(3)));
+        break;
+      case 2:
+        network.add_terminal(
+            make_time_terminal(pcn::Dimension::kTwoD, kProfile, 16 + i % 8));
+        break;
+      default:
+        network.add_terminal(
+            make_la_terminal(pcn::Dimension::kTwoD, kProfile, 2));
+        break;
+    }
+  }
+}
+
+void BM_NetworkScale(benchmark::State& state) {
+  const int terminals = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    pcn::sim::NetworkConfig config{pcn::Dimension::kTwoD,
+                                   pcn::sim::SlotSemantics::kChainFaithful,
+                                   42};
+    config.threads = threads;
+    pcn::sim::Network network(config, kWeights);
+    add_fleet(network, terminals);
+    state.ResumeTiming();
+    network.run(kSlots);
+  }
+  state.SetItemsProcessed(state.iterations() * kSlots * terminals);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["terminals"] = static_cast<double>(terminals);
+}
+BENCHMARK(BM_NetworkScale)
+    ->ArgNames({"terminals", "threads"})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExhaustiveSearchColdCache(benchmark::State& state) {
+  // One fresh model per iteration: every threshold in the sweep pays its
+  // single chain solve — the honest cold-cache cost of a full search.
+  const int max_threshold = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto model = pcn::costs::CostModel::exact(
+        pcn::Dimension::kTwoD, pcn::MobilityProfile{0.05, 0.01}, kWeights);
+    benchmark::DoNotOptimize(pcn::optimize::exhaustive_search(
+        model, pcn::DelayBound(3), max_threshold));
+  }
+}
+BENCHMARK(BM_ExhaustiveSearchColdCache)->Arg(20)->Arg(80);
+
+}  // namespace
+
+BENCHMARK_MAIN();

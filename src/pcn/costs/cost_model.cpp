@@ -1,13 +1,43 @@
 #include "pcn/costs/cost_model.hpp"
 
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
 #include "pcn/common/error.hpp"
 #include "pcn/markov/steady_state.hpp"
 
 namespace pcn::costs {
+namespace {
+
+/// Packs (threshold, bound) into one map key; unbounded maps to all-ones.
+std::uint64_t partition_key(int threshold, DelayBound bound) {
+  const std::uint32_t cycles =
+      bound.is_unbounded() ? ~std::uint32_t{0}
+                           : static_cast<std::uint32_t>(bound.cycles());
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(threshold))
+          << 32) |
+         cycles;
+}
+
+}  // namespace
+
+/// Memoized solver results.  Guarded by a mutex so a model shared across
+/// simulation shards or optimizer threads stays consistent; references into
+/// the maps remain valid because entries are node-stable and never erased.
+struct CostModel::SolveCache {
+  std::mutex mutex;
+  std::unordered_map<int, std::vector<double>> steady_states;
+  std::unordered_map<std::uint64_t, Partition> partitions;
+  std::int64_t solves = 0;
+};
 
 CostModel::CostModel(markov::ChainSpec spec, CostWeights weights,
                      Options options)
-    : spec_(spec), weights_(weights), options_(options) {
+    : spec_(spec),
+      weights_(weights),
+      options_(options),
+      cache_(std::make_shared<SolveCache>()) {
   weights_.validate();
   PCN_EXPECT(!options_.legacy_d0_generic_update_rate ||
                  spec_.kind() != markov::ChainKind::kTwoDimExact,
@@ -26,13 +56,60 @@ CostModel CostModel::approximate_2d(MobilityProfile profile,
                    options);
 }
 
+const std::vector<double>& CostModel::cached_steady_state(
+    int threshold) const {
+  PCN_EXPECT(threshold >= 0, "CostModel: threshold must be >= 0");
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->steady_states.find(threshold);
+  if (it == cache_->steady_states.end()) {
+    it = cache_->steady_states
+             .emplace(threshold, markov::solve_steady_state(spec_, threshold))
+             .first;
+    ++cache_->solves;
+  }
+  return it->second;
+}
+
+const Partition& CostModel::cached_partition(int threshold,
+                                             DelayBound bound) const {
+  const std::uint64_t key = partition_key(threshold, bound);
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->partitions.find(key);
+    if (it != cache_->partitions.end()) return it->second;
+  }
+  // Build outside the lock (the DP schemes need the steady state, which
+  // itself takes the lock); insertion is idempotent on a lost race.
+  Partition built = [&] {
+    switch (options_.scheme) {
+      case PartitionScheme::kSdfEqual:
+        return Partition::sdf(threshold, bound);
+      case PartitionScheme::kOptimalContiguous:
+        return Partition::optimal(cached_steady_state(threshold), dimension(),
+                                  bound);
+      case PartitionScheme::kHighestProbabilityFirst:
+        return Partition::highest_probability_first(
+            cached_steady_state(threshold), dimension(), bound);
+    }
+    PCN_ASSERT(false);
+    return Partition::blanket(threshold);
+  }();
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  return cache_->partitions.emplace(key, std::move(built)).first->second;
+}
+
+std::int64_t CostModel::solves_performed() const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  return cache_->solves;
+}
+
 std::vector<double> CostModel::steady_state(int threshold) const {
-  return markov::solve_steady_state(spec_, threshold);
+  return cached_steady_state(threshold);
 }
 
 double CostModel::update_cost(int threshold) const {
   PCN_EXPECT(threshold >= 0, "CostModel: threshold must be >= 0");
-  const std::vector<double> pi = steady_state(threshold);
+  const std::vector<double>& pi = cached_steady_state(threshold);
   double exit_rate = spec_.up(threshold);
   if (threshold == 0 && options_.legacy_d0_generic_update_rate) {
     // The published numbers used the generic i >= 1 formula at d = 0.
@@ -44,28 +121,18 @@ double CostModel::update_cost(int threshold) const {
 }
 
 Partition CostModel::partition(int threshold, DelayBound bound) const {
-  switch (options_.scheme) {
-    case PartitionScheme::kSdfEqual:
-      return Partition::sdf(threshold, bound);
-    case PartitionScheme::kOptimalContiguous:
-      return Partition::optimal(steady_state(threshold), dimension(), bound);
-    case PartitionScheme::kHighestProbabilityFirst:
-      return Partition::highest_probability_first(steady_state(threshold),
-                                                  dimension(), bound);
-  }
-  PCN_ASSERT(false);
-  return Partition::blanket(threshold);
+  return cached_partition(threshold, bound);
 }
 
 double CostModel::paging_cost(int threshold, DelayBound bound) const {
-  return paging_cost(threshold, partition(threshold, bound));
+  return paging_cost(threshold, cached_partition(threshold, bound));
 }
 
 double CostModel::paging_cost(int threshold,
                               const Partition& partition) const {
   PCN_EXPECT(partition.threshold() == threshold,
              "CostModel::paging_cost: partition threshold mismatch");
-  const std::vector<double> pi = steady_state(threshold);
+  const std::vector<double>& pi = cached_steady_state(threshold);
   return spec_.call() * weights_.poll_cost *
          partition.expected_polled_cells(pi, dimension());
 }

@@ -7,8 +7,18 @@
 //   C_v(d,m)  = c · V · Σ_j α_j w_j                     (eqs. 62-65)
 //   C_T(d,m)  = C_u(d) + C_v(d,m)                       (eq. 66)
 // with the partitioning scheme selectable (paper SDF default).
+//
+// Evaluations are memoized: the steady-state distribution and the derived
+// partition for each (threshold, bound) are solved once and shared by
+// `update_cost`, `partition` and `paging_cost` — one `total_cost` call
+// triggers exactly one chain solve, and a threshold sweep (the optimal-
+// threshold search hot path) solves each chain once instead of O(d_max)
+// times.  The cache is shared between copies of a model (the inputs are
+// immutable) and is safe to hit from several threads.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "pcn/common/params.hpp"
@@ -83,10 +93,26 @@ class CostModel {
   /// The partition the configured scheme produces for (d, m).
   Partition partition(int threshold, DelayBound bound) const;
 
+  /// Number of steady-state solves actually performed (cache misses) over
+  /// the model's lifetime — the hook tests and benchmarks use to assert the
+  /// hot path solves each chain exactly once.  Copies of a model share one
+  /// cache and therefore one counter.
+  std::int64_t solves_performed() const;
+
  private:
+  struct SolveCache;
+
+  /// Cached steady-state distribution for `threshold`; solves on miss.
+  /// The reference stays valid for the model's lifetime (entries are never
+  /// evicted and the map's nodes are stable).
+  const std::vector<double>& cached_steady_state(int threshold) const;
+  /// Cached partition for (threshold, bound) under the configured scheme.
+  const Partition& cached_partition(int threshold, DelayBound bound) const;
+
   markov::ChainSpec spec_;
   CostWeights weights_;
   Options options_;
+  std::shared_ptr<SolveCache> cache_;
 };
 
 }  // namespace pcn::costs

@@ -21,10 +21,24 @@ std::vector<Cell> cell_neighbors(Dimension dim, Cell cell) {
 }
 
 std::vector<Cell> cell_ring(Dimension dim, Cell center, int ring) {
-  if (dim == Dimension::kTwoD) return hex_ring(center, ring);
+  std::vector<Cell> cells;
+  append_cell_ring(dim, center, ring, cells);
+  return cells;
+}
+
+void append_cell_ring(Dimension dim, Cell center, int ring,
+                      std::vector<Cell>& out) {
+  if (dim == Dimension::kTwoD) {
+    append_hex_ring(center, ring, out);
+    return;
+  }
   PCN_EXPECT(ring >= 0, "cell_ring: ring index must be >= 0");
-  if (ring == 0) return {center};
-  return {Cell{center.q - ring, center.r}, Cell{center.q + ring, center.r}};
+  if (ring == 0) {
+    out.push_back(center);
+    return;
+  }
+  out.push_back(Cell{center.q - ring, center.r});
+  out.push_back(Cell{center.q + ring, center.r});
 }
 
 std::vector<Cell> cell_disk(Dimension dim, Cell center, int distance) {

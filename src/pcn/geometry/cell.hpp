@@ -26,6 +26,12 @@ std::vector<Cell> cell_neighbors(Dimension dim, Cell cell);
 /// All cells of ring r_i around `center`.
 std::vector<Cell> cell_ring(Dimension dim, Cell center, int ring);
 
+/// Appends the cells of ring r_i to `out` (same order as `cell_ring`);
+/// allocation-free when `out` has capacity — the paging hot path reuses one
+/// buffer across polling cycles.
+void append_cell_ring(Dimension dim, Cell center, int ring,
+                      std::vector<Cell>& out);
+
 /// All cells within distance d of `center`, ordered ring by ring.
 std::vector<Cell> cell_disk(Dimension dim, Cell center, int distance);
 

@@ -35,19 +35,26 @@ std::array<HexCell, 6> hex_neighbors(HexCell cell) {
 }
 
 std::vector<HexCell> hex_ring(HexCell center, int ring) {
-  PCN_EXPECT(ring >= 0, "hex_ring: ring index must be >= 0");
-  if (ring == 0) return {center};
   std::vector<HexCell> cells;
-  cells.reserve(static_cast<std::size_t>(6 * ring));
+  append_hex_ring(center, ring, cells);
+  return cells;
+}
+
+void append_hex_ring(HexCell center, int ring, std::vector<HexCell>& out) {
+  PCN_EXPECT(ring >= 0, "hex_ring: ring index must be >= 0");
+  if (ring == 0) {
+    out.push_back(center);
+    return;
+  }
+  out.reserve(out.size() + static_cast<std::size_t>(6 * ring));
   // Start `ring` steps along direction 4 (-1,+1) and walk the six sides.
   HexCell cursor = hex_scaled_add(center, hex_directions()[4], ring);
   for (int side = 0; side < 6; ++side) {
     for (int step = 0; step < ring; ++step) {
-      cells.push_back(cursor);
+      out.push_back(cursor);
       cursor = hex_add(cursor, hex_directions()[static_cast<std::size_t>(side)]);
     }
   }
-  return cells;
 }
 
 std::vector<HexCell> hex_disk(HexCell center, int distance) {

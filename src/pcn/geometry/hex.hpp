@@ -50,6 +50,10 @@ std::array<HexCell, 6> hex_neighbors(HexCell cell);
 /// enumerated by walking the ring.
 std::vector<HexCell> hex_ring(HexCell center, int ring);
 
+/// Appends the cells of ring r_i to `out` (same enumeration order as
+/// `hex_ring`); lets hot paths reuse one buffer across rings.
+void append_hex_ring(HexCell center, int ring, std::vector<HexCell>& out);
+
 /// All cells within distance d of `center`, ordered ring by ring.
 /// Matches g(d) = 3d(d+1) + 1 cells.
 std::vector<HexCell> hex_disk(HexCell center, int distance);

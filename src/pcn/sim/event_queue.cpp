@@ -28,6 +28,11 @@ bool EventQueue::run_next() {
   return true;
 }
 
+SimTime EventQueue::next_time() const {
+  PCN_EXPECT(!heap_.empty(), "EventQueue::next_time: no pending events");
+  return heap_.top().at;
+}
+
 std::int64_t EventQueue::run_until(SimTime until) {
   std::int64_t executed = 0;
   while (!heap_.empty() && heap_.top().at <= until) {

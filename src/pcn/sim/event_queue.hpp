@@ -38,6 +38,11 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
+  /// Time of the earliest pending event; only valid when !empty().  The
+  /// network's slot loop uses this to find event-free slot ranges it can
+  /// hand to the parallel shard workers.
+  SimTime next_time() const;
+
  private:
   struct Entry {
     SimTime at;

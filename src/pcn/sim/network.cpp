@@ -1,9 +1,19 @@
 #include "pcn/sim/network.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <thread>
 
 #include "pcn/common/error.hpp"
 #include "pcn/proto/messages.hpp"
+
+namespace {
+
+/// Minimum slots x terminals in an event-free range before spawning shard
+/// workers pays for itself; smaller ranges run inline.
+constexpr std::int64_t kParallelWorkFloor = 1 << 14;
+
+}  // namespace
 
 namespace pcn::sim {
 
@@ -71,6 +81,7 @@ Network::Network(NetworkConfig config, CostWeights weights)
   weights_.validate();
   PCN_EXPECT(config.update_loss_prob >= 0.0 && config.update_loss_prob < 1.0,
              "Network: update_loss_prob must lie in [0, 1)");
+  PCN_EXPECT(config.threads >= 0, "Network: threads must be >= 0");
 }
 
 TerminalId Network::add_terminal(TerminalSpec spec) {
@@ -99,25 +110,98 @@ TerminalId Network::add_terminal(TerminalSpec spec) {
 void Network::run(std::int64_t slots) {
   PCN_EXPECT(slots >= 0, "Network::run: slot count must be >= 0");
   const SimTime end = events_.now() + slots;
-  // Self-rescheduling slot tick: one kernel event per slot.
-  std::function<void()> tick = [this, end, &tick]() {
-    process_slot();
-    if (events_.now() + 1 <= end) {
-      events_.schedule_in(1, tick);  // copies tick; safe beyond this frame
+  Scratch scratch;
+  // Direct slot loop (no per-slot kernel event): user-scheduled events due
+  // at or before a slot run first, then the slot's terminal work — the same
+  // order the old self-rescheduling tick produced.  Ranges with no queued
+  // events are handed to run_segment, which may fan terminals out across
+  // shard workers.
+  SimTime t = events_.now();
+  while (t < end) {
+    SimTime range_end = end;
+    if (!events_.empty()) {
+      range_end = std::min(range_end, events_.next_time() - 1);
     }
-  };
-  if (slots > 0) events_.schedule_in(1, tick);
-  events_.run_until(end);
+    if (range_end > t) {
+      run_segment(t + 1, range_end, scratch);
+      t = range_end;
+    } else {
+      events_.run_until(t + 1);
+      process_slot(t + 1, scratch);
+      t = t + 1;
+    }
+  }
+  events_.run_until(end);  // drains nothing; syncs the kernel clock
 }
 
-void Network::process_slot() {
-  const SimTime now = events_.now();
-  for (Attachment& attachment : attachments_) {
-    process_terminal(attachment, now);
+int Network::resolved_threads() const {
+  if (config_.threads != 0) return config_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void Network::run_segment(SimTime first, SimTime last, Scratch& scratch) {
+  const int threads = resolved_threads();
+  const std::int64_t work =
+      (last - first + 1) * static_cast<std::int64_t>(attachments_.size());
+  // An attached observer forces the slot-major order so callbacks arrive in
+  // the documented (slot, terminal) sequence.
+  if (threads <= 1 || observer_ != nullptr || attachments_.size() < 2 ||
+      work < kParallelWorkFloor) {
+    for (SimTime t = first; t <= last; ++t) process_slot(t, scratch);
+  } else {
+    const std::size_t shards = std::min<std::size_t>(
+        static_cast<std::size_t>(threads), attachments_.size());
+    std::vector<std::exception_ptr> errors(shards);
+    std::vector<std::thread> workers;
+    workers.reserve(shards - 1);
+    auto shard_begin = [&](std::size_t s) {
+      return attachments_.size() * s / shards;
+    };
+    for (std::size_t s = 1; s < shards; ++s) {
+      workers.emplace_back([this, s, first, last, &shard_begin, &errors] {
+        Scratch local;
+        try {
+          run_shard(shard_begin(s), shard_begin(s + 1), first, last, local);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      });
+    }
+    try {
+      run_shard(shard_begin(0), shard_begin(1), first, last, scratch);
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+    for (std::thread& worker : workers) worker.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+  events_.run_until(last);  // no events in the range; syncs the clock
+}
+
+void Network::run_shard(std::size_t begin, std::size_t end, SimTime first,
+                        SimTime last, Scratch& scratch) {
+  // Terminal-major: each terminal's whole slot range in one pass.  Because
+  // terminals share no mutable state, this produces exactly the metrics of
+  // the slot-major order, with better locality and no synchronization.
+  for (std::size_t i = begin; i < end; ++i) {
+    Attachment& attachment = attachments_[i];
+    for (SimTime t = first; t <= last; ++t) {
+      process_terminal(attachment, t, scratch);
+    }
   }
 }
 
-void Network::process_terminal(Attachment& attachment, SimTime now) {
+void Network::process_slot(SimTime now, Scratch& scratch) {
+  for (Attachment& attachment : attachments_) {
+    process_terminal(attachment, now, scratch);
+  }
+}
+
+void Network::process_terminal(Attachment& attachment, SimTime now,
+                               Scratch& scratch) {
   Terminal& terminal = *attachment.terminal;
   TerminalMetrics& metrics = attachment.metrics;
   const double q = terminal.mobility().move_probability(now);
@@ -152,7 +236,7 @@ void Network::process_terminal(Attachment& attachment, SimTime now) {
   if (terminal.update_policy().update_due(terminal.position(), now)) {
     send_update(attachment, now);
   }
-  if (called) deliver_call(attachment, now);
+  if (called) deliver_call(attachment, now, scratch);
 
   ++metrics.slots;
   metrics.ring_distance.add(static_cast<int>(geometry::cell_distance(
@@ -198,15 +282,18 @@ void Network::send_update(Attachment& attachment, SimTime now) {
   }
 }
 
-void Network::deliver_call(Attachment& attachment, SimTime now) {
+void Network::deliver_call(Attachment& attachment, SimTime now,
+                           Scratch& scratch) {
   Terminal& terminal = *attachment.terminal;
   TerminalMetrics& metrics = attachment.metrics;
   const Knowledge& knowledge = server_.knowledge(terminal.id());
 
-  const std::uint64_t page_id = next_page_id_++;
+  const std::uint64_t page_id = attachment.next_page_id++;
   const std::int64_t polled_before = metrics.polled_cells;
-  auto poll_group = [&](const std::vector<geometry::Cell>& group,
-                        int cycle) {
+  // One scratch buffer holds every polling group of the page; clear+refill
+  // reuses its capacity, so steady-state paging performs no allocations.
+  std::vector<geometry::Cell>& group = scratch.poll_group;
+  auto poll_group = [&](int cycle) {
     metrics.polled_cells += static_cast<std::int64_t>(group.size());
     metrics.paging_cost +=
         weights_.poll_cost * static_cast<double>(group.size());
@@ -215,9 +302,10 @@ void Network::deliver_call(Attachment& attachment, SimTime now) {
       request.page_id = page_id;
       request.terminal_id = static_cast<std::uint64_t>(terminal.id());
       request.cycle = static_cast<std::uint32_t>(cycle);
-      request.cells = group;
+      request.cells = std::move(group);
       metrics.paging_bytes +=
           static_cast<std::int64_t>(proto::encoded_size(request));
+      group = std::move(request.cells);  // reclaim the buffer
     }
     return std::find(group.begin(), group.end(), terminal.position()) !=
            group.end();
@@ -226,10 +314,10 @@ void Network::deliver_call(Attachment& attachment, SimTime now) {
   int cycles_used = 0;
   bool located = false;
   for (int cycle = 0;; ++cycle) {
-    const std::vector<geometry::Cell> group =
-        attachment.paging->polling_group(knowledge, now, cycle);
+    group.clear();
+    attachment.paging->append_polling_group(knowledge, now, cycle, group);
     if (group.empty()) break;  // schedule exhausted
-    if (poll_group(group, cycle)) {
+    if (poll_group(cycle)) {
       cycles_used = cycle + 1;
       located = true;
       break;
@@ -247,9 +335,10 @@ void Network::deliver_call(Attachment& attachment, SimTime now) {
                     : attachment.paging->delay_bound().cycles();
     const int stale_radius = knowledge.radius_at(now);
     for (int ring = stale_radius + 1;; ++ring, ++cycle) {
-      const std::vector<geometry::Cell> group =
-          geometry::cell_ring(config_.dimension, knowledge.center, ring);
-      if (poll_group(group, cycle)) {
+      group.clear();
+      geometry::append_cell_ring(config_.dimension, knowledge.center, ring,
+                                 group);
+      if (poll_group(cycle)) {
         cycles_used = cycle + 1;
         located = true;
         break;

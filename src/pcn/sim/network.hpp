@@ -1,6 +1,10 @@
 // The PCN network simulation: slotted evolution of terminals, location
-// updates, call deliveries and delay-bounded paging, driven through the
-// discrete-event kernel.
+// updates, call deliveries and delay-bounded paging.  A direct slot loop
+// drives the per-terminal work; user events scheduled through the
+// discrete-event kernel run at their slot, and the event-free slot ranges
+// between them shard the terminal fleet across a worker pool
+// (NetworkConfig::threads) with bit-identical metrics for every thread
+// count — terminals share no mutable state, so shards need no locks.
 //
 // Slot semantics (see DESIGN.md):
 //   * kChainFaithful — per slot exactly one of {call (prob c), move (prob
@@ -41,6 +45,13 @@ struct NetworkConfig {
   /// to fall back to expanding-ring recovery (see TerminalMetrics::
   /// paging_failures).
   double update_loss_prob = 0.0;
+  /// Worker threads for Network::run: 1 (default) runs single-threaded,
+  /// 0 uses one thread per hardware thread, N > 1 uses exactly N.
+  /// Terminals are fully independent (per-terminal split RNG streams,
+  /// disjoint location-server entries), so metrics are bit-identical for
+  /// every thread count.  Runs with an observer attached always execute
+  /// single-threaded to keep the callback order stable.
+  int threads = 1;
 };
 
 /// Everything needed to attach one terminal to the network.
@@ -90,12 +101,31 @@ class Network {
     std::unique_ptr<Terminal> terminal;
     std::unique_ptr<PagingPolicy> paging;
     TerminalMetrics metrics;
+    /// Per-terminal page correlator (shard-safe, and independent of how
+    /// terminals interleave across threads).
+    std::uint64_t next_page_id = 0;
   };
 
-  void process_slot();
-  void process_terminal(Attachment& attachment, SimTime now);
-  void deliver_call(Attachment& attachment, SimTime now);
+  /// Per-worker scratch space; one instance per shard keeps the paging hot
+  /// path free of per-cycle allocations without cross-thread sharing.
+  struct Scratch {
+    std::vector<geometry::Cell> poll_group;
+  };
+
+  /// Simulates slots `first`..`last` (inclusive), a range guaranteed free
+  /// of queued events; dispatches to the shard workers when profitable.
+  void run_segment(SimTime first, SimTime last, Scratch& scratch);
+  /// Terminal-major evolution of attachments [begin, end) over the slot
+  /// range — the per-shard worker body.
+  void run_shard(std::size_t begin, std::size_t end, SimTime first,
+                 SimTime last, Scratch& scratch);
+  void process_slot(SimTime now, Scratch& scratch);
+  void process_terminal(Attachment& attachment, SimTime now,
+                        Scratch& scratch);
+  void deliver_call(Attachment& attachment, SimTime now, Scratch& scratch);
   void send_update(Attachment& attachment, SimTime now);
+  /// config().threads with 0 resolved to the hardware thread count.
+  int resolved_threads() const;
 
   NetworkConfig config_;
   CostWeights weights_;
@@ -104,7 +134,6 @@ class Network {
   stats::Rng root_rng_;
   std::vector<Attachment> attachments_;
   NetworkObserver* observer_ = nullptr;
-  std::uint64_t next_page_id_ = 0;
 };
 
 }  // namespace pcn::sim

@@ -7,31 +7,42 @@
 namespace pcn::sim {
 namespace {
 
-/// All cells of the given rings around `center`.
-std::vector<geometry::Cell> cells_of_rings(Dimension dim, geometry::Cell center,
-                                           const std::vector<int>& rings) {
-  std::vector<geometry::Cell> cells;
+/// Appends all cells of the given rings around `center` to `out`.
+void append_cells_of_rings(Dimension dim, geometry::Cell center,
+                           const std::vector<int>& rings,
+                           std::vector<geometry::Cell>& out) {
   for (int ring : rings) {
-    for (geometry::Cell cell : geometry::cell_ring(dim, center, ring)) {
-      cells.push_back(cell);
-    }
+    geometry::append_cell_ring(dim, center, ring, out);
   }
-  return cells;
 }
 
 }  // namespace
 
+std::vector<geometry::Cell> PagingPolicy::polling_group(
+    const Knowledge& knowledge, SimTime now, int cycle) const {
+  std::vector<geometry::Cell> group;
+  append_polling_group(knowledge, now, cycle, group);
+  return group;
+}
+
 BlanketPaging::BlanketPaging(Dimension dim) : dim_(dim) {}
 
-std::vector<geometry::Cell> BlanketPaging::polling_group(
-    const Knowledge& knowledge, SimTime now, int cycle) const {
+void BlanketPaging::append_polling_group(
+    const Knowledge& knowledge, SimTime now, int cycle,
+    std::vector<geometry::Cell>& out) const {
   PCN_EXPECT(cycle >= 0, "polling_group: cycle must be >= 0");
-  if (cycle > 0) return {};
+  if (cycle > 0) return;
   if (knowledge.kind == KnowledgeKind::kLocationArea) {
-    return geometry::CellLaTiling(dim_, knowledge.radius)
-        .la_cells(knowledge.center);
+    const std::vector<geometry::Cell> cells =
+        geometry::CellLaTiling(dim_, knowledge.radius)
+            .la_cells(knowledge.center);
+    out.insert(out.end(), cells.begin(), cells.end());
+    return;
   }
-  return geometry::cell_disk(dim_, knowledge.center, knowledge.radius_at(now));
+  const int radius = knowledge.radius_at(now);
+  for (int ring = 0; ring <= radius; ++ring) {
+    geometry::append_cell_ring(dim_, knowledge.center, ring, out);
+  }
 }
 
 std::string BlanketPaging::name() const { return "blanket"; }
@@ -39,13 +50,14 @@ std::string BlanketPaging::name() const { return "blanket"; }
 SdfSequentialPaging::SdfSequentialPaging(Dimension dim, DelayBound bound)
     : dim_(dim), bound_(bound) {}
 
-std::vector<geometry::Cell> SdfSequentialPaging::polling_group(
-    const Knowledge& knowledge, SimTime now, int cycle) const {
+void SdfSequentialPaging::append_polling_group(
+    const Knowledge& knowledge, SimTime now, int cycle,
+    std::vector<geometry::Cell>& out) const {
   PCN_EXPECT(cycle >= 0, "polling_group: cycle must be >= 0");
   const int radius = knowledge.radius_at(now);
   const costs::Partition partition = costs::Partition::sdf(radius, bound_);
-  if (cycle >= partition.subarea_count()) return {};
-  return cells_of_rings(dim_, knowledge.center, partition.rings(cycle));
+  if (cycle >= partition.subarea_count()) return;
+  append_cells_of_rings(dim_, knowledge.center, partition.rings(cycle), out);
 }
 
 std::string SdfSequentialPaging::name() const {
@@ -56,14 +68,15 @@ PlanPartitionPaging::PlanPartitionPaging(Dimension dim,
                                          costs::Partition partition)
     : dim_(dim), partition_(std::move(partition)) {}
 
-std::vector<geometry::Cell> PlanPartitionPaging::polling_group(
-    const Knowledge& knowledge, SimTime now, int cycle) const {
+void PlanPartitionPaging::append_polling_group(
+    const Knowledge& knowledge, SimTime now, int cycle,
+    std::vector<geometry::Cell>& out) const {
   PCN_EXPECT(cycle >= 0, "polling_group: cycle must be >= 0");
   PCN_EXPECT(knowledge.radius_at(now) == partition_.threshold(),
              "PlanPartitionPaging: knowledge radius does not match the "
              "partition's threshold");
-  if (cycle >= partition_.subarea_count()) return {};
-  return cells_of_rings(dim_, knowledge.center, partition_.rings(cycle));
+  if (cycle >= partition_.subarea_count()) return;
+  append_cells_of_rings(dim_, knowledge.center, partition_.rings(cycle), out);
 }
 
 DelayBound PlanPartitionPaging::delay_bound() const {
@@ -81,16 +94,17 @@ ExpandingRingPaging::ExpandingRingPaging(Dimension dim, int rings_per_cycle)
              "ExpandingRingPaging: rings_per_cycle must be >= 1");
 }
 
-std::vector<geometry::Cell> ExpandingRingPaging::polling_group(
-    const Knowledge& knowledge, SimTime now, int cycle) const {
+void ExpandingRingPaging::append_polling_group(
+    const Knowledge& knowledge, SimTime now, int cycle,
+    std::vector<geometry::Cell>& out) const {
   PCN_EXPECT(cycle >= 0, "polling_group: cycle must be >= 0");
   const int radius = knowledge.radius_at(now);
   const int first = cycle * rings_per_cycle_;
-  if (first > radius) return {};
+  if (first > radius) return;
   const int last = std::min(radius, first + rings_per_cycle_ - 1);
-  std::vector<int> rings;
-  for (int ring = first; ring <= last; ++ring) rings.push_back(ring);
-  return cells_of_rings(dim_, knowledge.center, rings);
+  for (int ring = first; ring <= last; ++ring) {
+    geometry::append_cell_ring(dim_, knowledge.center, ring, out);
+  }
 }
 
 std::string ExpandingRingPaging::name() const {

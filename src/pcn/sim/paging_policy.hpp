@@ -33,12 +33,19 @@ class PagingPolicy {
  public:
   virtual ~PagingPolicy() = default;
 
-  /// Cells to poll in polling cycle `cycle` (0-based) given `knowledge` at
-  /// time `now`.  An empty group means the schedule is exhausted; by the
-  /// knowledge-containment invariant the terminal must have been found in
-  /// an earlier group.
-  virtual std::vector<geometry::Cell> polling_group(
-      const Knowledge& knowledge, SimTime now, int cycle) const = 0;
+  /// Appends the cells to poll in polling cycle `cycle` (0-based) given
+  /// `knowledge` at time `now` to `out` (the caller clears the buffer
+  /// between cycles — the simulator reuses one scratch vector per page so
+  /// the hot path stays allocation-free).  Appending nothing means the
+  /// schedule is exhausted; by the knowledge-containment invariant the
+  /// terminal must have been found in an earlier group.
+  virtual void append_polling_group(const Knowledge& knowledge, SimTime now,
+                                    int cycle,
+                                    std::vector<geometry::Cell>& out) const = 0;
+
+  /// Convenience wrapper returning the polling group as a fresh vector.
+  std::vector<geometry::Cell> polling_group(const Knowledge& knowledge,
+                                            SimTime now, int cycle) const;
 
   /// The delay bound this policy honors (unbounded() when none).
   virtual DelayBound delay_bound() const = 0;
@@ -50,9 +57,9 @@ class BlanketPaging final : public PagingPolicy {
  public:
   explicit BlanketPaging(Dimension dim);
 
-  std::vector<geometry::Cell> polling_group(const Knowledge& knowledge,
-                                            SimTime now,
-                                            int cycle) const override;
+  void append_polling_group(const Knowledge& knowledge, SimTime now,
+                            int cycle,
+                            std::vector<geometry::Cell>& out) const override;
   DelayBound delay_bound() const override { return DelayBound(1); }
   std::string name() const override;
 
@@ -64,9 +71,9 @@ class SdfSequentialPaging final : public PagingPolicy {
  public:
   SdfSequentialPaging(Dimension dim, DelayBound bound);
 
-  std::vector<geometry::Cell> polling_group(const Knowledge& knowledge,
-                                            SimTime now,
-                                            int cycle) const override;
+  void append_polling_group(const Knowledge& knowledge, SimTime now,
+                            int cycle,
+                            std::vector<geometry::Cell>& out) const override;
   DelayBound delay_bound() const override { return bound_; }
   std::string name() const override;
 
@@ -79,9 +86,9 @@ class PlanPartitionPaging final : public PagingPolicy {
  public:
   PlanPartitionPaging(Dimension dim, costs::Partition partition);
 
-  std::vector<geometry::Cell> polling_group(const Knowledge& knowledge,
-                                            SimTime now,
-                                            int cycle) const override;
+  void append_polling_group(const Knowledge& knowledge, SimTime now,
+                            int cycle,
+                            std::vector<geometry::Cell>& out) const override;
   DelayBound delay_bound() const override;
   std::string name() const override;
 
@@ -95,9 +102,9 @@ class ExpandingRingPaging final : public PagingPolicy {
   /// Polls `rings_per_cycle` consecutive rings per polling cycle.
   ExpandingRingPaging(Dimension dim, int rings_per_cycle = 1);
 
-  std::vector<geometry::Cell> polling_group(const Knowledge& knowledge,
-                                            SimTime now,
-                                            int cycle) const override;
+  void append_polling_group(const Knowledge& knowledge, SimTime now,
+                            int cycle,
+                            std::vector<geometry::Cell>& out) const override;
   DelayBound delay_bound() const override { return DelayBound::unbounded(); }
   std::string name() const override;
 
