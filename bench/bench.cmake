@@ -16,6 +16,9 @@ pcn_add_bench(ablation_partitioning)
 pcn_add_bench(ablation_optimizer)
 pcn_add_bench(ablation_policies)
 pcn_add_bench(sim_validation)
+# The validation report reuses the statistical oracles from the test
+# support library (tests/ is added before this file, so the target exists).
+target_link_libraries(sim_validation PRIVATE pcn_testsupport)
 pcn_add_bench(ablation_adaptive)
 pcn_add_bench(signalling_overhead)
 

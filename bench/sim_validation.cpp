@@ -4,17 +4,24 @@
 // under both slot semantics and reports the measured per-slot update and
 // paging costs next to the Markov-chain predictions C_u(d) and C_v(d, m),
 // plus the measured mean paging delay vs the partition's prediction.
+//
+// Each measurement is checked against the statistical oracle's z = 4
+// acceptance band (tests/support/oracles.hpp) — the same bands the
+// asserting tests/integration/test_sim_validation.cpp gates on — and is
+// flagged `OUT` when it falls outside.  2-D scenarios and independent
+// semantics get the documented modeling-gap slacks on top (see
+// docs/testing.md).
 #include <cstdio>
 
 #include "pcn/costs/cost_model.hpp"
-#include "pcn/costs/partition.hpp"
-#include "pcn/markov/steady_state.hpp"
 #include "pcn/sim/network.hpp"
+#include "support/oracles.hpp"
 
 namespace {
 
 constexpr pcn::CostWeights kWeights{100.0, 10.0};
 constexpr std::int64_t kSlots = 500000;
+constexpr double kZ = 4.0;
 
 struct Scenario {
   pcn::Dimension dim;
@@ -24,23 +31,26 @@ struct Scenario {
   int m;
 };
 
+const char* verdict(const pcn::proptest::Band& band, double measured) {
+  return band.contains(measured) ? "in " : "OUT";
+}
+
 void run(const Scenario& s) {
   const pcn::MobilityProfile profile{s.q, s.c};
   const pcn::DelayBound bound(s.m);
   const pcn::costs::CostModel model =
       pcn::costs::CostModel::exact(s.dim, profile, kWeights);
-  const pcn::costs::CostBreakdown predicted = model.cost(s.d, bound);
-  const double predicted_delay =
-      pcn::costs::Partition::sdf(s.d, bound)
-          .expected_delay_cycles(pcn::markov::solve_steady_state(
-              model.spec(), s.d));
+  const pcn::proptest::CostBands bands = pcn::proptest::predicted_cost_bands(
+      model, s.d, bound, kSlots, kZ);
 
   std::printf("  %s q=%.3f c=%.3f d=%d m=%d\n", to_string(s.dim).c_str(),
               s.q, s.c, s.d, s.m);
   std::printf("    predicted : C_u=%7.4f C_v=%7.4f C_T=%7.4f delay=%5.3f\n",
-              predicted.update, predicted.paging, predicted.total(),
-              predicted_delay);
+              bands.update.center, bands.paging.center, bands.total.center,
+              bands.delay.center);
 
+  const double ring_slack = s.dim == pcn::Dimension::kOneD ? 0.0
+                                                           : 0.03 + 0.25 * s.q;
   for (const auto semantics : {pcn::sim::SlotSemantics::kChainFaithful,
                                pcn::sim::SlotSemantics::kIndependent}) {
     pcn::sim::Network network(
@@ -49,15 +59,23 @@ void run(const Scenario& s) {
         pcn::sim::make_distance_terminal(s.dim, profile, s.d, bound));
     network.run(kSlots);
     const pcn::sim::TerminalMetrics& metrics = network.metrics(id);
+
+    const bool chain =
+        semantics == pcn::sim::SlotSemantics::kChainFaithful;
+    const double slack =
+        ring_slack + (chain ? 0.0 : 0.05 + 3.0 * s.q * s.c);
+    const pcn::proptest::Band total = bands.total.widened(slack);
     std::printf(
-        "    %-10s: C_u=%7.4f C_v=%7.4f C_T=%7.4f delay=%5.3f "
-        "(err %+5.1f%%)\n",
-        semantics == pcn::sim::SlotSemantics::kChainFaithful ? "chain"
-                                                             : "indep",
-        metrics.update_cost_per_slot(), metrics.paging_cost_per_slot(),
-        metrics.cost_per_slot(), metrics.paging_cycles.mean(),
-        100.0 * (metrics.cost_per_slot() - predicted.total()) /
-            predicted.total());
+        "    %-10s: C_u=%7.4f [%s] C_v=%7.4f [%s] C_T=%7.4f [%s] "
+        "delay=%5.3f [%s]  (band C_T %s)\n",
+        chain ? "chain" : "indep", metrics.update_cost_per_slot(),
+        verdict(bands.update.widened(slack), metrics.update_cost_per_slot()),
+        metrics.paging_cost_per_slot(),
+        verdict(bands.paging.widened(slack), metrics.paging_cost_per_slot()),
+        metrics.cost_per_slot(), verdict(total, metrics.cost_per_slot()),
+        metrics.paging_cycles.mean(),
+        verdict(bands.delay.widened(slack), metrics.paging_cycles.mean()),
+        to_string(total).c_str());
   }
   std::printf("\n");
 }
@@ -66,9 +84,10 @@ void run(const Scenario& s) {
 
 int main() {
   std::printf("Validation D: Markov-chain model vs discrete-event "
-              "simulation (%lld slots per run, U = %.0f, V = %.0f)\n\n",
+              "simulation (%lld slots per run, U = %.0f, V = %.0f, "
+              "z = %.0f bands)\n\n",
               static_cast<long long>(kSlots), kWeights.update_cost,
-              kWeights.poll_cost);
+              kWeights.poll_cost, kZ);
   const Scenario scenarios[] = {
       {pcn::Dimension::kOneD, 0.05, 0.01, 3, 1},
       {pcn::Dimension::kOneD, 0.05, 0.01, 5, 3},
@@ -79,8 +98,10 @@ int main() {
       {pcn::Dimension::kTwoD, 0.5, 0.005, 6, 3},
   };
   for (const Scenario& s : scenarios) run(s);
-  std::printf("Reading: chain-faithful errors are pure Monte-Carlo noise "
-              "(<~2%%); independent-semantics errors additionally contain "
-              "the modeling gap, small for small q and c.\n");
+  std::printf("Reading: chain-faithful runs carry only Monte-Carlo noise "
+              "(plus the iso-distance chain approximation in 2-D); "
+              "independent semantics adds the O(q*c) modeling gap.  "
+              "tests/integration/test_sim_validation.cpp asserts these "
+              "verdicts.\n");
   return 0;
 }

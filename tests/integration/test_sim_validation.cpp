@@ -1,0 +1,102 @@
+// Validation D as an asserting test: the bench/sim_validation.cpp scenario
+// grid, with the printed side-by-side comparison replaced by the
+// statistical oracle's confidence bands.  1-D chain-faithful runs must
+// match the Markov cost model within pure Monte-Carlo noise (z = 4 bands
+// plus the chi-square occupancy fit); 2-D adds the iso-distance chain
+// approximation slack (see test_prop_sim_vs_chain.cpp), and independent
+// semantics adds the q*c modeling-gap slack on top.  The bench target
+// keeps the human-readable report; this suite is the gate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pcn/costs/cost_model.hpp"
+#include "support/fleet.hpp"
+#include "support/oracles.hpp"
+
+namespace pcn::proptest {
+namespace {
+
+constexpr int kTerminals = 2;
+constexpr std::int64_t kSlotsPerTerminal = 250000;
+constexpr double kZ = 4.0;
+constexpr double kGofAlpha = 1e-6;
+
+// The exact grid bench/sim_validation.cpp reports on.
+std::vector<Scenario> validation_grid() {
+  const CostWeights weights{100.0, 10.0};
+  const std::uint64_t seed = 0xd1ce;
+  return {
+      {Dimension::kOneD, {0.05, 0.01}, 3, DelayBound(1), weights, seed},
+      {Dimension::kOneD, {0.05, 0.01}, 5, DelayBound(3), weights, seed},
+      {Dimension::kOneD, {0.3, 0.02}, 6, DelayBound(2), weights, seed},
+      {Dimension::kTwoD, {0.05, 0.01}, 1, DelayBound(1), weights, seed},
+      {Dimension::kTwoD, {0.05, 0.01}, 2, DelayBound(3), weights, seed},
+      {Dimension::kTwoD, {0.3, 0.02}, 4, DelayBound(2), weights, seed},
+      {Dimension::kTwoD, {0.5, 0.005}, 6, DelayBound(3), weights, seed},
+  };
+}
+
+double modeling_slack(const Scenario& scenario) {
+  return 0.05 + 3.0 * scenario.profile.move_prob * scenario.profile.call_prob;
+}
+
+double ring_approximation_slack(const Scenario& scenario) {
+  if (scenario.dim == Dimension::kOneD) return 0.0;
+  return 0.03 + 0.25 * scenario.profile.move_prob;
+}
+
+void expect_inside(const Scenario& scenario, const char* what,
+                   const Band& band, double measured) {
+  EXPECT_TRUE(band.contains(measured))
+      << scenario.describe() << ": " << what << " = " << measured
+      << " outside band " << to_string(band);
+}
+
+void check_scenario(const Scenario& scenario, sim::SlotSemantics semantics,
+                    double slack) {
+  const FleetMetrics fleet = run_distance_fleet_aggregate(
+      scenario, semantics, 1, kTerminals, kSlotsPerTerminal);
+  const costs::CostModel model = costs::CostModel::exact(
+      scenario.dim, scenario.profile, scenario.weights);
+  const CostBands bands = predicted_cost_bands(
+      model, scenario.threshold, scenario.bound, fleet.slots, kZ);
+
+  expect_inside(scenario, "C_u/slot", bands.update.widened(slack),
+                fleet.update_cost_per_slot());
+  expect_inside(scenario, "C_v/slot", bands.paging.widened(slack),
+                fleet.paging_cost_per_slot());
+  expect_inside(scenario, "C_T/slot", bands.total.widened(slack),
+                fleet.cost_per_slot());
+  ASSERT_GT(fleet.calls, 200) << scenario.describe();
+  expect_inside(scenario, "mean paging delay", bands.delay.widened(slack),
+                fleet.paging_cycles.mean());
+
+  if (semantics == sim::SlotSemantics::kChainFaithful &&
+      scenario.dim == Dimension::kOneD) {
+    const GofResult fit = occupancy_goodness_of_fit(
+        model, scenario.threshold, fleet.ring_distance, kGofAlpha);
+    EXPECT_TRUE(fit.accepted)
+        << scenario.describe()
+        << ": ring occupancy rejects the steady state: " << fit.describe();
+  }
+}
+
+TEST(SimValidation, ChainFaithfulGridStaysInsideMonteCarloBands) {
+  for (const Scenario& scenario : validation_grid()) {
+    check_scenario(scenario, sim::SlotSemantics::kChainFaithful,
+                   ring_approximation_slack(scenario));
+  }
+}
+
+TEST(SimValidation, IndependentGridStaysInsideModelingGapBands) {
+  for (const Scenario& scenario : validation_grid()) {
+    check_scenario(scenario, sim::SlotSemantics::kIndependent,
+                   ring_approximation_slack(scenario) +
+                       modeling_slack(scenario));
+  }
+}
+
+}  // namespace
+}  // namespace pcn::proptest

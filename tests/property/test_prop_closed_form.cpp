@@ -1,0 +1,93 @@
+// Property suite: the paper's closed-form steady states agree with the
+// numeric solvers to near machine precision over random (q, c, d) — the
+// O(d) backward recurrence (the library's ground truth) and the dense-LU
+// global-balance solve are two independent derivations, so a three-way
+// match pins all of them down.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "pcn/markov/closed_form.hpp"
+#include "pcn/markov/steady_state.hpp"
+#include "support/property.hpp"
+
+namespace pcn::proptest {
+namespace {
+
+constexpr double kTolerance = 1e-10;
+
+ScenarioLimits wide_limits() {
+  // The closed forms are exact for any (q, c) with c > 0; stress well
+  // beyond the simulation suites' operating regime, including deep chains.
+  ScenarioLimits limits;
+  limits.max_q = 0.9;
+  limits.max_c = 0.09;
+  limits.max_threshold = 40;
+  return limits;
+}
+
+std::optional<std::string> max_abs_diff_exceeds(
+    const std::vector<double>& a, const std::vector<double>& b,
+    const char* solver) {
+  if (a.size() != b.size()) {
+    return std::string("distribution size mismatch vs ") + solver;
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  if (worst <= kTolerance) return std::nullopt;
+  char line[128];
+  std::snprintf(line, sizeof line, "closed form vs %s differs by %.3e",
+                solver, worst);
+  return std::string(line);
+}
+
+std::optional<std::string> check_closed_form(
+    const markov::ChainSpec& spec, const std::vector<double>& closed,
+    double boundary, int threshold) {
+  if (auto f = max_abs_diff_exceeds(
+          closed, markov::solve_steady_state(spec, threshold),
+          "recurrence")) {
+    return f;
+  }
+  if (auto f = max_abs_diff_exceeds(
+          closed, markov::solve_steady_state_dense(spec, threshold),
+          "dense LU")) {
+    return f;
+  }
+  if (std::abs(boundary - closed.back()) > 1e-12 * (1.0 + closed.back())) {
+    return "O(1) boundary probability disagrees with the distribution";
+  }
+  return std::nullopt;
+}
+
+TEST(PropClosedForm, OneDimensionalMatchesRecurrenceAndDenseLu) {
+  PropertyOptions options;
+  options.limits = wide_limits();
+  check_property("closed-form/1d", [](const Scenario& scenario) {
+    return check_closed_form(
+        markov::ChainSpec::one_dim(scenario.profile),
+        markov::closed_form_1d(scenario.profile, scenario.threshold),
+        markov::closed_form_1d_boundary_probability(scenario.profile,
+                                                    scenario.threshold),
+        scenario.threshold);
+  }, options);
+}
+
+TEST(PropClosedForm, TwoDimensionalApproximateMatchesRecurrenceAndDenseLu) {
+  PropertyOptions options;
+  options.limits = wide_limits();
+  check_property("closed-form/2d-approx", [](const Scenario& scenario) {
+    return check_closed_form(
+        markov::ChainSpec::two_dim_approx(scenario.profile),
+        markov::closed_form_2d_approx(scenario.profile, scenario.threshold),
+        markov::closed_form_2d_approx_boundary_probability(
+            scenario.profile, scenario.threshold),
+        scenario.threshold);
+  }, options);
+}
+
+}  // namespace
+}  // namespace pcn::proptest

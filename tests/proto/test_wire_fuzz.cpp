@@ -1,0 +1,182 @@
+// Fuzz-style round-trip properties for the signalling codec.  Each seeded
+// scenario drives randomized messages (ids and coordinates spanning the
+// full varint magnitude range) through:
+//   * encode -> decode -> re-encode, which must be byte-identical and
+//     match encoded_size() / peek_type();
+//   * every truncated prefix of a valid frame, which must raise
+//     DecodeError instead of reading out of bounds (the ASan preset turns
+//     any overread into a hard failure);
+//   * single-bit corruption, which the CRC-32 trailer detects by
+//     construction (CRC-32 catches all single-bit errors);
+//   * decoding a frame as the wrong message type.
+// Shrinking is disabled — the scenario parameters are irrelevant here,
+// only the seed feeds the payload stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pcn/proto/messages.hpp"
+#include "pcn/proto/wire.hpp"
+#include "support/property.hpp"
+
+namespace pcn::proptest {
+namespace {
+
+/// A signed value whose magnitude is uniform in *bit length* (0..63), so
+/// 1-byte and 10-byte varints are both exercised.
+std::int64_t random_signed(stats::Rng& rng) {
+  const std::uint64_t shift = rng.next_below(64);
+  const std::uint64_t magnitude = rng.next() >> shift;
+  const auto value = static_cast<std::int64_t>(magnitude >> 1);
+  return rng.next_bernoulli(0.5) ? -value : value;
+}
+
+std::uint64_t random_unsigned(stats::Rng& rng) {
+  return rng.next() >> rng.next_below(64);
+}
+
+geometry::Cell random_cell(stats::Rng& rng) {
+  return {random_signed(rng), random_signed(rng)};
+}
+
+proto::LocationUpdate random_location_update(stats::Rng& rng) {
+  proto::LocationUpdate message;
+  message.terminal_id = random_unsigned(rng);
+  message.sequence = random_unsigned(rng);
+  message.cell = random_cell(rng);
+  message.containment_radius =
+      static_cast<std::uint32_t>(rng.next_below(1u << 16));
+  return message;
+}
+
+proto::PageRequest random_page_request(stats::Rng& rng) {
+  proto::PageRequest message;
+  message.page_id = random_unsigned(rng);
+  message.terminal_id = random_unsigned(rng);
+  message.cycle = static_cast<std::uint32_t>(rng.next_below(64));
+  const std::uint64_t cells = rng.next_below(24);
+  // Delta encoding is relative to the first cell; mix one far base cell
+  // with nearby ones so both tiny and huge deltas appear.
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    message.cells.push_back(random_cell(rng));
+  }
+  return message;
+}
+
+proto::PageResponse random_page_response(stats::Rng& rng) {
+  proto::PageResponse message;
+  message.page_id = random_unsigned(rng);
+  message.terminal_id = random_unsigned(rng);
+  message.cell = random_cell(rng);
+  return message;
+}
+
+/// Runs `decode` and reports unless it raises DecodeError.
+template <typename Decode>
+std::optional<std::string> expect_decode_error(const char* what,
+                                               Decode&& decode) {
+  try {
+    decode();
+  } catch (const proto::DecodeError&) {
+    return std::nullopt;
+  } catch (const std::exception& error) {
+    return std::string(what) + ": wrong exception type: " + error.what();
+  }
+  return std::string(what) + ": malformed frame decoded without error";
+}
+
+template <typename Message, typename Decoder>
+std::optional<std::string> check_round_trip(const Message& message,
+                                            proto::MessageType type,
+                                            Decoder&& decoder,
+                                            stats::Rng& rng) {
+  const std::vector<std::uint8_t> frame = proto::encode(message);
+  if (frame.size() != proto::encoded_size(message)) {
+    return std::optional<std::string>("encoded_size != actual frame size");
+  }
+  if (proto::peek_type(frame) != type) {
+    return std::optional<std::string>("peek_type mismatch");
+  }
+  const Message decoded = decoder(frame);
+  if (!(decoded == message)) {
+    return std::optional<std::string>("decode(encode(m)) != m");
+  }
+  if (proto::encode(decoded) != frame) {
+    return std::optional<std::string>("re-encode is not byte-identical");
+  }
+
+  // Every proper prefix is a truncation; none may decode.
+  for (std::size_t length = 0; length < frame.size(); ++length) {
+    const std::span<const std::uint8_t> prefix(frame.data(), length);
+    if (auto f = expect_decode_error(
+            "truncation", [&] { decoder(prefix); })) {
+      return f;
+    }
+  }
+
+  // CRC-32 detects any single-bit error, so a random flip must be caught
+  // (possibly earlier, as a version/type/varint malformation).
+  std::vector<std::uint8_t> corrupted = frame;
+  const std::uint64_t bit = rng.next_below(corrupted.size() * 8);
+  corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  if (auto f = expect_decode_error(
+          "bit flip", [&] { decoder(corrupted); })) {
+    return f;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_wire_fuzz(const Scenario& scenario) {
+  stats::Rng rng(scenario.seed);
+  const proto::LocationUpdate update = random_location_update(rng);
+  const proto::PageRequest request = random_page_request(rng);
+  const proto::PageResponse response = random_page_response(rng);
+
+  if (auto f = check_round_trip(update, proto::MessageType::kLocationUpdate,
+                                [](std::span<const std::uint8_t> bytes) {
+                                  return proto::decode_location_update(bytes);
+                                },
+                                rng)) {
+    return f;
+  }
+  if (auto f = check_round_trip(request, proto::MessageType::kPageRequest,
+                                [](std::span<const std::uint8_t> bytes) {
+                                  return proto::decode_page_request(bytes);
+                                },
+                                rng)) {
+    return f;
+  }
+  if (auto f = check_round_trip(response, proto::MessageType::kPageResponse,
+                                [](std::span<const std::uint8_t> bytes) {
+                                  return proto::decode_page_response(bytes);
+                                },
+                                rng)) {
+    return f;
+  }
+
+  // A structurally valid frame of one type must not decode as another.
+  const std::vector<std::uint8_t> update_frame = proto::encode(update);
+  if (auto f = expect_decode_error("cross-type decode", [&] {
+        proto::decode_page_request(update_frame);
+      })) {
+    return f;
+  }
+  if (auto f = expect_decode_error("cross-type decode", [&] {
+        proto::decode_page_response(proto::encode(request));
+      })) {
+    return f;
+  }
+  return std::nullopt;
+}
+
+TEST(PropWireFuzz, RoundTripsAndRejectsTruncatedOrCorruptedFrames) {
+  PropertyOptions options;
+  options.enable_shrinking = false;  // only the seed matters here
+  check_property("wire/fuzz-round-trip", check_wire_fuzz, options);
+}
+
+}  // namespace
+}  // namespace pcn::proptest

@@ -1,0 +1,163 @@
+#include "support/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pcn::proptest {
+
+std::int64_t ScenarioRng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return rng_.next_in_range(lo, hi);
+}
+
+double ScenarioRng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * rng_.next_unit();
+}
+
+double ScenarioRng::rounded_real(double lo, double hi, int decimals) {
+  const double scale = std::pow(10.0, decimals);
+  const double value = std::round(uniform_real(lo, hi) * scale) / scale;
+  return std::clamp(value, lo, hi);
+}
+
+bool ScenarioRng::coin(double p) { return rng_.next_bernoulli(p); }
+
+Dimension ScenarioRng::dimension() {
+  return coin() ? Dimension::kTwoD : Dimension::kOneD;
+}
+
+MobilityProfile ScenarioRng::mobility(const ScenarioLimits& limits) {
+  MobilityProfile profile;
+  profile.move_prob = rounded_real(limits.min_q, limits.max_q, 3);
+  profile.call_prob = rounded_real(limits.min_c, limits.max_c, 3);
+  profile.validate();
+  return profile;
+}
+
+int ScenarioRng::threshold(const ScenarioLimits& limits) {
+  return static_cast<int>(
+      uniform_int(limits.min_threshold, limits.max_threshold));
+}
+
+DelayBound ScenarioRng::delay_bound(const ScenarioLimits& limits) {
+  if (limits.allow_unbounded_delay && coin(0.2)) {
+    return DelayBound::unbounded();
+  }
+  return DelayBound(static_cast<int>(uniform_int(1, limits.max_delay)));
+}
+
+CostWeights ScenarioRng::weights(const ScenarioLimits& limits) {
+  CostWeights weights;
+  weights.update_cost =
+      rounded_real(limits.min_update_cost, limits.max_update_cost, 0);
+  weights.poll_cost =
+      rounded_real(limits.min_poll_cost, limits.max_poll_cost, 0);
+  weights.validate();
+  return weights;
+}
+
+Scenario Scenario::generate(std::uint64_t seed, const ScenarioLimits& limits) {
+  ScenarioRng rng(seed);
+  Scenario scenario;
+  scenario.dim = rng.dimension();
+  scenario.profile = rng.mobility(limits);
+  scenario.threshold = rng.threshold(limits);
+  scenario.bound = rng.delay_bound(limits);
+  scenario.weights = rng.weights(limits);
+  scenario.seed = seed;
+  return scenario;
+}
+
+std::string Scenario::describe() const {
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "%s q=%.3f c=%.3f d=%d m=%s U=%.0f V=%.0f seed=0x%llx",
+                to_string(dim).c_str(), profile.move_prob, profile.call_prob,
+                threshold, to_string(bound).c_str(), weights.update_cost,
+                weights.poll_cost,
+                static_cast<unsigned long long>(seed));
+  return line;
+}
+
+bool operator==(const Scenario& a, const Scenario& b) {
+  return a.dim == b.dim && a.profile.move_prob == b.profile.move_prob &&
+         a.profile.call_prob == b.profile.call_prob &&
+         a.threshold == b.threshold && a.bound == b.bound &&
+         a.weights.update_cost == b.weights.update_cost &&
+         a.weights.poll_cost == b.weights.poll_cost && a.seed == b.seed;
+}
+
+std::vector<int> shrink_int(int value, int floor) {
+  std::vector<int> candidates;
+  const auto push = [&](int v) {
+    if (v >= floor && v < value &&
+        std::find(candidates.begin(), candidates.end(), v) ==
+            candidates.end()) {
+      candidates.push_back(v);
+    }
+  };
+  push(floor);
+  push(floor + (value - floor) / 2);
+  push(value - 1);
+  return candidates;
+}
+
+std::vector<Scenario> shrink_candidates(const Scenario& scenario) {
+  // Floors mirror the default ScenarioLimits so shrunk scenarios stay in
+  // every suite's valid range.
+  constexpr double kFloorQ = 0.01;
+  constexpr double kFloorC = 0.002;
+
+  std::vector<Scenario> out;
+  const auto push = [&](const Scenario& candidate) {
+    if (candidate == scenario) return;
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  };
+
+  if (scenario.dim == Dimension::kTwoD) {
+    Scenario v = scenario;
+    v.dim = Dimension::kOneD;
+    push(v);
+  }
+  for (int t : shrink_int(scenario.threshold, 0)) {
+    Scenario v = scenario;
+    v.threshold = t;
+    push(v);
+  }
+  if (scenario.bound.is_unbounded()) {
+    Scenario v = scenario;
+    v.bound = DelayBound(1);
+    push(v);
+  } else {
+    for (int m : shrink_int(scenario.bound.cycles(), 1)) {
+      Scenario v = scenario;
+      v.bound = DelayBound(m);
+      push(v);
+    }
+  }
+  for (double q : {0.05, std::round(scenario.profile.move_prob * 500.0) / 1000.0}) {
+    if (q >= kFloorQ && q < scenario.profile.move_prob) {
+      Scenario v = scenario;
+      v.profile.move_prob = q;
+      push(v);
+    }
+  }
+  for (double c : {0.01, std::round(scenario.profile.call_prob * 500.0) / 1000.0}) {
+    if (c >= kFloorC && c < scenario.profile.call_prob) {
+      Scenario v = scenario;
+      v.profile.call_prob = c;
+      push(v);
+    }
+  }
+  if (scenario.weights.update_cost != 100.0 ||
+      scenario.weights.poll_cost != 10.0) {
+    Scenario v = scenario;
+    v.weights = CostWeights{100.0, 10.0};
+    push(v);
+  }
+  return out;
+}
+
+}  // namespace pcn::proptest

@@ -1,0 +1,94 @@
+// Seeded scenario generation for the property-based differential suites.
+//
+// Every randomized test derives all of its randomness from one 64-bit
+// seed: the scenario parameters (geometry, mobility profile, threshold,
+// delay bound, cost weights) come from a ScenarioRng stream, and the same
+// seed doubles as the simulator seed, so a failing case is reproducible
+// from the seed alone (property.hpp prints the repro line and shrinks the
+// scenario before reporting).
+//
+// Generated rates are rounded to a few decimals so that a repro line like
+// "2-D q=0.125 c=0.010 d=4 m=2" can be retyped into a unit test verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcn/common/params.hpp"
+#include "pcn/stats/rng.hpp"
+
+namespace pcn::proptest {
+
+/// Bounds for Scenario::generate.  The defaults stay inside the paper's
+/// operating regime (small per-slot rates, q + c well below 1) while
+/// covering both geometries and the full bounded-delay range.
+struct ScenarioLimits {
+  double min_q = 0.01;
+  double max_q = 0.4;
+  double min_c = 0.002;
+  double max_c = 0.04;
+  int min_threshold = 0;
+  int max_threshold = 8;
+  int max_delay = 4;              ///< delay bounds are drawn from [1, max_delay]
+  bool allow_unbounded_delay = false;
+  double min_update_cost = 20.0;
+  double max_update_cost = 400.0;
+  double min_poll_cost = 1.0;
+  double max_poll_cost = 20.0;
+};
+
+/// A seeded stream of scenario ingredients (wraps stats::Rng).
+class ScenarioRng {
+ public:
+  explicit ScenarioRng(std::uint64_t seed) : rng_(seed) {}
+
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  double uniform_real(double lo, double hi);
+  /// Uniform in [lo, hi] rounded to `decimals` places, clamped back into
+  /// the interval (readable repro lines).
+  double rounded_real(double lo, double hi, int decimals);
+  bool coin(double p = 0.5);
+
+  Dimension dimension();
+  MobilityProfile mobility(const ScenarioLimits& limits = {});
+  int threshold(const ScenarioLimits& limits = {});
+  DelayBound delay_bound(const ScenarioLimits& limits = {});
+  CostWeights weights(const ScenarioLimits& limits = {});
+
+  /// The underlying stream, for suite-specific draws (e.g. fuzz payloads).
+  stats::Rng& raw() { return rng_; }
+
+ private:
+  stats::Rng rng_;
+};
+
+/// One randomized model/simulation scenario.
+struct Scenario {
+  Dimension dim = Dimension::kTwoD;
+  MobilityProfile profile{};
+  int threshold = 1;
+  DelayBound bound = DelayBound(1);
+  CostWeights weights{};
+  std::uint64_t seed = 0;  ///< generating seed; reuse as the simulator seed
+
+  /// Deterministically expands `seed` into a scenario within `limits`.
+  static Scenario generate(std::uint64_t seed, const ScenarioLimits& limits = {});
+
+  /// "2-D q=0.125 c=0.010 d=4 m=2 U=100 V=10 seed=0xabc" (one line).
+  std::string describe() const;
+
+  friend bool operator==(const Scenario&, const Scenario&);
+};
+
+/// Generic integer shrink: candidates strictly between `floor` and `value`,
+/// most aggressive (the floor itself) first.
+std::vector<int> shrink_int(int value, int floor);
+
+/// Strictly-simpler neighbors of a failing scenario (smaller threshold,
+/// tighter delay bound, 1-D instead of 2-D, rates and weights snapped
+/// toward canonical paper values), most aggressive first.  The seed is
+/// preserved so the simulator stream stays comparable.
+std::vector<Scenario> shrink_candidates(const Scenario& scenario);
+
+}  // namespace pcn::proptest

@@ -1,0 +1,107 @@
+#include "support/property.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pcn::proptest {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char ch : text) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::strtoull(value, nullptr, 0);
+}
+
+std::string current_test_filter() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info == nullptr) return "<test>";
+  return std::string(info->test_suite_name()) + "." + info->name();
+}
+
+std::optional<std::string> run_guarded(const Property& property,
+                                       const Scenario& scenario) {
+  try {
+    return property(scenario);
+  } catch (const std::exception& error) {
+    return std::string("unhandled exception: ") + error.what();
+  }
+}
+
+}  // namespace
+
+void check_property(const std::string& name, const Property& property,
+                    const PropertyOptions& options) {
+  const std::uint64_t base =
+      options.base_seed != 0 ? options.base_seed : fnv1a(name);
+  int scenarios = options.scenarios;
+  if (const auto n = env_u64("PCN_PROPERTY_SCENARIOS")) {
+    scenarios = static_cast<int>(*n);
+  }
+  const auto pinned = env_u64("PCN_PROPERTY_SEED");
+
+  for (int i = 0; i < scenarios; ++i) {
+    const std::uint64_t seed =
+        pinned ? (i == 0 ? *pinned
+                         : splitmix64(*pinned + static_cast<std::uint64_t>(i)))
+               : splitmix64(base + static_cast<std::uint64_t>(i));
+    const Scenario original = Scenario::generate(seed, options.limits);
+    const auto failure = run_guarded(property, original);
+    if (!failure) continue;
+
+    // Greedy descent: take the first simpler scenario that still fails,
+    // restart from it, stop when none fails or the budget runs out.
+    Scenario shrunk = original;
+    std::string shrunk_message = *failure;
+    if (options.enable_shrinking) {
+      int budget = options.max_shrink_rounds;
+      bool improved = true;
+      while (improved && budget > 0) {
+        improved = false;
+        for (const Scenario& candidate : shrink_candidates(shrunk)) {
+          if (budget-- <= 0) break;
+          if (const auto message = run_guarded(property, candidate)) {
+            shrunk = candidate;
+            shrunk_message = *message;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+
+    char repro[256];
+    std::snprintf(repro, sizeof repro,
+                  "PCN-REPRO: PCN_PROPERTY_SEED=0x%llx "
+                  "PCN_PROPERTY_SCENARIOS=1 ctest --test-dir build -R '%s'",
+                  static_cast<unsigned long long>(seed),
+                  current_test_filter().c_str());
+    ADD_FAILURE() << name << ": scenario " << i + 1 << "/" << scenarios
+                  << " failed\n"
+                  << repro << "\n  original: " << original.describe()
+                  << "\n    " << *failure
+                  << "\n  shrunk  : " << shrunk.describe() << "\n    "
+                  << shrunk_message;
+    return;  // one failure per run keeps the report and the repro short
+  }
+}
+
+}  // namespace pcn::proptest

@@ -1,0 +1,40 @@
+// Minimal property-test harness on top of GoogleTest.
+//
+// A property is a predicate over a randomized Scenario; `check_property`
+// runs it over a deterministic family of seeds, and on the first failure
+// (a) greedily shrinks the scenario through `shrink_candidates` while it
+// keeps failing, then (b) reports one test failure whose first line is a
+// machine-pasteable repro:
+//
+//   PCN-REPRO: PCN_PROPERTY_SEED=0x1f2e... PCN_PROPERTY_SCENARIOS=1
+//       ctest --test-dir build -R 'PropSimVsChain.ChainFaithful...'
+//
+// Environment overrides:
+//   PCN_PROPERTY_SEED       pin the first scenario's seed (repro mode)
+//   PCN_PROPERTY_SCENARIOS  override the per-property scenario count
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "support/generators.hpp"
+
+namespace pcn::proptest {
+
+struct PropertyOptions {
+  int scenarios = 25;           ///< PCN_PROPERTY_SCENARIOS overrides
+  std::uint64_t base_seed = 0;  ///< 0 = derive from the property name
+  ScenarioLimits limits{};
+  bool enable_shrinking = true;   ///< off for seed-only properties (fuzz)
+  int max_shrink_rounds = 48;     ///< cap on re-evaluations while shrinking
+};
+
+/// nullopt = scenario passed; a message = why it failed.  Exceptions are
+/// caught and reported as failures.
+using Property = std::function<std::optional<std::string>(const Scenario&)>;
+
+void check_property(const std::string& name, const Property& property,
+                    const PropertyOptions& options = {});
+
+}  // namespace pcn::proptest

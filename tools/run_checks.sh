@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-command verification gate (see docs/testing.md):
+#   1. default build  — tier-1 (deterministic) then tier-2 (randomized
+#      property + statistical suites),
+#   2. TSan build     — the sharded-simulator determinism suite,
+#   3. ASan+UBSan     — the wire codec, message framing and fuzz
+#      round-trip suites (truncation/corruption paths must not overread).
+#
+# Environment:
+#   JOBS=N   parallelism for builds and ctest (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=${JOBS:-$(nproc)}
+
+echo "== [1/3] default build: tier-1 + tier-2 =="
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+ctest --preset tier1 -j "$jobs"
+ctest --preset tier2 -j "$jobs"
+
+echo "== [2/3] TSan: sharded-run determinism =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" --target test_network_parallel
+ctest --test-dir build-tsan -R 'NetworkParallel' --output-on-failure -j "$jobs"
+
+echo "== [3/3] ASan+UBSan: wire codec round-trips =="
+cmake --preset asan
+cmake --build --preset asan -j "$jobs" \
+  --target test_wire test_messages test_wire_fuzz
+ctest --test-dir build-asan -R 'Wire|Messages|PropWireFuzz' \
+  --output-on-failure -j "$jobs"
+
+echo "run_checks: all gates passed."
