@@ -11,9 +11,12 @@
 // across phase-asymmetry settings.
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "pcn/core/adaptive.hpp"
 #include "pcn/core/location_manager.hpp"
+#include "pcn/obs/bench_report.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/sim/network.hpp"
 
 namespace {
@@ -88,6 +91,9 @@ double run_adaptive(double fast_q, double slow_q,
 }  // namespace
 
 int main() {
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  pcn::obs::BenchReport report("ablation_adaptive");
+  double worst_adaptive_regret = 0.0;
   const pcn::DelayBound bound(2);
   std::printf("Ablation D': adaptive per-user thresholds on phased "
               "mobility (c = %.2f, U = %.0f, V = %.0f, m <= 2, %lld "
@@ -107,14 +113,31 @@ int main() {
     const double oracle = run_oracle(fast_q, slow_q, bound);
     const double fixed = run_static(fast_q, slow_q, average, bound);
     const double adaptive = run_adaptive(fast_q, slow_q, bound);
+    const double static_regret = 100.0 * (fixed - oracle) / oracle;
+    const double adaptive_regret = 100.0 * (adaptive - oracle) / oracle;
+    if (adaptive_regret > worst_adaptive_regret) {
+      worst_adaptive_regret = adaptive_regret;
+    }
     std::printf("   %5.2f / %5.3f  | %7.4f | %7.4f (%+6.1f%%) | %7.4f "
                 "(%+6.1f%%)\n",
-                fast_q, slow_q, oracle, fixed,
-                100.0 * (fixed - oracle) / oracle, adaptive,
-                100.0 * (adaptive - oracle) / oracle);
+                fast_q, slow_q, oracle, fixed, static_regret, adaptive,
+                adaptive_regret);
+    report
+        .add_row("fast=" + std::to_string(fast_q) +
+                 "/slow=" + std::to_string(slow_q))
+        .set("oracle_cost", oracle)
+        .set("static_cost", fixed)
+        .set("static_regret_pct", static_regret)
+        .set("adaptive_cost", adaptive)
+        .set("adaptive_regret_pct", adaptive_regret);
   }
   std::printf("\nReading: the adaptive controller's regret vs the "
               "clairvoyant oracle should undercut the static "
               "average-profile plan, and shrink as the phases diverge.\n");
+  report.set("slots", kSlots)
+      .set("worst_adaptive_regret_pct", worst_adaptive_regret)
+      .set("wall_seconds",
+           static_cast<double>(pcn::obs::monotonic_ns() - start_ns) * 1e-9);
+  report.emit();
   return 0;
 }

@@ -9,9 +9,12 @@
 // the printed d* column.
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "pcn/costs/cost_model.hpp"
+#include "pcn/obs/bench_report.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/optimize/exhaustive.hpp"
 
 namespace {
@@ -29,7 +32,8 @@ std::vector<double> log_sweep(double lo, double hi, int points) {
   return values;
 }
 
-void print_panel(pcn::Dimension dim, const char* title) {
+void print_panel(pcn::Dimension dim, const char* title,
+                 pcn::obs::BenchReport& report) {
   std::printf("Figure 5%s: optimal average total cost vs call arrival "
               "probability (%s)\n",
               dim == pcn::Dimension::kOneD ? "(a)" : "(b)", title);
@@ -42,12 +46,18 @@ void print_panel(pcn::Dimension dim, const char* title) {
   for (double c : log_sweep(0.001, 0.1, 25)) {
     const pcn::costs::CostModel model = pcn::costs::CostModel::exact(
         dim, pcn::MobilityProfile{kMoveProb, c}, kWeights);
+    pcn::obs::BenchReport::Row& row = report.add_row(
+        std::string(dim == pcn::Dimension::kOneD ? "1d" : "2d") +
+        "/c=" + std::to_string(c));
     std::printf("  %7.4f |", c);
     for (int m : {1, 2, 3, 0}) {
       const pcn::DelayBound bound =
           m == 0 ? pcn::DelayBound::unbounded() : pcn::DelayBound(m);
       const pcn::optimize::Optimum optimum =
           pcn::optimize::exhaustive_search(model, bound, kMaxThreshold);
+      const std::string key = m == 0 ? "unbounded" : "m" + std::to_string(m);
+      row.set(key + "_d", optimum.threshold);
+      row.set(key + "_cost", optimum.total_cost);
       std::printf(" %6.4f (%2d) |", optimum.total_cost, optimum.threshold);
     }
     std::printf("\n");
@@ -58,7 +68,16 @@ void print_panel(pcn::Dimension dim, const char* title) {
 }  // namespace
 
 int main() {
-  print_panel(pcn::Dimension::kOneD, "one-dimensional model");
-  print_panel(pcn::Dimension::kTwoD, "two-dimensional model, exact chain");
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  pcn::obs::BenchReport report("fig5_cost_vs_callrate");
+  print_panel(pcn::Dimension::kOneD, "one-dimensional model", report);
+  print_panel(pcn::Dimension::kTwoD, "two-dimensional model, exact chain",
+              report);
+  report.set("points", 25)
+      .set("panels", 2)
+      .set("max_threshold", kMaxThreshold)
+      .set("wall_seconds",
+           static_cast<double>(pcn::obs::monotonic_ns() - start_ns) * 1e-9);
+  report.emit();
   return 0;
 }

@@ -1,0 +1,57 @@
+// Glue between google-benchmark and pcn::obs::BenchReport, shared by the
+// perf_micro / perf_scale custom mains: a console reporter that mirrors
+// every finished run into report rows (so the BENCH_<name>.json carries
+// the same numbers the console shows), and the main body that runs the
+// registered benchmarks under it.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pcn/obs/bench_report.hpp"
+
+namespace pcn::benchio {
+
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  // Tabular but uncolored: the console reporter's ANSI reset would
+  // otherwise leak onto the next stdout line and corrupt the PCN_BENCH
+  // parse line the report emits after the run.
+  explicit RecordingReporter(obs::BenchReport& report)
+      : benchmark::ConsoleReporter(OO_Tabular), report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      obs::BenchReport::Row& row = report_.add_row(run.benchmark_name());
+      row.set("iterations", static_cast<std::int64_t>(run.iterations));
+      row.set("real_ns_per_iter", run.real_accumulated_time / iters * 1e9);
+      row.set("cpu_ns_per_iter", run.cpu_accumulated_time / iters * 1e9);
+      for (const auto& [name, counter] : run.counters) {
+        row.set(name, static_cast<double>(counter));
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::BenchReport& report_;
+};
+
+/// Initializes google-benchmark, runs everything registered (honouring
+/// --benchmark_filter etc.), and fills `report` rows; returns a main()
+/// exit code.  The caller still owns the summary keys and emit().
+inline int run_benchmarks(int argc, char** argv, obs::BenchReport& report) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RecordingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace pcn::benchio

@@ -2,13 +2,18 @@
 // google-benchmark.  These quantify the paper's computational claims: the
 // closed form is the cheap path suitable for power-limited terminals, the
 // O(d) recurrence is the exact reference, and the dense LU solve is the
-// O(d^3) cross-check only.
+// O(d^3) cross-check only.  The BM_Obs* group prices the telemetry
+// primitives themselves — the per-operation costs quoted in
+// docs/observability.md come from here.
 #include <benchmark/benchmark.h>
 
+#include "gbench_report.hpp"
 #include "pcn/costs/cost_model.hpp"
 #include "pcn/geometry/la_tiling.hpp"
 #include "pcn/markov/closed_form.hpp"
 #include "pcn/markov/steady_state.hpp"
+#include "pcn/obs/metrics.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/optimize/annealing.hpp"
 #include "pcn/optimize/exhaustive.hpp"
 #include "pcn/optimize/near_optimal.hpp"
@@ -129,6 +134,87 @@ void BM_SimulationSlots(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulationSlots)->Arg(10000);
 
+// --- Telemetry primitive costs (docs/observability.md quotes these) ---------
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  pcn::obs::MetricsRegistry registry;
+  pcn::obs::Counter counter = registry.counter("bench.counter.add");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsCounterAddDetached(benchmark::State& state) {
+  // The null-handle no-op path instrumented code pays when telemetry is
+  // off (one predicted branch).
+  pcn::obs::Counter counter;
+  for (auto _ : state) {
+    counter.add(1);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAddDetached);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  pcn::obs::MetricsRegistry registry;
+  pcn::obs::Histogram histogram = registry.histogram(
+      "bench.histogram.observe", pcn::obs::exponential_buckets(1.0, 2.0, 10));
+  double value = 0.0;
+  for (auto _ : state) {
+    histogram.observe(value);
+    value = value < 1000.0 ? value + 1.0 : 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsTraceRingRecord(benchmark::State& state) {
+  pcn::obs::TraceRing ring(256);
+  std::int64_t now = 0;
+  for (auto _ : state) {
+    ring.record("bench", now, 10, 0);
+    ++now;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsTraceRingRecord);
+
+void BM_ObsScopedTimer(benchmark::State& state) {
+  // Two clock reads + one counter add + one ring record per scope.
+  pcn::obs::MetricsRegistry registry;
+  pcn::obs::Counter counter = registry.counter("bench.timer.ns");
+  pcn::obs::TraceRing ring(256);
+  for (auto _ : state) {
+    pcn::obs::ScopedTimer timer(counter, &ring, "bench");
+    benchmark::DoNotOptimize(timer.elapsed_ns());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsScopedTimer);
+
+void BM_ObsRegistrySnapshot(benchmark::State& state) {
+  pcn::obs::MetricsRegistry registry;
+  for (int i = 0; i < state.range(0); ++i) {
+    registry.counter("bench.counter.c" + std::to_string(i)).add(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.snapshot());
+  }
+}
+BENCHMARK(BM_ObsRegistrySnapshot)->Arg(16)->Arg(64);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  pcn::obs::BenchReport report("perf_micro");
+  const int rc = pcn::benchio::run_benchmarks(argc, argv, report);
+  if (rc != 0) return rc;
+  report.set("wall_seconds",
+             static_cast<double>(pcn::obs::monotonic_ns() - start_ns) * 1e-9);
+  report.emit();
+  return 0;
+}

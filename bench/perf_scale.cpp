@@ -7,9 +7,13 @@
 // scaling — BENCH_*.json can track slots*terminals/sec across commits.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 
+#include "gbench_report.hpp"
 #include "pcn/costs/cost_model.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/optimize/exhaustive.hpp"
 #include "pcn/sim/network.hpp"
 
@@ -44,7 +48,7 @@ void add_fleet(pcn::sim::Network& network, int terminals) {
   }
 }
 
-void BM_NetworkScale(benchmark::State& state) {
+void run_scale(benchmark::State& state, bool telemetry) {
   const int terminals = static_cast<int>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
@@ -53,6 +57,7 @@ void BM_NetworkScale(benchmark::State& state) {
                                    pcn::sim::SlotSemantics::kChainFaithful,
                                    42};
     config.threads = threads;
+    config.collect_runtime_stats = telemetry;
     pcn::sim::Network network(config, kWeights);
     add_fleet(network, terminals);
     state.ResumeTiming();
@@ -61,6 +66,10 @@ void BM_NetworkScale(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kSlots * terminals);
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["terminals"] = static_cast<double>(terminals);
+}
+
+void BM_NetworkScale(benchmark::State& state) {
+  run_scale(state, /*telemetry=*/false);
 }
 BENCHMARK(BM_NetworkScale)
     ->ArgNames({"terminals", "threads"})
@@ -71,6 +80,18 @@ BENCHMARK(BM_NetworkScale)
     ->Args({256, 2})
     ->Args({256, 4})
     ->Args({256, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The same slot loop with collect_runtime_stats on — compare against
+/// BM_NetworkScale at equal args to see the telemetry tax under load.
+void BM_NetworkScaleTelemetry(benchmark::State& state) {
+  run_scale(state, /*telemetry=*/true);
+}
+BENCHMARK(BM_NetworkScaleTelemetry)
+    ->ArgNames({"terminals", "threads"})
+    ->Args({64, 1})
+    ->Args({256, 4})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -87,6 +108,52 @@ void BM_ExhaustiveSearchColdCache(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveSearchColdCache)->Arg(20)->Arg(80);
 
+/// One timed slot-loop run (nanoseconds) with telemetry on or off.
+std::int64_t timed_run_ns(bool telemetry) {
+  constexpr int kTerminals = 64;
+  constexpr std::int64_t kGateSlots = 8192;
+  pcn::sim::NetworkConfig config{pcn::Dimension::kTwoD,
+                                 pcn::sim::SlotSemantics::kChainFaithful,
+                                 42};
+  config.collect_runtime_stats = telemetry;
+  pcn::sim::Network network(config, kWeights);
+  add_fleet(network, kTerminals);
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  network.run(kGateSlots);
+  return pcn::obs::monotonic_ns() - start_ns;
+}
+
+/// Best-of-N paired throughputs (terminal-slots/sec), telemetry off/on.
+/// The reps interleave the two sides so frequency scaling and scheduler
+/// noise hit both equally, and the min per side discards the slow
+/// outliers — run_checks.sh gates on the resulting ratio.
+std::pair<double, double> measured_throughput_pair(int reps) {
+  constexpr double kGateWork = 8192.0 * 64;
+  std::int64_t best_off = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best_on = std::numeric_limits<std::int64_t>::max();
+  for (int rep = 0; rep < reps; ++rep) {
+    best_off = std::min(best_off, timed_run_ns(false));
+    best_on = std::min(best_on, timed_run_ns(true));
+  }
+  return {kGateWork / (static_cast<double>(best_off) * 1e-9),
+          kGateWork / (static_cast<double>(best_on) * 1e-9)};
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pcn::obs::BenchReport report("perf_scale");
+  const int rc = pcn::benchio::run_benchmarks(argc, argv, report);
+  if (rc != 0) return rc;
+  // Paired overhead measurement for the telemetry gate (one warm-up pair
+  // first so neither side benefits from cache warming order).
+  constexpr int kReps = 15;
+  timed_run_ns(false);
+  timed_run_ns(true);
+  const auto [off, on] = measured_throughput_pair(kReps);
+  report.set("slots_per_sec_off", off)
+      .set("slots_per_sec_on", on)
+      .set("telemetry_overhead_pct", 100.0 * (off - on) / off);
+  report.emit();
+  return 0;
+}

@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "pcn/core/location_manager.hpp"
+#include "pcn/obs/bench_report.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/sim/network.hpp"
 
 namespace {
@@ -17,7 +19,8 @@ constexpr pcn::MobilityProfile kProfile{0.1, 0.01};
 constexpr pcn::CostWeights kWeights{100.0, 10.0};
 constexpr std::int64_t kSlots = 300000;
 
-void report(const char* label, const pcn::sim::TerminalMetrics& m) {
+void report_row(const char* label, const pcn::sim::TerminalMetrics& m,
+                pcn::obs::BenchReport& bench) {
   const double update_frame =
       m.updates > 0 ? static_cast<double>(m.update_bytes) /
                           static_cast<double>(m.updates)
@@ -26,10 +29,16 @@ void report(const char* label, const pcn::sim::TerminalMetrics& m) {
       m.calls > 0 ? static_cast<double>(m.paging_bytes) /
                         static_cast<double>(m.calls)
                   : 0.0;
+  const double bytes_per_slot = static_cast<double>(m.total_bytes()) /
+                                static_cast<double>(m.slots);
   std::printf("  %-26s | %8.4f | %6.1f | %8.1f | %9.4f\n", label,
-              static_cast<double>(m.total_bytes()) /
-                  static_cast<double>(m.slots),
-              update_frame, page_bytes_per_call, m.cost_per_slot());
+              bytes_per_slot, update_frame, page_bytes_per_call,
+              m.cost_per_slot());
+  bench.add_row(label)
+      .set("bytes_per_slot", bytes_per_slot)
+      .set("bytes_per_update", update_frame)
+      .set("page_bytes_per_call", page_bytes_per_call)
+      .set("cost_per_slot", m.cost_per_slot());
 }
 
 pcn::sim::TerminalMetrics measure(pcn::sim::TerminalSpec spec) {
@@ -45,6 +54,8 @@ pcn::sim::TerminalMetrics measure(pcn::sim::TerminalSpec spec) {
 }  // namespace
 
 int main() {
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  pcn::obs::BenchReport bench("signalling_overhead");
   std::printf("Validation E': air-interface signalling overhead "
               "(q = %.2f, c = %.2f, %lld slots)\n\n",
               kProfile.move_prob, kProfile.call_prob,
@@ -62,19 +73,27 @@ int main() {
     const std::string label = "distance d*=" +
                               std::to_string(plan.threshold) + " m=" +
                               (delay == 0 ? "unbnd" : std::to_string(delay));
-    report(label.c_str(), measure(manager.make_terminal_spec(plan)));
+    report_row(label.c_str(), measure(manager.make_terminal_spec(plan)),
+               bench);
   }
-  report("movement M=4 m=3",
-         measure(pcn::sim::make_movement_terminal(kDim, kProfile, 4,
-                                                  pcn::DelayBound(3))));
-  report("time T=50 (unbounded)",
-         measure(pcn::sim::make_time_terminal(kDim, kProfile, 50)));
-  report("location-area R=2",
-         measure(pcn::sim::make_la_terminal(kDim, kProfile, 2)));
+  report_row("movement M=4 m=3",
+             measure(pcn::sim::make_movement_terminal(kDim, kProfile, 4,
+                                                      pcn::DelayBound(3))),
+             bench);
+  report_row("time T=50 (unbounded)",
+             measure(pcn::sim::make_time_terminal(kDim, kProfile, 50)),
+             bench);
+  report_row("location-area R=2",
+             measure(pcn::sim::make_la_terminal(kDim, kProfile, 2)), bench);
 
   std::printf("\nReading: sequential paging shrinks page-request frames "
               "(fewer cells per call); delta encoding keeps the per-cell "
               "cost near 2 bytes, so byte overhead tracks the abstract "
               "poll counts the paper optimizes.\n");
+  bench.set("policies", 7)
+      .set("slots", kSlots)
+      .set("wall_seconds",
+           static_cast<double>(pcn::obs::monotonic_ns() - start_ns) * 1e-9);
+  bench.emit();
   return 0;
 }

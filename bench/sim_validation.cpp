@@ -12,8 +12,11 @@
 // semantics get the documented modeling-gap slacks on top (see
 // docs/testing.md).
 #include <cstdio>
+#include <string>
 
 #include "pcn/costs/cost_model.hpp"
+#include "pcn/obs/bench_report.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/sim/network.hpp"
 #include "support/oracles.hpp"
 
@@ -31,11 +34,18 @@ struct Scenario {
   int m;
 };
 
-const char* verdict(const pcn::proptest::Band& band, double measured) {
-  return band.contains(measured) ? "in " : "OUT";
-}
+struct Tally {
+  std::int64_t in_band = 0;
+  std::int64_t out_of_band = 0;
 
-void run(const Scenario& s) {
+  const char* verdict(const pcn::proptest::Band& band, double measured) {
+    const bool inside = band.contains(measured);
+    (inside ? in_band : out_of_band) += 1;
+    return inside ? "in " : "OUT";
+  }
+};
+
+void run(const Scenario& s, pcn::obs::BenchReport& report, Tally& tally) {
   const pcn::MobilityProfile profile{s.q, s.c};
   const pcn::DelayBound bound(s.m);
   const pcn::costs::CostModel model =
@@ -69,13 +79,28 @@ void run(const Scenario& s) {
         "    %-10s: C_u=%7.4f [%s] C_v=%7.4f [%s] C_T=%7.4f [%s] "
         "delay=%5.3f [%s]  (band C_T %s)\n",
         chain ? "chain" : "indep", metrics.update_cost_per_slot(),
-        verdict(bands.update.widened(slack), metrics.update_cost_per_slot()),
+        tally.verdict(bands.update.widened(slack),
+                      metrics.update_cost_per_slot()),
         metrics.paging_cost_per_slot(),
-        verdict(bands.paging.widened(slack), metrics.paging_cost_per_slot()),
-        metrics.cost_per_slot(), verdict(total, metrics.cost_per_slot()),
+        tally.verdict(bands.paging.widened(slack),
+                      metrics.paging_cost_per_slot()),
+        metrics.cost_per_slot(),
+        tally.verdict(total, metrics.cost_per_slot()),
         metrics.paging_cycles.mean(),
-        verdict(bands.delay.widened(slack), metrics.paging_cycles.mean()),
+        tally.verdict(bands.delay.widened(slack),
+                      metrics.paging_cycles.mean()),
         to_string(total).c_str());
+    report
+        .add_row(std::string(s.dim == pcn::Dimension::kOneD ? "1d" : "2d") +
+                 "/q=" + std::to_string(s.q) + "/c=" + std::to_string(s.c) +
+                 "/d=" + std::to_string(s.d) + "/m=" + std::to_string(s.m) +
+                 "/" + (chain ? "chain" : "indep"))
+        .set("predicted_total", bands.total.center)
+        .set("measured_total", metrics.cost_per_slot())
+        .set("predicted_delay", bands.delay.center)
+        .set("measured_delay", metrics.paging_cycles.mean())
+        .set("total_in_band",
+             std::int64_t{total.contains(metrics.cost_per_slot()) ? 1 : 0});
   }
   std::printf("\n");
 }
@@ -83,6 +108,9 @@ void run(const Scenario& s) {
 }  // namespace
 
 int main() {
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  pcn::obs::BenchReport report("sim_validation");
+  Tally tally;
   std::printf("Validation D: Markov-chain model vs discrete-event "
               "simulation (%lld slots per run, U = %.0f, V = %.0f, "
               "z = %.0f bands)\n\n",
@@ -97,11 +125,20 @@ int main() {
       {pcn::Dimension::kTwoD, 0.3, 0.02, 4, 2},
       {pcn::Dimension::kTwoD, 0.5, 0.005, 6, 3},
   };
-  for (const Scenario& s : scenarios) run(s);
+  for (const Scenario& s : scenarios) run(s, report, tally);
   std::printf("Reading: chain-faithful runs carry only Monte-Carlo noise "
               "(plus the iso-distance chain approximation in 2-D); "
               "independent semantics adds the O(q*c) modeling gap.  "
               "tests/integration/test_sim_validation.cpp asserts these "
               "verdicts.\n");
+  report
+      .set("scenarios",
+           static_cast<int>(sizeof(scenarios) / sizeof(scenarios[0])))
+      .set("slots_per_run", kSlots)
+      .set("in_band", tally.in_band)
+      .set("out_of_band", tally.out_of_band)
+      .set("wall_seconds",
+           static_cast<double>(pcn::obs::monotonic_ns() - start_ns) * 1e-9);
+  report.emit();
   return 0;
 }

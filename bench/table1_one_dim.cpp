@@ -9,9 +9,12 @@
 // although eq. (3) prints a_{0,1} = q; we print the published-faithful
 // numbers (legacy flag) followed by the equation-faithful numbers.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "pcn/costs/cost_model.hpp"
+#include "pcn/obs/bench_report.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/optimize/exhaustive.hpp"
 
 namespace {
@@ -27,9 +30,10 @@ const std::vector<double>& update_costs() {
   return costs;
 }
 
-void print_table(bool legacy) {
+std::int64_t print_table(bool legacy, pcn::obs::BenchReport& report) {
   pcn::costs::CostModelOptions options;
   options.legacy_d0_generic_update_rate = legacy;
+  std::int64_t evaluations = 0;
 
   std::printf("%s\n", legacy
                           ? "Table 1 (published-faithful: C_u(0) uses q/2 as "
@@ -49,23 +53,40 @@ void print_table(bool legacy) {
     const pcn::costs::CostModel model = pcn::costs::CostModel::exact(
         pcn::Dimension::kOneD, kProfile,
         pcn::CostWeights{update_cost, kPollCost}, options);
+    pcn::obs::BenchReport::Row& row = report.add_row(
+        std::string(legacy ? "published" : "equation") +
+        "/U=" + std::to_string(static_cast<int>(update_cost)));
     std::printf("  %5.0f |", update_cost);
     for (int m : {1, 2, 3, 0}) {
       const pcn::DelayBound bound =
           m == 0 ? pcn::DelayBound::unbounded() : pcn::DelayBound(m);
       const pcn::optimize::Optimum optimum =
           pcn::optimize::exhaustive_search(model, bound, kMaxThreshold);
+      evaluations += optimum.evaluations;
+      const std::string key = m == 0 ? "unbounded" : "m" + std::to_string(m);
+      row.set(key + "_d", optimum.threshold);
+      row.set(key + "_cost", optimum.total_cost);
       std::printf(" %2d  %6.3f |", optimum.threshold, optimum.total_cost);
     }
     std::printf("\n");
   }
   std::printf("\n");
+  return evaluations;
 }
 
 }  // namespace
 
 int main() {
-  print_table(/*legacy=*/true);
-  print_table(/*legacy=*/false);
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  pcn::obs::BenchReport report("table1_one_dim");
+  std::int64_t evaluations = 0;
+  evaluations += print_table(/*legacy=*/true, report);
+  evaluations += print_table(/*legacy=*/false, report);
+  report.set("update_costs", static_cast<int>(update_costs().size()))
+      .set("max_threshold", kMaxThreshold)
+      .set("evaluations", evaluations)
+      .set("wall_seconds",
+           static_cast<double>(pcn::obs::monotonic_ns() - start_ns) * 1e-9);
+  report.emit();
   return 0;
 }

@@ -11,9 +11,12 @@
 // the corrected near-optimal search (paper §7's d' = 0 fix, on the
 // equation-faithful approximation) for contrast.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "pcn/costs/cost_model.hpp"
+#include "pcn/obs/bench_report.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/optimize/exhaustive.hpp"
 #include "pcn/optimize/near_optimal.hpp"
 
@@ -33,6 +36,9 @@ const std::vector<double>& update_costs() {
 }  // namespace
 
 int main() {
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  pcn::obs::BenchReport report("table2_two_dim");
+  std::int64_t near_misses = 0;  // rows where d' (uncorrected) != d*
   std::printf("Table 2: 2-D model, c = %.3f, q = %.3f, V = %.0f\n",
               kProfile.call_prob, kProfile.move_prob, kPollCost);
   std::printf("  per delay: d* C_T (exact) | d' C'_T (approx, uncorrected) "
@@ -72,8 +78,25 @@ int main() {
                   update_cost, exact.threshold, exact.total_cost,
                   approx_raw.threshold, near_cost, corrected.threshold,
                   corrected.total_cost);
+      if (approx_raw.threshold != exact.threshold) ++near_misses;
+      report
+          .add_row((m == 0 ? std::string("unbounded")
+                           : "m" + std::to_string(m)) +
+                   "/U=" + std::to_string(static_cast<int>(update_cost)))
+          .set("exact_d", exact.threshold)
+          .set("exact_cost", exact.total_cost)
+          .set("near_d", approx_raw.threshold)
+          .set("near_cost", near_cost)
+          .set("corrected_d", corrected.threshold)
+          .set("corrected_cost", corrected.total_cost);
     }
     std::printf("\n");
   }
+  report.set("update_costs", static_cast<int>(update_costs().size()))
+      .set("max_threshold", kMaxThreshold)
+      .set("near_misses", near_misses)
+      .set("wall_seconds",
+           static_cast<double>(pcn::obs::monotonic_ns() - start_ns) * 1e-9);
+  report.emit();
   return 0;
 }

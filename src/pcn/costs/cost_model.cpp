@@ -6,6 +6,8 @@
 
 #include "pcn/common/error.hpp"
 #include "pcn/markov/steady_state.hpp"
+#include "pcn/obs/metrics.hpp"
+#include "pcn/obs/timer.hpp"
 
 namespace pcn::costs {
 namespace {
@@ -25,11 +27,17 @@ std::uint64_t partition_key(int threshold, DelayBound bound) {
 /// Memoized solver results.  Guarded by a mutex so a model shared across
 /// simulation shards or optimizer threads stays consistent; references into
 /// the maps remain valid because entries are node-stable and never erased.
+///
+/// The cache keeps its own lifetime telemetry (stats, under the mutex) and
+/// optionally mirrors it into a bound MetricsRegistry — null counter
+/// handles make the mirroring a no-op until bind_metrics is called.
 struct CostModel::SolveCache {
   std::mutex mutex;
   std::unordered_map<int, std::vector<double>> steady_states;
   std::unordered_map<std::uint64_t, Partition> partitions;
-  std::int64_t solves = 0;
+  SolveCacheStats stats;
+  obs::Counter hit_counter, miss_counter, evict_counter, ns_counter;
+  obs::Counter partition_hit_counter, partition_miss_counter;
 };
 
 CostModel::CostModel(markov::ChainSpec spec, CostWeights weights,
@@ -62,10 +70,18 @@ const std::vector<double>& CostModel::cached_steady_state(
   std::lock_guard<std::mutex> lock(cache_->mutex);
   auto it = cache_->steady_states.find(threshold);
   if (it == cache_->steady_states.end()) {
+    const std::int64_t start_ns = obs::monotonic_ns();
     it = cache_->steady_states
              .emplace(threshold, markov::solve_steady_state(spec_, threshold))
              .first;
-    ++cache_->solves;
+    const std::int64_t elapsed_ns = obs::monotonic_ns() - start_ns;
+    ++cache_->stats.misses;
+    cache_->stats.solve_ns += elapsed_ns;
+    cache_->miss_counter.increment();
+    cache_->ns_counter.add(elapsed_ns);
+  } else {
+    ++cache_->stats.hits;
+    cache_->hit_counter.increment();
   }
   return it->second;
 }
@@ -76,7 +92,11 @@ const Partition& CostModel::cached_partition(int threshold,
   {
     std::lock_guard<std::mutex> lock(cache_->mutex);
     auto it = cache_->partitions.find(key);
-    if (it != cache_->partitions.end()) return it->second;
+    if (it != cache_->partitions.end()) {
+      ++cache_->stats.partition_hits;
+      cache_->partition_hit_counter.increment();
+      return it->second;
+    }
   }
   // Build outside the lock (the DP schemes need the steady state, which
   // itself takes the lock); insertion is idempotent on a lost race.
@@ -95,12 +115,47 @@ const Partition& CostModel::cached_partition(int threshold,
     return Partition::blanket(threshold);
   }();
   std::lock_guard<std::mutex> lock(cache_->mutex);
-  return cache_->partitions.emplace(key, std::move(built)).first->second;
+  const auto [it, inserted] =
+      cache_->partitions.emplace(key, std::move(built));
+  if (inserted) {
+    ++cache_->stats.partition_misses;
+    cache_->partition_miss_counter.increment();
+  } else {
+    // Lost the build race: the insert was a no-op and this lookup was
+    // effectively served from the cache.
+    ++cache_->stats.partition_hits;
+    cache_->partition_hit_counter.increment();
+  }
+  return it->second;
+}
+
+SolveCacheStats CostModel::solve_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  return cache_->stats;
+}
+
+void CostModel::bind_metrics(obs::MetricsRegistry& registry) const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  cache_->hit_counter = registry.counter("costmodel.solve.hit");
+  cache_->miss_counter = registry.counter("costmodel.solve.miss");
+  cache_->evict_counter = registry.counter("costmodel.solve.evict");
+  cache_->ns_counter = registry.counter("costmodel.solve.ns");
+  cache_->partition_hit_counter =
+      registry.counter("costmodel.partition.hit");
+  cache_->partition_miss_counter =
+      registry.counter("costmodel.partition.miss");
+  // Back-fill activity that predates the binding so the registry shows
+  // lifetime totals.
+  cache_->hit_counter.add(cache_->stats.hits);
+  cache_->miss_counter.add(cache_->stats.misses);
+  cache_->evict_counter.add(cache_->stats.evictions);
+  cache_->ns_counter.add(cache_->stats.solve_ns);
+  cache_->partition_hit_counter.add(cache_->stats.partition_hits);
+  cache_->partition_miss_counter.add(cache_->stats.partition_misses);
 }
 
 std::int64_t CostModel::solves_performed() const {
-  std::lock_guard<std::mutex> lock(cache_->mutex);
-  return cache_->solves;
+  return solve_cache_stats().misses;
 }
 
 std::vector<double> CostModel::steady_state(int threshold) const {

@@ -25,6 +25,10 @@
 #include "pcn/costs/partition.hpp"
 #include "pcn/markov/chain_spec.hpp"
 
+namespace pcn::obs {
+class MetricsRegistry;
+}  // namespace pcn::obs
+
 namespace pcn::costs {
 
 /// How the residing area is split into paging subareas.
@@ -39,6 +43,19 @@ struct CostBreakdown {
   double paging = 0.0;  ///< C_v(d, m)
 
   double total() const { return update + paging; }
+};
+
+/// Lifetime telemetry of a model's memoized solver (shared by copies).
+/// `evictions` is always 0 today — entries are never evicted, the counter
+/// exists so the exported schema stays stable if an eviction policy ever
+/// lands — and `solve_ns` is wall time spent inside chain solves.
+struct SolveCacheStats {
+  std::int64_t hits = 0;        ///< steady-state lookups served from cache
+  std::int64_t misses = 0;      ///< steady-state solves performed
+  std::int64_t evictions = 0;
+  std::int64_t solve_ns = 0;
+  std::int64_t partition_hits = 0;    ///< (d, m) partitions reused
+  std::int64_t partition_misses = 0;  ///< partitions built
 };
 
 struct CostModelOptions {
@@ -93,10 +110,20 @@ class CostModel {
   /// The partition the configured scheme produces for (d, m).
   Partition partition(int threshold, DelayBound bound) const;
 
-  /// Number of steady-state solves actually performed (cache misses) over
-  /// the model's lifetime — the hook tests and benchmarks use to assert the
-  /// hot path solves each chain exactly once.  Copies of a model share one
-  /// cache and therefore one counter.
+  /// Cache hit/miss/evict telemetry for the memoized solver.  Copies of a
+  /// model share one cache and therefore one set of counters.
+  SolveCacheStats solve_cache_stats() const;
+
+  /// Streams the cache counters into `registry` as
+  /// `costmodel.solve.hit` / `.miss` / `.evict` / `.ns` and
+  /// `costmodel.partition.hit` / `.miss`.  The current lifetime totals are
+  /// back-filled at bind time, so late binding loses nothing; rebinding
+  /// redirects future activity to the new registry.  Copies of the model
+  /// share the binding.
+  void bind_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Deprecated: use solve_cache_stats().misses (this thin shim is kept so
+  /// pre-telemetry callers and tests keep working unchanged).
   std::int64_t solves_performed() const;
 
  private:

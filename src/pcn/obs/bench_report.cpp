@@ -1,0 +1,141 @@
+#include "pcn/obs/bench_report.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pcn/common/error.hpp"
+#include "pcn/obs/json.hpp"
+#include "pcn/obs/report.hpp"
+
+namespace pcn::obs {
+namespace {
+
+bool valid_bench_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+                    ch == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string value_text(const BenchReport::Value& value) {
+  if (const auto* integer = std::get_if<std::int64_t>(&value)) {
+    return std::to_string(*integer);
+  }
+  if (const auto* number = std::get_if<double>(&value)) {
+    char buf[32];
+    const auto result = std::to_chars(buf, buf + sizeof(buf), *number);
+    PCN_ASSERT(result.ec == std::errc());
+    return std::string(buf, result.ptr);
+  }
+  return std::get<std::string>(value);
+}
+
+void values_to_json(JsonWriter& json,
+                    const std::vector<std::pair<std::string,
+                                                BenchReport::Value>>& values) {
+  json.begin_object();
+  for (const auto& [key, value] : values) {
+    if (const auto* integer = std::get_if<std::int64_t>(&value)) {
+      json.member(key, *integer);
+    } else if (const auto* number = std::get_if<double>(&value)) {
+      json.member(key, *number);
+    } else {
+      json.member(key, std::get<std::string>(value));
+    }
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+BenchReport::Row& BenchReport::Row::set(std::string key, double value) {
+  values.emplace_back(std::move(key), value);
+  return *this;
+}
+BenchReport::Row& BenchReport::Row::set(std::string key,
+                                        std::int64_t value) {
+  values.emplace_back(std::move(key), value);
+  return *this;
+}
+BenchReport::Row& BenchReport::Row::set(std::string key, std::string value) {
+  values.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  PCN_EXPECT(valid_bench_name(name_),
+             "BenchReport: name must be non-empty over [a-z0-9_]");
+}
+
+BenchReport& BenchReport::set(std::string key, double value) {
+  summary_.emplace_back(std::move(key), value);
+  return *this;
+}
+BenchReport& BenchReport::set(std::string key, std::int64_t value) {
+  summary_.emplace_back(std::move(key), value);
+  return *this;
+}
+BenchReport& BenchReport::set(std::string key, std::string value) {
+  summary_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::add_row(std::string label) {
+  rows_.emplace_back();
+  rows_.back().label = std::move(label);
+  return rows_.back();
+}
+
+std::string BenchReport::parse_line() const {
+  std::string line = "PCN_BENCH " + name_;
+  for (const auto& [key, value] : summary_) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += value_text(value);
+  }
+  return line;
+}
+
+std::string BenchReport::json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.member("schema", "pcn.bench_report.v1");
+  json.member("name", name_);
+  json.key("summary");
+  values_to_json(json, summary_);
+  json.key("rows").begin_array();
+  for (const Row& row : rows_) {
+    json.begin_object();
+    json.member("label", row.label);
+    json.key("values");
+    values_to_json(json, row.values);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+std::string BenchReport::output_path() const {
+  const char* dir = std::getenv("PCN_BENCH_DIR");
+  const std::string prefix =
+      (dir == nullptr || *dir == '\0') ? std::string() : std::string(dir) + '/';
+  return prefix + "BENCH_" + name_ + ".json";
+}
+
+bool BenchReport::emit() const {
+  std::printf("%s\n", parse_line().c_str());
+  std::string error;
+  if (!write_file(output_path(), json() + "\n", &error)) {
+    std::fprintf(stderr, "BenchReport: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pcn::obs

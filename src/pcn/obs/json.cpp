@@ -1,0 +1,140 @@
+#include "pcn/obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::obs {
+
+void JsonWriter::append_escaped(std::string_view text) {
+  out_ += '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out_ += buf;
+        } else {
+          out_ += ch;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::before_value() {
+  if (scopes_.empty()) {
+    PCN_ASSERT(out_.empty());  // a document holds exactly one root value
+    return;
+  }
+  if (scopes_.back() == Scope::kObject) {
+    PCN_ASSERT(key_pending_);  // object members need key() first
+    key_pending_ = false;
+    return;
+  }
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PCN_ASSERT(!scopes_.empty() && scopes_.back() == Scope::kObject &&
+             !key_pending_);
+  out_ += '}';
+  scopes_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PCN_ASSERT(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  out_ += ']';
+  scopes_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  PCN_ASSERT(!scopes_.empty() && scopes_.back() == Scope::kObject &&
+             !key_pending_);
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+  append_escaped(name);
+  out_ += ':';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  append_escaped(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), number);
+  PCN_ASSERT(result.ec == std::errc());
+  out_.append(buf, result.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), number);
+  PCN_ASSERT(result.ec == std::errc());
+  out_.append(buf, result.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), number);
+  PCN_ASSERT(result.ec == std::errc());
+  out_.append(buf, result.ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  PCN_ASSERT(scopes_.empty() && !key_pending_ && !out_.empty());
+  return std::move(out_);
+}
+
+}  // namespace pcn::obs

@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer — just enough for the telemetry exporters
+// (RunReport, bench reports, metrics snapshots) without a third-party
+// dependency.  Produces compact, valid JSON: strings are escaped, doubles
+// are emitted with shortest round-trip formatting (std::to_chars), and
+// non-finite doubles become null.
+//
+// The writer is append-only and stack-checked: begin/end calls must nest
+// correctly and every object member needs a key first (PCN_ASSERT guards
+// misuse, since any violation is a programming error in an exporter).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcn::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key inside an object; must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number) { return value(std::int64_t{number}); }
+  JsonWriter& value(bool flag);
+
+  /// key(name) + value(v) in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document; all scopes must be closed.
+  std::string take();
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void append_escaped(std::string_view text);
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_;  ///< parallel to scopes_: no comma needed yet
+  bool key_pending_ = false;
+};
+
+}  // namespace pcn::obs

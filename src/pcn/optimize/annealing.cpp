@@ -6,11 +6,14 @@
 #include <unordered_map>
 
 #include "pcn/common/error.hpp"
+#include "pcn/obs/metrics.hpp"
+#include "pcn/obs/timer.hpp"
 
 namespace pcn::optimize {
 
 Optimum simulated_annealing(const costs::CostModel& model, DelayBound bound,
-                            const AnnealingConfig& config) {
+                            const AnnealingConfig& config,
+                            obs::MetricsRegistry* registry) {
   PCN_EXPECT(config.max_threshold >= 0,
              "simulated_annealing: max_threshold must be >= 0");
   PCN_EXPECT(config.y > 0.0, "simulated_annealing: y must be > 0");
@@ -19,6 +22,8 @@ Optimum simulated_annealing(const costs::CostModel& model, DelayBound bound,
   PCN_EXPECT(config.neighborhood >= 1,
              "simulated_annealing: neighborhood must be >= 1");
 
+  const std::int64_t start_ns =
+      registry != nullptr ? obs::monotonic_ns() : 0;
   std::mt19937_64 rng(config.seed);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   std::uniform_int_distribution<int> init(0, config.max_threshold);
@@ -51,7 +56,10 @@ Optimum simulated_annealing(const costs::CostModel& model, DelayBound bound,
   Optimum best{current, current_cost, 0};
 
   double temperature = 1.0;
+  std::int64_t iterations = 0;
+  std::int64_t accepted = 0;
   for (int k = 1; temperature > config.exit_temperature; ++k) {
+    ++iterations;
     const int candidate = neighbor_of(current);
     const double candidate_cost = cost_of(candidate);
     const double delta = current_cost - candidate_cost;  // paper's Δd
@@ -60,6 +68,7 @@ Optimum simulated_annealing(const costs::CostModel& model, DelayBound bound,
     if (delta >= 0.0 || unit(rng) < std::exp(delta / temperature)) {
       current = candidate;
       current_cost = candidate_cost;
+      ++accepted;
     }
     if (current_cost < best.total_cost) {
       best.threshold = current;
@@ -68,6 +77,14 @@ Optimum simulated_annealing(const costs::CostModel& model, DelayBound bound,
     temperature = config.y / (config.y + k);
   }
   best.evaluations = evaluations;
+  if (registry != nullptr) {
+    registry->counter("optimizer.anneal.searches").increment();
+    registry->counter("optimizer.anneal.iterations").add(iterations);
+    registry->counter("optimizer.anneal.accepted").add(accepted);
+    registry->counter("optimizer.anneal.evaluations").add(evaluations);
+    registry->counter("optimizer.anneal.wall_ns")
+        .add(obs::monotonic_ns() - start_ns);
+  }
   return best;
 }
 

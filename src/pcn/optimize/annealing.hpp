@@ -13,6 +13,10 @@
 #include "pcn/costs/cost_model.hpp"
 #include "pcn/optimize/result.hpp"
 
+namespace pcn::obs {
+class MetricsRegistry;
+}  // namespace pcn::obs
+
 namespace pcn::optimize {
 
 struct AnnealingConfig {
@@ -31,8 +35,11 @@ struct AnnealingConfig {
 
 /// Runs the paper's annealing loop and returns the best threshold visited
 /// (the paper returns the final d; tracking the incumbent is strictly
-/// better and costs nothing).
+/// better and costs nothing).  With a registry attached the run reports
+/// optimizer.anneal.searches / .iterations / .accepted / .evaluations /
+/// .wall_ns.
 Optimum simulated_annealing(const costs::CostModel& model, DelayBound bound,
-                            const AnnealingConfig& config = {});
+                            const AnnealingConfig& config = {},
+                            obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace pcn::optimize

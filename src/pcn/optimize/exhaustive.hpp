@@ -10,11 +10,17 @@
 #include "pcn/costs/cost_model.hpp"
 #include "pcn/optimize/result.hpp"
 
+namespace pcn::obs {
+class MetricsRegistry;
+}  // namespace pcn::obs
+
 namespace pcn::optimize {
 
 /// Evaluates C_T(d, m) for every d in [0, max_threshold] and returns the
-/// minimizer (ties broken toward the smaller d).
+/// minimizer (ties broken toward the smaller d).  With a registry attached
+/// the search reports optimizer.scan.searches / .evaluations / .wall_ns.
 Optimum exhaustive_search(const costs::CostModel& model, DelayBound bound,
-                          int max_threshold);
+                          int max_threshold,
+                          obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace pcn::optimize

@@ -15,6 +15,10 @@
 #include "pcn/costs/cost_model.hpp"
 #include "pcn/optimize/result.hpp"
 
+namespace pcn::obs {
+class MetricsRegistry;
+}  // namespace pcn::obs
+
 namespace pcn::optimize {
 
 /// Scans d ∈ [0, max_threshold] under the approximate chain, applies the
@@ -28,8 +32,13 @@ namespace pcn::optimize {
 /// variant whose spurious d' = 0 results motivated the correction.  The
 /// default scan uses eq. (43) as printed, which already avoids most of
 /// those cases.
+///
+/// With a registry attached the search reports optimizer.near.searches /
+/// .evaluations / .corrections / .wall_ns (the inner approximate scan also
+/// feeds the optimizer.scan.* counters).
 Optimum near_optimal_search(const costs::CostModel& exact_model,
                             DelayBound bound, int max_threshold,
-                            bool use_published_approximation = false);
+                            bool use_published_approximation = false,
+                            obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace pcn::optimize

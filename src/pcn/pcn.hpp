@@ -36,6 +36,12 @@
 #include "pcn/stats/rng.hpp"
 #include "pcn/stats/summary.hpp"
 
+#include "pcn/obs/bench_report.hpp"
+#include "pcn/obs/json.hpp"
+#include "pcn/obs/metrics.hpp"
+#include "pcn/obs/report.hpp"
+#include "pcn/obs/timer.hpp"
+
 #include "pcn/proto/messages.hpp"
 #include "pcn/proto/wire.hpp"
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <thread>
 
 #include "pcn/common/error.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/proto/messages.hpp"
 
 namespace {
@@ -13,9 +15,74 @@ namespace {
 /// workers pays for itself; smaller ranges run inline.
 constexpr std::int64_t kParallelWorkFloor = 1 << 14;
 
+/// 1-in-N sampling of the per-page detail (span + per-page histograms).
+/// Counts stay exact via the batched EventTally; only the expensive clock
+/// reads and histogram observes are sampled, which is what keeps the
+/// telemetry overhead inside the 3% gate (tools/run_checks.sh).
+constexpr std::uint64_t kPageSampleEvery = 32;
+
 }  // namespace
 
 namespace pcn::sim {
+
+namespace obs_detail {
+
+/// Pre-resolved telemetry handles for the simulation hot paths, plus the
+/// span trace ring.  Resolved once at Network construction so the slot
+/// loop never touches the registry's name index; every increment is one
+/// relaxed atomic add on a per-shard cell (see docs/observability.md for
+/// the metric catalogue).
+struct RuntimeStats {
+  explicit RuntimeStats(obs::MetricsRegistry& registry)
+      : run_count(registry.counter("sim.run.count")),
+        run_slots(registry.counter("sim.run.slots")),
+        run_wall_ns(registry.counter("sim.run.wall_ns")),
+        segment_count(registry.counter("sim.segment.count")),
+        segment_parallel(registry.counter("sim.segment.parallel")),
+        segment_wall_ns(registry.counter("sim.segment.wall_ns")),
+        shard_wall_ns(registry.counter("sim.shard.wall_ns")),
+        page_wall_ns(registry.counter("sim.page.wall_ns")),
+        terminal_slots(registry.counter("sim.terminal.slots")),
+        moves(registry.counter("sim.terminal.moves")),
+        updates(registry.counter("sim.update.count")),
+        updates_lost(registry.counter("sim.update.lost")),
+        pages(registry.counter("sim.page.count")),
+        page_fallbacks(registry.counter("sim.page.fallbacks")),
+        page_sampled(registry.counter("sim.page.sampled")),
+        polled_cells(registry.counter("sim.page.polled_cells")),
+        page_cycles(registry.histogram("sim.page.cycles",
+                                       obs::linear_buckets(1.0, 1.0, 8))),
+        page_polled(registry.histogram("sim.page.polled_per_call",
+                                       obs::exponential_buckets(1.0, 2.0,
+                                                                10))) {}
+
+  /// Drains a worker's plain tally into the registry (a handful of relaxed
+  /// atomic adds, once per shard segment).  The sampling tick survives.
+  void flush(EventTally& tally, std::size_t shard) {
+    terminal_slots.add(tally.terminal_slots, shard);
+    moves.add(tally.moves, shard);
+    updates.add(tally.updates, shard);
+    updates_lost.add(tally.updates_lost, shard);
+    pages.add(tally.pages, shard);
+    page_fallbacks.add(tally.page_fallbacks, shard);
+    page_sampled.add(tally.page_sampled, shard);
+    polled_cells.add(tally.polled_cells, shard);
+    const std::uint64_t tick = tally.page_tick;
+    tally = EventTally{};
+    tally.page_tick = tick;
+  }
+
+  obs::TraceRing trace{256};
+  obs::Counter run_count, run_slots, run_wall_ns;
+  obs::Counter segment_count, segment_parallel, segment_wall_ns;
+  obs::Counter shard_wall_ns, page_wall_ns;
+  obs::Counter terminal_slots, moves;
+  obs::Counter updates, updates_lost;
+  obs::Counter pages, page_fallbacks, page_sampled, polled_cells;
+  obs::Histogram page_cycles, page_polled;
+};
+
+}  // namespace obs_detail
 
 TerminalSpec make_distance_terminal(Dimension dim, MobilityProfile profile,
                                     int threshold, DelayBound bound) {
@@ -77,11 +144,21 @@ Network::Network(NetworkConfig config, CostWeights weights)
     : config_(config),
       weights_(weights),
       server_(config.dimension),
-      root_rng_(config.seed) {
+      root_rng_(config.seed),
+      registry_(std::make_unique<obs::MetricsRegistry>()) {
   weights_.validate();
   PCN_EXPECT(config.update_loss_prob >= 0.0 && config.update_loss_prob < 1.0,
              "Network: update_loss_prob must lie in [0, 1)");
   PCN_EXPECT(config.threads >= 0, "Network: threads must be >= 0");
+  if (config_.collect_runtime_stats) {
+    stats_ = std::make_unique<obs_detail::RuntimeStats>(*registry_);
+  }
+}
+
+Network::~Network() = default;
+
+const obs::TraceRing* Network::trace() const {
+  return stats_ == nullptr ? nullptr : &stats_->trace;
 }
 
 TerminalId Network::add_terminal(TerminalSpec spec) {
@@ -109,6 +186,12 @@ TerminalId Network::add_terminal(TerminalSpec spec) {
 
 void Network::run(std::int64_t slots) {
   PCN_EXPECT(slots >= 0, "Network::run: slot count must be >= 0");
+  std::optional<obs::ScopedTimer> run_timer;
+  if (stats_ != nullptr) {
+    stats_->run_count.increment();
+    stats_->run_slots.add(slots);
+    run_timer.emplace(stats_->run_wall_ns, &stats_->trace, "net.run");
+  }
   const SimTime end = events_.now() + slots;
   Scratch scratch;
   // Direct slot loop (no per-slot kernel event): user-scheduled events due
@@ -132,6 +215,7 @@ void Network::run(std::int64_t slots) {
     }
   }
   events_.run_until(end);  // drains nothing; syncs the kernel clock
+  if (stats_ != nullptr) stats_->flush(scratch.tally, scratch.shard);
 }
 
 int Network::resolved_threads() const {
@@ -146,8 +230,17 @@ void Network::run_segment(SimTime first, SimTime last, Scratch& scratch) {
       (last - first + 1) * static_cast<std::int64_t>(attachments_.size());
   // An attached observer forces the slot-major order so callbacks arrive in
   // the documented (slot, terminal) sequence.
-  if (threads <= 1 || observer_ != nullptr || attachments_.size() < 2 ||
-      work < kParallelWorkFloor) {
+  const bool inline_run = threads <= 1 || observer_ != nullptr ||
+                          attachments_.size() < 2 ||
+                          work < kParallelWorkFloor;
+  std::optional<obs::ScopedTimer> segment_timer;
+  if (stats_ != nullptr) {
+    stats_->segment_count.increment();
+    if (!inline_run) stats_->segment_parallel.increment();
+    segment_timer.emplace(stats_->segment_wall_ns, &stats_->trace,
+                          "net.segment");
+  }
+  if (inline_run) {
     for (SimTime t = first; t <= last; ++t) process_slot(t, scratch);
   } else {
     const std::size_t shards = std::min<std::size_t>(
@@ -161,6 +254,7 @@ void Network::run_segment(SimTime first, SimTime last, Scratch& scratch) {
     for (std::size_t s = 1; s < shards; ++s) {
       workers.emplace_back([this, s, first, last, &shard_begin, &errors] {
         Scratch local;
+        local.shard = s;
         try {
           run_shard(shard_begin(s), shard_begin(s + 1), first, last, local);
         } catch (...) {
@@ -183,6 +277,11 @@ void Network::run_segment(SimTime first, SimTime last, Scratch& scratch) {
 
 void Network::run_shard(std::size_t begin, std::size_t end, SimTime first,
                         SimTime last, Scratch& scratch) {
+  std::optional<obs::ScopedTimer> shard_timer;
+  if (stats_ != nullptr) {
+    shard_timer.emplace(stats_->shard_wall_ns, &stats_->trace, "net.shard",
+                        scratch.shard);
+  }
   // Terminal-major: each terminal's whole slot range in one pass.  Because
   // terminals share no mutable state, this produces exactly the metrics of
   // the slot-major order, with better locality and no synchronization.
@@ -192,11 +291,22 @@ void Network::run_shard(std::size_t begin, std::size_t end, SimTime first,
       process_terminal(attachment, t, scratch);
     }
   }
+  if (stats_ != nullptr) {
+    scratch.tally.terminal_slots +=
+        (last - first + 1) * static_cast<std::int64_t>(end - begin);
+    // Flush here, not just at run() end: worker-local scratches die with
+    // the segment.
+    stats_->flush(scratch.tally, scratch.shard);
+  }
 }
 
 void Network::process_slot(SimTime now, Scratch& scratch) {
   for (Attachment& attachment : attachments_) {
     process_terminal(attachment, now, scratch);
+  }
+  if (stats_ != nullptr) {
+    scratch.tally.terminal_slots +=
+        static_cast<std::int64_t>(attachments_.size());
   }
 }
 
@@ -228,13 +338,14 @@ void Network::process_terminal(Attachment& attachment, SimTime now,
     terminal.move_to(
         terminal.mobility().move_target(from, now, terminal.walk_rng()));
     ++metrics.moves;
+    if (stats_ != nullptr) ++scratch.tally.moves;
     if (observer_ != nullptr) {
       observer_->on_move(terminal.id(), now, from, terminal.position());
     }
   }
   terminal.update_policy().on_slot(terminal.position(), moved, now);
   if (terminal.update_policy().update_due(terminal.position(), now)) {
-    send_update(attachment, now);
+    send_update(attachment, now, scratch);
   }
   if (called) deliver_call(attachment, now, scratch);
 
@@ -247,10 +358,12 @@ void Network::process_terminal(Attachment& attachment, SimTime now,
   }
 }
 
-void Network::send_update(Attachment& attachment, SimTime now) {
+void Network::send_update(Attachment& attachment, SimTime now,
+                          Scratch& scratch) {
   Terminal& terminal = *attachment.terminal;
   ++attachment.metrics.updates;
   attachment.metrics.update_cost += weights_.update_cost;
+  if (stats_ != nullptr) ++scratch.tally.updates;
   const bool lost =
       config_.update_loss_prob > 0.0 &&
       terminal.event_rng().next_bernoulli(config_.update_loss_prob);
@@ -259,6 +372,7 @@ void Network::send_update(Attachment& attachment, SimTime now) {
     // trigger condition stays unsatisfied, so the terminal retries on the
     // next slot.  The transmission cost is already paid.
     ++attachment.metrics.lost_updates;
+    if (stats_ != nullptr) ++scratch.tally.updates_lost;
     return;
   }
   server_.on_update(terminal.id(), terminal.position(), now);
@@ -290,6 +404,19 @@ void Network::deliver_call(Attachment& attachment, SimTime now,
 
   const std::uint64_t page_id = attachment.next_page_id++;
   const std::int64_t polled_before = metrics.polled_cells;
+  // The paging fan-out is the expensive rare path: span every Nth page so
+  // the trace ring shows where a slow run spent its cycles while the clock
+  // reads stay off the common path (counts stay exact via the tally;
+  // sim.page.sampled records the sampling denominator).
+  const bool sampled =
+      stats_ != nullptr &&
+      scratch.tally.page_tick++ % kPageSampleEvery == 0;
+  std::optional<obs::ScopedTimer> page_timer;
+  if (sampled) {
+    ++scratch.tally.page_sampled;
+    page_timer.emplace(stats_->page_wall_ns, &stats_->trace, "net.page",
+                       scratch.shard);
+  }
   // One scratch buffer holds every polling group of the page; clear+refill
   // reuses its capacity, so steady-state paging performs no allocations.
   std::vector<geometry::Cell>& group = scratch.poll_group;
@@ -297,6 +424,9 @@ void Network::deliver_call(Attachment& attachment, SimTime now,
     metrics.polled_cells += static_cast<std::int64_t>(group.size());
     metrics.paging_cost +=
         weights_.poll_cost * static_cast<double>(group.size());
+    if (stats_ != nullptr) {
+      scratch.tally.polled_cells += static_cast<std::int64_t>(group.size());
+    }
     if (config_.count_signalling_bytes) {
       proto::PageRequest request;
       request.page_id = page_id;
@@ -330,6 +460,7 @@ void Network::deliver_call(Attachment& attachment, SimTime now,
     // center until the terminal answers.
     PCN_ASSERT(config_.update_loss_prob > 0.0);
     ++metrics.paging_failures;
+    if (stats_ != nullptr) ++scratch.tally.page_fallbacks;
     int cycle = attachment.paging->delay_bound().is_unbounded()
                     ? 0
                     : attachment.paging->delay_bound().cycles();
@@ -359,6 +490,16 @@ void Network::deliver_call(Attachment& attachment, SimTime now,
              cycles_used <= bound.cycles());
   metrics.paging_cycles.add(cycles_used);
   ++metrics.calls;
+  if (stats_ != nullptr) {
+    ++scratch.tally.pages;
+    if (sampled) {
+      stats_->page_cycles.observe(static_cast<double>(cycles_used),
+                                  scratch.shard);
+      stats_->page_polled.observe(
+          static_cast<double>(metrics.polled_cells - polled_before),
+          scratch.shard);
+    }
+  }
 
   server_.on_located(terminal.id(), terminal.position(), now);
   terminal.update_policy().on_call(now);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "pcn/common/params.hpp"
+#include "pcn/obs/metrics.hpp"
 #include "pcn/sim/event_queue.hpp"
 #include "pcn/sim/location_server.hpp"
 #include "pcn/sim/metrics.hpp"
@@ -27,9 +28,35 @@
 #include "pcn/sim/paging_policy.hpp"
 #include "pcn/sim/terminal.hpp"
 
+namespace pcn::obs {
+class TraceRing;
+}  // namespace pcn::obs
+
 namespace pcn::sim {
 
 enum class SlotSemantics { kChainFaithful, kIndependent };
+
+namespace obs_detail {
+struct RuntimeStats;
+
+/// Plain per-worker event tally, flushed into the metrics registry once per
+/// shard segment (and at the end of Network::run).  Batching this way keeps
+/// per-event telemetry at a plain increment on the hot path; only the flush
+/// pays atomic adds.
+struct EventTally {
+  std::int64_t terminal_slots = 0;
+  std::int64_t moves = 0;
+  std::int64_t updates = 0;
+  std::int64_t updates_lost = 0;
+  std::int64_t pages = 0;
+  std::int64_t page_fallbacks = 0;
+  std::int64_t polled_cells = 0;
+  std::int64_t page_sampled = 0;
+  /// Monotone page counter driving the 1-in-N page-detail sampling (spans
+  /// and per-page histograms); never reset, so the cadence spans segments.
+  std::uint64_t page_tick = 0;
+};
+}  // namespace obs_detail
 
 struct NetworkConfig {
   Dimension dimension = Dimension::kTwoD;
@@ -52,6 +79,14 @@ struct NetworkConfig {
   /// every thread count.  Runs with an observer attached always execute
   /// single-threaded to keep the callback order stable.
   int threads = 1;
+  /// Collect runtime telemetry (counters, timers, trace spans) into
+  /// metrics_registry() while the simulation runs.  Purely observational:
+  /// the instrumentation never touches the RNG streams or the event order,
+  /// so every TerminalMetrics value is bit-identical with the flag on or
+  /// off, at any thread count (tests/sim/test_telemetry_identity.cpp).
+  /// Off by default; the slot-loop overhead when enabled is bounded by the
+  /// 3% gate in tools/run_checks.sh.
+  bool collect_runtime_stats = false;
 };
 
 /// Everything needed to attach one terminal to the network.
@@ -78,6 +113,7 @@ TerminalSpec make_la_terminal(Dimension dim, MobilityProfile profile,
 class Network {
  public:
   Network(NetworkConfig config, CostWeights weights);
+  ~Network();
 
   /// Attaches a terminal; returns its id.
   TerminalId add_terminal(TerminalSpec spec);
@@ -95,6 +131,20 @@ class Network {
   const LocationServer& server() const { return server_; }
   EventQueue& events() { return events_; }
   const NetworkConfig& config() const { return config_; }
+  std::size_t terminal_count() const { return attachments_.size(); }
+  /// Current simulation time (= slots simulated so far).
+  SimTime now() const { return events_.now(); }
+
+  /// The runtime-telemetry registry (always present; populated by the
+  /// simulator only when NetworkConfig::collect_runtime_stats is set —
+  /// callers may register their own metrics regardless).  See
+  /// docs/observability.md for the metric name scheme, and
+  /// obs::make_run_report for the exported JSON view.
+  obs::MetricsRegistry& metrics_registry() const { return *registry_; }
+
+  /// The span trace ring, or nullptr unless collect_runtime_stats is set.
+  /// Dump format() on error paths to see the last hot-path spans.
+  const obs::TraceRing* trace() const;
 
  private:
   struct Attachment {
@@ -110,6 +160,11 @@ class Network {
   /// path free of per-cycle allocations without cross-thread sharing.
   struct Scratch {
     std::vector<geometry::Cell> poll_group;
+    /// Telemetry shard: workers accumulate into distinct registry cells so
+    /// hot-path increments never contend (obs::kShards folds the index).
+    std::size_t shard = 0;
+    /// Per-worker event counts, flushed to the registry per segment.
+    obs_detail::EventTally tally;
   };
 
   /// Simulates slots `first`..`last` (inclusive), a range guaranteed free
@@ -123,7 +178,7 @@ class Network {
   void process_terminal(Attachment& attachment, SimTime now,
                         Scratch& scratch);
   void deliver_call(Attachment& attachment, SimTime now, Scratch& scratch);
-  void send_update(Attachment& attachment, SimTime now);
+  void send_update(Attachment& attachment, SimTime now, Scratch& scratch);
   /// config().threads with 0 resolved to the hardware thread count.
   int resolved_threads() const;
 
@@ -134,6 +189,13 @@ class Network {
   stats::Rng root_rng_;
   std::vector<Attachment> attachments_;
   NetworkObserver* observer_ = nullptr;
+  /// Always constructed (cheap, and callers may want their own metrics);
+  /// heap-held so handles into it survive moves of the Network.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  /// Pre-resolved metric handles + trace ring; null unless
+  /// config_.collect_runtime_stats (the hot path then skips telemetry with
+  /// one predicted branch).
+  std::unique_ptr<obs_detail::RuntimeStats> stats_;
 };
 
 }  // namespace pcn::sim

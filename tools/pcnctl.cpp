@@ -20,9 +20,14 @@
 //   --seed N           RNG seed (default 1)
 //   --policy {distance|movement|time|la}  update policy (default distance)
 //   --param N          policy parameter (M, T or R; distance uses the plan)
+//   --threads N        worker threads (0 = hardware concurrency, default 1)
+//   --metrics-out F    write a pcn.run_report.v1 JSON RunReport to F
+//                      ("-" = stdout); enables runtime telemetry
+//   --progress         stream chunked progress + slots/sec to stderr
 // sweep extras:
 //   --variable {q|c}   which rate to sweep
 //   --from F --to F --points N
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <exception>
@@ -31,6 +36,8 @@
 #include "pcn/baselines/baseline_models.hpp"
 #include "pcn/cli/args.hpp"
 #include "pcn/core/location_manager.hpp"
+#include "pcn/obs/report.hpp"
+#include "pcn/obs/timer.hpp"
 #include "pcn/sim/network.hpp"
 
 namespace {
@@ -50,6 +57,7 @@ commands:
 common flags: --dim {1|2} --q F --c F --U F --V F --delay N --max-d N
               --scheme {sdf|optimal|hpf} --optimizer {scan|anneal|near}
 simulate:     --slots N --seed N --policy {distance|movement|time|la} --param N
+              --threads N --metrics-out FILE --progress
 sweep:        --variable {q|c} --from F --to F --points N
 )";
 
@@ -167,6 +175,9 @@ int cmd_simulate(const Args& args) {
   const std::int64_t slots = args.get_int_or("slots", 200000);
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const std::string policy = args.get_string_or("policy", "distance");
+  const int threads = static_cast<int>(args.get_int_or("threads", 1));
+  const std::string metrics_out = args.get_string_or("metrics-out", "");
+  const bool progress = args.get_switch("progress");
   const pcn::core::LocationManager manager(dim, profile, weights,
                                            parse_planner(args));
 
@@ -193,12 +204,38 @@ int cmd_simulate(const Args& args) {
   }
   args.reject_unconsumed();
 
-  pcn::sim::Network network(
-      pcn::sim::NetworkConfig{dim, pcn::sim::SlotSemantics::kChainFaithful,
-                              seed},
-      weights);
+  pcn::sim::NetworkConfig net_config{
+      dim, pcn::sim::SlotSemantics::kChainFaithful, seed};
+  net_config.threads = threads;
+  net_config.collect_runtime_stats = !metrics_out.empty() || progress;
+  pcn::sim::Network network(net_config, weights);
   const pcn::sim::TerminalId id = network.add_terminal(std::move(spec));
-  network.run(slots);
+  if (progress) {
+    // Chunked run: Network::run resumes exactly where the last call left
+    // off, so slicing the slot budget leaves every metric bit-identical.
+    const std::int64_t chunk = std::max<std::int64_t>(slots / 50, 1);
+    const std::int64_t start_ns = pcn::obs::monotonic_ns();
+    std::int64_t done = 0;
+    while (done < slots) {
+      const std::int64_t step = std::min(chunk, slots - done);
+      network.run(step);
+      done += step;
+      const double elapsed =
+          static_cast<double>(pcn::obs::monotonic_ns() - start_ns) * 1e-9;
+      std::fprintf(stderr,
+                   "\rprogress: %lld/%lld slots (%3.0f%%), %.2fM slots/s",
+                   static_cast<long long>(done),
+                   static_cast<long long>(slots),
+                   100.0 * static_cast<double>(done) /
+                       static_cast<double>(slots),
+                   elapsed > 0.0
+                       ? static_cast<double>(done) / elapsed * 1e-6
+                       : 0.0);
+    }
+    std::fputc('\n', stderr);
+  } else {
+    network.run(slots);
+  }
   const pcn::sim::TerminalMetrics& m = network.metrics(id);
 
   std::printf("policy        : %s over %lld slots (seed %llu)\n",
@@ -223,6 +260,15 @@ int cmd_simulate(const Args& args) {
               static_cast<long long>(m.paging_bytes),
               static_cast<double>(m.total_bytes()) /
                   static_cast<double>(m.slots));
+  if (!metrics_out.empty()) {
+    const pcn::obs::RunReport report = pcn::obs::make_run_report(network);
+    std::string error;
+    if (!pcn::obs::write_file(metrics_out, pcn::obs::to_json(report),
+                              &error)) {
+      std::fprintf(stderr, "pcnctl: --metrics-out: %s\n", error.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 

@@ -2,9 +2,13 @@
 # One-command verification gate (see docs/testing.md):
 #   1. default build  — tier-1 (deterministic) then tier-2 (randomized
 #      property + statistical suites),
-#   2. TSan build     — the sharded-simulator determinism suite,
+#   2. TSan build     — the sharded-simulator determinism suite and the
+#      lock-free metrics-registry concurrency suite,
 #   3. ASan+UBSan     — the wire codec, message framing and fuzz
-#      round-trip suites (truncation/corruption paths must not overread).
+#      round-trip suites (truncation/corruption paths must not overread),
+#   4. telemetry gate — slot-loop throughput with collect_runtime_stats on
+#      must stay within 3% of off (bench/perf_scale measures the pair and
+#      reports telemetry_overhead_pct on its PCN_BENCH line).
 #
 # Environment:
 #   JOBS=N   parallelism for builds and ctest (default: nproc)
@@ -13,22 +17,43 @@ cd "$(dirname "$0")/.."
 
 jobs=${JOBS:-$(nproc)}
 
-echo "== [1/3] default build: tier-1 + tier-2 =="
+echo "== [1/4] default build: tier-1 + tier-2 =="
 cmake --preset default
 cmake --build --preset default -j "$jobs"
 ctest --preset tier1 -j "$jobs"
 ctest --preset tier2 -j "$jobs"
 
-echo "== [2/3] TSan: sharded-run determinism =="
+echo "== [2/4] TSan: sharded-run determinism + metrics registry =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_network_parallel
-ctest --test-dir build-tsan -R 'NetworkParallel' --output-on-failure -j "$jobs"
+cmake --build --preset tsan -j "$jobs" \
+  --target test_network_parallel test_metrics_registry
+ctest --test-dir build-tsan -R 'NetworkParallel|MetricsRegistry' \
+  --output-on-failure -j "$jobs"
 
-echo "== [3/3] ASan+UBSan: wire codec round-trips =="
+echo "== [3/4] ASan+UBSan: wire codec round-trips =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target test_wire test_messages test_wire_fuzz
 ctest --test-dir build-asan -R 'Wire|Messages|PropWireFuzz' \
   --output-on-failure -j "$jobs"
+
+echo "== [4/4] telemetry overhead gate (<= 3%) =="
+cmake --build --preset default -j "$jobs" --target perf_scale
+# Skip the google-benchmark sweep; the paired gate measurement in main()
+# still runs.  The release preset gives steadier numbers, but the gate has
+# enough headroom (~1% measured) to hold on the default build too.
+bench_dir=$(mktemp -d)
+bench_line=$(PCN_BENCH_DIR="$bench_dir" \
+  ./build/bench/perf_scale --benchmark_filter='^$' | grep '^PCN_BENCH ')
+rm -rf "$bench_dir"
+echo "$bench_line"
+overhead=$(echo "$bench_line" | tr ' ' '\n' \
+  | sed -n 's/^telemetry_overhead_pct=//p')
+awk -v pct="$overhead" 'BEGIN {
+  if (pct == "" || pct > 3.0) {
+    printf "telemetry gate FAILED: overhead %s%% > 3%%\n", pct; exit 1
+  }
+  printf "telemetry gate ok: overhead %.2f%%\n", pct
+}'
 
 echo "run_checks: all gates passed."
