@@ -48,7 +48,17 @@ void add_fleet(pcn::sim::Network& network, int terminals) {
   }
 }
 
-void run_scale(benchmark::State& state, bool telemetry) {
+/// Which observability side a gate run exercises: nothing, the metrics
+/// registry + trace ring, or the per-call flight recorder (at its default
+/// 1-in-8 sampling, the configuration the 3% overhead gate blesses).
+enum class GateMode { kBare, kTelemetry, kFlight };
+
+void apply_mode(pcn::sim::NetworkConfig& config, GateMode mode) {
+  config.collect_runtime_stats = mode == GateMode::kTelemetry;
+  config.record_flight = mode == GateMode::kFlight;
+}
+
+void run_scale(benchmark::State& state, GateMode mode) {
   const int terminals = static_cast<int>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
@@ -57,7 +67,7 @@ void run_scale(benchmark::State& state, bool telemetry) {
                                    pcn::sim::SlotSemantics::kChainFaithful,
                                    42};
     config.threads = threads;
-    config.collect_runtime_stats = telemetry;
+    apply_mode(config, mode);
     pcn::sim::Network network(config, kWeights);
     add_fleet(network, terminals);
     state.ResumeTiming();
@@ -69,7 +79,7 @@ void run_scale(benchmark::State& state, bool telemetry) {
 }
 
 void BM_NetworkScale(benchmark::State& state) {
-  run_scale(state, /*telemetry=*/false);
+  run_scale(state, GateMode::kBare);
 }
 BENCHMARK(BM_NetworkScale)
     ->ArgNames({"terminals", "threads"})
@@ -86,9 +96,22 @@ BENCHMARK(BM_NetworkScale)
 /// The same slot loop with collect_runtime_stats on — compare against
 /// BM_NetworkScale at equal args to see the telemetry tax under load.
 void BM_NetworkScaleTelemetry(benchmark::State& state) {
-  run_scale(state, /*telemetry=*/true);
+  run_scale(state, GateMode::kTelemetry);
 }
 BENCHMARK(BM_NetworkScaleTelemetry)
+    ->ArgNames({"terminals", "threads"})
+    ->Args({64, 1})
+    ->Args({256, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The same slot loop with the per-call flight recorder on (default
+/// sampling) — compare against BM_NetworkScale at equal args to see the
+/// recording tax under load.
+void BM_NetworkScaleFlight(benchmark::State& state) {
+  run_scale(state, GateMode::kFlight);
+}
+BENCHMARK(BM_NetworkScaleFlight)
     ->ArgNames({"terminals", "threads"})
     ->Args({64, 1})
     ->Args({256, 4})
@@ -108,14 +131,14 @@ void BM_ExhaustiveSearchColdCache(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveSearchColdCache)->Arg(20)->Arg(80);
 
-/// One timed slot-loop run (nanoseconds) with telemetry on or off.
-std::int64_t timed_run_ns(bool telemetry) {
+/// One timed slot-loop run (nanoseconds) in the given gate mode.
+std::int64_t timed_run_ns(GateMode mode) {
   constexpr int kTerminals = 64;
   constexpr std::int64_t kGateSlots = 8192;
   pcn::sim::NetworkConfig config{pcn::Dimension::kTwoD,
                                  pcn::sim::SlotSemantics::kChainFaithful,
                                  42};
-  config.collect_runtime_stats = telemetry;
+  apply_mode(config, mode);
   pcn::sim::Network network(config, kWeights);
   add_fleet(network, kTerminals);
   const std::int64_t start_ns = pcn::obs::monotonic_ns();
@@ -123,20 +146,34 @@ std::int64_t timed_run_ns(bool telemetry) {
   return pcn::obs::monotonic_ns() - start_ns;
 }
 
-/// Best-of-N paired throughputs (terminal-slots/sec), telemetry off/on.
-/// The reps interleave the two sides so frequency scaling and scheduler
-/// noise hit both equally, and the min per side discards the slow
-/// outliers — run_checks.sh gates on the resulting ratio.
-std::pair<double, double> measured_throughput_pair(int reps) {
+/// Best-of-N throughputs (terminal-slots/sec) for bare / telemetry /
+/// flight-recorder runs.  The reps interleave the three sides so frequency
+/// scaling and scheduler noise hit all of them equally, and the min per
+/// side discards the slow outliers — run_checks.sh gates on the resulting
+/// ratios (telemetry_overhead_pct and flight_overhead_pct).
+struct GateThroughput {
+  double bare = 0;
+  double telemetry = 0;
+  double flight = 0;
+};
+
+GateThroughput measured_throughput(int reps) {
   constexpr double kGateWork = 8192.0 * 64;
-  std::int64_t best_off = std::numeric_limits<std::int64_t>::max();
-  std::int64_t best_on = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kWorst = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best_bare = kWorst;
+  std::int64_t best_telemetry = kWorst;
+  std::int64_t best_flight = kWorst;
   for (int rep = 0; rep < reps; ++rep) {
-    best_off = std::min(best_off, timed_run_ns(false));
-    best_on = std::min(best_on, timed_run_ns(true));
+    best_bare = std::min(best_bare, timed_run_ns(GateMode::kBare));
+    best_telemetry =
+        std::min(best_telemetry, timed_run_ns(GateMode::kTelemetry));
+    best_flight = std::min(best_flight, timed_run_ns(GateMode::kFlight));
   }
-  return {kGateWork / (static_cast<double>(best_off) * 1e-9),
-          kGateWork / (static_cast<double>(best_on) * 1e-9)};
+  const auto throughput = [](std::int64_t ns) {
+    return kGateWork / (static_cast<double>(ns) * 1e-9);
+  };
+  return {throughput(best_bare), throughput(best_telemetry),
+          throughput(best_flight)};
 }
 
 }  // namespace
@@ -145,15 +182,20 @@ int main(int argc, char** argv) {
   pcn::obs::BenchReport report("perf_scale");
   const int rc = pcn::benchio::run_benchmarks(argc, argv, report);
   if (rc != 0) return rc;
-  // Paired overhead measurement for the telemetry gate (one warm-up pair
-  // first so neither side benefits from cache warming order).
+  // Interleaved overhead measurement for the observability gates (one
+  // warm-up round first so no side benefits from cache warming order).
   constexpr int kReps = 15;
-  timed_run_ns(false);
-  timed_run_ns(true);
-  const auto [off, on] = measured_throughput_pair(kReps);
-  report.set("slots_per_sec_off", off)
-      .set("slots_per_sec_on", on)
-      .set("telemetry_overhead_pct", 100.0 * (off - on) / off);
+  timed_run_ns(GateMode::kBare);
+  timed_run_ns(GateMode::kTelemetry);
+  timed_run_ns(GateMode::kFlight);
+  const GateThroughput gate = measured_throughput(kReps);
+  report.set("slots_per_sec_off", gate.bare)
+      .set("slots_per_sec_on", gate.telemetry)
+      .set("slots_per_sec_flight", gate.flight)
+      .set("telemetry_overhead_pct",
+           100.0 * (gate.bare - gate.telemetry) / gate.bare)
+      .set("flight_overhead_pct",
+           100.0 * (gate.bare - gate.flight) / gate.bare);
   report.emit();
   return 0;
 }

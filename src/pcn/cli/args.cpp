@@ -21,7 +21,9 @@ Args Args::parse(int argc, const char* const* argv) {
   while (index < argc) {
     const std::string token = argv[index];
     if (!is_flag(token)) {
-      throw UsageError("unexpected positional argument: " + token);
+      args.positionals_.push_back(token);
+      ++index;
+      continue;
     }
     const std::string key = token.substr(2);
     if (args.values_.count(key) != 0) {
@@ -35,7 +37,17 @@ Args Args::parse(int argc, const char* const* argv) {
       args.values_[key] = "";  // bare switch
     }
   }
+  args.positional_consumed_.assign(args.positionals_.size(), false);
   return args;
+}
+
+std::string Args::positional(std::size_t index,
+                             const std::string& what) const {
+  if (index >= positionals_.size()) {
+    throw UsageError("missing required argument: " + what);
+  }
+  positional_consumed_[index] = true;
+  return positionals_[index];
 }
 
 std::optional<std::string> Args::raw(const std::string& key) const {
@@ -111,6 +123,11 @@ void Args::reject_unconsumed() const {
   for (const auto& [key, value] : values_) {
     if (consumed_.find(key) == consumed_.end()) {
       throw UsageError("unknown flag: --" + key);
+    }
+  }
+  for (std::size_t i = 0; i < positionals_.size(); ++i) {
+    if (!positional_consumed_[i]) {
+      throw UsageError("unexpected positional argument: " + positionals_[i]);
     }
   }
 }

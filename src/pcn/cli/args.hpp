@@ -1,9 +1,10 @@
 // Tiny command-line argument parser for the pcnctl tool.
 //
-// Grammar: `program <command> [--flag value]... [--switch]...`
+// Grammar: `program <command> [POSITIONAL]... [--flag value]...
+// [--switch]...`
 // Typed getters validate and convert values, report unknown or unconsumed
-// flags, and collect a usage string — enough for a focused operations
-// tool without an external dependency.
+// flags and positionals, and collect a usage string — enough for a focused
+// operations tool without an external dependency.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +12,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace pcn::cli {
 
@@ -23,10 +25,17 @@ class UsageError : public std::invalid_argument {
 class Args {
  public:
   /// Parses argv[1..): the first token is the command (may be empty), the
-  /// rest `--key value` pairs or bare `--switch` flags (value-less).
+  /// rest `--key value` pairs, bare `--switch` flags (value-less), or
+  /// positional operands (bare tokens not following a flag).
   static Args parse(int argc, const char* const* argv);
 
   const std::string& command() const { return command_; }
+
+  std::size_t positional_count() const { return positionals_.size(); }
+
+  /// Positional operand `index` (0-based); throws UsageError naming `what`
+  /// when there are not enough operands.
+  std::string positional(std::size_t index, const std::string& what) const;
 
   /// Typed getters: the _or variants supply a default; the required
   /// variants throw UsageError when the flag is missing.
@@ -42,16 +51,19 @@ class Args {
 
   bool has(const std::string& key) const;
 
-  /// Fails with UsageError if any parsed flag was never queried — catches
-  /// typos like `--trehshold`.
+  /// Fails with UsageError if any parsed flag or positional was never
+  /// queried — catches typos like `--trehshold` and stray operands passed
+  /// to commands that take none.
   void reject_unconsumed() const;
 
  private:
   std::optional<std::string> raw(const std::string& key) const;
 
   std::string command_;
+  std::vector<std::string> positionals_;
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> consumed_;
+  mutable std::vector<bool> positional_consumed_;
 };
 
 }  // namespace pcn::cli

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include "pcn/common/error.hpp"
 #include "pcn/obs/json.hpp"
@@ -123,15 +125,24 @@ std::string BenchReport::json() const {
 
 std::string BenchReport::output_path() const {
   const char* dir = std::getenv("PCN_BENCH_DIR");
-  const std::string prefix =
-      (dir == nullptr || *dir == '\0') ? std::string() : std::string(dir) + '/';
+  const std::string prefix = (dir == nullptr || *dir == '\0')
+                                 ? std::string("bench/out/")
+                                 : std::string(dir) + '/';
   return prefix + "BENCH_" + name_ + ".json";
 }
 
 bool BenchReport::emit() const {
   std::printf("%s\n", parse_line().c_str());
+  const std::string path = output_path();
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    // Best effort; a failure surfaces as the write_file error below.
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
   std::string error;
-  if (!write_file(output_path(), json() + "\n", &error)) {
+  if (!write_file(path, json() + "\n", &error)) {
     std::fprintf(stderr, "BenchReport: %s\n", error.c_str());
     return false;
   }

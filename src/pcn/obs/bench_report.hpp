@@ -5,8 +5,10 @@
 //       PCN_BENCH <name> key=value key=value ...
 //     (keys in insertion order, doubles in shortest round-trip form), and
 //   * writes BENCH_<name>.json (schema pcn.bench_report.v1) into
-//     $PCN_BENCH_DIR (default: the current directory) so the perf
-//     trajectory of the repo is tracked across commits.
+//     $PCN_BENCH_DIR (default: bench/out/, created on demand and
+//     git-ignored) so the perf trajectory of the repo is tracked across
+//     commits.  Compare against the blessed baselines in bench/baselines/
+//     with tools/bench_compare.py.
 //
 // Summary values go on the line and into JSON "summary"; per-case detail
 // rows (one per scenario / benchmark arg combination) go into JSON "rows"
@@ -55,7 +57,7 @@ class BenchReport {
   /// "PCN_BENCH <name> key=value ..." (no trailing newline).
   std::string parse_line() const;
   std::string json() const;
-  /// $PCN_BENCH_DIR/BENCH_<name>.json (or ./BENCH_<name>.json).
+  /// $PCN_BENCH_DIR/BENCH_<name>.json (default bench/out/BENCH_<name>.json).
   std::string output_path() const;
 
   /// Prints the parse line to stdout and writes the JSON file.  A write

@@ -1,0 +1,89 @@
+#include "pcn/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::obs {
+
+namespace {
+
+constexpr std::string_view kTypeNames[] = {
+    "call_arrival", "poll_cycle",  "call_found", "page_fallback",
+    "location_update", "update_lost", "area_reset",
+};
+constexpr std::size_t kTypeCount = std::size(kTypeNames);
+
+}  // namespace
+
+std::string_view to_string(FlightEventType type) {
+  const auto index = static_cast<std::size_t>(type);
+  PCN_ASSERT(index < kTypeCount);
+  return kTypeNames[index];
+}
+
+bool parse_flight_event_type(std::string_view name, FlightEventType* out) {
+  for (std::size_t i = 0; i < kTypeCount; ++i) {
+    if (kTypeNames[i] == name) {
+      if (out != nullptr) *out = static_cast<FlightEventType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config) {
+  PCN_EXPECT(config_.sample_every >= 1,
+             "FlightRecorder: sample_every must be >= 1");
+  PCN_EXPECT(config_.shard_capacity >= 1,
+             "FlightRecorder: shard_capacity must be >= 1");
+}
+
+void FlightRecorder::ensure_shards(std::size_t count) {
+  while (shards_.size() < count) {
+    auto shard = std::make_unique<Shard>();
+    shard->events_.reserve(config_.shard_capacity);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->events_.size();
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->dropped_;
+  return total;
+}
+
+std::vector<FlightEvent> FlightRecorder::merged() const {
+  std::vector<FlightEvent> events;
+  events.reserve(static_cast<std::size_t>(recorded()));
+  for (const auto& shard : shards_) {
+    events.insert(events.end(), shard->events_.begin(),
+                  shard->events_.end());
+  }
+  // (slot, terminal, seq) is unique — a terminal emits each seq once per
+  // slot — so this order is total and independent of how terminals were
+  // sharded across workers.
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return std::tie(a.slot, a.terminal, a.seq) <
+                     std::tie(b.slot, b.terminal, b.seq);
+            });
+  return events;
+}
+
+void FlightRecorder::clear() {
+  for (const auto& shard : shards_) {
+    shard->events_.clear();
+    shard->dropped_ = 0;
+  }
+}
+
+}  // namespace pcn::obs

@@ -137,4 +137,306 @@ std::string JsonWriter::take() {
   return std::move(out_);
 }
 
+// --- Parser ------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* value = find(key);
+  return value != nullptr && value->kind == Kind::kNumber ? value->number
+                                                         : fallback;
+}
+
+std::int64_t JsonValue::int_or(std::string_view key,
+                               std::int64_t fallback) const {
+  const JsonValue* value = find(key);
+  return value != nullptr && value->kind == Kind::kNumber
+             ? static_cast<std::int64_t>(value->number)
+             : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* value = find(key);
+  return value != nullptr && value->kind == Kind::kString
+             ? value->string
+             : std::string(fallback);
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* value = find(key);
+  return value != nullptr && value->kind == Kind::kBool ? value->boolean
+                                                        : fallback;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view; positions reported in the
+/// error are byte offsets into the document.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue* out, std::string* error) {
+    if (!parse_value(out)) {
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+      if (error != nullptr) *error = error_;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& reason) {
+    if (error_.empty()) {
+      error_ = reason + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return fail(std::string("expected '") + expected + "'");
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (depth_ > kMaxDepth) return fail("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of document");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return consume_literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return consume_literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return consume_literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++depth_;
+    if (!consume('{')) return false;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_whitespace();
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      --depth_;
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++depth_;
+    if (!consume('[')) return false;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->array.push_back(std::move(value));
+      skip_whitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      --depth_;
+      return consume(']');
+    }
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char ch = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (ch >= '0' && ch <= '9') {
+        value |= static_cast<unsigned>(ch - '0');
+      } else if (ch >= 'a' && ch <= 'f') {
+        value |= static_cast<unsigned>(ch - 'a' + 10);
+      } else if (ch >= 'A' && ch <= 'F') {
+        value |= static_cast<unsigned>(ch - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  static void append_utf8(std::string* out, unsigned code_point) {
+    if (code_point < 0x80) {
+      *out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      *out += static_cast<char>(0xC0 | (code_point >> 6));
+      *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code_point >> 12));
+      *out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code_point >> 18));
+      *out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch == '"') {
+        ++pos_;
+        return true;
+      }
+      if (ch == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("truncated escape");
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            unsigned code_point = 0;
+            if (!parse_hex4(&code_point)) return false;
+            if (code_point >= 0xD800 && code_point <= 0xDBFF &&
+                text_.substr(pos_, 2) == "\\u") {
+              pos_ += 2;
+              unsigned low = 0;
+              if (!parse_hex4(&low)) return false;
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                code_point = 0x10000 + ((code_point - 0xD800) << 10) +
+                             (low - 0xDC00);
+              } else {
+                return fail("invalid surrogate pair");
+              }
+            }
+            append_utf8(out, code_point);
+            break;
+          }
+          default: return fail("invalid escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      *out += ch;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected value");
+    out->kind = JsonValue::Kind::kNumber;
+    const auto result = std::from_chars(text_.data() + start,
+                                        text_.data() + pos_, out->number);
+    if (result.ec != std::errc() || result.ptr != text_.data() + pos_) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 128;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse_json(std::string_view text, JsonValue* out, std::string* error) {
+  JsonValue value;
+  JsonParser parser(text);
+  if (!parser.parse(&value, error)) return false;
+  *out = std::move(value);
+  return true;
+}
+
 }  // namespace pcn::obs

@@ -1,17 +1,24 @@
-// Minimal streaming JSON writer — just enough for the telemetry exporters
-// (RunReport, bench reports, metrics snapshots) without a third-party
-// dependency.  Produces compact, valid JSON: strings are escaped, doubles
-// are emitted with shortest round-trip formatting (std::to_chars), and
-// non-finite doubles become null.
+// Minimal streaming JSON writer and recursive-descent parser — just enough
+// for the telemetry exporters and the trace tooling (RunReport, bench
+// reports, metrics snapshots, pcn.trace.v1 files) without a third-party
+// dependency.  The writer produces compact, valid JSON: strings are
+// escaped, doubles are emitted with shortest round-trip formatting
+// (std::to_chars), and non-finite doubles become null.
 //
 // The writer is append-only and stack-checked: begin/end calls must nest
 // correctly and every object member needs a key first (PCN_ASSERT guards
 // misuse, since any violation is a programming error in an exporter).
+//
+// The parser (`parse_json`) accepts any RFC 8259 document and builds a
+// `JsonValue` tree; numbers are stored as doubles (exact for the integer
+// magnitudes our exporters produce).  `pcnctl trace-summary` and the trace
+// golden tests consume it.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace pcn::obs {
@@ -56,5 +63,40 @@ class JsonWriter {
   std::vector<bool> first_;  ///< parallel to scopes_: no comma needed yet
   bool key_pending_ = false;
 };
+
+/// A parsed JSON value.  Object member order is preserved; lookups are
+/// linear (our documents are small).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member by key, or nullptr (also when not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed member accessors with fallbacks (missing member or kind
+  /// mismatch yields the fallback) — the shape tolerant exporters need.
+  double number_or(std::string_view key, double fallback) const;
+  std::int64_t int_or(std::string_view key, std::int64_t fallback) const;
+  std::string string_or(std::string_view key,
+                        std::string_view fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected).  On failure returns false and fills `*error` with an
+/// offset-qualified reason.
+bool parse_json(std::string_view text, JsonValue* out, std::string* error);
 
 }  // namespace pcn::obs

@@ -162,6 +162,39 @@ RunReport make_run_report(const sim::Network& network) {
       weighted += double(k) * double(report.paging_delay_cycles[k]);
     }
     report.mean_paging_delay_cycles = weighted / double(report.calls);
+    auto percentile = [&](double quantile) {
+      const double target = quantile * double(report.calls);
+      std::int64_t cumulative = 0;
+      for (std::size_t k = 0; k < report.paging_delay_cycles.size(); ++k) {
+        cumulative += report.paging_delay_cycles[k];
+        if (double(cumulative) >= target) return static_cast<int>(k);
+      }
+      return static_cast<int>(report.paging_delay_cycles.size()) - 1;
+    };
+    report.delay_p50 = percentile(0.50);
+    report.delay_p95 = percentile(0.95);
+    report.delay_p99 = percentile(0.99);
+    for (std::size_t k = 0; k < report.paging_delay_cycles.size(); ++k) {
+      if (report.paging_delay_cycles[k] > 0) {
+        report.delay_max = static_cast<int>(k);
+      }
+    }
+  }
+
+  // SLA verdicts: each terminal is judged against its own policy's bound.
+  for (std::size_t i = 0; i < network.terminal_count(); ++i) {
+    const auto id = static_cast<sim::TerminalId>(i);
+    const DelayBound bound = network.paging_policy(id).delay_bound();
+    if (bound.is_unbounded()) continue;
+    if (report.sla_bound_cycles == 0 ||
+        bound.cycles() < report.sla_bound_cycles) {
+      report.sla_bound_cycles = bound.cycles();
+    }
+    const sim::TerminalMetrics& m = network.metrics(id);
+    for (int k = bound.cycles() + 1; k < m.paging_cycles.bucket_count();
+         ++k) {
+      report.sla_violations += m.paging_cycles.count(k);
+    }
   }
 
   report.metrics = network.metrics_registry().snapshot();
@@ -221,6 +254,14 @@ std::string to_json(const RunReport& report) {
   }
   json.end_array();
   json.member("mean", report.mean_paging_delay_cycles);
+  json.member("p50", report.delay_p50);
+  json.member("p95", report.delay_p95);
+  json.member("p99", report.delay_p99);
+  json.member("max", report.delay_max);
+  json.end_object();
+  json.key("sla").begin_object();
+  json.member("bound_cycles", report.sla_bound_cycles);
+  json.member("violations", report.sla_violations);
   json.end_object();
   json.key("wall").begin_object();
   json.member("run_seconds", report.run_wall_seconds);
@@ -266,6 +307,31 @@ bool write_file(const std::string& path, std::string_view contents,
   const bool flushed = std::fclose(file) == 0;
   if (written != contents.size() || !flushed) {
     if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out,
+               std::string* error) {
+  std::FILE* file = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "' for reading: " +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  out->clear();
+  char buffer[1 << 16];
+  std::size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  if (file != stdin) std::fclose(file);
+  if (failed) {
+    if (error != nullptr) *error = "read error on '" + path + "'";
     return false;
   }
   return true;

@@ -67,9 +67,20 @@ struct RunReport {
   /// Fraction of terminal-slots spent at each ring distance from the
   /// network's knowledge center (the empirical chain occupancy).
   std::vector<double> ring_occupancy;
-  /// Calls located after exactly k+1 polling cycles (index k).
+  /// Calls located after exactly k polling cycles (index k; [0] unused).
   std::vector<std::int64_t> paging_delay_cycles;
   double mean_paging_delay_cycles = 0.0;
+  /// Percentiles of the same distribution (0 when no calls arrived).
+  int delay_p50 = 0;
+  int delay_p95 = 0;
+  int delay_p99 = 0;
+  int delay_max = 0;
+  /// Tightest bounded paging delay bound m across the fleet's policies
+  /// (0 when every policy is unbounded), and the number of calls that took
+  /// more cycles than their own terminal's bound — nonzero only when lost
+  /// updates forced expanding-ring recovery.
+  int sla_bound_cycles = 0;
+  std::int64_t sla_violations = 0;
 
   // Wall time and throughput, from the runtime-stats registry.
   double run_wall_seconds = 0.0;
@@ -89,5 +100,10 @@ std::string to_json(const RunReport& report);
 /// fills `*error` with a path-qualified reason on failure.
 bool write_file(const std::string& path, std::string_view contents,
                 std::string* error);
+
+/// Reads the whole file at `path` ("-" meaning stdin) into `*out`.
+/// Returns false and fills `*error` with a path-qualified reason on
+/// failure.
+bool read_file(const std::string& path, std::string* out, std::string* error);
 
 }  // namespace pcn::obs

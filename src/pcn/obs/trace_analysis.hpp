@@ -1,0 +1,99 @@
+// In-process analysis of a flight recording: the paging-delay distribution
+// (cycles-to-find histogram with p50/p95/p99/max), the per-cycle poll-cost
+// breakdown, delay-SLA verdicts against the bound m, and the observed-vs-
+// predicted comparison against the paper's cost model — C_v(d, m) and the
+// chain's subarea-hit probabilities α_j (eqs. 62-65).
+//
+// `analyze_trace` is pure aggregation over the event list; `compare_with_
+// model` additionally solves the chain for the run's parameters (distance
+// policy only — the other policies have no α_j to compare against) and
+// runs a chi-square goodness-of-fit test of the observed cycle-found
+// frequencies against the predicted α_j at the 99.9% level.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcn/obs/trace_export.hpp"
+
+namespace pcn::obs {
+
+/// Aggregates for one polling cycle k (0-based) across all recorded calls.
+struct CycleBreakdown {
+  std::int64_t reached = 0;  ///< calls that ran cycle k
+  std::int64_t found = 0;    ///< calls answered in cycle k
+  std::int64_t cells = 0;    ///< cells swept in cycle k, summed over calls
+  double cost = 0.0;         ///< poll cost accrued in cycle k
+};
+
+/// One call that exceeded the delay bound — a hard invariant violation
+/// unless updates were being lost (stale knowledge forces recovery).
+struct SlaViolation {
+  std::int64_t slot = 0;
+  std::int32_t terminal = 0;
+  std::uint64_t call = 0;
+  std::int32_t cycles = 0;  ///< cycles the call actually took
+};
+
+struct TraceAnalysis {
+  std::int64_t calls = 0;           ///< completed recorded call lifecycles
+  std::int64_t clean_calls = 0;     ///< located by the scheduled partition
+  std::int64_t fallback_calls = 0;  ///< needed expanding-ring recovery
+
+  /// cycles_hist[k] = calls answered in exactly k cycles (1-based; [0]
+  /// unused).  clean_cycles_hist counts only the clean calls — the sample
+  /// the α_j comparison is valid for.
+  std::vector<std::int64_t> cycles_hist;
+  std::vector<std::int64_t> clean_cycles_hist;
+  double mean_cycles = 0.0;
+  int p50 = 0, p95 = 0, p99 = 0, max_cycles = 0;
+
+  std::vector<CycleBreakdown> per_cycle;  ///< [k] = cycle k (0-based)
+  std::int64_t total_cells = 0;
+  double total_cost = 0.0;
+  double mean_cost = 0.0;        ///< poll cost per recorded call
+  double clean_mean_cost = 0.0;  ///< poll cost per clean call
+
+  std::int64_t updates = 0;
+  std::int64_t updates_lost = 0;
+  std::int64_t resets = 0;
+
+  int sla_bound = 0;  ///< m from the trace header; 0 = unbounded
+  std::vector<SlaViolation> violations;
+};
+
+/// Aggregates the recording (events in merged order).
+TraceAnalysis analyze_trace(const TraceMeta& meta,
+                            const std::vector<FlightEvent>& events);
+
+/// Observed-vs-predicted comparison against the chain model.
+struct AlphaComparison {
+  bool applicable = false;  ///< false => `reason` says why
+  std::string reason;
+
+  std::vector<double> predicted_alpha;       ///< α_j, j = 1..ℓ
+  std::vector<std::int64_t> observed_counts; ///< clean calls found in cycle j
+  std::vector<double> observed_alpha;        ///< counts / sample_size
+  std::int64_t sample_size = 0;
+
+  /// Chi-square goodness of fit of observed vs predicted (cells pooled to
+  /// expected count >= 5); consistent when the statistic stays below the
+  /// 99.9% critical value (or no test was possible: dof == 0).
+  double chi_square = 0.0;
+  int dof = 0;
+  double critical_999 = 0.0;
+  bool consistent = true;
+
+  double predicted_cost_per_call = 0.0;  ///< V · Σ_j α_j w_j = C_v(d,m)/c
+  double observed_cost_per_call = 0.0;   ///< clean_mean_cost
+};
+
+/// Rebuilds the cost model from the trace header and compares the clean
+/// calls' cycle-found frequencies and per-call poll cost against it.
+/// Applicable only to distance-policy recordings (meta.policy ==
+/// "distance") with at least one clean call.
+AlphaComparison compare_with_model(const TraceMeta& meta,
+                                   const TraceAnalysis& analysis);
+
+}  // namespace pcn::obs

@@ -1,0 +1,310 @@
+#include "pcn/obs/trace_export.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pcn/obs/json.hpp"
+
+namespace pcn::obs {
+
+namespace {
+
+constexpr std::string_view kSchema = "pcn.trace.v1";
+
+void append_header(const TraceMeta& meta, std::string* out) {
+  JsonWriter writer;
+  writer.begin_object()
+      .member("schema", kSchema)
+      .member("dimension", meta.dimension)
+      .member("semantics", meta.semantics)
+      .member("seed", meta.seed)
+      .member("threads", meta.threads)
+      .member("slots", meta.slots)
+      .member("move_prob", meta.move_prob)
+      .member("call_prob", meta.call_prob)
+      .member("update_cost", meta.update_cost)
+      .member("poll_cost", meta.poll_cost)
+      .member("policy", meta.policy)
+      .member("param", meta.param)
+      .member("scheme", meta.scheme)
+      .member("delay_cycles", meta.delay_cycles)
+      .member("sample_every", meta.sample_every)
+      .member("dropped_events", meta.dropped_events)
+      .end_object();
+  *out += writer.take();
+  *out += '\n';
+}
+
+void append_event(const FlightEvent& event, std::string* out) {
+  JsonWriter writer;
+  writer.begin_object()
+      .member("slot", event.slot)
+      .member("terminal", std::int64_t{event.terminal})
+      .member("seq", std::uint64_t{event.seq})
+      .member("type", to_string(event.type));
+  if (event.call != 0) writer.member("call", event.call);
+  if (event.cycle != -1) writer.member("cycle", std::int64_t{event.cycle});
+  if (event.cells != 0) writer.member("cells", event.cells);
+  if (event.cost != 0.0) writer.member("cost", event.cost);
+  if (event.ring_lo != -1) {
+    writer.member("ring_lo", std::int64_t{event.ring_lo});
+  }
+  if (event.ring_hi != -1) {
+    writer.member("ring_hi", std::int64_t{event.ring_hi});
+  }
+  if (event.distance != -1) writer.member("distance", event.distance);
+  if (event.found) writer.member("found", true);
+  writer.end_object();
+  *out += writer.take();
+  *out += '\n';
+}
+
+bool fail_line(std::size_t line_number, std::string_view reason,
+               std::string* error) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_number) + ": " +
+             std::string(reason);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_trace_jsonl(const TraceMeta& meta,
+                           const std::vector<FlightEvent>& events) {
+  std::string out;
+  // ~64 bytes per compact event line is a comfortable overestimate.
+  out.reserve(256 + events.size() * 64);
+  append_header(meta, &out);
+  for (const FlightEvent& event : events) append_event(event, &out);
+  return out;
+}
+
+bool parse_trace_jsonl(std::string_view text, TraceMeta* meta,
+                       std::vector<FlightEvent>* events, std::string* error) {
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+
+    JsonValue value;
+    std::string json_error;
+    if (!parse_json(line, &value, &json_error)) {
+      return fail_line(line_number, json_error, error);
+    }
+    if (!value.is_object()) {
+      return fail_line(line_number, "expected a JSON object", error);
+    }
+
+    if (!saw_header) {
+      if (value.string_or("schema", "") != kSchema) {
+        return fail_line(line_number, "missing or unknown schema", error);
+      }
+      saw_header = true;
+      if (meta != nullptr) {
+        meta->dimension = static_cast<int>(value.int_or("dimension", 1));
+        meta->semantics = value.string_or("semantics", "chain_faithful");
+        meta->seed = static_cast<std::uint64_t>(value.int_or("seed", 0));
+        meta->threads = static_cast<int>(value.int_or("threads", 1));
+        meta->slots = value.int_or("slots", 0);
+        meta->move_prob = value.number_or("move_prob", 0.0);
+        meta->call_prob = value.number_or("call_prob", 0.0);
+        meta->update_cost = value.number_or("update_cost", 0.0);
+        meta->poll_cost = value.number_or("poll_cost", 0.0);
+        meta->policy = value.string_or("policy", "");
+        meta->param = value.int_or("param", 0);
+        meta->scheme = value.string_or("scheme", "sdf");
+        meta->delay_cycles =
+            static_cast<int>(value.int_or("delay_cycles", 0));
+        meta->sample_every =
+            static_cast<std::uint64_t>(value.int_or("sample_every", 1));
+        meta->dropped_events =
+            static_cast<std::uint64_t>(value.int_or("dropped_events", 0));
+      }
+      continue;
+    }
+
+    FlightEvent event;
+    const std::string type_name = value.string_or("type", "");
+    if (!parse_flight_event_type(type_name, &event.type)) {
+      return fail_line(line_number, "unknown event type \"" + type_name + '"',
+                       error);
+    }
+    event.slot = value.int_or("slot", 0);
+    event.terminal = static_cast<std::int32_t>(value.int_or("terminal", 0));
+    event.seq = static_cast<std::uint32_t>(value.int_or("seq", 0));
+    event.call = static_cast<std::uint64_t>(value.int_or("call", 0));
+    event.cycle = static_cast<std::int32_t>(value.int_or("cycle", -1));
+    event.cells = value.int_or("cells", 0);
+    event.cost = value.number_or("cost", 0.0);
+    event.ring_lo = static_cast<std::int32_t>(value.int_or("ring_lo", -1));
+    event.ring_hi = static_cast<std::int32_t>(value.int_or("ring_hi", -1));
+    event.distance = value.int_or("distance", -1);
+    event.found = value.bool_or("found", false);
+    if (events != nullptr) events->push_back(event);
+  }
+  if (!saw_header) return fail_line(1, "empty document", error);
+  return true;
+}
+
+namespace {
+
+/// µs of trace time per simulated slot (renders as 1 ms in the viewer).
+constexpr std::int64_t kSlotUs = 1000;
+
+void chrome_event_prologue(JsonWriter& writer, std::string_view phase,
+                           std::int32_t terminal) {
+  writer.begin_object()
+      .member("ph", phase)
+      .member("pid", 1)
+      .member("tid", std::int64_t{terminal});
+}
+
+void chrome_instant(JsonWriter& writer, const FlightEvent& event) {
+  chrome_event_prologue(writer, "i", event.terminal);
+  writer.member("ts", event.slot * kSlotUs)
+      .member("s", "t")
+      .member("name", to_string(event.type))
+      .member("cat", "update");
+  writer.key("args").begin_object();
+  if (event.cost != 0.0) writer.member("cost", event.cost);
+  if (event.distance != -1) writer.member("distance", event.distance);
+  if (event.cells != 0) writer.member("radius", event.cells);
+  if (event.cycle != -1) writer.member("cycle", std::int64_t{event.cycle});
+  writer.end_object().end_object();
+}
+
+/// An open call lifecycle: arrival seen, found not yet.
+struct PendingCall {
+  FlightEvent arrival;
+  std::vector<FlightEvent> cycles;
+  bool fallback = false;
+};
+
+void chrome_call(JsonWriter& writer, const PendingCall& pending,
+                 const FlightEvent& found) {
+  const std::int64_t ts = found.slot * kSlotUs;
+  chrome_event_prologue(writer, "X", found.terminal);
+  writer.member("ts", ts)
+      .member("dur", kSlotUs)
+      .member("name", "call " + std::to_string(found.call))
+      .member("cat", "call");
+  writer.key("args")
+      .begin_object()
+      .member("cycles", std::int64_t{found.cycle})
+      .member("cells", found.cells)
+      .member("cost", found.cost)
+      .member("arrival_distance", found.distance)
+      .member("containment_radius", pending.arrival.cells)
+      .member("clean", found.found)
+      .end_object()
+      .end_object();
+
+  const std::int64_t n =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                    pending.cycles.size()));
+  const std::int64_t dur = std::max<std::int64_t>(1, kSlotUs / n);
+  for (std::size_t i = 0; i < pending.cycles.size(); ++i) {
+    const FlightEvent& cycle = pending.cycles[i];
+    chrome_event_prologue(writer, "X", cycle.terminal);
+    writer.member("ts", ts + static_cast<std::int64_t>(i) * dur)
+        .member("dur", dur)
+        .member("name", "cycle " + std::to_string(cycle.cycle + 1))
+        .member("cat", "cycle");
+    writer.key("args")
+        .begin_object()
+        .member("cells", cycle.cells)
+        .member("cost", cycle.cost)
+        .member("ring_lo", std::int64_t{cycle.ring_lo})
+        .member("ring_hi", std::int64_t{cycle.ring_hi})
+        .member("found", cycle.found)
+        .end_object()
+        .end_object();
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const TraceMeta& meta,
+                            const std::vector<FlightEvent>& events) {
+  JsonWriter writer;
+  writer.begin_object().member("displayTimeUnit", "ms");
+  writer.key("otherData")
+      .begin_object()
+      .member("schema", kSchema)
+      .member("dimension", meta.dimension)
+      .member("semantics", meta.semantics)
+      .member("seed", meta.seed)
+      .member("threads", meta.threads)
+      .member("slots", meta.slots)
+      .member("policy", meta.policy)
+      .member("sample_every", meta.sample_every)
+      .end_object();
+  writer.key("traceEvents").begin_array();
+
+  std::vector<std::int32_t> terminals;
+  for (const FlightEvent& event : events) terminals.push_back(event.terminal);
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  for (const std::int32_t terminal : terminals) {
+    chrome_event_prologue(writer, "M", terminal);
+    writer.member("name", "thread_name");
+    writer.key("args")
+        .begin_object()
+        .member("name", "terminal " + std::to_string(terminal))
+        .end_object()
+        .end_object();
+  }
+
+  // Call lifecycles are contiguous per (terminal, slot) in merged order, but
+  // track them per terminal anyway so a recording with dropped events still
+  // exports what it can instead of mispairing.
+  std::unordered_map<std::int32_t, PendingCall> pending;
+  for (const FlightEvent& event : events) {
+    switch (event.type) {
+      case FlightEventType::kCallArrival:
+        pending[event.terminal] = PendingCall{event, {}, false};
+        break;
+      case FlightEventType::kPollCycle: {
+        auto it = pending.find(event.terminal);
+        if (it != pending.end() && it->second.arrival.call == event.call) {
+          it->second.cycles.push_back(event);
+        }
+        break;
+      }
+      case FlightEventType::kPageFallback: {
+        auto it = pending.find(event.terminal);
+        if (it != pending.end() && it->second.arrival.call == event.call) {
+          it->second.fallback = true;
+        }
+        chrome_instant(writer, event);
+        break;
+      }
+      case FlightEventType::kCallFound: {
+        auto it = pending.find(event.terminal);
+        if (it != pending.end() && it->second.arrival.call == event.call) {
+          chrome_call(writer, it->second, event);
+          pending.erase(it);
+        }
+        break;
+      }
+      case FlightEventType::kLocationUpdate:
+      case FlightEventType::kUpdateLost:
+      case FlightEventType::kAreaReset:
+        chrome_instant(writer, event);
+        break;
+    }
+  }
+
+  writer.end_array().end_object();
+  return writer.take();
+}
+
+}  // namespace pcn::obs

@@ -1,0 +1,70 @@
+// Serialization of flight-recorder recordings.
+//
+// Two formats:
+//   * `pcn.trace.v1` JSONL — line 1 is a header object carrying the run's
+//     model parameters (so `pcnctl trace-summary` can rebuild the cost
+//     model without the original command line), then one JSON object per
+//     event in (slot, terminal, seq) order.  Payload fields equal to their
+//     FlightEvent defaults are omitted, so parsing a line into a
+//     default-constructed event round-trips exactly.
+//   * Chrome `trace_event` JSON — loadable in Perfetto (ui.perfetto.dev)
+//     or chrome://tracing.  Terminals map to threads; each recorded call
+//     becomes a duration slice (1 slot = 1 ms of trace time) with nested
+//     per-cycle slices, and update / lost / reset / fallback events become
+//     thread-scoped instants.
+//
+// Both exporters are deterministic functions of (meta, events): byte-
+// identical output for byte-identical recordings, which is what the
+// 1-vs-N-thread determinism tests assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pcn/obs/flight_recorder.hpp"
+
+namespace pcn::obs {
+
+/// Run parameters carried in the trace header — everything the analysis
+/// pass needs to compare a recording against the paper's cost model.
+struct TraceMeta {
+  int dimension = 1;  ///< 1 or 2
+  std::string semantics = "chain_faithful";
+  std::uint64_t seed = 0;
+  int threads = 1;
+  std::int64_t slots = 0;
+  double move_prob = 0.0;   ///< q
+  double call_prob = 0.0;   ///< c
+  double update_cost = 0.0; ///< U
+  double poll_cost = 0.0;   ///< V
+  /// Update-policy family the fleet ran ("distance", "movement", "time",
+  /// "la", or "mixed" when terminals differ).
+  std::string policy;
+  std::int64_t param = 0;  ///< policy parameter (threshold d for distance)
+  std::string scheme = "sdf";  ///< partition scheme (distance policy)
+  int delay_cycles = 0;        ///< delay bound m; 0 = unbounded
+  std::uint64_t sample_every = 1;
+  std::uint64_t dropped_events = 0;
+
+  friend bool operator==(const TraceMeta&, const TraceMeta&) = default;
+};
+
+/// The `pcn.trace.v1` JSONL document (header line + one line per event;
+/// ends with a newline).
+std::string to_trace_jsonl(const TraceMeta& meta,
+                           const std::vector<FlightEvent>& events);
+
+/// Parses a `pcn.trace.v1` document.  On failure returns false and fills
+/// `*error` with a line-qualified reason; `meta`/`events` may be partially
+/// filled.
+bool parse_trace_jsonl(std::string_view text, TraceMeta* meta,
+                       std::vector<FlightEvent>* events, std::string* error);
+
+/// The Chrome trace_event JSON document for the recording (one slot of
+/// simulated time renders as 1 ms).
+std::string to_chrome_trace(const TraceMeta& meta,
+                            const std::vector<FlightEvent>& events);
+
+}  // namespace pcn::obs

@@ -1,6 +1,7 @@
 #include "pcn/sim/network.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <optional>
 #include <thread>
@@ -33,8 +34,9 @@ namespace obs_detail {
 /// relaxed atomic add on a per-shard cell (see docs/observability.md for
 /// the metric catalogue).
 struct RuntimeStats {
-  explicit RuntimeStats(obs::MetricsRegistry& registry)
-      : run_count(registry.counter("sim.run.count")),
+  RuntimeStats(obs::MetricsRegistry& registry, std::size_t trace_capacity)
+      : trace(trace_capacity),
+        run_count(registry.counter("sim.run.count")),
         run_slots(registry.counter("sim.run.slots")),
         run_wall_ns(registry.counter("sim.run.wall_ns")),
         segment_count(registry.counter("sim.segment.count")),
@@ -72,7 +74,7 @@ struct RuntimeStats {
     tally.page_tick = tick;
   }
 
-  obs::TraceRing trace{256};
+  obs::TraceRing trace;
   obs::Counter run_count, run_slots, run_wall_ns;
   obs::Counter segment_count, segment_parallel, segment_wall_ns;
   obs::Counter shard_wall_ns, page_wall_ns;
@@ -150,8 +152,28 @@ Network::Network(NetworkConfig config, CostWeights weights)
   PCN_EXPECT(config.update_loss_prob >= 0.0 && config.update_loss_prob < 1.0,
              "Network: update_loss_prob must lie in [0, 1)");
   PCN_EXPECT(config.threads >= 0, "Network: threads must be >= 0");
+  PCN_EXPECT(config.flight_sample_every >= 1,
+             "Network: flight_sample_every must be >= 1");
+  if (const char* env = std::getenv("PCN_TRACE_RING_CAPACITY")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      config_.trace_ring_capacity = static_cast<std::size_t>(parsed);
+    }
+  }
+  PCN_EXPECT(config_.trace_ring_capacity >= 1,
+             "Network: trace_ring_capacity must be >= 1");
   if (config_.collect_runtime_stats) {
-    stats_ = std::make_unique<obs_detail::RuntimeStats>(*registry_);
+    stats_ = std::make_unique<obs_detail::RuntimeStats>(
+        *registry_, config_.trace_ring_capacity);
+  }
+  if (config_.record_flight) {
+    obs::FlightRecorderConfig flight_config;
+    flight_config.sample_every = config_.flight_sample_every;
+    if (config_.flight_shard_capacity > 0) {
+      flight_config.shard_capacity = config_.flight_shard_capacity;
+    }
+    flight_ = std::make_unique<obs::FlightRecorder>(flight_config);
   }
 }
 
@@ -194,6 +216,16 @@ void Network::run(std::int64_t slots) {
   }
   const SimTime end = events_.now() + slots;
   Scratch scratch;
+  if (flight_ != nullptr) {
+    // One shard per possible worker (shard 0 doubles as the inline shard);
+    // preallocated here, before any worker thread exists.
+    const std::size_t shards = std::max<std::size_t>(
+        1, std::min<std::size_t>(
+               static_cast<std::size_t>(resolved_threads()),
+               std::max<std::size_t>(1, attachments_.size())));
+    flight_->ensure_shards(shards);
+    scratch.flight = &flight_->shard(0);
+  }
   // Direct slot loop (no per-slot kernel event): user-scheduled events due
   // at or before a slot run first, then the slot's terminal work — the same
   // order the old self-rescheduling tick produced.  Ranges with no queued
@@ -255,6 +287,7 @@ void Network::run_segment(SimTime first, SimTime last, Scratch& scratch) {
       workers.emplace_back([this, s, first, last, &shard_begin, &errors] {
         Scratch local;
         local.shard = s;
+        if (flight_ != nullptr) local.flight = &flight_->shard(s);
         try {
           run_shard(shard_begin(s), shard_begin(s + 1), first, last, local);
         } catch (...) {
@@ -314,6 +347,10 @@ void Network::process_terminal(Attachment& attachment, SimTime now,
                                Scratch& scratch) {
   Terminal& terminal = *attachment.terminal;
   TerminalMetrics& metrics = attachment.metrics;
+  // Restart the flight-recorder sequence for this (terminal, slot): events
+  // a terminal emits within a slot are numbered 0.. in emission order, so
+  // the (slot, terminal, seq) key is independent of sharding.
+  scratch.flight_seq = 0;
   const double q = terminal.mobility().move_probability(now);
   const double c = terminal.call_probability();
 
@@ -361,6 +398,16 @@ void Network::process_terminal(Attachment& attachment, SimTime now,
 void Network::send_update(Attachment& attachment, SimTime now,
                           Scratch& scratch) {
   Terminal& terminal = *attachment.terminal;
+  // Sampled by the update ordinal (the pre-increment count), so the
+  // decision is deterministic and thread-count independent.
+  const bool record = scratch.flight != nullptr &&
+                      flight_->sampled(attachment.metrics.updates);
+  std::int64_t prior_distance = -1;
+  if (record) {
+    prior_distance = geometry::cell_distance(
+        config_.dimension, terminal.position(),
+        server_.knowledge(terminal.id()).center);
+  }
   ++attachment.metrics.updates;
   attachment.metrics.update_cost += weights_.update_cost;
   if (stats_ != nullptr) ++scratch.tally.updates;
@@ -373,12 +420,39 @@ void Network::send_update(Attachment& attachment, SimTime now,
     // next slot.  The transmission cost is already paid.
     ++attachment.metrics.lost_updates;
     if (stats_ != nullptr) ++scratch.tally.updates_lost;
+    if (record) {
+      obs::FlightEvent event;
+      event.slot = now;
+      event.terminal = terminal.id();
+      event.seq = scratch.flight_seq++;
+      event.type = obs::FlightEventType::kUpdateLost;
+      event.cost = weights_.update_cost;
+      event.distance = prior_distance;
+      scratch.flight->append(event);
+    }
     return;
   }
   server_.on_update(terminal.id(), terminal.position(), now);
   terminal.update_policy().on_center_reset(terminal.position(), now);
   if (const auto radius = terminal.update_policy().containment_radius()) {
     server_.set_radius(terminal.id(), *radius);
+  }
+  if (record) {
+    obs::FlightEvent update_event;
+    update_event.slot = now;
+    update_event.terminal = terminal.id();
+    update_event.seq = scratch.flight_seq++;
+    update_event.type = obs::FlightEventType::kLocationUpdate;
+    update_event.cost = weights_.update_cost;
+    update_event.distance = prior_distance;
+    scratch.flight->append(update_event);
+    obs::FlightEvent reset_event;
+    reset_event.slot = now;
+    reset_event.terminal = terminal.id();
+    reset_event.seq = scratch.flight_seq++;
+    reset_event.type = obs::FlightEventType::kAreaReset;
+    reset_event.cells = server_.knowledge(terminal.id()).radius;
+    scratch.flight->append(reset_event);
   }
   if (config_.count_signalling_bytes) {
     proto::LocationUpdate message;
@@ -404,6 +478,25 @@ void Network::deliver_call(Attachment& attachment, SimTime now,
 
   const std::uint64_t page_id = attachment.next_page_id++;
   const std::int64_t polled_before = metrics.polled_cells;
+  // Flight recording samples whole call lifecycles by the per-terminal
+  // call ordinal (page_id): all events of a sampled call are recorded, so
+  // the recording is an unbiased 1-in-N sample of complete lifecycles.
+  const bool record =
+      scratch.flight != nullptr && flight_->sampled(page_id);
+  std::int64_t arrival_distance = -1;
+  if (record) {
+    arrival_distance = geometry::cell_distance(
+        config_.dimension, terminal.position(), knowledge.center);
+    obs::FlightEvent event;
+    event.slot = now;
+    event.terminal = terminal.id();
+    event.seq = scratch.flight_seq++;
+    event.type = obs::FlightEventType::kCallArrival;
+    event.call = page_id;
+    event.cells = knowledge.radius_at(now);
+    event.distance = arrival_distance;
+    scratch.flight->append(event);
+  }
   // The paging fan-out is the expensive rare path: span every Nth page so
   // the trace ring shows where a slow run spent its cycles while the clock
   // reads stay off the common path (counts stay exact via the tally;
@@ -440,20 +533,45 @@ void Network::deliver_call(Attachment& attachment, SimTime now,
     return std::find(group.begin(), group.end(), terminal.position()) !=
            group.end();
   };
+  // Per-cycle flight event; the ring scan touches only sampled calls.
+  // (poll_group moves the buffer out and back, so `group` is intact here.)
+  auto record_cycle = [&](int cycle, bool hit) {
+    obs::FlightEvent event;
+    event.slot = now;
+    event.terminal = terminal.id();
+    event.seq = scratch.flight_seq++;
+    event.type = obs::FlightEventType::kPollCycle;
+    event.call = page_id;
+    event.cycle = cycle;
+    event.cells = static_cast<std::int64_t>(group.size());
+    event.cost = weights_.poll_cost * static_cast<double>(group.size());
+    for (const geometry::Cell& cell : group) {
+      const auto ring = static_cast<std::int32_t>(geometry::cell_distance(
+          config_.dimension, knowledge.center, cell));
+      if (event.ring_lo == -1 || ring < event.ring_lo) event.ring_lo = ring;
+      if (ring > event.ring_hi) event.ring_hi = ring;
+    }
+    event.found = hit;
+    scratch.flight->append(event);
+  };
 
   int cycles_used = 0;
   bool located = false;
+  bool fell_back = false;
   for (int cycle = 0;; ++cycle) {
     group.clear();
     attachment.paging->append_polling_group(knowledge, now, cycle, group);
     if (group.empty()) break;  // schedule exhausted
-    if (poll_group(cycle)) {
+    const bool hit = poll_group(cycle);
+    if (record) record_cycle(cycle, hit);
+    if (hit) {
       cycles_used = cycle + 1;
       located = true;
       break;
     }
   }
   if (!located) {
+    fell_back = true;
     // Without loss injection the containment invariant makes this
     // unreachable; with lost updates the knowledge can be stale, and the
     // network recovers by expanding-ring paging outward from the stale
@@ -465,16 +583,44 @@ void Network::deliver_call(Attachment& attachment, SimTime now,
                     ? 0
                     : attachment.paging->delay_bound().cycles();
     const int stale_radius = knowledge.radius_at(now);
+    if (record) {
+      obs::FlightEvent event;
+      event.slot = now;
+      event.terminal = terminal.id();
+      event.seq = scratch.flight_seq++;
+      event.type = obs::FlightEventType::kPageFallback;
+      event.call = page_id;
+      event.cycle = cycle;
+      event.distance = stale_radius;
+      scratch.flight->append(event);
+    }
     for (int ring = stale_radius + 1;; ++ring, ++cycle) {
       group.clear();
       geometry::append_cell_ring(config_.dimension, knowledge.center, ring,
                                  group);
-      if (poll_group(cycle)) {
+      const bool hit = poll_group(cycle);
+      if (record) record_cycle(cycle, hit);
+      if (hit) {
         cycles_used = cycle + 1;
         located = true;
         break;
       }
     }
+  }
+  if (record) {
+    obs::FlightEvent event;
+    event.slot = now;
+    event.terminal = terminal.id();
+    event.seq = scratch.flight_seq++;
+    event.type = obs::FlightEventType::kCallFound;
+    event.call = page_id;
+    event.cycle = cycles_used;
+    event.cells = metrics.polled_cells - polled_before;
+    event.cost = weights_.poll_cost *
+                 static_cast<double>(metrics.polled_cells - polled_before);
+    event.distance = arrival_distance;
+    event.found = !fell_back;
+    scratch.flight->append(event);
   }
   if (config_.count_signalling_bytes) {
     proto::PageResponse response;
@@ -523,6 +669,12 @@ const Terminal& Network::terminal(TerminalId id) const {
   PCN_EXPECT(id >= 0 && static_cast<std::size_t>(id) < attachments_.size(),
              "Network::terminal: unknown terminal");
   return *attachments_[static_cast<std::size_t>(id)].terminal;
+}
+
+const PagingPolicy& Network::paging_policy(TerminalId id) const {
+  PCN_EXPECT(id >= 0 && static_cast<std::size_t>(id) < attachments_.size(),
+             "Network::paging_policy: unknown terminal");
+  return *attachments_[static_cast<std::size_t>(id)].paging;
 }
 
 }  // namespace pcn::sim

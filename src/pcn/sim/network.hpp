@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "pcn/common/params.hpp"
+#include "pcn/obs/flight_recorder.hpp"
 #include "pcn/obs/metrics.hpp"
 #include "pcn/sim/event_queue.hpp"
 #include "pcn/sim/location_server.hpp"
@@ -87,6 +88,25 @@ struct NetworkConfig {
   /// Off by default; the slot-loop overhead when enabled is bounded by the
   /// 3% gate in tools/run_checks.sh.
   bool collect_runtime_stats = false;
+  /// Record per-call flight-recorder events (see obs/flight_recorder.hpp):
+  /// each sampled call's full lifecycle — arrival, every polling cycle,
+  /// found — plus sampled update / lost-update / area-reset events.
+  /// Independent of collect_runtime_stats, purely observational (no RNG
+  /// draws), and bit-identical TerminalMetrics with it on or off.
+  bool record_flight = false;
+  /// 1-in-N sampling of recorded call lifecycles and update events (per
+  /// terminal, by the terminal's own ordinals — deterministic at any
+  /// thread count).  1 records everything; the default keeps the recording
+  /// overhead inside the run_checks.sh 3% gate.
+  std::uint64_t flight_sample_every = 8;
+  /// Events preallocated per worker shard; 0 uses the recorder's default
+  /// (FlightRecorderConfig::shard_capacity).  A full shard drops further
+  /// events and counts them.
+  std::size_t flight_shard_capacity = 0;
+  /// Capacity of the hot-path span trace ring (collect_runtime_stats),
+  /// rounded up to a power of two.  The PCN_TRACE_RING_CAPACITY
+  /// environment variable overrides this at Network construction.
+  std::size_t trace_ring_capacity = 256;
 };
 
 /// Everything needed to attach one terminal to the network.
@@ -146,6 +166,15 @@ class Network {
   /// Dump format() on error paths to see the last hot-path spans.
   const obs::TraceRing* trace() const;
 
+  /// The per-call flight recorder, or nullptr unless
+  /// NetworkConfig::record_flight is set.  Read it (merged(), exporters)
+  /// only between run() calls.
+  obs::FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+  /// The paging policy attached to `id` — reports use its delay_bound()
+  /// for the SLA verdicts.
+  const PagingPolicy& paging_policy(TerminalId id) const;
+
  private:
   struct Attachment {
     std::unique_ptr<Terminal> terminal;
@@ -165,6 +194,12 @@ class Network {
     std::size_t shard = 0;
     /// Per-worker event counts, flushed to the registry per segment.
     obs_detail::EventTally tally;
+    /// This worker's flight-recorder shard (nullptr when not recording).
+    obs::FlightRecorder::Shard* flight = nullptr;
+    /// Event sequence within the current (terminal, slot); reset at each
+    /// process_terminal entry so the (slot, terminal, seq) key is
+    /// independent of sharding.
+    std::uint32_t flight_seq = 0;
   };
 
   /// Simulates slots `first`..`last` (inclusive), a range guaranteed free
@@ -196,6 +231,8 @@ class Network {
   /// config_.collect_runtime_stats (the hot path then skips telemetry with
   /// one predicted branch).
   std::unique_ptr<obs_detail::RuntimeStats> stats_;
+  /// Per-call flight recorder; null unless config_.record_flight.
+  std::unique_ptr<obs::FlightRecorder> flight_;
 };
 
 }  // namespace pcn::sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <string>
 
 namespace pcn::cli {
 namespace {
@@ -69,8 +70,33 @@ TEST(Args, DuplicateFlagsAreRejected) {
   EXPECT_THROW(parse({"plan", "--q", "0.1", "--q", "0.2"}), UsageError);
 }
 
-TEST(Args, PositionalAfterFlagsIsRejected) {
-  EXPECT_THROW(parse({"plan", "--q", "0.1", "stray"}), UsageError);
+TEST(Args, UnconsumedPositionalIsRejected) {
+  const Args args = parse({"plan", "--q", "0.1", "stray"});
+  EXPECT_DOUBLE_EQ(args.get_double("q"), 0.1);
+  // Commands that take no operands reject stray positionals at
+  // reject_unconsumed() time, mirroring the unknown-flag check.
+  EXPECT_THROW(args.reject_unconsumed(), UsageError);
+}
+
+TEST(Args, PositionalsAreCollectedInOrder) {
+  const Args args = parse({"trace-summary", "first", "--q", "0.1", "second"});
+  ASSERT_EQ(args.positional_count(), 2u);
+  EXPECT_EQ(args.positional(0, "TRACE_FILE"), "first");
+  EXPECT_EQ(args.positional(1, "OTHER"), "second");
+  EXPECT_DOUBLE_EQ(args.get_double("q"), 0.1);
+  EXPECT_NO_THROW(args.reject_unconsumed());
+}
+
+TEST(Args, MissingPositionalNamesTheOperand) {
+  const Args args = parse({"trace-summary"});
+  try {
+    args.positional(0, "TRACE_FILE");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& error) {
+    EXPECT_NE(std::string(error.what()).find(
+                  "missing required argument: TRACE_FILE"),
+              std::string::npos);
+  }
 }
 
 TEST(Args, UnknownFlagsAreCaughtByRejectUnconsumed) {

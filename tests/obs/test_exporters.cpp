@@ -114,9 +114,9 @@ TEST(BenchReportTest, ParseLineAndJson) {
 
 TEST(BenchReportTest, OutputPathHonoursBenchDir) {
   BenchReport report("unit_bench");
-  // Not set => current directory.
+  // Not set => the git-ignored default output directory.
   unsetenv("PCN_BENCH_DIR");
-  EXPECT_EQ(report.output_path(), "BENCH_unit_bench.json");
+  EXPECT_EQ(report.output_path(), "bench/out/BENCH_unit_bench.json");
   setenv("PCN_BENCH_DIR", "/tmp/pcn_bench_test", 1);
   EXPECT_EQ(report.output_path(), "/tmp/pcn_bench_test/BENCH_unit_bench.json");
   unsetenv("PCN_BENCH_DIR");
@@ -154,6 +154,53 @@ TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(TraceRing(256).capacity(), 256u);
 }
 
+TEST(TraceRingTest, WrapAtNonDefaultCapacity) {
+  TraceRing ring(32);
+  ASSERT_EQ(ring.capacity(), 32u);
+  for (std::int64_t i = 0; i < 100; ++i) ring.record("span", i, 1, 0);
+  EXPECT_EQ(ring.recorded(), 100u);
+  const auto spans = ring.recent();
+  ASSERT_EQ(spans.size(), 32u);
+  // Oldest first: the 32 most recent start times are 68..99.
+  EXPECT_EQ(spans[0].start_ns, 68);
+  EXPECT_EQ(spans[31].start_ns, 99);
+}
+
+/// NetworkConfig::trace_ring_capacity sizes the runtime ring; the
+/// PCN_TRACE_RING_CAPACITY environment variable overrides it without a
+/// recompile.  Both paths must wrap correctly at non-default sizes.
+TEST(TraceRingTest, NetworkHonoursConfiguredCapacity) {
+  unsetenv("PCN_TRACE_RING_CAPACITY");
+  pcn::sim::NetworkConfig config{pcn::Dimension::kOneD,
+                                 pcn::sim::SlotSemantics::kChainFaithful, 7};
+  config.collect_runtime_stats = true;
+  config.trace_ring_capacity = 32;
+  pcn::sim::Network network(config, pcn::CostWeights{100.0, 10.0});
+  network.add_terminal(pcn::sim::make_distance_terminal(
+      pcn::Dimension::kOneD, pcn::MobilityProfile{0.1, 0.05}, 3,
+      pcn::DelayBound(2)));
+  network.run(50000);
+  ASSERT_NE(network.trace(), nullptr);
+  EXPECT_EQ(network.trace()->capacity(), 32u);
+  // Page spans are 1-in-32 sampled, so 50000 slots at call_prob 0.05
+  // still record ~78 of them: the ring must have wrapped, keeping only
+  // the newest 32 spans.
+  EXPECT_GT(network.trace()->recorded(), 32u);
+  EXPECT_EQ(network.trace()->recent().size(), 32u);
+}
+
+TEST(TraceRingTest, NetworkHonoursCapacityEnvOverride) {
+  setenv("PCN_TRACE_RING_CAPACITY", "64", 1);
+  pcn::sim::NetworkConfig config{pcn::Dimension::kOneD,
+                                 pcn::sim::SlotSemantics::kChainFaithful, 7};
+  config.collect_runtime_stats = true;
+  config.trace_ring_capacity = 32;  // env wins over the config value
+  pcn::sim::Network network(config, pcn::CostWeights{100.0, 10.0});
+  unsetenv("PCN_TRACE_RING_CAPACITY");
+  ASSERT_NE(network.trace(), nullptr);
+  EXPECT_EQ(network.trace()->capacity(), 64u);
+}
+
 TEST(RunReportTest, JsonShapeFromRealRun) {
   pcn::sim::NetworkConfig config{pcn::Dimension::kOneD,
                                  pcn::sim::SlotSemantics::kChainFaithful, 7};
@@ -185,6 +232,13 @@ TEST(RunReportTest, JsonShapeFromRealRun) {
   EXPECT_NE(json.find("\"throughput\":{\"slots_per_sec\":"),
             std::string::npos);
   EXPECT_NE(json.find("\"metrics\":{\"counters\":{"), std::string::npos);
+  // Delay-distribution section: percentiles plus the SLA verdict (the
+  // fleet's planned policy has delay bound m=2, so violations must be 0).
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sla\":{\"bound_cycles\":2,\"violations\":0}"),
+            std::string::npos);
 }
 
 TEST(WriteFileTest, ReportsUnwritablePath) {

@@ -1,0 +1,212 @@
+// Trace analysis: the delay distribution / per-cycle / SLA aggregation
+// over synthetic recordings with known answers, and the observed-vs-
+// predicted model comparison (α_j chi-square, per-call poll cost) on a
+// real seeded distance-policy run — the statistical acceptance check
+// `pcnctl trace-summary` prints.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcn/obs/trace_analysis.hpp"
+#include "pcn/sim/network.hpp"
+
+namespace pcn::obs {
+namespace {
+
+/// Appends one complete recorded lifecycle taking `cycles` polling cycles
+/// (10 cells, 1 cost unit per cell per cycle), optionally via fallback.
+void add_call(std::vector<FlightEvent>* events, std::int64_t slot,
+              std::int32_t terminal, std::uint64_t call, int cycles,
+              bool clean = true) {
+  std::uint32_t seq = 0;
+  FlightEvent arrival;
+  arrival.slot = slot;
+  arrival.terminal = terminal;
+  arrival.seq = seq++;
+  arrival.type = FlightEventType::kCallArrival;
+  arrival.call = call;
+  events->push_back(arrival);
+  for (int k = 0; k < cycles; ++k) {
+    FlightEvent cycle;
+    cycle.slot = slot;
+    cycle.terminal = terminal;
+    cycle.seq = seq++;
+    cycle.type = FlightEventType::kPollCycle;
+    cycle.call = call;
+    cycle.cycle = k;
+    cycle.cells = 10;
+    cycle.cost = 10.0;
+    cycle.found = k == cycles - 1;
+    events->push_back(cycle);
+  }
+  FlightEvent found;
+  found.slot = slot;
+  found.terminal = terminal;
+  found.seq = seq++;
+  found.type = FlightEventType::kCallFound;
+  found.call = call;
+  found.cycle = cycles;
+  found.cells = 10 * cycles;
+  found.cost = 10.0 * cycles;
+  found.found = clean;
+  events->push_back(found);
+}
+
+TEST(TraceAnalysisTest, AggregatesSyntheticRecording) {
+  TraceMeta meta;
+  meta.delay_cycles = 2;
+  std::vector<FlightEvent> events;
+  // 10 calls: six in 1 cycle, three in 2, one (fallback) in 4 — the
+  // 4-cycle call violates the m = 2 bound.
+  for (int i = 0; i < 6; ++i) add_call(&events, 10 + i, 0, i, 1);
+  for (int i = 0; i < 3; ++i) add_call(&events, 30 + i, 1, i, 2);
+  add_call(&events, 90, 2, 0, 4, /*clean=*/false);
+
+  FlightEvent update;
+  update.slot = 5;
+  update.type = FlightEventType::kLocationUpdate;
+  update.cost = 100.0;
+  events.push_back(update);
+  FlightEvent lost = update;
+  lost.slot = 6;
+  lost.type = FlightEventType::kUpdateLost;
+  events.push_back(lost);
+  FlightEvent reset;
+  reset.slot = 5;
+  reset.seq = 1;
+  reset.type = FlightEventType::kAreaReset;
+  reset.cells = 3;
+  events.push_back(reset);
+
+  const TraceAnalysis analysis = analyze_trace(meta, events);
+  EXPECT_EQ(analysis.calls, 10);
+  EXPECT_EQ(analysis.clean_calls, 9);
+  EXPECT_EQ(analysis.fallback_calls, 1);
+  ASSERT_EQ(analysis.cycles_hist.size(), 5u);  // [0] unused, up to 4 cycles
+  EXPECT_EQ(analysis.cycles_hist[1], 6);
+  EXPECT_EQ(analysis.cycles_hist[2], 3);
+  EXPECT_EQ(analysis.cycles_hist[3], 0);
+  EXPECT_EQ(analysis.cycles_hist[4], 1);
+  ASSERT_EQ(analysis.clean_cycles_hist.size(), 3u);
+  EXPECT_EQ(analysis.clean_cycles_hist[1], 6);
+  EXPECT_EQ(analysis.clean_cycles_hist[2], 3);
+  EXPECT_DOUBLE_EQ(analysis.mean_cycles, 1.6);  // (6*1 + 3*2 + 4) / 10
+  EXPECT_EQ(analysis.p50, 1);
+  EXPECT_EQ(analysis.p95, 4);
+  EXPECT_EQ(analysis.p99, 4);
+  EXPECT_EQ(analysis.max_cycles, 4);
+
+  // Per-cycle breakdown: all 10 calls ran cycle 0; four reached cycle 1.
+  ASSERT_EQ(analysis.per_cycle.size(), 4u);
+  EXPECT_EQ(analysis.per_cycle[0].reached, 10);
+  EXPECT_EQ(analysis.per_cycle[0].found, 6);
+  EXPECT_EQ(analysis.per_cycle[0].cells, 100);
+  EXPECT_EQ(analysis.per_cycle[1].reached, 4);
+  EXPECT_EQ(analysis.per_cycle[1].found, 3);
+  EXPECT_EQ(analysis.per_cycle[3].reached, 1);
+  EXPECT_EQ(analysis.per_cycle[3].found, 1);
+  EXPECT_EQ(analysis.total_cells, 160);
+  EXPECT_DOUBLE_EQ(analysis.total_cost, 160.0);
+  EXPECT_DOUBLE_EQ(analysis.mean_cost, 16.0);
+
+  EXPECT_EQ(analysis.updates, 1);
+  EXPECT_EQ(analysis.updates_lost, 1);
+  EXPECT_EQ(analysis.resets, 1);
+
+  EXPECT_EQ(analysis.sla_bound, 2);
+  ASSERT_EQ(analysis.violations.size(), 1u);
+  EXPECT_EQ(analysis.violations[0].slot, 90);
+  EXPECT_EQ(analysis.violations[0].terminal, 2);
+  EXPECT_EQ(analysis.violations[0].cycles, 4);
+}
+
+TEST(TraceAnalysisTest, UnboundedDelayMeansNoViolations) {
+  TraceMeta meta;  // delay_cycles = 0 => unbounded
+  std::vector<FlightEvent> events;
+  add_call(&events, 10, 0, 0, 9);
+  const TraceAnalysis analysis = analyze_trace(meta, events);
+  EXPECT_EQ(analysis.sla_bound, 0);
+  EXPECT_TRUE(analysis.violations.empty());
+}
+
+TEST(AlphaComparisonTest, NotApplicableOutsideDistancePolicy) {
+  TraceMeta meta;
+  meta.policy = "movement";
+  meta.move_prob = 0.1;
+  meta.call_prob = 0.05;
+  std::vector<FlightEvent> events;
+  add_call(&events, 1, 0, 0, 1);
+  const AlphaComparison comparison =
+      compare_with_model(meta, analyze_trace(meta, events));
+  EXPECT_FALSE(comparison.applicable);
+  EXPECT_NE(comparison.reason.find("distance"), std::string::npos);
+}
+
+TEST(AlphaComparisonTest, ConsistentOnSeededDistanceRun) {
+  // A real 1-D run: distance threshold d = 3, delay bound m = 2.  The
+  // recording's clean-call cycle frequencies must be statistically
+  // consistent with the chain's α_j at the 99.9% level, and the observed
+  // per-call poll cost must land near V · Σ α_j w_j.
+  const MobilityProfile profile{0.1, 0.05};
+  const CostWeights weights{100.0, 10.0};
+  sim::NetworkConfig config{Dimension::kOneD,
+                            sim::SlotSemantics::kChainFaithful, 11};
+  config.record_flight = true;
+  config.flight_sample_every = 1;
+  sim::Network network(config, weights);
+  network.add_terminal(sim::make_distance_terminal(
+      Dimension::kOneD, profile, 3, DelayBound(2)));
+  network.run(60000);
+
+  TraceMeta meta;
+  meta.dimension = 1;
+  meta.seed = 11;
+  meta.slots = 60000;
+  meta.move_prob = profile.move_prob;
+  meta.call_prob = profile.call_prob;
+  meta.update_cost = weights.update_cost;
+  meta.poll_cost = weights.poll_cost;
+  meta.policy = "distance";
+  meta.param = 3;
+  meta.scheme = "sdf";
+  meta.delay_cycles = 2;
+
+  const TraceAnalysis analysis =
+      analyze_trace(meta, network.flight_recorder()->merged());
+  EXPECT_GT(analysis.clean_calls, 1000);
+  EXPECT_TRUE(analysis.violations.empty());
+
+  const AlphaComparison comparison = compare_with_model(meta, analysis);
+  ASSERT_TRUE(comparison.applicable) << comparison.reason;
+  ASSERT_EQ(comparison.predicted_alpha.size(), 2u);  // m = 2 subareas
+  EXPECT_EQ(comparison.sample_size, analysis.clean_calls);
+  double alpha_sum = 0.0;
+  for (const double alpha : comparison.predicted_alpha) alpha_sum += alpha;
+  EXPECT_NEAR(alpha_sum, 1.0, 1e-9);
+  EXPECT_TRUE(comparison.consistent)
+      << "chi-square " << comparison.chi_square << " on " << comparison.dof
+      << " dof (critical " << comparison.critical_999 << ")";
+  EXPECT_GT(comparison.predicted_cost_per_call, 0.0);
+  // 10% agreement is loose against the ~1.5% statistical wobble at this
+  // sample size but tight against any real modelling mismatch.
+  EXPECT_NEAR(comparison.observed_cost_per_call,
+              comparison.predicted_cost_per_call,
+              0.1 * comparison.predicted_cost_per_call);
+}
+
+TEST(AlphaComparisonTest, NotApplicableWithoutCleanCalls) {
+  TraceMeta meta;
+  meta.policy = "distance";
+  meta.param = 3;
+  meta.move_prob = 0.1;
+  meta.call_prob = 0.05;
+  meta.delay_cycles = 2;
+  const AlphaComparison comparison =
+      compare_with_model(meta, analyze_trace(meta, {}));
+  EXPECT_FALSE(comparison.applicable);
+}
+
+}  // namespace
+}  // namespace pcn::obs

@@ -1,0 +1,292 @@
+// Trace serialization: the pcn.trace.v1 JSONL round trip (every event
+// type, payload-field omission, line-qualified parse errors), the Chrome
+// trace_event export (must parse as JSON and carry the expected slices),
+// and the JsonValue recursive-descent parser both exporters' tests lean
+// on.  The formats are the stable exchange contract of `pcnctl
+// trace-summary` and the Perfetto workflow — change them deliberately.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "pcn/obs/json.hpp"
+#include "pcn/obs/trace_export.hpp"
+
+namespace pcn::obs {
+namespace {
+
+TraceMeta sample_meta() {
+  TraceMeta meta;
+  meta.dimension = 2;
+  meta.semantics = "chain_faithful";
+  meta.seed = 42;
+  meta.threads = 4;
+  meta.slots = 20000;
+  meta.move_prob = 0.1;
+  meta.call_prob = 0.05;
+  meta.update_cost = 100.0;
+  meta.poll_cost = 10.0;
+  meta.policy = "distance";
+  meta.param = 3;
+  meta.scheme = "sdf";
+  meta.delay_cycles = 2;
+  meta.sample_every = 8;
+  meta.dropped_events = 0;
+  return meta;
+}
+
+/// One full recorded lifecycle plus every other event type once.
+std::vector<FlightEvent> sample_events() {
+  std::vector<FlightEvent> events;
+  FlightEvent arrival;
+  arrival.slot = 12;
+  arrival.terminal = 3;
+  arrival.seq = 0;
+  arrival.type = FlightEventType::kCallArrival;
+  arrival.call = 8;
+  arrival.cells = 3;
+  arrival.distance = 2;
+  events.push_back(arrival);
+
+  FlightEvent cycle;
+  cycle.slot = 12;
+  cycle.terminal = 3;
+  cycle.seq = 1;
+  cycle.type = FlightEventType::kPollCycle;
+  cycle.call = 8;
+  cycle.cycle = 0;
+  cycle.cells = 5;
+  cycle.cost = 50.0;
+  cycle.ring_lo = 0;
+  cycle.ring_hi = 2;
+  cycle.found = true;
+  events.push_back(cycle);
+
+  FlightEvent found;
+  found.slot = 12;
+  found.terminal = 3;
+  found.seq = 2;
+  found.type = FlightEventType::kCallFound;
+  found.call = 8;
+  found.cycle = 1;
+  found.cells = 5;
+  found.cost = 50.0;
+  found.distance = 2;
+  found.found = true;
+  events.push_back(found);
+
+  FlightEvent update;
+  update.slot = 30;
+  update.terminal = 1;
+  update.seq = 0;
+  update.type = FlightEventType::kLocationUpdate;
+  update.cost = 100.0;
+  update.distance = 3;
+  events.push_back(update);
+
+  FlightEvent reset;
+  reset.slot = 30;
+  reset.terminal = 1;
+  reset.seq = 1;
+  reset.type = FlightEventType::kAreaReset;
+  reset.cells = 3;
+  events.push_back(reset);
+
+  FlightEvent lost;
+  lost.slot = 41;
+  lost.terminal = 1;
+  lost.seq = 0;
+  lost.type = FlightEventType::kUpdateLost;
+  lost.cost = 100.0;
+  lost.distance = 3;
+  events.push_back(lost);
+
+  FlightEvent fallback;
+  fallback.slot = 55;
+  fallback.terminal = 1;
+  fallback.seq = 1;
+  fallback.type = FlightEventType::kPageFallback;
+  fallback.call = 2;
+  fallback.cycle = 2;
+  fallback.distance = 3;
+  events.push_back(fallback);
+  return events;
+}
+
+TEST(TraceJsonlTest, RoundTripIsExact) {
+  const TraceMeta meta = sample_meta();
+  const std::vector<FlightEvent> events = sample_events();
+  const std::string text = to_trace_jsonl(meta, events);
+  // Header plus one line per event, newline-terminated.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            events.size() + 1);
+
+  TraceMeta parsed_meta;
+  std::vector<FlightEvent> parsed_events;
+  std::string error;
+  ASSERT_TRUE(parse_trace_jsonl(text, &parsed_meta, &parsed_events, &error))
+      << error;
+  EXPECT_EQ(parsed_meta, meta);
+  ASSERT_EQ(parsed_events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed_events[i], events[i]) << "event " << i;
+  }
+}
+
+TEST(TraceJsonlTest, DefaultPayloadFieldsAreOmitted) {
+  FlightEvent event;
+  event.slot = 7;
+  event.terminal = 2;
+  event.seq = 0;
+  event.type = FlightEventType::kAreaReset;
+  const std::string text = to_trace_jsonl(sample_meta(), {event});
+  const std::size_t line_start = text.find('\n') + 1;
+  const std::string line = text.substr(line_start,
+                                       text.find('\n', line_start) -
+                                           line_start);
+  EXPECT_EQ(line,
+            "{\"slot\":7,\"terminal\":2,\"seq\":0,\"type\":\"area_reset\"}");
+}
+
+TEST(TraceJsonlTest, ParseErrorsAreLineQualified) {
+  TraceMeta meta;
+  std::vector<FlightEvent> events;
+  std::string error;
+
+  EXPECT_FALSE(parse_trace_jsonl("", &meta, &events, &error));
+  EXPECT_NE(error.find("empty document"), std::string::npos);
+
+  EXPECT_FALSE(parse_trace_jsonl("{\"schema\":\"bogus\"}\n", &meta, &events,
+                                 &error));
+  EXPECT_NE(error.find("line 1: missing or unknown schema"),
+            std::string::npos);
+
+  const std::string good_header = "{\"schema\":\"pcn.trace.v1\"}\n";
+  EXPECT_FALSE(parse_trace_jsonl(good_header + "{\"type\":\"nonsense\"}\n",
+                                 &meta, &events, &error));
+  EXPECT_NE(error.find("line 2: unknown event type \"nonsense\""),
+            std::string::npos);
+
+  EXPECT_FALSE(parse_trace_jsonl(good_header + "{not json\n", &meta, &events,
+                                 &error));
+  EXPECT_NE(error.find("line 2:"), std::string::npos);
+
+  // Blank lines are tolerated (a trailing newline is normal).
+  events.clear();
+  EXPECT_TRUE(parse_trace_jsonl(
+      good_header + "\n{\"slot\":1,\"terminal\":0,\"seq\":0,"
+                    "\"type\":\"call_found\"}\n\n",
+      &meta, &events, &error))
+      << error;
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(ChromeTraceTest, ParsesAsJsonWithExpectedSlices) {
+  const std::string text = to_chrome_trace(sample_meta(), sample_events());
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(text, &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.string_or("displayTimeUnit", ""), "ms");
+
+  const JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->string_or("schema", ""), "pcn.trace.v1");
+  EXPECT_EQ(other->int_or("seed", 0), 42);
+
+  const JsonValue* trace_events = doc.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  int metadata = 0, slices = 0, instants = 0;
+  for (const JsonValue& event : trace_events->array) {
+    const std::string phase = event.string_or("ph", "");
+    if (phase == "M") ++metadata;
+    if (phase == "X") ++slices;
+    if (phase == "i") ++instants;
+  }
+  // Two terminals appear in the recording => two thread_name records; the
+  // call produces one call slice plus one nested cycle slice; the update,
+  // reset, lost and fallback events are four instants.
+  EXPECT_EQ(metadata, 2);
+  EXPECT_EQ(slices, 2);
+  EXPECT_EQ(instants, 4);
+}
+
+TEST(ChromeTraceTest, IsDeterministic) {
+  const std::string a = to_chrome_trace(sample_meta(), sample_events());
+  const std::string b = to_chrome_trace(sample_meta(), sample_events());
+  EXPECT_EQ(a, b);
+}
+
+// ---- JsonValue parser -------------------------------------------------------
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(parse_json(text, &value, &error)) << text << ": " << error;
+  return value;
+}
+
+std::string parse_fail(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(parse_json(text, &value, &error)) << text;
+  return error;
+}
+
+TEST(JsonParserTest, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_EQ(parse_ok("true").boolean, true);
+  EXPECT_EQ(parse_ok("false").boolean, false);
+  EXPECT_DOUBLE_EQ(parse_ok("-2.5e2").number, -250.0);
+  EXPECT_DOUBLE_EQ(parse_ok("42").number, 42.0);
+  EXPECT_EQ(parse_ok("\"hi\"").string, "hi");
+}
+
+TEST(JsonParserTest, EscapesAndUnicode) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\nd\te")").string, "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_ok(R"("\u0041\u00e9")").string, "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_ok(R"("\ud83d\ude00")").string, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParserTest, NestedStructures) {
+  const JsonValue doc =
+      parse_ok(R"({"a":[1,2,{"b":true}],"c":{"d":null},"e":"x"})");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.0);
+  EXPECT_EQ(a->array[2].bool_or("b", false), true);
+  EXPECT_TRUE(doc.find("c")->find("d")->is_null());
+  EXPECT_EQ(doc.string_or("e", ""), "x");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.int_or("missing", -7), -7);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_NE(parse_fail(""), "");
+  EXPECT_NE(parse_fail("{"), "");
+  EXPECT_NE(parse_fail("[1,]"), "");
+  EXPECT_NE(parse_fail("{\"a\":}"), "");
+  EXPECT_NE(parse_fail("tru"), "");
+  EXPECT_NE(parse_fail("\"unterminated"), "");
+  EXPECT_NE(parse_fail("\"bad escape \\x\""), "");
+  // Trailing garbage after a complete value is an error, with an offset.
+  const std::string error = parse_fail("{} trailing");
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(JsonParserTest, DepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_NE(parse_fail(deep).find("nesting too deep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcn::obs

@@ -1,11 +1,12 @@
 // pcnctl — operations front-end for libpcn.
 //
 // Commands:
-//   plan      compute the optimal threshold + paging plan for one profile
-//   surface   print the C_T(d, m) trade-off surface
-//   simulate  run the discrete-event network and report measured metrics
-//   sweep     sweep q or c at the optimal threshold (figure 4/5 style)
-//   baselines analytic comparison vs movement-/time-based schemes
+//   plan          compute the optimal threshold + paging plan for one profile
+//   surface       print the C_T(d, m) trade-off surface
+//   simulate      run the discrete-event network and report measured metrics
+//   sweep         sweep q or c at the optimal threshold (figure 4/5 style)
+//   baselines     analytic comparison vs movement-/time-based schemes
+//   trace-summary analyze a pcn.trace.v1 flight recording
 //
 // Common flags:
 //   --dim {1|2}        geometry (default 2)
@@ -24,20 +25,32 @@
 //   --metrics-out F    write a pcn.run_report.v1 JSON RunReport to F
 //                      ("-" = stdout); enables runtime telemetry
 //   --progress         stream chunked progress + slots/sec to stderr
+//   --trace-out F      record a per-call flight trace to F ("-" = stdout)
+//   --trace-format {jsonl|chrome}  pcn.trace.v1 JSONL (default) or a
+//                      Chrome/Perfetto trace_event file
+//   --trace-sample N   record 1 in N call lifecycles (default 8)
 // sweep extras:
 //   --variable {q|c}   which rate to sweep
 //   --from F --to F --points N
+// trace-summary:
+//   pcnctl trace-summary FILE   delay distribution, per-cycle costs,
+//   SLA verdicts and the observed-vs-predicted model comparison for a
+//   pcn.trace.v1 file; exits 1 when any call exceeded the delay bound.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <string>
 
+#include <vector>
+
 #include "pcn/baselines/baseline_models.hpp"
 #include "pcn/cli/args.hpp"
 #include "pcn/core/location_manager.hpp"
 #include "pcn/obs/report.hpp"
 #include "pcn/obs/timer.hpp"
+#include "pcn/obs/trace_analysis.hpp"
+#include "pcn/obs/trace_export.hpp"
 #include "pcn/sim/network.hpp"
 
 namespace {
@@ -48,17 +61,21 @@ using pcn::cli::UsageError;
 constexpr const char* kUsage = R"(usage: pcnctl <command> [flags]
 
 commands:
-  plan      optimal threshold + paging plan for one user profile
-  surface   C_T(d, m) trade-off surface
-  simulate  discrete-event run with measured metrics
-  sweep     cost-at-optimum sweep over q or c
-  baselines analytic movement-/time-based comparison vs the planned policy
+  plan          optimal threshold + paging plan for one user profile
+  surface       C_T(d, m) trade-off surface
+  simulate      discrete-event run with measured metrics
+  sweep         cost-at-optimum sweep over q or c
+  baselines     analytic movement-/time-based comparison vs the planned policy
+  trace-summary analyze a pcn.trace.v1 flight recording (exit 1 on SLA
+                violations)
 
 common flags: --dim {1|2} --q F --c F --U F --V F --delay N --max-d N
               --scheme {sdf|optimal|hpf} --optimizer {scan|anneal|near}
 simulate:     --slots N --seed N --policy {distance|movement|time|la} --param N
               --threads N --metrics-out FILE --progress
+              --trace-out FILE --trace-format {jsonl|chrome} --trace-sample N
 sweep:        --variable {q|c} --from F --to F --points N
+trace-summary: pcnctl trace-summary FILE
 )";
 
 pcn::Dimension parse_dim(const Args& args) {
@@ -178,27 +195,41 @@ int cmd_simulate(const Args& args) {
   const int threads = static_cast<int>(args.get_int_or("threads", 1));
   const std::string metrics_out = args.get_string_or("metrics-out", "");
   const bool progress = args.get_switch("progress");
+  const std::string trace_out = args.get_string_or("trace-out", "");
+  const std::string trace_format =
+      args.get_string_or("trace-format", "jsonl");
+  const std::int64_t trace_sample = args.get_int_or("trace-sample", 8);
+  if (trace_format != "jsonl" && trace_format != "chrome") {
+    throw UsageError("--trace-format must be jsonl or chrome");
+  }
+  if (trace_sample < 1) throw UsageError("--trace-sample must be >= 1");
+  const std::string scheme_name = args.get_string_or("scheme", "sdf");
   const pcn::core::LocationManager manager(dim, profile, weights,
                                            parse_planner(args));
 
   pcn::sim::TerminalSpec spec;
   std::string description;
+  std::int64_t policy_param = 0;
   if (policy == "distance") {
     const pcn::core::LocationPlan plan = manager.plan(bound);
     spec = manager.make_terminal_spec(plan);
     description = "distance d*=" + std::to_string(plan.threshold);
+    policy_param = plan.threshold;
   } else if (policy == "movement") {
     const int moves = static_cast<int>(args.get_int_or("param", 5));
     spec = pcn::sim::make_movement_terminal(dim, profile, moves, bound);
     description = "movement M=" + std::to_string(moves);
+    policy_param = moves;
   } else if (policy == "time") {
     const auto period = args.get_int_or("param", 50);
     spec = pcn::sim::make_time_terminal(dim, profile, period);
     description = "time T=" + std::to_string(period);
+    policy_param = period;
   } else if (policy == "la") {
     const int radius = static_cast<int>(args.get_int_or("param", 2));
     spec = pcn::sim::make_la_terminal(dim, profile, radius);
     description = "location-area R=" + std::to_string(radius);
+    policy_param = radius;
   } else {
     throw UsageError("--policy must be distance, movement, time or la");
   }
@@ -208,6 +239,9 @@ int cmd_simulate(const Args& args) {
       dim, pcn::sim::SlotSemantics::kChainFaithful, seed};
   net_config.threads = threads;
   net_config.collect_runtime_stats = !metrics_out.empty() || progress;
+  net_config.record_flight = !trace_out.empty();
+  net_config.flight_sample_every =
+      static_cast<std::uint64_t>(trace_sample);
   pcn::sim::Network network(net_config, weights);
   const pcn::sim::TerminalId id = network.add_terminal(std::move(spec));
   if (progress) {
@@ -269,7 +303,141 @@ int cmd_simulate(const Args& args) {
       return 1;
     }
   }
+  if (!trace_out.empty()) {
+    const pcn::obs::FlightRecorder* recorder = network.flight_recorder();
+    pcn::obs::TraceMeta meta;
+    meta.dimension = dim == pcn::Dimension::kOneD ? 1 : 2;
+    meta.semantics = "chain_faithful";
+    meta.seed = seed;
+    meta.threads = threads;
+    meta.slots = slots;
+    meta.move_prob = profile.move_prob;
+    meta.call_prob = profile.call_prob;
+    meta.update_cost = weights.update_cost;
+    meta.poll_cost = weights.poll_cost;
+    meta.policy = policy;
+    meta.param = policy_param;
+    meta.scheme = scheme_name;
+    meta.delay_cycles = bound.is_unbounded() ? 0 : bound.cycles();
+    meta.sample_every = recorder->config().sample_every;
+    meta.dropped_events = recorder->dropped();
+    if (recorder->dropped() > 0) {
+      std::fprintf(stderr,
+                   "pcnctl: warning: flight recorder dropped %llu events "
+                   "(raise NetworkConfig::flight_shard_capacity)\n",
+                   static_cast<unsigned long long>(recorder->dropped()));
+    }
+    const std::vector<pcn::obs::FlightEvent> events = recorder->merged();
+    const std::string text =
+        trace_format == "chrome" ? pcn::obs::to_chrome_trace(meta, events)
+                                 : pcn::obs::to_trace_jsonl(meta, events);
+    std::string error;
+    if (!pcn::obs::write_file(trace_out, text, &error)) {
+      std::fprintf(stderr, "pcnctl: --trace-out: %s\n", error.c_str());
+      return 1;
+    }
+  }
   return 0;
+}
+
+int cmd_trace_summary(const Args& args) {
+  const std::string path = args.positional(0, "TRACE_FILE");
+  args.reject_unconsumed();
+
+  std::string text;
+  std::string error;
+  if (!pcn::obs::read_file(path, &text, &error)) {
+    std::fprintf(stderr, "pcnctl: %s\n", error.c_str());
+    return 1;
+  }
+  pcn::obs::TraceMeta meta;
+  std::vector<pcn::obs::FlightEvent> events;
+  if (!pcn::obs::parse_trace_jsonl(text, &meta, &events, &error)) {
+    std::fprintf(stderr, "pcnctl: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+
+  const pcn::obs::TraceAnalysis analysis =
+      pcn::obs::analyze_trace(meta, events);
+  std::printf("trace         : %zu events (1 in %llu sampled, %llu "
+              "dropped), %s, seed %llu, %lld slots\n",
+              events.size(),
+              static_cast<unsigned long long>(meta.sample_every),
+              static_cast<unsigned long long>(meta.dropped_events),
+              meta.policy.c_str(),
+              static_cast<unsigned long long>(meta.seed),
+              static_cast<long long>(meta.slots));
+  std::printf("calls         : %lld recorded (%lld clean, %lld fallback), "
+              "%lld updates (+%lld lost), %lld area resets\n",
+              static_cast<long long>(analysis.calls),
+              static_cast<long long>(analysis.clean_calls),
+              static_cast<long long>(analysis.fallback_calls),
+              static_cast<long long>(analysis.updates),
+              static_cast<long long>(analysis.updates_lost),
+              static_cast<long long>(analysis.resets));
+  if (analysis.calls > 0) {
+    std::printf("cycles-to-find: mean %.3f, p50 %d, p95 %d, p99 %d, max %d\n",
+                analysis.mean_cycles, analysis.p50, analysis.p95,
+                analysis.p99, analysis.max_cycles);
+    std::printf("poll cost     : %.2f cells/call, %.4f cost/call\n",
+                static_cast<double>(analysis.total_cells) /
+                    static_cast<double>(analysis.calls),
+                analysis.mean_cost);
+    std::printf("  cycle | reached |  found |      cells |       cost\n");
+    for (std::size_t k = 0; k < analysis.per_cycle.size(); ++k) {
+      const pcn::obs::CycleBreakdown& cycle = analysis.per_cycle[k];
+      if (cycle.reached == 0) continue;
+      std::printf("  %5zu | %7lld | %6lld | %10lld | %10.2f\n", k + 1,
+                  static_cast<long long>(cycle.reached),
+                  static_cast<long long>(cycle.found),
+                  static_cast<long long>(cycle.cells), cycle.cost);
+    }
+  }
+
+  const pcn::obs::AlphaComparison comparison =
+      pcn::obs::compare_with_model(meta, analysis);
+  if (comparison.applicable) {
+    std::printf("model check   : predicted %.4f cost/call, observed %.4f "
+                "(clean calls)\n",
+                comparison.predicted_cost_per_call,
+                comparison.observed_cost_per_call);
+    std::printf("  subarea | predicted a_j | observed a_j | calls\n");
+    for (std::size_t j = 0; j < comparison.predicted_alpha.size(); ++j) {
+      std::printf("  %7zu | %13.5f | %12.5f | %lld\n", j + 1,
+                  comparison.predicted_alpha[j], comparison.observed_alpha[j],
+                  static_cast<long long>(comparison.observed_counts[j]));
+    }
+    if (comparison.dof > 0) {
+      std::printf("  chi-square %.3f on %d dof (99.9%% critical %.3f): %s\n",
+                  comparison.chi_square, comparison.dof,
+                  comparison.critical_999,
+                  comparison.consistent ? "consistent" : "INCONSISTENT");
+    }
+  } else {
+    std::printf("model check   : skipped (%s)\n", comparison.reason.c_str());
+  }
+
+  if (analysis.sla_bound > 0) {
+    std::printf("delay SLA     : bound m=%d, %zu violation%s\n",
+                analysis.sla_bound, analysis.violations.size(),
+                analysis.violations.size() == 1 ? "" : "s");
+    const std::size_t shown =
+        std::min<std::size_t>(analysis.violations.size(), 10);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const pcn::obs::SlaViolation& v = analysis.violations[i];
+      std::printf("  VIOLATION: terminal %d call %llu at slot %lld took %d "
+                  "cycles (> %d)\n",
+                  v.terminal, static_cast<unsigned long long>(v.call),
+                  static_cast<long long>(v.slot), v.cycles,
+                  analysis.sla_bound);
+    }
+    if (shown < analysis.violations.size()) {
+      std::printf("  ... %zu more\n", analysis.violations.size() - shown);
+    }
+  } else {
+    std::printf("delay SLA     : unbounded (no m to check)\n");
+  }
+  return analysis.violations.empty() ? 0 : 1;
 }
 
 int cmd_sweep(const Args& args) {
@@ -363,6 +531,7 @@ int main(int argc, char** argv) {
     if (args.command() == "simulate") return cmd_simulate(args);
     if (args.command() == "sweep") return cmd_sweep(args);
     if (args.command() == "baselines") return cmd_baselines(args);
+    if (args.command() == "trace-summary") return cmd_trace_summary(args);
     std::fputs(kUsage, args.command().empty() ? stdout : stderr);
     return args.command().empty() ? 0 : 2;
   } catch (const UsageError& error) {

@@ -6,9 +6,16 @@
 #      lock-free metrics-registry concurrency suite,
 #   3. ASan+UBSan     — the wire codec, message framing and fuzz
 #      round-trip suites (truncation/corruption paths must not overread),
-#   4. telemetry gate — slot-loop throughput with collect_runtime_stats on
-#      must stay within 3% of off (bench/perf_scale measures the pair and
-#      reports telemetry_overhead_pct on its PCN_BENCH line).
+#   4. observability gate — slot-loop throughput with collect_runtime_stats
+#      on, and separately with the per-call flight recorder on (default
+#      sampling), must each stay within 3% of the bare loop
+#      (bench/perf_scale measures the interleaved triple and reports
+#      telemetry_overhead_pct / flight_overhead_pct on its PCN_BENCH line),
+#   5. trace SLA gate  — a canned delay-bounded scenario is simulated with
+#      --trace-out and `pcnctl trace-summary` must find zero calls paged in
+#      more than m cycles (it exits 1 on any violation); when python3 is
+#      available, a fresh BENCH_table1_one_dim.json is also diffed against
+#      the blessed baseline with tools/bench_compare.py.
 #
 # Environment:
 #   JOBS=N   parallelism for builds and ctest (default: nproc)
@@ -17,43 +24,66 @@ cd "$(dirname "$0")/.."
 
 jobs=${JOBS:-$(nproc)}
 
-echo "== [1/4] default build: tier-1 + tier-2 =="
+echo "== [1/5] default build: tier-1 + tier-2 =="
 cmake --preset default
 cmake --build --preset default -j "$jobs"
 ctest --preset tier1 -j "$jobs"
 ctest --preset tier2 -j "$jobs"
 
-echo "== [2/4] TSan: sharded-run determinism + metrics registry =="
+echo "== [2/5] TSan: sharded-run determinism + metrics registry =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
   --target test_network_parallel test_metrics_registry
 ctest --test-dir build-tsan -R 'NetworkParallel|MetricsRegistry' \
   --output-on-failure -j "$jobs"
 
-echo "== [3/4] ASan+UBSan: wire codec round-trips =="
+echo "== [3/5] ASan+UBSan: wire codec round-trips =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target test_wire test_messages test_wire_fuzz
 ctest --test-dir build-asan -R 'Wire|Messages|PropWireFuzz' \
   --output-on-failure -j "$jobs"
 
-echo "== [4/4] telemetry overhead gate (<= 3%) =="
+echo "== [4/5] observability overhead gates (<= 3% each) =="
 cmake --build --preset default -j "$jobs" --target perf_scale
-# Skip the google-benchmark sweep; the paired gate measurement in main()
-# still runs.  The release preset gives steadier numbers, but the gate has
-# enough headroom (~1% measured) to hold on the default build too.
+# Skip the google-benchmark sweep; the interleaved gate measurement in
+# main() still runs.  The release preset gives steadier numbers, but the
+# gates have enough headroom (~1% measured) to hold on the default build.
 bench_dir=$(mktemp -d)
 bench_line=$(PCN_BENCH_DIR="$bench_dir" \
   ./build/bench/perf_scale --benchmark_filter='^$' | grep '^PCN_BENCH ')
 rm -rf "$bench_dir"
 echo "$bench_line"
-overhead=$(echo "$bench_line" | tr ' ' '\n' \
-  | sed -n 's/^telemetry_overhead_pct=//p')
-awk -v pct="$overhead" 'BEGIN {
-  if (pct == "" || pct > 3.0) {
-    printf "telemetry gate FAILED: overhead %s%% > 3%%\n", pct; exit 1
-  }
-  printf "telemetry gate ok: overhead %.2f%%\n", pct
-}'
+for gate in telemetry flight; do
+  overhead=$(echo "$bench_line" | tr ' ' '\n' \
+    | sed -n "s/^${gate}_overhead_pct=//p")
+  awk -v pct="$overhead" -v gate="$gate" 'BEGIN {
+    if (pct == "" || pct > 3.0) {
+      printf "%s gate FAILED: overhead %s%% > 3%%\n", gate, pct; exit 1
+    }
+    printf "%s gate ok: overhead %.2f%%\n", gate, pct
+  }'
+done
+
+echo "== [5/5] trace SLA gate + bench baseline diff =="
+cmake --build --preset default -j "$jobs" --target pcnctl table1_one_dim
+# A canned delay-bounded scenario: every call must be answered within the
+# delay bound m; trace-summary exits 1 on any SLA violation.
+trace_dir=$(mktemp -d)
+./build/tools/pcnctl simulate --dim 2 --policy distance --delay 3 \
+  --slots 100000 --seed 7 --trace-out "$trace_dir/trace.jsonl" > /dev/null
+./build/tools/pcnctl trace-summary "$trace_dir/trace.jsonl" \
+  | sed -n '/delay SLA/,$p'
+rm -rf "$trace_dir"
+if command -v python3 > /dev/null; then
+  bench_dir=$(mktemp -d)
+  PCN_BENCH_DIR="$bench_dir" ./build/bench/table1_one_dim > /dev/null
+  python3 tools/bench_compare.py \
+    bench/baselines/BENCH_table1_one_dim.json \
+    "$bench_dir/BENCH_table1_one_dim.json"
+  rm -rf "$bench_dir"
+else
+  echo "bench_compare: skipped (python3 not found)"
+fi
 
 echo "run_checks: all gates passed."
