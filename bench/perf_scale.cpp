@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "gbench_report.hpp"
@@ -176,6 +178,117 @@ GateThroughput measured_throughput(int reps) {
           throughput(best_flight)};
 }
 
+// --- Million-terminal engine comparison --------------------------------------
+// The canonical distance-update scenario at fleet scale: the same
+// 1M-terminal fleet is run once under the reference polymorphic engine and
+// once under the struct-of-arrays fast path, sequentially, at 4 worker
+// threads.  The runs must agree on every per-terminal metric bit (checked
+// via a digest so neither metric set has to stay resident); the report
+// carries both slot throughputs, their ratio and the SoA engine's flat
+// per-terminal footprint.
+
+constexpr int kMillionTerminals = 1'000'000;
+// Enough slots per terminal that the hot loop dominates the segment's
+// O(terminals) load/sync passes, as any long-running fleet would.
+constexpr std::int64_t kMillionSlots = 256;
+constexpr int kMillionThreads = 4;
+
+/// FNV-1a over every word of every per-terminal metric, histograms
+/// included — any single-bit divergence between engines changes it.
+class MetricsDigest {
+ public:
+  void fold(std::uint64_t word) {
+    hash_ = (hash_ ^ word) * 0x100000001b3ull;
+  }
+  void fold(double value) {
+    std::uint64_t word;
+    static_assert(sizeof word == sizeof value);
+    std::memcpy(&word, &value, sizeof word);
+    fold(word);
+  }
+  void fold(const pcn::stats::Histogram& hist) {
+    fold(static_cast<std::uint64_t>(hist.bucket_count()));
+    for (int v = 0; v < hist.bucket_count(); ++v) {
+      fold(static_cast<std::uint64_t>(hist.count(v)));
+    }
+  }
+  void fold(const pcn::sim::TerminalMetrics& m) {
+    fold(static_cast<std::uint64_t>(m.slots));
+    fold(static_cast<std::uint64_t>(m.moves));
+    fold(static_cast<std::uint64_t>(m.calls));
+    fold(static_cast<std::uint64_t>(m.updates));
+    fold(static_cast<std::uint64_t>(m.polled_cells));
+    fold(static_cast<std::uint64_t>(m.update_bytes));
+    fold(static_cast<std::uint64_t>(m.paging_bytes));
+    fold(static_cast<std::uint64_t>(m.lost_updates));
+    fold(static_cast<std::uint64_t>(m.paging_failures));
+    fold(m.update_cost);
+    fold(m.paging_cost);
+    fold(m.paging_cycles);
+    fold(m.ring_distance);
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+struct EngineRun {
+  double slots_per_sec = 0;        ///< terminal-slots per second
+  std::uint64_t digest = 0;        ///< all per-terminal metrics folded
+  std::size_t bytes_per_terminal = 0;
+};
+
+EngineRun timed_engine_run(pcn::sim::SimEngine engine) {
+  pcn::sim::NetworkConfig config{pcn::Dimension::kTwoD,
+                                 pcn::sim::SlotSemantics::kChainFaithful,
+                                 42};
+  config.threads = kMillionThreads;
+  config.engine = engine;
+  pcn::sim::Network network(config, kWeights);
+  for (int i = 0; i < kMillionTerminals; ++i) {
+    network.add_terminal(pcn::sim::make_distance_terminal(
+        pcn::Dimension::kTwoD, kProfile, 1 + i % 4, pcn::DelayBound(2)));
+  }
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  network.run(kMillionSlots);
+  const std::int64_t elapsed_ns = pcn::obs::monotonic_ns() - start_ns;
+  EngineRun run;
+  run.slots_per_sec =
+      static_cast<double>(kMillionSlots) * kMillionTerminals /
+      (static_cast<double>(elapsed_ns) * 1e-9);
+  run.bytes_per_terminal = network.soa_bytes_per_terminal();
+  MetricsDigest digest;
+  for (int i = 0; i < kMillionTerminals; ++i) {
+    digest.fold(network.metrics(static_cast<pcn::sim::TerminalId>(i)));
+  }
+  run.digest = digest.value();
+  return run;
+}
+
+/// Runs both engines, reports throughput/speedup/footprint, and fails the
+/// bench (non-zero exit) on any metric divergence.
+bool run_million_terminal_comparison(pcn::obs::BenchReport& report) {
+  const EngineRun reference =
+      timed_engine_run(pcn::sim::SimEngine::kReference);
+  const EngineRun soa = timed_engine_run(pcn::sim::SimEngine::kSoa);
+  const bool identical = reference.digest == soa.digest;
+  report.set("reference_1m_slots_per_sec", reference.slots_per_sec)
+      .set("soa_1m_slots_per_sec", soa.slots_per_sec)
+      .set("soa_speedup_4t", soa.slots_per_sec / reference.slots_per_sec)
+      .set("soa_bytes_per_terminal",
+           static_cast<double>(soa.bytes_per_terminal))
+      .set("engines_bit_identical", identical ? 1.0 : 0.0);
+  if (!identical) {
+    std::fprintf(stderr,
+                 "perf_scale: 1M-terminal engine comparison DIVERGED "
+                 "(reference digest %016llx != soa digest %016llx)\n",
+                 static_cast<unsigned long long>(reference.digest),
+                 static_cast<unsigned long long>(soa.digest));
+  }
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +309,7 @@ int main(int argc, char** argv) {
            100.0 * (gate.bare - gate.telemetry) / gate.bare)
       .set("flight_overhead_pct",
            100.0 * (gate.bare - gate.flight) / gate.bare);
+  const bool identical = run_million_terminal_comparison(report);
   report.emit();
-  return 0;
+  return identical ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "pcn/cli/args.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace pcn::cli {
@@ -77,10 +79,22 @@ std::string Args::get_string_or(const std::string& key,
 
 double Args::get_double(const std::string& key) const {
   const std::string value = get_string(key);
+  // strtod also accepts "inf", "nan" and hex floats ("0x10"); none of
+  // those are meaningful flag values, so gate on the plain decimal
+  // charset before parsing.
+  if (value.find_first_not_of("+-.0123456789eE") != std::string::npos) {
+    throw UsageError("flag --" + key + " expects a number, got: " + value);
+  }
+  errno = 0;
   char* end = nullptr;
   const double parsed = std::strtod(value.c_str(), &end);
-  if (end == nullptr || *end != '\0') {
+  if (end == value.c_str() || *end != '\0') {
     throw UsageError("flag --" + key + " expects a number, got: " + value);
+  }
+  // Overflow saturates to +-HUGE_VAL with ERANGE; gradual underflow to a
+  // (finite) denormal is fine.
+  if (errno == ERANGE && !std::isfinite(parsed)) {
+    throw UsageError("flag --" + key + " is out of range: " + value);
   }
   return parsed;
 }
@@ -91,10 +105,16 @@ double Args::get_double_or(const std::string& key, double fallback) const {
 
 std::int64_t Args::get_int(const std::string& key) const {
   const std::string value = get_string(key);
+  errno = 0;
   char* end = nullptr;
   const long long parsed = std::strtoll(value.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') {
+  if (end == value.c_str() || *end != '\0') {
     throw UsageError("flag --" + key + " expects an integer, got: " + value);
+  }
+  // strtoll clamps to LLONG_MIN/MAX with ERANGE instead of failing —
+  // silently simulating for LLONG_MAX slots is not what anyone asked for.
+  if (errno == ERANGE) {
+    throw UsageError("flag --" + key + " is out of range: " + value);
   }
   return parsed;
 }

@@ -43,6 +43,8 @@ class RandomWalk final : public MobilityModel {
                              stats::Rng& rng) const override;
   std::string name() const override;
 
+  Dimension dimension() const { return dim_; }
+
  private:
   Dimension dim_;
   double move_prob_;

@@ -9,6 +9,8 @@
 #include "pcn/common/error.hpp"
 #include "pcn/obs/timer.hpp"
 #include "pcn/proto/messages.hpp"
+#include "pcn/sim/runtime_stats.hpp"
+#include "pcn/sim/soa_engine.hpp"
 
 namespace {
 
@@ -16,75 +18,11 @@ namespace {
 /// workers pays for itself; smaller ranges run inline.
 constexpr std::int64_t kParallelWorkFloor = 1 << 14;
 
-/// 1-in-N sampling of the per-page detail (span + per-page histograms).
-/// Counts stay exact via the batched EventTally; only the expensive clock
-/// reads and histogram observes are sampled, which is what keeps the
-/// telemetry overhead inside the 3% gate (tools/run_checks.sh).
-constexpr std::uint64_t kPageSampleEvery = 32;
+using pcn::sim::obs_detail::kPageSampleEvery;
 
 }  // namespace
 
 namespace pcn::sim {
-
-namespace obs_detail {
-
-/// Pre-resolved telemetry handles for the simulation hot paths, plus the
-/// span trace ring.  Resolved once at Network construction so the slot
-/// loop never touches the registry's name index; every increment is one
-/// relaxed atomic add on a per-shard cell (see docs/observability.md for
-/// the metric catalogue).
-struct RuntimeStats {
-  RuntimeStats(obs::MetricsRegistry& registry, std::size_t trace_capacity)
-      : trace(trace_capacity),
-        run_count(registry.counter("sim.run.count")),
-        run_slots(registry.counter("sim.run.slots")),
-        run_wall_ns(registry.counter("sim.run.wall_ns")),
-        segment_count(registry.counter("sim.segment.count")),
-        segment_parallel(registry.counter("sim.segment.parallel")),
-        segment_wall_ns(registry.counter("sim.segment.wall_ns")),
-        shard_wall_ns(registry.counter("sim.shard.wall_ns")),
-        page_wall_ns(registry.counter("sim.page.wall_ns")),
-        terminal_slots(registry.counter("sim.terminal.slots")),
-        moves(registry.counter("sim.terminal.moves")),
-        updates(registry.counter("sim.update.count")),
-        updates_lost(registry.counter("sim.update.lost")),
-        pages(registry.counter("sim.page.count")),
-        page_fallbacks(registry.counter("sim.page.fallbacks")),
-        page_sampled(registry.counter("sim.page.sampled")),
-        polled_cells(registry.counter("sim.page.polled_cells")),
-        page_cycles(registry.histogram("sim.page.cycles",
-                                       obs::linear_buckets(1.0, 1.0, 8))),
-        page_polled(registry.histogram("sim.page.polled_per_call",
-                                       obs::exponential_buckets(1.0, 2.0,
-                                                                10))) {}
-
-  /// Drains a worker's plain tally into the registry (a handful of relaxed
-  /// atomic adds, once per shard segment).  The sampling tick survives.
-  void flush(EventTally& tally, std::size_t shard) {
-    terminal_slots.add(tally.terminal_slots, shard);
-    moves.add(tally.moves, shard);
-    updates.add(tally.updates, shard);
-    updates_lost.add(tally.updates_lost, shard);
-    pages.add(tally.pages, shard);
-    page_fallbacks.add(tally.page_fallbacks, shard);
-    page_sampled.add(tally.page_sampled, shard);
-    polled_cells.add(tally.polled_cells, shard);
-    const std::uint64_t tick = tally.page_tick;
-    tally = EventTally{};
-    tally.page_tick = tick;
-  }
-
-  obs::TraceRing trace;
-  obs::Counter run_count, run_slots, run_wall_ns;
-  obs::Counter segment_count, segment_parallel, segment_wall_ns;
-  obs::Counter shard_wall_ns, page_wall_ns;
-  obs::Counter terminal_slots, moves;
-  obs::Counter updates, updates_lost;
-  obs::Counter pages, page_fallbacks, page_sampled, polled_cells;
-  obs::Histogram page_cycles, page_polled;
-};
-
-}  // namespace obs_detail
 
 TerminalSpec make_distance_terminal(Dimension dim, MobilityProfile profile,
                                     int threshold, DelayBound bound) {
@@ -208,6 +146,7 @@ TerminalId Network::add_terminal(TerminalSpec spec) {
 
 void Network::run(std::int64_t slots) {
   PCN_EXPECT(slots >= 0, "Network::run: slot count must be >= 0");
+  select_engine();
   std::optional<obs::ScopedTimer> run_timer;
   if (stats_ != nullptr) {
     stats_->run_count.increment();
@@ -242,6 +181,10 @@ void Network::run(std::int64_t slots) {
       t = range_end;
     } else {
       events_.run_until(t + 1);
+      // User events may have re-targeted policies (set_threshold) or
+      // attached terminals; the next event-free segment re-verifies the
+      // fleet before taking the fast path.
+      if (soa_ != nullptr) soa_revalidate_ = true;
       process_slot(t + 1, scratch);
       t = t + 1;
     }
@@ -254,6 +197,25 @@ int Network::resolved_threads() const {
   if (config_.threads != 0) return config_.threads;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::size_t Network::soa_bytes_per_terminal() const {
+  return soa_ != nullptr ? soa_->bytes_per_terminal() : 0;
+}
+
+void Network::select_engine() {
+  soa_.reset();
+  soa_revalidate_ = false;
+  if (config_.engine == SimEngine::kReference) return;
+  auto engine = std::make_unique<SoaEngine>(*this);
+  std::string why;
+  if (engine->prepare(&why)) {
+    soa_ = std::move(engine);
+  } else if (config_.engine == SimEngine::kSoa) {
+    detail::throw_invalid_argument(
+        "Network: soa engine requires the canonical distance-update "
+        "scenario: " + why);
+  }
 }
 
 void Network::run_segment(SimTime first, SimTime last, Scratch& scratch) {
@@ -272,7 +234,22 @@ void Network::run_segment(SimTime first, SimTime last, Scratch& scratch) {
     segment_timer.emplace(stats_->segment_wall_ns, &stats_->trace,
                           "net.segment");
   }
-  if (inline_run) {
+  if (soa_ != nullptr && soa_revalidate_) {
+    // Events ran since the fast path was selected; re-verify the fleet.
+    soa_revalidate_ = false;
+    std::string why;
+    if (!soa_->prepare(&why)) {
+      if (config_.engine == SimEngine::kSoa) {
+        detail::throw_invalid_argument(
+            "Network: soa engine requires the canonical distance-update "
+            "scenario: " + why);
+      }
+      soa_.reset();
+    }
+  }
+  if (soa_ != nullptr) {
+    soa_->run_segment(first, last, scratch, !inline_run);
+  } else if (inline_run) {
     for (SimTime t = first; t <= last; ++t) process_slot(t, scratch);
   } else {
     const std::size_t shards = std::min<std::size_t>(

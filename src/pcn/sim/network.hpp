@@ -37,6 +37,24 @@ namespace pcn::sim {
 
 enum class SlotSemantics { kChainFaithful, kIndependent };
 
+/// Which slot-loop implementation Network::run uses.
+///
+///   * kAuto      — take the struct-of-arrays fast path whenever every
+///     terminal matches the canonical scenario (RandomWalk mobility,
+///     DistanceUpdatePolicy, SDF/plan-partition paging over fixed-disk
+///     knowledge, no observer, no loss injection); otherwise fall back to
+///     the polymorphic reference engine.
+///   * kReference — always run the polymorphic engine.
+///   * kSoa       — require the fast path; run() throws InvalidArgument
+///     (naming the first non-canonical terminal) when it cannot be taken.
+///
+/// Both engines produce bit-identical TerminalMetrics at every thread
+/// count (tests/sim/test_soa_engine.cpp), so the choice is purely a
+/// performance knob.
+enum class SimEngine { kAuto, kReference, kSoa };
+
+class SoaEngine;
+
 namespace obs_detail {
 struct RuntimeStats;
 
@@ -107,6 +125,8 @@ struct NetworkConfig {
   /// rounded up to a power of two.  The PCN_TRACE_RING_CAPACITY
   /// environment variable overrides this at Network construction.
   std::size_t trace_ring_capacity = 256;
+  /// Slot-loop engine selection (see SimEngine).
+  SimEngine engine = SimEngine::kAuto;
 };
 
 /// Everything needed to attach one terminal to the network.
@@ -175,7 +195,16 @@ class Network {
   /// for the SLA verdicts.
   const PagingPolicy& paging_policy(TerminalId id) const;
 
+  /// True when the last run() (or the one in progress) took the
+  /// struct-of-arrays fast path for its event-free slot ranges.
+  bool soa_active() const { return soa_ != nullptr; }
+
+  /// Flat per-terminal footprint of the active SoA engine in bytes
+  /// (bench/perf_scale reports it), or 0 when the reference engine ran.
+  std::size_t soa_bytes_per_terminal() const;
+
  private:
+  friend class SoaEngine;
   struct Attachment {
     std::unique_ptr<Terminal> terminal;
     std::unique_ptr<PagingPolicy> paging;
@@ -216,6 +245,9 @@ class Network {
   void send_update(Attachment& attachment, SimTime now, Scratch& scratch);
   /// config().threads with 0 resolved to the hardware thread count.
   int resolved_threads() const;
+  /// Builds (or rejects) the struct-of-arrays engine for this run,
+  /// honoring NetworkConfig::engine; called at each run() entry.
+  void select_engine();
 
   NetworkConfig config_;
   CostWeights weights_;
@@ -233,6 +265,13 @@ class Network {
   std::unique_ptr<obs_detail::RuntimeStats> stats_;
   /// Per-call flight recorder; null unless config_.record_flight.
   std::unique_ptr<obs::FlightRecorder> flight_;
+  /// Struct-of-arrays fast path; null when the reference engine is in
+  /// force (non-canonical fleet, or engine = kReference).
+  std::unique_ptr<SoaEngine> soa_;
+  /// Set when user events ran mid-run: they may have re-targeted policies
+  /// (set_threshold) or attached terminals, so the next event-free segment
+  /// re-verifies the fleet before taking the fast path.
+  bool soa_revalidate_ = false;
 };
 
 }  // namespace pcn::sim

@@ -77,6 +77,8 @@ class SdfSequentialPaging final : public PagingPolicy {
   DelayBound delay_bound() const override { return bound_; }
   std::string name() const override;
 
+  Dimension dimension() const { return dim_; }
+
  private:
   Dimension dim_;
   DelayBound bound_;
@@ -91,6 +93,9 @@ class PlanPartitionPaging final : public PagingPolicy {
                             std::vector<geometry::Cell>& out) const override;
   DelayBound delay_bound() const override;
   std::string name() const override;
+
+  Dimension dimension() const { return dim_; }
+  const costs::Partition& partition() const { return partition_; }
 
  private:
   Dimension dim_;

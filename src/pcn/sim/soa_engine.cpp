@@ -1,0 +1,598 @@
+#include "pcn/sim/soa_engine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <typeinfo>
+
+#include "pcn/common/error.hpp"
+#include "pcn/geometry/cell.hpp"
+#include "pcn/obs/flight_recorder.hpp"
+#include "pcn/obs/timer.hpp"
+#include "pcn/proto/wire.hpp"
+#include "pcn/sim/mobility.hpp"
+#include "pcn/sim/paging_policy.hpp"
+#include "pcn/sim/runtime_stats.hpp"
+#include "pcn/sim/terminal.hpp"
+#include "pcn/sim/update_policy.hpp"
+
+namespace pcn::sim {
+namespace {
+
+/// LEB128-encoded length of an unsigned varint, in bytes.
+std::int64_t varint_len(std::uint64_t value) {
+  std::int64_t length = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++length;
+  }
+  return length;
+}
+
+/// Encoded length of a zigzag-mapped signed varint, in bytes.
+std::int64_t signed_len(std::int64_t value) {
+  return varint_len(proto::zigzag_encode(value));
+}
+
+}  // namespace
+
+SoaEngine::SoaEngine(Network& net) : net_(net) {}
+
+std::size_t SoaEngine::intern_table(int threshold,
+                                    const costs::Partition& partition) {
+  // Fleets share a handful of distinct (threshold, bound) plans, so a
+  // linear scan over structurally-equal partitions suffices.
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].partition == partition) return i;
+  }
+  const Dimension dim = net_.config_.dimension;
+  PagingTable table{partition};
+  table.threshold = threshold;
+  table.cycles = partition.subarea_count();
+  table.cycle_of.assign(static_cast<std::size_t>(threshold) + 1, 0);
+  std::vector<geometry::Cell> cells;
+  std::int64_t cumulative = 0;
+  for (int j = 0; j < table.cycles; ++j) {
+    const std::vector<int>& rings = partition.rings(j);
+    cells.clear();
+    int lo = rings.front();
+    int hi = rings.front();
+    for (int ring : rings) {
+      table.cycle_of[static_cast<std::size_t>(ring)] =
+          static_cast<std::int32_t>(j);
+      lo = std::min(lo, ring);
+      hi = std::max(hi, ring);
+      // Built once at the origin: ring cells translate with the center,
+      // so inter-cell deltas (and hence most frame bytes) are invariant.
+      geometry::append_cell_ring(dim, geometry::Cell{}, ring, cells);
+    }
+    table.size.push_back(static_cast<std::int64_t>(cells.size()));
+    cumulative += static_cast<std::int64_t>(cells.size());
+    table.cum.push_back(cumulative);
+    table.ring_lo.push_back(lo);
+    table.ring_hi.push_back(hi);
+    // PageRequest frame minus the per-call varints: version + type,
+    // cycle, cell count, the center-independent inter-cell deltas, CRC.
+    std::int64_t invariant = 2 + varint_len(static_cast<std::uint64_t>(j)) +
+                             varint_len(cells.size()) + 4;
+    for (std::size_t k = 1; k < cells.size(); ++k) {
+      invariant += signed_len(cells[k].q - cells[k - 1].q) +
+                   signed_len(cells[k].r - cells[k - 1].r);
+    }
+    table.inv_bytes.push_back(invariant);
+    table.off_q.push_back(cells.front().q);
+    table.off_r.push_back(cells.front().r);
+  }
+  max_cycles_ = std::max(max_cycles_, table.cycles);
+  tables_.push_back(std::move(table));
+  return tables_.size() - 1;
+}
+
+bool SoaEngine::prepare(std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  const NetworkConfig& config = net_.config_;
+  if (net_.observer_ != nullptr) {
+    return fail("an observer is attached (callbacks pin the reference "
+                "slot-major order)");
+  }
+  if (config.update_loss_prob > 0.0) {
+    return fail("update_loss_prob > 0 injects extra RNG draws");
+  }
+  const std::size_t n = net_.attachments_.size();
+  const bool chain = config.semantics == SlotSemantics::kChainFaithful;
+
+  q_.resize(n);
+  c_.resize(n);
+  qc_.resize(n);
+  thr_.resize(n);
+  table_.resize(n);
+  id_bytes_.resize(n);
+  upd_const_.resize(n);
+  resp_const_.resize(n);
+  pos_q_.resize(n);
+  pos_r_.resize(n);
+  cen_q_.resize(n);
+  cen_r_.resize(n);
+  since_.resize(n);
+  ev_rng_.resize(n);
+  wk_rng_.resize(n);
+  next_page_.resize(n);
+  dirty_.resize(n);
+  tables_.clear();
+  max_threshold_ = 0;
+  max_cycles_ = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Network::Attachment& attachment = net_.attachments_[i];
+    const Terminal& terminal = *attachment.terminal;
+    const std::string tag = "terminal " + std::to_string(i) + ": ";
+
+    const auto* walk = dynamic_cast<const RandomWalk*>(&terminal.mobility());
+    if (walk == nullptr) {
+      return fail(tag + terminal.mobility().name() +
+                  " mobility (need random-walk)");
+    }
+    if (walk->dimension() != config.dimension) {
+      return fail(tag + "mobility dimension differs from the network's");
+    }
+
+    // Exact type: subclasses may override hooks the flat loop skips.
+    const UpdatePolicy& update = terminal.update_policy();
+    if (typeid(update) != typeid(DistanceUpdatePolicy)) {
+      return fail(tag + update.name() + " update policy (need distance)");
+    }
+    const auto& distance = static_cast<const DistanceUpdatePolicy&>(update);
+    if (distance.dimension() != config.dimension) {
+      return fail(tag + "update-policy dimension differs from the network's");
+    }
+    const int threshold = distance.threshold();
+
+    std::size_t table = 0;
+    if (const auto* sdf = dynamic_cast<const SdfSequentialPaging*>(
+            attachment.paging.get())) {
+      if (sdf->dimension() != config.dimension) {
+        return fail(tag + "paging dimension differs from the network's");
+      }
+      table = intern_table(threshold,
+                           costs::Partition::sdf(threshold,
+                                                 sdf->delay_bound()));
+    } else if (const auto* plan = dynamic_cast<const PlanPartitionPaging*>(
+                   attachment.paging.get())) {
+      if (plan->dimension() != config.dimension) {
+        return fail(tag + "paging dimension differs from the network's");
+      }
+      if (plan->partition().threshold() != threshold) {
+        return fail(tag +
+                    "plan-partition threshold differs from the update "
+                    "threshold");
+      }
+      table = intern_table(threshold, plan->partition());
+    } else {
+      return fail(tag + attachment.paging->name() +
+                  " paging (need sdf-sequential or plan-partition)");
+    }
+
+    const Knowledge& knowledge = net_.server_.knowledge(terminal.id());
+    if (knowledge.kind != KnowledgeKind::kFixedDisk) {
+      return fail(tag + "knowledge is not a fixed disk");
+    }
+    if (knowledge.radius != threshold) {
+      return fail(tag + "knowledge radius differs from the update threshold");
+    }
+    if (knowledge.center != distance.center()) {
+      return fail(tag + "knowledge center diverged from the policy center");
+    }
+    if (config.dimension == Dimension::kOneD &&
+        terminal.position().r != knowledge.center.r) {
+      return fail(tag + "1-D terminal is off its center's line");
+    }
+
+    const double q = walk->move_probability(0);
+    const double c = terminal.call_probability();
+    if (chain && q + c > 1.0) {
+      return fail(tag + "q + c > 1 under chain-faithful semantics");
+    }
+
+    q_[i] = q;
+    c_[i] = c;
+    qc_[i] = c + q;
+    thr_[i] = threshold;
+    table_[i] = static_cast<std::int32_t>(table);
+    const std::int64_t id_bytes =
+        varint_len(static_cast<std::uint64_t>(terminal.id()));
+    id_bytes_[i] = static_cast<std::int32_t>(id_bytes);
+    // LocationUpdate frame minus the per-update varints (sequence number
+    // and position): version + type, terminal id, containment radius, CRC.
+    upd_const_[i] = static_cast<std::int32_t>(
+        2 + id_bytes + varint_len(static_cast<std::uint64_t>(threshold)) + 4);
+    // PageResponse frame minus page id and position.
+    resp_const_[i] = static_cast<std::int32_t>(2 + id_bytes + 4);
+    max_threshold_ = std::max(max_threshold_, threshold);
+  }
+  return true;
+}
+
+void SoaEngine::run_segment(SimTime first, SimTime last,
+                            Network::Scratch& scratch, bool use_workers) {
+  const std::size_t n = net_.attachments_.size();
+  if (n == 0 || last < first) return;
+  std::size_t shards = 1;
+  if (use_workers) {
+    shards = std::min<std::size_t>(
+        static_cast<std::size_t>(net_.resolved_threads()), n);
+  }
+  if (shards <= 1) {
+    run_shard(0, n, first, last, scratch);
+    return;
+  }
+  // Same fan-out shape as the reference engine: worker s owns shard s (its
+  // telemetry cells and flight-recorder shard), shard 0 runs on the caller.
+  std::vector<std::exception_ptr> errors(shards);
+  std::vector<std::thread> workers;
+  workers.reserve(shards - 1);
+  auto shard_begin = [&](std::size_t s) { return n * s / shards; };
+  for (std::size_t s = 1; s < shards; ++s) {
+    workers.emplace_back([this, s, first, last, &shard_begin, &errors] {
+      Network::Scratch local;
+      local.shard = s;
+      if (net_.flight_ != nullptr) local.flight = &net_.flight_->shard(s);
+      try {
+        run_shard(shard_begin(s), shard_begin(s + 1), first, last, local);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    });
+  }
+  try {
+    run_shard(shard_begin(0), shard_begin(1), first, last, scratch);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void SoaEngine::run_shard(std::size_t begin, std::size_t end, SimTime first,
+                          SimTime last, Network::Scratch& scratch) {
+  std::optional<obs::ScopedTimer> shard_timer;
+  if (net_.stats_ != nullptr) {
+    shard_timer.emplace(net_.stats_->shard_wall_ns, &net_.stats_->trace,
+                        "net.shard", scratch.shard);
+  }
+  // Load: objects -> flat arrays for this shard's terminals.
+  for (std::size_t i = begin; i < end; ++i) {
+    Terminal& terminal = *net_.attachments_[i].terminal;
+    const Knowledge& knowledge = net_.server_.knowledge(terminal.id());
+    pos_q_[i] = terminal.position().q;
+    pos_r_[i] = terminal.position().r;
+    cen_q_[i] = knowledge.center.q;
+    cen_r_[i] = knowledge.center.r;
+    since_[i] = knowledge.since;
+    ev_rng_[i] = terminal.event_rng();
+    wk_rng_[i] = terminal.walk_rng();
+    next_page_[i] = net_.attachments_[i].next_page_id;
+    dirty_[i] = 0;
+  }
+
+  // Histogram fold rows, shared across the shard's terminals (each fold
+  // re-zeroes exactly the entries its terminal wrote).
+  std::vector<std::int64_t> rd_row(
+      static_cast<std::size_t>(max_threshold_) + 1, 0);
+  std::vector<std::int64_t> pc_row(static_cast<std::size_t>(max_cycles_) + 1,
+                                   0);
+
+  const bool twod = net_.config_.dimension == Dimension::kTwoD;
+  const bool chain = net_.config_.semantics == SlotSemantics::kChainFaithful;
+  if (twod && chain) {
+    run_range<true, true>(begin, end, first, last, scratch, rd_row.data(),
+                          pc_row.data());
+  } else if (twod) {
+    run_range<true, false>(begin, end, first, last, scratch, rd_row.data(),
+                           pc_row.data());
+  } else if (chain) {
+    run_range<false, true>(begin, end, first, last, scratch, rd_row.data(),
+                           pc_row.data());
+  } else {
+    run_range<false, false>(begin, end, first, last, scratch, rd_row.data(),
+                            pc_row.data());
+  }
+
+  // Sync: flat arrays -> objects, replaying the last center reset into the
+  // policy and the location server (distinct ids per shard, so concurrent
+  // map writes never alias — same guarantee the reference workers rely on).
+  for (std::size_t i = begin; i < end; ++i) {
+    Network::Attachment& attachment = net_.attachments_[i];
+    Terminal& terminal = *attachment.terminal;
+    terminal.move_to(geometry::Cell{pos_q_[i], pos_r_[i]});
+    terminal.event_rng() = ev_rng_[i];
+    terminal.walk_rng() = wk_rng_[i];
+    attachment.next_page_id = next_page_[i];
+    if (dirty_[i] != 0) {
+      const geometry::Cell center{cen_q_[i], cen_r_[i]};
+      terminal.update_policy().on_center_reset(center, since_[i]);
+      net_.server_.on_update(terminal.id(), center, since_[i]);
+    }
+  }
+  if (net_.stats_ != nullptr) {
+    scratch.tally.terminal_slots +=
+        (last - first + 1) * static_cast<std::int64_t>(end - begin);
+    net_.stats_->flush(scratch.tally, scratch.shard);
+  }
+}
+
+template <bool kTwoD, bool kChain>
+void SoaEngine::run_range(std::size_t begin, std::size_t end, SimTime first,
+                          SimTime last, Network::Scratch& scratch,
+                          std::int64_t* rd_row, std::int64_t* pc_row) {
+  // Axial unit directions in hex_directions() order, so next_below(6)
+  // picks the same neighbor the reference walk does.
+  static constexpr std::int64_t kDq[6] = {1, 1, 0, -1, -1, 0};
+  static constexpr std::int64_t kDr[6] = {0, -1, -1, 0, 1, 1};
+  const double update_weight = net_.weights_.update_cost;
+  const double poll_weight = net_.weights_.poll_cost;
+  const bool count_bytes = net_.config_.count_signalling_bytes;
+  obs_detail::RuntimeStats* stats = net_.stats_.get();
+  obs::FlightRecorder::Shard* flight = scratch.flight;
+  const std::int64_t range = last - first + 1;
+
+  for (std::size_t i = begin; i < end; ++i) {
+    TerminalMetrics& m = net_.attachments_[i].metrics;
+    const double q = q_[i];
+    const double c = c_[i];
+    const double qc = qc_[i];
+    const std::int64_t threshold = thr_[i];
+    const PagingTable& tab = tables_[static_cast<std::size_t>(table_[i])];
+    const std::int64_t id_bytes = id_bytes_[i];
+    const std::int64_t upd_const = upd_const_[i];
+    const std::int64_t resp_const = resp_const_[i];
+    const auto tid = static_cast<std::int32_t>(i);
+
+    // Whole terminal state in locals for the slot loop; everything is
+    // stored back once per terminal per segment.
+    std::int64_t pq = pos_q_[i];
+    std::int64_t pr = pos_r_[i];
+    std::int64_t cq = cen_q_[i];
+    std::int64_t cr = cen_r_[i];
+    stats::Rng ev = ev_rng_[i];
+    stats::Rng wk = wk_rng_[i];
+    std::uint64_t page_id = next_page_[i];
+    SimTime since = since_[i];
+    bool dirty = dirty_[i] != 0;
+
+    // Cost accumulators continue from the metrics' running values so the
+    // floating-point addition sequence matches the reference engine
+    // exactly (a delta-sum would re-associate and drift in the last ulp).
+    std::int64_t m_moves = m.moves;
+    std::int64_t m_updates = m.updates;
+    std::int64_t m_calls = m.calls;
+    std::int64_t m_polled = m.polled_cells;
+    double update_cost = m.update_cost;
+    double paging_cost = m.paging_cost;
+    std::int64_t update_bytes = m.update_bytes;
+    std::int64_t paging_bytes = m.paging_bytes;
+
+    for (SimTime t = first; t <= last; ++t) {
+      std::uint32_t seq = 0;
+      bool called;
+      bool moved;
+      if constexpr (kChain) {
+        // One uniform draw resolves the competing events (q + c <= 1 was
+        // verified by prepare and cannot change in an event-free range).
+        const double u = ev.next_unit();
+        called = u < c;
+        moved = !called && u < qc;
+      } else {
+        moved = ev.next_bernoulli(q);
+        called = ev.next_bernoulli(c);
+      }
+      if (moved) {
+        if constexpr (kTwoD) {
+          const std::uint64_t pick = wk.next_below(6);
+          pq += kDq[pick];
+          pr += kDr[pick];
+        } else {
+          pq += wk.next_below(2) == 0 ? -1 : 1;
+        }
+        ++m_moves;
+        if (stats != nullptr) ++scratch.tally.moves;
+      }
+      std::int64_t dist;
+      if constexpr (kTwoD) {
+        const std::int64_t dq = pq - cq;
+        const std::int64_t dr = pr - cr;
+        dist = (std::llabs(dq) + std::llabs(dr) + std::llabs(dq + dr)) / 2;
+      } else {
+        dist = std::llabs(pq - cq);
+      }
+      if (dist > threshold) {
+        // Location update (always delivered: loss injection is
+        // ineligible for this engine).  Sampled by the pre-increment
+        // update ordinal, like the reference path.
+        const bool record =
+            flight != nullptr &&
+            net_.flight_->sampled(static_cast<std::uint64_t>(m_updates));
+        ++m_updates;
+        update_cost += update_weight;
+        if (stats != nullptr) ++scratch.tally.updates;
+        if (record) {
+          obs::FlightEvent update_event;
+          update_event.slot = t;
+          update_event.terminal = tid;
+          update_event.seq = seq++;
+          update_event.type = obs::FlightEventType::kLocationUpdate;
+          update_event.cost = update_weight;
+          update_event.distance = dist;
+          flight->append(update_event);
+          obs::FlightEvent reset_event;
+          reset_event.slot = t;
+          reset_event.terminal = tid;
+          reset_event.seq = seq++;
+          reset_event.type = obs::FlightEventType::kAreaReset;
+          reset_event.cells = threshold;
+          flight->append(reset_event);
+        }
+        if (count_bytes) {
+          // Sequence number is the post-increment update count; the
+          // radius is the (constant) threshold folded into upd_const.
+          update_bytes += upd_const +
+                          varint_len(static_cast<std::uint64_t>(m_updates)) +
+                          signed_len(pq) + signed_len(pr);
+        }
+        cq = pq;
+        cr = pr;
+        since = t;
+        dirty = true;
+        dist = 0;
+      }
+      if (called) {
+        const std::uint64_t call_id = page_id++;
+        const bool record =
+            flight != nullptr && net_.flight_->sampled(call_id);
+        if (record) {
+          obs::FlightEvent arrival;
+          arrival.slot = t;
+          arrival.terminal = tid;
+          arrival.seq = seq++;
+          arrival.type = obs::FlightEventType::kCallArrival;
+          arrival.call = call_id;
+          arrival.cells = threshold;
+          arrival.distance = dist;
+          flight->append(arrival);
+        }
+        const bool sampled =
+            stats != nullptr &&
+            scratch.tally.page_tick++ % obs_detail::kPageSampleEvery == 0;
+        std::optional<obs::ScopedTimer> page_timer;
+        if (sampled) {
+          ++scratch.tally.page_sampled;
+          page_timer.emplace(stats->page_wall_ns, &stats->trace, "net.page",
+                             scratch.shard);
+        }
+        // The containment invariant puts the terminal in the subarea of
+        // its current ring: poll every cycle up to (and including) it.
+        const int h = tab.cycle_of[static_cast<std::size_t>(dist)];
+        for (int j = 0; j <= h; ++j) {
+          const std::int64_t cells = tab.size[static_cast<std::size_t>(j)];
+          m_polled += cells;
+          paging_cost += poll_weight * static_cast<double>(cells);
+          if (stats != nullptr) scratch.tally.polled_cells += cells;
+          if (count_bytes) {
+            paging_bytes +=
+                tab.inv_bytes[static_cast<std::size_t>(j)] +
+                varint_len(call_id) + id_bytes +
+                signed_len(cq + tab.off_q[static_cast<std::size_t>(j)]) +
+                signed_len(cr + tab.off_r[static_cast<std::size_t>(j)]);
+          }
+          if (record) {
+            obs::FlightEvent cycle_event;
+            cycle_event.slot = t;
+            cycle_event.terminal = tid;
+            cycle_event.seq = seq++;
+            cycle_event.type = obs::FlightEventType::kPollCycle;
+            cycle_event.call = call_id;
+            cycle_event.cycle = j;
+            cycle_event.cells = cells;
+            cycle_event.cost = poll_weight * static_cast<double>(cells);
+            cycle_event.ring_lo = tab.ring_lo[static_cast<std::size_t>(j)];
+            cycle_event.ring_hi = tab.ring_hi[static_cast<std::size_t>(j)];
+            cycle_event.found = j == h;
+            flight->append(cycle_event);
+          }
+        }
+        const int cycles_used = h + 1;
+        if (record) {
+          obs::FlightEvent found_event;
+          found_event.slot = t;
+          found_event.terminal = tid;
+          found_event.seq = seq++;
+          found_event.type = obs::FlightEventType::kCallFound;
+          found_event.call = call_id;
+          found_event.cycle = cycles_used;
+          found_event.cells = tab.cum[static_cast<std::size_t>(h)];
+          found_event.cost =
+              poll_weight *
+              static_cast<double>(tab.cum[static_cast<std::size_t>(h)]);
+          found_event.distance = dist;
+          found_event.found = true;
+          flight->append(found_event);
+        }
+        if (count_bytes) {
+          paging_bytes += resp_const + varint_len(call_id) + signed_len(pq) +
+                          signed_len(pr);
+        }
+        pc_row[cycles_used]++;
+        ++m_calls;
+        if (stats != nullptr) {
+          ++scratch.tally.pages;
+          if (sampled) {
+            stats->page_cycles.observe(static_cast<double>(cycles_used),
+                                       scratch.shard);
+            stats->page_polled.observe(
+                static_cast<double>(
+                    tab.cum[static_cast<std::size_t>(h)]),
+                scratch.shard);
+          }
+        }
+        cq = pq;
+        cr = pr;
+        since = t;
+        dirty = true;
+        dist = 0;
+      }
+      rd_row[dist]++;
+    }
+
+    pos_q_[i] = pq;
+    pos_r_[i] = pr;
+    cen_q_[i] = cq;
+    cen_r_[i] = cr;
+    ev_rng_[i] = ev;
+    wk_rng_[i] = wk;
+    next_page_[i] = page_id;
+    since_[i] = since;
+    dirty_[i] = dirty ? 1 : 0;
+
+    m.slots += range;
+    m.moves = m_moves;
+    m.updates = m_updates;
+    m.calls = m_calls;
+    m.polled_cells = m_polled;
+    m.update_cost = update_cost;
+    m.paging_cost = paging_cost;
+    m.update_bytes = update_bytes;
+    m.paging_bytes = paging_bytes;
+    // Fold the per-terminal rows; zero-count buckets are skipped so the
+    // histograms' bucket_count matches the reference add-per-event shape.
+    for (std::int64_t v = 0; v <= threshold; ++v) {
+      if (rd_row[v] != 0) {
+        m.ring_distance.add(static_cast<int>(v), rd_row[v]);
+        rd_row[v] = 0;
+      }
+    }
+    for (int v = 1; v <= tab.cycles; ++v) {
+      if (pc_row[v] != 0) {
+        m.paging_cycles.add(v, pc_row[v]);
+        pc_row[v] = 0;
+      }
+    }
+  }
+}
+
+std::size_t SoaEngine::bytes_per_terminal() const {
+  return 3 * sizeof(double) +        // q, c, qc
+         5 * sizeof(std::int32_t) +  // thr, table, id/upd/resp byte consts
+         4 * sizeof(std::int64_t) +  // position + center
+         sizeof(SimTime) +           // since
+         2 * sizeof(stats::Rng) +    // event + walk streams
+         sizeof(std::uint64_t) +     // next page id
+         sizeof(std::uint8_t);       // dirty flag
+}
+
+}  // namespace pcn::sim

@@ -62,6 +62,7 @@ class DistanceUpdatePolicy : public UpdatePolicy {
   std::string name() const override;
 
   int threshold() const { return threshold_; }
+  Dimension dimension() const { return dim_; }
 
   /// Re-targets the policy (used by the adaptive controller); takes effect
   /// immediately.

@@ -1,70 +1,11 @@
 #include "pcn/stats/rng.hpp"
 
-#include "pcn/common/error.hpp"
-
 namespace pcn::stats {
-namespace {
-
-std::uint64_t splitmix64(std::uint64_t& state) {
-  state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
-Rng::Rng(std::uint64_t seed) {
-  std::uint64_t sm = seed;
-  for (auto& word : state_) word = splitmix64(sm);
-}
-
-std::uint64_t Rng::next() {
-  // xoshiro256++
-  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::next_unit() {
-  // 53 high bits → double in [0, 1).
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::next_bernoulli(double p) {
-  PCN_EXPECT(p >= 0.0 && p <= 1.0, "Rng::next_bernoulli: p must be in [0,1]");
-  return next_unit() < p;
-}
-
-std::uint64_t Rng::next_below(std::uint64_t bound) {
-  PCN_EXPECT(bound >= 1, "Rng::next_below: bound must be >= 1");
-  // Lemire-style rejection to remove modulo bias.
-  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
-  for (;;) {
-    const std::uint64_t value = next();
-    if (value >= threshold) return value % bound;
-  }
-}
 
 std::int64_t Rng::next_in_range(std::int64_t lo, std::int64_t hi) {
   PCN_EXPECT(lo <= hi, "Rng::next_in_range: lo must be <= hi");
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(next_below(span));
-}
-
-Rng Rng::split(std::uint64_t salt) {
-  return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x853c49e6748fea9bULL));
 }
 
 }  // namespace pcn::stats

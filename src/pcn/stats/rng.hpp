@@ -5,40 +5,95 @@
 // states.  `split()` derives statistically independent child streams, so
 // each simulated entity (mobility, call process, ...) draws from its own
 // stream and results are reproducible regardless of event interleaving.
+//
+// The draw methods live in the header: the slot loop issues one or two
+// draws per terminal per slot, and the call overhead dominates the
+// generator itself when they sit behind a translation-unit boundary.
 #pragma once
+
+#include "pcn/common/error.hpp"
 
 #include <array>
 #include <cstdint>
 
 namespace pcn::stats {
 
+namespace rng_detail {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace rng_detail
+
 class Rng {
  public:
   using result_type = std::uint64_t;
 
-  explicit Rng(std::uint64_t seed = 0);
+  explicit Rng(std::uint64_t seed = 0) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = rng_detail::splitmix64(sm);
+  }
 
   /// UniformRandomBitGenerator interface.
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~std::uint64_t{0}; }
   result_type operator()() { return next(); }
 
-  std::uint64_t next();
+  std::uint64_t next() {
+    // xoshiro256++
+    const std::uint64_t result =
+        rng_detail::rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rng_detail::rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double next_unit();
+  double next_unit() {
+    // 53 high bits → double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli trial with success probability p ∈ [0, 1].
-  bool next_bernoulli(double p);
+  bool next_bernoulli(double p) {
+    PCN_EXPECT(p >= 0.0 && p <= 1.0,
+               "Rng::next_bernoulli: p must be in [0,1]");
+    return next_unit() < p;
+  }
 
   /// Uniform integer in [0, bound) for bound >= 1 (unbiased, rejection).
-  std::uint64_t next_below(std::uint64_t bound);
+  std::uint64_t next_below(std::uint64_t bound) {
+    PCN_EXPECT(bound >= 1, "Rng::next_below: bound must be >= 1");
+    // Lemire-style rejection to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t value = next();
+      if (value >= threshold) return value % bound;
+    }
+  }
 
   /// Uniform integer in [lo, hi], inclusive.
   std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
 
   /// Derives an independent child stream (keyed by `salt`).
-  Rng split(std::uint64_t salt);
+  Rng split(std::uint64_t salt) {
+    return Rng(next() ^
+               (salt * 0x9e3779b97f4a7c15ULL + 0x853c49e6748fea9bULL));
+  }
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
 #include <string>
 
 namespace pcn::cli {
@@ -57,6 +58,55 @@ TEST(Args, MalformedNumbersAreReported) {
   const Args args = parse({"plan", "--q", "fast", "--delay", "2.5"});
   EXPECT_THROW(args.get_double("q"), UsageError);
   EXPECT_THROW(args.get_int("delay"), UsageError);
+}
+
+TEST(Args, OverflowingIntegersAreRejectedNotClamped) {
+  // strtoll saturates to LLONG_MAX/LLONG_MIN with ERANGE; the parser must
+  // surface that, not hand a clamped value to the simulator.
+  const Args args = parse({"simulate", "--slots", "99999999999999999999",
+                           "--delay", "-99999999999999999999"});
+  EXPECT_THROW(args.get_int("slots"), UsageError);
+  EXPECT_THROW(args.get_int("delay"), UsageError);
+}
+
+TEST(Args, OverflowingDoublesAreRejectedNotInfinity) {
+  const Args args = parse({"plan", "--q", "1e999", "--c", "-1e999"});
+  EXPECT_THROW(args.get_double("q"), UsageError);
+  EXPECT_THROW(args.get_double("c"), UsageError);
+}
+
+TEST(Args, NonFiniteAndHexNumberSpellingsAreRejected) {
+  const Args args = parse({"plan", "--a", "inf", "--b", "-inf", "--c", "nan",
+                           "--d", "infinity", "--e", "0x10", "--f", "0x1p4"});
+  for (const char* key : {"a", "b", "c", "d", "e", "f"}) {
+    EXPECT_THROW(args.get_double(key), UsageError) << "--" << key;
+  }
+  // Hex never parsed as an integer (base 10), but the partial-parse
+  // rejection path deserves a pin too.
+  EXPECT_THROW(args.get_int("e"), UsageError);
+}
+
+TEST(Args, RangeErrorsNameTheFlagAndValue) {
+  const Args args = parse({"simulate", "--slots", "99999999999999999999"});
+  try {
+    args.get_int("slots");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& error) {
+    EXPECT_NE(std::string(error.what()).find(
+                  "flag --slots is out of range: 99999999999999999999"),
+              std::string::npos);
+  }
+}
+
+TEST(Args, ExtremeButRepresentableNumbersStillParse) {
+  const Args args = parse({"x", "--big", "9223372036854775807", "--small",
+                           "-9223372036854775808", "--tiny", "1e-320",
+                           "--large", "1e308"});
+  EXPECT_EQ(args.get_int("big"), INT64_MAX);
+  EXPECT_EQ(args.get_int("small"), INT64_MIN);
+  // Gradual underflow to a denormal is finite and acceptable.
+  EXPECT_GT(args.get_double("tiny"), 0.0);
+  EXPECT_DOUBLE_EQ(args.get_double("large"), 1e308);
 }
 
 TEST(Args, NegativeAndScientificNumbersParse) {

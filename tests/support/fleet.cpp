@@ -50,9 +50,10 @@ void FleetMetrics::accumulate(const sim::TerminalMetrics& metrics) {
 
 std::vector<sim::TerminalMetrics> run_distance_fleet(
     const Scenario& scenario, sim::SlotSemantics semantics, int threads,
-    int terminals, std::int64_t slots_per_terminal) {
+    int terminals, std::int64_t slots_per_terminal, sim::SimEngine engine) {
   sim::NetworkConfig config{scenario.dim, semantics, scenario.seed};
   config.threads = threads;
+  config.engine = engine;
   sim::Network network(config, scenario.weights);
   std::vector<sim::TerminalId> ids;
   ids.reserve(static_cast<std::size_t>(terminals));

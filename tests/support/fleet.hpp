@@ -38,9 +38,12 @@ struct FleetMetrics {
 /// Runs `terminals` distance-policy replicas of `scenario` for
 /// `slots_per_terminal` slots each and returns the per-terminal metrics
 /// (index = attach order) — callers aggregate or diff them as needed.
+/// `engine` pins the slot-loop implementation (the engine-equivalence
+/// suites force kReference / kSoa; the default auto-selects).
 std::vector<sim::TerminalMetrics> run_distance_fleet(
     const Scenario& scenario, sim::SlotSemantics semantics, int threads,
-    int terminals, std::int64_t slots_per_terminal);
+    int terminals, std::int64_t slots_per_terminal,
+    sim::SimEngine engine = sim::SimEngine::kAuto);
 
 /// Aggregate of run_distance_fleet.
 FleetMetrics run_distance_fleet_aggregate(const Scenario& scenario,

@@ -22,6 +22,9 @@
 //   --policy {distance|movement|time|la}  update policy (default distance)
 //   --param N          policy parameter (M, T or R; distance uses the plan)
 //   --threads N        worker threads (0 = hardware concurrency, default 1)
+//   --engine {auto|reference|soa}  slot-loop engine: the struct-of-arrays
+//                      fast path (soa), the polymorphic reference loop, or
+//                      auto-selection (default; soa when eligible)
 //   --metrics-out F    write a pcn.run_report.v1 JSON RunReport to F
 //                      ("-" = stdout); enables runtime telemetry
 //   --progress         stream chunked progress + slots/sec to stderr
@@ -72,7 +75,8 @@ commands:
 common flags: --dim {1|2} --q F --c F --U F --V F --delay N --max-d N
               --scheme {sdf|optimal|hpf} --optimizer {scan|anneal|near}
 simulate:     --slots N --seed N --policy {distance|movement|time|la} --param N
-              --threads N --metrics-out FILE --progress
+              --threads N --engine {auto|reference|soa}
+              --metrics-out FILE --progress
               --trace-out FILE --trace-format {jsonl|chrome} --trace-sample N
 sweep:        --variable {q|c} --from F --to F --points N
 trace-summary: pcnctl trace-summary FILE
@@ -193,6 +197,15 @@ int cmd_simulate(const Args& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const std::string policy = args.get_string_or("policy", "distance");
   const int threads = static_cast<int>(args.get_int_or("threads", 1));
+  const std::string engine_name = args.get_string_or("engine", "auto");
+  pcn::sim::SimEngine engine = pcn::sim::SimEngine::kAuto;
+  if (engine_name == "reference") {
+    engine = pcn::sim::SimEngine::kReference;
+  } else if (engine_name == "soa") {
+    engine = pcn::sim::SimEngine::kSoa;
+  } else if (engine_name != "auto") {
+    throw UsageError("--engine must be auto, reference or soa");
+  }
   const std::string metrics_out = args.get_string_or("metrics-out", "");
   const bool progress = args.get_switch("progress");
   const std::string trace_out = args.get_string_or("trace-out", "");
@@ -238,6 +251,7 @@ int cmd_simulate(const Args& args) {
   pcn::sim::NetworkConfig net_config{
       dim, pcn::sim::SlotSemantics::kChainFaithful, seed};
   net_config.threads = threads;
+  net_config.engine = engine;
   net_config.collect_runtime_stats = !metrics_out.empty() || progress;
   net_config.record_flight = !trace_out.empty();
   net_config.flight_sample_every =
@@ -352,7 +366,12 @@ int cmd_trace_summary(const Args& args) {
   }
   pcn::obs::TraceMeta meta;
   std::vector<pcn::obs::FlightEvent> events;
-  if (!pcn::obs::parse_trace_jsonl(text, &meta, &events, &error)) {
+  // A zero-byte or whitespace-only file is a recording of nothing, not a
+  // corrupt one: summarize it as an empty trace (all sections empty,
+  // exit 0) instead of failing on the missing header line.
+  const bool blank = text.find_first_not_of(" \t\r\n") == std::string::npos;
+  if (!blank &&
+      !pcn::obs::parse_trace_jsonl(text, &meta, &events, &error)) {
     std::fprintf(stderr, "pcnctl: %s: %s\n", path.c_str(), error.c_str());
     return 1;
   }
@@ -364,7 +383,7 @@ int cmd_trace_summary(const Args& args) {
               events.size(),
               static_cast<unsigned long long>(meta.sample_every),
               static_cast<unsigned long long>(meta.dropped_events),
-              meta.policy.c_str(),
+              meta.policy.empty() ? "unknown policy" : meta.policy.c_str(),
               static_cast<unsigned long long>(meta.seed),
               static_cast<long long>(meta.slots));
   std::printf("calls         : %lld recorded (%lld clean, %lld fallback), "

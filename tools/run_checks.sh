@@ -15,7 +15,11 @@
 #      --trace-out and `pcnctl trace-summary` must find zero calls paged in
 #      more than m cycles (it exits 1 on any violation); when python3 is
 #      available, a fresh BENCH_table1_one_dim.json is also diffed against
-#      the blessed baseline with tools/bench_compare.py.
+#      the blessed baseline with tools/bench_compare.py,
+#   6. engine equivalence gate — the same canned scenario simulated under
+#      --engine reference and --engine soa must print byte-identical
+#      reports (the struct-of-arrays fast path contracts bit-identical
+#      metrics; any drift fails the diff).
 #
 # Environment:
 #   JOBS=N   parallelism for builds and ctest (default: nproc)
@@ -24,27 +28,27 @@ cd "$(dirname "$0")/.."
 
 jobs=${JOBS:-$(nproc)}
 
-echo "== [1/5] default build: tier-1 + tier-2 =="
+echo "== [1/6] default build: tier-1 + tier-2 =="
 cmake --preset default
 cmake --build --preset default -j "$jobs"
 ctest --preset tier1 -j "$jobs"
 ctest --preset tier2 -j "$jobs"
 
-echo "== [2/5] TSan: sharded-run determinism + metrics registry =="
+echo "== [2/6] TSan: sharded-run determinism + metrics registry =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
   --target test_network_parallel test_metrics_registry
 ctest --test-dir build-tsan -R 'NetworkParallel|MetricsRegistry' \
   --output-on-failure -j "$jobs"
 
-echo "== [3/5] ASan+UBSan: wire codec round-trips =="
+echo "== [3/6] ASan+UBSan: wire codec round-trips =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target test_wire test_messages test_wire_fuzz
 ctest --test-dir build-asan -R 'Wire|Messages|PropWireFuzz' \
   --output-on-failure -j "$jobs"
 
-echo "== [4/5] observability overhead gates (<= 3% each) =="
+echo "== [4/6] observability overhead gates (<= 3% each) =="
 cmake --build --preset default -j "$jobs" --target perf_scale
 # Skip the google-benchmark sweep; the interleaved gate measurement in
 # main() still runs.  The release preset gives steadier numbers, but the
@@ -65,7 +69,7 @@ for gate in telemetry flight; do
   }'
 done
 
-echo "== [5/5] trace SLA gate + bench baseline diff =="
+echo "== [5/6] trace SLA gate + bench baseline diff =="
 cmake --build --preset default -j "$jobs" --target pcnctl table1_one_dim
 # A canned delay-bounded scenario: every call must be answered within the
 # delay bound m; trace-summary exits 1 on any SLA violation.
@@ -85,5 +89,21 @@ if command -v python3 > /dev/null; then
 else
   echo "bench_compare: skipped (python3 not found)"
 fi
+
+echo "== [6/6] engine equivalence gate (reference vs soa, exact diff) =="
+engine_dir=$(mktemp -d)
+for engine in reference soa; do
+  ./build/tools/pcnctl simulate --dim 2 --policy distance --delay 3 \
+    --slots 200000 --seed 11 --threads 2 --engine "$engine" \
+    > "$engine_dir/$engine.txt"
+done
+if diff "$engine_dir/reference.txt" "$engine_dir/soa.txt"; then
+  echo "engine gate ok: reports byte-identical"
+else
+  echo "engine gate FAILED: reference and soa reports differ"
+  rm -rf "$engine_dir"
+  exit 1
+fi
+rm -rf "$engine_dir"
 
 echo "run_checks: all gates passed."
