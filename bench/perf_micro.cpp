@@ -7,6 +7,14 @@
 // docs/observability.md come from here.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
 #include "gbench_report.hpp"
 #include "pcn/costs/cost_model.hpp"
 #include "pcn/geometry/la_tiling.hpp"
@@ -18,6 +26,7 @@
 #include "pcn/optimize/exhaustive.hpp"
 #include "pcn/optimize/near_optimal.hpp"
 #include "pcn/sim/network.hpp"
+#include "pcn/sim/simd_engine.hpp"
 
 namespace {
 
@@ -206,6 +215,98 @@ void BM_ObsRegistrySnapshot(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsRegistrySnapshot)->Arg(16)->Arg(64);
 
+// --- Per-slot cost (serialized TSC) ------------------------------------------
+// Prices one simulated terminal-slot under each engine over the canonical
+// distance-update fleet.  google-benchmark's steady-clock loop is too coarse
+// for an apples-to-apples cycles/slot figure, so this section brackets one
+// long Network::run with serialized TSC reads (rdtscp + lfence on x86;
+// monotonic_ns elsewhere, in which case "cycles" are nanoseconds).  The
+// fleet/slot counts are env-overridable so CI can smoke-test it cheaply:
+// PCN_MICRO_TERMINALS (default 4096) and PCN_MICRO_SLOTS (default 2048).
+
+std::int64_t env_int64(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+std::uint64_t serialized_tsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned aux = 0;
+  const std::uint64_t t = __rdtscp(&aux);  // waits for prior instructions
+  _mm_lfence();                            // ...and fences the later ones out
+  return t;
+#else
+  return static_cast<std::uint64_t>(pcn::obs::monotonic_ns());
+#endif
+}
+
+struct SlotCost {
+  double ns = 0;      ///< wall nanoseconds per terminal-slot
+  double cycles = 0;  ///< serialized-TSC ticks per terminal-slot
+};
+
+SlotCost per_slot_cost(pcn::sim::SimEngine engine, std::int64_t terminals,
+                       std::int64_t slots) {
+  pcn::sim::NetworkConfig config{
+      pcn::Dimension::kTwoD, pcn::sim::SlotSemantics::kChainFaithful, 42};
+  config.engine = engine;
+  pcn::sim::Network network(config, kWeights);
+  for (std::int64_t i = 0; i < terminals; ++i) {
+    network.add_terminal(pcn::sim::make_distance_terminal(
+        pcn::Dimension::kTwoD, kProfile, static_cast<int>(1 + i % 4),
+        pcn::DelayBound(2)));
+  }
+  network.run(64);  // warm the caches and fault in the engine's arrays
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  const std::uint64_t start_tsc = serialized_tsc();
+  network.run(slots);
+  const std::uint64_t end_tsc = serialized_tsc();
+  const std::int64_t end_ns = pcn::obs::monotonic_ns();
+  const double work = static_cast<double>(terminals * slots);
+  SlotCost cost;
+  cost.ns = static_cast<double>(end_ns - start_ns) / work;
+  cost.cycles = static_cast<double>(end_tsc - start_tsc) / work;
+  return cost;
+}
+
+/// Best-of-N per-slot cost — the min discards scheduler-noise outliers.
+SlotCost best_slot_cost(pcn::sim::SimEngine engine, std::int64_t terminals,
+                        std::int64_t slots, int reps) {
+  SlotCost best;
+  for (int rep = 0; rep < reps; ++rep) {
+    const SlotCost cost = per_slot_cost(engine, terminals, slots);
+    if (rep == 0 || cost.ns < best.ns) best = cost;
+  }
+  return best;
+}
+
+void report_per_slot_costs(pcn::obs::BenchReport& report) {
+  const std::int64_t terminals = env_int64("PCN_MICRO_TERMINALS", 4096);
+  const std::int64_t slots = env_int64("PCN_MICRO_SLOTS", 2048);
+  constexpr int kReps = 3;
+  const SlotCost reference =
+      best_slot_cost(pcn::sim::SimEngine::kReference, terminals, slots, kReps);
+  const SlotCost soa =
+      best_slot_cost(pcn::sim::SimEngine::kSoa, terminals, slots, kReps);
+  report.set("per_slot_terminals", static_cast<double>(terminals))
+      .set("per_slot_slots", static_cast<double>(slots))
+      .set("per_slot_ns_reference", reference.ns)
+      .set("per_slot_cycles_reference", reference.cycles)
+      .set("per_slot_ns_soa", soa.ns)
+      .set("per_slot_cycles_soa", soa.cycles);
+  const pcn::sim::SimdSupport simd = pcn::sim::simd_support();
+  report.set("per_slot_simd_available", simd.available ? 1.0 : 0.0);
+  if (simd.available) {
+    const SlotCost cost =
+        best_slot_cost(pcn::sim::SimEngine::kSimd, terminals, slots, kReps);
+    report.set("per_slot_ns_simd", cost.ns)
+        .set("per_slot_cycles_simd", cost.cycles)
+        .set("per_slot_simd_avx2",
+             simd.isa == pcn::sim::SimdIsa::kAvx2 ? 1.0 : 0.0);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +314,7 @@ int main(int argc, char** argv) {
   pcn::obs::BenchReport report("perf_micro");
   const int rc = pcn::benchio::run_benchmarks(argc, argv, report);
   if (rc != 0) return rc;
+  report_per_slot_costs(report);
   report.set("wall_seconds",
              static_cast<double>(pcn::obs::monotonic_ns() - start_ns) * 1e-9);
   report.emit();

@@ -62,6 +62,17 @@ const Knowledge& LocationServer::knowledge(TerminalId id) const {
   return it->second;
 }
 
+Knowledge& LocationServer::knowledge_mut(TerminalId id) {
+  auto it = directory_.find(id);
+  PCN_EXPECT(it != directory_.end(), "LocationServer: unknown terminal");
+  return it->second;
+}
+
+void LocationServer::refresh(Knowledge& knowledge, geometry::Cell cell,
+                             SimTime now) {
+  reset_center(knowledge, cell, now);
+}
+
 void LocationServer::reset_center(Knowledge& knowledge, geometry::Cell cell,
                                   SimTime now) {
   if (knowledge.kind == KnowledgeKind::kLocationArea) {

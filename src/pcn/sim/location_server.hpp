@@ -59,6 +59,16 @@ class LocationServer {
 
   const Knowledge& knowledge(TerminalId id) const;
 
+  /// Stable mutable handle for batch engines: directory nodes don't move,
+  /// so the reference survives until the terminal is erased (never, today).
+  /// Pair with refresh() to apply update traffic without a lookup per
+  /// event.
+  Knowledge& knowledge_mut(TerminalId id);
+
+  /// Applies a location report to an already-resolved knowledge entry
+  /// (the handle form of on_update).
+  void refresh(Knowledge& knowledge, geometry::Cell cell, SimTime now);
+
   Dimension dimension() const { return dim_; }
 
  private:

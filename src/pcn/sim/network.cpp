@@ -10,6 +10,7 @@
 #include "pcn/obs/timer.hpp"
 #include "pcn/proto/messages.hpp"
 #include "pcn/sim/runtime_stats.hpp"
+#include "pcn/sim/simd_engine.hpp"
 #include "pcn/sim/soa_engine.hpp"
 
 namespace {
@@ -184,7 +185,7 @@ void Network::run(std::int64_t slots) {
       // User events may have re-targeted policies (set_threshold) or
       // attached terminals; the next event-free segment re-verifies the
       // fleet before taking the fast path.
-      if (soa_ != nullptr) soa_revalidate_ = true;
+      if (soa_ != nullptr || simd_ != nullptr) fastpath_revalidate_ = true;
       process_slot(t + 1, scratch);
       t = t + 1;
     }
@@ -203,10 +204,30 @@ std::size_t Network::soa_bytes_per_terminal() const {
   return soa_ != nullptr ? soa_->bytes_per_terminal() : 0;
 }
 
+const char* Network::simd_isa_name() const {
+  return simd_ != nullptr ? to_string(simd_->isa()) : nullptr;
+}
+
+std::size_t Network::simd_bytes_per_terminal() const {
+  return simd_ != nullptr ? simd_->bytes_per_terminal() : 0;
+}
+
 void Network::select_engine() {
   soa_.reset();
-  soa_revalidate_ = false;
+  simd_.reset();
+  fastpath_revalidate_ = false;
   if (config_.engine == SimEngine::kReference) return;
+  if (config_.engine == SimEngine::kSimd) {
+    // Explicit opt-in only: the simd engine is statistically (not bit-)
+    // equivalent to the others, so kAuto never picks it.
+    auto engine = std::make_unique<SimdEngine>(*this);
+    std::string why;
+    if (!engine->prepare(&why)) {
+      detail::throw_invalid_argument("Network: simd engine: " + why);
+    }
+    simd_ = std::move(engine);
+    return;
+  }
   auto engine = std::make_unique<SoaEngine>(*this);
   std::string why;
   if (engine->prepare(&why)) {
@@ -234,11 +255,15 @@ void Network::run_segment(SimTime first, SimTime last, Scratch& scratch) {
     segment_timer.emplace(stats_->segment_wall_ns, &stats_->trace,
                           "net.segment");
   }
-  if (soa_ != nullptr && soa_revalidate_) {
+  if (fastpath_revalidate_ && (soa_ != nullptr || simd_ != nullptr)) {
     // Events ran since the fast path was selected; re-verify the fleet.
-    soa_revalidate_ = false;
+    fastpath_revalidate_ = false;
     std::string why;
-    if (!soa_->prepare(&why)) {
+    if (simd_ != nullptr && !simd_->prepare(&why)) {
+      // simd_ exists only under forced kSimd, so a failure is fatal.
+      detail::throw_invalid_argument("Network: simd engine: " + why);
+    }
+    if (soa_ != nullptr && !soa_->prepare(&why)) {
       if (config_.engine == SimEngine::kSoa) {
         detail::throw_invalid_argument(
             "Network: soa engine requires the canonical distance-update "
@@ -247,7 +272,9 @@ void Network::run_segment(SimTime first, SimTime last, Scratch& scratch) {
       soa_.reset();
     }
   }
-  if (soa_ != nullptr) {
+  if (simd_ != nullptr) {
+    simd_->run_segment(first, last, scratch, !inline_run);
+  } else if (soa_ != nullptr) {
     soa_->run_segment(first, last, scratch, !inline_run);
   } else if (inline_run) {
     for (SimTime t = first; t <= last; ++t) process_slot(t, scratch);

@@ -47,13 +47,25 @@ enum class SlotSemantics { kChainFaithful, kIndependent };
 ///   * kReference — always run the polymorphic engine.
 ///   * kSoa       — require the fast path; run() throws InvalidArgument
 ///     (naming the first non-canonical terminal) when it cannot be taken.
+///   * kSimd      — require the lane-parallel SIMD fast path (AVX2 with a
+///     portable scalar fallback, runtime-detected; see simd_engine.hpp).
+///     Never selected by kAuto: the SIMD engine draws from counter-based
+///     per-(terminal, slot) streams instead of the sequential per-terminal
+///     streams, so its metrics are *statistically* — not bit- —
+///     equivalent to the other engines (gated by the tier-2 oracle suite
+///     in tests/property/test_prop_simd_statistical.cpp).  run() throws
+///     InvalidArgument when the fleet is non-canonical, flight recording
+///     is on, or PCN_SIMD_ISA=none disabled every kernel.
 ///
-/// Both engines produce bit-identical TerminalMetrics at every thread
-/// count (tests/sim/test_soa_engine.cpp), so the choice is purely a
-/// performance knob.
-enum class SimEngine { kAuto, kReference, kSoa };
+/// The reference and soa engines produce bit-identical TerminalMetrics at
+/// every thread count (tests/sim/test_soa_engine.cpp); the simd engine is
+/// itself deterministic across runs and thread counts, just on its own
+/// draw streams.
+enum class SimEngine { kAuto, kReference, kSoa, kSimd };
 
 class SoaEngine;
+class SimdEngine;
+struct FleetPlan;
 
 namespace obs_detail {
 struct RuntimeStats;
@@ -203,8 +215,22 @@ class Network {
   /// (bench/perf_scale reports it), or 0 when the reference engine ran.
   std::size_t soa_bytes_per_terminal() const;
 
+  /// True when the last run() used the lane-parallel SIMD engine (only
+  /// under NetworkConfig::engine = kSimd; kAuto never selects it).
+  bool simd_active() const { return simd_ != nullptr; }
+
+  /// The instruction-set path the active SIMD engine runs ("avx2" or
+  /// "portable"), or nullptr when the SIMD engine is not active.
+  const char* simd_isa_name() const;
+
+  /// Flat per-terminal footprint of the active SIMD engine in bytes
+  /// (bench/perf_scale reports it), or 0 when another engine ran.
+  std::size_t simd_bytes_per_terminal() const;
+
  private:
   friend class SoaEngine;
+  friend class SimdEngine;
+  friend struct FleetPlan;
   struct Attachment {
     std::unique_ptr<Terminal> terminal;
     std::unique_ptr<PagingPolicy> paging;
@@ -268,10 +294,12 @@ class Network {
   /// Struct-of-arrays fast path; null when the reference engine is in
   /// force (non-canonical fleet, or engine = kReference).
   std::unique_ptr<SoaEngine> soa_;
+  /// Lane-parallel SIMD fast path; non-null only under engine = kSimd.
+  std::unique_ptr<SimdEngine> simd_;
   /// Set when user events ran mid-run: they may have re-targeted policies
   /// (set_threshold) or attached terminals, so the next event-free segment
   /// re-verifies the fleet before taking the fast path.
-  bool soa_revalidate_ = false;
+  bool fastpath_revalidate_ = false;
 };
 
 }  // namespace pcn::sim

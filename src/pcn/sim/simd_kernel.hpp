@@ -1,0 +1,280 @@
+// Kernel ABI for the lane-parallel SIMD slot-loop engine.
+//
+// The engine (simd_engine.cpp) slices each cache-blocked terminal batch
+// into 8-lane blocks and hands every block to one of two kernels over an
+// event-free slot range:
+//
+//   * run_block_portable — straight-line scalar integer code, built into
+//     every binary; also serves partial (< 8 lane) tail blocks.
+//   * run_block_avx2     — the same arithmetic eight lanes per
+//     instruction, compiled into its own TU with -mavx2 and dispatched
+//     only when cpuid reports AVX2 (simd_engine.cpp).
+//
+// Both kernels perform *identical* integer arithmetic — Philox4x32-10
+// event words, fixed-point threshold compares, LUT walk steps, hex ring
+// distance — and both funnel rare events (location updates, calls)
+// through the shared scalar rare_slot below, so their outputs are
+// bit-identical by construction (tests/sim/test_simd_engine.cpp compares
+// them directly).  That makes the AVX2/portable choice and the thread
+// count invisible in the results; only the counter-based draw streams
+// distinguish the simd engine from the soa/reference pair.
+//
+// Draw mapping.  Chain-faithful slots resolve both events from one draw
+// plus a walk direction, and 16 bits cover each exactly (see below), so
+// one Philox block serves FOUR slots: counter (t >> 2, terminal), with
+// the event halfwords packed into words 0–1 and the direction halfwords
+// into words 2–3 (slot t & 3 reads halfword t & 1 of word (t >> 1) & 1)
+// — quartering the dominant Philox cost.  Independent slots need three
+// full words (move, call, direction) and keep one block per slot:
+// counter (t, terminal), words 0–2.  Both mappings are stateless in t,
+// which is what keeps results independent of segmentation and threading.
+//
+// The 16-bit event draw is *exact*: the halfword is compared against the
+// high halves of the fixed-point thresholds, and only when it ties one
+// of them (probability <= 2^-15) do the low 16 bits matter — those come
+// from a dedicated refinement block (refine16 below, counter high bit
+// set for domain separation), reconstructing a full uniform 32-bit draw.
+// The 16-bit direction draw maps through (d * 6) >> 16, whose per-
+// direction probabilities differ from 1/6 by < 2^-16 — inside the simd
+// engine's statistical-equivalence contract (the event probabilities,
+// where thresholds live, stay bit-exact).
+//
+// Everything here is pure integer: costs (weight * count) and telemetry
+// are folded in by the engine at batch sync, so the kernels never touch
+// floating point and never see the Network.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "pcn/sim/event_queue.hpp"
+#include "pcn/sim/fleet_plan.hpp"
+#include "pcn/stats/counter_rng.hpp"
+
+namespace pcn::sim::simd_detail {
+
+inline constexpr int kLanes = 8;
+
+struct KernelParams {
+  std::uint32_t key0 = 0;  ///< counter-RNG key (seed_from(seed, salt))
+  std::uint32_t key1 = 0;
+  bool count_bytes = true;
+};
+
+/// Pointers into one 8-lane block of the batch arrays.  Static plan
+/// pointers alias the engine's per-terminal arrays at the block offset;
+/// dynamic state and accumulators live in the batch scratch.
+struct LaneBlock {
+  // Hot vector state (int32 lanes).
+  std::int32_t* rel_q;            ///< position relative to the center
+  std::int32_t* rel_r;
+  const std::uint32_t* t_call;    ///< fixed-point event thresholds
+  const std::uint32_t* t_move;
+  const std::int32_t* thr;        ///< distance threshold d
+  const std::uint32_t* tid_lo;    ///< Philox stream words (terminal id)
+  const std::uint32_t* tid_hi;
+  // Cold per-lane state (rare path only).
+  std::int64_t* cen_q;            ///< absolute knowledge center
+  std::int64_t* cen_r;
+  std::int64_t* since;            ///< last center reset slot
+  std::uint64_t* page_id;         ///< per-terminal page correlator
+  std::uint8_t* dirty;            ///< center reset during the segment
+  // Per-lane accumulators.
+  std::int64_t* moves;            ///< segment delta
+  std::int64_t* updates;          ///< absolute ordinal (continues metrics)
+  std::int64_t* calls;            ///< segment delta
+  std::int64_t* polled;           ///< segment delta (cells)
+  std::int64_t* upd_bytes;        ///< segment delta
+  std::int64_t* page_bytes;       ///< segment delta
+  // Per-lane plan constants and histogram rows.
+  const PagingTable* const* table;
+  const std::int32_t* id_bytes;
+  const std::int32_t* upd_const;
+  const std::int32_t* resp_const;
+  std::int64_t* rd_rows;          ///< [lane][rd_stride] occupancy counts
+  std::int64_t* pc_rows;          ///< [lane][pc_stride] paging cycles
+  std::int32_t rd_stride = 0;
+  std::int32_t pc_stride = 0;
+};
+
+/// Axial unit directions in hex_directions() order (entries 6–7 pad the
+/// table to a full 8-lane permute; the direction draw is always < 6).
+inline constexpr std::int32_t kDirQ[8] = {1, 1, 0, -1, -1, 0, 0, 0};
+inline constexpr std::int32_t kDirR[8] = {0, -1, -1, 0, 1, 1, 0, 0};
+
+/// Scalar rare-event tail for one lane at slot `t`: the location update
+/// (dist > threshold) and/or the call.  `dist` is the post-move ring
+/// distance; both events reset the relative position, so the slot's
+/// occupancy sample is 0 whenever this runs (the caller files it).
+/// Shared verbatim by both kernels — the bit-identity anchor.
+inline void rare_slot(const KernelParams& kp, const LaneBlock& b, int lane,
+                      SimTime t, bool called, std::int64_t dist) {
+  using plan_detail::signed_len;
+  using plan_detail::varint_len;
+  if (dist > b.thr[lane]) {
+    b.cen_q[lane] += b.rel_q[lane];
+    b.cen_r[lane] += b.rel_r[lane];
+    b.rel_q[lane] = 0;
+    b.rel_r[lane] = 0;
+    ++b.updates[lane];
+    if (kp.count_bytes) {
+      // Sequence number is the post-increment update ordinal, as in the
+      // reference frame encoding; position equals the fresh center.
+      b.upd_bytes[lane] +=
+          b.upd_const[lane] +
+          varint_len(static_cast<std::uint64_t>(b.updates[lane])) +
+          signed_len(b.cen_q[lane]) + signed_len(b.cen_r[lane]);
+    }
+    b.since[lane] = t;
+    b.dirty[lane] = 1;
+    dist = 0;
+  }
+  if (called) {
+    const std::uint64_t call_id = b.page_id[lane]++;
+    const PagingTable& tab = *b.table[lane];
+    // The containment invariant puts the terminal in the subarea of its
+    // current ring: poll every cycle up to (and including) it.
+    const auto h = static_cast<std::size_t>(
+        tab.cycle_of[static_cast<std::size_t>(dist)]);
+    b.polled[lane] += tab.cum[h];
+    const std::int64_t cq = b.cen_q[lane];
+    const std::int64_t cr = b.cen_r[lane];
+    const std::int64_t pq = cq + b.rel_q[lane];
+    const std::int64_t pr = cr + b.rel_r[lane];
+    if (kp.count_bytes) {
+      for (std::size_t j = 0; j <= h; ++j) {
+        b.page_bytes[lane] += tab.inv_bytes[j] +
+                              varint_len(call_id) + b.id_bytes[lane] +
+                              signed_len(cq + tab.off_q[j]) +
+                              signed_len(cr + tab.off_r[j]);
+      }
+      b.page_bytes[lane] += b.resp_const[lane] + varint_len(call_id) +
+                            signed_len(pq) + signed_len(pr);
+    }
+    b.pc_rows[lane * b.pc_stride + static_cast<std::int32_t>(h) + 1]++;
+    ++b.calls[lane];
+    b.cen_q[lane] = pq;
+    b.cen_r[lane] = pr;
+    b.rel_q[lane] = 0;
+    b.rel_r[lane] = 0;
+    b.since[lane] = t;
+    b.dirty[lane] = 1;
+  }
+}
+
+/// Low 16 bits of a boundary refinement draw for (terminal, t): counter
+/// high bit set, which no group counter (t >> 2) can reach, so the
+/// stream is disjoint from the slot draws.  Shared verbatim by both
+/// kernels — part of the bit-identity anchor.
+inline std::uint32_t refine16(const KernelParams& kp, const LaneBlock& b,
+                              int lane, SimTime t) {
+  const auto ut = static_cast<std::uint64_t>(t);
+  const stats::PhiloxWords w = stats::philox4x32(
+      kp.key0, kp.key1, static_cast<std::uint32_t>(ut),
+      static_cast<std::uint32_t>(ut >> 32) | 0x80000000u, b.tid_lo[lane],
+      b.tid_hi[lane]);
+  return w[0] & 0xFFFFu;
+}
+
+/// One lane-slot of the portable kernel: exactly the integer arithmetic
+/// the AVX2 lanes perform, in emission order.
+template <bool kTwoD, bool kChain>
+inline void lane_slot(const KernelParams& kp, const LaneBlock& b, int lane,
+                      SimTime t) {
+  bool called;
+  bool moved;
+  std::uint32_t dir_draw;  // chain: 16-bit halfword; else: full word
+  if constexpr (kChain) {
+    // Quad draw: block (t >> 2, terminal); slot t & 3 reads event and
+    // direction halfwords (t & 1) of words (t >> 1) & 1 and 2 + that.
+    const auto group = static_cast<std::uint64_t>(t) >> 2;
+    const stats::PhiloxWords w = stats::philox4x32(
+        kp.key0, kp.key1, static_cast<std::uint32_t>(group),
+        static_cast<std::uint32_t>(group >> 32), b.tid_lo[lane],
+        b.tid_hi[lane]);
+    const auto word = static_cast<std::size_t>((t >> 1) & 1);
+    const auto shift = static_cast<unsigned>((t & 1) * 16);
+    const std::uint32_t e16 = (w[word] >> shift) & 0xFFFFu;
+    dir_draw = (w[2 + word] >> shift) & 0xFFFFu;
+    // One event draw resolves the competing events (q + c <= 1 verified
+    // by FleetPlan::build): call wins below t_call, a move below t_move.
+    // The halfword against the threshold high halves decides except on a
+    // tie, where the refinement block supplies the exact low 16 bits.
+    const std::uint32_t tc = b.t_call[lane];
+    const std::uint32_t tm = b.t_move[lane];
+    if (e16 == tc >> 16 || e16 == tm >> 16) {
+      const std::uint32_t x = (e16 << 16) | refine16(kp, b, lane, t);
+      called = x < tc;
+      moved = !called && x < tm;
+    } else {
+      called = e16 < tc >> 16;
+      moved = !called && e16 < tm >> 16;
+    }
+  } else {
+    const stats::PhiloxWords w = stats::philox4x32(
+        kp.key0, kp.key1, static_cast<std::uint32_t>(t),
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(t) >> 32),
+        b.tid_lo[lane], b.tid_hi[lane]);
+    moved = w[0] < b.t_move[lane];
+    called = w[1] < b.t_call[lane];
+    dir_draw = w[2];
+  }
+  if (moved) {
+    if constexpr (kTwoD) {
+      // Chain halfwords scale by 2^-16, full words by 2^-32.
+      const auto dir = static_cast<std::size_t>(
+          kChain ? (dir_draw * 6u) >> 16
+                 : (std::uint64_t{dir_draw} * 6) >> 32);
+      b.rel_q[lane] += kDirQ[dir];
+      b.rel_r[lane] += kDirR[dir];
+    } else {
+      b.rel_q[lane] += static_cast<std::int32_t>((dir_draw & 1u) * 2) - 1;
+    }
+    ++b.moves[lane];
+  }
+  std::int64_t dist;
+  if constexpr (kTwoD) {
+    const std::int64_t dq = b.rel_q[lane];
+    const std::int64_t dr = b.rel_r[lane];
+    dist = (std::llabs(dq) + std::llabs(dr) + std::llabs(dq + dr)) / 2;
+  } else {
+    dist = std::llabs(std::int64_t{b.rel_q[lane]});
+  }
+  if (dist > b.thr[lane] || called) {
+    rare_slot(kp, b, lane, t, called, dist);
+    dist = 0;
+  }
+  b.rd_rows[lane * b.rd_stride + dist]++;
+}
+
+/// Runs lanes [0, n) of `block` over slots [first, last] with the scalar
+/// emulation path (n <= kLanes; partial tail blocks take this path under
+/// every ISA).
+void run_block_portable(const KernelParams& kp, const LaneBlock& block,
+                        int n, bool two_d, bool chain, SimTime first,
+                        SimTime last);
+
+#if PCN_HAVE_AVX2_KERNEL
+/// Runs all 8 lanes of `block` over slots [first, last] with AVX2.
+void run_block_avx2(const KernelParams& kp, const LaneBlock& block,
+                    bool two_d, bool chain, SimTime first, SimTime last);
+
+/// Largest distance threshold the 16-lane paired chain kernel accepts:
+/// its walk state and ring distances live in int16 lanes, and the hex
+/// distance intermediate |dq| + |dr| + |dq + dr| is bounded by
+/// 4 * (threshold + 1), which must stay below 2^15.
+inline constexpr std::int32_t kPairMaxThreshold = 8190;
+
+/// Runs TWO full 8-lane blocks over slots [first, last] as sixteen int16
+/// lanes per vector — the chain-faithful fast path.  The event halfwords
+/// and direction draws are 16-bit by construction (see the quad mapping
+/// above), and every other per-slot quantity (relative position, ring
+/// distance, per-chunk move/occupancy counts) fits int16 when every
+/// threshold is <= kPairMaxThreshold — the caller's gate.  Bit-identical
+/// to running the blocks through run_block_avx2 / run_block_portable.
+void run_block_pair_avx2(const KernelParams& kp, const LaneBlock& a,
+                         const LaneBlock& b, bool two_d, SimTime first,
+                         SimTime last);
+#endif
+
+}  // namespace pcn::sim::simd_detail

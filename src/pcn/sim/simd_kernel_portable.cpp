@@ -1,0 +1,35 @@
+// Portable scalar-emulation kernel for the SIMD slot-loop engine: the
+// reference semantics of the lane arithmetic, built into every binary.
+// The AVX2 kernel (simd_kernel_avx2.cpp) must match it bit for bit.
+#include "pcn/sim/simd_kernel.hpp"
+
+namespace pcn::sim::simd_detail {
+namespace {
+
+template <bool kTwoD, bool kChain>
+void run_block_impl(const KernelParams& kp, const LaneBlock& block, int n,
+                    SimTime first, SimTime last) {
+  for (SimTime t = first; t <= last; ++t) {
+    for (int lane = 0; lane < n; ++lane) {
+      lane_slot<kTwoD, kChain>(kp, block, lane, t);
+    }
+  }
+}
+
+}  // namespace
+
+void run_block_portable(const KernelParams& kp, const LaneBlock& block,
+                        int n, bool two_d, bool chain, SimTime first,
+                        SimTime last) {
+  if (two_d && chain) {
+    run_block_impl<true, true>(kp, block, n, first, last);
+  } else if (two_d) {
+    run_block_impl<true, false>(kp, block, n, first, last);
+  } else if (chain) {
+    run_block_impl<false, true>(kp, block, n, first, last);
+  } else {
+    run_block_impl<false, false>(kp, block, n, first, last);
+  }
+}
+
+}  // namespace pcn::sim::simd_detail

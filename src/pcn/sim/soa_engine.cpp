@@ -5,115 +5,25 @@
 #include <exception>
 #include <optional>
 #include <thread>
-#include <typeinfo>
 
 #include "pcn/common/error.hpp"
 #include "pcn/geometry/cell.hpp"
 #include "pcn/obs/flight_recorder.hpp"
 #include "pcn/obs/timer.hpp"
-#include "pcn/proto/wire.hpp"
-#include "pcn/sim/mobility.hpp"
-#include "pcn/sim/paging_policy.hpp"
 #include "pcn/sim/runtime_stats.hpp"
 #include "pcn/sim/terminal.hpp"
 #include "pcn/sim/update_policy.hpp"
 
 namespace pcn::sim {
-namespace {
 
-/// LEB128-encoded length of an unsigned varint, in bytes.
-std::int64_t varint_len(std::uint64_t value) {
-  std::int64_t length = 1;
-  while (value >= 0x80) {
-    value >>= 7;
-    ++length;
-  }
-  return length;
-}
-
-/// Encoded length of a zigzag-mapped signed varint, in bytes.
-std::int64_t signed_len(std::int64_t value) {
-  return varint_len(proto::zigzag_encode(value));
-}
-
-}  // namespace
+using plan_detail::signed_len;
+using plan_detail::varint_len;
 
 SoaEngine::SoaEngine(Network& net) : net_(net) {}
 
-std::size_t SoaEngine::intern_table(int threshold,
-                                    const costs::Partition& partition) {
-  // Fleets share a handful of distinct (threshold, bound) plans, so a
-  // linear scan over structurally-equal partitions suffices.
-  for (std::size_t i = 0; i < tables_.size(); ++i) {
-    if (tables_[i].partition == partition) return i;
-  }
-  const Dimension dim = net_.config_.dimension;
-  PagingTable table{partition};
-  table.threshold = threshold;
-  table.cycles = partition.subarea_count();
-  table.cycle_of.assign(static_cast<std::size_t>(threshold) + 1, 0);
-  std::vector<geometry::Cell> cells;
-  std::int64_t cumulative = 0;
-  for (int j = 0; j < table.cycles; ++j) {
-    const std::vector<int>& rings = partition.rings(j);
-    cells.clear();
-    int lo = rings.front();
-    int hi = rings.front();
-    for (int ring : rings) {
-      table.cycle_of[static_cast<std::size_t>(ring)] =
-          static_cast<std::int32_t>(j);
-      lo = std::min(lo, ring);
-      hi = std::max(hi, ring);
-      // Built once at the origin: ring cells translate with the center,
-      // so inter-cell deltas (and hence most frame bytes) are invariant.
-      geometry::append_cell_ring(dim, geometry::Cell{}, ring, cells);
-    }
-    table.size.push_back(static_cast<std::int64_t>(cells.size()));
-    cumulative += static_cast<std::int64_t>(cells.size());
-    table.cum.push_back(cumulative);
-    table.ring_lo.push_back(lo);
-    table.ring_hi.push_back(hi);
-    // PageRequest frame minus the per-call varints: version + type,
-    // cycle, cell count, the center-independent inter-cell deltas, CRC.
-    std::int64_t invariant = 2 + varint_len(static_cast<std::uint64_t>(j)) +
-                             varint_len(cells.size()) + 4;
-    for (std::size_t k = 1; k < cells.size(); ++k) {
-      invariant += signed_len(cells[k].q - cells[k - 1].q) +
-                   signed_len(cells[k].r - cells[k - 1].r);
-    }
-    table.inv_bytes.push_back(invariant);
-    table.off_q.push_back(cells.front().q);
-    table.off_r.push_back(cells.front().r);
-  }
-  max_cycles_ = std::max(max_cycles_, table.cycles);
-  tables_.push_back(std::move(table));
-  return tables_.size() - 1;
-}
-
 bool SoaEngine::prepare(std::string* why) {
-  auto fail = [&](const std::string& reason) {
-    if (why != nullptr) *why = reason;
-    return false;
-  };
-  const NetworkConfig& config = net_.config_;
-  if (net_.observer_ != nullptr) {
-    return fail("an observer is attached (callbacks pin the reference "
-                "slot-major order)");
-  }
-  if (config.update_loss_prob > 0.0) {
-    return fail("update_loss_prob > 0 injects extra RNG draws");
-  }
+  if (!plan_.build(net_, why)) return false;
   const std::size_t n = net_.attachments_.size();
-  const bool chain = config.semantics == SlotSemantics::kChainFaithful;
-
-  q_.resize(n);
-  c_.resize(n);
-  qc_.resize(n);
-  thr_.resize(n);
-  table_.resize(n);
-  id_bytes_.resize(n);
-  upd_const_.resize(n);
-  resp_const_.resize(n);
   pos_q_.resize(n);
   pos_r_.resize(n);
   cen_q_.resize(n);
@@ -123,97 +33,6 @@ bool SoaEngine::prepare(std::string* why) {
   wk_rng_.resize(n);
   next_page_.resize(n);
   dirty_.resize(n);
-  tables_.clear();
-  max_threshold_ = 0;
-  max_cycles_ = 0;
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const Network::Attachment& attachment = net_.attachments_[i];
-    const Terminal& terminal = *attachment.terminal;
-    const std::string tag = "terminal " + std::to_string(i) + ": ";
-
-    const auto* walk = dynamic_cast<const RandomWalk*>(&terminal.mobility());
-    if (walk == nullptr) {
-      return fail(tag + terminal.mobility().name() +
-                  " mobility (need random-walk)");
-    }
-    if (walk->dimension() != config.dimension) {
-      return fail(tag + "mobility dimension differs from the network's");
-    }
-
-    // Exact type: subclasses may override hooks the flat loop skips.
-    const UpdatePolicy& update = terminal.update_policy();
-    if (typeid(update) != typeid(DistanceUpdatePolicy)) {
-      return fail(tag + update.name() + " update policy (need distance)");
-    }
-    const auto& distance = static_cast<const DistanceUpdatePolicy&>(update);
-    if (distance.dimension() != config.dimension) {
-      return fail(tag + "update-policy dimension differs from the network's");
-    }
-    const int threshold = distance.threshold();
-
-    std::size_t table = 0;
-    if (const auto* sdf = dynamic_cast<const SdfSequentialPaging*>(
-            attachment.paging.get())) {
-      if (sdf->dimension() != config.dimension) {
-        return fail(tag + "paging dimension differs from the network's");
-      }
-      table = intern_table(threshold,
-                           costs::Partition::sdf(threshold,
-                                                 sdf->delay_bound()));
-    } else if (const auto* plan = dynamic_cast<const PlanPartitionPaging*>(
-                   attachment.paging.get())) {
-      if (plan->dimension() != config.dimension) {
-        return fail(tag + "paging dimension differs from the network's");
-      }
-      if (plan->partition().threshold() != threshold) {
-        return fail(tag +
-                    "plan-partition threshold differs from the update "
-                    "threshold");
-      }
-      table = intern_table(threshold, plan->partition());
-    } else {
-      return fail(tag + attachment.paging->name() +
-                  " paging (need sdf-sequential or plan-partition)");
-    }
-
-    const Knowledge& knowledge = net_.server_.knowledge(terminal.id());
-    if (knowledge.kind != KnowledgeKind::kFixedDisk) {
-      return fail(tag + "knowledge is not a fixed disk");
-    }
-    if (knowledge.radius != threshold) {
-      return fail(tag + "knowledge radius differs from the update threshold");
-    }
-    if (knowledge.center != distance.center()) {
-      return fail(tag + "knowledge center diverged from the policy center");
-    }
-    if (config.dimension == Dimension::kOneD &&
-        terminal.position().r != knowledge.center.r) {
-      return fail(tag + "1-D terminal is off its center's line");
-    }
-
-    const double q = walk->move_probability(0);
-    const double c = terminal.call_probability();
-    if (chain && q + c > 1.0) {
-      return fail(tag + "q + c > 1 under chain-faithful semantics");
-    }
-
-    q_[i] = q;
-    c_[i] = c;
-    qc_[i] = c + q;
-    thr_[i] = threshold;
-    table_[i] = static_cast<std::int32_t>(table);
-    const std::int64_t id_bytes =
-        varint_len(static_cast<std::uint64_t>(terminal.id()));
-    id_bytes_[i] = static_cast<std::int32_t>(id_bytes);
-    // LocationUpdate frame minus the per-update varints (sequence number
-    // and position): version + type, terminal id, containment radius, CRC.
-    upd_const_[i] = static_cast<std::int32_t>(
-        2 + id_bytes + varint_len(static_cast<std::uint64_t>(threshold)) + 4);
-    // PageResponse frame minus page id and position.
-    resp_const_[i] = static_cast<std::int32_t>(2 + id_bytes + 4);
-    max_threshold_ = std::max(max_threshold_, threshold);
-  }
   return true;
 }
 
@@ -269,7 +88,7 @@ void SoaEngine::run_shard(std::size_t begin, std::size_t end, SimTime first,
   // Load: objects -> flat arrays for this shard's terminals.
   for (std::size_t i = begin; i < end; ++i) {
     Terminal& terminal = *net_.attachments_[i].terminal;
-    const Knowledge& knowledge = net_.server_.knowledge(terminal.id());
+    const Knowledge& knowledge = *plan_.know[i];
     pos_q_[i] = terminal.position().q;
     pos_r_[i] = terminal.position().r;
     cen_q_[i] = knowledge.center.q;
@@ -284,9 +103,9 @@ void SoaEngine::run_shard(std::size_t begin, std::size_t end, SimTime first,
   // Histogram fold rows, shared across the shard's terminals (each fold
   // re-zeroes exactly the entries its terminal wrote).
   std::vector<std::int64_t> rd_row(
-      static_cast<std::size_t>(max_threshold_) + 1, 0);
-  std::vector<std::int64_t> pc_row(static_cast<std::size_t>(max_cycles_) + 1,
-                                   0);
+      static_cast<std::size_t>(plan_.max_threshold) + 1, 0);
+  std::vector<std::int64_t> pc_row(
+      static_cast<std::size_t>(plan_.max_cycles) + 1, 0);
 
   const bool twod = net_.config_.dimension == Dimension::kTwoD;
   const bool chain = net_.config_.semantics == SlotSemantics::kChainFaithful;
@@ -317,7 +136,7 @@ void SoaEngine::run_shard(std::size_t begin, std::size_t end, SimTime first,
     if (dirty_[i] != 0) {
       const geometry::Cell center{cen_q_[i], cen_r_[i]};
       terminal.update_policy().on_center_reset(center, since_[i]);
-      net_.server_.on_update(terminal.id(), center, since_[i]);
+      net_.server_.refresh(*plan_.know[i], center, since_[i]);
     }
   }
   if (net_.stats_ != nullptr) {
@@ -344,14 +163,15 @@ void SoaEngine::run_range(std::size_t begin, std::size_t end, SimTime first,
 
   for (std::size_t i = begin; i < end; ++i) {
     TerminalMetrics& m = net_.attachments_[i].metrics;
-    const double q = q_[i];
-    const double c = c_[i];
-    const double qc = qc_[i];
-    const std::int64_t threshold = thr_[i];
-    const PagingTable& tab = tables_[static_cast<std::size_t>(table_[i])];
-    const std::int64_t id_bytes = id_bytes_[i];
-    const std::int64_t upd_const = upd_const_[i];
-    const std::int64_t resp_const = resp_const_[i];
+    const double q = plan_.q[i];
+    const double c = plan_.c[i];
+    const double qc = plan_.qc[i];
+    const std::int64_t threshold = plan_.thr[i];
+    const PagingTable& tab =
+        plan_.tables[static_cast<std::size_t>(plan_.table[i])];
+    const std::int64_t id_bytes = plan_.id_bytes[i];
+    const std::int64_t upd_const = plan_.upd_const[i];
+    const std::int64_t resp_const = plan_.resp_const[i];
     const auto tid = static_cast<std::int32_t>(i);
 
     // Whole terminal state in locals for the slot loop; everything is

@@ -30,7 +30,7 @@
 #include <string>
 #include <vector>
 
-#include "pcn/costs/partition.hpp"
+#include "pcn/sim/fleet_plan.hpp"
 #include "pcn/sim/network.hpp"
 #include "pcn/stats/rng.hpp"
 
@@ -61,29 +61,6 @@ class SoaEngine {
   std::size_t bytes_per_terminal() const;
 
  private:
-  /// One distinct paging partition, pre-resolved into flat lookup tables
-  /// (indexed by polling cycle).  Frame bytes split into a center- and
-  /// terminal-independent part computed once here, plus the per-call
-  /// varint terms added on the hot path.
-  struct PagingTable {
-    costs::Partition partition;      ///< dedupe key (operator==)
-    int threshold = 0;
-    int cycles = 0;                  ///< subarea count
-    std::vector<std::int32_t> cycle_of;  ///< ring distance -> subarea
-    std::vector<std::int64_t> size;      ///< cells polled in cycle j
-    std::vector<std::int64_t> cum;       ///< cells polled through cycle j
-    std::vector<std::int32_t> ring_lo;   ///< nearest ring in cycle j
-    std::vector<std::int32_t> ring_hi;   ///< farthest ring in cycle j
-    /// PageRequest frame bytes of cycle j minus the per-call varints
-    /// (page id, terminal id, absolute first-cell coordinates).
-    std::vector<std::int64_t> inv_bytes;
-    /// First polled cell of cycle j, relative to the knowledge center.
-    std::vector<std::int64_t> off_q, off_r;
-  };
-
-  /// Returns the index of the table for `partition`, building it if new.
-  std::size_t intern_table(int threshold, const costs::Partition& partition);
-
   /// Worker body: loads attachments [begin, end) into the flat arrays,
   /// evolves them over [first, last], and syncs the objects back.
   void run_shard(std::size_t begin, std::size_t end, SimTime first,
@@ -98,18 +75,9 @@ class SoaEngine {
 
   Network& net_;
 
-  // ---- static per-terminal plan (rebuilt by prepare) ----
-  std::vector<double> q_;    ///< per-slot move probability
-  std::vector<double> c_;    ///< per-slot call probability
-  std::vector<double> qc_;   ///< c + q (chain-semantics move bound)
-  std::vector<std::int32_t> thr_;       ///< distance threshold d
-  std::vector<std::int32_t> table_;     ///< index into tables_
-  std::vector<std::int32_t> id_bytes_;  ///< varint length of the id
-  std::vector<std::int32_t> upd_const_; ///< fixed LocationUpdate bytes
-  std::vector<std::int32_t> resp_const_;///< fixed PageResponse bytes
-  std::vector<PagingTable> tables_;
-  int max_threshold_ = 0;
-  int max_cycles_ = 0;
+  /// Static per-terminal plan + interned paging tables (rebuilt by
+  /// prepare; shared shape with the simd engine — see fleet_plan.hpp).
+  FleetPlan plan_;
 
   // ---- dynamic state (objects <-> arrays per segment) ----
   std::vector<std::int64_t> pos_q_, pos_r_;  ///< terminal position

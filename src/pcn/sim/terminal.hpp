@@ -31,6 +31,8 @@ class Terminal {
 
   stats::Rng& event_rng() { return event_rng_; }
   stats::Rng& walk_rng() { return walk_rng_; }
+  const stats::Rng& event_rng() const { return event_rng_; }
+  const stats::Rng& walk_rng() const { return walk_rng_; }
 
   void move_to(geometry::Cell cell) { position_ = cell; }
 

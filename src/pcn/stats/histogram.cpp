@@ -14,6 +14,17 @@ void Histogram::add(int value, std::int64_t count) {
   total_ += count;
 }
 
+void Histogram::add_counts(const std::int64_t* counts, std::size_t n) {
+  while (n > 0 && counts[n - 1] == 0) --n;  // keep bucket_count() tight
+  if (n == 0) return;
+  if (n > buckets_.size()) buckets_.resize(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    PCN_EXPECT(counts[v] >= 0, "Histogram::add_counts: counts must be >= 0");
+    buckets_[v] += counts[v];
+    total_ += counts[v];
+  }
+}
+
 std::int64_t Histogram::count(int value) const {
   PCN_EXPECT(value >= 0, "Histogram::count: values are non-negative");
   if (static_cast<std::size_t>(value) >= buckets_.size()) return 0;

@@ -12,6 +12,19 @@ class Histogram {
  public:
   void add(int value, std::int64_t count = 1);
 
+  /// Adds `counts[v]` to bucket v for v in [0, n) with a single resize —
+  /// the bulk form engines use to fold dense per-terminal rows.
+  void add_counts(const std::int64_t* counts, std::size_t n);
+
+  /// Hints the bucket storage into cache — engines folding one histogram
+  /// per terminal issue this a few terminals ahead so the (heap-allocated,
+  /// otherwise cold) bucket line is resident when add_counts runs.
+  void prefetch() const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(buckets_.data(), 1);
+#endif
+  }
+
   std::int64_t total() const { return total_; }
 
   /// Count in bucket `value` (0 if never seen).

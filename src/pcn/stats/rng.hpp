@@ -20,12 +20,26 @@ namespace pcn::stats {
 
 namespace rng_detail {
 
-inline std::uint64_t splitmix64(std::uint64_t& state) {
-  state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
+/// The SplitMix64 output mix (finalizer): bijective, avalanching.
+inline std::uint64_t mix64(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  return mix64(state);
+}
+
+/// Word `salt` of the SplitMix64 stream seeded with `seed` — one
+/// well-mixed 64-bit value per (seed, salt) pair.  Both seeding paths
+/// derive through it: Rng's state expansion (salt = word index) and the
+/// counter-based streams' keys (stats/counter_rng.hpp).  The salt walks
+/// the stream linearly; for nonlinear child keys use Rng::split or
+/// CounterRng::derive.
+inline std::uint64_t seed_from(std::uint64_t seed, std::uint64_t salt) {
+  return mix64(seed + (salt + 1) * 0x9e3779b97f4a7c15ULL);
 }
 
 inline std::uint64_t rotl(std::uint64_t x, int k) {
@@ -39,8 +53,9 @@ class Rng {
   using result_type = std::uint64_t;
 
   explicit Rng(std::uint64_t seed = 0) {
-    std::uint64_t sm = seed;
-    for (auto& word : state_) word = rng_detail::splitmix64(sm);
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      state_[i] = rng_detail::seed_from(seed, i);
+    }
   }
 
   /// UniformRandomBitGenerator interface.
@@ -78,6 +93,12 @@ class Rng {
   /// Uniform integer in [0, bound) for bound >= 1 (unbiased, rejection).
   std::uint64_t next_below(std::uint64_t bound) {
     PCN_EXPECT(bound >= 1, "Rng::next_below: bound must be >= 1");
+    if ((bound & (bound - 1)) == 0) {
+      // Power of two: the mask is exact and draws the same stream the
+      // rejection path would (its threshold is 0, so the first draw is
+      // always accepted, and value % 2^k == value & (2^k - 1)).
+      return next() & (bound - 1);
+    }
     // Lemire-style rejection to remove modulo bias.
     const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
     for (;;) {

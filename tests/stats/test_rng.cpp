@@ -126,6 +126,27 @@ TEST(Rng, SplitStreamsAreUncorrelated) {
   EXPECT_EQ(same, 0);
 }
 
+TEST(Rng, NextBelowPowerOfTwoMatchesMaskedDraw) {
+  // The power-of-two fast path must consume exactly one next() and return
+  // the masked word — the same value the Lemire rejection path yields for
+  // a power-of-two bound (its rejection threshold is 0).
+  for (const std::uint64_t bound : {2ull, 8ull, 64ull, 1ull << 32}) {
+    Rng a(77);
+    Rng b(77);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(a.next_below(bound), b.next() & (bound - 1))
+          << "bound " << bound;
+    }
+  }
+}
+
+TEST(Rng, NextBelowPowerOfTwoStaysInRange) {
+  Rng rng(78);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(16), 16u);
+  }
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(Rng::min() == 0);
   static_assert(Rng::max() == ~std::uint64_t{0});

@@ -25,9 +25,25 @@ docs/observability.md ("Comparing bench reports").
 import argparse
 import json
 import math
+import os
 import sys
 
 SCHEMA = "pcn.bench_report.v1"
+
+
+def missing_baseline(path, current):
+    """Actionable exit for an absent baseline: say how to bless one."""
+    print(f"bench_compare: baseline file not found: {path}", file=sys.stderr)
+    print(
+        "  No blessed baseline exists for this bench.  To bless the\n"
+        "  current report as the new baseline, copy it into place and\n"
+        "  commit it:\n"
+        f"    cp {current} {path}\n"
+        "  (Blessed baselines live in bench/baselines/; see\n"
+        "  docs/observability.md, 'Comparing bench reports'.)",
+        file=sys.stderr,
+    )
+    sys.exit(2)
 
 
 def is_time_like(key):
@@ -46,9 +62,11 @@ def load(path):
         with open(path, "r", encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
-        sys.exit(f"bench_compare: cannot read {path}: {error}")
+        print(f"bench_compare: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(2)
     if doc.get("schema") != SCHEMA:
-        sys.exit(f"bench_compare: {path}: schema is not {SCHEMA}")
+        print(f"bench_compare: {path}: schema is not {SCHEMA}", file=sys.stderr)
+        sys.exit(2)
     return doc
 
 
@@ -102,6 +120,8 @@ def main():
     )
     args = parser.parse_args()
 
+    if not os.path.exists(args.baseline):
+        missing_baseline(args.baseline, args.current)
     baseline = load(args.baseline)
     current = load(args.current)
 

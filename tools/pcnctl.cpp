@@ -22,9 +22,13 @@
 //   --policy {distance|movement|time|la}  update policy (default distance)
 //   --param N          policy parameter (M, T or R; distance uses the plan)
 //   --threads N        worker threads (0 = hardware concurrency, default 1)
-//   --engine {auto|reference|soa}  slot-loop engine: the struct-of-arrays
-//                      fast path (soa), the polymorphic reference loop, or
-//                      auto-selection (default; soa when eligible)
+//   --engine {auto|reference|soa|simd}  slot-loop engine: the
+//                      struct-of-arrays fast path (soa), the polymorphic
+//                      reference loop, the lane-parallel counter-RNG
+//                      engine (simd; statistically — not bit- —
+//                      equivalent, AVX2 with portable fallback), or
+//                      auto-selection (default; soa when eligible, never
+//                      simd)
 //   --metrics-out F    write a pcn.run_report.v1 JSON RunReport to F
 //                      ("-" = stdout); enables runtime telemetry
 //   --progress         stream chunked progress + slots/sec to stderr
@@ -55,6 +59,7 @@
 #include "pcn/obs/trace_analysis.hpp"
 #include "pcn/obs/trace_export.hpp"
 #include "pcn/sim/network.hpp"
+#include "pcn/sim/simd_engine.hpp"
 
 namespace {
 
@@ -75,7 +80,7 @@ commands:
 common flags: --dim {1|2} --q F --c F --U F --V F --delay N --max-d N
               --scheme {sdf|optimal|hpf} --optimizer {scan|anneal|near}
 simulate:     --slots N --seed N --policy {distance|movement|time|la} --param N
-              --threads N --engine {auto|reference|soa}
+              --threads N --engine {auto|reference|soa|simd}
               --metrics-out FILE --progress
               --trace-out FILE --trace-format {jsonl|chrome} --trace-sample N
 sweep:        --variable {q|c} --from F --to F --points N
@@ -203,8 +208,18 @@ int cmd_simulate(const Args& args) {
     engine = pcn::sim::SimEngine::kReference;
   } else if (engine_name == "soa") {
     engine = pcn::sim::SimEngine::kSoa;
+  } else if (engine_name == "simd") {
+    // Fail fast with a usage-level diagnostic when the engine cannot run
+    // here (e.g. PCN_SIMD_ISA=none, or =avx2 without the hardware);
+    // --engine auto on the same machine just takes another engine.
+    const pcn::sim::SimdSupport support = pcn::sim::simd_support();
+    if (!support.available) {
+      throw UsageError(std::string("--engine simd is unavailable here: ") +
+                       support.reason);
+    }
+    engine = pcn::sim::SimEngine::kSimd;
   } else if (engine_name != "auto") {
-    throw UsageError("--engine must be auto, reference or soa");
+    throw UsageError("--engine must be auto, reference, soa or simd");
   }
   const std::string metrics_out = args.get_string_or("metrics-out", "");
   const bool progress = args.get_switch("progress");

@@ -19,42 +19,59 @@
 #   6. engine equivalence gate — the same canned scenario simulated under
 #      --engine reference and --engine soa must print byte-identical
 #      reports (the struct-of-arrays fast path contracts bit-identical
-#      metrics; any drift fails the diff).
+#      metrics; any drift fails the diff),
+#   7. SIMD gate — the SIMD-vs-reference statistical-equivalence suite
+#      (tier-2 oracles), the perf_micro per-slot-cost bench in smoke mode,
+#      and the pcnctl --engine simd CLI path (positive when the hardware
+#      supports a kernel, and the forced-unsupported error path under
+#      PCN_SIMD_ISA=none),
+#   8. portable-fallback build — the AVX2 kernel configured OFF
+#      (-DPCN_SIMD_AVX2=OFF) must compile and pass tier-1, proving the
+#      scalar-emulation kernel carries the engine on non-AVX2 hardware.
 #
 # Environment:
 #   JOBS=N   parallelism for builds and ctest (default: nproc)
+#
+# Gates 4 and 7 run the benches at smoke scale via PCN_SCALE_TERMINALS /
+# PCN_SCALE_SLOTS and PCN_MICRO_TERMINALS / PCN_MICRO_SLOTS; export your
+# own values to override (the bench defaults are the full 10M-terminal
+# comparison, minutes of wall clock).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=${JOBS:-$(nproc)}
+scale_terminals=${PCN_SCALE_TERMINALS:-100000}
+scale_slots=${PCN_SCALE_SLOTS:-256}
 
-echo "== [1/6] default build: tier-1 + tier-2 =="
+echo "== [1/8] default build: tier-1 + tier-2 =="
 cmake --preset default
 cmake --build --preset default -j "$jobs"
 ctest --preset tier1 -j "$jobs"
 ctest --preset tier2 -j "$jobs"
 
-echo "== [2/6] TSan: sharded-run determinism + metrics registry =="
+echo "== [2/8] TSan: sharded-run determinism + metrics registry =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
   --target test_network_parallel test_metrics_registry
 ctest --test-dir build-tsan -R 'NetworkParallel|MetricsRegistry' \
   --output-on-failure -j "$jobs"
 
-echo "== [3/6] ASan+UBSan: wire codec round-trips =="
+echo "== [3/8] ASan+UBSan: wire codec round-trips =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target test_wire test_messages test_wire_fuzz
 ctest --test-dir build-asan -R 'Wire|Messages|PropWireFuzz' \
   --output-on-failure -j "$jobs"
 
-echo "== [4/6] observability overhead gates (<= 3% each) =="
+echo "== [4/8] observability overhead gates (<= 3% each) =="
 cmake --build --preset default -j "$jobs" --target perf_scale
 # Skip the google-benchmark sweep; the interleaved gate measurement in
 # main() still runs.  The release preset gives steadier numbers, but the
 # gates have enough headroom (~1% measured) to hold on the default build.
+# Smoke scale: the full default is a 10M-terminal comparison.
 bench_dir=$(mktemp -d)
 bench_line=$(PCN_BENCH_DIR="$bench_dir" \
+  PCN_SCALE_TERMINALS="$scale_terminals" PCN_SCALE_SLOTS="$scale_slots" \
   ./build/bench/perf_scale --benchmark_filter='^$' | grep '^PCN_BENCH ')
 rm -rf "$bench_dir"
 echo "$bench_line"
@@ -69,7 +86,7 @@ for gate in telemetry flight; do
   }'
 done
 
-echo "== [5/6] trace SLA gate + bench baseline diff =="
+echo "== [5/8] trace SLA gate + bench baseline diff =="
 cmake --build --preset default -j "$jobs" --target pcnctl table1_one_dim
 # A canned delay-bounded scenario: every call must be answered within the
 # delay bound m; trace-summary exits 1 on any SLA violation.
@@ -90,7 +107,7 @@ else
   echo "bench_compare: skipped (python3 not found)"
 fi
 
-echo "== [6/6] engine equivalence gate (reference vs soa, exact diff) =="
+echo "== [6/8] engine equivalence gate (reference vs soa, exact diff) =="
 engine_dir=$(mktemp -d)
 for engine in reference soa; do
   ./build/tools/pcnctl simulate --dim 2 --policy distance --delay 3 \
@@ -105,5 +122,41 @@ else
   exit 1
 fi
 rm -rf "$engine_dir"
+
+echo "== [7/8] SIMD gate: statistical equivalence + perf_micro smoke =="
+cmake --build --preset default -j "$jobs" \
+  --target test_prop_simd_statistical test_counter_rng perf_micro pcnctl
+# The tier-2 oracle suite compares SIMD metrics against the bit-exact
+# engines at 1 and 4 threads (CI bands + occupancy GOF).
+ctest --preset tier2 -R 'PropSimdStatistical' --output-on-failure \
+  -j "$jobs"
+# Per-slot-cost microbench in smoke mode: tiny fleet, but the serialized
+# TSC section and the PCN_BENCH line must still be produced.
+micro_dir=$(mktemp -d)
+micro_line=$(PCN_BENCH_DIR="$micro_dir" \
+  PCN_MICRO_TERMINALS=1024 PCN_MICRO_SLOTS=512 \
+  ./build/bench/perf_micro --benchmark_filter='^$' | grep '^PCN_BENCH ')
+rm -rf "$micro_dir"
+echo "$micro_line"
+# CLI wiring: --engine simd always has a kernel (the portable fallback),
+# so the forced run must succeed; with every kernel disabled via
+# PCN_SIMD_ISA=none it must fail with a UsageError instead.
+./build/tools/pcnctl simulate --dim 2 --policy distance --delay 3 \
+  --slots 20000 --seed 7 --engine simd > /dev/null
+echo "simd CLI gate ok: --engine simd ran"
+if PCN_SIMD_ISA=none ./build/tools/pcnctl simulate --dim 2 \
+    --policy distance --delay 3 --slots 20000 --seed 7 --engine simd \
+    > /dev/null 2>&1; then
+  echo "simd CLI gate FAILED: forced simd with no kernels should error"
+  exit 1
+else
+  echo "simd CLI gate ok: forced simd without kernels errors"
+fi
+
+echo "== [8/8] portable-fallback build (-DPCN_SIMD_AVX2=OFF): tier-1 =="
+cmake -S . -B build-portable -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPCN_SIMD_AVX2=OFF
+cmake --build build-portable -j "$jobs"
+ctest --test-dir build-portable -LE tier2 --output-on-failure -j "$jobs"
 
 echo "run_checks: all gates passed."
