@@ -35,3 +35,7 @@ target_link_libraries(perf_scale PRIVATE pcn benchmark::benchmark
                       pcn_warnings)
 set_target_properties(perf_scale PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Daemon overload sweep: closed-loop offered load past the paging-channel
+# capacity knee (pcnd bounded-queue behaviour; deterministic counters).
+pcn_add_bench(perf_daemon)

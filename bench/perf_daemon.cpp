@@ -1,0 +1,180 @@
+// Daemon overload sweep: closed-loop offered load past the paging-channel
+// capacity knee.
+//
+// Drives pcnd with the built-in closed-loop workload at a ladder of
+// offered-load multiples of the fleet's aggregate paging capacity
+// (cells x channels / slots_per_message).  Below the knee (< 1x) the
+// bounded queues absorb bursts and the drop rate is ~0; past it the
+// channel physically cannot keep up, queues saturate at max_pending, and
+// the drop rate climbs toward 1 - 1/multiple — the curve this bench
+// records row by row.
+//
+// Every non-time value in the report (served/dropped/expired counts, drop
+// rates, delay percentiles) is a deterministic function of (seed, scale,
+// config): tools/bench_compare.py gates them EXACTLY against the blessed
+// baseline, so a behaviour change in the daemon shows up as drift even
+// when wall time is unchanged.  Wall-clock keys get the usual 25% band.
+//
+// Defaults to the acceptance scenario: a 1M-terminal fleet on a 64x64-cell
+// torus for 512 slots.  Override with PCN_DAEMON_TERMINALS,
+// PCN_DAEMON_SLOTS, PCN_DAEMON_REGION, PCN_DAEMON_THREADS for smoke runs
+// (run_checks.sh gate 9 does).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "pcn/daemon/daemon.hpp"
+#include "pcn/daemon/daemon_report.hpp"
+#include "pcn/daemon/load_gen.hpp"
+#include "pcn/obs/bench_report.hpp"
+#include "pcn/obs/timer.hpp"
+
+namespace {
+
+std::int64_t env_int64(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+const std::int64_t kTerminals = env_int64("PCN_DAEMON_TERMINALS", 1'000'000);
+const std::int64_t kSlots = env_int64("PCN_DAEMON_SLOTS", 512);
+const std::int64_t kRegion = env_int64("PCN_DAEMON_REGION", 64);
+const std::int64_t kThreads = env_int64("PCN_DAEMON_THREADS", 4);
+
+constexpr int kChannels = 2;
+constexpr double kSlotsPerMessage = 1.0;
+constexpr std::uint64_t kSeed = 42;
+
+struct SweepPoint {
+  double offered_multiple = 0.0;
+  pcn::daemon::DaemonRunReport report;
+  double wall_seconds = 0.0;
+};
+
+SweepPoint run_point(double multiple) {
+  pcn::daemon::PcndConfig config;
+  config.dimension = pcn::Dimension::kTwoD;
+  config.threads = static_cast<int>(kThreads);
+  config.capacity =
+      pcn::capacity::PagingCapacityModel(kChannels, kSlotsPerMessage);
+  config.queue.max_pending = 64;
+  config.queue.lifetime_slots = 128;
+  config.queue.groups = 4;
+  config.sla_delay_slots = 8;
+
+  pcn::daemon::ClosedLoopConfig workload_config;
+  workload_config.dimension = config.dimension;
+  workload_config.seed = kSeed;
+  workload_config.terminals = static_cast<std::uint64_t>(kTerminals);
+  workload_config.region = static_cast<int>(kRegion);
+  workload_config.move_prob = 0.2;
+  workload_config.threshold = 3;
+  const double cells = double(kRegion) * double(kRegion);
+  const double capacity = cells * config.capacity.pages_per_slot();
+  workload_config.call_prob =
+      std::min(1.0, multiple * capacity / double(kTerminals));
+
+  pcn::daemon::Pcnd daemon(config);
+  pcn::daemon::ClosedLoopWorkload workload(workload_config);
+  const std::int64_t start_ns = pcn::obs::monotonic_ns();
+  daemon.run_slots(kSlots, &workload);
+  const std::int64_t elapsed_ns = pcn::obs::monotonic_ns() - start_ns;
+
+  SweepPoint point;
+  point.offered_multiple = multiple;
+  point.report = pcn::daemon::make_daemon_report(daemon, kSeed, kTerminals);
+  point.wall_seconds = double(elapsed_ns) * 1e-9;
+  return point;
+}
+
+std::string point_label(double multiple) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "offered_%.2fx", multiple);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kMultiples[] = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0};
+  pcn::obs::BenchReport report("perf_daemon");
+  report.set("terminals", kTerminals)
+      .set("slots", kSlots)
+      .set("region", kRegion)
+      .set("threads", kThreads)
+      .set("channels", kChannels);
+
+  double drop_rate_1x = 0.0;
+  double drop_rate_2x = 0.0;
+  double drop_rate_4x = 0.0;
+  int p99_2x = 0;
+  double wall_1x = 0.0;
+  bool knee_monotonic = true;
+  double previous_drop_rate = -1.0;
+
+  for (const double multiple : kMultiples) {
+    const SweepPoint point = run_point(multiple);
+    const pcn::daemon::DaemonRunReport& r = point.report;
+    pcn::obs::BenchReport::Row& row = report.add_row(point_label(multiple));
+    row.set("offered_multiple", multiple)
+        .set("pages_offered", r.pages_offered)
+        .set("pages_served", r.pages_served)
+        .set("pages_dropped", r.pages_dropped)
+        .set("pages_expired", r.pages_expired)
+        .set("drop_rate", r.drop_rate)
+        .set("mean_delay_slots", r.mean_queue_delay_slots)
+        .set("delay_p50", r.delay_p50)
+        .set("delay_p99", r.delay_p99)
+        .set("max_queue_depth", r.max_queue_depth)
+        .set("sla_violations", r.sla_violations)
+        .set("run_seconds", point.wall_seconds);
+    std::printf(
+        "perf_daemon %-14s offered %-9" PRId64 " served %-9" PRId64
+        " drop_rate %.4f  p99 %d  %.3fs\n",
+        point_label(multiple).c_str(), r.pages_offered, r.pages_served,
+        r.drop_rate, r.delay_p99, point.wall_seconds);
+    if (multiple == 1.0) {
+      drop_rate_1x = r.drop_rate;
+      wall_1x = point.wall_seconds;
+    }
+    if (multiple == 2.0) {
+      drop_rate_2x = r.drop_rate;
+      p99_2x = r.delay_p99;
+    }
+    if (multiple == 4.0) drop_rate_4x = r.drop_rate;
+    if (r.drop_rate + 1e-9 < previous_drop_rate) knee_monotonic = false;
+    previous_drop_rate = r.drop_rate;
+  }
+
+  report.set("drop_rate_1x", drop_rate_1x)
+      .set("drop_rate_2x", drop_rate_2x)
+      .set("drop_rate_4x", drop_rate_4x)
+      .set("delay_p99_2x", p99_2x)
+      .set("knee_monotonic", knee_monotonic ? 1 : 0)
+      .set("terminal_slots_per_sec",
+           wall_1x > 0.0 ? double(kTerminals) * double(kSlots) / wall_1x
+                         : 0.0);
+  report.emit();
+
+  // Past the knee the channel must be saturated: the drop rate at 4x has
+  // to clearly exceed the at-capacity rate, or the bounded queue is not
+  // doing its job.
+  if (!(drop_rate_4x > drop_rate_1x)) {
+    std::fprintf(stderr,
+                 "perf_daemon: no overload knee (drop rate %.4f at 1x vs "
+                 "%.4f at 4x)\n",
+                 drop_rate_1x, drop_rate_4x);
+    return 1;
+  }
+  if (!knee_monotonic) {
+    std::fprintf(stderr,
+                 "perf_daemon: drop rate not monotone in offered load\n");
+    return 1;
+  }
+  return 0;
+}

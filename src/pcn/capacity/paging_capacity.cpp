@@ -1,5 +1,7 @@
 #include "pcn/capacity/paging_capacity.hpp"
 
+#include <cmath>
+
 #include "pcn/common/error.hpp"
 
 namespace pcn::capacity {
@@ -57,6 +59,22 @@ double offered_erlangs(const CellLoad& load, double slots_per_message) {
   PCN_EXPECT(slots_per_message > 0.0,
              "offered_erlangs: service time must be > 0");
   return load.total_per_slot() * slots_per_message;
+}
+
+PagingCapacityModel::PagingCapacityModel(int channels, double slots_per_message)
+    : channels_(channels),
+      slots_per_message_(slots_per_message),
+      rate_(static_cast<double>(channels) / slots_per_message) {
+  PCN_EXPECT(channels >= 1, "PagingCapacityModel: channels must be >= 1");
+  PCN_EXPECT(slots_per_message > 0.0,
+             "PagingCapacityModel: slots_per_message must be > 0");
+}
+
+int PagingCapacityModel::budget_for_slot(std::int64_t slot) const {
+  PCN_EXPECT(slot >= 0, "PagingCapacityModel: slot must be >= 0");
+  const double lo = std::floor(static_cast<double>(slot) * rate_);
+  const double hi = std::floor(static_cast<double>(slot + 1) * rate_);
+  return static_cast<int>(hi - lo);
 }
 
 }  // namespace pcn::capacity

@@ -15,6 +15,8 @@
 //     recursion, evaluated stably in linear time).
 #pragma once
 
+#include <cstdint>
+
 #include "pcn/common/params.hpp"
 #include "pcn/core/location_manager.hpp"
 
@@ -50,5 +52,40 @@ int min_channels(double offered_erlangs, double target,
 /// Offered paging load in Erlangs for a cell: messages/slot × (message
 /// service time in slots).
 double offered_erlangs(const CellLoad& load, double slots_per_message);
+
+/// Deterministic per-slot service budget of one cell's paging channel.
+///
+/// A cell runs `channels` parallel paging channels and one page message
+/// occupies a channel for `slots_per_message` slots, so the channel group
+/// sustains rate = channels / slots_per_message pages per slot in the long
+/// run.  Rather than tracking fractional in-flight messages, the budget is
+/// metered out by integer credit accounting:
+///
+///   budget_for_slot(s) = floor((s+1)·rate) − floor(s·rate)
+///
+/// a pure function of the slot index.  Cumulative budget through slot s is
+/// exactly floor((s+1)·rate) — never drifts from the rate — and the value
+/// is independent of who asks or in what order, which is what lets `pcnd`
+/// drain every cell's queue on any worker thread and still produce
+/// bit-identical served/dropped counters at any thread count.
+class PagingCapacityModel {
+ public:
+  /// channels >= 1, slots_per_message > 0.
+  PagingCapacityModel(int channels, double slots_per_message);
+
+  int channels() const { return channels_; }
+  double slots_per_message() const { return slots_per_message_; }
+
+  /// Long-run service rate in pages per slot.
+  double pages_per_slot() const { return rate_; }
+
+  /// Number of pages the channel group may serve in slot `slot` (>= 0).
+  int budget_for_slot(std::int64_t slot) const;
+
+ private:
+  int channels_;
+  double slots_per_message_;
+  double rate_;
+};
 
 }  // namespace pcn::capacity

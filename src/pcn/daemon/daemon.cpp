@@ -1,0 +1,484 @@
+#include "pcn/daemon/daemon.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <tuple>
+
+namespace pcn::daemon {
+
+namespace {
+
+/// The terminal a request is about — the sort/shard key.
+std::uint64_t request_terminal(const DaemonRequest& request) {
+  return request.kind == DaemonRequest::Kind::kUpdate
+             ? request.update.terminal_id
+             : request.terminal_id;
+}
+
+void bump_dense(std::vector<std::int64_t>& hist, std::size_t index) {
+  if (hist.size() <= index) hist.resize(index + 1, 0);
+  ++hist[index];
+}
+
+}  // namespace
+
+void RequestSink::update(const proto::LocationUpdate& update) {
+  daemon_->requests_update_.add(1, static_cast<std::size_t>(shard_));
+  daemon_->apply_update(shard_, update);
+}
+
+void RequestSink::page(std::uint64_t page_id, std::uint64_t terminal_id) {
+  daemon_->requests_page_.add(1, static_cast<std::size_t>(shard_));
+  daemon_->apply_page(shard_, slot_, page_id, terminal_id, /*client=*/0,
+                      workload_, &tracker_);
+}
+
+Pcnd::Pcnd(const PcndConfig& config)
+    : config_(config), ring_(config.ring_capacity) {
+  PCN_EXPECT(config_.threads >= 1, "Pcnd: threads must be >= 1");
+  PCN_EXPECT(config_.terminal_shards >= 1,
+             "Pcnd: terminal_shards must be >= 1");
+  PCN_EXPECT(config_.queue_shards >= 1, "Pcnd: queue_shards must be >= 1");
+  PCN_EXPECT(config_.sla_delay_slots >= 0,
+             "Pcnd: sla_delay_slots must be >= 0");
+  const auto ts = static_cast<std::size_t>(config_.terminal_shards);
+  const auto qs = static_cast<std::size_t>(config_.queue_shards);
+  terminals_.resize(ts);
+  intents_.resize(ts, std::vector<std::vector<PageIntent>>(qs));
+  queue_shards_.resize(qs);
+  apply_outcomes_.resize(ts);
+  shard_batch_.resize(ts);
+  if (config_.record_flight) {
+    obs::FlightRecorderConfig recorder_config;
+    recorder_config.sample_every = config_.flight_sample_every;
+    recorder_config.shard_capacity = config_.flight_shard_capacity;
+    recorder_ = std::make_unique<obs::FlightRecorder>(recorder_config);
+    recorder_->ensure_shards(std::max(ts, qs));
+  }
+
+  requests_update_ = registry_.counter("daemon.request.update");
+  requests_page_ = registry_.counter("daemon.request.page");
+  requests_rejected_ = registry_.counter("daemon.request.rejected_ring_full");
+  updates_applied_ = registry_.counter("daemon.update.applied");
+  updates_stale_ = registry_.counter("daemon.update.stale");
+  pages_queued_ = registry_.counter("daemon.page.queued");
+  pages_duplicate_ = registry_.counter("daemon.page.duplicate");
+  pages_dropped_ = registry_.counter("daemon.page.dropped");
+  pages_expired_ = registry_.counter("daemon.page.expired");
+  pages_served_ = registry_.counter("daemon.page.served");
+  pages_unknown_ = registry_.counter("daemon.page.unknown_terminal");
+  sla_violations_ = registry_.counter("daemon.page.sla_violation");
+  slots_run_ = registry_.counter("daemon.slot.count");
+  wall_ns_ = registry_.counter("daemon.run.wall_ns");
+  max_depth_gauge_ = registry_.gauge("daemon.queue.max_depth");
+  delay_hist_ = registry_.histogram("daemon.page.queue_delay_slots",
+                                    obs::exponential_buckets(1.0, 2.0, 16));
+  depth_hist_ = registry_.histogram("daemon.queue.depth",
+                                    obs::exponential_buckets(1.0, 2.0, 12));
+}
+
+Pcnd::~Pcnd() = default;
+
+bool Pcnd::submit(const DaemonRequest& request) {
+  const std::uint64_t terminal = request_terminal(request);
+  if (!ring_.try_push(request)) {
+    requests_rejected_.add(1, static_cast<std::size_t>(terminal));
+    return false;
+  }
+  if (request.kind == DaemonRequest::Kind::kUpdate) {
+    requests_update_.add(1, static_cast<std::size_t>(terminal));
+  } else {
+    requests_page_.add(1, static_cast<std::size_t>(terminal));
+  }
+  return true;
+}
+
+void Pcnd::ingest_phase() {
+  slot_budget_ = config_.capacity.budget_for_slot(slot_);
+  batch_.clear();
+  // Bound the drain to one ring's worth so producers racing the slot loop
+  // cannot stretch INGEST indefinitely; the remainder is next slot's work.
+  DaemonRequest request;
+  for (std::size_t n = 0; n < ring_.capacity(); ++n) {
+    if (!ring_.try_pop(&request)) break;
+    batch_.push_back(request);
+  }
+  // Producers race each other into the ring, so arrival order is not
+  // reproducible — but the *set* per slot is what callers control.  The
+  // sort makes processing order a pure function of that set.
+  std::stable_sort(batch_.begin(), batch_.end(),
+                   [](const DaemonRequest& a, const DaemonRequest& b) {
+                     return std::make_tuple(request_terminal(a),
+                                            static_cast<int>(a.kind),
+                                            a.update.sequence, a.page_id,
+                                            a.client) <
+                            std::make_tuple(request_terminal(b),
+                                            static_cast<int>(b.kind),
+                                            b.update.sequence, b.page_id,
+                                            b.client);
+                   });
+  for (auto& bucket : shard_batch_) bucket.clear();
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    const int shard = terminal_shard_of(request_terminal(batch_[i]));
+    shard_batch_[static_cast<std::size_t>(shard)].push_back(i);
+  }
+}
+
+void Pcnd::apply_update(int shard, const proto::LocationUpdate& update) {
+  PCN_ASSERT(terminal_shard_of(update.terminal_id) == shard);
+  auto& db = terminals_[static_cast<std::size_t>(shard)];
+  auto [it, inserted] = db.try_emplace(update.terminal_id);
+  TerminalState& state = it->second;
+  if (!inserted && update.sequence <= state.sequence) {
+    // Duplicate or reordered frame on a lossy air interface: the stored
+    // state is newer, keep it.
+    updates_stale_.add(1, static_cast<std::size_t>(shard));
+    return;
+  }
+  state.center = update.cell;
+  state.sequence = update.sequence;
+  state.radius = update.containment_radius;
+  updates_applied_.add(1, static_cast<std::size_t>(shard));
+}
+
+void Pcnd::apply_page(int shard, std::int64_t slot, std::uint64_t page_id,
+                      std::uint64_t terminal_id, std::uint32_t client,
+                      SlotWorkload* workload, detail::SeqTracker* tracker) {
+  PCN_ASSERT(terminal_shard_of(terminal_id) == shard);
+  const std::uint32_t run = tracker->next(terminal_id);
+  const auto& db = terminals_[static_cast<std::size_t>(shard)];
+  const auto it = db.find(terminal_id);
+  if (it == db.end()) {
+    // No center cell on file: the page has nowhere to go.  Verdict now,
+    // in the apply phase, owned by the terminal shard's worker.
+    pages_unknown_.add(1, static_cast<std::size_t>(shard));
+    sla_violations_.add(1, static_cast<std::size_t>(shard));
+    record_page_event(shard, obs::FlightEventType::kPageDropped, slot,
+                      terminal_id, page_id, /*seq=*/2 + run, /*cycle=*/-1,
+                      /*cells=*/0, /*distance=*/-1, /*found=*/false);
+    if (config_.collect_outcomes) {
+      apply_outcomes_[static_cast<std::size_t>(shard)].push_back(
+          {page_id, terminal_id, proto::PageOutcomeKind::kDropped,
+           /*queue_delay_slots=*/0, /*queue_depth=*/0, slot, client});
+    }
+    if (workload != nullptr) {
+      workload->on_outcome(terminal_id, proto::PageOutcomeKind::kDropped,
+                           slot);
+    }
+    return;
+  }
+  const int qs = queue_shard_of(it->second.center);
+  intents_[static_cast<std::size_t>(shard)][static_cast<std::size_t>(qs)]
+      .push_back({it->second.center, terminal_id, page_id, client});
+}
+
+void Pcnd::apply_phase(int worker, int worker_count, std::int64_t slot,
+                       SlotWorkload* workload) {
+  for (int ts = worker; ts < config_.terminal_shards; ts += worker_count) {
+    detail::SeqTracker tracker;
+    for (const std::size_t index :
+         shard_batch_[static_cast<std::size_t>(ts)]) {
+      const DaemonRequest& request = batch_[index];
+      if (request.kind == DaemonRequest::Kind::kUpdate) {
+        apply_update(ts, request.update);
+      } else {
+        apply_page(ts, slot, request.page_id, request.terminal_id,
+                   request.client, workload, &tracker);
+      }
+    }
+    if (workload != nullptr) {
+      RequestSink sink(this, ts, slot, workload);
+      workload->generate(ts, config_.terminal_shards, slot, sink);
+    }
+  }
+}
+
+void Pcnd::drain_phase(int worker, int worker_count, std::int64_t slot,
+                       SlotWorkload* workload) {
+  const auto max_pending =
+      static_cast<std::int64_t>(config_.queue.max_pending);
+  for (int qs = worker; qs < config_.queue_shards; qs += worker_count) {
+    QueueShard& shard = queue_shards_[static_cast<std::size_t>(qs)];
+    const auto shard_index = static_cast<std::size_t>(qs);
+
+    // Enqueue this slot's intents, iterating terminal shards in fixed
+    // order 0..S-1: the per-queue arrival order is independent of both
+    // the thread count and which worker runs this shard.
+    detail::SeqTracker tracker;
+    for (auto& per_terminal_shard : intents_) {
+      auto& list = per_terminal_shard[shard_index];
+      for (const PageIntent& intent : list) {
+        const std::uint32_t run = tracker.next(intent.terminal_id);
+        auto it = shard.queues.find(intent.cell);
+        if (it == shard.queues.end()) {
+          it = shard.queues.emplace(intent.cell,
+                                    BoundedPagingQueue(config_.queue))
+                   .first;
+        }
+        BoundedPagingQueue& queue = it->second;
+        PendingPage page;
+        page.terminal_id = intent.terminal_id;
+        page.page_id = intent.page_id;
+        page.client = intent.client;
+        page.enqueued_slot = slot;
+        switch (queue.add(page)) {
+          case EnqueueResult::kQueued: {
+            const auto depth = static_cast<std::int64_t>(queue.size());
+            pages_queued_.add(1, shard_index);
+            depth_hist_.observe(static_cast<double>(depth), shard_index);
+            shard.max_depth = std::max(shard.max_depth, depth);
+            record_page_event(
+                qs, obs::FlightEventType::kPageQueued, slot,
+                intent.terminal_id, intent.page_id, /*seq=*/1, /*cycle=*/-1,
+                /*cells=*/depth,
+                /*distance=*/static_cast<std::int64_t>(
+                    intent.terminal_id %
+                    static_cast<std::uint64_t>(config_.queue.groups)),
+                /*found=*/false);
+            break;
+          }
+          case EnqueueResult::kRefreshed:
+            // The terminal is already pending here; its lifetime was
+            // renewed and the original submit's outcome will cover this
+            // one too.
+            pages_duplicate_.add(1, shard_index);
+            break;
+          case EnqueueResult::kFull: {
+            pages_dropped_.add(1, shard_index);
+            sla_violations_.add(1, shard_index);
+            record_page_event(qs, obs::FlightEventType::kPageDropped, slot,
+                              intent.terminal_id, intent.page_id,
+                              /*seq=*/2 + run, /*cycle=*/-1,
+                              /*cells=*/max_pending, /*distance=*/-1,
+                              /*found=*/false);
+            if (config_.collect_outcomes) {
+              shard.outcomes.push_back(
+                  {intent.page_id, intent.terminal_id,
+                   proto::PageOutcomeKind::kDropped, /*queue_delay_slots=*/0,
+                   static_cast<std::uint32_t>(queue.size()), slot,
+                   intent.client});
+            }
+            if (workload != nullptr) {
+              workload->on_outcome(intent.terminal_id,
+                                   proto::PageOutcomeKind::kDropped, slot);
+            }
+            break;
+          }
+        }
+      }
+      list.clear();
+    }
+
+    // Drain every queue against the slot budget.
+    for (auto& [cell, queue] : shard.queues) {
+      if (queue.empty()) continue;
+      shard.served_scratch.clear();
+      shard.expired_scratch.clear();
+      queue.drain(slot, slot_budget_, &shard.served_scratch,
+                  &shard.expired_scratch);
+      for (const ServedPage& served : shard.served_scratch) {
+        const std::int64_t delay = slot - served.page.enqueued_slot;
+        pages_served_.add(1, shard_index);
+        delay_hist_.observe(static_cast<double>(delay), shard_index);
+        bump_dense(shard.delay_hist, static_cast<std::size_t>(delay));
+        if (config_.sla_delay_slots > 0 &&
+            delay > config_.sla_delay_slots) {
+          sla_violations_.add(1, shard_index);
+        }
+        record_page_event(qs, obs::FlightEventType::kPageServed, slot,
+                          served.page.terminal_id, served.page.page_id,
+                          /*seq=*/4, static_cast<std::int32_t>(delay),
+                          static_cast<std::int64_t>(served.depth_before),
+                          /*distance=*/-1, /*found=*/true);
+        if (config_.collect_outcomes) {
+          shard.outcomes.push_back(
+              {served.page.page_id, served.page.terminal_id,
+               proto::PageOutcomeKind::kServed, delay,
+               static_cast<std::uint32_t>(served.depth_before), slot,
+               served.page.client});
+        }
+        if (workload != nullptr) {
+          workload->on_outcome(served.page.terminal_id,
+                               proto::PageOutcomeKind::kServed, slot);
+        }
+      }
+      for (const PendingPage& expired : shard.expired_scratch) {
+        const std::int64_t age = slot - expired.enqueued_slot;
+        pages_expired_.add(1, shard_index);
+        sla_violations_.add(1, shard_index);
+        record_page_event(qs, obs::FlightEventType::kPageExpired, slot,
+                          expired.terminal_id, expired.page_id, /*seq=*/4,
+                          static_cast<std::int32_t>(age), /*cells=*/0,
+                          /*distance=*/-1, /*found=*/false);
+        if (config_.collect_outcomes) {
+          shard.outcomes.push_back(
+              {expired.page_id, expired.terminal_id,
+               proto::PageOutcomeKind::kExpired, age,
+               static_cast<std::uint32_t>(queue.size()), slot,
+               expired.client});
+        }
+        if (workload != nullptr) {
+          workload->on_outcome(expired.terminal_id,
+                               proto::PageOutcomeKind::kExpired, slot);
+        }
+      }
+    }
+  }
+}
+
+void Pcnd::finalize_phase() {
+  if (config_.collect_outcomes) {
+    const std::lock_guard<std::mutex> lock(outcomes_mutex_);
+    for (auto& outcomes : apply_outcomes_) {
+      outcomes_.insert(outcomes_.end(), outcomes.begin(), outcomes.end());
+      outcomes.clear();
+    }
+    for (QueueShard& shard : queue_shards_) {
+      outcomes_.insert(outcomes_.end(), shard.outcomes.begin(),
+                       shard.outcomes.end());
+      shard.outcomes.clear();
+    }
+  }
+  for (const QueueShard& shard : queue_shards_) {
+    max_depth_ever_ = std::max(max_depth_ever_, shard.max_depth);
+  }
+  max_depth_gauge_.set(static_cast<double>(max_depth_ever_));
+  slots_run_.increment();
+  ++slot_;
+}
+
+void Pcnd::record_page_event(int recorder_shard, obs::FlightEventType type,
+                             std::int64_t slot, std::uint64_t terminal_id,
+                             std::uint64_t page_id, std::uint32_t seq,
+                             std::int32_t cycle, std::int64_t cells,
+                             std::int64_t distance, bool found) {
+  if (recorder_ == nullptr || !recorder_->sampled(page_id)) return;
+  obs::FlightEvent event;
+  event.slot = slot;
+  event.terminal = static_cast<std::int32_t>(terminal_id);
+  event.seq = seq;
+  event.type = type;
+  event.call = page_id;
+  event.cycle = cycle;
+  event.cells = cells;
+  event.distance = distance;
+  event.found = found;
+  recorder_->shard(static_cast<std::size_t>(recorder_shard)).append(event);
+}
+
+void Pcnd::run_slots(std::int64_t slots, SlotWorkload* workload) {
+  PCN_EXPECT(slots >= 0, "Pcnd: slots must be >= 0");
+  if (slots == 0) return;
+  const int worker_count = std::max(1, config_.threads);
+  const auto start = std::chrono::steady_clock::now();
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto fail = [&](std::exception_ptr e) {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (error == nullptr) error = e;
+    failed.store(true, std::memory_order_release);
+  };
+
+  // One barrier, three waits per slot; the completion function runs the
+  // serial INGEST / FINALIZE steps while every worker is parked.
+  int phase = 0;
+  auto completion = [this, &phase, &failed]() noexcept {
+    if (!failed.load(std::memory_order_acquire)) {
+      if (phase == 0) {
+        ingest_phase();
+      } else if (phase == 2) {
+        finalize_phase();
+      }
+    }
+    phase = (phase + 1) % 3;
+  };
+  std::barrier sync(worker_count, completion);
+
+  auto worker_body = [&](int worker) {
+    for (std::int64_t i = 0; i < slots; ++i) {
+      sync.arrive_and_wait();  // INGEST for slot_
+      const std::int64_t slot = slot_;
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          apply_phase(worker, worker_count, slot, workload);
+        } catch (...) {
+          fail(std::current_exception());
+        }
+      }
+      sync.arrive_and_wait();  // all APPLY intents visible
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          drain_phase(worker, worker_count, slot, workload);
+        } catch (...) {
+          fail(std::current_exception());
+        }
+      }
+      sync.arrive_and_wait();  // FINALIZE, ++slot_
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(worker_count - 1));
+  for (int w = 1; w < worker_count; ++w) {
+    threads.emplace_back(worker_body, w);
+  }
+  worker_body(0);
+  for (std::thread& thread : threads) thread.join();
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  wall_ns_.add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void Pcnd::drain_outcomes(std::vector<PageOutcomeEvent>* out) {
+  PCN_EXPECT(config_.collect_outcomes,
+             "Pcnd: drain_outcomes requires collect_outcomes");
+  const std::lock_guard<std::mutex> lock(outcomes_mutex_);
+  out->insert(out->end(), outcomes_.begin(), outcomes_.end());
+  outcomes_.clear();
+}
+
+std::vector<std::int64_t> Pcnd::delay_histogram() const {
+  std::vector<std::int64_t> merged;
+  for (const QueueShard& shard : queue_shards_) {
+    if (merged.size() < shard.delay_hist.size()) {
+      merged.resize(shard.delay_hist.size(), 0);
+    }
+    for (std::size_t i = 0; i < shard.delay_hist.size(); ++i) {
+      merged[i] += shard.delay_hist[i];
+    }
+  }
+  return merged;
+}
+
+std::size_t Pcnd::terminal_count() const {
+  std::size_t total = 0;
+  for (const auto& db : terminals_) total += db.size();
+  return total;
+}
+
+Pcnd::TerminalInfo Pcnd::terminal_info(std::uint64_t terminal_id) const {
+  const auto& db =
+      terminals_[static_cast<std::size_t>(terminal_shard_of(terminal_id))];
+  const auto it = db.find(terminal_id);
+  if (it == db.end()) return {};
+  return {true, it->second.center, it->second.sequence, it->second.radius};
+}
+
+std::int64_t Pcnd::queue_depth(geometry::Cell cell) const {
+  const QueueShard& shard =
+      queue_shards_[static_cast<std::size_t>(queue_shard_of(cell))];
+  const auto it = shard.queues.find(cell);
+  return it == shard.queues.end()
+             ? 0
+             : static_cast<std::int64_t>(it->second.size());
+}
+
+}  // namespace pcn::daemon

@@ -1,0 +1,295 @@
+// pcnd — the location-server daemon core.
+//
+// A long-running server for the paper's location-management plane with the
+// one thing the paper assumes away: a *capacity-bounded* paging channel.
+// Clients submit LocationUpdate and PageSubmit requests (through the
+// lock-free RequestRing in-process, or the Unix-socket front end in
+// socket_server.hpp, which decodes proto frames into the same request
+// structs); the daemon maintains the per-terminal center-cell DB and a
+// bounded per-cell paging queue (paging_queue.hpp), drained each slot
+// against the cell's PagingCapacityModel budget.
+//
+// Determinism contract.  Served/dropped/expired counters, queueing-delay
+// histograms, run reports, and (sampled) flight recordings are
+// bit-identical at any worker-thread count, given the same per-slot
+// request sets.  The design that buys this:
+//
+//   * Two fixed shard counts, independent of the thread count: terminal
+//     state lives in `terminal_shards` maps keyed by terminal_id mod the
+//     shard count, and cell queues live in `queue_shards` maps keyed by a
+//     cell hash.  Threads own shards (shard s -> worker s % T), never
+//     split them.
+//   * A slot is three barrier-separated phases.  INGEST (serial, in the
+//     barrier completion): drain the ring once, stable-sort the batch by
+//     (terminal, kind, sequence, page), bucket per terminal shard.
+//     APPLY (parallel over terminal shards): apply updates in sorted
+//     order, route page submits to per-(terminal-shard, queue-shard)
+//     intent lists; the attached SlotWorkload generates its shard's
+//     traffic here, after the ring batch, in terminal-id order.  DRAIN
+//     (parallel over queue shards): enqueue intents in terminal-shard
+//     order 0..S-1 — an order no thread count can perturb — then drain
+//     every queue against the slot budget.
+//   * Per-shard metric cells (MetricsRegistry) and per-shard flight/
+//     outcome buffers, merged at the slot barrier in shard order.
+//
+// The daemon never blocks a producer: a full ring rejects the push and
+// the rejection is counted (daemon.request.rejected_ring_full).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "pcn/capacity/paging_capacity.hpp"
+#include "pcn/common/params.hpp"
+#include "pcn/daemon/paging_queue.hpp"
+#include "pcn/daemon/request_ring.hpp"
+#include "pcn/geometry/cell.hpp"
+#include "pcn/obs/flight_recorder.hpp"
+#include "pcn/obs/metrics.hpp"
+
+namespace pcn::daemon {
+
+struct PcndConfig {
+  Dimension dimension = Dimension::kTwoD;
+  /// Worker threads for the slot loop (results identical at any value).
+  int threads = 1;
+  /// Fixed shard counts — the determinism domain, NOT the thread count.
+  int terminal_shards = 16;
+  int queue_shards = 16;
+  /// Request ring capacity (rounded up to a power of two).
+  std::size_t ring_capacity = std::size_t{1} << 16;
+  /// Per-cell paging-channel capacity.
+  capacity::PagingCapacityModel capacity{2, 1.0};
+  /// Per-cell bounded-queue parameters.
+  PagingQueueConfig queue{};
+  /// Queueing-delay SLA in slots; a served page waiting longer counts as
+  /// a violation.  0 = no bound (drops/expiries still violate).
+  int sla_delay_slots = 0;
+  /// Keep PageOutcome events for drain_outcomes() (the socket front end
+  /// and tests want them; the closed-loop bench does not).
+  bool collect_outcomes = false;
+  /// Flight recording of page lifecycle events (sampled by page id).
+  bool record_flight = false;
+  std::uint64_t flight_sample_every = 8;
+  std::size_t flight_shard_capacity = std::size_t{1} << 16;
+};
+
+/// Verdict for one submitted page, mirrored onto proto::PageOutcome by
+/// the socket front end.
+struct PageOutcomeEvent {
+  std::uint64_t page_id = 0;
+  std::uint64_t terminal_id = 0;
+  proto::PageOutcomeKind kind = proto::PageOutcomeKind::kServed;
+  std::int64_t queue_delay_slots = 0;
+  std::uint32_t queue_depth = 0;
+  std::int64_t slot = 0;          ///< slot the verdict was reached in
+  std::uint32_t client = 0;       ///< 0 = in-process submitter
+};
+
+class Pcnd;
+class SlotWorkload;
+
+namespace detail {
+
+/// Consecutive-submit tracker: gives repeated page submits of one
+/// terminal within a slot distinct flight-event seq values.
+struct SeqTracker {
+  std::uint64_t last_terminal = ~std::uint64_t{0};
+  std::uint32_t run = 0;
+  std::uint32_t next(std::uint64_t terminal_id) {
+    run = (terminal_id == last_terminal) ? run + 1 : 0;
+    last_terminal = terminal_id;
+    return run;
+  }
+};
+
+}  // namespace detail
+
+/// Valid only inside an APPLY phase; routes workload-generated requests
+/// through exactly the code paths ring requests take.
+class RequestSink {
+ public:
+  void update(const proto::LocationUpdate& update);
+  void page(std::uint64_t page_id, std::uint64_t terminal_id);
+
+ private:
+  friend class Pcnd;
+  RequestSink(Pcnd* daemon, int shard, std::int64_t slot,
+              SlotWorkload* workload)
+      : daemon_(daemon), shard_(shard), slot_(slot), workload_(workload) {}
+  Pcnd* daemon_;
+  int shard_;  ///< terminal shard this sink feeds
+  std::int64_t slot_;
+  SlotWorkload* workload_;
+  detail::SeqTracker tracker_;
+};
+
+/// A closed-loop traffic source driven from inside the slot loop.
+/// `generate` is called once per (terminal shard, slot) from that shard's
+/// worker; it must only touch terminals t with t % shard_count == shard
+/// and emit their requests in increasing terminal id.  `on_outcome` is
+/// called from the phase that settles the page; with at most one page in
+/// flight per terminal (which `generate` should maintain — it is what
+/// closed-loop means) the calls for one terminal never race.
+class SlotWorkload {
+ public:
+  virtual ~SlotWorkload() = default;
+  virtual void generate(int shard, int shard_count, std::int64_t slot,
+                        RequestSink& sink) = 0;
+  virtual void on_outcome(std::uint64_t terminal_id,
+                          proto::PageOutcomeKind kind, std::int64_t slot) = 0;
+};
+
+class Pcnd {
+ public:
+  explicit Pcnd(const PcndConfig& config);
+  ~Pcnd();
+
+  Pcnd(const Pcnd&) = delete;
+  Pcnd& operator=(const Pcnd&) = delete;
+
+  const PcndConfig& config() const { return config_; }
+
+  /// Thread-safe, lock-free enqueue; false = ring full (request dropped
+  /// and counted).  Takes effect at the next slot's INGEST.
+  bool submit(const DaemonRequest& request);
+
+  /// Runs `slots` slots of the ingest/apply/drain loop, with `workload`
+  /// (may be null) generating in-loop traffic.
+  void run_slots(std::int64_t slots, SlotWorkload* workload = nullptr);
+
+  /// Next slot to be processed (slots completed so far).
+  std::int64_t now() const { return slot_; }
+
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  const obs::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+
+  /// Moves every settled PageOutcomeEvent (requires collect_outcomes).
+  void drain_outcomes(std::vector<PageOutcomeEvent>* out);
+
+  /// Exact queueing-delay distribution of served pages: histogram[k] =
+  /// pages served after waiting exactly k slots.
+  std::vector<std::int64_t> delay_histogram() const;
+
+  // --- introspection (not thread-safe against run_slots) ---
+  std::size_t terminal_count() const;
+  struct TerminalInfo {
+    bool known = false;
+    geometry::Cell center{};
+    std::uint64_t sequence = 0;
+    std::uint32_t radius = 0;
+  };
+  TerminalInfo terminal_info(std::uint64_t terminal_id) const;
+  /// Pending pages in `cell`'s queue (0 when the cell has no queue yet).
+  std::int64_t queue_depth(geometry::Cell cell) const;
+  /// Largest queue depth ever observed after an enqueue.
+  std::int64_t max_queue_depth() const { return max_depth_ever_; }
+
+ private:
+  friend class RequestSink;
+
+  struct TerminalState {
+    geometry::Cell center{};
+    std::uint64_t sequence = 0;
+    std::uint32_t radius = 0;
+  };
+
+  struct PageIntent {
+    geometry::Cell cell{};
+    std::uint64_t terminal_id = 0;
+    std::uint64_t page_id = 0;
+    std::uint32_t client = 0;
+  };
+
+  struct CellHash {
+    std::size_t operator()(const geometry::Cell& cell) const noexcept {
+      return geometry::HexCellHash{}(cell);
+    }
+  };
+
+  struct QueueShard {
+    std::unordered_map<geometry::Cell, BoundedPagingQueue, CellHash> queues;
+    std::vector<ServedPage> served_scratch;
+    std::vector<PendingPage> expired_scratch;
+    std::vector<PageOutcomeEvent> outcomes;
+    std::vector<std::int64_t> delay_hist;  ///< dense, index = delay slots
+    std::int64_t max_depth = 0;
+  };
+
+  int terminal_shard_of(std::uint64_t terminal_id) const {
+    return static_cast<int>(
+        terminal_id % static_cast<std::uint64_t>(config_.terminal_shards));
+  }
+  int queue_shard_of(geometry::Cell cell) const {
+    return static_cast<int>(CellHash{}(cell) %
+                            static_cast<std::size_t>(config_.queue_shards));
+  }
+
+  void ingest_phase();
+  void apply_phase(int worker, int worker_count, std::int64_t slot,
+                   SlotWorkload* workload);
+  void drain_phase(int worker, int worker_count, std::int64_t slot,
+                   SlotWorkload* workload);
+  void finalize_phase();
+
+  void apply_update(int shard, const proto::LocationUpdate& update);
+  void apply_page(int shard, std::int64_t slot, std::uint64_t page_id,
+                  std::uint64_t terminal_id, std::uint32_t client,
+                  SlotWorkload* workload, detail::SeqTracker* tracker);
+
+  void record_page_event(int recorder_shard, obs::FlightEventType type,
+                         std::int64_t slot, std::uint64_t terminal_id,
+                         std::uint64_t page_id, std::uint32_t seq,
+                         std::int32_t cycle, std::int64_t cells,
+                         std::int64_t distance, bool found);
+
+  PcndConfig config_;
+  RequestRing ring_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+
+  std::vector<std::unordered_map<std::uint64_t, TerminalState>> terminals_;
+  /// intents_[terminal_shard][queue_shard]: pages routed this slot.
+  std::vector<std::vector<std::vector<PageIntent>>> intents_;
+  std::vector<QueueShard> queue_shards_;
+  /// Unknown-terminal drop outcomes produced in APPLY, per terminal shard.
+  std::vector<std::vector<PageOutcomeEvent>> apply_outcomes_;
+
+  std::vector<DaemonRequest> batch_;                   ///< sorted ingest
+  std::vector<std::vector<std::size_t>> shard_batch_;  ///< [ts] -> batch idx
+
+  std::int64_t slot_ = 0;
+  int slot_budget_ = 0;  ///< capacity budget for the slot in flight
+  std::int64_t max_depth_ever_ = 0;
+
+  std::mutex outcomes_mutex_;
+  std::deque<PageOutcomeEvent> outcomes_;
+
+  // Metric handles (resolved once; per-shard cells keep workers apart).
+  obs::Counter requests_update_;
+  obs::Counter requests_page_;
+  obs::Counter requests_rejected_;
+  obs::Counter updates_applied_;
+  obs::Counter updates_stale_;
+  obs::Counter pages_queued_;
+  obs::Counter pages_duplicate_;
+  obs::Counter pages_dropped_;
+  obs::Counter pages_expired_;
+  obs::Counter pages_served_;
+  obs::Counter pages_unknown_;
+  obs::Counter sla_violations_;
+  obs::Counter slots_run_;
+  obs::Counter wall_ns_;
+  obs::Gauge max_depth_gauge_;
+  obs::Histogram delay_hist_;
+  obs::Histogram depth_hist_;
+};
+
+}  // namespace pcn::daemon

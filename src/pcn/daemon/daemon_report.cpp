@@ -1,0 +1,162 @@
+#include "pcn/daemon/daemon_report.hpp"
+
+#include "pcn/obs/json.hpp"
+
+namespace pcn::daemon {
+
+DaemonRunReport make_daemon_report(const Pcnd& daemon, std::uint64_t seed,
+                                   std::int64_t terminals) {
+  const PcndConfig& config = daemon.config();
+  DaemonRunReport report;
+  report.dimension = to_string(config.dimension);
+  report.threads = config.threads;
+  report.seed = seed;
+  report.channels = config.capacity.channels();
+  report.slots_per_message = config.capacity.slots_per_message();
+  report.queue_max_pending = config.queue.max_pending;
+  report.queue_lifetime_slots = config.queue.lifetime_slots;
+  report.queue_groups = config.queue.groups;
+  report.sla_delay_slots = config.sla_delay_slots;
+  report.slots = daemon.now();
+  report.terminals = terminals;
+
+  report.metrics = daemon.metrics_registry().snapshot();
+  const obs::MetricsSnapshot& m = report.metrics;
+  report.pages_queued = m.counter_value("daemon.page.queued");
+  report.pages_duplicate = m.counter_value("daemon.page.duplicate");
+  report.pages_served = m.counter_value("daemon.page.served");
+  report.pages_dropped = m.counter_value("daemon.page.dropped");
+  report.pages_expired = m.counter_value("daemon.page.expired");
+  report.pages_unknown = m.counter_value("daemon.page.unknown_terminal");
+  report.sla_violations = m.counter_value("daemon.page.sla_violation");
+  report.pages_offered = report.pages_queued + report.pages_duplicate +
+                         report.pages_dropped + report.pages_unknown;
+  if (report.pages_offered > 0) {
+    report.drop_rate = double(report.pages_dropped + report.pages_expired +
+                              report.pages_unknown) /
+                       double(report.pages_offered);
+  }
+  report.max_queue_depth = daemon.max_queue_depth();
+
+  report.queue_delay_slots = daemon.delay_histogram();
+  if (report.pages_served > 0) {
+    double weighted = 0.0;
+    for (std::size_t k = 0; k < report.queue_delay_slots.size(); ++k) {
+      weighted += double(k) * double(report.queue_delay_slots[k]);
+    }
+    report.mean_queue_delay_slots = weighted / double(report.pages_served);
+    auto percentile = [&](double quantile) {
+      const double target = quantile * double(report.pages_served);
+      std::int64_t cumulative = 0;
+      for (std::size_t k = 0; k < report.queue_delay_slots.size(); ++k) {
+        cumulative += report.queue_delay_slots[k];
+        if (double(cumulative) >= target) return static_cast<int>(k);
+      }
+      return static_cast<int>(report.queue_delay_slots.size()) - 1;
+    };
+    report.delay_p50 = percentile(0.50);
+    report.delay_p95 = percentile(0.95);
+    report.delay_p99 = percentile(0.99);
+    for (std::size_t k = 0; k < report.queue_delay_slots.size(); ++k) {
+      if (report.queue_delay_slots[k] > 0) {
+        report.delay_max = static_cast<int>(k);
+      }
+    }
+  }
+
+  const std::int64_t wall_ns = m.counter_value("daemon.run.wall_ns");
+  if (wall_ns > 0) {
+    report.run_wall_seconds = double(wall_ns) / 1e9;
+    report.slots_per_sec =
+        double(m.counter_value("daemon.slot.count")) / report.run_wall_seconds;
+  }
+  return report;
+}
+
+std::string to_json(const DaemonRunReport& report) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.member("schema", "pcn.run_report.v1");
+  json.member("kind", "daemon");
+  json.key("config").begin_object();
+  json.member("dimension", report.dimension);
+  json.member("threads", report.threads);
+  json.member("seed", std::uint64_t{report.seed});
+  json.member("channels", report.channels);
+  json.member("slots_per_message", report.slots_per_message);
+  json.member("queue_max_pending",
+              static_cast<std::int64_t>(report.queue_max_pending));
+  json.member("queue_lifetime_slots", report.queue_lifetime_slots);
+  json.member("queue_groups", report.queue_groups);
+  json.member("sla_delay_slots", report.sla_delay_slots);
+  json.end_object();
+  json.member("terminals", report.terminals);
+  json.member("slots", report.slots);
+  json.key("pages").begin_object();
+  json.member("offered", report.pages_offered);
+  json.member("queued", report.pages_queued);
+  json.member("duplicate", report.pages_duplicate);
+  json.member("served", report.pages_served);
+  json.member("dropped", report.pages_dropped);
+  json.member("expired", report.pages_expired);
+  json.member("unknown_terminal", report.pages_unknown);
+  json.member("drop_rate", report.drop_rate);
+  json.end_object();
+  json.key("queue_delay_slots").begin_object();
+  json.key("counts").begin_array();
+  for (const std::int64_t count : report.queue_delay_slots) {
+    json.value(count);
+  }
+  json.end_array();
+  json.member("mean", report.mean_queue_delay_slots);
+  json.member("p50", report.delay_p50);
+  json.member("p95", report.delay_p95);
+  json.member("p99", report.delay_p99);
+  json.member("max", report.delay_max);
+  json.end_object();
+  json.key("sla").begin_object();
+  json.member("bound_slots", report.sla_delay_slots);
+  json.member("violations", report.sla_violations);
+  json.end_object();
+  json.key("queue").begin_object();
+  json.member("max_depth", report.max_queue_depth);
+  json.end_object();
+  json.key("wall").begin_object();
+  json.member("run_seconds", report.run_wall_seconds);
+  json.end_object();
+  json.key("throughput").begin_object();
+  json.member("slots_per_sec", report.slots_per_sec);
+  json.end_object();
+  // Metrics snapshot, same shape as obs::to_json(MetricsSnapshot).
+  json.key("metrics");
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const obs::CounterSample& counter : report.metrics.counters) {
+    json.member(counter.name, counter.value);
+  }
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const obs::GaugeSample& gauge : report.metrics.gauges) {
+    json.member(gauge.name, gauge.value);
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const obs::HistogramSample& histogram : report.metrics.histograms) {
+    json.key(histogram.name).begin_object();
+    json.key("bounds").begin_array();
+    for (const double bound : histogram.bounds) json.value(bound);
+    json.end_array();
+    json.key("counts").begin_array();
+    for (const std::int64_t count : histogram.counts) json.value(count);
+    json.end_array();
+    json.member("count", histogram.count);
+    json.member("sum", histogram.sum);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace pcn::daemon

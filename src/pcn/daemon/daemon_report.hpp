@@ -1,0 +1,75 @@
+// Run report for a pcnd run: schema `pcn.run_report.v1` with
+// `"kind": "daemon"`, so the same consumers (tools/bench_compare.py,
+// jq pipelines, tests) read simulator and daemon reports alike.
+//
+// The daemon-specific sections:
+//   * `pages` — offered / queued / duplicate / served / dropped /
+//     expired / unknown_terminal counts, and `drop_rate` = the fraction
+//     of offered pages that never reached the paging channel
+//     ((dropped + expired + unknown) / offered) — the overload headline;
+//   * `queue_delay_slots` — exact per-slot delay distribution of served
+//     pages with mean/p50/p95/p99/max (percentiles over served pages);
+//   * `sla` — the configured delay bound and total violations (served
+//     late + dropped + expired + unknown);
+//   * `queue` — config echo plus the deepest queue ever observed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcn/daemon/daemon.hpp"
+
+namespace pcn::daemon {
+
+struct DaemonRunReport {
+  // Config echo.
+  std::string dimension;
+  int threads = 1;
+  std::uint64_t seed = 0;  ///< workload seed (0 when no workload attached)
+  int channels = 0;
+  double slots_per_message = 1.0;
+  std::size_t queue_max_pending = 0;
+  std::int64_t queue_lifetime_slots = 0;
+  int queue_groups = 0;
+  int sla_delay_slots = 0;
+
+  std::int64_t slots = 0;
+  std::int64_t terminals = 0;
+
+  // Page accounting (offered = queued + duplicate + dropped + unknown).
+  std::int64_t pages_offered = 0;
+  std::int64_t pages_queued = 0;
+  std::int64_t pages_duplicate = 0;
+  std::int64_t pages_served = 0;
+  std::int64_t pages_dropped = 0;
+  std::int64_t pages_expired = 0;
+  std::int64_t pages_unknown = 0;
+  double drop_rate = 0.0;
+
+  // Served-page queueing delay, exact per-slot counts (index = slots).
+  std::vector<std::int64_t> queue_delay_slots;
+  double mean_queue_delay_slots = 0.0;
+  int delay_p50 = 0;
+  int delay_p95 = 0;
+  int delay_p99 = 0;
+  int delay_max = 0;
+
+  std::int64_t sla_violations = 0;
+  std::int64_t max_queue_depth = 0;
+
+  double run_wall_seconds = 0.0;
+  double slots_per_sec = 0.0;
+
+  obs::MetricsSnapshot metrics;
+};
+
+/// Builds the report from a daemon after run_slots returned.  `seed` and
+/// `terminals` describe the workload (pass 0 when not applicable).
+DaemonRunReport make_daemon_report(const Pcnd& daemon, std::uint64_t seed,
+                                   std::int64_t terminals);
+
+/// Serializes the report (schema pcn.run_report.v1, kind "daemon").
+std::string to_json(const DaemonRunReport& report);
+
+}  // namespace pcn::daemon

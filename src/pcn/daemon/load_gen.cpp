@@ -1,0 +1,126 @@
+#include "pcn/daemon/load_gen.hpp"
+
+#include "pcn/common/error.hpp"
+#include "pcn/geometry/hex.hpp"
+
+namespace pcn::daemon {
+
+namespace {
+
+std::int64_t mod_floor(std::int64_t value, std::int64_t modulus) {
+  const std::int64_t m = value % modulus;
+  return m < 0 ? m + modulus : m;
+}
+
+}  // namespace
+
+ClosedLoopWorkload::ClosedLoopWorkload(const ClosedLoopConfig& config)
+    : config_(config),
+      rng_(stats::CounterRng::keyed(config.seed, /*salt=*/0x70636e64u)),
+      move_threshold_(stats::threshold32(config.move_prob)),
+      call_threshold_(stats::threshold32(config.call_prob)),
+      states_(config.terminals),
+      outstanding_(config.terminals, 0) {
+  PCN_EXPECT(config_.terminals >= 1,
+             "ClosedLoopWorkload: terminals must be >= 1");
+  PCN_EXPECT(config_.region >= 1, "ClosedLoopWorkload: region must be >= 1");
+  PCN_EXPECT(config_.move_prob >= 0.0 && config_.move_prob <= 1.0,
+             "ClosedLoopWorkload: move_prob must be in [0, 1]");
+  PCN_EXPECT(config_.call_prob >= 0.0 && config_.call_prob <= 1.0,
+             "ClosedLoopWorkload: call_prob must be in [0, 1]");
+  PCN_EXPECT(config_.threshold >= 1,
+             "ClosedLoopWorkload: threshold must be >= 1");
+  // Deterministic initial scatter across the torus.
+  const auto region = static_cast<std::int64_t>(config_.region);
+  for (std::uint64_t t = 0; t < config_.terminals; ++t) {
+    TerminalState& state = states_[t];
+    const auto id = static_cast<std::int64_t>(t);
+    state.position.q = id % region;
+    state.position.r = config_.dimension == Dimension::kOneD
+                           ? 0
+                           : (id / region) % region;
+    state.reported = state.position;
+  }
+}
+
+geometry::Cell ClosedLoopWorkload::wrapped(geometry::Cell cell) const {
+  const auto region = static_cast<std::int64_t>(config_.region);
+  geometry::Cell out;
+  out.q = mod_floor(cell.q, region);
+  out.r = config_.dimension == Dimension::kOneD ? 0 : mod_floor(cell.r, region);
+  return out;
+}
+
+void ClosedLoopWorkload::generate(int shard, int shard_count,
+                                  std::int64_t slot, RequestSink& sink) {
+  const auto n = config_.terminals;
+  const bool one_d = config_.dimension == Dimension::kOneD;
+  for (auto t = static_cast<std::uint64_t>(shard); t < n;
+       t += static_cast<std::uint64_t>(shard_count)) {
+    TerminalState& state = states_[t];
+    const stats::PhiloxWords draw =
+        rng_.block(t, static_cast<std::uint64_t>(slot));
+
+    if (state.registered && draw[0] < move_threshold_) {
+      if (one_d) {
+        state.position.q += (draw[1] & 1u) != 0 ? 1 : -1;
+      } else {
+        state.position = geometry::hex_add(
+            state.position, geometry::hex_directions()[draw[1] % 6]);
+      }
+    }
+
+    const bool must_update =
+        !state.registered ||
+        geometry::cell_distance(config_.dimension, state.position,
+                                state.reported) >=
+            static_cast<std::int64_t>(config_.threshold);
+    if (must_update) {
+      proto::LocationUpdate update;
+      update.terminal_id = t;
+      update.sequence = ++state.sequence;
+      update.cell = wrapped(state.position);
+      update.containment_radius =
+          static_cast<std::uint32_t>(config_.threshold);
+      sink.update(update);
+      state.reported = state.position;
+      state.registered = true;
+      updates_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (outstanding_[t] == 0 && draw[2] < call_threshold_) {
+      outstanding_[t] = 1;
+      ++state.page_ordinal;
+      const std::uint64_t page_id = state.page_ordinal * n + t + 1;
+      sink.page(page_id, t);
+      pages_submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ClosedLoopWorkload::on_outcome(std::uint64_t terminal_id,
+                                    proto::PageOutcomeKind kind,
+                                    std::int64_t /*slot*/) {
+  PCN_ASSERT(terminal_id < config_.terminals);
+  PCN_ASSERT(outstanding_[terminal_id] != 0);
+  outstanding_[terminal_id] = 0;
+  switch (kind) {
+    case proto::PageOutcomeKind::kServed:
+      served_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case proto::PageOutcomeKind::kDropped:
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case proto::PageOutcomeKind::kExpired:
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+std::int64_t ClosedLoopWorkload::outstanding_count() const {
+  std::int64_t count = 0;
+  for (const std::uint8_t flag : outstanding_) count += flag != 0 ? 1 : 0;
+  return count;
+}
+
+}  // namespace pcn::daemon

@@ -1,0 +1,111 @@
+// Closed-loop daemon workload: N terminals doing the paper's random walk
+// and movement-based location updating, with callers paging them through
+// pcnd's bounded channel.
+//
+// Closed loop means a terminal has at most one page in flight: a caller
+// who paged waits for the verdict (served / dropped / expired) before the
+// terminal becomes pageable again.  That is both the realistic client
+// behavior and the property the daemon's flight-event seq scheme and
+// outcome callbacks rely on.
+//
+// Determinism.  Every per-(terminal, slot) decision — move? which
+// direction? call arrival? — is a counter-based Philox draw keyed by the
+// workload seed with stream = terminal and counter = slot, so the
+// generated request sequence is a pure function of (seed, config) and is
+// identical at any worker-thread count.  `generate` touches only
+// terminals t with t % shard_count == shard, in increasing t, as the
+// SlotWorkload contract requires.
+//
+// Offered load.  Per slot each idle terminal pages with probability
+// `call_prob`; total offered paging load is roughly
+// terminals * call_prob pages/slot spread over ~region^2 cells (region^2
+// queues in 2-D, region in 1-D), to be set against the per-cell
+// PagingCapacityModel rate when positioning an experiment relative to
+// the capacity knee.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "pcn/daemon/daemon.hpp"
+#include "pcn/stats/counter_rng.hpp"
+
+namespace pcn::daemon {
+
+struct ClosedLoopConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t terminals = 1024;
+  /// Torus width: reported cells are wrapped to q, r in [0, region), so
+  /// the daemon sees at most region^2 distinct cells (region in 1-D).
+  int region = 16;
+  /// Per-slot movement probability q (paper mobility model).
+  double move_prob = 0.2;
+  /// Per-slot page-arrival probability c for an idle terminal.
+  double call_prob = 0.05;
+  /// Movement-based update threshold d: a terminal updates when its
+  /// distance from the last reported position reaches d.
+  int threshold = 3;
+  Dimension dimension = Dimension::kTwoD;
+};
+
+class ClosedLoopWorkload final : public SlotWorkload {
+ public:
+  explicit ClosedLoopWorkload(const ClosedLoopConfig& config);
+
+  const ClosedLoopConfig& config() const { return config_; }
+
+  void generate(int shard, int shard_count, std::int64_t slot,
+                RequestSink& sink) override;
+  void on_outcome(std::uint64_t terminal_id, proto::PageOutcomeKind kind,
+                  std::int64_t slot) override;
+
+  // --- workload-side tallies (exact; safe to read between run_slots) ---
+  std::int64_t pages_submitted() const {
+    return pages_submitted_.load(std::memory_order_relaxed);
+  }
+  std::int64_t updates_sent() const {
+    return updates_sent_.load(std::memory_order_relaxed);
+  }
+  std::int64_t outcomes_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  std::int64_t outcomes_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::int64_t outcomes_expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+  /// Terminals with a page still in flight.
+  std::int64_t outstanding_count() const;
+
+ private:
+  struct TerminalState {
+    geometry::Cell position{};  ///< unwrapped random-walk position
+    geometry::Cell reported{};  ///< unwrapped position of the last update
+    std::uint64_t sequence = 0;
+    std::uint64_t page_ordinal = 0;
+    bool registered = false;
+  };
+
+  geometry::Cell wrapped(geometry::Cell cell) const;
+
+  ClosedLoopConfig config_;
+  stats::CounterRng rng_;
+  std::uint32_t move_threshold_;
+  std::uint32_t call_threshold_;
+  std::vector<TerminalState> states_;
+  /// outstanding_[t] != 0 while terminal t has a page in flight.  Plain
+  /// bytes, not atomics: for one terminal the daemon's phase barriers
+  /// order every access (generate in APPLY, the verdict in APPLY or a
+  /// later DRAIN), and closed loop means at most one verdict per slot.
+  std::vector<std::uint8_t> outstanding_;
+
+  std::atomic<std::int64_t> pages_submitted_{0};
+  std::atomic<std::int64_t> updates_sent_{0};
+  std::atomic<std::int64_t> served_{0};
+  std::atomic<std::int64_t> dropped_{0};
+  std::atomic<std::int64_t> expired_{0};
+};
+
+}  // namespace pcn::daemon

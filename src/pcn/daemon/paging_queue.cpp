@@ -1,0 +1,92 @@
+#include "pcn/daemon/paging_queue.hpp"
+
+#include <algorithm>
+
+namespace pcn::daemon {
+
+BoundedPagingQueue::BoundedPagingQueue(const PagingQueueConfig& config)
+    : config_(config),
+      groups_(static_cast<std::size_t>(config.groups)) {
+  PCN_EXPECT(config_.max_pending >= 1,
+             "BoundedPagingQueue: max_pending must be >= 1");
+  PCN_EXPECT(config_.lifetime_slots >= 0,
+             "BoundedPagingQueue: lifetime_slots must be >= 0");
+  PCN_EXPECT(config_.groups >= 1, "BoundedPagingQueue: groups must be >= 1");
+}
+
+bool BoundedPagingQueue::contains(std::uint64_t terminal_id) const {
+  const auto& group = groups_[static_cast<std::size_t>(group_of(terminal_id))];
+  for (const PendingPage& page : group) {
+    if (page.terminal_id == terminal_id) return true;
+  }
+  return false;
+}
+
+EnqueueResult BoundedPagingQueue::add(const PendingPage& page) {
+  auto& group = groups_[static_cast<std::size_t>(group_of(page.terminal_id))];
+  // Dedup before the capacity check (osmo paging_add_identity): a refresh
+  // of an already-pending terminal must succeed even on a full queue.
+  for (PendingPage& pending : group) {
+    if (pending.terminal_id == page.terminal_id) {
+      pending.expiry_slot =
+          std::max(pending.expiry_slot,
+                   page.enqueued_slot + config_.lifetime_slots);
+      return EnqueueResult::kRefreshed;
+    }
+  }
+  if (size_ >= config_.max_pending) return EnqueueResult::kFull;
+  PendingPage accepted = page;
+  accepted.expiry_slot = page.enqueued_slot + config_.lifetime_slots;
+  group.push_back(accepted);
+  ++size_;
+  return EnqueueResult::kQueued;
+}
+
+namespace {
+
+/// Pops expired entries off the head of `group` into `expired`.
+void pop_expired_heads(std::deque<PendingPage>& group, std::int64_t slot,
+                       std::vector<PendingPage>* expired, std::size_t* size) {
+  while (!group.empty() && group.front().expiry_slot < slot) {
+    expired->push_back(group.front());
+    group.pop_front();
+    --*size;
+  }
+}
+
+}  // namespace
+
+int BoundedPagingQueue::drain(std::int64_t slot, int budget,
+                              std::vector<ServedPage>* served,
+                              std::vector<PendingPage>* expired) {
+  PCN_EXPECT(budget >= 0, "BoundedPagingQueue: budget must be >= 0");
+  // Expiry is a property of the slot, not of the budget: sweep the group
+  // heads first so expired pages surface even when the channel has no
+  // credit this slot.  (An expired entry stuck behind an unexpired head
+  // is swept when it reaches the head — the serve path re-checks expiry,
+  // so it can never be served.)
+  for (auto& group : groups_) {
+    pop_expired_heads(group, slot, expired, &size_);
+  }
+  int served_count = 0;
+  int g = next_group_;
+  while (served_count < budget && size_ > 0) {
+    auto& group = groups_[static_cast<std::size_t>(g)];
+    pop_expired_heads(group, slot, expired, &size_);
+    if (!group.empty()) {
+      ServedPage entry;
+      entry.page = group.front();
+      entry.served_slot = slot;
+      entry.depth_before = size_;
+      group.pop_front();
+      --size_;
+      served->push_back(entry);
+      ++served_count;
+    }
+    g = (g + 1) % config_.groups;
+  }
+  if (budget > 0) next_group_ = g;
+  return served_count;
+}
+
+}  // namespace pcn::daemon

@@ -1,0 +1,110 @@
+// Bounded per-cell paging queue, after the osmo-bts BTS paging model
+// (see SNIPPETS.md: paging.h).  Each cell owns one queue; the daemon
+// enqueues a page for a terminal whose center cell this is, and drains
+// the queue against the cell's PagingCapacityModel budget each slot.
+//
+// The osmo-bts behaviors carried over:
+//   * dedup on enqueue (`paging_add_identity` returns -EEXIST): a
+//     terminal already queued is not enqueued twice — its lifetime is
+//     refreshed instead, keeping its original FIFO position;
+//   * backpressure (`paging_buffer_space`): the queue holds at most
+//     `max_pending` pages; an enqueue beyond that is rejected — the
+//     caller reports the drop, the queue never grows;
+//   * paging groups: terminals hash into `groups` round-robin classes
+//     (terminal_id % groups, the GSM paging-group idea), and the drain
+//     rotates across non-empty groups so one chatty group cannot starve
+//     the rest; within a group service is strictly FIFO;
+//   * lifetime expiry (`paging_lifetime`): a page not served within
+//     `lifetime_slots` of its enqueue is discarded at drain time and
+//     reported as expired, never served.
+//
+// The queue itself is single-threaded by design — pcnd partitions cells
+// into fixed shards and each shard is touched by exactly one worker per
+// slot, so no lock is needed here and results cannot depend on thread
+// interleaving.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pcn/common/error.hpp"
+
+namespace pcn::daemon {
+
+struct PagingQueueConfig {
+  /// Upper bound on pages pending in this cell (osmo num_paging_max).
+  std::size_t max_pending = 64;
+  /// Slots a page may wait before it expires unserved (osmo
+  /// paging_lifetime).  A page enqueued in slot s is servable through
+  /// slot s + lifetime_slots.
+  std::int64_t lifetime_slots = 128;
+  /// Round-robin paging groups; terminal_id % groups picks the group.
+  int groups = 4;
+};
+
+/// One page waiting on the cell's paging channel.
+struct PendingPage {
+  std::uint64_t terminal_id = 0;
+  std::uint64_t page_id = 0;
+  std::uint32_t client = 0;        ///< outcome routing (0 = in-process)
+  std::int64_t enqueued_slot = 0;
+  std::int64_t expiry_slot = 0;    ///< last slot the page may be served in
+};
+
+/// A page the drain put on the paging channel.
+struct ServedPage {
+  PendingPage page;
+  std::int64_t served_slot = 0;
+  std::size_t depth_before = 0;  ///< queue depth at serve time, incl. itself
+};
+
+enum class EnqueueResult : std::uint8_t {
+  kQueued = 0,     ///< accepted; a new entry joined the queue
+  kRefreshed = 1,  ///< duplicate identity; existing entry's lifetime renewed
+  kFull = 2,       ///< rejected; the queue is at max_pending
+};
+
+class BoundedPagingQueue {
+ public:
+  explicit BoundedPagingQueue(const PagingQueueConfig& config);
+
+  const PagingQueueConfig& config() const { return config_; }
+
+  /// Pages currently pending (including not-yet-swept expired entries).
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Remaining capacity before enqueues are rejected.
+  std::size_t buffer_space() const { return config_.max_pending - size_; }
+
+  /// Whether `terminal_id` already has a page pending.
+  bool contains(std::uint64_t terminal_id) const;
+
+  /// Enqueues a page observed in slot `slot`.  A terminal already pending
+  /// is deduplicated: its expiry is refreshed (and the stored page/client
+  /// keep their original values and FIFO position), result kRefreshed.
+  EnqueueResult add(const PendingPage& page);
+
+  /// Serves up to `budget` pages in slot `slot`: rotates across groups
+  /// (continuing from where the previous drain stopped), FIFO within a
+  /// group.  Expired entries encountered at the head of a group are moved
+  /// to `expired` without consuming budget and are never served.  Served
+  /// pages append to `served` with their depth-before-drain.  Returns the
+  /// number of pages served.
+  int drain(std::int64_t slot, int budget, std::vector<ServedPage>* served,
+            std::vector<PendingPage>* expired);
+
+ private:
+  int group_of(std::uint64_t terminal_id) const {
+    return static_cast<int>(terminal_id %
+                            static_cast<std::uint64_t>(config_.groups));
+  }
+
+  PagingQueueConfig config_;
+  std::vector<std::deque<PendingPage>> groups_;
+  std::size_t size_ = 0;
+  int next_group_ = 0;  ///< where the next drain starts its rotation
+};
+
+}  // namespace pcn::daemon

@@ -1,0 +1,214 @@
+#include "pcn/daemon/socket_server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "pcn/common/error.hpp"
+#include "pcn/proto/wire.hpp"
+
+namespace pcn::daemon {
+
+namespace {
+
+/// Largest frame a client may send; far above any real proto frame, low
+/// enough that a corrupt length prefix cannot make us allocate gigabytes.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+bool read_exact(int fd, std::uint8_t* buffer, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t n = ::read(fd, buffer + done, count - done);
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* buffer, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    const ssize_t n = ::write(fd, buffer + done, count - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Pcnd* daemon, std::string path)
+    : daemon_(daemon), path_(std::move(path)) {
+  PCN_EXPECT(daemon_ != nullptr, "SocketServer: daemon must not be null");
+  PCN_EXPECT(daemon_->config().collect_outcomes,
+             "SocketServer: daemon must collect outcomes");
+  sockaddr_un address{};
+  PCN_EXPECT(path_.size() < sizeof(address.sun_path),
+             "SocketServer: socket path too long");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PCN_EXPECT(listen_fd_ >= 0, "SocketServer: cannot create socket");
+  ::unlink(path_.c_str());
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path_.c_str(), path_.size() + 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string what = "SocketServer: cannot listen on '" + path_ +
+                             "': " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    PCN_EXPECT(false, what.c_str());
+  }
+  obs::MetricsRegistry& registry = daemon_->metrics_registry();
+  frames_in_ = registry.counter("daemon.socket.frames_in");
+  frames_out_ = registry.counter("daemon.socket.frames_out");
+  decode_errors_ = registry.counter("daemon.socket.decode_error");
+  rejected_ = registry.counter("daemon.socket.rejected_ring_full");
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketServer::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  // Shut the listener down; accept() returns and the loop exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::unordered_map<std::uint32_t, std::unique_ptr<Connection>> connections;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& [client, connection] : connections) {
+    ::shutdown(connection->fd, SHUT_RDWR);
+    if (connection->reader.joinable()) connection->reader.join();
+    ::close(connection->fd);
+  }
+}
+
+void SocketServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or broken beyond repair)
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const std::uint32_t client = next_client_++;
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    connection->reader =
+        std::thread([this, client, fd] { reader_loop(client, fd); });
+    connections_.emplace(client, std::move(connection));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SocketServer::reader_loop(std::uint32_t client, int fd) {
+  std::uint8_t prefix[4];
+  std::vector<std::uint8_t> frame;
+  while (running_.load(std::memory_order_acquire)) {
+    if (!read_exact(fd, prefix, sizeof(prefix))) break;
+    const std::uint32_t length = std::uint32_t{prefix[0]} |
+                                 std::uint32_t{prefix[1]} << 8 |
+                                 std::uint32_t{prefix[2]} << 16 |
+                                 std::uint32_t{prefix[3]} << 24;
+    if (length == 0 || length > kMaxFrameBytes) {
+      decode_errors_.increment(client);
+      break;  // framing is lost; drop the connection
+    }
+    frame.resize(length);
+    if (!read_exact(fd, frame.data(), length)) break;
+    handle_frame(client, frame);
+  }
+  // The connection object (and fd) is reaped by stop(); marking the
+  // reader done early would need a reaper thread for no test-visible
+  // benefit, so a dead connection just idles until shutdown.
+}
+
+void SocketServer::handle_frame(std::uint32_t client,
+                                const std::vector<std::uint8_t>& frame) {
+  frames_in_.increment(client);
+  DaemonRequest request;
+  request.client = client;
+  try {
+    switch (proto::peek_type(frame)) {
+      case proto::MessageType::kLocationUpdate:
+        request.kind = DaemonRequest::Kind::kUpdate;
+        request.update = proto::decode_location_update(frame);
+        break;
+      case proto::MessageType::kPageSubmit: {
+        const proto::PageSubmit submit = proto::decode_page_submit(frame);
+        request.kind = DaemonRequest::Kind::kPage;
+        request.page_id = submit.page_id;
+        request.terminal_id = submit.terminal_id;
+        break;
+      }
+      default:
+        decode_errors_.increment(client);
+        return;
+    }
+  } catch (const proto::DecodeError&) {
+    decode_errors_.increment(client);
+    return;
+  }
+  if (!daemon_->submit(request)) rejected_.increment(client);
+}
+
+std::size_t SocketServer::flush_outcomes() {
+  std::vector<PageOutcomeEvent> outcomes;
+  daemon_->drain_outcomes(&outcomes);
+  std::size_t written = 0;
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const PageOutcomeEvent& event : outcomes) {
+    if (event.client == 0) continue;  // in-process submitter, no frame
+    const auto it = connections_.find(event.client);
+    if (it == connections_.end()) continue;  // client went away
+    proto::PageOutcome outcome;
+    outcome.page_id = event.page_id;
+    outcome.terminal_id = event.terminal_id;
+    outcome.outcome = event.kind;
+    outcome.queue_delay_slots =
+        static_cast<std::uint64_t>(event.queue_delay_slots);
+    outcome.queue_depth = event.queue_depth;
+    const std::vector<std::uint8_t> frame = proto::encode(outcome);
+    const auto length = static_cast<std::uint32_t>(frame.size());
+    const std::uint8_t prefix[4] = {
+        static_cast<std::uint8_t>(length),
+        static_cast<std::uint8_t>(length >> 8),
+        static_cast<std::uint8_t>(length >> 16),
+        static_cast<std::uint8_t>(length >> 24)};
+    if (write_exact(it->second->fd, prefix, sizeof(prefix)) &&
+        write_exact(it->second->fd, frame.data(), frame.size())) {
+      frames_out_.increment(event.client);
+      ++written;
+    }
+  }
+  return written;
+}
+
+}  // namespace pcn::daemon

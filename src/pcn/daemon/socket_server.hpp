@@ -1,0 +1,96 @@
+// Unix-domain socket front end for pcnd.
+//
+// A deliberately thin layer: the wire surface is the existing proto frame
+// codec, length-prefixed for stream transport —
+//
+//   u32 (LE, raw)  frame length
+//   ...            one proto frame (messages.hpp: version, type, payload,
+//                  CRC trailer)
+//
+// Inbound frames must be LocationUpdate or PageSubmit; each decodes into
+// the same DaemonRequest struct in-process producers build and goes
+// through Pcnd::submit — the socket path exercises exactly the ring the
+// tests and load generators exercise, with `client` set to the
+// connection id so verdicts route back.  Outbound, `flush_outcomes`
+// drains the daemon's settled PageOutcomeEvents and writes a PageOutcome
+// frame to each submitting connection.
+//
+// Frames that fail to decode, frames of an unexpected type, and pushes
+// rejected by a full ring are counted (daemon.socket.*) and the
+// connection stays up — a bad client cannot stall the slot loop, which
+// never blocks on the socket layer at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pcn/daemon/daemon.hpp"
+
+namespace pcn::daemon {
+
+class SocketServer {
+ public:
+  /// Binds and listens on `path` (an existing socket file is replaced).
+  /// The daemon must have collect_outcomes enabled so verdicts can be
+  /// routed back.  Throws InvalidArgument when binding fails.
+  SocketServer(Pcnd* daemon, std::string path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Starts the accept loop and per-connection readers.
+  void start();
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// Drains settled outcomes from the daemon and writes a PageOutcome
+  /// frame to each submitting connection (outcomes with client 0 — in-
+  /// process submitters — are discarded).  Returns frames written.
+  /// Call between run_slots calls, from one thread at a time.
+  std::size_t flush_outcomes();
+
+  /// Connections accepted so far (monotone; for tests).
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+  };
+
+  void accept_loop();
+  void reader_loop(std::uint32_t client, int fd);
+  void handle_frame(std::uint32_t client,
+                    const std::vector<std::uint8_t>& frame);
+
+  Pcnd* daemon_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Connection>> connections_;
+  std::uint32_t next_client_ = 1;  ///< 0 is reserved for in-process
+  std::atomic<std::uint64_t> connections_accepted_{0};
+
+  obs::Counter frames_in_;
+  obs::Counter frames_out_;
+  obs::Counter decode_errors_;
+  obs::Counter rejected_;
+};
+
+}  // namespace pcn::daemon

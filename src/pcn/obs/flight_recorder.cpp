@@ -12,6 +12,7 @@ namespace {
 constexpr std::string_view kTypeNames[] = {
     "call_arrival", "poll_cycle",  "call_found", "page_fallback",
     "location_update", "update_lost", "area_reset",
+    "page_queued", "page_served", "page_dropped", "page_expired",
 };
 constexpr std::size_t kTypeCount = std::size(kTypeNames);
 

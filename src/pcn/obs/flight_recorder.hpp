@@ -43,6 +43,11 @@ enum class FlightEventType : std::uint8_t {
   kLocationUpdate = 4,  ///< terminal sent a location update (delivered)
   kUpdateLost = 5,      ///< terminal sent an update that was lost
   kAreaReset = 6,       ///< knowledge center/radius reset (update or page)
+  // Daemon (pcnd) bounded-paging-queue lifecycle events:
+  kPageQueued = 7,      ///< page accepted onto a cell's bounded queue
+  kPageServed = 8,      ///< page drained onto the paging channel
+  kPageDropped = 9,     ///< page rejected at enqueue (queue full)
+  kPageExpired = 10,    ///< page lifetime elapsed while still queued
 };
 
 /// Stable wire name ("call_arrival", "poll_cycle", ...).
@@ -69,6 +74,14 @@ bool parse_flight_event_type(std::string_view name, FlightEventType* out);
 ///   kUpdateLost     same fields; the frame never reached the network.
 ///   kAreaReset      cells = new containment radius (center is now the
 ///                   terminal's cell; distance resets to 0).
+///   kPageQueued     call = page id, cells = queue depth after enqueue,
+///                   distance = paging group the page joined.
+///   kPageServed     call = page id, cycle = queueing delay in slots,
+///                   cells = queue depth before the drain, found = true.
+///   kPageDropped    call = page id, cells = queue depth (== its bound),
+///                   found = false (the page never reached the channel).
+///   kPageExpired    call = page id, cycle = age in slots at expiry,
+///                   found = false.
 struct FlightEvent {
   std::int64_t slot = 0;
   std::int32_t terminal = 0;

@@ -73,6 +73,27 @@ TraceAnalysis analyze_trace(const TraceMeta& meta,
       case FlightEventType::kLocationUpdate: ++analysis.updates; break;
       case FlightEventType::kUpdateLost: ++analysis.updates_lost; break;
       case FlightEventType::kAreaReset: ++analysis.resets; break;
+      case FlightEventType::kPageQueued: ++analysis.pages_queued; break;
+      case FlightEventType::kPageServed:
+        ++analysis.pages_served;
+        // cycle carries the queueing delay in slots for daemon events.
+        if (analysis.sla_bound > 0 && event.cycle > analysis.sla_bound) {
+          analysis.violations.push_back(
+              {event.slot, event.terminal, event.call, event.cycle});
+        }
+        break;
+      case FlightEventType::kPageDropped:
+        // A dropped page never reaches the paging channel: the callee is
+        // unreachable, which violates any delay SLA regardless of bound.
+        ++analysis.pages_dropped;
+        analysis.violations.push_back({event.slot, event.terminal, event.call,
+                                       SlaViolation::kDroppedPage});
+        break;
+      case FlightEventType::kPageExpired:
+        ++analysis.pages_expired;
+        analysis.violations.push_back({event.slot, event.terminal, event.call,
+                                       SlaViolation::kExpiredPage});
+        break;
       case FlightEventType::kCallArrival:
       case FlightEventType::kPageFallback: break;
     }

@@ -29,11 +29,18 @@ struct CycleBreakdown {
 
 /// One call that exceeded the delay bound — a hard invariant violation
 /// unless updates were being lost (stale knowledge forces recovery).
+/// Daemon recordings add two flavors of violation that never serve the
+/// call at all: `cycles` is kDroppedPage for a page rejected at enqueue
+/// (queue full) and kExpiredPage for a page whose lifetime elapsed while
+/// queued.
 struct SlaViolation {
+  static constexpr std::int32_t kDroppedPage = -1;
+  static constexpr std::int32_t kExpiredPage = -2;
+
   std::int64_t slot = 0;
   std::int32_t terminal = 0;
   std::uint64_t call = 0;
-  std::int32_t cycles = 0;  ///< cycles the call actually took
+  std::int32_t cycles = 0;  ///< cycles/slots taken, or kDropped/kExpiredPage
 };
 
 struct TraceAnalysis {
@@ -58,6 +65,15 @@ struct TraceAnalysis {
   std::int64_t updates = 0;
   std::int64_t updates_lost = 0;
   std::int64_t resets = 0;
+
+  /// Daemon (pcnd) bounded-paging-queue lifecycle tallies.  A dropped or
+  /// expired page is always an SLA violation (the callee is never found);
+  /// a served page violates only when its queueing delay exceeds the
+  /// bound.
+  std::int64_t pages_queued = 0;
+  std::int64_t pages_served = 0;
+  std::int64_t pages_dropped = 0;
+  std::int64_t pages_expired = 0;
 
   int sla_bound = 0;  ///< m from the trace header; 0 = unbounded
   std::vector<SlaViolation> violations;

@@ -167,11 +167,12 @@ void chrome_event_prologue(JsonWriter& writer, std::string_view phase,
 }
 
 void chrome_instant(JsonWriter& writer, const FlightEvent& event) {
+  const bool daemon_page = event.type >= FlightEventType::kPageQueued;
   chrome_event_prologue(writer, "i", event.terminal);
   writer.member("ts", event.slot * kSlotUs)
       .member("s", "t")
       .member("name", to_string(event.type))
-      .member("cat", "update");
+      .member("cat", daemon_page ? "daemon" : "update");
   writer.key("args").begin_object();
   if (event.cost != 0.0) writer.member("cost", event.cost);
   if (event.distance != -1) writer.member("distance", event.distance);
@@ -298,6 +299,10 @@ std::string to_chrome_trace(const TraceMeta& meta,
       case FlightEventType::kLocationUpdate:
       case FlightEventType::kUpdateLost:
       case FlightEventType::kAreaReset:
+      case FlightEventType::kPageQueued:
+      case FlightEventType::kPageServed:
+      case FlightEventType::kPageDropped:
+      case FlightEventType::kPageExpired:
         chrome_instant(writer, event);
         break;
     }

@@ -96,6 +96,25 @@ std::vector<std::uint8_t> encode(const PageResponse& message) {
   return seal(std::move(writer));
 }
 
+std::vector<std::uint8_t> encode(const PageSubmit& message) {
+  WireWriter writer;
+  put_header(writer, MessageType::kPageSubmit);
+  writer.put_varint(message.page_id);
+  writer.put_varint(message.terminal_id);
+  return seal(std::move(writer));
+}
+
+std::vector<std::uint8_t> encode(const PageOutcome& message) {
+  WireWriter writer;
+  put_header(writer, MessageType::kPageOutcome);
+  writer.put_varint(message.page_id);
+  writer.put_varint(message.terminal_id);
+  writer.put_u8(static_cast<std::uint8_t>(message.outcome));
+  writer.put_varint(message.queue_delay_slots);
+  writer.put_varint(message.queue_depth);
+  return seal(std::move(writer));
+}
+
 MessageType peek_type(std::span<const std::uint8_t> frame) {
   if (frame.size() < 6) {
     throw DecodeError("frame: too short");
@@ -117,6 +136,8 @@ MessageType peek_type(std::span<const std::uint8_t> frame) {
     case MessageType::kLocationUpdate:
     case MessageType::kPageRequest:
     case MessageType::kPageResponse:
+    case MessageType::kPageSubmit:
+    case MessageType::kPageOutcome:
       return type;
   }
   throw DecodeError("frame: unknown message type");
@@ -174,6 +195,36 @@ PageResponse decode_page_response(std::span<const std::uint8_t> frame) {
   return message;
 }
 
+PageSubmit decode_page_submit(std::span<const std::uint8_t> frame) {
+  WireReader reader = open_frame(frame, MessageType::kPageSubmit);
+  PageSubmit message;
+  message.page_id = reader.get_varint();
+  message.terminal_id = reader.get_varint();
+  reader.expect_exhausted();
+  return message;
+}
+
+PageOutcome decode_page_outcome(std::span<const std::uint8_t> frame) {
+  WireReader reader = open_frame(frame, MessageType::kPageOutcome);
+  PageOutcome message;
+  message.page_id = reader.get_varint();
+  message.terminal_id = reader.get_varint();
+  const std::uint8_t outcome = reader.get_u8();
+  if (outcome < static_cast<std::uint8_t>(PageOutcomeKind::kServed) ||
+      outcome > static_cast<std::uint8_t>(PageOutcomeKind::kExpired)) {
+    throw DecodeError("page outcome: unknown outcome kind");
+  }
+  message.outcome = static_cast<PageOutcomeKind>(outcome);
+  message.queue_delay_slots = reader.get_varint();
+  const std::uint64_t depth = reader.get_varint();
+  if (depth > kMaxQueueDepth) {
+    throw DecodeError("page outcome: queue depth out of range");
+  }
+  message.queue_depth = static_cast<std::uint32_t>(depth);
+  reader.expect_exhausted();
+  return message;
+}
+
 std::size_t encoded_size(const LocationUpdate& message) {
   return encode(message).size();
 }
@@ -183,6 +234,14 @@ std::size_t encoded_size(const PageRequest& message) {
 }
 
 std::size_t encoded_size(const PageResponse& message) {
+  return encode(message).size();
+}
+
+std::size_t encoded_size(const PageSubmit& message) {
+  return encode(message).size();
+}
+
+std::size_t encoded_size(const PageOutcome& message) {
   return encode(message).size();
 }
 

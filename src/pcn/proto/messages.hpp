@@ -16,6 +16,11 @@
 //     delta-encoded against the first cell, which keeps a ring's frame
 //     near-linear in cell count with ~2 bytes/cell.
 //   * PageResponse    — terminal -> network: "here I am" for a page id.
+//   * PageSubmit      — client -> pcnd: "page this terminal"; the daemon
+//     routes it to the terminal's center cell's bounded paging queue.
+//   * PageOutcome     — pcnd -> client: terminal lifecycle verdict for a
+//     submitted page (served / dropped at enqueue / expired in queue) plus
+//     the observed queueing delay and queue depth.
 //
 // Every decoder validates version, type, CRC, and exact frame length.
 #pragma once
@@ -34,6 +39,8 @@ enum class MessageType : std::uint8_t {
   kLocationUpdate = 1,
   kPageRequest = 2,
   kPageResponse = 3,
+  kPageSubmit = 4,
+  kPageOutcome = 5,
 };
 
 struct LocationUpdate {
@@ -63,10 +70,44 @@ struct PageResponse {
   friend bool operator==(const PageResponse&, const PageResponse&) = default;
 };
 
+/// Daemon request: ask pcnd to page a terminal.  The daemon looks up the
+/// terminal's center cell and enqueues the page on that cell's bounded
+/// paging queue (or reports kDropped when the queue is full).
+struct PageSubmit {
+  std::uint64_t page_id = 0;        ///< correlates submit and outcome
+  std::uint64_t terminal_id = 0;
+
+  friend bool operator==(const PageSubmit&, const PageSubmit&) = default;
+};
+
+/// Lifecycle verdict for a submitted page.
+enum class PageOutcomeKind : std::uint8_t {
+  kServed = 1,   ///< drained onto the paging channel within its lifetime
+  kDropped = 2,  ///< rejected (queue full, or unknown terminal)
+  kExpired = 3,  ///< lifetime elapsed while still queued
+};
+
+/// Upper bound accepted for PageOutcome::queue_depth — a daemon queue is
+/// bounded far below this; anything larger is a corrupt frame.
+inline constexpr std::uint32_t kMaxQueueDepth = 1u << 20;
+
+/// Daemon response: what happened to a submitted page.
+struct PageOutcome {
+  std::uint64_t page_id = 0;
+  std::uint64_t terminal_id = 0;
+  PageOutcomeKind outcome = PageOutcomeKind::kServed;
+  std::uint64_t queue_delay_slots = 0;  ///< slots spent queued before verdict
+  std::uint32_t queue_depth = 0;        ///< cell queue depth at verdict time
+
+  friend bool operator==(const PageOutcome&, const PageOutcome&) = default;
+};
+
 /// Serializes one message into a framed byte vector.
 std::vector<std::uint8_t> encode(const LocationUpdate& message);
 std::vector<std::uint8_t> encode(const PageRequest& message);
 std::vector<std::uint8_t> encode(const PageResponse& message);
+std::vector<std::uint8_t> encode(const PageSubmit& message);
+std::vector<std::uint8_t> encode(const PageOutcome& message);
 
 /// Peeks the message type of a framed buffer (validates version + CRC).
 MessageType peek_type(std::span<const std::uint8_t> frame);
@@ -76,11 +117,15 @@ MessageType peek_type(std::span<const std::uint8_t> frame);
 LocationUpdate decode_location_update(std::span<const std::uint8_t> frame);
 PageRequest decode_page_request(std::span<const std::uint8_t> frame);
 PageResponse decode_page_response(std::span<const std::uint8_t> frame);
+PageSubmit decode_page_submit(std::span<const std::uint8_t> frame);
+PageOutcome decode_page_outcome(std::span<const std::uint8_t> frame);
 
 /// Encoded sizes without materializing the frame — used by the simulator's
 /// air-interface byte accounting.
 std::size_t encoded_size(const LocationUpdate& message);
 std::size_t encoded_size(const PageRequest& message);
 std::size_t encoded_size(const PageResponse& message);
+std::size_t encoded_size(const PageSubmit& message);
+std::size_t encoded_size(const PageOutcome& message);
 
 }  // namespace pcn::proto

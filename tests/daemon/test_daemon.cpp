@@ -1,0 +1,379 @@
+// Pcnd slot-loop semantics: update/page routing, the bounded-queue
+// verdict paths (served / duplicate / dropped / expired / unknown),
+// page accounting identities, and the determinism contract — counters,
+// delay histograms and sampled flight recordings bit-identical at any
+// worker-thread count.
+#include "pcn/daemon/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcn/daemon/load_gen.hpp"
+#include "pcn/daemon/daemon_report.hpp"
+#include "pcn/obs/trace_export.hpp"
+
+namespace pcn::daemon {
+namespace {
+
+DaemonRequest update_request(std::uint64_t terminal, std::uint64_t sequence,
+                             geometry::Cell cell) {
+  DaemonRequest request;
+  request.kind = DaemonRequest::Kind::kUpdate;
+  request.update.terminal_id = terminal;
+  request.update.sequence = sequence;
+  request.update.cell = cell;
+  request.update.containment_radius = 2;
+  return request;
+}
+
+DaemonRequest page_request(std::uint64_t page_id, std::uint64_t terminal) {
+  DaemonRequest request;
+  request.kind = DaemonRequest::Kind::kPage;
+  request.page_id = page_id;
+  request.terminal_id = terminal;
+  return request;
+}
+
+PcndConfig base_config() {
+  PcndConfig config;
+  config.collect_outcomes = true;
+  return config;
+}
+
+TEST(Pcnd, UpdateRegistersTerminalAndSequenceDedups) {
+  Pcnd daemon(base_config());
+  ASSERT_TRUE(daemon.submit(update_request(7, 2, {3, -1})));
+  daemon.run_slots(1);
+  ASSERT_TRUE(daemon.submit(update_request(7, 1, {9, 9})));  // stale
+  daemon.run_slots(1);
+
+  EXPECT_EQ(daemon.terminal_count(), 1u);
+  const Pcnd::TerminalInfo info = daemon.terminal_info(7);
+  ASSERT_TRUE(info.known);
+  EXPECT_EQ(info.center, (geometry::Cell{3, -1}));
+  EXPECT_EQ(info.sequence, 2u);
+
+  const obs::MetricsSnapshot snapshot = daemon.metrics_registry().snapshot();
+  EXPECT_EQ(snapshot.counter_value("daemon.update.applied"), 1);
+  EXPECT_EQ(snapshot.counter_value("daemon.update.stale"), 1);
+  EXPECT_FALSE(daemon.terminal_info(8).known);
+}
+
+TEST(Pcnd, PageForKnownTerminalIsServed) {
+  PcndConfig config = base_config();
+  config.sla_delay_slots = 4;
+  Pcnd daemon(config);
+  ASSERT_TRUE(daemon.submit(update_request(7, 1, {0, 0})));
+  // Update and page land in the same slot; INGEST sorts updates before
+  // pages for a terminal, so the page finds the center cell.
+  ASSERT_TRUE(daemon.submit(page_request(100, 7)));
+  daemon.run_slots(1);
+
+  std::vector<PageOutcomeEvent> outcomes;
+  daemon.drain_outcomes(&outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].page_id, 100u);
+  EXPECT_EQ(outcomes[0].terminal_id, 7u);
+  EXPECT_EQ(outcomes[0].kind, proto::PageOutcomeKind::kServed);
+  EXPECT_EQ(outcomes[0].queue_delay_slots, 0);
+  EXPECT_EQ(outcomes[0].slot, 0);
+
+  const obs::MetricsSnapshot snapshot = daemon.metrics_registry().snapshot();
+  EXPECT_EQ(snapshot.counter_value("daemon.page.queued"), 1);
+  EXPECT_EQ(snapshot.counter_value("daemon.page.served"), 1);
+  EXPECT_EQ(snapshot.counter_value("daemon.page.sla_violation"), 0);
+  EXPECT_EQ(daemon.queue_depth({0, 0}), 0);
+}
+
+TEST(Pcnd, UnknownTerminalPageDropsImmediately) {
+  Pcnd daemon(base_config());
+  ASSERT_TRUE(daemon.submit(page_request(5, 1234)));
+  daemon.run_slots(1);
+
+  std::vector<PageOutcomeEvent> outcomes;
+  daemon.drain_outcomes(&outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].kind, proto::PageOutcomeKind::kDropped);
+
+  const obs::MetricsSnapshot snapshot = daemon.metrics_registry().snapshot();
+  EXPECT_EQ(snapshot.counter_value("daemon.page.unknown_terminal"), 1);
+  EXPECT_EQ(snapshot.counter_value("daemon.page.queued"), 0);
+  EXPECT_EQ(snapshot.counter_value("daemon.page.sla_violation"), 1);
+}
+
+TEST(Pcnd, DuplicatePageRefreshesNotDuplicates) {
+  Pcnd daemon(base_config());
+  ASSERT_TRUE(daemon.submit(update_request(7, 1, {0, 0})));
+  ASSERT_TRUE(daemon.submit(page_request(1, 7)));
+  ASSERT_TRUE(daemon.submit(page_request(2, 7)));
+  // Both submits land in slot 0 before any drain, so the second is a
+  // duplicate regardless of the slot budget.
+  daemon.run_slots(1);
+
+  const obs::MetricsSnapshot snapshot = daemon.metrics_registry().snapshot();
+  EXPECT_EQ(snapshot.counter_value("daemon.page.queued"), 1);
+  EXPECT_EQ(snapshot.counter_value("daemon.page.duplicate"), 1);
+  EXPECT_EQ(snapshot.counter_value("daemon.page.served"), 1);
+}
+
+TEST(Pcnd, FullQueueDropsAndExpiryFiresUnderStarvedBudget) {
+  PcndConfig config = base_config();
+  // Budget ~1 page every 4 slots, tiny queue, short lifetime: with 4
+  // terminals paged in one cell, some are dropped at the bound and the
+  // rest mostly expire before the channel gets credit.
+  config.capacity = capacity::PagingCapacityModel(1, 4.0);
+  config.queue.max_pending = 2;
+  config.queue.lifetime_slots = 2;
+  config.queue.groups = 1;
+  Pcnd daemon(config);
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    ASSERT_TRUE(daemon.submit(update_request(t, 1, {0, 0})));
+    ASSERT_TRUE(daemon.submit(page_request(10 + t, t)));
+  }
+  daemon.run_slots(8);
+
+  const obs::MetricsSnapshot snapshot = daemon.metrics_registry().snapshot();
+  EXPECT_EQ(snapshot.counter_value("daemon.page.queued"), 2);
+  EXPECT_EQ(snapshot.counter_value("daemon.page.dropped"), 2);
+  EXPECT_EQ(snapshot.counter_value("daemon.page.queued") +
+                snapshot.counter_value("daemon.page.dropped"),
+            4);
+  EXPECT_EQ(snapshot.counter_value("daemon.page.served") +
+                snapshot.counter_value("daemon.page.expired"),
+            2);
+  EXPECT_GE(snapshot.counter_value("daemon.page.expired"), 1);
+  EXPECT_EQ(daemon.max_queue_depth(), 2);
+
+  std::vector<PageOutcomeEvent> outcomes;
+  daemon.drain_outcomes(&outcomes);
+  EXPECT_EQ(outcomes.size(), 4u);
+}
+
+TEST(Pcnd, RingFullRejectsAndCounts) {
+  PcndConfig config = base_config();
+  config.ring_capacity = 4;
+  Pcnd daemon(config);
+  int accepted = 0;
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    if (daemon.submit(update_request(t, 1, {0, 0}))) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4);
+  const obs::MetricsSnapshot snapshot = daemon.metrics_registry().snapshot();
+  EXPECT_EQ(snapshot.counter_value("daemon.request.rejected_ring_full"), 2);
+  EXPECT_EQ(snapshot.counter_value("daemon.request.update"), 4);
+}
+
+TEST(Pcnd, SlaCountsLateServes) {
+  PcndConfig config = base_config();
+  config.capacity = capacity::PagingCapacityModel(1, 2.0);  // 1 page / 2 slots
+  config.sla_delay_slots = 1;
+  config.queue.groups = 1;
+  Pcnd daemon(config);
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    ASSERT_TRUE(daemon.submit(update_request(t, 1, {0, 0})));
+    ASSERT_TRUE(daemon.submit(page_request(10 + t, t)));
+  }
+  daemon.run_slots(8);
+
+  const obs::MetricsSnapshot snapshot = daemon.metrics_registry().snapshot();
+  EXPECT_EQ(snapshot.counter_value("daemon.page.served"), 3);
+  // Serves land in slots 1, 3, 5 -> delays 1, 3, 5; two exceed the
+  // 1-slot SLA.
+  EXPECT_EQ(snapshot.counter_value("daemon.page.sla_violation"), 2);
+  const std::vector<std::int64_t> delays = daemon.delay_histogram();
+  ASSERT_EQ(delays.size(), 6u);
+  EXPECT_EQ(delays[1], 1);
+  EXPECT_EQ(delays[3], 1);
+  EXPECT_EQ(delays[5], 1);
+}
+
+TEST(Pcnd, DrainOutcomesRequiresCollectFlag) {
+  PcndConfig config;  // collect_outcomes = false
+  Pcnd daemon(config);
+  std::vector<PageOutcomeEvent> outcomes;
+  EXPECT_THROW(daemon.drain_outcomes(&outcomes), InvalidArgument);
+}
+
+TEST(Pcnd, RejectsBadConfig) {
+  PcndConfig config;
+  config.threads = 0;
+  EXPECT_THROW(Pcnd{config}, InvalidArgument);
+  config = PcndConfig{};
+  config.terminal_shards = 0;
+  EXPECT_THROW(Pcnd{config}, InvalidArgument);
+  config = PcndConfig{};
+  config.queue_shards = 0;
+  EXPECT_THROW(Pcnd{config}, InvalidArgument);
+  config = PcndConfig{};
+  config.sla_delay_slots = -1;
+  EXPECT_THROW(Pcnd{config}, InvalidArgument);
+}
+
+TEST(Pcnd, FlightRecorderCapturesPageLifecycles) {
+  PcndConfig config = base_config();
+  config.record_flight = true;
+  config.flight_sample_every = 1;  // sample every page
+  Pcnd daemon(config);
+  ASSERT_TRUE(daemon.submit(update_request(7, 1, {0, 0})));
+  ASSERT_TRUE(daemon.submit(page_request(100, 7)));
+  ASSERT_TRUE(daemon.submit(page_request(5, 1234)));  // unknown -> dropped
+  daemon.run_slots(1);
+
+  ASSERT_NE(daemon.flight_recorder(), nullptr);
+  const std::vector<obs::FlightEvent> events =
+      daemon.flight_recorder()->merged();
+  int queued = 0;
+  int served = 0;
+  int dropped = 0;
+  for (const obs::FlightEvent& event : events) {
+    switch (event.type) {
+      case obs::FlightEventType::kPageQueued:
+        ++queued;
+        EXPECT_EQ(event.terminal, 7);
+        break;
+      case obs::FlightEventType::kPageServed:
+        ++served;
+        EXPECT_EQ(event.call, 100);
+        break;
+      case obs::FlightEventType::kPageDropped:
+        ++dropped;
+        EXPECT_EQ(event.terminal, 1234);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(queued, 1);
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(dropped, 1);
+}
+
+/// Collapses a run into a comparable fingerprint: every counter, the
+/// exact delay histogram, and the merged flight recording.
+std::string run_fingerprint(int threads, std::uint64_t seed) {
+  PcndConfig config;
+  config.threads = threads;
+  config.capacity = capacity::PagingCapacityModel(1, 1.0);
+  config.queue.max_pending = 8;
+  config.queue.lifetime_slots = 12;
+  config.sla_delay_slots = 4;
+  config.record_flight = true;
+  config.flight_sample_every = 4;
+  Pcnd daemon(config);
+
+  ClosedLoopConfig workload_config;
+  workload_config.seed = seed;
+  workload_config.terminals = 600;
+  workload_config.region = 6;  // 36 cells -> well past the capacity knee
+  workload_config.call_prob = 0.1;
+  workload_config.threshold = 2;
+  ClosedLoopWorkload workload(workload_config);
+  daemon.run_slots(48, &workload);
+
+  std::string fingerprint;
+  const obs::MetricsSnapshot snapshot = daemon.metrics_registry().snapshot();
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "daemon.run.wall_ns") continue;  // wall time varies
+    fingerprint += counter.name + "=" + std::to_string(counter.value) + "\n";
+  }
+  for (const std::int64_t count : daemon.delay_histogram()) {
+    fingerprint += std::to_string(count) + ",";
+  }
+  fingerprint += "\n";
+  fingerprint += obs::to_trace_jsonl({}, daemon.flight_recorder()->merged());
+  fingerprint += "outstanding=" + std::to_string(workload.outstanding_count());
+  fingerprint +=
+      " served=" + std::to_string(workload.outcomes_served()) +
+      " dropped=" + std::to_string(workload.outcomes_dropped()) +
+      " expired=" + std::to_string(workload.outcomes_expired());
+  return fingerprint;
+}
+
+TEST(Pcnd, BitIdenticalResultsAcrossThreadCounts) {
+  const std::string one = run_fingerprint(1, 42);
+  const std::string two = run_fingerprint(2, 42);
+  const std::string four = run_fingerprint(4, 42);
+  const std::string five = run_fingerprint(5, 42);  // odd, non-divisor
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, five);
+  // Sanity: the scenario actually exercised the overload paths.
+  EXPECT_NE(one.find("daemon.page.served"), std::string::npos);
+}
+
+TEST(Pcnd, ClosedLoopWorkloadKeepsOnePageInFlight) {
+  PcndConfig config;
+  config.capacity = capacity::PagingCapacityModel(1, 2.0);
+  config.queue.max_pending = 4;
+  config.queue.lifetime_slots = 6;
+  Pcnd daemon(config);
+
+  ClosedLoopConfig workload_config;
+  workload_config.terminals = 200;
+  workload_config.region = 4;
+  workload_config.call_prob = 0.2;
+  ClosedLoopWorkload workload(workload_config);
+  daemon.run_slots(40, &workload);
+
+  // Conservation: every submitted page is either settled back to the
+  // workload or still in flight.
+  EXPECT_EQ(workload.pages_submitted(),
+            workload.outcomes_served() + workload.outcomes_dropped() +
+                workload.outcomes_expired() + workload.outstanding_count());
+  EXPECT_GT(workload.pages_submitted(), 0);
+  EXPECT_GT(workload.updates_sent(), 0);
+
+  // Daemon-side accounting: offered = queued + duplicate + dropped +
+  // unknown, and settled = served + expired + dropped + unknown.
+  const obs::MetricsSnapshot snapshot = daemon.metrics_registry().snapshot();
+  const std::int64_t offered =
+      snapshot.counter_value("daemon.request.page");
+  EXPECT_EQ(offered, workload.pages_submitted());
+  EXPECT_EQ(offered, snapshot.counter_value("daemon.page.queued") +
+                         snapshot.counter_value("daemon.page.duplicate") +
+                         snapshot.counter_value("daemon.page.dropped") +
+                         snapshot.counter_value("daemon.page.unknown_terminal"));
+  // The closed-loop generator registers a terminal before paging it.
+  EXPECT_EQ(snapshot.counter_value("daemon.page.unknown_terminal"), 0);
+}
+
+TEST(DaemonReport, AccountsAndSerializes) {
+  PcndConfig config;
+  config.capacity = capacity::PagingCapacityModel(1, 1.0);
+  config.sla_delay_slots = 4;
+  Pcnd daemon(config);
+  ClosedLoopConfig workload_config;
+  workload_config.terminals = 300;
+  workload_config.region = 4;
+  workload_config.call_prob = 0.15;
+  ClosedLoopWorkload workload(workload_config);
+  daemon.run_slots(32, &workload);
+
+  const DaemonRunReport report = make_daemon_report(
+      daemon, workload_config.seed,
+      static_cast<std::int64_t>(workload_config.terminals));
+  EXPECT_EQ(report.slots, 32);
+  EXPECT_EQ(report.terminals, 300);
+  EXPECT_EQ(report.pages_offered,
+            report.pages_queued + report.pages_duplicate +
+                report.pages_dropped + report.pages_unknown);
+  EXPECT_GT(report.pages_served, 0);
+  EXPECT_GE(report.drop_rate, 0.0);
+  EXPECT_LE(report.drop_rate, 1.0);
+  EXPECT_GE(report.delay_p99, report.delay_p50);
+  EXPECT_GE(report.delay_max, report.delay_p99);
+
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"schema\":\"pcn.run_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"daemon\""), std::string::npos);
+  EXPECT_NE(json.find("\"drop_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_delay_slots\""), std::string::npos);
+  EXPECT_NE(json.find("\"sla\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcn::daemon

@@ -1,0 +1,162 @@
+// Deterministic overload soak (tier 2): pcnd under a closed-loop fleet
+// offering roughly twice the paging-channel capacity, long enough for
+// the bounded queues to reach their stationary overloaded regime.
+//
+// What must hold:
+//   * bit-identical results at 1 and 4 worker threads — every counter,
+//     the exact queueing-delay histogram, the merged flight recording,
+//     and the workload-side tallies;
+//   * the run report lands in the golden overload band: a real drop
+//     rate (the channel is over capacity) that still serves a majority
+//     of the offered load at 2x (the queue smooths bursts, it does not
+//     collapse);
+//   * page accounting closes exactly — offered = queued + duplicate +
+//     dropped + unknown, settled + in-flight = submitted.
+//
+// Scale knobs (for run_checks smoke): PCN_SOAK_TERMINALS, PCN_SOAK_SLOTS.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "pcn/daemon/daemon.hpp"
+#include "pcn/daemon/daemon_report.hpp"
+#include "pcn/daemon/load_gen.hpp"
+#include "pcn/obs/trace_export.hpp"
+
+namespace pcn::daemon {
+namespace {
+
+std::int64_t env_or(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && *value != '\0') ? std::atoll(value) : fallback;
+}
+
+struct SoakResult {
+  DaemonRunReport report;
+  std::vector<std::int64_t> delay_histogram;
+  std::string flight_jsonl;
+  std::int64_t workload_submitted = 0;
+  std::int64_t workload_served = 0;
+  std::int64_t workload_dropped = 0;
+  std::int64_t workload_expired = 0;
+  std::int64_t workload_outstanding = 0;
+};
+
+SoakResult run_soak(int threads) {
+  const std::int64_t terminals = env_or("PCN_SOAK_TERMINALS", 8000);
+  const std::int64_t slots = env_or("PCN_SOAK_SLOTS", 400);
+  constexpr int kRegion = 16;  // 256 cells
+  constexpr double kOfferedMultiple = 2.0;
+
+  PcndConfig config;
+  config.threads = threads;
+  config.capacity = capacity::PagingCapacityModel(1, 1.0);  // 1 page/slot
+  config.queue.max_pending = 8;
+  config.queue.lifetime_slots = 16;
+  config.queue.groups = 4;
+  config.sla_delay_slots = 8;
+  config.record_flight = true;
+  config.flight_sample_every = 64;
+  Pcnd daemon(config);
+
+  ClosedLoopConfig workload_config;
+  workload_config.seed = 2026;
+  workload_config.terminals = static_cast<std::uint64_t>(terminals);
+  workload_config.region = kRegion;
+  workload_config.move_prob = 0.2;
+  // Offered pages/slot = terminals * call_prob; pin it to 2x the total
+  // channel capacity of region^2 cells x 1 page/slot.
+  workload_config.call_prob =
+      kOfferedMultiple * kRegion * kRegion / static_cast<double>(terminals);
+  workload_config.threshold = 3;
+  ClosedLoopWorkload workload(workload_config);
+
+  daemon.run_slots(slots, &workload);
+
+  SoakResult result;
+  result.report =
+      make_daemon_report(daemon, workload_config.seed, terminals);
+  result.delay_histogram = daemon.delay_histogram();
+  result.flight_jsonl =
+      obs::to_trace_jsonl({}, daemon.flight_recorder()->merged());
+  result.workload_submitted = workload.pages_submitted();
+  result.workload_served = workload.outcomes_served();
+  result.workload_dropped = workload.outcomes_dropped();
+  result.workload_expired = workload.outcomes_expired();
+  result.workload_outstanding = workload.outstanding_count();
+  return result;
+}
+
+/// Every deterministic counter in the snapshot (wall time excluded).
+std::string counter_fingerprint(const DaemonRunReport& report) {
+  std::string fingerprint;
+  for (const auto& counter : report.metrics.counters) {
+    if (counter.name == "daemon.run.wall_ns") continue;
+    fingerprint +=
+        counter.name + "=" + std::to_string(counter.value) + "\n";
+  }
+  return fingerprint;
+}
+
+TEST(DaemonSoak, TwoTimesCapacityOverloadIsDeterministicAcrossThreads) {
+  const SoakResult one = run_soak(1);
+  const SoakResult four = run_soak(4);
+
+  // Bit-identical counters, delay distribution, flight recording and
+  // workload tallies at both thread counts.
+  EXPECT_EQ(counter_fingerprint(one.report), counter_fingerprint(four.report));
+  EXPECT_EQ(one.delay_histogram, four.delay_histogram);
+  EXPECT_EQ(one.flight_jsonl, four.flight_jsonl);
+  EXPECT_EQ(one.workload_submitted, four.workload_submitted);
+  EXPECT_EQ(one.workload_served, four.workload_served);
+  EXPECT_EQ(one.workload_dropped, four.workload_dropped);
+  EXPECT_EQ(one.workload_expired, four.workload_expired);
+  EXPECT_EQ(one.workload_outstanding, four.workload_outstanding);
+  EXPECT_EQ(one.report.pages_served, four.report.pages_served);
+  EXPECT_EQ(one.report.pages_dropped, four.report.pages_dropped);
+  EXPECT_EQ(one.report.pages_expired, four.report.pages_expired);
+  EXPECT_EQ(one.report.max_queue_depth, four.report.max_queue_depth);
+  EXPECT_EQ(one.report.sla_violations, four.report.sla_violations);
+
+  const DaemonRunReport& report = one.report;
+
+  // The scenario is genuinely past the knee...
+  EXPECT_GT(report.pages_offered, 0);
+  EXPECT_GT(report.pages_dropped + report.pages_expired, 0);
+  // ...the golden overload band: at 2x offered load the bounded queue
+  // drops a visible share but still serves most pages (the closed loop
+  // throttles re-offers while a page is in flight).
+  EXPECT_GE(report.drop_rate, 0.01);
+  EXPECT_LE(report.drop_rate, 0.60);
+  EXPECT_GT(report.pages_served,
+            report.pages_dropped + report.pages_expired);
+
+  // Bounded-queue guarantees.
+  EXPECT_LE(report.max_queue_depth,
+            static_cast<std::int64_t>(report.queue_max_pending));
+  EXPECT_LE(report.delay_max, report.queue_lifetime_slots);
+  EXPECT_GE(report.delay_p99, report.delay_p50);
+
+  // Accounting closes exactly.
+  EXPECT_EQ(report.pages_offered,
+            report.pages_queued + report.pages_duplicate +
+                report.pages_dropped + report.pages_unknown);
+  EXPECT_EQ(report.pages_unknown, 0);
+  EXPECT_EQ(one.workload_submitted,
+            one.workload_served + one.workload_dropped +
+                one.workload_expired + one.workload_outstanding);
+  EXPECT_GE(report.sla_violations,
+            report.pages_dropped + report.pages_expired);
+
+  // The report serializes with the daemon schema markers.
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"schema\":\"pcn.run_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"daemon\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcn::daemon

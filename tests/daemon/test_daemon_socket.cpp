@@ -1,0 +1,225 @@
+// The Unix-socket front end: length-prefixed proto frames in, the same
+// DaemonRequest ring as in-process producers, PageOutcome frames routed
+// back to the submitting connection; malformed frames are counted and
+// the connection survives them.
+#include "pcn/daemon/socket_server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pcn/proto/messages.hpp"
+
+namespace pcn::daemon {
+namespace {
+
+std::string socket_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+int connect_client(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  EXPECT_LT(path.size(), sizeof(address.sun_path));
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof(address)),
+            0)
+      << "connect(" << path << "): " << std::strerror(errno);
+  return fd;
+}
+
+void send_frame(int fd, const std::vector<std::uint8_t>& frame) {
+  const auto length = static_cast<std::uint32_t>(frame.size());
+  std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(length & 0xff),
+      static_cast<std::uint8_t>((length >> 8) & 0xff),
+      static_cast<std::uint8_t>((length >> 16) & 0xff),
+      static_cast<std::uint8_t>((length >> 24) & 0xff),
+  };
+  ASSERT_EQ(::write(fd, prefix, 4), 4);
+  ASSERT_EQ(::write(fd, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+}
+
+bool read_exactly(int fd, std::uint8_t* buffer, std::size_t length) {
+  std::size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::read(fd, buffer + done, length - done);
+    if (n <= 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> recv_frame(int fd) {
+  std::uint8_t prefix[4];
+  if (!read_exactly(fd, prefix, 4)) return {};
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(prefix[0]) |
+      (static_cast<std::uint32_t>(prefix[1]) << 8) |
+      (static_cast<std::uint32_t>(prefix[2]) << 16) |
+      (static_cast<std::uint32_t>(prefix[3]) << 24);
+  std::vector<std::uint8_t> frame(length);
+  if (!read_exactly(fd, frame.data(), frame.size())) return {};
+  return frame;
+}
+
+/// The reader threads are asynchronous; wait until `counter` reaches
+/// `expected` before advancing the slot loop.
+void await_counter(const Pcnd& daemon, const char* counter,
+                   std::int64_t expected) {
+  for (int i = 0; i < 5000; ++i) {
+    if (daemon.metrics_registry().snapshot().counter_value(counter) >=
+        expected) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << counter << " never reached " << expected;
+}
+
+TEST(SocketServer, RequiresOutcomeCollection) {
+  PcndConfig config;  // collect_outcomes = false
+  Pcnd daemon(config);
+  EXPECT_THROW(SocketServer(&daemon, socket_path("pcnd_no_outcomes.sock")),
+               InvalidArgument);
+}
+
+TEST(SocketServer, RoutesRequestsInAndOutcomesBack) {
+  PcndConfig config;
+  config.collect_outcomes = true;
+  Pcnd daemon(config);
+  SocketServer server(&daemon, socket_path("pcnd_roundtrip.sock"));
+  server.start();
+
+  const int fd = connect_client(server.path());
+  proto::LocationUpdate update;
+  update.terminal_id = 7;
+  update.sequence = 1;
+  update.cell = {2, -1};
+  update.containment_radius = 3;
+  send_frame(fd, proto::encode(update));
+  proto::PageSubmit submit;
+  submit.page_id = 100;
+  submit.terminal_id = 7;
+  send_frame(fd, proto::encode(submit));
+
+  await_counter(daemon, "daemon.socket.frames_in", 2);
+  daemon.run_slots(1);
+  EXPECT_EQ(server.flush_outcomes(), 1u);
+
+  const std::vector<std::uint8_t> frame = recv_frame(fd);
+  ASSERT_FALSE(frame.empty());
+  const proto::PageOutcome outcome = proto::decode_page_outcome(frame);
+  EXPECT_EQ(outcome.page_id, 100u);
+  EXPECT_EQ(outcome.terminal_id, 7u);
+  EXPECT_EQ(outcome.outcome, proto::PageOutcomeKind::kServed);
+  EXPECT_EQ(outcome.queue_delay_slots, 0u);
+
+  const Pcnd::TerminalInfo info = daemon.terminal_info(7);
+  EXPECT_TRUE(info.known);
+  EXPECT_EQ(info.center, (geometry::Cell{2, -1}));
+
+  ::close(fd);
+  server.stop();
+  EXPECT_EQ(server.connections_accepted(), 1u);
+}
+
+TEST(SocketServer, BadFramesAreCountedAndTheConnectionSurvives) {
+  PcndConfig config;
+  config.collect_outcomes = true;
+  Pcnd daemon(config);
+  SocketServer server(&daemon, socket_path("pcnd_badframe.sock"));
+  server.start();
+
+  const int fd = connect_client(server.path());
+  // Well-framed garbage: a length prefix followed by junk bytes.
+  send_frame(fd, {0xde, 0xad, 0xbe, 0xef, 0x00});
+  await_counter(daemon, "daemon.socket.decode_error", 1);
+
+  // A PageResponse is a valid proto frame of an un-servable type.
+  proto::PageResponse response;
+  response.page_id = 1;
+  response.terminal_id = 2;
+  response.cell = {0, 0};
+  send_frame(fd, proto::encode(response));
+  await_counter(daemon, "daemon.socket.decode_error", 2);
+
+  // The connection still works: an unknown-terminal page round-trips to
+  // a kDropped outcome.
+  proto::PageSubmit submit;
+  submit.page_id = 9;
+  submit.terminal_id = 555;
+  send_frame(fd, proto::encode(submit));
+  await_counter(daemon, "daemon.socket.frames_in", 3);
+  daemon.run_slots(1);
+  EXPECT_EQ(server.flush_outcomes(), 1u);
+
+  const std::vector<std::uint8_t> frame = recv_frame(fd);
+  ASSERT_FALSE(frame.empty());
+  const proto::PageOutcome outcome = proto::decode_page_outcome(frame);
+  EXPECT_EQ(outcome.page_id, 9u);
+  EXPECT_EQ(outcome.outcome, proto::PageOutcomeKind::kDropped);
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(SocketServer, TwoClientsGetTheirOwnOutcomes) {
+  PcndConfig config;
+  config.collect_outcomes = true;
+  Pcnd daemon(config);
+  SocketServer server(&daemon, socket_path("pcnd_two_clients.sock"));
+  server.start();
+
+  const int fd_a = connect_client(server.path());
+  const int fd_b = connect_client(server.path());
+
+  proto::LocationUpdate update;
+  update.terminal_id = 1;
+  update.sequence = 1;
+  update.cell = {0, 0};
+  send_frame(fd_a, proto::encode(update));
+  update.terminal_id = 2;
+  send_frame(fd_b, proto::encode(update));
+  await_counter(daemon, "daemon.socket.frames_in", 2);
+  daemon.run_slots(1);
+
+  proto::PageSubmit submit;
+  submit.page_id = 11;
+  submit.terminal_id = 1;
+  send_frame(fd_a, proto::encode(submit));
+  submit.page_id = 22;
+  submit.terminal_id = 2;
+  send_frame(fd_b, proto::encode(submit));
+  await_counter(daemon, "daemon.socket.frames_in", 4);
+  daemon.run_slots(1);
+  EXPECT_EQ(server.flush_outcomes(), 2u);
+
+  const proto::PageOutcome outcome_a =
+      proto::decode_page_outcome(recv_frame(fd_a));
+  const proto::PageOutcome outcome_b =
+      proto::decode_page_outcome(recv_frame(fd_b));
+  EXPECT_EQ(outcome_a.page_id, 11u);
+  EXPECT_EQ(outcome_a.terminal_id, 1u);
+  EXPECT_EQ(outcome_b.page_id, 22u);
+  EXPECT_EQ(outcome_b.terminal_id, 2u);
+
+  ::close(fd_a);
+  ::close(fd_b);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace pcn::daemon

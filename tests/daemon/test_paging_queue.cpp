@@ -1,0 +1,198 @@
+#include "pcn/daemon/paging_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace pcn::daemon {
+namespace {
+
+PendingPage page_for(std::uint64_t terminal, std::uint64_t page_id,
+                     std::int64_t slot) {
+  PendingPage page;
+  page.terminal_id = terminal;
+  page.page_id = page_id;
+  page.enqueued_slot = slot;
+  return page;
+}
+
+PagingQueueConfig single_group(std::size_t max_pending,
+                               std::int64_t lifetime) {
+  PagingQueueConfig config;
+  config.max_pending = max_pending;
+  config.lifetime_slots = lifetime;
+  config.groups = 1;
+  return config;
+}
+
+TEST(BoundedPagingQueue, ServesFifoWithinOneGroup) {
+  BoundedPagingQueue queue(single_group(8, 16));
+  EXPECT_EQ(queue.add(page_for(1, 10, 0)), EnqueueResult::kQueued);
+  EXPECT_EQ(queue.add(page_for(2, 11, 0)), EnqueueResult::kQueued);
+  EXPECT_EQ(queue.add(page_for(3, 12, 0)), EnqueueResult::kQueued);
+
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+  EXPECT_EQ(queue.drain(1, 2, &served, &expired), 2);
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0].page.page_id, 10u);
+  EXPECT_EQ(served[1].page.page_id, 11u);
+  EXPECT_EQ(served[0].served_slot, 1);
+  EXPECT_TRUE(expired.empty());
+  EXPECT_EQ(queue.size(), 1u);
+
+  EXPECT_EQ(queue.drain(2, 4, &served, &expired), 1);
+  EXPECT_EQ(served.back().page.page_id, 12u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BoundedPagingQueue, DepthBeforeCountsTheServedPageItself) {
+  BoundedPagingQueue queue(single_group(8, 16));
+  queue.add(page_for(1, 1, 0));
+  queue.add(page_for(2, 2, 0));
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+  queue.drain(0, 2, &served, &expired);
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0].depth_before, 2u);
+  EXPECT_EQ(served[1].depth_before, 1u);
+}
+
+TEST(BoundedPagingQueue, DuplicateIdentityRefreshesInPlace) {
+  BoundedPagingQueue queue(single_group(8, 4));
+  queue.add(page_for(1, 10, 0));
+  queue.add(page_for(2, 11, 3));
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Re-paging terminal 1 later refreshes its lifetime but keeps the
+  // original page id and FIFO position.
+  EXPECT_EQ(queue.add(page_for(1, 99, 3)), EnqueueResult::kRefreshed);
+  EXPECT_EQ(queue.size(), 2u);
+
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+  // Slot 6 is past the original expiry (0 + 4) but within the refreshed
+  // one (3 + 4): the entry must still be servable, and first in line.
+  queue.drain(6, 2, &served, &expired);
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_TRUE(expired.empty());
+  EXPECT_EQ(served[0].page.terminal_id, 1u);
+  EXPECT_EQ(served[0].page.page_id, 10u);  // original, not 99
+}
+
+TEST(BoundedPagingQueue, FullQueueRejectsNewButRefreshesPending) {
+  BoundedPagingQueue queue(single_group(2, 16));
+  EXPECT_EQ(queue.add(page_for(1, 1, 0)), EnqueueResult::kQueued);
+  EXPECT_EQ(queue.add(page_for(2, 2, 0)), EnqueueResult::kQueued);
+  EXPECT_EQ(queue.buffer_space(), 0u);
+
+  EXPECT_EQ(queue.add(page_for(3, 3, 0)), EnqueueResult::kFull);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_FALSE(queue.contains(3));
+
+  // osmo semantics: dedup applies before the capacity check, so an
+  // already-pending terminal refreshes even when the queue is full.
+  EXPECT_EQ(queue.add(page_for(1, 4, 1)), EnqueueResult::kRefreshed);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedPagingQueue, ExpiredPagesAreSweptNeverServed) {
+  BoundedPagingQueue queue(single_group(8, 2));
+  queue.add(page_for(1, 1, 0));  // servable through slot 2
+  queue.add(page_for(2, 2, 0));
+
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+  // Slot 3: both entries are past their lifetime.  The sweep reports
+  // them as expired without consuming the budget.
+  EXPECT_EQ(queue.drain(3, 5, &served, &expired), 0);
+  EXPECT_TRUE(served.empty());
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].page_id, 1u);
+  EXPECT_EQ(expired[1].page_id, 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BoundedPagingQueue, ExpiryBoundaryIsInclusive) {
+  BoundedPagingQueue queue(single_group(8, 2));
+  queue.add(page_for(1, 1, 0));
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+  // enqueued_slot + lifetime = 2: still servable in exactly slot 2.
+  EXPECT_EQ(queue.drain(2, 1, &served, &expired), 1);
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(BoundedPagingQueue, RoundRobinRotatesAcrossGroups) {
+  PagingQueueConfig config;
+  config.max_pending = 16;
+  config.lifetime_slots = 32;
+  config.groups = 2;
+  BoundedPagingQueue queue(config);
+  // Terminals 0/2 land in group 0, 1/3 in group 1.
+  queue.add(page_for(0, 10, 0));
+  queue.add(page_for(2, 11, 0));
+  queue.add(page_for(1, 20, 0));
+  queue.add(page_for(3, 21, 0));
+
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+  queue.drain(0, 4, &served, &expired);
+  ASSERT_EQ(served.size(), 4u);
+  // Alternating groups, FIFO within each.
+  EXPECT_EQ(served[0].page.page_id, 10u);
+  EXPECT_EQ(served[1].page.page_id, 20u);
+  EXPECT_EQ(served[2].page.page_id, 11u);
+  EXPECT_EQ(served[3].page.page_id, 21u);
+}
+
+TEST(BoundedPagingQueue, RotationResumesWhereTheLastDrainStopped) {
+  PagingQueueConfig config;
+  config.max_pending = 16;
+  config.lifetime_slots = 32;
+  config.groups = 2;
+  BoundedPagingQueue queue(config);
+  queue.add(page_for(0, 10, 0));  // group 0
+  queue.add(page_for(1, 20, 0));  // group 1
+  queue.add(page_for(3, 21, 0));  // group 1
+
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+  queue.drain(0, 1, &served, &expired);
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].page.page_id, 10u);
+
+  // The next drain starts with group 1 — group 0 being empty now must
+  // not matter, and one chatty group cannot be starved.
+  served.clear();
+  queue.drain(1, 1, &served, &expired);
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].page.page_id, 20u);
+}
+
+TEST(BoundedPagingQueue, BudgetZeroServesNothingButStillSweeps) {
+  BoundedPagingQueue queue(single_group(8, 1));
+  queue.add(page_for(1, 1, 0));
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+  EXPECT_EQ(queue.drain(5, 0, &served, &expired), 0);
+  EXPECT_TRUE(served.empty());
+  EXPECT_EQ(expired.size(), 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(BoundedPagingQueue, RejectsBadConfig) {
+  PagingQueueConfig config;
+  config.max_pending = 0;
+  EXPECT_THROW(BoundedPagingQueue{config}, InvalidArgument);
+  config = PagingQueueConfig{};
+  config.groups = 0;
+  EXPECT_THROW(BoundedPagingQueue{config}, InvalidArgument);
+  config = PagingQueueConfig{};
+  config.lifetime_slots = -1;
+  EXPECT_THROW(BoundedPagingQueue{config}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pcn::daemon

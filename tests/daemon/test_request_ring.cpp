@@ -1,0 +1,160 @@
+#include "pcn/daemon/request_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace pcn::daemon {
+namespace {
+
+DaemonRequest page_request(std::uint64_t page_id, std::uint64_t terminal) {
+  DaemonRequest request;
+  request.kind = DaemonRequest::Kind::kPage;
+  request.page_id = page_id;
+  request.terminal_id = terminal;
+  return request;
+}
+
+TEST(RequestRing, SingleThreadedFifo) {
+  RequestRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.try_push(page_request(i, i)));
+  }
+  DaemonRequest out;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.try_pop(&out));
+    EXPECT_EQ(out.page_id, i);
+  }
+  EXPECT_FALSE(ring.try_pop(&out));
+}
+
+TEST(RequestRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(RequestRing(5).capacity(), 8u);
+  EXPECT_EQ(RequestRing(8).capacity(), 8u);
+  EXPECT_EQ(RequestRing(1).capacity(), 2u);
+}
+
+TEST(RequestRing, FullRingRejectsInsteadOfBlocking) {
+  RequestRing ring(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.try_push(page_request(i, i)));
+  }
+  EXPECT_FALSE(ring.try_push(page_request(99, 99)));
+
+  // Popping one frees exactly one slot.
+  DaemonRequest out;
+  ASSERT_TRUE(ring.try_pop(&out));
+  EXPECT_TRUE(ring.try_push(page_request(100, 100)));
+  EXPECT_FALSE(ring.try_push(page_request(101, 101)));
+}
+
+TEST(RequestRing, PreservesBothPayloadShapes) {
+  RequestRing ring(4);
+  DaemonRequest update;
+  update.kind = DaemonRequest::Kind::kUpdate;
+  update.client = 7;
+  update.update.terminal_id = 42;
+  update.update.sequence = 3;
+  update.update.cell = {5, -2};
+  update.update.containment_radius = 4;
+  ASSERT_TRUE(ring.try_push(update));
+  ASSERT_TRUE(ring.try_push(page_request(11, 42)));
+
+  DaemonRequest out;
+  ASSERT_TRUE(ring.try_pop(&out));
+  EXPECT_EQ(out.kind, DaemonRequest::Kind::kUpdate);
+  EXPECT_EQ(out.client, 7u);
+  EXPECT_EQ(out.update.terminal_id, 42u);
+  EXPECT_EQ(out.update.sequence, 3u);
+  EXPECT_EQ(out.update.cell, (geometry::Cell{5, -2}));
+  EXPECT_EQ(out.update.containment_radius, 4u);
+  ASSERT_TRUE(ring.try_pop(&out));
+  EXPECT_EQ(out.kind, DaemonRequest::Kind::kPage);
+  EXPECT_EQ(out.page_id, 11u);
+}
+
+TEST(RequestRing, ConcurrentProducersLoseNoAcceptedPush) {
+  // 4 producers hammer a ring big enough to hold everything; every
+  // accepted push must surface exactly once on the consumer side.
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 2000;
+  RequestRing ring(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(p) * kPerProducer + i;
+        while (!ring.try_push(page_request(id, id))) {
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  std::set<std::uint64_t> seen;
+  DaemonRequest out;
+  while (ring.try_pop(&out)) {
+    EXPECT_TRUE(seen.insert(out.page_id).second)
+        << "duplicate delivery of " << out.page_id;
+  }
+  EXPECT_EQ(seen.size(), kProducers * kPerProducer);
+}
+
+TEST(RequestRing, ContendedBoundedRingDeliversEveryAcceptedPush) {
+  // A tiny ring under contention: pushes may be rejected, but accepted
+  // ones are never lost or duplicated.
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kAttempts = 5000;
+  RequestRing ring(8);
+  std::vector<std::vector<std::uint64_t>> accepted(kProducers);
+  std::set<std::uint64_t> popped;
+  std::atomic<bool> done{false};
+
+  std::thread consumer([&] {
+    DaemonRequest out;
+    for (;;) {
+      if (ring.try_pop(&out)) {
+        EXPECT_TRUE(popped.insert(out.page_id).second);
+      } else if (done.load(std::memory_order_acquire)) {
+        while (ring.try_pop(&out)) {
+          EXPECT_TRUE(popped.insert(out.page_id).second);
+        }
+        break;
+      }
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kAttempts; ++i) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(p) * kAttempts + i + 1;
+        if (ring.try_push(page_request(id, id))) {
+          accepted[static_cast<std::size_t>(p)].push_back(id);
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  std::size_t accepted_total = 0;
+  for (const auto& ids : accepted) {
+    accepted_total += ids.size();
+    for (const std::uint64_t id : ids) {
+      EXPECT_TRUE(popped.count(id)) << "accepted push lost: " << id;
+    }
+  }
+  EXPECT_EQ(popped.size(), accepted_total);
+}
+
+}  // namespace
+}  // namespace pcn::daemon

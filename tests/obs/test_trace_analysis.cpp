@@ -122,6 +122,59 @@ TEST(TraceAnalysisTest, AggregatesSyntheticRecording) {
   EXPECT_EQ(analysis.violations[0].cycles, 4);
 }
 
+/// One daemon page-lifecycle event.
+FlightEvent page_event(FlightEventType type, std::int64_t slot,
+                       std::int32_t terminal, std::uint64_t page_id,
+                       std::int32_t delay_slots = 0) {
+  FlightEvent event;
+  event.slot = slot;
+  event.terminal = terminal;
+  event.type = type;
+  event.call = page_id;
+  event.cycle = delay_slots;
+  return event;
+}
+
+TEST(TraceAnalysisTest, DaemonPageEventsCountAndDroppedAlwaysViolates) {
+  TraceMeta meta;
+  meta.delay_cycles = 3;
+  std::vector<FlightEvent> events;
+  events.push_back(page_event(FlightEventType::kPageQueued, 0, 1, 10));
+  events.push_back(page_event(FlightEventType::kPageServed, 2, 1, 10, 2));
+  events.push_back(page_event(FlightEventType::kPageQueued, 0, 2, 11));
+  events.push_back(
+      page_event(FlightEventType::kPageServed, 5, 2, 11, 5));  // late
+  events.push_back(page_event(FlightEventType::kPageDropped, 1, 3, 12));
+  events.push_back(page_event(FlightEventType::kPageQueued, 1, 4, 13));
+  events.push_back(page_event(FlightEventType::kPageExpired, 9, 4, 13, 8));
+
+  const TraceAnalysis analysis = analyze_trace(meta, events);
+  EXPECT_EQ(analysis.pages_queued, 3);
+  EXPECT_EQ(analysis.pages_served, 2);
+  EXPECT_EQ(analysis.pages_dropped, 1);
+  EXPECT_EQ(analysis.pages_expired, 1);
+  // Violations: the 5-slot serve (> m=3), the drop, the expiry.
+  ASSERT_EQ(analysis.violations.size(), 3u);
+  EXPECT_EQ(analysis.violations[0].cycles, 5);
+  EXPECT_EQ(analysis.violations[1].cycles, SlaViolation::kDroppedPage);
+  EXPECT_EQ(analysis.violations[1].call, 12u);
+  EXPECT_EQ(analysis.violations[2].cycles, SlaViolation::kExpiredPage);
+}
+
+TEST(TraceAnalysisTest, DroppedPagesViolateEvenWithoutABound) {
+  TraceMeta meta;  // delay_cycles = 0 => no served-delay bound
+  std::vector<FlightEvent> events;
+  events.push_back(page_event(FlightEventType::kPageQueued, 0, 1, 10));
+  events.push_back(page_event(FlightEventType::kPageServed, 7, 1, 10, 7));
+  events.push_back(page_event(FlightEventType::kPageDropped, 1, 2, 11));
+
+  const TraceAnalysis analysis = analyze_trace(meta, events);
+  // The slow serve is fine without a bound; the drop never is.
+  ASSERT_EQ(analysis.violations.size(), 1u);
+  EXPECT_EQ(analysis.violations[0].cycles, SlaViolation::kDroppedPage);
+  EXPECT_EQ(analysis.violations[0].terminal, 2);
+}
+
 TEST(TraceAnalysisTest, UnboundedDelayMeansNoViolations) {
   TraceMeta meta;  // delay_cycles = 0 => unbounded
   std::vector<FlightEvent> events;

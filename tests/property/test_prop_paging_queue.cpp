@@ -1,0 +1,197 @@
+// Property suite for the daemon's bounded per-cell paging queue
+// (pcn/daemon/paging_queue.hpp), checked against a transparent model of
+// what the osmo-style queue promises:
+//
+//   * the depth never exceeds max_pending, and an enqueue at the bound is
+//     rejected (kFull) — never silently absorbed;
+//   * one entry per identity: a second add of a pending terminal refreshes
+//     (kRefreshed) instead of duplicating, and size() always equals the
+//     number of distinct pending terminals;
+//   * expired pages are never served: every ServedPage leaves within its
+//     lifetime, every expired page is reported with expiry < slot;
+//   * service is FIFO within a paging group, and every pop (serve or
+//     expiry) comes off the front of its group — the checker keeps a
+//     per-group deque of expected page ids and insists drains consume a
+//     front segment of it, serves in order.
+//
+// Queue parameters derive from the scenario (threshold -> capacity and
+// groups, delay bound -> lifetime), so shrinking walks toward a minimal
+// failing configuration; the op stream derives from the seed alone, and a
+// failure prints the usual PCN-REPRO line.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pcn/daemon/paging_queue.hpp"
+#include "support/property.hpp"
+
+namespace pcn::proptest {
+namespace {
+
+using pcn::daemon::BoundedPagingQueue;
+using pcn::daemon::EnqueueResult;
+using pcn::daemon::PagingQueueConfig;
+using pcn::daemon::PendingPage;
+using pcn::daemon::ServedPage;
+
+struct ModelEntry {
+  std::uint64_t terminal_id = 0;
+  std::uint64_t page_id = 0;
+};
+
+std::optional<std::string> check_paging_queue(const Scenario& scenario) {
+  PagingQueueConfig config;
+  config.max_pending = static_cast<std::size_t>(2 + scenario.threshold);
+  config.groups = 1 + scenario.threshold % 4;
+  config.lifetime_slots = scenario.bound.is_unbounded()
+                              ? 8
+                              : std::int64_t{2} * scenario.bound.cycles();
+  BoundedPagingQueue queue(config);
+
+  // The transparent model: who is pending, and per group, in what order.
+  std::set<std::uint64_t> pending;
+  std::vector<std::deque<ModelEntry>> groups(
+      static_cast<std::size_t>(config.groups));
+  const auto group_of = [&](std::uint64_t terminal) {
+    return static_cast<std::size_t>(
+        terminal % static_cast<std::uint64_t>(config.groups));
+  };
+
+  stats::Rng rng(scenario.seed);
+  std::uint64_t next_page_id = 1;
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+
+  for (std::int64_t slot = 0; slot < 60; ++slot) {
+    // A burst of submits from a small terminal pool, so dedup, group
+    // collisions and the capacity bound all trigger.
+    const std::uint64_t submits = rng.next_below(7);
+    for (std::uint64_t i = 0; i < submits; ++i) {
+      PendingPage page;
+      page.terminal_id = rng.next_below(12);
+      page.page_id = next_page_id++;
+      page.enqueued_slot = slot;
+      const bool was_pending = pending.count(page.terminal_id) > 0;
+      const bool was_full = queue.size() >= config.max_pending;
+      const EnqueueResult result = queue.add(page);
+      switch (result) {
+        case EnqueueResult::kQueued:
+          if (was_pending) return "duplicate identity accepted as new";
+          if (was_full) return "enqueue accepted past max_pending";
+          pending.insert(page.terminal_id);
+          groups[group_of(page.terminal_id)].push_back(
+              {page.terminal_id, page.page_id});
+          break;
+        case EnqueueResult::kRefreshed:
+          if (!was_pending) return "refresh of a terminal not pending";
+          break;
+        case EnqueueResult::kFull:
+          if (was_pending) return "pending terminal rejected as full";
+          if (!was_full) return "rejection below max_pending";
+          break;
+      }
+      if (queue.size() > config.max_pending) {
+        return "depth exceeded max_pending";
+      }
+      if (queue.size() != pending.size()) {
+        return "size() != distinct pending identities";
+      }
+      if (!queue.contains(page.terminal_id) &&
+          result != EnqueueResult::kFull) {
+        return "accepted page not reported by contains()";
+      }
+      if (queue.buffer_space() != config.max_pending - queue.size()) {
+        return "buffer_space() inconsistent with size()";
+      }
+    }
+
+    const int budget = static_cast<int>(rng.next_below(4));
+    served.clear();
+    expired.clear();
+    queue.drain(slot, budget, &served, &expired);
+
+    if (static_cast<int>(served.size()) > budget) {
+      return "drain served more than the slot budget";
+    }
+    for (const ServedPage& page : served) {
+      if (page.page.expiry_slot < slot) {
+        return "expired page was served";
+      }
+      if (page.served_slot != slot) return "served_slot != drain slot";
+    }
+    for (const PendingPage& page : expired) {
+      if (page.expiry_slot >= slot) {
+        return "unexpired page reported as expired";
+      }
+    }
+
+    // Every pop must come off the front of its group, serves in FIFO
+    // order.  Count pops per group, take that prefix of the model deque,
+    // and require (a) the popped page-id sets match, (b) the served
+    // subsequence of each group preserves deque order.
+    std::vector<std::vector<std::uint64_t>> popped(groups.size());
+    std::vector<std::vector<std::uint64_t>> served_per_group(groups.size());
+    for (const ServedPage& page : served) {
+      popped[group_of(page.page.terminal_id)].push_back(page.page.page_id);
+      served_per_group[group_of(page.page.terminal_id)].push_back(
+          page.page.page_id);
+    }
+    for (const PendingPage& page : expired) {
+      popped[group_of(page.terminal_id)].push_back(page.page_id);
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      auto& model = groups[g];
+      if (popped[g].size() > model.size()) {
+        return "drain popped more pages than the group held";
+      }
+      std::vector<std::uint64_t> prefix;
+      std::vector<std::uint64_t> prefix_in_order;
+      for (std::size_t i = 0; i < popped[g].size(); ++i) {
+        prefix.push_back(model[i].page_id);
+        prefix_in_order.push_back(model[i].page_id);
+      }
+      std::vector<std::uint64_t> popped_sorted = popped[g];
+      std::sort(popped_sorted.begin(), popped_sorted.end());
+      std::sort(prefix.begin(), prefix.end());
+      if (popped_sorted != prefix) {
+        return "drain consumed pages out of front-segment order";
+      }
+      // Served pages of this group, in served-vector order, must be the
+      // in-order subsequence of the consumed prefix (FIFO within group).
+      std::size_t cursor = 0;
+      for (const std::uint64_t page_id : served_per_group[g]) {
+        while (cursor < prefix_in_order.size() &&
+               prefix_in_order[cursor] != page_id) {
+          ++cursor;
+        }
+        if (cursor == prefix_in_order.size()) {
+          return "service broke FIFO order within a paging group";
+        }
+        ++cursor;
+      }
+      for (std::size_t i = 0; i < popped[g].size(); ++i) {
+        pending.erase(model.front().terminal_id);
+        model.pop_front();
+      }
+    }
+    if (queue.size() != pending.size()) {
+      return "size() diverged from the model after drain";
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(PropPagingQueue, BoundedDedupedFifoWithExpiry) {
+  PropertyOptions options;
+  options.scenarios = 40;
+  check_property("daemon/paging-queue", check_paging_queue, options);
+}
+
+}  // namespace
+}  // namespace pcn::proptest

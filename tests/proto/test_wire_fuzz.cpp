@@ -8,7 +8,10 @@
 //     any overread into a hard failure);
 //   * single-bit corruption, which the CRC-32 trailer detects by
 //     construction (CRC-32 catches all single-bit errors);
-//   * decoding a frame as the wrong message type.
+//   * decoding a frame as the wrong message type;
+//   * the daemon messages (PageSubmit / PageOutcome) through all of the
+//     above, plus value-range rejection: a well-framed PageOutcome with an
+//     oversized queue_depth or an unknown outcome kind must not decode.
 // Shrinking is disabled — the scenario parameters are irrelevant here,
 // only the seed feeds the payload stream.
 #include <gtest/gtest.h>
@@ -71,6 +74,25 @@ proto::PageResponse random_page_response(stats::Rng& rng) {
   message.page_id = random_unsigned(rng);
   message.terminal_id = random_unsigned(rng);
   message.cell = random_cell(rng);
+  return message;
+}
+
+proto::PageSubmit random_page_submit(stats::Rng& rng) {
+  proto::PageSubmit message;
+  message.page_id = random_unsigned(rng);
+  message.terminal_id = random_unsigned(rng);
+  return message;
+}
+
+proto::PageOutcome random_page_outcome(stats::Rng& rng) {
+  proto::PageOutcome message;
+  message.page_id = random_unsigned(rng);
+  message.terminal_id = random_unsigned(rng);
+  message.outcome =
+      static_cast<proto::PageOutcomeKind>(1 + rng.next_below(3));
+  message.queue_delay_slots = random_unsigned(rng);
+  message.queue_depth =
+      static_cast<std::uint32_t>(rng.next_below(proto::kMaxQueueDepth + 1));
   return message;
 }
 
@@ -157,6 +179,24 @@ std::optional<std::string> check_wire_fuzz(const Scenario& scenario) {
     return f;
   }
 
+  // Daemon messages ride the same frame machinery.
+  const proto::PageSubmit submit = random_page_submit(rng);
+  const proto::PageOutcome outcome = random_page_outcome(rng);
+  if (auto f = check_round_trip(submit, proto::MessageType::kPageSubmit,
+                                [](std::span<const std::uint8_t> bytes) {
+                                  return proto::decode_page_submit(bytes);
+                                },
+                                rng)) {
+    return f;
+  }
+  if (auto f = check_round_trip(outcome, proto::MessageType::kPageOutcome,
+                                [](std::span<const std::uint8_t> bytes) {
+                                  return proto::decode_page_outcome(bytes);
+                                },
+                                rng)) {
+    return f;
+  }
+
   // A structurally valid frame of one type must not decode as another.
   const std::vector<std::uint8_t> update_frame = proto::encode(update);
   if (auto f = expect_decode_error("cross-type decode", [&] {
@@ -166,6 +206,37 @@ std::optional<std::string> check_wire_fuzz(const Scenario& scenario) {
   }
   if (auto f = expect_decode_error("cross-type decode", [&] {
         proto::decode_page_response(proto::encode(request));
+      })) {
+    return f;
+  }
+  if (auto f = expect_decode_error("cross-type decode", [&] {
+        proto::decode_page_outcome(proto::encode(submit));
+      })) {
+    return f;
+  }
+  if (auto f = expect_decode_error("cross-type decode", [&] {
+        proto::decode_page_submit(proto::encode(outcome));
+      })) {
+    return f;
+  }
+
+  // Range validation: a well-framed PageOutcome whose queue_depth exceeds
+  // kMaxQueueDepth (the frame's CRC is valid — the *value* is absurd) and
+  // one whose outcome kind is unknown must both be rejected.
+  proto::PageOutcome oversized = outcome;
+  oversized.queue_depth =
+      proto::kMaxQueueDepth + 1 +
+      static_cast<std::uint32_t>(rng.next_below(1u << 10));
+  if (auto f = expect_decode_error("oversized queue depth", [&] {
+        proto::decode_page_outcome(proto::encode(oversized));
+      })) {
+    return f;
+  }
+  proto::PageOutcome unknown_kind = outcome;
+  unknown_kind.outcome = static_cast<proto::PageOutcomeKind>(
+      4 + rng.next_below(250));
+  if (auto f = expect_decode_error("unknown outcome kind", [&] {
+        proto::decode_page_outcome(proto::encode(unknown_kind));
       })) {
     return f;
   }

@@ -409,6 +409,15 @@ int cmd_trace_summary(const Args& args) {
               static_cast<long long>(analysis.updates),
               static_cast<long long>(analysis.updates_lost),
               static_cast<long long>(analysis.resets));
+  if (analysis.pages_queued > 0 || analysis.pages_served > 0 ||
+      analysis.pages_dropped > 0 || analysis.pages_expired > 0) {
+    std::printf("daemon pages  : %lld queued, %lld served, %lld dropped, "
+                "%lld expired\n",
+                static_cast<long long>(analysis.pages_queued),
+                static_cast<long long>(analysis.pages_served),
+                static_cast<long long>(analysis.pages_dropped),
+                static_cast<long long>(analysis.pages_expired));
+  }
   if (analysis.calls > 0) {
     std::printf("cycles-to-find: mean %.3f, p50 %d, p95 %d, p99 %d, max %d\n",
                 analysis.mean_cycles, analysis.p50, analysis.p95,
@@ -451,19 +460,40 @@ int cmd_trace_summary(const Args& args) {
     std::printf("model check   : skipped (%s)\n", comparison.reason.c_str());
   }
 
-  if (analysis.sla_bound > 0) {
-    std::printf("delay SLA     : bound m=%d, %zu violation%s\n",
-                analysis.sla_bound, analysis.violations.size(),
-                analysis.violations.size() == 1 ? "" : "s");
+  // Dropped/expired daemon pages violate any delay SLA (the callee is
+  // never found), so the tally must count them even with no bound m set.
+  if (analysis.sla_bound > 0 || !analysis.violations.empty()) {
+    if (analysis.sla_bound > 0) {
+      std::printf("delay SLA     : bound m=%d, %zu violation%s\n",
+                  analysis.sla_bound, analysis.violations.size(),
+                  analysis.violations.size() == 1 ? "" : "s");
+    } else {
+      std::printf("delay SLA     : unbounded, %zu violation%s "
+                  "(pages never served)\n",
+                  analysis.violations.size(),
+                  analysis.violations.size() == 1 ? "" : "s");
+    }
     const std::size_t shown =
         std::min<std::size_t>(analysis.violations.size(), 10);
     for (std::size_t i = 0; i < shown; ++i) {
       const pcn::obs::SlaViolation& v = analysis.violations[i];
-      std::printf("  VIOLATION: terminal %d call %llu at slot %lld took %d "
-                  "cycles (> %d)\n",
-                  v.terminal, static_cast<unsigned long long>(v.call),
-                  static_cast<long long>(v.slot), v.cycles,
-                  analysis.sla_bound);
+      if (v.cycles == pcn::obs::SlaViolation::kDroppedPage) {
+        std::printf("  VIOLATION: terminal %d page %llu at slot %lld "
+                    "dropped (queue full, never served)\n",
+                    v.terminal, static_cast<unsigned long long>(v.call),
+                    static_cast<long long>(v.slot));
+      } else if (v.cycles == pcn::obs::SlaViolation::kExpiredPage) {
+        std::printf("  VIOLATION: terminal %d page %llu at slot %lld "
+                    "expired in queue (never served)\n",
+                    v.terminal, static_cast<unsigned long long>(v.call),
+                    static_cast<long long>(v.slot));
+      } else {
+        std::printf("  VIOLATION: terminal %d call %llu at slot %lld took "
+                    "%d cycles (> %d)\n",
+                    v.terminal, static_cast<unsigned long long>(v.call),
+                    static_cast<long long>(v.slot), v.cycles,
+                    analysis.sla_bound);
+      }
     }
     if (shown < analysis.violations.size()) {
       std::printf("  ... %zu more\n", analysis.violations.size() - shown);

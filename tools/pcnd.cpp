@@ -1,0 +1,250 @@
+// pcnd — the bounded-paging-channel location-server daemon.
+//
+// Commands:
+//   run    drive the daemon with the built-in closed-loop workload for a
+//          fixed number of slots and report what the bounded paging
+//          channel did to the offered load (the overload experiment in a
+//          box); optionally emit a pcn.run_report.v1 JSON report and a
+//          pcn.trace.v1 flight trace of the page lifecycle events
+//   serve  bind a Unix-domain socket, accept LocationUpdate / PageSubmit
+//          frames (u32-LE length prefix + proto frame), run the slot loop
+//          at a fixed cadence, and stream PageOutcome verdicts back
+//
+// run flags:
+//   --terminals N      closed-loop terminals (default 100000)
+//   --slots N          slots to run (default 512)
+//   --threads N        worker threads (default 1; results identical)
+//   --seed N           workload seed (default 1)
+//   --dim {1|2}        geometry (default 2)
+//   --region N         torus width: ~N^2 cells in 2-D, N in 1-D
+//                      (default 64)
+//   --q F              per-slot move probability (default 0.2)
+//   --c F              per-slot page probability per idle terminal
+//                      (default 0.05)
+//   --d N              movement update threshold (default 3)
+//   --channels N       paging channels per cell (default 2)
+//   --service-slots F  slots one page message occupies (default 1.0)
+//   --queue-max N      bounded queue depth per cell (default 64)
+//   --lifetime N       page lifetime in slots (default 128)
+//   --groups N         round-robin paging groups (default 4)
+//   --sla N            queueing-delay SLA in slots (0 = none, default 8)
+//   --offered F        scale --c so offered load is F times the fleet's
+//                      aggregate paging capacity (overrides --c)
+//   --metrics-out F    write the pcn.run_report.v1 JSON report to F
+//                      ("-" = stdout)
+//   --trace-out F      record a page-lifecycle flight trace to F
+//   --trace-sample N   record 1 in N page lifecycles (default 8)
+//
+// serve flags: --socket PATH plus the daemon knobs above (no workload);
+//   --slots N          slots to run before exiting (default 1024)
+//   --slot-us N        microseconds of wall time per slot (default 1000)
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "pcn/cli/args.hpp"
+#include "pcn/daemon/daemon.hpp"
+#include "pcn/daemon/daemon_report.hpp"
+#include "pcn/daemon/load_gen.hpp"
+#include "pcn/daemon/socket_server.hpp"
+#include "pcn/obs/report.hpp"
+#include "pcn/obs/trace_export.hpp"
+
+namespace {
+
+using pcn::cli::Args;
+using pcn::cli::UsageError;
+
+constexpr const char* kUsage = R"(usage: pcnd <command> [flags]
+
+commands:
+  run    closed-loop overload run against the bounded paging channel
+  serve  Unix-socket daemon (LocationUpdate / PageSubmit in, PageOutcome out)
+
+run:   --terminals N --slots N --threads N --seed N --dim {1|2} --region N
+       --q F --c F --d N --channels N --service-slots F --queue-max N
+       --lifetime N --groups N --sla N --offered F
+       --metrics-out FILE --trace-out FILE --trace-sample N
+serve: --socket PATH --slots N --slot-us N --threads N --dim {1|2}
+       --channels N --service-slots F --queue-max N --lifetime N --groups N
+       --sla N
+)";
+
+pcn::Dimension parse_dim(const Args& args) {
+  const std::int64_t dim = args.get_int_or("dim", 2);
+  if (dim == 1) return pcn::Dimension::kOneD;
+  if (dim == 2) return pcn::Dimension::kTwoD;
+  throw UsageError("--dim must be 1 or 2");
+}
+
+pcn::daemon::PcndConfig parse_daemon_config(const Args& args) {
+  pcn::daemon::PcndConfig config;
+  config.dimension = parse_dim(args);
+  config.threads = static_cast<int>(args.get_int_or("threads", 1));
+  config.capacity = pcn::capacity::PagingCapacityModel(
+      static_cast<int>(args.get_int_or("channels", 2)),
+      args.get_double_or("service-slots", 1.0));
+  config.queue.max_pending =
+      static_cast<std::size_t>(args.get_int_or("queue-max", 64));
+  config.queue.lifetime_slots = args.get_int_or("lifetime", 128);
+  config.queue.groups = static_cast<int>(args.get_int_or("groups", 4));
+  config.sla_delay_slots = static_cast<int>(args.get_int_or("sla", 8));
+  return config;
+}
+
+int cmd_run(const Args& args) {
+  pcn::daemon::PcndConfig config = parse_daemon_config(args);
+
+  pcn::daemon::ClosedLoopConfig workload_config;
+  workload_config.dimension = config.dimension;
+  workload_config.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  workload_config.terminals =
+      static_cast<std::uint64_t>(args.get_int_or("terminals", 100000));
+  workload_config.region = static_cast<int>(args.get_int_or("region", 64));
+  workload_config.move_prob = args.get_double_or("q", 0.2);
+  workload_config.call_prob = args.get_double_or("c", 0.05);
+  workload_config.threshold = static_cast<int>(args.get_int_or("d", 3));
+  const std::int64_t slots = args.get_int_or("slots", 512);
+
+  if (args.has("offered")) {
+    // Aggregate capacity = cells * per-cell rate; offered = terminals * c.
+    const double multiple = args.get_double("offered");
+    if (multiple <= 0.0) throw UsageError("--offered must be > 0");
+    const double cells =
+        config.dimension == pcn::Dimension::kOneD
+            ? double(workload_config.region)
+            : double(workload_config.region) * double(workload_config.region);
+    const double capacity = cells * config.capacity.pages_per_slot();
+    workload_config.call_prob =
+        std::min(1.0, multiple * capacity / double(workload_config.terminals));
+  }
+
+  const std::string metrics_out = args.get_string_or("metrics-out", "");
+  const std::string trace_out = args.get_string_or("trace-out", "");
+  const auto trace_sample =
+      static_cast<std::uint64_t>(args.get_int_or("trace-sample", 8));
+  if (!trace_out.empty()) {
+    config.record_flight = true;
+    config.flight_sample_every = trace_sample;
+  }
+  args.reject_unconsumed();
+
+  pcn::daemon::Pcnd daemon(config);
+  pcn::daemon::ClosedLoopWorkload workload(workload_config);
+  daemon.run_slots(slots, &workload);
+
+  const pcn::daemon::DaemonRunReport report = pcn::daemon::make_daemon_report(
+      daemon, workload_config.seed,
+      static_cast<std::int64_t>(workload_config.terminals));
+  std::printf("pcnd run: %" PRId64 " terminals, %" PRId64
+              " slots, %d threads, %d channel%s/cell\n",
+              report.terminals, report.slots, report.threads, report.channels,
+              report.channels == 1 ? "" : "s");
+  std::printf("pages    : %" PRId64 " offered, %" PRId64 " served, %" PRId64
+              " dropped, %" PRId64 " expired, %" PRId64 " duplicate\n",
+              report.pages_offered, report.pages_served, report.pages_dropped,
+              report.pages_expired, report.pages_duplicate);
+  std::printf("drop rate: %.4f  (queue max depth %" PRId64 "/%zu)\n",
+              report.drop_rate, report.max_queue_depth,
+              config.queue.max_pending);
+  std::printf("delay    : mean %.2f slots, p50 %d, p95 %d, p99 %d, max %d\n",
+              report.mean_queue_delay_slots, report.delay_p50, report.delay_p95,
+              report.delay_p99, report.delay_max);
+  std::printf("sla      : bound %d slots, %" PRId64 " violation%s\n",
+              report.sla_delay_slots, report.sla_violations,
+              report.sla_violations == 1 ? "" : "s");
+  if (report.run_wall_seconds > 0.0) {
+    std::printf("wall     : %.3f s (%.0f slots/s)\n", report.run_wall_seconds,
+                report.slots_per_sec);
+  }
+
+  if (!metrics_out.empty()) {
+    std::string error;
+    if (!pcn::obs::write_file(metrics_out, pcn::daemon::to_json(report),
+                              &error)) {
+      std::fprintf(stderr, "pcnd: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    pcn::obs::TraceMeta meta;
+    meta.dimension = config.dimension == pcn::Dimension::kOneD ? 1 : 2;
+    meta.semantics = "daemon";
+    meta.seed = workload_config.seed;
+    meta.threads = config.threads;
+    meta.slots = report.slots;
+    meta.move_prob = workload_config.move_prob;
+    meta.call_prob = workload_config.call_prob;
+    meta.policy = "daemon";
+    meta.param = static_cast<std::int64_t>(config.queue.max_pending);
+    meta.delay_cycles = config.sla_delay_slots;
+    meta.sample_every = config.flight_sample_every;
+    const pcn::obs::FlightRecorder* recorder = daemon.flight_recorder();
+    meta.dropped_events = recorder->dropped();
+    std::string error;
+    if (!pcn::obs::write_file(
+            trace_out, pcn::obs::to_trace_jsonl(meta, recorder->merged()),
+            &error)) {
+      std::fprintf(stderr, "pcnd: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  pcn::daemon::PcndConfig config = parse_daemon_config(args);
+  config.collect_outcomes = true;
+  const std::string socket_path = args.get_string("socket");
+  const std::int64_t slots = args.get_int_or("slots", 1024);
+  const std::int64_t slot_us = args.get_int_or("slot-us", 1000);
+  if (slot_us < 0) throw UsageError("--slot-us must be >= 0");
+  args.reject_unconsumed();
+
+  pcn::daemon::Pcnd daemon(config);
+  pcn::daemon::SocketServer server(&daemon, socket_path);
+  server.start();
+  std::fprintf(stderr, "pcnd: serving on %s (%" PRId64 " slots, %" PRId64
+               " us/slot)\n",
+               socket_path.c_str(), slots, slot_us);
+  for (std::int64_t slot = 0; slot < slots; ++slot) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(slot_us);
+    daemon.run_slots(1);
+    server.flush_outcomes();
+    std::this_thread::sleep_until(deadline);
+  }
+  server.stop();
+  const pcn::obs::MetricsSnapshot snapshot =
+      daemon.metrics_registry().snapshot();
+  std::printf("pcnd serve: %" PRId64 " slots, %" PRId64 " updates, %" PRId64
+              " pages served, %" PRId64 " dropped, %" PRId64 " expired\n",
+              snapshot.counter_value("daemon.slot.count"),
+              snapshot.counter_value("daemon.update.applied"),
+              snapshot.counter_value("daemon.page.served"),
+              snapshot.counter_value("daemon.page.dropped"),
+              snapshot.counter_value("daemon.page.expired"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = Args::parse(argc, argv);
+    if (args.command() == "run") return cmd_run(args);
+    if (args.command() == "serve") return cmd_serve(args);
+    std::fputs(kUsage, stderr);
+    return 2;
+  } catch (const UsageError& error) {
+    std::fprintf(stderr, "pcnd: %s\n%s", error.what(), kUsage);
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "pcnd: %s\n", error.what());
+    return 1;
+  }
+}

@@ -27,7 +27,12 @@
 #      PCN_SIMD_ISA=none),
 #   8. portable-fallback build — the AVX2 kernel configured OFF
 #      (-DPCN_SIMD_AVX2=OFF) must compile and pass tier-1, proving the
-#      scalar-emulation kernel carries the engine on non-AVX2 hardware.
+#      scalar-emulation kernel carries the engine on non-AVX2 hardware,
+#   9. pcnd daemon gate — the bounded-paging-queue property suite and the
+#      2x-overload soak (1 vs 4 threads, bit-identical counters) at smoke
+#      scale, a pcnd CLI overload run that must emit a daemon run report,
+#      and the perf_daemon closed-loop bench diffed against its blessed
+#      baseline with tools/bench_compare.py.
 #
 # Environment:
 #   JOBS=N   parallelism for builds and ctest (default: nproc)
@@ -35,7 +40,8 @@
 # Gates 4 and 7 run the benches at smoke scale via PCN_SCALE_TERMINALS /
 # PCN_SCALE_SLOTS and PCN_MICRO_TERMINALS / PCN_MICRO_SLOTS; export your
 # own values to override (the bench defaults are the full 10M-terminal
-# comparison, minutes of wall clock).
+# comparison, minutes of wall clock).  Gate 9 pins its perf_daemon scale
+# to the blessed baseline's (bench_compare exact-matches the config echo).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,27 +49,27 @@ jobs=${JOBS:-$(nproc)}
 scale_terminals=${PCN_SCALE_TERMINALS:-100000}
 scale_slots=${PCN_SCALE_SLOTS:-256}
 
-echo "== [1/8] default build: tier-1 + tier-2 =="
+echo "== [1/9] default build: tier-1 + tier-2 =="
 cmake --preset default
 cmake --build --preset default -j "$jobs"
 ctest --preset tier1 -j "$jobs"
 ctest --preset tier2 -j "$jobs"
 
-echo "== [2/8] TSan: sharded-run determinism + metrics registry =="
+echo "== [2/9] TSan: sharded-run determinism + metrics registry =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
   --target test_network_parallel test_metrics_registry
 ctest --test-dir build-tsan -R 'NetworkParallel|MetricsRegistry' \
   --output-on-failure -j "$jobs"
 
-echo "== [3/8] ASan+UBSan: wire codec round-trips =="
+echo "== [3/9] ASan+UBSan: wire codec round-trips =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target test_wire test_messages test_wire_fuzz
 ctest --test-dir build-asan -R 'Wire|Messages|PropWireFuzz' \
   --output-on-failure -j "$jobs"
 
-echo "== [4/8] observability overhead gates (<= 3% each) =="
+echo "== [4/9] observability overhead gates (<= 3% each) =="
 cmake --build --preset default -j "$jobs" --target perf_scale
 # Skip the google-benchmark sweep; the interleaved gate measurement in
 # main() still runs.  The release preset gives steadier numbers, but the
@@ -86,7 +92,7 @@ for gate in telemetry flight; do
   }'
 done
 
-echo "== [5/8] trace SLA gate + bench baseline diff =="
+echo "== [5/9] trace SLA gate + bench baseline diff =="
 cmake --build --preset default -j "$jobs" --target pcnctl table1_one_dim
 # A canned delay-bounded scenario: every call must be answered within the
 # delay bound m; trace-summary exits 1 on any SLA violation.
@@ -107,7 +113,7 @@ else
   echo "bench_compare: skipped (python3 not found)"
 fi
 
-echo "== [6/8] engine equivalence gate (reference vs soa, exact diff) =="
+echo "== [6/9] engine equivalence gate (reference vs soa, exact diff) =="
 engine_dir=$(mktemp -d)
 for engine in reference soa; do
   ./build/tools/pcnctl simulate --dim 2 --policy distance --delay 3 \
@@ -123,7 +129,7 @@ else
 fi
 rm -rf "$engine_dir"
 
-echo "== [7/8] SIMD gate: statistical equivalence + perf_micro smoke =="
+echo "== [7/9] SIMD gate: statistical equivalence + perf_micro smoke =="
 cmake --build --preset default -j "$jobs" \
   --target test_prop_simd_statistical test_counter_rng perf_micro pcnctl
 # The tier-2 oracle suite compares SIMD metrics against the bit-exact
@@ -153,10 +159,46 @@ else
   echo "simd CLI gate ok: forced simd without kernels errors"
 fi
 
-echo "== [8/8] portable-fallback build (-DPCN_SIMD_AVX2=OFF): tier-1 =="
+echo "== [8/9] portable-fallback build (-DPCN_SIMD_AVX2=OFF): tier-1 =="
 cmake -S . -B build-portable -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPCN_SIMD_AVX2=OFF
 cmake --build build-portable -j "$jobs"
 ctest --test-dir build-portable -LE tier2 --output-on-failure -j "$jobs"
+
+echo "== [9/9] pcnd daemon gate: property + soak + overload bench =="
+cmake --build --preset default -j "$jobs" \
+  --target pcnd perf_daemon test_prop_paging_queue test_daemon_soak
+# The property suite and the deterministic overload soak, the latter at
+# smoke scale (the soak reads PCN_SOAK_TERMINALS / PCN_SOAK_SLOTS and
+# runs the same 2x-overload scenario at 1 and 4 threads, diffing every
+# counter, the delay histogram and the flight trace).
+PCN_SOAK_TERMINALS=2000 PCN_SOAK_SLOTS=160 \
+  ctest --preset tier2 -R 'PropPagingQueue|DaemonSoak' \
+  --output-on-failure -j "$jobs"
+# CLI smoke: a closed-loop 2x-overload run must produce a daemon report.
+if ./build/tools/pcnd run --terminals 20000 --slots 128 --region 16 \
+    --offered 2.0 --threads 2 --metrics-out - \
+    | grep -q '"schema":"pcn.run_report.v1","kind":"daemon"'; then
+  echo "pcnd gate ok: daemon run report emitted"
+else
+  echo "pcnd gate FAILED: no daemon run report on stdout"
+  exit 1
+fi
+# Closed-loop bench vs the blessed baseline.  The scale (and thread
+# count) must match the baseline exactly: bench_compare treats the
+# config echo as exact-match keys, which is what proves the counters
+# are bit-identical run over run.
+if command -v python3 > /dev/null; then
+  bench_dir=$(mktemp -d)
+  PCN_BENCH_DIR="$bench_dir" PCN_DAEMON_TERMINALS=20000 \
+    PCN_DAEMON_SLOTS=128 PCN_DAEMON_REGION=16 PCN_DAEMON_THREADS=2 \
+    ./build/bench/perf_daemon | grep '^PCN_BENCH '
+  python3 tools/bench_compare.py \
+    bench/baselines/BENCH_perf_daemon.json \
+    "$bench_dir/BENCH_perf_daemon.json"
+  rm -rf "$bench_dir"
+else
+  echo "bench_compare: skipped (python3 not found)"
+fi
 
 echo "run_checks: all gates passed."
