@@ -359,7 +359,7 @@ void Pcnd::record_page_event(int recorder_shard, obs::FlightEventType type,
   if (recorder_ == nullptr || !recorder_->sampled(page_id)) return;
   obs::FlightEvent event;
   event.slot = slot;
-  event.terminal = static_cast<std::int32_t>(terminal_id);
+  event.terminal = static_cast<std::int64_t>(terminal_id);
   event.seq = seq;
   event.type = type;
   event.call = page_id;
@@ -388,12 +388,19 @@ void Pcnd::run_slots(std::int64_t slots, SlotWorkload* workload) {
   // One barrier, three waits per slot; the completion function runs the
   // serial INGEST / FINALIZE steps while every worker is parked.
   int phase = 0;
-  auto completion = [this, &phase, &failed]() noexcept {
+  auto completion = [this, &phase, &failed, &fail]() noexcept {
     if (!failed.load(std::memory_order_acquire)) {
-      if (phase == 0) {
-        ingest_phase();
-      } else if (phase == 2) {
-        finalize_phase();
+      // The serial phases allocate (batch, outcome, histogram growth); an
+      // exception here must take the same fail()/rethrow path as the
+      // worker phases instead of std::terminate through the noexcept.
+      try {
+        if (phase == 0) {
+          ingest_phase();
+        } else if (phase == 2) {
+          finalize_phase();
+        }
+      } catch (...) {
+        fail(std::current_exception());
       }
     }
     phase = (phase + 1) % 3;

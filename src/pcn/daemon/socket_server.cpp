@@ -18,24 +18,16 @@ namespace {
 /// enough that a corrupt length prefix cannot make us allocate gigabytes.
 constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
 
+/// Largest backlog of staged outcome bytes per connection.  A PageOutcome
+/// frame is ~50 bytes, so this buffers tens of thousands of verdicts for
+/// a briefly-slow reader before the connection is declared dead.
+constexpr std::size_t kMaxOutboxBytes = 4u << 20;
+
 bool read_exact(int fd, std::uint8_t* buffer, std::size_t count) {
   std::size_t done = 0;
   while (done < count) {
     const ssize_t n = ::read(fd, buffer + done, count - done);
     if (n == 0) return false;  // peer closed
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-bool write_exact(int fd, const std::uint8_t* buffer, std::size_t count) {
-  std::size_t done = 0;
-  while (done < count) {
-    const ssize_t n = ::write(fd, buffer + done, count - done);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -74,6 +66,7 @@ SocketServer::SocketServer(Pcnd* daemon, std::string path)
   frames_out_ = registry.counter("daemon.socket.frames_out");
   decode_errors_ = registry.counter("daemon.socket.decode_error");
   rejected_ = registry.counter("daemon.socket.rejected_ring_full");
+  disconnects_ = registry.counter("daemon.socket.disconnects");
 }
 
 SocketServer::~SocketServer() {
@@ -94,7 +87,7 @@ void SocketServer::stop() {
   // Shut the listener down; accept() returns and the loop exits.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::unordered_map<std::uint32_t, std::unique_ptr<Connection>> connections;
+  std::unordered_map<std::uint32_t, std::shared_ptr<Connection>> connections;
   {
     const std::lock_guard<std::mutex> lock(connections_mutex_);
     connections.swap(connections_);
@@ -104,6 +97,11 @@ void SocketServer::stop() {
     if (connection->reader.joinable()) connection->reader.join();
     ::close(connection->fd);
   }
+}
+
+std::size_t SocketServer::open_connections() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  return connections_.size();
 }
 
 void SocketServer::accept_loop() {
@@ -119,16 +117,21 @@ void SocketServer::accept_loop() {
     }
     const std::lock_guard<std::mutex> lock(connections_mutex_);
     const std::uint32_t client = next_client_++;
-    auto connection = std::make_unique<Connection>();
+    auto connection = std::make_shared<Connection>();
     connection->fd = fd;
-    connection->reader =
-        std::thread([this, client, fd] { reader_loop(client, fd); });
+    // The raw reference stays valid because every path that erases the
+    // registry entry (reap_connections, stop) joins the reader before
+    // releasing its shared_ptr.
+    Connection& ref = *connection;
+    connection->reader = std::thread(
+        [this, client, fd, &ref] { reader_loop(client, fd, ref); });
     connections_.emplace(client, std::move(connection));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void SocketServer::reader_loop(std::uint32_t client, int fd) {
+void SocketServer::reader_loop(std::uint32_t client, int fd,
+                               Connection& connection) {
   std::uint8_t prefix[4];
   std::vector<std::uint8_t> frame;
   while (running_.load(std::memory_order_acquire)) {
@@ -145,9 +148,9 @@ void SocketServer::reader_loop(std::uint32_t client, int fd) {
     if (!read_exact(fd, frame.data(), length)) break;
     handle_frame(client, frame);
   }
-  // The connection object (and fd) is reaped by stop(); marking the
-  // reader done early would need a reaper thread for no test-visible
-  // benefit, so a dead connection just idles until shutdown.
+  // flush_outcomes' reap sweep closes the fd and joins this thread once
+  // any staged verdicts have drained (stop() covers the rest).
+  connection.reader_done.store(true, std::memory_order_release);
 }
 
 void SocketServer::handle_frame(std::uint32_t client,
@@ -179,15 +182,97 @@ void SocketServer::handle_frame(std::uint32_t client,
   if (!daemon_->submit(request)) rejected_.increment(client);
 }
 
+bool SocketServer::stage_frame(Connection& connection,
+                               const std::vector<std::uint8_t>& frame) {
+  if (connection.outbox.size() + sizeof(std::uint32_t) + frame.size() >
+      kMaxOutboxBytes) {
+    // The client stopped reading a long time ago; failing the connection
+    // beats unbounded buffering (and beats blocking the slot loop).
+    connection.write_failed.store(true, std::memory_order_release);
+    return false;
+  }
+  const auto length = static_cast<std::uint32_t>(frame.size());
+  const std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(length), static_cast<std::uint8_t>(length >> 8),
+      static_cast<std::uint8_t>(length >> 16),
+      static_cast<std::uint8_t>(length >> 24)};
+  connection.outbox.insert(connection.outbox.end(), prefix, prefix + 4);
+  connection.outbox.insert(connection.outbox.end(), frame.begin(),
+                           frame.end());
+  return true;
+}
+
+void SocketServer::pump_outbox(Connection& connection) {
+  std::size_t sent = 0;
+  while (sent < connection.outbox.size()) {
+    // MSG_NOSIGNAL: a disconnected client yields EPIPE, not a SIGPIPE
+    // that would kill the daemon.  MSG_DONTWAIT: a client that is not
+    // reading yields EAGAIN, not a blocked slot loop.
+    const ssize_t n =
+        ::send(connection.fd, connection.outbox.data() + sent,
+               connection.outbox.size() - sent, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      connection.write_failed.store(true, std::memory_order_release);
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  connection.outbox.erase(
+      connection.outbox.begin(),
+      connection.outbox.begin() + static_cast<std::ptrdiff_t>(sent));
+}
+
+void SocketServer::reap_connections() {
+  std::vector<std::shared_ptr<Connection>> dead;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      Connection& connection = *it->second;
+      bool reap = connection.write_failed.load(std::memory_order_acquire);
+      if (!reap && connection.reader_done.load(std::memory_order_acquire)) {
+        // Reader gone (client hung up or lost framing): keep the
+        // connection only until its staged verdicts have drained.
+        const std::lock_guard<std::mutex> write_lock(connection.write_mutex);
+        reap = connection.outbox.empty();
+      }
+      if (reap) {
+        dead.push_back(std::move(it->second));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::shared_ptr<Connection>& connection : dead) {
+    ::shutdown(connection->fd, SHUT_RDWR);  // unblock a still-parked reader
+    if (connection->reader.joinable()) connection->reader.join();
+    ::close(connection->fd);
+    disconnects_.increment();
+  }
+}
+
 std::size_t SocketServer::flush_outcomes() {
   std::vector<PageOutcomeEvent> outcomes;
   daemon_->drain_outcomes(&outcomes);
-  std::size_t written = 0;
-  const std::lock_guard<std::mutex> lock(connections_mutex_);
+
+  // Snapshot the registry, then do all socket work with connections_mutex_
+  // released: a slow or dead client costs at most one bounded outbox and
+  // can never stall the accept loop or the serve slot loop.
+  std::unordered_map<std::uint32_t, std::shared_ptr<Connection>> routes;
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    routes = connections_;
+  }
+
+  std::size_t staged = 0;
   for (const PageOutcomeEvent& event : outcomes) {
     if (event.client == 0) continue;  // in-process submitter, no frame
-    const auto it = connections_.find(event.client);
-    if (it == connections_.end()) continue;  // client went away
+    const auto it = routes.find(event.client);
+    if (it == routes.end()) continue;  // client went away
+    Connection& connection = *it->second;
+    if (connection.write_failed.load(std::memory_order_acquire)) continue;
     proto::PageOutcome outcome;
     outcome.page_id = event.page_id;
     outcome.terminal_id = event.terminal_id;
@@ -196,19 +281,21 @@ std::size_t SocketServer::flush_outcomes() {
         static_cast<std::uint64_t>(event.queue_delay_slots);
     outcome.queue_depth = event.queue_depth;
     const std::vector<std::uint8_t> frame = proto::encode(outcome);
-    const auto length = static_cast<std::uint32_t>(frame.size());
-    const std::uint8_t prefix[4] = {
-        static_cast<std::uint8_t>(length),
-        static_cast<std::uint8_t>(length >> 8),
-        static_cast<std::uint8_t>(length >> 16),
-        static_cast<std::uint8_t>(length >> 24)};
-    if (write_exact(it->second->fd, prefix, sizeof(prefix)) &&
-        write_exact(it->second->fd, frame.data(), frame.size())) {
+    const std::lock_guard<std::mutex> write_lock(connection.write_mutex);
+    if (stage_frame(connection, frame)) {
       frames_out_.increment(event.client);
-      ++written;
+      ++staged;
     }
   }
-  return written;
+
+  // Push this call's frames plus anything a full kernel buffer deferred.
+  for (auto& [client, connection] : routes) {
+    const std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    pump_outbox(*connection);
+  }
+
+  reap_connections();
+  return staged;
 }
 
 }  // namespace pcn::daemon

@@ -12,13 +12,23 @@
 // through Pcnd::submit — the socket path exercises exactly the ring the
 // tests and load generators exercise, with `client` set to the
 // connection id so verdicts route back.  Outbound, `flush_outcomes`
-// drains the daemon's settled PageOutcomeEvents and writes a PageOutcome
-// frame to each submitting connection.
+// drains the daemon's settled PageOutcomeEvents, stages a PageOutcome
+// frame into the submitting connection's bounded outbox, and pushes
+// outbox bytes with non-blocking MSG_NOSIGNAL sends.
 //
-// Frames that fail to decode, frames of an unexpected type, and pushes
-// rejected by a full ring are counted (daemon.socket.*) and the
-// connection stays up — a bad client cannot stall the slot loop, which
-// never blocks on the socket layer at all.
+// A bad client cannot stall or kill the daemon:
+//
+// * Frames that fail to decode, frames of an unexpected type, and pushes
+//   rejected by a full ring are counted (daemon.socket.*) and the
+//   connection stays up.
+// * Socket writes never block and never raise SIGPIPE.  A client that
+//   stops reading accumulates at most kMaxOutboxBytes of staged
+//   verdicts, then its connection is failed; a client that disconnects
+//   turns the next send into a counted EPIPE, not a signal.
+// * Dead connections (reader exited and outbox drained, or write side
+//   failed) are reaped on every flush_outcomes call — fd closed, reader
+//   thread joined, registry entry erased — so a long-running daemon with
+//   client churn does not accumulate fds or threads.
 #pragma once
 
 #include <atomic>
@@ -54,10 +64,12 @@ class SocketServer {
   /// Idempotent; also run by the destructor.
   void stop();
 
-  /// Drains settled outcomes from the daemon and writes a PageOutcome
-  /// frame to each submitting connection (outcomes with client 0 — in-
-  /// process submitters — are discarded).  Returns frames written.
-  /// Call between run_slots calls, from one thread at a time.
+  /// Drains settled outcomes from the daemon, stages a PageOutcome frame
+  /// into each submitting connection's outbox (outcomes with client 0 —
+  /// in-process submitters — are discarded), pushes outbox bytes with
+  /// non-blocking sends, and reaps dead connections.  Returns frames
+  /// staged.  Call between run_slots calls, from one thread at a time
+  /// (also serialized against stop()).
   std::size_t flush_outcomes();
 
   /// Connections accepted so far (monotone; for tests).
@@ -65,16 +77,35 @@ class SocketServer {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 
+  /// Connections currently registered (accepted, not yet reaped).
+  std::size_t open_connections();
+
  private:
   struct Connection {
     int fd = -1;
     std::thread reader;
+    std::mutex write_mutex;
+    /// Length-prefixed frames the socket has not accepted yet; bounded
+    /// by kMaxOutboxBytes (stage_frame fails the connection beyond it).
+    std::vector<std::uint8_t> outbox;
+    std::atomic<bool> reader_done{false};
+    std::atomic<bool> write_failed{false};
   };
 
   void accept_loop();
-  void reader_loop(std::uint32_t client, int fd);
+  void reader_loop(std::uint32_t client, int fd, Connection& connection);
   void handle_frame(std::uint32_t client,
                     const std::vector<std::uint8_t>& frame);
+  /// Appends one length-prefixed frame to the outbox (write_mutex held
+  /// by caller); fails the connection instead of exceeding the bound.
+  bool stage_frame(Connection& connection,
+                   const std::vector<std::uint8_t>& frame);
+  /// Sends outbox bytes without blocking (write_mutex held by caller);
+  /// EAGAIN leaves the remainder staged, a fatal error (EPIPE — client
+  /// gone) fails the connection.
+  void pump_outbox(Connection& connection);
+  /// Erases, closes, and joins every failed or finished connection.
+  void reap_connections();
 
   Pcnd* daemon_;
   std::string path_;
@@ -83,7 +114,7 @@ class SocketServer {
   std::thread accept_thread_;
 
   std::mutex connections_mutex_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<Connection>> connections_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<Connection>> connections_;
   std::uint32_t next_client_ = 1;  ///< 0 is reserved for in-process
   std::atomic<std::uint64_t> connections_accepted_{0};
 
@@ -91,6 +122,7 @@ class SocketServer {
   obs::Counter frames_out_;
   obs::Counter decode_errors_;
   obs::Counter rejected_;
+  obs::Counter disconnects_;
 };
 
 }  // namespace pcn::daemon

@@ -84,7 +84,7 @@ bool parse_flight_event_type(std::string_view name, FlightEventType* out);
 ///                   found = false.
 struct FlightEvent {
   std::int64_t slot = 0;
-  std::int32_t terminal = 0;
+  std::int64_t terminal = 0;
   std::uint32_t seq = 0;  ///< order within (terminal, slot)
   FlightEventType type = FlightEventType::kCallArrival;
   std::uint64_t call = 0;  ///< per-terminal call ordinal (call events only)

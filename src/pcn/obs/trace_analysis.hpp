@@ -38,7 +38,7 @@ struct SlaViolation {
   static constexpr std::int32_t kExpiredPage = -2;
 
   std::int64_t slot = 0;
-  std::int32_t terminal = 0;
+  std::int64_t terminal = 0;
   std::uint64_t call = 0;
   std::int32_t cycles = 0;  ///< cycles/slots taken, or kDropped/kExpiredPage
 };

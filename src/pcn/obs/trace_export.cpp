@@ -137,7 +137,7 @@ bool parse_trace_jsonl(std::string_view text, TraceMeta* meta,
                        error);
     }
     event.slot = value.int_or("slot", 0);
-    event.terminal = static_cast<std::int32_t>(value.int_or("terminal", 0));
+    event.terminal = value.int_or("terminal", 0);
     event.seq = static_cast<std::uint32_t>(value.int_or("seq", 0));
     event.call = static_cast<std::uint64_t>(value.int_or("call", 0));
     event.cycle = static_cast<std::int32_t>(value.int_or("cycle", -1));
@@ -159,7 +159,7 @@ namespace {
 constexpr std::int64_t kSlotUs = 1000;
 
 void chrome_event_prologue(JsonWriter& writer, std::string_view phase,
-                           std::int32_t terminal) {
+                           std::int64_t terminal) {
   writer.begin_object()
       .member("ph", phase)
       .member("pid", 1)
@@ -249,12 +249,12 @@ std::string to_chrome_trace(const TraceMeta& meta,
       .end_object();
   writer.key("traceEvents").begin_array();
 
-  std::vector<std::int32_t> terminals;
+  std::vector<std::int64_t> terminals;
   for (const FlightEvent& event : events) terminals.push_back(event.terminal);
   std::sort(terminals.begin(), terminals.end());
   terminals.erase(std::unique(terminals.begin(), terminals.end()),
                   terminals.end());
-  for (const std::int32_t terminal : terminals) {
+  for (const std::int64_t terminal : terminals) {
     chrome_event_prologue(writer, "M", terminal);
     writer.member("name", "thread_name");
     writer.key("args")
@@ -267,7 +267,7 @@ std::string to_chrome_trace(const TraceMeta& meta,
   // Call lifecycles are contiguous per (terminal, slot) in merged order, but
   // track them per terminal anyway so a recording with dropped events still
   // exports what it can instead of mispairing.
-  std::unordered_map<std::int32_t, PendingCall> pending;
+  std::unordered_map<std::int64_t, PendingCall> pending;
   for (const FlightEvent& event : events) {
     switch (event.type) {
       case FlightEventType::kCallArrival:

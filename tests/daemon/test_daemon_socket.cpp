@@ -176,6 +176,59 @@ TEST(SocketServer, BadFramesAreCountedAndTheConnectionSurvives) {
   server.stop();
 }
 
+TEST(SocketServer, DisconnectedClientIsReapedAndCannotKillTheDaemon) {
+  PcndConfig config;
+  config.collect_outcomes = true;
+  Pcnd daemon(config);
+  SocketServer server(&daemon, socket_path("pcnd_disconnect.sock"));
+  server.start();
+
+  // Submit a page, then disconnect before the verdict flushes.  The
+  // flush used to raise SIGPIPE on the peer-closed socket (killing the
+  // process); now the send fails with EPIPE and the connection is
+  // reaped: fd closed, reader joined, registry entry gone.
+  const int fd = connect_client(server.path());
+  proto::PageSubmit submit;
+  submit.page_id = 5;
+  submit.terminal_id = 77;
+  send_frame(fd, proto::encode(submit));
+  await_counter(daemon, "daemon.socket.frames_in", 1);
+  ::close(fd);
+
+  daemon.run_slots(1);
+  for (int i = 0; i < 5000 && server.open_connections() > 0; ++i) {
+    server.flush_outcomes();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_GE(daemon.metrics_registry().snapshot().counter_value(
+                "daemon.socket.disconnects"),
+            1);
+
+  // The daemon is still alive and serves a fresh client end to end.
+  const int fd2 = connect_client(server.path());
+  proto::LocationUpdate update;
+  update.terminal_id = 1;
+  update.sequence = 1;
+  update.cell = {0, 0};
+  update.containment_radius = 3;
+  send_frame(fd2, proto::encode(update));
+  submit.page_id = 6;
+  submit.terminal_id = 1;
+  send_frame(fd2, proto::encode(submit));
+  await_counter(daemon, "daemon.socket.frames_in", 3);
+  daemon.run_slots(1);
+  EXPECT_EQ(server.flush_outcomes(), 1u);
+  const proto::PageOutcome outcome =
+      proto::decode_page_outcome(recv_frame(fd2));
+  EXPECT_EQ(outcome.page_id, 6u);
+  EXPECT_EQ(outcome.terminal_id, 1u);
+
+  ::close(fd2);
+  server.stop();
+  EXPECT_EQ(server.connections_accepted(), 2u);
+}
+
 TEST(SocketServer, TwoClientsGetTheirOwnOutcomes) {
   PcndConfig config;
   config.collect_outcomes = true;

@@ -478,19 +478,22 @@ int cmd_trace_summary(const Args& args) {
     for (std::size_t i = 0; i < shown; ++i) {
       const pcn::obs::SlaViolation& v = analysis.violations[i];
       if (v.cycles == pcn::obs::SlaViolation::kDroppedPage) {
-        std::printf("  VIOLATION: terminal %d page %llu at slot %lld "
+        std::printf("  VIOLATION: terminal %lld page %llu at slot %lld "
                     "dropped (queue full, never served)\n",
-                    v.terminal, static_cast<unsigned long long>(v.call),
+                    static_cast<long long>(v.terminal),
+                    static_cast<unsigned long long>(v.call),
                     static_cast<long long>(v.slot));
       } else if (v.cycles == pcn::obs::SlaViolation::kExpiredPage) {
-        std::printf("  VIOLATION: terminal %d page %llu at slot %lld "
+        std::printf("  VIOLATION: terminal %lld page %llu at slot %lld "
                     "expired in queue (never served)\n",
-                    v.terminal, static_cast<unsigned long long>(v.call),
+                    static_cast<long long>(v.terminal),
+                    static_cast<unsigned long long>(v.call),
                     static_cast<long long>(v.slot));
       } else {
-        std::printf("  VIOLATION: terminal %d call %llu at slot %lld took "
+        std::printf("  VIOLATION: terminal %lld call %llu at slot %lld took "
                     "%d cycles (> %d)\n",
-                    v.terminal, static_cast<unsigned long long>(v.call),
+                    static_cast<long long>(v.terminal),
+                    static_cast<unsigned long long>(v.call),
                     static_cast<long long>(v.slot), v.cycles,
                     analysis.sla_bound);
       }
