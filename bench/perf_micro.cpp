@@ -11,10 +11,6 @@
 #include <cstdlib>
 #include <string>
 
-#if defined(__x86_64__) || defined(__i386__)
-#include <x86intrin.h>
-#endif
-
 #include "gbench_report.hpp"
 #include "pcn/costs/cost_model.hpp"
 #include "pcn/geometry/la_tiling.hpp"
@@ -22,6 +18,7 @@
 #include "pcn/markov/steady_state.hpp"
 #include "pcn/obs/metrics.hpp"
 #include "pcn/obs/timer.hpp"
+#include "pcn/obs/tsc.hpp"
 #include "pcn/optimize/annealing.hpp"
 #include "pcn/optimize/exhaustive.hpp"
 #include "pcn/optimize/near_optimal.hpp"
@@ -219,10 +216,11 @@ BENCHMARK(BM_ObsRegistrySnapshot)->Arg(16)->Arg(64);
 // Prices one simulated terminal-slot under each engine over the canonical
 // distance-update fleet.  google-benchmark's steady-clock loop is too coarse
 // for an apples-to-apples cycles/slot figure, so this section brackets one
-// long Network::run with serialized TSC reads (rdtscp + lfence on x86;
-// monotonic_ns elsewhere, in which case "cycles" are nanoseconds).  The
-// fleet/slot counts are env-overridable so CI can smoke-test it cheaply:
-// PCN_MICRO_TERMINALS (default 4096) and PCN_MICRO_SLOTS (default 2048).
+// long Network::run with pcn::obs::serialized_tsc() reads (rdtscp + lfence
+// on x86; monotonic_ns elsewhere, in which case "cycles" are nanoseconds) —
+// the same machinery the pcnd phase profiler uses.  The fleet/slot counts
+// are env-overridable so CI can smoke-test it cheaply: PCN_MICRO_TERMINALS
+// (default 4096) and PCN_MICRO_SLOTS (default 2048).
 
 std::int64_t env_int64(const char* name, std::int64_t fallback) {
   const char* value = std::getenv(name);
@@ -230,16 +228,7 @@ std::int64_t env_int64(const char* name, std::int64_t fallback) {
   return std::strtoll(value, nullptr, 10);
 }
 
-std::uint64_t serialized_tsc() {
-#if defined(__x86_64__) || defined(__i386__)
-  unsigned aux = 0;
-  const std::uint64_t t = __rdtscp(&aux);  // waits for prior instructions
-  _mm_lfence();                            // ...and fences the later ones out
-  return t;
-#else
-  return static_cast<std::uint64_t>(pcn::obs::monotonic_ns());
-#endif
-}
+using pcn::obs::serialized_tsc;
 
 struct SlotCost {
   double ns = 0;      ///< wall nanoseconds per terminal-slot

@@ -1,0 +1,88 @@
+// Admin scrape endpoint for pcnd — the live introspection plane.
+//
+// A second Unix-domain listener (`pcnd --admin-socket PATH`), separate
+// from the request front end so operators can scrape a daemon that has no
+// socket clients at all (it does not require collect_outcomes).  The
+// protocol is one request per connection, newline-terminated:
+//
+//   "prom\n"  ->  Prometheus text exposition of the live MetricsRegistry
+//   "json\n"  ->  a `pcn.live_snapshot.v1` JSON document
+//
+// The server replies with the full payload and closes the connection.
+//
+// Snapshots are taken with MetricsRegistry::snapshot() — relaxed loads
+// against concurrently-writing shard cells, so a scrape never blocks the
+// slot loop, and because every cell is monotone, successive scrapes see
+// monotone non-decreasing counter totals.  Each scrape (and each tick()
+// from a serve loop) also feeds an obs::RollingWindow, from which the
+// JSON snapshot derives 1s/10s/60s rates and windowed delay quantiles —
+// current load, not lifetime averages.
+//
+// A dead or stalling scraper cannot wedge the daemon: connections are
+// handled one at a time on the accept thread with short socket timeouts,
+// and the worst case is one delayed scrape, never a delayed slot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "pcn/daemon/daemon.hpp"
+#include "pcn/obs/rolling_window.hpp"
+
+namespace pcn::daemon {
+
+class AdminServer {
+ public:
+  /// Binds and listens on `path` (an existing socket file is replaced).
+  /// Throws InvalidArgument when binding fails.
+  AdminServer(Pcnd* daemon, std::string path);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Starts the accept/serve thread.
+  void start();
+
+  /// Stops accepting and joins the serve thread.  Idempotent; also run by
+  /// the destructor.
+  void stop();
+
+  /// Feeds the rolling window from the host's slot loop.  Cheap when less
+  /// than one bucket interval has elapsed since the last retained entry
+  /// (one mutex acquire and a clock read); call it once per slot.
+  void tick();
+
+  /// Scrape requests answered so far (monotone; for tests).
+  std::uint64_t scrapes() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+  /// The two scrape payloads, also callable directly (tests, --once
+  /// paths).  Both feed the rolling window like a socket scrape does.
+  std::string render_prometheus();
+  std::string render_live_snapshot();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  /// Snapshot now and feed the window; returns the snapshot.
+  obs::MetricsSnapshot observe(std::int64_t* now_ns_out);
+
+  Pcnd* daemon_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::atomic<std::uint64_t> scrapes_{0};
+
+  std::mutex window_mutex_;
+  obs::RollingWindow window_;
+};
+
+}  // namespace pcn::daemon

@@ -6,7 +6,10 @@
 #include <chrono>
 #include <exception>
 #include <thread>
+#include <utility>
 #include <tuple>
+
+#include "pcn/obs/tsc.hpp"
 
 namespace pcn::daemon {
 
@@ -60,6 +63,14 @@ Pcnd::Pcnd(const PcndConfig& config)
     recorder_->ensure_shards(std::max(ts, qs));
   }
 
+  if (config_.live_stats) {
+    // Pre-size the publish buffers so the occupancy walk never touches
+    // the allocator mid-run (first publish included).
+    live_stats_scratch_.reserve(1024);
+    live_stats_.deepest.reserve(LiveQueueStats::kTopCells);
+    live_stats_publish_scratch_.deepest.reserve(LiveQueueStats::kTopCells);
+  }
+
   requests_update_ = registry_.counter("daemon.request.update");
   requests_page_ = registry_.counter("daemon.request.page");
   requests_rejected_ = registry_.counter("daemon.request.rejected_ring_full");
@@ -75,10 +86,20 @@ Pcnd::Pcnd(const PcndConfig& config)
   slots_run_ = registry_.counter("daemon.slot.count");
   wall_ns_ = registry_.counter("daemon.run.wall_ns");
   max_depth_gauge_ = registry_.gauge("daemon.queue.max_depth");
+  pending_gauge_ = registry_.gauge("daemon.queue.depth_pending");
+  cells_pending_gauge_ = registry_.gauge("daemon.queue.cells_pending");
   delay_hist_ = registry_.histogram("daemon.page.queue_delay_slots",
                                     obs::exponential_buckets(1.0, 2.0, 16));
   depth_hist_ = registry_.histogram("daemon.queue.depth",
                                     obs::exponential_buckets(1.0, 2.0, 12));
+  // 1 µs .. ~0.5 s upper bounds cover a phase at any scale we run.
+  const std::vector<double> phase_bounds =
+      obs::exponential_buckets(1.0, 2.0, 20);
+  phase_ingest_ = registry_.histogram("daemon.phase.ingest_us", phase_bounds);
+  phase_apply_ = registry_.histogram("daemon.phase.apply_us", phase_bounds);
+  phase_drain_ = registry_.histogram("daemon.phase.drain_us", phase_bounds);
+  phase_finalize_ =
+      registry_.histogram("daemon.phase.finalize_us", phase_bounds);
 }
 
 Pcnd::~Pcnd() = default;
@@ -347,8 +368,61 @@ void Pcnd::finalize_phase() {
     max_depth_ever_ = std::max(max_depth_ever_, shard.max_depth);
   }
   max_depth_gauge_.set(static_cast<double>(max_depth_ever_));
+  if (config_.live_stats &&
+      (slot_ % LiveQueueStats::kStrideSlots == 0 || slot_ == run_last_slot_)) {
+    // Read-only occupancy walk for the admin plane.  Runs in the serial
+    // FINALIZE step, so no queue mutates underneath it.  Strided: the
+    // walk touches every queue, so doing it each slot would cost ~1% of
+    // a batch run, while every 16th slot (plus the run's last slot, so
+    // a finished run always exposes its final state) is still orders of
+    // magnitude fresher than any realistic scrape cadence.  Allocation-
+    // free in steady state: the walk fills reused member buffers and
+    // swaps them with the published copy, so enabling live stats does
+    // not perturb the allocator under the hot loop.
+    LiveQueueStats& stats = live_stats_publish_scratch_;
+    stats.slot = slot_;
+    stats.total_pending = 0;
+    stats.cells_pending = 0;
+    stats.max_depth_ever = max_depth_ever_;
+    live_stats_scratch_.clear();
+    for (const QueueShard& shard : queue_shards_) {
+      for (const auto& [cell, queue] : shard.queues) {
+        const auto depth = static_cast<std::int64_t>(queue.size());
+        if (depth == 0) continue;
+        stats.total_pending += depth;
+        ++stats.cells_pending;
+        live_stats_scratch_.push_back({cell, depth});
+      }
+    }
+    // Cells are unique, so (depth desc, q, r) is a strict total order and
+    // the top-K list is the same regardless of map iteration order.
+    const std::size_t top = std::min(LiveQueueStats::kTopCells,
+                                     live_stats_scratch_.size());
+    std::partial_sort(
+        live_stats_scratch_.begin(), live_stats_scratch_.begin() + top,
+        live_stats_scratch_.end(),
+        [](const LiveQueueStats::CellDepth& a,
+           const LiveQueueStats::CellDepth& b) {
+          if (a.depth != b.depth) return a.depth > b.depth;
+          if (a.cell.q != b.cell.q) return a.cell.q < b.cell.q;
+          return a.cell.r < b.cell.r;
+        });
+    stats.deepest.assign(live_stats_scratch_.begin(),
+                         live_stats_scratch_.begin() + top);
+    pending_gauge_.set(static_cast<double>(stats.total_pending));
+    cells_pending_gauge_.set(static_cast<double>(stats.cells_pending));
+    {
+      const std::lock_guard<std::mutex> lock(live_stats_mutex_);
+      std::swap(live_stats_, stats);  // old copy becomes the next scratch
+    }
+  }
   slots_run_.increment();
   ++slot_;
+}
+
+LiveQueueStats Pcnd::live_queue_stats() const {
+  const std::lock_guard<std::mutex> lock(live_stats_mutex_);
+  return live_stats_;
 }
 
 void Pcnd::record_page_event(int recorder_shard, obs::FlightEventType type,
@@ -373,6 +447,7 @@ void Pcnd::record_page_event(int recorder_shard, obs::FlightEventType type,
 void Pcnd::run_slots(std::int64_t slots, SlotWorkload* workload) {
   PCN_EXPECT(slots >= 0, "Pcnd: slots must be >= 0");
   if (slots == 0) return;
+  run_last_slot_ = slot_ + slots - 1;
   const int worker_count = std::max(1, config_.threads);
   const auto start = std::chrono::steady_clock::now();
 
@@ -385,10 +460,22 @@ void Pcnd::run_slots(std::int64_t slots, SlotWorkload* workload) {
     failed.store(true, std::memory_order_release);
   };
 
+  // Calibrate the TSC once before the loop so the first slot's phase
+  // timings don't absorb the ~2 ms calibration spin.
+  obs::tsc_ticks_per_ns();
+
   // One barrier, three waits per slot; the completion function runs the
-  // serial INGEST / FINALIZE steps while every worker is parked.
+  // serial INGEST / FINALIZE steps while every worker is parked.  The
+  // completion is also where the phase profiler lives: serialized-TSC
+  // stamps at completion entry/exit bracket each barrier-separated span
+  // (INGEST and FINALIZE inside their completions, APPLY and DRAIN as the
+  // gap between one completion's exit and the next one's entry), and the
+  // completion is single-threaded so plain locals suffice.
   int phase = 0;
-  auto completion = [this, &phase, &failed, &fail]() noexcept {
+  std::uint64_t completion_exit = 0;
+  auto completion = [this, &phase, &completion_exit, &failed,
+                     &fail]() noexcept {
+    const std::uint64_t entry = obs::serialized_tsc();
     if (!failed.load(std::memory_order_acquire)) {
       // The serial phases allocate (batch, outcome, histogram growth); an
       // exception here must take the same fail()/rethrow path as the
@@ -396,14 +483,22 @@ void Pcnd::run_slots(std::int64_t slots, SlotWorkload* workload) {
       try {
         if (phase == 0) {
           ingest_phase();
-        } else if (phase == 2) {
+          phase_ingest_.observe(
+              obs::tsc_delta_us(entry, obs::serialized_tsc()));
+        } else if (phase == 1) {
+          phase_apply_.observe(obs::tsc_delta_us(completion_exit, entry));
+        } else {
+          phase_drain_.observe(obs::tsc_delta_us(completion_exit, entry));
           finalize_phase();
+          phase_finalize_.observe(
+              obs::tsc_delta_us(entry, obs::serialized_tsc()));
         }
       } catch (...) {
         fail(std::current_exception());
       }
     }
     phase = (phase + 1) % 3;
+    completion_exit = obs::serialized_tsc();
   };
   std::barrier sync(worker_count, completion);
 

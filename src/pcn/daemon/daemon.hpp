@@ -72,6 +72,13 @@ struct PcndConfig {
   /// Keep PageOutcome events for drain_outcomes() (the socket front end
   /// and tests want them; the closed-loop bench does not).
   bool collect_outcomes = false;
+  /// Walk the queue shards in FINALIZE and publish live occupancy
+  /// (total pending, cells with pending pages, top-K deepest cells) for
+  /// live_queue_stats() and the admin endpoint.  Read-only over queue
+  /// state, so the determinism contract is unaffected; the walk runs
+  /// every LiveQueueStats::kStrideSlots-th slot plus the last slot of
+  /// each run_slots call, so its cost amortizes to noise in batch runs.
+  bool live_stats = false;
   /// Flight recording of page lifecycle events (sampled by page id).
   bool record_flight = false;
   std::uint64_t flight_sample_every = 8;
@@ -92,6 +99,27 @@ struct PageOutcomeEvent {
 
 class Pcnd;
 class SlotWorkload;
+
+/// Point-in-time paging-queue occupancy published from the serial
+/// FINALIZE step when PcndConfig::live_stats is on — every
+/// kStrideSlots-th slot and always on the last slot of a run, so the
+/// walk's cost amortizes to noise while staying far fresher than any
+/// scrape cadence.  `deepest` holds up to kTopCells cells ordered by
+/// depth descending (ties broken by cell coordinates, so the list is
+/// identical at any thread count).
+struct LiveQueueStats {
+  static constexpr std::size_t kTopCells = 8;
+  static constexpr std::int64_t kStrideSlots = 16;
+  struct CellDepth {
+    geometry::Cell cell{};
+    std::int64_t depth = 0;
+  };
+  std::int64_t slot = 0;            ///< slot the walk ran after
+  std::int64_t total_pending = 0;   ///< pages pending across all queues
+  std::int64_t cells_pending = 0;   ///< cells with >= 1 pending page
+  std::int64_t max_depth_ever = 0;  ///< lifetime high watermark
+  std::vector<CellDepth> deepest;
+};
 
 namespace detail {
 
@@ -192,6 +220,11 @@ class Pcnd {
   /// Largest queue depth ever observed after an enqueue.
   std::int64_t max_queue_depth() const { return max_depth_ever_; }
 
+  /// Copy of the most recent FINALIZE occupancy walk.  Thread-safe against
+  /// a concurrent run_slots; all-zero until the first slot completes with
+  /// config().live_stats set.
+  LiveQueueStats live_queue_stats() const;
+
  private:
   friend class RequestSink;
 
@@ -268,9 +301,19 @@ class Pcnd {
   std::int64_t slot_ = 0;
   int slot_budget_ = 0;  ///< capacity budget for the slot in flight
   std::int64_t max_depth_ever_ = 0;
+  /// Last slot of the run_slots call in flight; FINALIZE always
+  /// publishes live stats for it, stride or not.
+  std::int64_t run_last_slot_ = -1;
 
   std::mutex outcomes_mutex_;
   std::deque<PageOutcomeEvent> outcomes_;
+
+  mutable std::mutex live_stats_mutex_;
+  LiveQueueStats live_stats_;
+  /// Publish builds into these reused buffers and swaps with
+  /// live_stats_, keeping the walk allocation-free in steady state.
+  LiveQueueStats live_stats_publish_scratch_;
+  std::vector<LiveQueueStats::CellDepth> live_stats_scratch_;
 
   // Metric handles (resolved once; per-shard cells keep workers apart).
   obs::Counter requests_update_;
@@ -288,8 +331,17 @@ class Pcnd {
   obs::Counter slots_run_;
   obs::Counter wall_ns_;
   obs::Gauge max_depth_gauge_;
+  obs::Gauge pending_gauge_;
+  obs::Gauge cells_pending_gauge_;
   obs::Histogram delay_hist_;
   obs::Histogram depth_hist_;
+  // Per-slot barrier-phase timing (serialized TSC, microseconds).  These
+  // are histograms, not counters, so the determinism fingerprint over
+  // counters is untouched by wall-clock jitter.
+  obs::Histogram phase_ingest_;
+  obs::Histogram phase_apply_;
+  obs::Histogram phase_drain_;
+  obs::Histogram phase_finalize_;
 };
 
 }  // namespace pcn::daemon

@@ -64,6 +64,28 @@ DaemonRunReport make_daemon_report(const Pcnd& daemon, std::uint64_t seed,
     }
   }
 
+  report.socket_frames_in = m.counter_value("daemon.socket.frames_in");
+  report.socket_frames_out = m.counter_value("daemon.socket.frames_out");
+  report.socket_decode_errors =
+      m.counter_value("daemon.socket.decode_errors");
+  report.socket_rejected_ring_full =
+      m.counter_value("daemon.socket.rejected_ring_full");
+  report.socket_disconnects = m.counter_value("daemon.socket.disconnects");
+  if (const obs::GaugeSample* outbox =
+          m.find_gauge("daemon.socket.outbox_bytes")) {
+    report.socket_outbox_bytes_hwm =
+        static_cast<std::int64_t>(outbox->value);
+  }
+
+  const auto phase_mean = [&m](std::string_view name) {
+    const obs::HistogramSample* hist = m.find_histogram(name);
+    return hist == nullptr ? 0.0 : hist->mean();
+  };
+  report.phase_ingest_us = phase_mean("daemon.phase.ingest_us");
+  report.phase_apply_us = phase_mean("daemon.phase.apply_us");
+  report.phase_drain_us = phase_mean("daemon.phase.drain_us");
+  report.phase_finalize_us = phase_mean("daemon.phase.finalize_us");
+
   const std::int64_t wall_ns = m.counter_value("daemon.run.wall_ns");
   if (wall_ns > 0) {
     report.run_wall_seconds = double(wall_ns) / 1e9;
@@ -120,6 +142,20 @@ std::string to_json(const DaemonRunReport& report) {
   json.end_object();
   json.key("queue").begin_object();
   json.member("max_depth", report.max_queue_depth);
+  json.end_object();
+  json.key("socket").begin_object();
+  json.member("frames_in", report.socket_frames_in);
+  json.member("frames_out", report.socket_frames_out);
+  json.member("decode_errors", report.socket_decode_errors);
+  json.member("rejected_ring_full", report.socket_rejected_ring_full);
+  json.member("disconnects", report.socket_disconnects);
+  json.member("outbox_bytes_hwm", report.socket_outbox_bytes_hwm);
+  json.end_object();
+  json.key("phase_us").begin_object();
+  json.member("ingest", report.phase_ingest_us);
+  json.member("apply", report.phase_apply_us);
+  json.member("drain", report.phase_drain_us);
+  json.member("finalize", report.phase_finalize_us);
   json.end_object();
   json.key("wall").begin_object();
   json.member("run_seconds", report.run_wall_seconds);

@@ -11,7 +11,12 @@
 //     pages with mean/p50/p95/p99/max (percentiles over served pages);
 //   * `sla` — the configured delay bound and total violations (served
 //     late + dropped + expired + unknown);
-//   * `queue` — config echo plus the deepest queue ever observed.
+//   * `queue` — config echo plus the deepest queue ever observed;
+//   * `socket` — front-end health (frames in/out, decode errors,
+//     ring-full rejections, disconnects, staged-outbox high watermark);
+//     all zero when no socket front end was attached;
+//   * `phase_us` — mean per-slot barrier-phase times from the
+//     daemon.phase.* histograms (0 until a slot has run).
 #pragma once
 
 #include <cstdint>
@@ -57,6 +62,20 @@ struct DaemonRunReport {
 
   std::int64_t sla_violations = 0;
   std::int64_t max_queue_depth = 0;
+
+  // Socket front-end health (all zero without a SocketServer attached).
+  std::int64_t socket_frames_in = 0;
+  std::int64_t socket_frames_out = 0;
+  std::int64_t socket_decode_errors = 0;
+  std::int64_t socket_rejected_ring_full = 0;
+  std::int64_t socket_disconnects = 0;
+  std::int64_t socket_outbox_bytes_hwm = 0;
+
+  // Mean per-slot barrier-phase times, microseconds.
+  double phase_ingest_us = 0.0;
+  double phase_apply_us = 0.0;
+  double phase_drain_us = 0.0;
+  double phase_finalize_us = 0.0;
 
   double run_wall_seconds = 0.0;
   double slots_per_sec = 0.0;

@@ -64,9 +64,10 @@ SocketServer::SocketServer(Pcnd* daemon, std::string path)
   obs::MetricsRegistry& registry = daemon_->metrics_registry();
   frames_in_ = registry.counter("daemon.socket.frames_in");
   frames_out_ = registry.counter("daemon.socket.frames_out");
-  decode_errors_ = registry.counter("daemon.socket.decode_error");
+  decode_errors_ = registry.counter("daemon.socket.decode_errors");
   rejected_ = registry.counter("daemon.socket.rejected_ring_full");
   disconnects_ = registry.counter("daemon.socket.disconnects");
+  outbox_bytes_gauge_ = registry.gauge("daemon.socket.outbox_bytes");
 }
 
 SocketServer::~SocketServer() {
@@ -289,9 +290,17 @@ std::size_t SocketServer::flush_outcomes() {
   }
 
   // Push this call's frames plus anything a full kernel buffer deferred.
+  // The pre-pump occupancy sum is the peak backlog for this flush; its
+  // high watermark is the daemon.socket.outbox_bytes gauge.
+  std::size_t staged_bytes = 0;
   for (auto& [client, connection] : routes) {
     const std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    staged_bytes += connection->outbox.size();
     pump_outbox(*connection);
+  }
+  if (staged_bytes > outbox_bytes_hwm_) {
+    outbox_bytes_hwm_ = staged_bytes;
+    outbox_bytes_gauge_.set(static_cast<double>(outbox_bytes_hwm_));
   }
 
   reap_connections();

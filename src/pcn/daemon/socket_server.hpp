@@ -123,6 +123,10 @@ class SocketServer {
   obs::Counter decode_errors_;
   obs::Counter rejected_;
   obs::Counter disconnects_;
+  obs::Gauge outbox_bytes_gauge_;
+  /// High watermark of total staged outbox bytes, sampled at each flush
+  /// before the pump (only flush_outcomes touches it, single caller).
+  std::size_t outbox_bytes_hwm_ = 0;
 };
 
 }  // namespace pcn::daemon

@@ -25,27 +25,129 @@ std::string format_double(double value) {
   return std::string(buf, result.ptr);
 }
 
+/// Curated `# HELP` texts for the metrics this project emits.  Names not
+/// listed fall back to a generic line; keep entries terse — they ship in
+/// every scrape.
+struct HelpEntry {
+  std::string_view name;
+  std::string_view help;
+};
+
+constexpr HelpEntry kHelpTable[] = {
+    {"daemon.request.update", "Location-update requests submitted."},
+    {"daemon.request.page", "Page requests submitted."},
+    {"daemon.request.rejected_ring_full",
+     "Requests rejected because the ingest ring was full."},
+    {"daemon.update.applied", "Location updates applied to the registry."},
+    {"daemon.update.stale", "Location updates discarded as stale."},
+    {"daemon.page.queued", "Pages admitted to a cell paging queue."},
+    {"daemon.page.duplicate",
+     "Pages coalesced into an already-queued page."},
+    {"daemon.page.dropped", "Pages dropped by queue admission."},
+    {"daemon.page.expired", "Pages expired before a paging slot served them."},
+    {"daemon.page.served", "Pages served over the paging channel."},
+    {"daemon.page.unknown_terminal",
+     "Pages addressed to terminals the registry does not know."},
+    {"daemon.page.sla_violation",
+     "Served pages that exceeded the delay bound."},
+    {"daemon.page.queue_delay_slots",
+     "Slots a page waited in its cell queue before being served."},
+    {"daemon.slot.count", "Paging slots processed."},
+    {"daemon.run.wall_ns", "Wall time spent inside run_slots, nanoseconds."},
+    {"daemon.queue.max_depth",
+     "Deepest cell paging queue observed over the run."},
+    {"daemon.queue.depth", "Cell queue depth sampled at each slot."},
+    {"daemon.queue.depth_pending",
+     "Pages pending across all cell queues (live-stats walk)."},
+    {"daemon.queue.cells_pending",
+     "Cells with at least one pending page (live-stats walk)."},
+    {"daemon.phase.ingest_us",
+     "Per-slot INGEST phase time, microseconds (serialized TSC)."},
+    {"daemon.phase.apply_us",
+     "Per-slot APPLY phase time, microseconds (serialized TSC)."},
+    {"daemon.phase.drain_us",
+     "Per-slot DRAIN phase time, microseconds (serialized TSC)."},
+    {"daemon.phase.finalize_us",
+     "Per-slot FINALIZE phase time, microseconds (serialized TSC)."},
+    {"daemon.socket.frames_in", "Frames decoded from socket clients."},
+    {"daemon.socket.frames_out", "Outcome frames written to socket clients."},
+    {"daemon.socket.decode_errors",
+     "Client frames rejected by the decoder."},
+    {"daemon.socket.rejected_ring_full",
+     "Client requests rejected because the ingest ring was full."},
+    {"daemon.socket.disconnects", "Client connections torn down."},
+    {"daemon.socket.outbox_bytes",
+     "High watermark of staged outbox bytes across connections."},
+    {"sim.run.wall_ns", "Wall time spent simulating, nanoseconds."},
+    {"sim.run.slots", "Slots simulated."},
+    {"sim.terminal.slots", "Terminal-slots simulated."},
+};
+
+std::string escape_help(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char ch : help) {
+    if (ch == '\\') {
+      out += "\\\\";
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string prometheus_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    if (ch == '\\') {
+      out += "\\\\";
+    } else if (ch == '"') {
+      out += "\\\"";
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_help(std::string_view name) {
+  for (const HelpEntry& entry : kHelpTable) {
+    if (entry.name == name) return escape_help(entry.help);
+  }
+  return escape_help(std::string("pcn metric ") + std::string(name) + ".");
+}
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const CounterSample& counter : snapshot.counters) {
     const std::string name = prometheus_name(counter.name);
+    out += "# HELP " + name + ' ' + prometheus_help(counter.name) + '\n';
     out += "# TYPE " + name + " counter\n";
     out += name + ' ' + std::to_string(counter.value) + '\n';
   }
   for (const GaugeSample& gauge : snapshot.gauges) {
     const std::string name = prometheus_name(gauge.name);
+    out += "# HELP " + name + ' ' + prometheus_help(gauge.name) + '\n';
     out += "# TYPE " + name + " gauge\n";
     out += name + ' ' + format_double(gauge.value) + '\n';
   }
   for (const HistogramSample& histogram : snapshot.histograms) {
     const std::string name = prometheus_name(histogram.name);
+    out += "# HELP " + name + ' ' + prometheus_help(histogram.name) + '\n';
     out += "# TYPE " + name + " histogram\n";
     std::int64_t cumulative = 0;
     for (std::size_t i = 0; i < histogram.bounds.size(); ++i) {
       cumulative += histogram.counts[i];
-      out += name + "_bucket{le=\"" + format_double(histogram.bounds[i]) +
+      out += name + "_bucket{le=\"" +
+             prometheus_escape_label_value(format_double(
+                 histogram.bounds[i])) +
              "\"} " + std::to_string(cumulative) + '\n';
     }
     out += name + "_bucket{le=\"+Inf\"} " +

@@ -26,8 +26,19 @@
 
 namespace pcn::obs {
 
-/// Prometheus text exposition of a snapshot (sorted by metric name).
+/// Prometheus text exposition of a snapshot (sorted by metric name), with
+/// `# HELP` / `# TYPE` headers per metric and label values escaped per the
+/// text-format spec.
 std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Escapes a label value for the Prometheus text format: backslash, double
+/// quote and newline become \\, \" and \n.
+std::string prometheus_escape_label_value(std::string_view value);
+
+/// One-line help text for a metric name: a curated description for the
+/// metrics this project emits, or a generic fallback naming the dotted
+/// path.  Already escaped for use after `# HELP`.
+std::string prometheus_help(std::string_view name);
 
 /// Snapshot as a JSON object {"counters":{...},"gauges":{...},
 /// "histograms":{name:{"bounds":[...],"counts":[...],"count":n,"sum":x}}}.

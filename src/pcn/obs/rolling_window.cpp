@@ -1,0 +1,119 @@
+#include "pcn/obs/rolling_window.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pcn::obs {
+namespace {
+
+/// Value at cumulative-fraction `q` of a windowed histogram delta, linearly
+/// interpolated inside the winning bucket (Prometheus histogram_quantile
+/// semantics; the overflow bucket clamps to its lower bound).
+double quantile_from_deltas(const std::vector<double>& bounds,
+                            const std::vector<std::int64_t>& deltas,
+                            std::int64_t total, double q) {
+  if (total <= 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const std::int64_t in_bucket = deltas[i];
+    if (in_bucket <= 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (i >= bounds.size()) {
+        // Overflow bucket has no upper bound; report its lower edge.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+RollingWindow::RollingWindow(std::int64_t bucket_interval_ns,
+                             std::size_t capacity)
+    : bucket_interval_ns_(bucket_interval_ns),
+      capacity_(std::max<std::size_t>(capacity, 2)) {}
+
+bool RollingWindow::maybe_add(std::int64_t now_ns, MetricsSnapshot snapshot) {
+  if (!entries_.empty() &&
+      now_ns - entries_.back().ts_ns < bucket_interval_ns_) {
+    return false;
+  }
+  add(now_ns, std::move(snapshot));
+  return true;
+}
+
+void RollingWindow::add(std::int64_t now_ns, MetricsSnapshot snapshot) {
+  entries_.push_back(Entry{now_ns, std::move(snapshot)});
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+const RollingWindow::Entry* RollingWindow::window_base(
+    std::int64_t window_ns) const {
+  if (entries_.size() < 2) return nullptr;
+  const std::int64_t floor_ns = entries_.back().ts_ns - window_ns;
+  // Oldest retained entry inside the window; the newest entry itself never
+  // qualifies as the base (a rate needs a distinct earlier point).
+  for (std::size_t i = 0; i + 1 < entries_.size(); ++i) {
+    if (entries_[i].ts_ns >= floor_ns) return &entries_[i];
+  }
+  return nullptr;
+}
+
+std::optional<WindowRate> RollingWindow::rate(std::string_view counter_name,
+                                              std::int64_t window_ns) const {
+  const Entry* base = window_base(window_ns);
+  if (base == nullptr) return std::nullopt;
+  const Entry& newest = entries_.back();
+  WindowRate out;
+  out.span_ns = newest.ts_ns - base->ts_ns;
+  out.delta = newest.snapshot.counter_value(counter_name) -
+              base->snapshot.counter_value(counter_name);
+  if (out.span_ns > 0) {
+    out.per_sec = static_cast<double>(out.delta) * 1e9 /
+                  static_cast<double>(out.span_ns);
+  }
+  return out;
+}
+
+std::optional<WindowQuantiles> RollingWindow::quantiles(
+    std::string_view histogram_name, std::int64_t window_ns) const {
+  const Entry* base = window_base(window_ns);
+  if (base == nullptr) return std::nullopt;
+  const HistogramSample* now =
+      entries_.back().snapshot.find_histogram(histogram_name);
+  if (now == nullptr) return std::nullopt;
+  const HistogramSample* then =
+      base->snapshot.find_histogram(histogram_name);
+
+  std::vector<std::int64_t> deltas = now->counts;
+  double sum_delta = now->sum;
+  std::int64_t count_delta = now->count;
+  if (then != nullptr && then->counts.size() == deltas.size()) {
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      deltas[i] -= then->counts[i];
+    }
+    sum_delta -= then->sum;
+    count_delta -= then->count;
+  }
+
+  WindowQuantiles out;
+  out.count = count_delta;
+  if (count_delta > 0) {
+    out.mean = sum_delta / static_cast<double>(count_delta);
+    out.p50 = quantile_from_deltas(now->bounds, deltas, count_delta, 0.50);
+    out.p95 = quantile_from_deltas(now->bounds, deltas, count_delta, 0.95);
+    out.p99 = quantile_from_deltas(now->bounds, deltas, count_delta, 0.99);
+  }
+  return out;
+}
+
+}  // namespace pcn::obs

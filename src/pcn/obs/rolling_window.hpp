@@ -1,0 +1,91 @@
+// Rolling-window rates and quantiles over metric snapshots.
+//
+// A RollingWindow keeps a short ring of timestamped MetricsSnapshots (one
+// per interval bucket, default 1 s × 64 buckets) and answers "what is the
+// rate / delay distribution over the last W nanoseconds" as a *delta*
+// between the newest entry and the oldest entry still inside the window.
+// Counters and histogram bucket counts are cumulative and monotone, so the
+// delta is exactly the activity of the window — scrapes report current
+// load, not lifetime averages.
+//
+// The window holds copies, never references: feeding it a snapshot is the
+// only coupling to the registry, so it composes with any snapshot source
+// (a live daemon, a replayed report) and needs no locking of its own.
+// Callers that share one instance across threads (the admin server does)
+// serialize access themselves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string_view>
+
+#include "pcn/obs/metrics.hpp"
+
+namespace pcn::obs {
+
+/// Counter delta over a window, as an absolute count and a per-second rate.
+struct WindowRate {
+  std::int64_t delta = 0;
+  double per_sec = 0.0;
+  std::int64_t span_ns = 0;  ///< actual covered span (<= requested window)
+};
+
+/// Histogram quantiles over a window, interpolated from bucket-count deltas.
+struct WindowQuantiles {
+  std::int64_t count = 0;  ///< observations inside the window
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class RollingWindow {
+ public:
+  /// `bucket_interval_ns` is the minimum spacing maybe_add() enforces
+  /// between retained entries; `capacity` bounds the ring, so the maximum
+  /// lookback is roughly capacity × bucket_interval_ns.
+  explicit RollingWindow(std::int64_t bucket_interval_ns = 1'000'000'000,
+                         std::size_t capacity = 64);
+
+  /// Retain the snapshot if at least one bucket interval has elapsed since
+  /// the newest entry (always retains the first).  Returns true if kept.
+  bool maybe_add(std::int64_t now_ns, MetricsSnapshot snapshot);
+
+  /// Retain unconditionally (tests feed synthetic timestamps through this).
+  void add(std::int64_t now_ns, MetricsSnapshot snapshot);
+
+  /// Counter delta between the newest entry and the oldest entry no older
+  /// than `window_ns` before it.  Empty when fewer than two entries cover
+  /// the window (rates need two points).
+  std::optional<WindowRate> rate(std::string_view counter_name,
+                                 std::int64_t window_ns) const;
+
+  /// Histogram quantiles from bucket-count deltas over the same pair of
+  /// entries rate() would use.  Empty when under two entries are available
+  /// or the histogram is absent.
+  std::optional<WindowQuantiles> quantiles(std::string_view histogram_name,
+                                           std::int64_t window_ns) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::int64_t newest_ns() const {
+    return entries_.empty() ? 0 : entries_.back().ts_ns;
+  }
+  std::int64_t bucket_interval_ns() const { return bucket_interval_ns_; }
+
+ private:
+  struct Entry {
+    std::int64_t ts_ns = 0;
+    MetricsSnapshot snapshot;
+  };
+
+  /// Oldest entry with ts >= newest.ts - window_ns, or nullptr when the
+  /// ring has fewer than two entries.
+  const Entry* window_base(std::int64_t window_ns) const;
+
+  std::int64_t bucket_interval_ns_;
+  std::size_t capacity_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace pcn::obs

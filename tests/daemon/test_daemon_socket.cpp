@@ -146,7 +146,7 @@ TEST(SocketServer, BadFramesAreCountedAndTheConnectionSurvives) {
   const int fd = connect_client(server.path());
   // Well-framed garbage: a length prefix followed by junk bytes.
   send_frame(fd, {0xde, 0xad, 0xbe, 0xef, 0x00});
-  await_counter(daemon, "daemon.socket.decode_error", 1);
+  await_counter(daemon, "daemon.socket.decode_errors", 1);
 
   // A PageResponse is a valid proto frame of an un-servable type.
   proto::PageResponse response;
@@ -154,7 +154,7 @@ TEST(SocketServer, BadFramesAreCountedAndTheConnectionSurvives) {
   response.terminal_id = 2;
   response.cell = {0, 0};
   send_frame(fd, proto::encode(response));
-  await_counter(daemon, "daemon.socket.decode_error", 2);
+  await_counter(daemon, "daemon.socket.decode_errors", 2);
 
   // The connection still works: an unknown-terminal page round-trips to
   // a kDropped outcome.

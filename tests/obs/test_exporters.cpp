@@ -46,12 +46,18 @@ TEST(Exporters, PrometheusGolden) {
   const std::string text =
       pcn::obs::to_prometheus(golden_registry().snapshot());
   EXPECT_EQ(text,
+            "# HELP pcn_costmodel_solve_miss pcn metric costmodel.solve."
+            "miss.\n"
             "# TYPE pcn_costmodel_solve_miss counter\n"
             "pcn_costmodel_solve_miss 7\n"
+            "# HELP pcn_sim_update_count pcn metric sim.update.count.\n"
             "# TYPE pcn_sim_update_count counter\n"
             "pcn_sim_update_count 42\n"
+            "# HELP pcn_sim_fleet_terminals pcn metric sim.fleet."
+            "terminals.\n"
             "# TYPE pcn_sim_fleet_terminals gauge\n"
             "pcn_sim_fleet_terminals 3.5\n"
+            "# HELP pcn_sim_page_cycles pcn metric sim.page.cycles.\n"
             "# TYPE pcn_sim_page_cycles histogram\n"
             "pcn_sim_page_cycles_bucket{le=\"1\"} 2\n"
             "pcn_sim_page_cycles_bucket{le=\"2\"} 2\n"
@@ -59,6 +65,30 @@ TEST(Exporters, PrometheusGolden) {
             "pcn_sim_page_cycles_bucket{le=\"+Inf\"} 4\n"
             "pcn_sim_page_cycles_sum 14\n"
             "pcn_sim_page_cycles_count 4\n");
+}
+
+TEST(Exporters, PrometheusHelpTableCoversDaemonMetrics) {
+  // Curated entries do not use the generic fallback text.
+  EXPECT_EQ(pcn::obs::prometheus_help("no.such.metric"),
+            "pcn metric no.such.metric.");
+  EXPECT_EQ(pcn::obs::prometheus_help("daemon.slot.count")
+                .find("pcn metric"),
+            std::string::npos);
+  EXPECT_EQ(pcn::obs::prometheus_help("daemon.phase.ingest_us")
+                .find("pcn metric"),
+            std::string::npos);
+  EXPECT_EQ(pcn::obs::prometheus_help("daemon.socket.decode_errors")
+                .find("pcn metric"),
+            std::string::npos);
+}
+
+TEST(Exporters, PrometheusLabelValueEscaping) {
+  // Exposition-format escapes for label values: backslash, double quote,
+  // and newline.  Everything else passes through verbatim.
+  EXPECT_EQ(pcn::obs::prometheus_escape_label_value("plain"), "plain");
+  EXPECT_EQ(pcn::obs::prometheus_escape_label_value("say \"hi\"\\\n"),
+            "say \\\"hi\\\"\\\\\\n");
+  EXPECT_EQ(pcn::obs::prometheus_escape_label_value("+Inf"), "+Inf");
 }
 
 TEST(Exporters, SnapshotJsonGolden) {

@@ -1,0 +1,134 @@
+// RollingWindow: windowed counter rates and histogram quantiles derived
+// as deltas between retained MetricsSnapshots.  All timestamps here are
+// synthetic, so every expectation is exact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "pcn/obs/metrics.hpp"
+#include "pcn/obs/rolling_window.hpp"
+
+namespace {
+
+using pcn::obs::MetricsRegistry;
+using pcn::obs::RollingWindow;
+using pcn::obs::WindowQuantiles;
+using pcn::obs::WindowRate;
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+TEST(RollingWindowTest, RateIsDeltaOverActualSpan) {
+  MetricsRegistry registry;
+  pcn::obs::Counter pages = registry.counter("pages");
+  RollingWindow window(kSecond, 8);
+
+  window.add(0, registry.snapshot());
+  pages.add(100);
+  window.add(1 * kSecond, registry.snapshot());
+  pages.add(300);
+  window.add(2 * kSecond, registry.snapshot());
+
+  // 10 s window: base is the oldest entry, delta covers both increments.
+  const auto rate10 = window.rate("pages", 10 * kSecond);
+  ASSERT_TRUE(rate10.has_value());
+  EXPECT_EQ(rate10->delta, 400);
+  EXPECT_EQ(rate10->span_ns, 2 * kSecond);
+  EXPECT_DOUBLE_EQ(rate10->per_sec, 200.0);
+
+  // 1 s window: base is the middle entry, delta is the last increment.
+  const auto rate1 = window.rate("pages", 1 * kSecond);
+  ASSERT_TRUE(rate1.has_value());
+  EXPECT_EQ(rate1->delta, 300);
+  EXPECT_EQ(rate1->span_ns, 1 * kSecond);
+  EXPECT_DOUBLE_EQ(rate1->per_sec, 300.0);
+}
+
+TEST(RollingWindowTest, RateNeedsTwoEntriesAndKnownCounter) {
+  MetricsRegistry registry;
+  registry.counter("pages").add(5);
+  RollingWindow window(kSecond, 8);
+  EXPECT_FALSE(window.rate("pages", kSecond).has_value());
+  window.add(0, registry.snapshot());
+  EXPECT_FALSE(window.rate("pages", kSecond).has_value());
+  window.add(kSecond, registry.snapshot());
+  EXPECT_TRUE(window.rate("pages", kSecond).has_value());
+  // Unknown counters read as zero in both entries: delta 0, not an error.
+  const auto unknown = window.rate("no.such.counter", kSecond);
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(unknown->delta, 0);
+}
+
+TEST(RollingWindowTest, MaybeAddEnforcesBucketSpacing) {
+  MetricsRegistry registry;
+  RollingWindow window(kSecond, 8);
+  EXPECT_TRUE(window.maybe_add(0, registry.snapshot()));
+  // Under one bucket interval since the newest entry: dropped.
+  EXPECT_FALSE(window.maybe_add(kSecond / 2, registry.snapshot()));
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_TRUE(window.maybe_add(kSecond, registry.snapshot()));
+  EXPECT_EQ(window.size(), 2u);
+  EXPECT_EQ(window.newest_ns(), kSecond);
+}
+
+TEST(RollingWindowTest, CapacityEvictsOldestEntries) {
+  MetricsRegistry registry;
+  pcn::obs::Counter ticks = registry.counter("ticks");
+  RollingWindow window(kSecond, 4);
+  for (int i = 0; i < 10; ++i) {
+    ticks.add(1);
+    window.add(i * kSecond, registry.snapshot());
+  }
+  EXPECT_EQ(window.size(), 4u);
+  EXPECT_EQ(window.newest_ns(), 9 * kSecond);
+  // A huge window only reaches back to the oldest retained entry (t=6s,
+  // counter=7), so the delta is 10 - 7 = 3 over 3 seconds.
+  const auto rate = window.rate("ticks", 100 * kSecond);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_EQ(rate->delta, 3);
+  EXPECT_EQ(rate->span_ns, 3 * kSecond);
+}
+
+TEST(RollingWindowTest, QuantilesComeFromBucketDeltas) {
+  MetricsRegistry registry;
+  pcn::obs::Histogram delay =
+      registry.histogram("delay", {1.0, 2.0, 4.0, 8.0});
+
+  RollingWindow window(kSecond, 8);
+  // Entry 0 carries earlier observations the window must subtract out.
+  delay.observe(8.0);
+  delay.observe(8.0);
+  window.add(0, registry.snapshot());
+
+  // Inside the window: 90 observations in (1,2], 10 in (4,8].
+  for (int i = 0; i < 90; ++i) delay.observe(2.0);
+  for (int i = 0; i < 10; ++i) delay.observe(8.0);
+  window.add(kSecond, registry.snapshot());
+
+  const auto q = window.quantiles("delay", kSecond);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->count, 100);
+  EXPECT_DOUBLE_EQ(q->mean, (90 * 2.0 + 10 * 8.0) / 100.0);
+  // p50 interpolates inside the (1,2] bucket; p95 and p99 land in (4,8].
+  EXPECT_GT(q->p50, 1.0);
+  EXPECT_LE(q->p50, 2.0);
+  EXPECT_GT(q->p95, 4.0);
+  EXPECT_LE(q->p95, 8.0);
+  EXPECT_GT(q->p99, q->p95 - 1e-12);
+  EXPECT_LE(q->p99, 8.0);
+}
+
+TEST(RollingWindowTest, QuantilesEmptyWindowYieldsZeroCount) {
+  MetricsRegistry registry;
+  pcn::obs::Histogram delay = registry.histogram("delay", {1.0, 2.0});
+  delay.observe(1.0);
+  RollingWindow window(kSecond, 8);
+  window.add(0, registry.snapshot());
+  window.add(kSecond, registry.snapshot());  // no new observations
+  const auto q = window.quantiles("delay", kSecond);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->count, 0);
+  EXPECT_DOUBLE_EQ(q->mean, 0.0);
+  EXPECT_FALSE(window.quantiles("no.such.histogram", kSecond).has_value());
+}
+
+}  // namespace

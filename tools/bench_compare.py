@@ -6,10 +6,16 @@ Usage:
 
 Checks, in order:
   * schema and bench name match;
-  * time-like values (keys containing "sec" or "wall", ending in "_ns", or
-    ending in "overhead_pct") may regress by at most --threshold percent
-    (default 25, a deliberately wide noise band for shared CI machines);
-    improvements of any size pass;
+  * time-like values (keys containing "sec" or "wall", or ending in "_ns"
+    or "_us") may regress by at most --threshold percent (default 25, a
+    deliberately wide noise band for shared CI machines); improvements of
+    any size pass; "_us" keys get double the band (microsecond-scale
+    means average few samples) and are exempt below 1 us on both sides
+    (sub-microsecond means are below timer-interrupt granularity);
+  * overhead percentages (keys ending in "overhead_pct") are compared in
+    absolute percentage points: a relative band is meaningless when the
+    blessed value sits near zero, so the gate fails only when the current
+    overhead exceeds the baseline by more than 2.0 points;
   * every other numeric or string value must match exactly — these are the
     deterministic analytic results (costs, thresholds, row counts) whose
     drift means behaviour changed, not the machine;
@@ -46,6 +52,9 @@ def missing_baseline(path, current):
     sys.exit(2)
 
 
+OVERHEAD_POINTS_TOLERANCE = 2.0
+
+
 def is_time_like(key):
     """Keys whose values are wall-clock measurements, not analytic results."""
     lower = key.lower()
@@ -53,8 +62,13 @@ def is_time_like(key):
         "sec" in lower
         or "wall" in lower
         or lower.endswith("_ns")
-        or lower.endswith("overhead_pct")
+        or lower.endswith("_us")
     )
+
+
+def is_overhead_pct(key):
+    """Overhead percentages: gated in absolute points, not relative."""
+    return key.lower().endswith("overhead_pct")
 
 
 def load(path):
@@ -76,19 +90,47 @@ def compare_values(context, baseline, current, threshold_pct, problems):
             problems.append(f"{context}: key '{key}' disappeared")
             continue
         cur_value = current[key]
-        if is_time_like(key):
+        if is_overhead_pct(key):
+            if not isinstance(base_value, (int, float)) or not isinstance(
+                cur_value, (int, float)
+            ):
+                continue
+            # Overheads are blessed near zero, so a relative band would be
+            # pure measurement noise; gate the absolute increase instead.
+            increase = cur_value - base_value
+            if increase > OVERHEAD_POINTS_TOLERANCE:
+                problems.append(
+                    f"{context}: '{key}' grew {increase:.2f} points "
+                    f"({base_value} -> {cur_value}, tolerance "
+                    f"{OVERHEAD_POINTS_TOLERANCE:.1f} points)"
+                )
+        elif is_time_like(key):
             if not isinstance(base_value, (int, float)) or not isinstance(
                 cur_value, (int, float)
             ):
                 continue  # time-like but non-numeric: nothing to gate
             if base_value <= 0:
                 continue  # no meaningful ratio
+            key_threshold = threshold_pct
+            if key.lower().endswith("_us"):
+                if base_value < 1.0 and cur_value < 1.0:
+                    # Sub-microsecond means sit below timer-interrupt
+                    # granularity: one stray interrupt in the measured
+                    # section doubles them.  A relative band on values this
+                    # small gates noise, not regressions — and a real
+                    # regression that matters will push the mean past 1 us,
+                    # where the band takes over.
+                    continue
+                # Microsecond-scale means (per-phase, per-slot) average far
+                # fewer samples than whole-run seconds, so their noise band
+                # is double the aggregate one.
+                key_threshold = threshold_pct * 2.0
             regression_pct = (cur_value - base_value) / base_value * 100.0
-            if regression_pct > threshold_pct:
+            if regression_pct > key_threshold:
                 problems.append(
                     f"{context}: '{key}' regressed {regression_pct:.1f}% "
                     f"({base_value} -> {cur_value}, threshold "
-                    f"{threshold_pct:.0f}%)"
+                    f"{key_threshold:.0f}%)"
                 )
         else:
             same = (

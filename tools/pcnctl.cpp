@@ -7,6 +7,7 @@
 //   sweep         sweep q or c at the optimal threshold (figure 4/5 style)
 //   baselines     analytic comparison vs movement-/time-based schemes
 //   trace-summary analyze a pcn.trace.v1 flight recording
+//   top           live dashboard for a running pcnd --admin-socket
 //
 // Common flags:
 //   --dim {1|2}        geometry (default 2)
@@ -43,17 +44,34 @@
 //   pcnctl trace-summary FILE   delay distribution, per-cycle costs,
 //   SLA verdicts and the observed-vs-predicted model comparison for a
 //   pcn.trace.v1 file; exits 1 when any call exceeded the delay bound.
+// top:
+//   --admin-socket P   pcnd admin socket to poll (required)
+//   --interval-ms N    refresh interval (default 1000)
+//   --count N          frames to render, 0 = until interrupted (default 0)
+//   --once             render a single frame and exit
+//   --json             print the raw pcn.live_snapshot.v1 document instead
+//                      of the dashboard (with --once: one scrape, for
+//                      scripting)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <string>
+#include <thread>
 
 #include <vector>
 
 #include "pcn/baselines/baseline_models.hpp"
 #include "pcn/cli/args.hpp"
 #include "pcn/core/location_manager.hpp"
+#include "pcn/obs/json.hpp"
 #include "pcn/obs/report.hpp"
 #include "pcn/obs/timer.hpp"
 #include "pcn/obs/trace_analysis.hpp"
@@ -76,6 +94,7 @@ commands:
   baselines     analytic movement-/time-based comparison vs the planned policy
   trace-summary analyze a pcn.trace.v1 flight recording (exit 1 on SLA
                 violations)
+  top           live dashboard for a running pcnd --admin-socket
 
 common flags: --dim {1|2} --q F --c F --U F --V F --delay N --max-d N
               --scheme {sdf|optimal|hpf} --optimizer {scan|anneal|near}
@@ -85,6 +104,7 @@ simulate:     --slots N --seed N --policy {distance|movement|time|la} --param N
               --trace-out FILE --trace-format {jsonl|chrome} --trace-sample N
 sweep:        --variable {q|c} --from F --to F --points N
 trace-summary: pcnctl trace-summary FILE
+top:          --admin-socket PATH --interval-ms N --count N --once --json
 )";
 
 pcn::Dimension parse_dim(const Args& args) {
@@ -588,6 +608,168 @@ int cmd_baselines(const Args& args) {
   return 0;
 }
 
+/// One admin-socket request: connect, send `verb` + newline, read to EOF.
+bool admin_request(const std::string& path, const char* verb,
+                   std::string* out, std::string* error) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("cannot create socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un address{};
+  if (path.size() >= sizeof(address.sun_path)) {
+    ::close(fd);
+    *error = "socket path too long: " + path;
+    return false;
+  }
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    *error = "cannot connect to '" + path + "': " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const std::string request = std::string(verb) + "\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send failed: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  out->clear();
+  char buffer[1 << 14];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("read failed: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (out->empty()) {
+    *error = "empty reply from '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+void render_top_window(const char* label, const pcn::obs::JsonValue& window) {
+  const pcn::obs::JsonValue* delay = window.find("delay");
+  std::printf("  %-3s | %9.0f | %9.0f | %9.0f | %7.4f | %6.1f %6.1f %6.1f\n",
+              label, window.number_or("pages_per_sec", 0.0),
+              window.number_or("served_per_sec", 0.0),
+              window.number_or("dropped_per_sec", 0.0),
+              window.number_or("drop_rate", 0.0),
+              delay == nullptr ? 0.0 : delay->number_or("p50", 0.0),
+              delay == nullptr ? 0.0 : delay->number_or("p95", 0.0),
+              delay == nullptr ? 0.0 : delay->number_or("p99", 0.0));
+}
+
+void render_top_frame(const pcn::obs::JsonValue& doc, bool clear_screen) {
+  if (clear_screen) std::printf("\x1b[2J\x1b[H");
+  std::printf("pcnd live · slot %lld · scrape #%lld\n",
+              static_cast<long long>(doc.int_or("slot", 0)),
+              static_cast<long long>(doc.int_or("scrape_seq", 0)));
+
+  std::printf("\n  win |   pages/s |  served/s | dropped/s | droprate |"
+              "    delay p50/p95/p99 (slots)\n");
+  if (const pcn::obs::JsonValue* windows = doc.find("windows")) {
+    for (const char* label : {"1s", "10s", "60s"}) {
+      if (const pcn::obs::JsonValue* window = windows->find(label)) {
+        render_top_window(label, *window);
+      }
+    }
+  }
+
+  if (const pcn::obs::JsonValue* phase = doc.find("phase_us")) {
+    std::printf("\nphase (mean us/slot): ingest %.1f | apply %.1f | "
+                "drain %.1f | finalize %.1f\n",
+                phase->number_or("ingest", 0.0),
+                phase->number_or("apply", 0.0),
+                phase->number_or("drain", 0.0),
+                phase->number_or("finalize", 0.0));
+  }
+
+  if (const pcn::obs::JsonValue* queues = doc.find("queues")) {
+    std::printf("queues: %lld pending in %lld cells (max depth ever %lld)\n",
+                static_cast<long long>(queues->int_or("total_pending", 0)),
+                static_cast<long long>(queues->int_or("cells_pending", 0)),
+                static_cast<long long>(queues->int_or("max_depth", 0)));
+    const pcn::obs::JsonValue* deepest = queues->find("deepest");
+    if (deepest != nullptr && deepest->is_array() &&
+        !deepest->array.empty()) {
+      std::printf("  deepest cells:");
+      for (const pcn::obs::JsonValue& cell : deepest->array) {
+        std::printf(" (%lld,%lld)=%lld",
+                    static_cast<long long>(cell.int_or("q", 0)),
+                    static_cast<long long>(cell.int_or("r", 0)),
+                    static_cast<long long>(cell.int_or("depth", 0)));
+      }
+      std::printf("\n");
+    }
+  }
+
+  if (const pcn::obs::JsonValue* socket = doc.find("socket")) {
+    std::printf("socket: %lld in / %lld out, %lld decode errors, "
+                "%lld disconnects, outbox hwm %lld B\n",
+                static_cast<long long>(socket->int_or("frames_in", 0)),
+                static_cast<long long>(socket->int_or("frames_out", 0)),
+                static_cast<long long>(socket->int_or("decode_errors", 0)),
+                static_cast<long long>(socket->int_or("disconnects", 0)),
+                static_cast<long long>(socket->int_or("outbox_bytes", 0)));
+  }
+  std::fflush(stdout);
+}
+
+int cmd_top(const Args& args) {
+  const std::string path = args.get_string("admin-socket");
+  const std::int64_t interval_ms = args.get_int_or("interval-ms", 1000);
+  const bool once = args.get_switch("once");
+  const bool raw_json = args.get_switch("json");
+  std::int64_t count = args.get_int_or("count", 0);
+  if (interval_ms < 0) throw UsageError("--interval-ms must be >= 0");
+  if (count < 0) throw UsageError("--count must be >= 0");
+  if (once) count = 1;
+  args.reject_unconsumed();
+
+  for (std::int64_t frame = 0; count == 0 || frame < count; ++frame) {
+    std::string reply;
+    std::string error;
+    if (!admin_request(path, "json", &reply, &error)) {
+      std::fprintf(stderr, "pcnctl top: %s\n", error.c_str());
+      return 1;
+    }
+    pcn::obs::JsonValue doc;
+    if (!pcn::obs::parse_json(reply, &doc, &error)) {
+      std::fprintf(stderr, "pcnctl top: bad snapshot: %s\n", error.c_str());
+      return 1;
+    }
+    if (raw_json) {
+      std::printf("%s\n", reply.c_str());
+      std::fflush(stdout);
+    } else {
+      // Clear the screen between frames, never for a single shot.
+      render_top_frame(doc, /*clear_screen=*/!once && frame > 0);
+    }
+    const bool last = count != 0 && frame + 1 == count;
+    if (!last && interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -599,6 +781,7 @@ int main(int argc, char** argv) {
     if (args.command() == "sweep") return cmd_sweep(args);
     if (args.command() == "baselines") return cmd_baselines(args);
     if (args.command() == "trace-summary") return cmd_trace_summary(args);
+    if (args.command() == "top") return cmd_top(args);
     std::fputs(kUsage, args.command().empty() ? stdout : stderr);
     return args.command().empty() ? 0 : 2;
   } catch (const UsageError& error) {

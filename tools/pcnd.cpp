@@ -34,19 +34,26 @@
 //                      ("-" = stdout)
 //   --trace-out F      record a page-lifecycle flight trace to F
 //   --trace-sample N   record 1 in N page lifecycles (default 8)
+//   --admin-socket P   serve live scrapes (Prometheus text or
+//                      pcn.live_snapshot.v1 JSON) on Unix socket P while
+//                      the run is in flight; also enables the live
+//                      queue-occupancy walk (see docs/daemon.md)
 //
 // serve flags: --socket PATH plus the daemon knobs above (no workload);
 //   --slots N          slots to run before exiting (default 1024)
 //   --slot-us N        microseconds of wall time per slot (default 1000)
+//   --admin-socket P   as above
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "pcn/cli/args.hpp"
+#include "pcn/daemon/admin_server.hpp"
 #include "pcn/daemon/daemon.hpp"
 #include "pcn/daemon/daemon_report.hpp"
 #include "pcn/daemon/load_gen.hpp"
@@ -69,9 +76,10 @@ run:   --terminals N --slots N --threads N --seed N --dim {1|2} --region N
        --q F --c F --d N --channels N --service-slots F --queue-max N
        --lifetime N --groups N --sla N --offered F
        --metrics-out FILE --trace-out FILE --trace-sample N
+       --admin-socket PATH
 serve: --socket PATH --slots N --slot-us N --threads N --dim {1|2}
        --channels N --service-slots F --queue-max N --lifetime N --groups N
-       --sla N
+       --sla N --admin-socket PATH
 )";
 
 pcn::Dimension parse_dim(const Args& args) {
@@ -125,17 +133,25 @@ int cmd_run(const Args& args) {
 
   const std::string metrics_out = args.get_string_or("metrics-out", "");
   const std::string trace_out = args.get_string_or("trace-out", "");
+  const std::string admin_path = args.get_string_or("admin-socket", "");
   const auto trace_sample =
       static_cast<std::uint64_t>(args.get_int_or("trace-sample", 8));
   if (!trace_out.empty()) {
     config.record_flight = true;
     config.flight_sample_every = trace_sample;
   }
+  if (!admin_path.empty()) config.live_stats = true;
   args.reject_unconsumed();
 
   pcn::daemon::Pcnd daemon(config);
+  std::unique_ptr<pcn::daemon::AdminServer> admin;
+  if (!admin_path.empty()) {
+    admin = std::make_unique<pcn::daemon::AdminServer>(&daemon, admin_path);
+    admin->start();
+  }
   pcn::daemon::ClosedLoopWorkload workload(workload_config);
   daemon.run_slots(slots, &workload);
+  if (admin != nullptr) admin->stop();
 
   const pcn::daemon::DaemonRunReport report = pcn::daemon::make_daemon_report(
       daemon, workload_config.seed,
@@ -200,14 +216,21 @@ int cmd_serve(const Args& args) {
   pcn::daemon::PcndConfig config = parse_daemon_config(args);
   config.collect_outcomes = true;
   const std::string socket_path = args.get_string("socket");
+  const std::string admin_path = args.get_string_or("admin-socket", "");
   const std::int64_t slots = args.get_int_or("slots", 1024);
   const std::int64_t slot_us = args.get_int_or("slot-us", 1000);
   if (slot_us < 0) throw UsageError("--slot-us must be >= 0");
+  if (!admin_path.empty()) config.live_stats = true;
   args.reject_unconsumed();
 
   pcn::daemon::Pcnd daemon(config);
   pcn::daemon::SocketServer server(&daemon, socket_path);
   server.start();
+  std::unique_ptr<pcn::daemon::AdminServer> admin;
+  if (!admin_path.empty()) {
+    admin = std::make_unique<pcn::daemon::AdminServer>(&daemon, admin_path);
+    admin->start();
+  }
   std::fprintf(stderr, "pcnd: serving on %s (%" PRId64 " slots, %" PRId64
                " us/slot)\n",
                socket_path.c_str(), slots, slot_us);
@@ -216,8 +239,10 @@ int cmd_serve(const Args& args) {
                           std::chrono::microseconds(slot_us);
     daemon.run_slots(1);
     server.flush_outcomes();
+    if (admin != nullptr) admin->tick();
     std::this_thread::sleep_until(deadline);
   }
+  if (admin != nullptr) admin->stop();
   server.stop();
   const pcn::obs::MetricsSnapshot snapshot =
       daemon.metrics_registry().snapshot();
