@@ -103,9 +103,10 @@ void write_window(obs::JsonWriter& json, const obs::RollingWindow& window,
   json.key("delay").begin_object();
   json.member("count", delay ? delay->count : std::int64_t{0});
   json.member("mean", delay ? delay->mean : 0.0);
-  json.member("p50", delay ? delay->p50 : 0.0);
-  json.member("p95", delay ? delay->p95 : 0.0);
-  json.member("p99", delay ? delay->p99 : 0.0);
+  json.member("p50", delay ? delay->at(0) : 0.0);
+  json.member("p95", delay ? delay->at(1) : 0.0);
+  json.member("p99", delay ? delay->at(2) : 0.0);
+  json.member("max", delay ? delay->max : 0.0);
   json.end_object();
   json.end_object();
 }
@@ -206,6 +207,10 @@ void AdminServer::handle_connection(int fd) {
     send_all(fd, render_prometheus());
   } else if (request == "json") {
     send_all(fd, render_live_snapshot());
+  } else if (request == "series") {
+    // Binary pcn.timeseries.v1 tail (send_all is length-driven, so the
+    // payload may contain any byte); empty encoding when capture is off.
+    send_all(fd, daemon_->timeseries_encoded());
   }
   // Anything else (timeout, EOF, unknown verb): close without a reply.
 }

@@ -9,6 +9,7 @@
 #include <utility>
 #include <tuple>
 
+#include "pcn/obs/timeseries_codec.hpp"
 #include "pcn/obs/tsc.hpp"
 
 namespace pcn::daemon {
@@ -61,6 +62,11 @@ Pcnd::Pcnd(const PcndConfig& config)
     recorder_config.shard_capacity = config_.flight_shard_capacity;
     recorder_ = std::make_unique<obs::FlightRecorder>(recorder_config);
     recorder_->ensure_shards(std::max(ts, qs));
+  }
+
+  if (config_.timeseries_every_slots > 0) {
+    timeseries_ = std::make_unique<obs::TimeseriesRecorder>(
+        config_.timeseries_every_slots, config_.timeseries_max_samples);
   }
 
   if (config_.live_stats) {
@@ -418,11 +424,30 @@ void Pcnd::finalize_phase() {
   }
   slots_run_.increment();
   ++slot_;
+  if (timeseries_ != nullptr &&
+      (slot_ % config_.timeseries_every_slots == 0 ||
+       slot_ - 1 == run_last_slot_)) {
+    // Serial step, after every worker's counters for the finished slot
+    // are barrier-visible: the snapshot is a pure function of the slot
+    // index, so the capture is bit-identical at any thread count (the
+    // recorder's name filter keeps wall-clock series out).
+    const std::lock_guard<std::mutex> lock(timeseries_mutex_);
+    timeseries_->sample(slot_, registry_.snapshot());
+  }
 }
 
 LiveQueueStats Pcnd::live_queue_stats() const {
   const std::lock_guard<std::mutex> lock(live_stats_mutex_);
   return live_stats_;
+}
+
+std::string Pcnd::timeseries_encoded() const {
+  if (timeseries_ == nullptr) {
+    obs::Timeseries empty;
+    return obs::encode_timeseries_string(empty);
+  }
+  const std::lock_guard<std::mutex> lock(timeseries_mutex_);
+  return obs::encode_timeseries_string(timeseries_->data());
 }
 
 void Pcnd::record_page_event(int recorder_shard, obs::FlightEventType type,
@@ -448,6 +473,11 @@ void Pcnd::run_slots(std::int64_t slots, SlotWorkload* workload) {
   PCN_EXPECT(slots >= 0, "Pcnd: slots must be >= 0");
   if (slots == 0) return;
   run_last_slot_ = slot_ + slots - 1;
+  if (timeseries_ != nullptr && timeseries_->sample_count() == 0) {
+    // Baseline sample before the first slot so deltas start from zero.
+    const std::lock_guard<std::mutex> lock(timeseries_mutex_);
+    timeseries_->sample(slot_, registry_.snapshot());
+  }
   const int worker_count = std::max(1, config_.threads);
   const auto start = std::chrono::steady_clock::now();
 

@@ -50,6 +50,7 @@
 #include "pcn/geometry/cell.hpp"
 #include "pcn/obs/flight_recorder.hpp"
 #include "pcn/obs/metrics.hpp"
+#include "pcn/obs/timeseries.hpp"
 
 namespace pcn::daemon {
 
@@ -83,6 +84,15 @@ struct PcndConfig {
   bool record_flight = false;
   std::uint64_t flight_sample_every = 8;
   std::size_t flight_shard_capacity = std::size_t{1} << 16;
+  /// Run-timeline capture: sample the metrics registry into a
+  /// pcn.timeseries.v1 recording every N slots (0 = off).  Sampling runs
+  /// in the serial FINALIZE step at slot boundaries, so the captured
+  /// history is bit-identical at any thread count.  Every run's last slot
+  /// is also sampled; under serve-style run_slots(1) cadence that means
+  /// one sample per slot, which is why the recording is ring-bounded.
+  std::int64_t timeseries_every_slots = 0;
+  /// Most recent samples retained (live tail ring); 0 = unbounded.
+  std::size_t timeseries_max_samples = 4096;
 };
 
 /// Verdict for one submitted page, mirrored onto proto::PageOutcome by
@@ -225,6 +235,17 @@ class Pcnd {
   /// config().live_stats set.
   LiveQueueStats live_queue_stats() const;
 
+  /// The run-timeline recorder (nullptr unless timeseries_every_slots
+  /// > 0).  Not thread-safe against run_slots; use timeseries_encoded()
+  /// for live access.
+  const obs::TimeseriesRecorder* timeseries() const {
+    return timeseries_.get();
+  }
+  /// Thread-safe pcn.timeseries.v1 encoding of the capture so far (the
+  /// admin `series` verb streams this).  An empty-timeline encoding when
+  /// capture is off.
+  std::string timeseries_encoded() const;
+
  private:
   friend class RequestSink;
 
@@ -307,6 +328,12 @@ class Pcnd {
 
   std::mutex outcomes_mutex_;
   std::deque<PageOutcomeEvent> outcomes_;
+
+  /// Run-timeline capture, written only from the serial FINALIZE step
+  /// (and the run_slots prologue) under timeseries_mutex_, so the admin
+  /// thread can encode a consistent copy mid-run.
+  std::unique_ptr<obs::TimeseriesRecorder> timeseries_;
+  mutable std::mutex timeseries_mutex_;
 
   mutable std::mutex live_stats_mutex_;
   LiveQueueStats live_stats_;

@@ -35,6 +35,19 @@ double quantile_from_deltas(const std::vector<double>& bounds,
   return bounds.empty() ? 0.0 : bounds.back();
 }
 
+/// Upper bound of the highest non-empty bucket (the window's observed
+/// maximum, to bucket resolution); the overflow bucket clamps to the last
+/// finite bound like the interpolation above.
+double max_from_deltas(const std::vector<double>& bounds,
+                       const std::vector<std::int64_t>& deltas) {
+  for (std::size_t i = deltas.size(); i-- > 0;) {
+    if (deltas[i] <= 0) continue;
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    return bounds[i];
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 RollingWindow::RollingWindow(std::int64_t bucket_interval_ns,
@@ -75,8 +88,12 @@ std::optional<WindowRate> RollingWindow::rate(std::string_view counter_name,
   const Entry& newest = entries_.back();
   WindowRate out;
   out.span_ns = newest.ts_ns - base->ts_ns;
-  out.delta = newest.snapshot.counter_value(counter_name) -
-              base->snapshot.counter_value(counter_name);
+  const std::int64_t newest_value =
+      newest.snapshot.counter_value(counter_name);
+  out.delta = newest_value - base->snapshot.counter_value(counter_name);
+  // A cumulative counter can only shrink when the process restarted; the
+  // post-restart value is then the whole window's activity.
+  if (out.delta < 0) out.delta = newest_value;
   if (out.span_ns > 0) {
     out.per_sec = static_cast<double>(out.delta) * 1e9 /
                   static_cast<double>(out.span_ns);
@@ -85,7 +102,8 @@ std::optional<WindowRate> RollingWindow::rate(std::string_view counter_name,
 }
 
 std::optional<WindowQuantiles> RollingWindow::quantiles(
-    std::string_view histogram_name, std::int64_t window_ns) const {
+    std::string_view histogram_name, std::int64_t window_ns,
+    std::span<const double> wanted) const {
   const Entry* base = window_base(window_ns);
   if (base == nullptr) return std::nullopt;
   const HistogramSample* now =
@@ -103,15 +121,31 @@ std::optional<WindowQuantiles> RollingWindow::quantiles(
     }
     sum_delta -= then->sum;
     count_delta -= then->count;
+    // Cumulative bucket counts only shrink across a process restart;
+    // treat the newest raw counts as the window, like rate() does.
+    const bool reset =
+        count_delta < 0 ||
+        std::any_of(deltas.begin(), deltas.end(),
+                    [](std::int64_t d) { return d < 0; });
+    if (reset) {
+      deltas = now->counts;
+      sum_delta = now->sum;
+      count_delta = now->count;
+    }
   }
 
   WindowQuantiles out;
   out.count = count_delta;
   if (count_delta > 0) {
     out.mean = sum_delta / static_cast<double>(count_delta);
-    out.p50 = quantile_from_deltas(now->bounds, deltas, count_delta, 0.50);
-    out.p95 = quantile_from_deltas(now->bounds, deltas, count_delta, 0.95);
-    out.p99 = quantile_from_deltas(now->bounds, deltas, count_delta, 0.99);
+    out.max = max_from_deltas(now->bounds, deltas);
+    out.values.reserve(wanted.size());
+    for (const double q : wanted) {
+      out.values.push_back(
+          quantile_from_deltas(now->bounds, deltas, count_delta, q));
+    }
+  } else {
+    out.values.assign(wanted.size(), 0.0);
   }
   return out;
 }

@@ -18,7 +18,9 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "pcn/obs/metrics.hpp"
 
@@ -31,13 +33,24 @@ struct WindowRate {
   std::int64_t span_ns = 0;  ///< actual covered span (<= requested window)
 };
 
+/// The default quantile list: median plus the tail pair every scrape shows.
+inline constexpr double kDefaultQuantiles[] = {0.50, 0.95, 0.99};
+
 /// Histogram quantiles over a window, interpolated from bucket-count deltas.
+/// `values[i]` answers the i-th requested quantile; `max` is the upper
+/// bound of the highest non-empty bucket (the overflow bucket reports the
+/// last finite bound, mirroring the interpolation clamp).
 struct WindowQuantiles {
   std::int64_t count = 0;  ///< observations inside the window
   double mean = 0.0;
-  double p50 = 0.0;
-  double p95 = 0.0;
-  double p99 = 0.0;
+  double max = 0.0;
+  std::vector<double> values;  ///< parallel to the requested quantile list
+
+  /// Requested quantile `q` when present in the defaults-shaped list (the
+  /// common p50/p95/p99 callers); 0.0 otherwise.
+  double at(std::size_t index) const {
+    return index < values.size() ? values[index] : 0.0;
+  }
 };
 
 class RollingWindow {
@@ -57,15 +70,22 @@ class RollingWindow {
 
   /// Counter delta between the newest entry and the oldest entry no older
   /// than `window_ns` before it.  Empty when fewer than two entries cover
-  /// the window (rates need two points).
+  /// the window (rates need two points).  A negative delta means the
+  /// counter reset under the window (a fresh daemon scraped into an old
+  /// ring); the delta is then the newest value, counting activity since
+  /// the restart instead of going negative.
   std::optional<WindowRate> rate(std::string_view counter_name,
                                  std::int64_t window_ns) const;
 
   /// Histogram quantiles from bucket-count deltas over the same pair of
-  /// entries rate() would use.  Empty when under two entries are available
-  /// or the histogram is absent.
-  std::optional<WindowQuantiles> quantiles(std::string_view histogram_name,
-                                           std::int64_t window_ns) const;
+  /// entries rate() would use, answering the caller-supplied quantile
+  /// list (default p50/p95/p99).  Empty when under two entries are
+  /// available or the histogram is absent.  A counter reset under the
+  /// window (negative count or bucket delta) falls back to the newest
+  /// entry's raw cumulative counts.
+  std::optional<WindowQuantiles> quantiles(
+      std::string_view histogram_name, std::int64_t window_ns,
+      std::span<const double> wanted = kDefaultQuantiles) const;
 
   std::size_t size() const { return entries_.size(); }
   std::int64_t newest_ns() const {

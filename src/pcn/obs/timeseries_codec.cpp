@@ -1,0 +1,231 @@
+#include "pcn/obs/timeseries_codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "pcn/obs/report.hpp"
+#include "pcn/proto/wire.hpp"
+
+namespace pcn::obs {
+namespace {
+
+constexpr std::string_view kSchema = "pcn.timeseries.v1";
+
+std::span<const std::uint8_t> as_bytes(std::string_view text) {
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
+
+void put_f64(proto::WireWriter& writer, double value) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  for (int shift = 0; shift < 64; shift += 8) {
+    writer.put_u8(static_cast<std::uint8_t>(bits >> shift));
+  }
+}
+
+double get_f64(proto::WireReader& reader) {
+  std::uint64_t bits = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    bits |= static_cast<std::uint64_t>(reader.get_u8()) << shift;
+  }
+  return std::bit_cast<double>(bits);
+}
+
+/// Zigzag delta-encode a column: first value absolute, then deltas.  Small
+/// monotone counters (the common case) collapse to one or two bytes per
+/// sample.
+void put_delta_column(proto::WireWriter& writer,
+                      const std::vector<std::int64_t>& column) {
+  std::int64_t previous = 0;
+  for (const std::int64_t value : column) {
+    writer.put_signed(value - previous);
+    previous = value;
+  }
+}
+
+std::vector<std::int64_t> get_delta_column(proto::WireReader& reader,
+                                           std::size_t count) {
+  std::vector<std::int64_t> column;
+  column.reserve(count);
+  std::int64_t previous = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    previous += reader.get_signed();
+    column.push_back(previous);
+  }
+  return column;
+}
+
+/// A varint count that implies more payload than remains in the buffer is
+/// corruption; fail before it can drive an allocation.
+std::size_t get_count(proto::WireReader& reader, std::size_t min_bytes_each,
+                      std::string_view what) {
+  const std::uint64_t count = reader.get_varint();
+  if (min_bytes_each > 0 && count > reader.remaining() / min_bytes_each) {
+    throw proto::DecodeError(std::string("timeseries: implausible ") +
+                             std::string(what) + " count");
+  }
+  return static_cast<std::size_t>(count);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_timeseries(const Timeseries& series) {
+  proto::WireWriter writer;
+  writer.put_bytes(as_bytes(kSchema));
+  writer.put_varint(static_cast<std::uint64_t>(series.every_slots));
+  const std::size_t samples = series.slots.size();
+  writer.put_varint(samples);
+  put_delta_column(writer, series.slots);
+  writer.put_varint(series.series.size());
+  for (const Timeseries::Series& s : series.series) {
+    writer.put_bytes(as_bytes(s.name));
+    writer.put_u8(static_cast<std::uint8_t>(s.kind));
+    if (s.kind == SeriesKind::kHistogram) {
+      writer.put_varint(s.bounds.size());
+      for (const double bound : s.bounds) put_f64(writer, bound);
+    }
+  }
+  for (std::size_t index = 0; index < series.series.size(); ++index) {
+    const Timeseries::Series& s = series.series[index];
+    writer.put_varint(index);
+    switch (s.kind) {
+      case SeriesKind::kCounter:
+        put_delta_column(writer, s.values);
+        break;
+      case SeriesKind::kGauge:
+        for (const double value : s.dvalues) put_f64(writer, value);
+        break;
+      case SeriesKind::kHistogram:
+        put_delta_column(writer, s.counts);
+        for (const double sum : s.dvalues) put_f64(writer, sum);
+        for (const std::vector<std::int64_t>& column : s.bucket_columns) {
+          put_delta_column(writer, column);
+        }
+        break;
+    }
+  }
+  const std::uint32_t crc = proto::crc32(writer.buffer());
+  for (int shift = 0; shift < 32; shift += 8) {
+    writer.put_u8(static_cast<std::uint8_t>(crc >> shift));
+  }
+  return writer.take();
+}
+
+Timeseries decode_timeseries(std::span<const std::uint8_t> bytes) {
+  // Integrity first: the CRC trailer covers every byte before it, so any
+  // truncation or bit flip is rejected here, before a single corrupted
+  // length can reach an allocation.
+  if (bytes.size() < 4) {
+    throw proto::DecodeError("timeseries: shorter than its CRC trailer");
+  }
+  const std::span<const std::uint8_t> body = bytes.first(bytes.size() - 4);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[body.size() + i]) << (8 * i);
+  }
+  if (proto::crc32(body) != stored) {
+    throw proto::DecodeError("timeseries: CRC mismatch (corrupt file)");
+  }
+
+  proto::WireReader reader(body);
+  const std::vector<std::uint8_t> schema = reader.get_bytes();
+  if (std::string_view(reinterpret_cast<const char*>(schema.data()),
+                       schema.size()) != kSchema) {
+    throw proto::DecodeError("timeseries: schema is not pcn.timeseries.v1");
+  }
+  Timeseries out;
+  out.every_slots = static_cast<std::int64_t>(reader.get_varint());
+  const std::size_t samples = get_count(reader, 1, "sample");
+  out.slots = get_delta_column(reader, samples);
+  for (std::size_t i = 1; i < out.slots.size(); ++i) {
+    if (out.slots[i] <= out.slots[i - 1]) {
+      throw proto::DecodeError("timeseries: slot column not increasing");
+    }
+  }
+  const std::size_t series_count = get_count(reader, 2, "series");
+  out.series.resize(series_count);
+  for (Timeseries::Series& s : out.series) {
+    const std::vector<std::uint8_t> name = reader.get_bytes();
+    s.name.assign(reinterpret_cast<const char*>(name.data()), name.size());
+    const std::uint8_t kind = reader.get_u8();
+    if (kind > static_cast<std::uint8_t>(SeriesKind::kHistogram)) {
+      throw proto::DecodeError("timeseries: unknown series kind");
+    }
+    s.kind = static_cast<SeriesKind>(kind);
+    if (s.kind == SeriesKind::kHistogram) {
+      const std::size_t bounds = get_count(reader, 8, "bound");
+      s.bounds.reserve(bounds);
+      for (std::size_t i = 0; i < bounds; ++i) {
+        s.bounds.push_back(get_f64(reader));
+      }
+    }
+  }
+  std::vector<bool> seen(series_count, false);
+  for (std::size_t block = 0; block < series_count; ++block) {
+    const std::uint64_t index = reader.get_varint();
+    if (index >= series_count) {
+      throw proto::DecodeError(
+          "timeseries: column block series index out of range");
+    }
+    if (seen[static_cast<std::size_t>(index)]) {
+      throw proto::DecodeError(
+          "timeseries: duplicate column block for series");
+    }
+    seen[static_cast<std::size_t>(index)] = true;
+    Timeseries::Series& s = out.series[static_cast<std::size_t>(index)];
+    switch (s.kind) {
+      case SeriesKind::kCounter:
+        s.values = get_delta_column(reader, samples);
+        break;
+      case SeriesKind::kGauge:
+        s.dvalues.reserve(samples);
+        for (std::size_t i = 0; i < samples; ++i) {
+          s.dvalues.push_back(get_f64(reader));
+        }
+        break;
+      case SeriesKind::kHistogram:
+        s.counts = get_delta_column(reader, samples);
+        s.dvalues.reserve(samples);
+        for (std::size_t i = 0; i < samples; ++i) {
+          s.dvalues.push_back(get_f64(reader));
+        }
+        s.bucket_columns.resize(s.bounds.size() + 1);
+        for (std::vector<std::int64_t>& column : s.bucket_columns) {
+          column = get_delta_column(reader, samples);
+        }
+        break;
+    }
+  }
+  reader.expect_exhausted();
+  return out;
+}
+
+std::string encode_timeseries_string(const Timeseries& series) {
+  const std::vector<std::uint8_t> bytes = encode_timeseries(series);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+Timeseries decode_timeseries_string(std::string_view bytes) {
+  return decode_timeseries(as_bytes(bytes));
+}
+
+bool write_timeseries_file(const std::string& path, const Timeseries& series,
+                           std::string* error) {
+  return write_file(path, encode_timeseries_string(series), error);
+}
+
+bool read_timeseries_file(const std::string& path, Timeseries* out,
+                          std::string* error) {
+  std::string contents;
+  if (!read_file(path, &contents, error)) return false;
+  try {
+    *out = decode_timeseries_string(contents);
+  } catch (const proto::DecodeError& decode_error) {
+    if (error != nullptr) *error = decode_error.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pcn::obs

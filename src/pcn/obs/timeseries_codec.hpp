@@ -1,0 +1,62 @@
+// Binary codec for run timelines: the `pcn.timeseries.v1` columnar format.
+//
+// Layout (all integers are wire varints unless noted):
+//
+//   bytes   "pcn.timeseries.v1"          length-prefixed schema string
+//   varint  every_slots
+//   varint  sample_count
+//   column  slot indices                 zigzag delta-encoded (first value
+//                                        absolute, then successive deltas)
+//   varint  series_count
+//   dictionary, series_count entries:
+//     bytes  name
+//     u8     kind (SeriesKind)
+//     if histogram: varint bounds_count, then bounds_count f64-LE bounds
+//   column blocks, series_count entries, each:
+//     varint series index (into the dictionary; writer emits 0..n-1)
+//     counter:    sample_count zigzag-delta varints
+//     gauge:      sample_count f64-LE values
+//     histogram:  counts column (zigzag-delta), sums (f64-LE),
+//                 then bounds_count + 1 bucket columns (zigzag-delta)
+//   u32-LE  CRC-32 (IEEE) over every preceding byte
+//
+// The reader validates the CRC *before* parsing anything, so a truncated
+// or bit-flipped file always yields a qualified proto::DecodeError and
+// never drives allocation from corrupted lengths.  Encoding is
+// deterministic: encode(decode(bytes)) == bytes for any valid file.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcn/obs/timeseries.hpp"
+
+namespace pcn::obs {
+
+/// Serialise to pcn.timeseries.v1 bytes (deterministic).
+std::vector<std::uint8_t> encode_timeseries(const Timeseries& series);
+
+/// Parse pcn.timeseries.v1 bytes; throws proto::DecodeError on any
+/// corruption (bad CRC, truncation, bad schema, out-of-range dictionary
+/// index, duplicate or missing column block, trailing garbage).
+Timeseries decode_timeseries(std::span<const std::uint8_t> bytes);
+
+/// encode_timeseries as a std::string (for write_file / socket replies).
+std::string encode_timeseries_string(const Timeseries& series);
+
+/// decode_timeseries over string contents (as returned by read_file).
+Timeseries decode_timeseries_string(std::string_view bytes);
+
+/// Write the encoded timeline to `path` ("-" = stdout).  Returns false and
+/// fills `*error` on failure.
+bool write_timeseries_file(const std::string& path, const Timeseries& series,
+                           std::string* error);
+
+/// Read and decode a timeline from `path` ("-" = stdin).  Returns false
+/// and fills `*error` on IO failure or decode error.
+bool read_timeseries_file(const std::string& path, Timeseries* out,
+                          std::string* error);
+
+}  // namespace pcn::obs

@@ -102,6 +102,15 @@ Network::Network(NetworkConfig config, CostWeights weights)
   }
   PCN_EXPECT(config_.trace_ring_capacity >= 1,
              "Network: trace_ring_capacity must be >= 1");
+  PCN_EXPECT(config_.timeseries_every_slots >= 0,
+             "Network: timeseries_every_slots must be >= 0");
+  if (config_.timeseries_every_slots > 0) {
+    // A timeline of an empty registry is useless: capture implies the
+    // runtime counters that populate it.
+    config_.collect_runtime_stats = true;
+    timeseries_ = std::make_unique<obs::TimeseriesRecorder>(
+        config_.timeseries_every_slots);
+  }
   if (config_.collect_runtime_stats) {
     stats_ = std::make_unique<obs_detail::RuntimeStats>(
         *registry_, config_.trace_ring_capacity);
@@ -172,10 +181,24 @@ void Network::run(std::int64_t slots) {
   // events are handed to run_segment, which may fan terminals out across
   // shard workers.
   SimTime t = events_.now();
+  const std::int64_t every = config_.timeseries_every_slots;
+  if (timeseries_ != nullptr) {
+    timeseries_->reserve(static_cast<std::size_t>(slots / every) + 2);
+    if (timeseries_->sample_count() == 0) {
+      // Baseline sample before the first slot so deltas start from zero.
+      timeseries_->sample(t, registry_->snapshot());
+    }
+  }
   while (t < end) {
     SimTime range_end = end;
     if (!events_.empty()) {
       range_end = std::min(range_end, events_.next_time() - 1);
+    }
+    if (timeseries_ != nullptr) {
+      // Stop each event-free segment at the next sampling boundary, so
+      // every terminal has finished the boundary slot — and every shard
+      // worker has flushed its tally — before the snapshot is taken.
+      range_end = std::min(range_end, ((t / every) + 1) * every);
     }
     if (range_end > t) {
       run_segment(t + 1, range_end, scratch);
@@ -188,6 +211,13 @@ void Network::run(std::int64_t slots) {
       if (soa_ != nullptr || simd_ != nullptr) fastpath_revalidate_ = true;
       process_slot(t + 1, scratch);
       t = t + 1;
+    }
+    if (timeseries_ != nullptr && (t % every == 0 || t == end)) {
+      // The inline scratch tally is the only state not yet flushed (shard
+      // workers flush at segment end); fold it in so the sample at slot t
+      // reflects every completed slot exactly.
+      if (stats_ != nullptr) stats_->flush(scratch.tally, scratch.shard);
+      timeseries_->sample(t, registry_->snapshot());
     }
   }
   events_.run_until(end);  // drains nothing; syncs the kernel clock

@@ -22,6 +22,7 @@
 #include "pcn/common/params.hpp"
 #include "pcn/obs/flight_recorder.hpp"
 #include "pcn/obs/metrics.hpp"
+#include "pcn/obs/timeseries.hpp"
 #include "pcn/sim/event_queue.hpp"
 #include "pcn/sim/location_server.hpp"
 #include "pcn/sim/metrics.hpp"
@@ -137,6 +138,13 @@ struct NetworkConfig {
   /// rounded up to a power of two.  The PCN_TRACE_RING_CAPACITY
   /// environment variable overrides this at Network construction.
   std::size_t trace_ring_capacity = 256;
+  /// Run-timeline capture: sample the metrics registry into a
+  /// pcn.timeseries.v1 recording every N slots (0 = off).  Implies
+  /// collect_runtime_stats.  Sampling is keyed to the slot index at
+  /// points where every engine has flushed its per-shard tallies, so the
+  /// capture is bit-identical at any thread count (wall-clock and
+  /// scheduling-dependent series are filtered by name).
+  std::int64_t timeseries_every_slots = 0;
   /// Slot-loop engine selection (see SimEngine).
   SimEngine engine = SimEngine::kAuto;
 };
@@ -202,6 +210,12 @@ class Network {
   /// NetworkConfig::record_flight is set.  Read it (merged(), exporters)
   /// only between run() calls.
   obs::FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+  /// The run-timeline recorder, or nullptr unless
+  /// NetworkConfig::timeseries_every_slots > 0.  Read between run() calls.
+  const obs::TimeseriesRecorder* timeseries() const {
+    return timeseries_.get();
+  }
 
   /// The paging policy attached to `id` — reports use its delay_bound()
   /// for the SLA verdicts.
@@ -291,6 +305,9 @@ class Network {
   std::unique_ptr<obs_detail::RuntimeStats> stats_;
   /// Per-call flight recorder; null unless config_.record_flight.
   std::unique_ptr<obs::FlightRecorder> flight_;
+  /// Run-timeline recorder; null unless config_.timeseries_every_slots > 0.
+  /// Sampled only from the run() driver thread at segment boundaries.
+  std::unique_ptr<obs::TimeseriesRecorder> timeseries_;
   /// Struct-of-arrays fast path; null when the reference engine is in
   /// force (non-canonical fleet, or engine = kReference).
   std::unique_ptr<SoaEngine> soa_;

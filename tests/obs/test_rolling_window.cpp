@@ -109,12 +109,119 @@ TEST(RollingWindowTest, QuantilesComeFromBucketDeltas) {
   EXPECT_EQ(q->count, 100);
   EXPECT_DOUBLE_EQ(q->mean, (90 * 2.0 + 10 * 8.0) / 100.0);
   // p50 interpolates inside the (1,2] bucket; p95 and p99 land in (4,8].
-  EXPECT_GT(q->p50, 1.0);
-  EXPECT_LE(q->p50, 2.0);
-  EXPECT_GT(q->p95, 4.0);
-  EXPECT_LE(q->p95, 8.0);
-  EXPECT_GT(q->p99, q->p95 - 1e-12);
-  EXPECT_LE(q->p99, 8.0);
+  ASSERT_EQ(q->values.size(), 3u);  // default p50/p95/p99
+  EXPECT_GT(q->at(0), 1.0);
+  EXPECT_LE(q->at(0), 2.0);
+  EXPECT_GT(q->at(1), 4.0);
+  EXPECT_LE(q->at(1), 8.0);
+  EXPECT_GT(q->at(2), q->at(1) - 1e-12);
+  EXPECT_LE(q->at(2), 8.0);
+  // All window observations fell in (4,8] at the top: max reports the
+  // upper bound of the highest non-empty bucket.
+  EXPECT_DOUBLE_EQ(q->max, 8.0);
+  // Out-of-range quantile index reads as 0 rather than UB.
+  EXPECT_DOUBLE_EQ(q->at(99), 0.0);
+}
+
+TEST(RollingWindowTest, QuantilesHonourCallerSuppliedList) {
+  MetricsRegistry registry;
+  pcn::obs::Histogram delay = registry.histogram("delay", {1.0, 2.0, 4.0});
+  RollingWindow window(kSecond, 8);
+  window.add(0, registry.snapshot());
+  for (int i = 0; i < 100; ++i) delay.observe(2.0);
+  window.add(kSecond, registry.snapshot());
+
+  const double wanted[] = {0.0, 0.25, 1.0};
+  const auto q = window.quantiles("delay", kSecond, wanted);
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->values.size(), 3u);
+  // Every observation is in (1,2]: all requested quantiles land there.
+  for (const double v : q->values) {
+    EXPECT_GT(v, 1.0 - 1e-12);
+    EXPECT_LE(v, 2.0);
+  }
+  EXPECT_DOUBLE_EQ(q->max, 2.0);
+}
+
+TEST(RollingWindowTest, WrapAroundWithIrregularAndDuplicateTimestamps) {
+  MetricsRegistry registry;
+  pcn::obs::Counter ticks = registry.counter("ticks");
+  RollingWindow window(kSecond, 4);
+  // Irregular spacing, including a duplicate timestamp, pushed well past
+  // capacity so the ring wraps several times.
+  const std::int64_t stamps[] = {0,
+                                 kSecond,
+                                 kSecond,  // duplicate
+                                 3 * kSecond,
+                                 3 * kSecond + 1,
+                                 10 * kSecond,
+                                 11 * kSecond,
+                                 11 * kSecond,  // duplicate at the tail
+                                 25 * kSecond};
+  for (const std::int64_t ts : stamps) {
+    ticks.add(1);
+    window.add(ts, registry.snapshot());
+  }
+  EXPECT_EQ(window.size(), 4u);
+  EXPECT_EQ(window.newest_ns(), 25 * kSecond);
+  // Retained entries are the newest four: t=10s (c=6), 11s (7), 11s (8),
+  // 25s (9).  A wide window bases on t=10s.
+  const auto wide = window.rate("ticks", 100 * kSecond);
+  ASSERT_TRUE(wide.has_value());
+  EXPECT_EQ(wide->delta, 3);
+  EXPECT_EQ(wide->span_ns, 15 * kSecond);
+  // A window smaller than the gap back to any earlier entry has no base
+  // (the newest entry never serves as its own base): no rate, not garbage.
+  EXPECT_FALSE(window.rate("ticks", 2 * kSecond).has_value());
+  // A window that reaches the duplicate-timestamp pair bases on the older
+  // of the two inserts (oldest retained entry inside the window), so the
+  // delta covers both duplicate samples and stays non-negative.
+  const auto dup = window.rate("ticks", 14 * kSecond);
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->delta, 2);
+  EXPECT_EQ(dup->span_ns, 14 * kSecond);
+}
+
+TEST(RollingWindowTest, CounterResetDoesNotGoNegative) {
+  // A fresh daemon restart scraped into an old window: the newest
+  // cumulative value is *smaller* than the base.  The window must not
+  // report a negative rate — it falls back to the newest value (everything
+  // since the restart).
+  MetricsRegistry before;
+  before.counter("pages").add(1000);
+  MetricsRegistry after;  // restarted process: counters start from zero
+  after.counter("pages").add(40);
+
+  RollingWindow window(kSecond, 8);
+  window.add(0, before.snapshot());
+  window.add(kSecond, after.snapshot());
+  const auto rate = window.rate("pages", kSecond);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_EQ(rate->delta, 40);
+  EXPECT_DOUBLE_EQ(rate->per_sec, 40.0);
+}
+
+TEST(RollingWindowTest, HistogramResetFallsBackToRawCounts) {
+  // Same restart scenario for histograms: bucket deltas would all be
+  // negative, so quantiles fall back to the newest raw cumulative state.
+  MetricsRegistry before;
+  pcn::obs::Histogram old_delay = before.histogram("delay", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) old_delay.observe(4.0);
+  MetricsRegistry after;
+  pcn::obs::Histogram delay = after.histogram("delay", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) delay.observe(2.0);
+
+  RollingWindow window(kSecond, 8);
+  window.add(0, before.snapshot());
+  window.add(kSecond, after.snapshot());
+  const auto q = window.quantiles("delay", kSecond);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->count, 10);
+  EXPECT_DOUBLE_EQ(q->mean, 2.0);
+  ASSERT_EQ(q->values.size(), 3u);
+  EXPECT_GT(q->at(0), 1.0);
+  EXPECT_LE(q->at(0), 2.0);
+  EXPECT_DOUBLE_EQ(q->max, 2.0);
 }
 
 TEST(RollingWindowTest, QuantilesEmptyWindowYieldsZeroCount) {

@@ -21,6 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "pcn/obs/metrics.hpp"
+#include "pcn/obs/timeseries.hpp"
+#include "pcn/obs/timeseries_codec.hpp"
 #include "pcn/proto/messages.hpp"
 #include "pcn/proto/wire.hpp"
 #include "support/property.hpp"
@@ -247,6 +250,127 @@ TEST(PropWireFuzz, RoundTripsAndRejectsTruncatedOrCorruptedFrames) {
   PropertyOptions options;
   options.enable_shrinking = false;  // only the seed matters here
   check_property("wire/fuzz-round-trip", check_wire_fuzz, options);
+}
+
+/// A randomized pcn.timeseries.v1 timeline: random mixes of counter /
+/// gauge / histogram series sampled at random strictly-increasing slots.
+obs::Timeseries random_timeseries(stats::Rng& rng) {
+  obs::MetricsRegistry registry;
+  std::vector<obs::Counter> counters;
+  std::vector<obs::Gauge> gauges;
+  std::vector<obs::Histogram> histograms;
+  const std::uint64_t n_counters = rng.next_below(4);
+  const std::uint64_t n_gauges = rng.next_below(3);
+  const std::uint64_t n_histograms = rng.next_below(3);
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    counters.push_back(registry.counter("fuzz.counter." + std::to_string(i)));
+  }
+  for (std::uint64_t i = 0; i < n_gauges; ++i) {
+    gauges.push_back(registry.gauge("fuzz.gauge." + std::to_string(i)));
+  }
+  for (std::uint64_t i = 0; i < n_histograms; ++i) {
+    std::vector<double> bounds;
+    double edge = 1.0 + double(rng.next_below(4));
+    const std::uint64_t n_bounds = 1 + rng.next_below(5);
+    for (std::uint64_t b = 0; b < n_bounds; ++b) {
+      bounds.push_back(edge);
+      edge = edge * 2.0 + 1.0;
+    }
+    histograms.push_back(registry.histogram(
+        "fuzz.histogram." + std::to_string(i), bounds));
+  }
+
+  const std::int64_t every =
+      1 + static_cast<std::int64_t>(rng.next_below(16));
+  obs::TimeseriesRecorder recorder(every);
+  std::int64_t slot = static_cast<std::int64_t>(rng.next_below(100));
+  const std::uint64_t samples = rng.next_below(20);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    for (obs::Counter& c : counters) c.add(rng.next_below(1000));
+    for (obs::Gauge& g : gauges) {
+      g.set(static_cast<std::int64_t>(rng.next_below(1u << 20)));
+    }
+    for (obs::Histogram& h : histograms) {
+      const std::uint64_t observations = rng.next_below(8);
+      for (std::uint64_t o = 0; o < observations; ++o) {
+        h.observe(double(rng.next_below(1u << 10)) * 0.25);
+      }
+    }
+    recorder.sample(slot, registry.snapshot());
+    slot += every;
+  }
+  return recorder.data();
+}
+
+std::optional<std::string> check_timeseries_fuzz(const Scenario& scenario) {
+  stats::Rng rng(scenario.seed);
+  const obs::Timeseries timeline = random_timeseries(rng);
+  const std::vector<std::uint8_t> encoded = obs::encode_timeseries(timeline);
+
+  // decode(encode(t)) re-encodes byte-identically (lossless round trip).
+  const obs::Timeseries decoded = obs::decode_timeseries(encoded);
+  if (obs::encode_timeseries(decoded) != encoded) {
+    return std::optional<std::string>(
+        "timeseries re-encode is not byte-identical");
+  }
+
+  // Every proper prefix is a truncation; none may decode (ASan turns any
+  // overread into a hard failure).
+  for (std::size_t length = 0; length < encoded.size(); ++length) {
+    const std::span<const std::uint8_t> prefix(encoded.data(), length);
+    if (auto f = expect_decode_error("timeseries truncation", [&] {
+          obs::decode_timeseries(prefix);
+        })) {
+      return f;
+    }
+  }
+
+  // The CRC-32 trailer is validated before anything is parsed, so any
+  // single-bit flip must be caught — corrupted lengths never get to
+  // drive allocations.
+  std::vector<std::uint8_t> corrupted = encoded;
+  const std::uint64_t bit = rng.next_below(corrupted.size() * 8);
+  corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  if (auto f = expect_decode_error("timeseries bit flip", [&] {
+        obs::decode_timeseries(corrupted);
+      })) {
+    return f;
+  }
+
+  // A structurally valid file (correct CRC) whose column block names a
+  // dictionary index out of range must be a qualified error, never UB.
+  proto::WireWriter writer;
+  const std::string_view schema = "pcn.timeseries.v1";
+  writer.put_bytes(std::span(
+      reinterpret_cast<const std::uint8_t*>(schema.data()), schema.size()));
+  writer.put_varint(1 + rng.next_below(32));  // every_slots
+  writer.put_varint(1);                       // sample_count
+  writer.put_signed(static_cast<std::int64_t>(rng.next_below(1000)));
+  writer.put_varint(1);  // series_count
+  const std::string_view name = "fuzz";
+  writer.put_bytes(std::span(
+      reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+  writer.put_u8(0);  // kind: counter
+  writer.put_varint(1 + rng.next_below(1u << 20));  // index out of range
+  writer.put_signed(random_signed(rng));
+  std::vector<std::uint8_t> crafted(writer.buffer().begin(),
+                                    writer.buffer().end());
+  const std::uint32_t crc = proto::crc32(crafted);
+  for (int i = 0; i < 4; ++i) {
+    crafted.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  if (auto f = expect_decode_error("timeseries dictionary index", [&] {
+        obs::decode_timeseries(crafted);
+      })) {
+    return f;
+  }
+  return std::nullopt;
+}
+
+TEST(PropWireFuzz, TimeseriesReaderRejectsTruncatedOrCorruptedFiles) {
+  PropertyOptions options;
+  options.enable_shrinking = false;  // only the seed matters here
+  check_property("wire/timeseries-fuzz", check_timeseries_fuzz, options);
 }
 
 }  // namespace

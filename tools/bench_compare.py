@@ -6,6 +6,11 @@ Usage:
 
 Checks, in order:
   * schema and bench name match;
+  * rate-like values (keys containing "per_sec" or "speedup") are
+    throughputs: higher is better, so the band gates *drops* of more than
+    --threshold percent and improvements of any size pass; "speedup"
+    keys get double the band (a ratio of two wall-clock legs compounds
+    both legs' noise);
   * time-like values (keys containing "sec" or "wall", or ending in "_ns"
     or "_us") may regress by at most --threshold percent (default 25, a
     deliberately wide noise band for shared CI machines); improvements of
@@ -66,6 +71,17 @@ def is_time_like(key):
     )
 
 
+def is_rate_like(key):
+    """Throughputs and speedup ratios: wall-clock-derived, higher is better.
+
+    Checked before is_time_like — "per_sec" contains "sec", and gating a
+    throughput in the time-like direction would fail improvements while
+    passing collapses.
+    """
+    lower = key.lower()
+    return "per_sec" in lower or "speedup" in lower
+
+
 def is_overhead_pct(key):
     """Overhead percentages: gated in absolute points, not relative."""
     return key.lower().endswith("overhead_pct")
@@ -103,6 +119,27 @@ def compare_values(context, baseline, current, threshold_pct, problems):
                     f"{context}: '{key}' grew {increase:.2f} points "
                     f"({base_value} -> {cur_value}, tolerance "
                     f"{OVERHEAD_POINTS_TOLERANCE:.1f} points)"
+                )
+        elif is_rate_like(key):
+            if not isinstance(base_value, (int, float)) or not isinstance(
+                cur_value, (int, float)
+            ):
+                continue  # rate-like but non-numeric: nothing to gate
+            if base_value <= 0:
+                continue  # no meaningful ratio
+            key_threshold = threshold_pct
+            if "speedup" in key.lower():
+                # A speedup is the ratio of two wall-clock measurements,
+                # so its noise is both legs' compounded — and on a shared
+                # single core a thread-scaling ratio is mostly scheduler
+                # behaviour.  Double the band, like the "_us" keys.
+                key_threshold = threshold_pct * 2.0
+            drop_pct = (base_value - cur_value) / base_value * 100.0
+            if drop_pct > key_threshold:
+                problems.append(
+                    f"{context}: '{key}' dropped {drop_pct:.1f}% "
+                    f"({base_value} -> {cur_value}, threshold "
+                    f"{key_threshold:.0f}%)"
                 )
         elif is_time_like(key):
             if not isinstance(base_value, (int, float)) or not isinstance(

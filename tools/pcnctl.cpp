@@ -37,6 +37,11 @@
 //   --trace-format {jsonl|chrome}  pcn.trace.v1 JSONL (default) or a
 //                      Chrome/Perfetto trace_event file
 //   --trace-sample N   record 1 in N call lifecycles (default 8)
+//   --series-out F     record a pcn.timeseries.v1 run timeline to F
+//                      ("-" = stdout); enables runtime telemetry
+//   --series-every N   sample the metrics registry every N slots
+//                      (default 64; slot-indexed, bit-identical at any
+//                      thread count)
 // sweep extras:
 //   --variable {q|c}   which rate to sweep
 //   --from F --to F --points N
@@ -52,6 +57,20 @@
 //   --json             print the raw pcn.live_snapshot.v1 document instead
 //                      of the dashboard (with --once: one scrape, for
 //                      scripting)
+// timeline:
+//   pcnctl timeline FILE        analyze a pcn.timeseries.v1 run timeline:
+//   per-series sparkline tables, windowed rates/quantiles (RollingWindow
+//   delta math over the replayed samples) and CUSUM changepoint verdicts
+//   (machine-readable PCN_TIMELINE line with overload_onset_slot).
+//   --admin-socket P   scrape the live timeline tail from a running pcnd
+//                      instead of reading FILE
+//   --window-slots N   summary window (default: the whole capture)
+//   --baseline N       CUSUM baseline samples (default 8)
+//   --threshold F      CUSUM detection threshold in baseline scales
+//                      (default 8.0)
+//   --json             machine-readable JSON instead of tables
+//   --reencode OUT     re-encode the loaded timeline to OUT ("-" = stdout;
+//                      byte-exact for files produced by this codec)
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -63,6 +82,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <initializer_list>
 #include <string>
 #include <thread>
 
@@ -73,9 +93,13 @@
 #include "pcn/core/location_manager.hpp"
 #include "pcn/obs/json.hpp"
 #include "pcn/obs/report.hpp"
+#include "pcn/obs/rolling_window.hpp"
 #include "pcn/obs/timer.hpp"
+#include "pcn/obs/timeseries.hpp"
+#include "pcn/obs/timeseries_codec.hpp"
 #include "pcn/obs/trace_analysis.hpp"
 #include "pcn/obs/trace_export.hpp"
+#include "pcn/proto/wire.hpp"
 #include "pcn/sim/network.hpp"
 #include "pcn/sim/simd_engine.hpp"
 
@@ -95,6 +119,8 @@ commands:
   trace-summary analyze a pcn.trace.v1 flight recording (exit 1 on SLA
                 violations)
   top           live dashboard for a running pcnd --admin-socket
+  timeline      analyze a pcn.timeseries.v1 run timeline (sparklines,
+                windowed rates, changepoint verdicts)
 
 common flags: --dim {1|2} --q F --c F --U F --V F --delay N --max-d N
               --scheme {sdf|optimal|hpf} --optimizer {scan|anneal|near}
@@ -102,9 +128,13 @@ simulate:     --slots N --seed N --policy {distance|movement|time|la} --param N
               --threads N --engine {auto|reference|soa|simd}
               --metrics-out FILE --progress
               --trace-out FILE --trace-format {jsonl|chrome} --trace-sample N
+              --series-out FILE --series-every N
 sweep:        --variable {q|c} --from F --to F --points N
 trace-summary: pcnctl trace-summary FILE
 top:          --admin-socket PATH --interval-ms N --count N --once --json
+timeline:     pcnctl timeline FILE | --admin-socket PATH
+              [--window-slots N] [--baseline N] [--threshold F] [--json]
+              [--reencode OUT]
 )";
 
 pcn::Dimension parse_dim(const Args& args) {
@@ -251,6 +281,9 @@ int cmd_simulate(const Args& args) {
     throw UsageError("--trace-format must be jsonl or chrome");
   }
   if (trace_sample < 1) throw UsageError("--trace-sample must be >= 1");
+  const std::string series_out = args.get_string_or("series-out", "");
+  const std::int64_t series_every = args.get_int_or("series-every", 64);
+  if (series_every < 1) throw UsageError("--series-every must be >= 1");
   const std::string scheme_name = args.get_string_or("scheme", "sdf");
   const pcn::core::LocationManager manager(dim, profile, weights,
                                            parse_planner(args));
@@ -291,6 +324,9 @@ int cmd_simulate(const Args& args) {
   net_config.record_flight = !trace_out.empty();
   net_config.flight_sample_every =
       static_cast<std::uint64_t>(trace_sample);
+  if (!series_out.empty()) {
+    net_config.timeseries_every_slots = series_every;
+  }
   pcn::sim::Network network(net_config, weights);
   const pcn::sim::TerminalId id = network.add_terminal(std::move(spec));
   if (progress) {
@@ -349,6 +385,14 @@ int cmd_simulate(const Args& args) {
     if (!pcn::obs::write_file(metrics_out, pcn::obs::to_json(report),
                               &error)) {
       std::fprintf(stderr, "pcnctl: --metrics-out: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!series_out.empty()) {
+    std::string error;
+    if (!pcn::obs::write_timeseries_file(
+            series_out, network.timeseries()->data(), &error)) {
+      std::fprintf(stderr, "pcnctl: --series-out: %s\n", error.c_str());
       return 1;
     }
   }
@@ -770,6 +814,285 @@ int cmd_top(const Args& args) {
   return 0;
 }
 
+// --- timeline ---------------------------------------------------------------
+
+/// Downsampled unicode sparkline: `values` scaled to their max, one block
+/// per chunk (max-of-chunk, so short spikes survive the downsampling).
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+  static const char* const kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇",
+                                        "█"};
+  if (values.empty()) return "";
+  width = std::min(width, values.size());
+  double top = 0.0;
+  for (const double v : values) top = std::max(top, v);
+  std::string out;
+  for (std::size_t chunk = 0; chunk < width; ++chunk) {
+    const std::size_t begin = chunk * values.size() / width;
+    const std::size_t end =
+        std::max(begin + 1, (chunk + 1) * values.size() / width);
+    double peak = 0.0;
+    for (std::size_t i = begin; i < end && i < values.size(); ++i) {
+      peak = std::max(peak, values[i]);
+    }
+    const int level =
+        top <= 0.0 ? 0
+                   : std::min(7, static_cast<int>(peak / top * 7.999));
+    out += kBlocks[std::max(0, level)];
+  }
+  return out;
+}
+
+/// Per-sample "activity" view of one series: counter and histogram-count
+/// deltas (what happened between samples), raw values for gauges.
+std::vector<double> series_activity(const pcn::obs::Timeseries::Series& s) {
+  std::vector<double> out;
+  const auto deltas = [&out](const std::vector<std::int64_t>& column) {
+    out.reserve(column.size());
+    std::int64_t previous = 0;
+    for (const std::int64_t v : column) {
+      out.push_back(static_cast<double>(v - previous));
+      previous = v;
+    }
+  };
+  switch (s.kind) {
+    case pcn::obs::SeriesKind::kCounter:
+      deltas(s.values);
+      break;
+    case pcn::obs::SeriesKind::kGauge:
+      out = s.dvalues;
+      break;
+    case pcn::obs::SeriesKind::kHistogram:
+      deltas(s.counts);
+      break;
+  }
+  return out;
+}
+
+/// Sum of the windowed per-slot rates of several counters ("per_sec" is
+/// per-slot here: replayed timestamps are slot * 1e9 ns).
+double summed_rate(const pcn::obs::RollingWindow& window,
+                   std::initializer_list<const char*> names,
+                   std::int64_t window_ns) {
+  double total = 0.0;
+  for (const char* name : names) {
+    if (const auto rate = window.rate(name, window_ns)) {
+      total += rate->per_sec;
+    }
+  }
+  return total;
+}
+
+int cmd_timeline(const Args& args) {
+  const std::string socket_path = args.get_string_or("admin-socket", "");
+  const std::string path =
+      socket_path.empty() ? args.positional(0, "SERIES_FILE") : "";
+  const std::int64_t window_slots = args.get_int_or("window-slots", 0);
+  const std::int64_t baseline = args.get_int_or("baseline", 8);
+  const double threshold = args.get_double_or("threshold", 8.0);
+  const bool raw_json = args.get_switch("json");
+  const std::string reencode = args.get_string_or("reencode", "");
+  if (window_slots < 0) throw UsageError("--window-slots must be >= 0");
+  if (baseline < 1) throw UsageError("--baseline must be >= 1");
+  if (!(threshold > 0.0)) throw UsageError("--threshold must be > 0");
+  args.reject_unconsumed();
+
+  pcn::obs::Timeseries series;
+  std::string error;
+  if (!socket_path.empty()) {
+    std::string reply;
+    if (!admin_request(socket_path, "series", &reply, &error)) {
+      std::fprintf(stderr, "pcnctl timeline: %s\n", error.c_str());
+      return 1;
+    }
+    try {
+      series = pcn::obs::decode_timeseries_string(reply);
+    } catch (const pcn::proto::DecodeError& decode_error) {
+      std::fprintf(stderr, "pcnctl timeline: '%s': %s\n",
+                   socket_path.c_str(), decode_error.what());
+      return 1;
+    }
+  } else if (!pcn::obs::read_timeseries_file(path, &series, &error)) {
+    std::fprintf(stderr, "pcnctl timeline: %s\n", error.c_str());
+    return 1;
+  }
+  if (!reencode.empty() &&
+      !pcn::obs::write_timeseries_file(reencode, series, &error)) {
+    std::fprintf(stderr, "pcnctl timeline: --reencode: %s\n", error.c_str());
+    return 1;
+  }
+
+  const std::size_t samples = series.sample_count();
+  const std::int64_t first_slot = samples > 0 ? series.slots.front() : 0;
+  const std::int64_t last_slot = samples > 0 ? series.slots.back() : 0;
+
+  // Replay the samples through RollingWindow with slot-as-seconds
+  // timestamps: per_sec becomes per-slot, and the windowed delta math is
+  // exactly what the live `pcnctl top` dashboard uses.
+  pcn::obs::RollingWindow window(1, samples + 2);
+  std::vector<std::int64_t> step_slots;   // sample i >= 1
+  std::vector<double> failure_per_slot;   // drop+expire+unknown rate
+  std::vector<double> delay_mean;         // windowed queue-delay mean
+  for (std::size_t i = 0; i < samples; ++i) {
+    window.add(series.slots[i] * 1'000'000'000, series.snapshot_at(i));
+    if (i == 0) continue;
+    const std::int64_t step_ns =
+        (series.slots[i] - series.slots[i - 1]) * 1'000'000'000;
+    step_slots.push_back(series.slots[i]);
+    failure_per_slot.push_back(summed_rate(
+        window,
+        {"daemon.page.dropped", "daemon.page.expired",
+         "daemon.page.unknown_terminal"},
+        step_ns));
+    const auto delay =
+        window.quantiles("daemon.page.queue_delay_slots", step_ns);
+    delay_mean.push_back(delay ? delay->mean : 0.0);
+  }
+
+  pcn::obs::ChangepointConfig cusum;
+  cusum.baseline_samples = static_cast<std::size_t>(baseline);
+  cusum.threshold_sigmas = threshold;
+  const pcn::obs::Changepoint drop_shift =
+      pcn::obs::detect_upward_shift(step_slots, failure_per_slot, cusum);
+  const pcn::obs::Changepoint delay_shift =
+      pcn::obs::detect_upward_shift(step_slots, delay_mean, cusum);
+  std::int64_t overload_onset = -1;
+  if (drop_shift.detected) overload_onset = drop_shift.onset_slot;
+  if (delay_shift.detected &&
+      (overload_onset < 0 || delay_shift.onset_slot < overload_onset)) {
+    overload_onset = delay_shift.onset_slot;
+  }
+
+  const std::int64_t span_slots =
+      window_slots > 0 ? window_slots : std::max<std::int64_t>(
+                                            last_slot - first_slot, 1);
+  const std::int64_t span_ns = span_slots * 1'000'000'000;
+
+  if (raw_json) {
+    pcn::obs::JsonWriter json;
+    json.begin_object();
+    json.member("schema", "pcn.timeline_analysis.v1");
+    json.member("every_slots", series.every_slots);
+    json.member("samples", static_cast<std::int64_t>(samples));
+    json.member("first_slot", first_slot);
+    json.member("last_slot", last_slot);
+    json.key("series").begin_array();
+    for (const pcn::obs::Timeseries::Series& s : series.series) {
+      const std::vector<double> activity = series_activity(s);
+      double total = 0.0;
+      for (const double v : activity) total += v;
+      json.begin_object();
+      json.member("name", s.name);
+      json.member("kind", s.kind == pcn::obs::SeriesKind::kCounter
+                              ? "counter"
+                              : s.kind == pcn::obs::SeriesKind::kGauge
+                                    ? "gauge"
+                                    : "histogram");
+      if (s.kind == pcn::obs::SeriesKind::kCounter && !s.values.empty()) {
+        json.member("last", s.values.back());
+      } else if (s.kind == pcn::obs::SeriesKind::kHistogram &&
+                 !s.counts.empty()) {
+        json.member("last", s.counts.back());
+      } else if (!s.dvalues.empty()) {
+        json.member("last", s.dvalues.back());
+      }
+      if (s.kind != pcn::obs::SeriesKind::kGauge) {
+        json.member("window_delta", total);
+      }
+      json.end_object();
+    }
+    json.end_array();
+    const auto changepoint_json = [&json](const char* key,
+                                          const pcn::obs::Changepoint& c) {
+      json.key(key).begin_object();
+      json.member("detected", c.detected);
+      json.member("onset_slot", c.onset_slot);
+      json.member("baseline_mean", c.baseline_mean);
+      json.member("peak_score", c.peak_score);
+      json.end_object();
+    };
+    changepoint_json("drop_shift", drop_shift);
+    changepoint_json("delay_shift", delay_shift);
+    json.member("overload_onset_slot", overload_onset);
+    json.end_object();
+    std::printf("%s\n", json.take().c_str());
+    return 0;
+  }
+
+  std::printf("timeline      : %zu samples, every %lld slots, slots "
+              "%lld..%lld\n",
+              samples, static_cast<long long>(series.every_slots),
+              static_cast<long long>(first_slot),
+              static_cast<long long>(last_slot));
+  std::printf("series        : %zu (window %lld slots)\n",
+              series.series.size(), static_cast<long long>(span_slots));
+  if (samples >= 2) {
+    std::printf("\n  %-34s %12s %12s  activity\n", "series", "last",
+                "window");
+    for (const pcn::obs::Timeseries::Series& s : series.series) {
+      const std::vector<double> activity = series_activity(s);
+      std::string last;
+      std::string windowed;
+      if (s.kind == pcn::obs::SeriesKind::kGauge) {
+        last = std::to_string(s.dvalues.empty() ? 0.0 : s.dvalues.back());
+        last.resize(std::min<std::size_t>(last.size(), 12));
+        windowed = "-";
+      } else {
+        const std::int64_t final_value =
+            s.kind == pcn::obs::SeriesKind::kCounter
+                ? (s.values.empty() ? 0 : s.values.back())
+                : (s.counts.empty() ? 0 : s.counts.back());
+        last = std::to_string(final_value);
+        const auto rate = window.rate(s.name, span_ns);
+        if (s.kind == pcn::obs::SeriesKind::kCounter && rate) {
+          windowed = std::to_string(rate->delta);
+        } else if (s.kind == pcn::obs::SeriesKind::kHistogram) {
+          const auto q = window.quantiles(s.name, span_ns);
+          windowed = q ? std::to_string(q->count) : "-";
+        } else {
+          windowed = "-";
+        }
+      }
+      std::printf("  %-34s %12s %12s  %s\n", s.name.c_str(), last.c_str(),
+                  windowed.c_str(), sparkline(activity, 48).c_str());
+    }
+    const auto delay =
+        window.quantiles("daemon.page.queue_delay_slots", span_ns);
+    if (delay && delay->count > 0) {
+      std::printf("\nqueue delay   : %lld served in window, mean %.2f, "
+                  "p50 %.1f, p95 %.1f, p99 %.1f, max %.0f slots\n",
+                  static_cast<long long>(delay->count), delay->mean,
+                  delay->at(0), delay->at(1), delay->at(2), delay->max);
+    }
+  }
+
+  const auto print_shift = [](const char* label,
+                              const pcn::obs::Changepoint& c) {
+    if (c.detected) {
+      std::printf("%s: shift at slot %lld (baseline %.4f, peak score "
+                  "%.1f)\n",
+                  label, static_cast<long long>(c.onset_slot),
+                  c.baseline_mean, c.peak_score);
+    } else {
+      std::printf("%s: no upward shift (peak score %.1f)\n", label,
+                  c.peak_score);
+    }
+  };
+  std::printf("\n");
+  print_shift("drop rate     ", drop_shift);
+  print_shift("queue delay   ", delay_shift);
+  std::printf("PCN_TIMELINE samples=%zu every=%lld last_slot=%lld "
+              "drop_onset_slot=%lld delay_onset_slot=%lld "
+              "overload_onset_slot=%lld\n",
+              samples, static_cast<long long>(series.every_slots),
+              static_cast<long long>(last_slot),
+              static_cast<long long>(
+                  drop_shift.detected ? drop_shift.onset_slot : -1),
+              static_cast<long long>(
+                  delay_shift.detected ? delay_shift.onset_slot : -1),
+              static_cast<long long>(overload_onset));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -782,6 +1105,7 @@ int main(int argc, char** argv) {
     if (args.command() == "baselines") return cmd_baselines(args);
     if (args.command() == "trace-summary") return cmd_trace_summary(args);
     if (args.command() == "top") return cmd_top(args);
+    if (args.command() == "timeline") return cmd_timeline(args);
     std::fputs(kUsage, args.command().empty() ? stdout : stderr);
     return args.command().empty() ? 0 : 2;
   } catch (const UsageError& error) {

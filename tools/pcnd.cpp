@@ -38,11 +38,18 @@
 //                      pcn.live_snapshot.v1 JSON) on Unix socket P while
 //                      the run is in flight; also enables the live
 //                      queue-occupancy walk (see docs/daemon.md)
+//   --series-out F     write a pcn.timeseries.v1 metric timeline to F
+//                      ("-" = stdout); sampled in the serial FINALIZE
+//                      phase, bit-identical at any --threads
+//   --series-every N   sample the registry every N slots (default 16)
 //
 // serve flags: --socket PATH plus the daemon knobs above (no workload);
 //   --slots N          slots to run before exiting (default 1024)
 //   --slot-us N        microseconds of wall time per slot (default 1000)
-//   --admin-socket P   as above
+//   --admin-socket P   as above; the `series` admin verb streams the
+//                      in-flight timeline when --series-every is set
+//   --series-out F / --series-every N   as above (serve keeps the newest
+//                      4096 samples)
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
@@ -76,10 +83,10 @@ run:   --terminals N --slots N --threads N --seed N --dim {1|2} --region N
        --q F --c F --d N --channels N --service-slots F --queue-max N
        --lifetime N --groups N --sla N --offered F
        --metrics-out FILE --trace-out FILE --trace-sample N
-       --admin-socket PATH
+       --admin-socket PATH --series-out FILE --series-every N
 serve: --socket PATH --slots N --slot-us N --threads N --dim {1|2}
        --channels N --service-slots F --queue-max N --lifetime N --groups N
-       --sla N --admin-socket PATH
+       --sla N --admin-socket PATH --series-out FILE --series-every N
 )";
 
 pcn::Dimension parse_dim(const Args& args) {
@@ -102,6 +109,32 @@ pcn::daemon::PcndConfig parse_daemon_config(const Args& args) {
   config.queue.groups = static_cast<int>(args.get_int_or("groups", 4));
   config.sla_delay_slots = static_cast<int>(args.get_int_or("sla", 8));
   return config;
+}
+
+/// Parses --series-out / --series-every into `config`, returning the output
+/// path ("" when capture is off).  Capture is enabled whenever either flag
+/// is given; --series-every defaults to 16 slots.
+std::string parse_series_flags(const Args& args,
+                               pcn::daemon::PcndConfig* config) {
+  const std::string series_out = args.get_string_or("series-out", "");
+  const std::int64_t series_every = args.get_int_or("series-every", 0);
+  if (series_every < 0) throw UsageError("--series-every must be >= 1");
+  if (!series_out.empty() || series_every > 0) {
+    config->timeseries_every_slots = series_every > 0 ? series_every : 16;
+  }
+  return series_out;
+}
+
+/// Writes the daemon's captured timeline to `path` (pcn.timeseries.v1).
+int write_series_file(const pcn::daemon::Pcnd& daemon,
+                      const std::string& path) {
+  if (path.empty()) return 0;
+  std::string error;
+  if (!pcn::obs::write_file(path, daemon.timeseries_encoded(), &error)) {
+    std::fprintf(stderr, "pcnd: --series-out: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_run(const Args& args) {
@@ -141,6 +174,7 @@ int cmd_run(const Args& args) {
     config.flight_sample_every = trace_sample;
   }
   if (!admin_path.empty()) config.live_stats = true;
+  const std::string series_out = parse_series_flags(args, &config);
   args.reject_unconsumed();
 
   pcn::daemon::Pcnd daemon(config);
@@ -152,6 +186,9 @@ int cmd_run(const Args& args) {
   pcn::daemon::ClosedLoopWorkload workload(workload_config);
   daemon.run_slots(slots, &workload);
   if (admin != nullptr) admin->stop();
+  if (const int status = write_series_file(daemon, series_out); status != 0) {
+    return status;
+  }
 
   const pcn::daemon::DaemonRunReport report = pcn::daemon::make_daemon_report(
       daemon, workload_config.seed,
@@ -221,6 +258,7 @@ int cmd_serve(const Args& args) {
   const std::int64_t slot_us = args.get_int_or("slot-us", 1000);
   if (slot_us < 0) throw UsageError("--slot-us must be >= 0");
   if (!admin_path.empty()) config.live_stats = true;
+  const std::string series_out = parse_series_flags(args, &config);
   args.reject_unconsumed();
 
   pcn::daemon::Pcnd daemon(config);
@@ -244,6 +282,9 @@ int cmd_serve(const Args& args) {
   }
   if (admin != nullptr) admin->stop();
   server.stop();
+  if (const int status = write_series_file(daemon, series_out); status != 0) {
+    return status;
+  }
   const pcn::obs::MetricsSnapshot snapshot =
       daemon.metrics_registry().snapshot();
   std::printf("pcnd serve: %" PRId64 " slots, %" PRId64 " updates, %" PRId64
