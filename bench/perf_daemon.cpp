@@ -27,6 +27,15 @@
 // an uncontended render floor and printed alongside — at the 1 Hz
 // pcnctl-top cadence it is well under 0.1% of a core.
 //
+// Two policy-plane sections ride on the same scenario, all-deterministic
+// rows gated exactly by bench_compare: per-admission-policy 2x points
+// (`admission_drop_oldest_2x`, `admission_priority_2x` — victim choice
+// drift shows up as counter drift) and an open-loop-vs-feedback planner
+// pair (`plan_static_2x`, `plan_feedback_2x`).  The feedback plan must
+// beat the static plan on p99 queueing delay or SLA violations at 2x
+// without lowering the served-page knee — the bench exits nonzero
+// otherwise.
+//
 // The run-timeline layer is gated the same way: every sweep point runs
 // with timeseries capture on (every 8 slots) and writes its
 // pcn.timeseries.v1 timeline next to the JSON report
@@ -105,8 +114,13 @@ std::string admin_socket_path() {
   return dir + "/pcn_perf_daemon_admin." + std::to_string(getpid()) + ".sock";
 }
 
-SweepPoint run_point(double multiple, bool introspect, std::int64_t slots,
-                     std::int64_t series_every = 0) {
+SweepPoint run_point(
+    double multiple, bool introspect, std::int64_t slots,
+    std::int64_t series_every = 0,
+    pcn::daemon::AdmissionPolicy admission =
+        pcn::daemon::AdmissionPolicy::kDropNewest,
+    pcn::daemon::DelayPlanConfig::Mode plan_mode =
+        pcn::daemon::DelayPlanConfig::Mode::kOff) {
   pcn::daemon::PcndConfig config;
   config.live_stats = introspect;
   config.timeseries_every_slots = series_every;
@@ -117,7 +131,9 @@ SweepPoint run_point(double multiple, bool introspect, std::int64_t slots,
   config.queue.max_pending = 64;
   config.queue.lifetime_slots = 128;
   config.queue.groups = 4;
+  config.queue.admission = admission;
   config.sla_delay_slots = 8;
+  config.plan.mode = plan_mode;
 
   pcn::daemon::ClosedLoopConfig workload_config;
   workload_config.dimension = config.dimension;
@@ -288,6 +304,80 @@ int main() {
     previous_drop_rate = r.drop_rate;
   }
 
+  // Admission-policy knee points: the same 2x-overload scenario under
+  // each eviction policy.  Every key here is a deterministic counter
+  // (no timing), so one rep suffices and bench_compare gates the rows
+  // exactly — a change in eviction order or victim choice shows up as
+  // baseline drift.
+  struct PolicyPoint {
+    const char* label;
+    pcn::daemon::AdmissionPolicy policy;
+  };
+  constexpr PolicyPoint kPolicies[] = {
+      {"admission_drop_oldest_2x",
+       pcn::daemon::AdmissionPolicy::kDropOldest},
+      {"admission_priority_2x",
+       pcn::daemon::AdmissionPolicy::kPriorityDelayBound},
+  };
+  for (const PolicyPoint& policy : kPolicies) {
+    const SweepPoint point =
+        run_point(2.0, /*introspect=*/false, kSlots, 0, policy.policy);
+    const pcn::daemon::DaemonRunReport& r = point.report;
+    report.add_row(policy.label)
+        .set("offered_multiple", 2.0)
+        .set("pages_offered", r.pages_offered)
+        .set("pages_served", r.pages_served)
+        .set("pages_dropped", r.pages_dropped)
+        .set("pages_evicted", r.pages_evicted)
+        .set("pages_expired", r.pages_expired)
+        .set("drop_rate", r.drop_rate)
+        .set("delay_p50", r.delay_p50)
+        .set("delay_p99", r.delay_p99)
+        .set("max_queue_depth", r.max_queue_depth)
+        .set("sla_violations", r.sla_violations);
+    std::printf(
+        "perf_daemon %-24s served %-9" PRId64 " evicted %-9" PRId64
+        " drop_rate %.4f  p99 %d\n",
+        policy.label, r.pages_served, r.pages_evicted, r.drop_rate,
+        r.delay_p99);
+  }
+
+  // Static-vs-feedback planner at 2x: the open-loop plan pins the paging
+  // delay bound at m_start (a deliberately narrow 75% budget); the
+  // feedback plan starts identically but is allowed to steer on the
+  // measured delay EWMA.  Both runs are fully deterministic, so the
+  // acceptance check below is exact: feedback must beat static on p99
+  // queueing delay or on the SLA-violation rate, without giving up the
+  // served-page knee (>= 98% of static's served count covers histogram
+  // granularity, not run noise — there is none).
+  const SweepPoint plan_static = run_point(
+      2.0, /*introspect=*/false, kSlots, 0,
+      pcn::daemon::AdmissionPolicy::kDropNewest,
+      pcn::daemon::DelayPlanConfig::Mode::kStatic);
+  const SweepPoint plan_feedback = run_point(
+      2.0, /*introspect=*/false, kSlots, 0,
+      pcn::daemon::AdmissionPolicy::kDropNewest,
+      pcn::daemon::DelayPlanConfig::Mode::kFeedback);
+  for (const auto* leg : {&plan_static, &plan_feedback}) {
+    const pcn::daemon::DaemonRunReport& r = leg->report;
+    const bool is_static = leg == &plan_static;
+    report.add_row(is_static ? "plan_static_2x" : "plan_feedback_2x")
+        .set("pages_offered", r.pages_offered)
+        .set("pages_served", r.pages_served)
+        .set("drop_rate", r.drop_rate)
+        .set("delay_p50", r.delay_p50)
+        .set("delay_p99", r.delay_p99)
+        .set("sla_violations", r.sla_violations)
+        .set("effective_m", r.plan_effective_m)
+        .set("plan_widen", r.plan_widen)
+        .set("plan_narrow", r.plan_narrow);
+    std::printf(
+        "perf_daemon %-24s served %-9" PRId64
+        " drop_rate %.4f  p99 %d  violations %" PRId64 "  m %d\n",
+        is_static ? "plan_static_2x" : "plan_feedback_2x", r.pages_served,
+        r.drop_rate, r.delay_p99, r.sla_violations, r.plan_effective_m);
+  }
+
   // Introspection overhead: interleaved pairs at the 1x point, order
   // alternated within each pair (off/on, on/off, ...).  Compared in
   // process CPU time, not wall time: CPU time counts every cycle the
@@ -407,6 +497,28 @@ int main() {
   if (!knee_monotonic) {
     std::fprintf(stderr,
                  "perf_daemon: drop rate not monotone in offered load\n");
+    return 1;
+  }
+  // The delay-feedback plan must earn its keep at 2x overload: better
+  // p99 queueing delay or fewer SLA violations than the open-loop plan,
+  // at no real cost in served pages.
+  const pcn::daemon::DaemonRunReport& rs = plan_static.report;
+  const pcn::daemon::DaemonRunReport& rf = plan_feedback.report;
+  const bool delay_better = rf.delay_p99 < rs.delay_p99;
+  const bool violations_better = rf.sla_violations < rs.sla_violations;
+  if (!delay_better && !violations_better) {
+    std::fprintf(stderr,
+                 "perf_daemon: feedback plan did not beat static (p99 %d vs "
+                 "%d, violations %" PRId64 " vs %" PRId64 ")\n",
+                 rf.delay_p99, rs.delay_p99, rf.sla_violations,
+                 rs.sla_violations);
+    return 1;
+  }
+  if (double(rf.pages_served) < 0.98 * double(rs.pages_served)) {
+    std::fprintf(stderr,
+                 "perf_daemon: feedback plan lowered the served knee "
+                 "(%" PRId64 " vs %" PRId64 ")\n",
+                 rf.pages_served, rs.pages_served);
     return 1;
   }
   return 0;

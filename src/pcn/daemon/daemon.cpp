@@ -49,6 +49,13 @@ Pcnd::Pcnd(const PcndConfig& config)
   PCN_EXPECT(config_.queue_shards >= 1, "Pcnd: queue_shards must be >= 1");
   PCN_EXPECT(config_.sla_delay_slots >= 0,
              "Pcnd: sla_delay_slots must be >= 0");
+  // The queue's priority-eviction deadlines must rank by the same SLA
+  // the daemon enforces, so the daemon's bound is authoritative.
+  config_.queue.sla_delay_slots = config_.sla_delay_slots;
+  if (config_.plan.mode != DelayPlanConfig::Mode::kOff) {
+    planner_ = std::make_unique<DelayFeedbackPlanner>(
+        config_.plan, config_.capacity, config_.sla_delay_slots);
+  }
   const auto ts = static_cast<std::size_t>(config_.terminal_shards);
   const auto qs = static_cast<std::size_t>(config_.queue_shards);
   terminals_.resize(ts);
@@ -85,12 +92,19 @@ Pcnd::Pcnd(const PcndConfig& config)
   pages_queued_ = registry_.counter("daemon.page.queued");
   pages_duplicate_ = registry_.counter("daemon.page.duplicate");
   pages_dropped_ = registry_.counter("daemon.page.dropped");
+  pages_evicted_ = registry_.counter("daemon.page.evicted");
   pages_expired_ = registry_.counter("daemon.page.expired");
   pages_served_ = registry_.counter("daemon.page.served");
   pages_unknown_ = registry_.counter("daemon.page.unknown_terminal");
   sla_violations_ = registry_.counter("daemon.page.sla_violation");
   slots_run_ = registry_.counter("daemon.slot.count");
   wall_ns_ = registry_.counter("daemon.run.wall_ns");
+  plan_widen_ = registry_.counter("daemon.plan.widen");
+  plan_narrow_ = registry_.counter("daemon.plan.narrow");
+  plan_m_gauge_ = registry_.gauge("daemon.plan.effective_m");
+  if (planner_ != nullptr) {
+    plan_m_gauge_.set(static_cast<double>(planner_->effective_m()));
+  }
   max_depth_gauge_ = registry_.gauge("daemon.queue.max_depth");
   pending_gauge_ = registry_.gauge("daemon.queue.depth_pending");
   cells_pending_gauge_ = registry_.gauge("daemon.queue.cells_pending");
@@ -125,7 +139,12 @@ bool Pcnd::submit(const DaemonRequest& request) {
 }
 
 void Pcnd::ingest_phase() {
-  slot_budget_ = config_.capacity.budget_for_slot(slot_);
+  // Planner on: the budget follows the current paging delay bound m
+  // (serial, accumulator-carried).  Planner off: the legacy open-loop
+  // capacity schedule, bit-for-bit.
+  slot_budget_ = planner_ != nullptr
+                     ? planner_->budget_for_slot(slot_)
+                     : config_.capacity.budget_for_slot(slot_);
   batch_.clear();
   // Bound the drain to one ring's worth so producers racing the slot loop
   // cannot stretch INGEST indefinitely; the remainder is next slot's work.
@@ -252,7 +271,35 @@ void Pcnd::drain_phase(int worker, int worker_count, std::int64_t slot,
         page.page_id = intent.page_id;
         page.client = intent.client;
         page.enqueued_slot = slot;
-        switch (queue.add(page)) {
+        PendingPage evicted;
+        const EnqueueResult admit = queue.add(page, &evicted);
+        if (admit == EnqueueResult::kEvicted) {
+          // The victim lost its place to the incoming page: report it
+          // dropped (its client sees a kDropped verdict) before the
+          // admitted page's own queued event.  distance=-2 marks an
+          // eviction drop apart from a tail drop's -1.
+          const std::int64_t age = slot - evicted.enqueued_slot;
+          pages_evicted_.add(1, shard_index);
+          sla_violations_.add(1, shard_index);
+          record_page_event(qs, obs::FlightEventType::kPageDropped, slot,
+                            evicted.terminal_id, evicted.page_id,
+                            /*seq=*/3, static_cast<std::int32_t>(age),
+                            /*cells=*/max_pending, /*distance=*/-2,
+                            /*found=*/false);
+          if (config_.collect_outcomes) {
+            shard.outcomes.push_back(
+                {evicted.page_id, evicted.terminal_id,
+                 proto::PageOutcomeKind::kDropped, age,
+                 static_cast<std::uint32_t>(queue.size()), slot,
+                 evicted.client});
+          }
+          if (workload != nullptr) {
+            workload->on_outcome(evicted.terminal_id,
+                                 proto::PageOutcomeKind::kDropped, slot);
+          }
+        }
+        switch (admit) {
+          case EnqueueResult::kEvicted:  // the incoming page was admitted
           case EnqueueResult::kQueued: {
             const auto depth = static_cast<std::int64_t>(queue.size());
             pages_queued_.add(1, shard_index);
@@ -307,8 +354,10 @@ void Pcnd::drain_phase(int worker, int worker_count, std::int64_t slot,
       shard.expired_scratch.clear();
       queue.drain(slot, slot_budget_, &shard.served_scratch,
                   &shard.expired_scratch);
+      std::int64_t cell_delay_sum = 0;
       for (const ServedPage& served : shard.served_scratch) {
         const std::int64_t delay = slot - served.page.enqueued_slot;
+        cell_delay_sum += delay;
         pages_served_.add(1, shard_index);
         delay_hist_.observe(static_cast<double>(delay), shard_index);
         bump_dense(shard.delay_hist, static_cast<std::size_t>(delay));
@@ -353,6 +402,13 @@ void Pcnd::drain_phase(int worker, int worker_count, std::int64_t slot,
                                proto::PageOutcomeKind::kExpired, slot);
         }
       }
+      if (planner_ != nullptr && !shard.served_scratch.empty()) {
+        // Staged for the serial FINALIZE fold; the planner's aggregate
+        // is commutative, so shard-map iteration order cannot matter.
+        shard.planner_samples.push_back(
+            {cell, static_cast<std::int64_t>(shard.served_scratch.size()),
+             cell_delay_sum});
+      }
     }
   }
 }
@@ -374,6 +430,20 @@ void Pcnd::finalize_phase() {
     max_depth_ever_ = std::max(max_depth_ever_, shard.max_depth);
   }
   max_depth_gauge_.set(static_cast<double>(max_depth_ever_));
+  if (planner_ != nullptr) {
+    for (QueueShard& shard : queue_shards_) {
+      for (const CellServeSample& sample : shard.planner_samples) {
+        planner_->observe_cell(sample.cell, sample.served, sample.delay_sum);
+      }
+      shard.planner_samples.clear();
+    }
+    planner_->end_slot(slot_);
+    plan_m_gauge_.set(static_cast<double>(planner_->effective_m()));
+    plan_widen_.add(planner_->widen_count() - published_widens_);
+    plan_narrow_.add(planner_->narrow_count() - published_narrows_);
+    published_widens_ = planner_->widen_count();
+    published_narrows_ = planner_->narrow_count();
+  }
   if (config_.live_stats &&
       (slot_ % LiveQueueStats::kStrideSlots == 0 || slot_ == run_last_slot_)) {
     // Read-only occupancy walk for the admin plane.  Runs in the serial

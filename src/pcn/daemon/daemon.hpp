@@ -45,6 +45,7 @@
 
 #include "pcn/capacity/paging_capacity.hpp"
 #include "pcn/common/params.hpp"
+#include "pcn/daemon/delay_planner.hpp"
 #include "pcn/daemon/paging_queue.hpp"
 #include "pcn/daemon/request_ring.hpp"
 #include "pcn/geometry/cell.hpp"
@@ -65,11 +66,14 @@ struct PcndConfig {
   std::size_t ring_capacity = std::size_t{1} << 16;
   /// Per-cell paging-channel capacity.
   capacity::PagingCapacityModel capacity{2, 1.0};
-  /// Per-cell bounded-queue parameters.
+  /// Per-cell bounded-queue parameters (admission policy included; the
+  /// queue's sla_delay_slots is overwritten with the daemon's below).
   PagingQueueConfig queue{};
   /// Queueing-delay SLA in slots; a served page waiting longer counts as
   /// a violation.  0 = no bound (drops/expiries still violate).
   int sla_delay_slots = 0;
+  /// Paging-delay-bound planner (off = legacy open-loop budget).
+  DelayPlanConfig plan{};
   /// Keep PageOutcome events for drain_outcomes() (the socket front end
   /// and tests want them; the closed-loop bench does not).
   bool collect_outcomes = false;
@@ -230,6 +234,10 @@ class Pcnd {
   /// Largest queue depth ever observed after an enqueue.
   std::int64_t max_queue_depth() const { return max_depth_ever_; }
 
+  /// The delay-feedback planner (nullptr when config().plan.mode is
+  /// kOff).  Not thread-safe against run_slots.
+  const DelayFeedbackPlanner* planner() const { return planner_.get(); }
+
   /// Copy of the most recent FINALIZE occupancy walk.  Thread-safe against
   /// a concurrent run_slots; all-zero until the first slot completes with
   /// config().live_stats set.
@@ -268,11 +276,20 @@ class Pcnd {
     }
   };
 
+  /// One cell's served pages for the slot, staged for the planner's
+  /// serial FINALIZE fold.
+  struct CellServeSample {
+    geometry::Cell cell{};
+    std::int64_t served = 0;
+    std::int64_t delay_sum = 0;
+  };
+
   struct QueueShard {
     std::unordered_map<geometry::Cell, BoundedPagingQueue, CellHash> queues;
     std::vector<ServedPage> served_scratch;
     std::vector<PendingPage> expired_scratch;
     std::vector<PageOutcomeEvent> outcomes;
+    std::vector<CellServeSample> planner_samples;
     std::vector<std::int64_t> delay_hist;  ///< dense, index = delay slots
     std::int64_t max_depth = 0;
   };
@@ -308,6 +325,10 @@ class Pcnd {
   RequestRing ring_;
   obs::MetricsRegistry registry_;
   std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::unique_ptr<DelayFeedbackPlanner> planner_;
+  /// Planner adjustment totals already mirrored onto the counters.
+  std::int64_t published_widens_ = 0;
+  std::int64_t published_narrows_ = 0;
 
   std::vector<std::unordered_map<std::uint64_t, TerminalState>> terminals_;
   /// intents_[terminal_shard][queue_shard]: pages routed this slot.
@@ -351,12 +372,16 @@ class Pcnd {
   obs::Counter pages_queued_;
   obs::Counter pages_duplicate_;
   obs::Counter pages_dropped_;
+  obs::Counter pages_evicted_;
   obs::Counter pages_expired_;
   obs::Counter pages_served_;
   obs::Counter pages_unknown_;
   obs::Counter sla_violations_;
   obs::Counter slots_run_;
   obs::Counter wall_ns_;
+  obs::Counter plan_widen_;
+  obs::Counter plan_narrow_;
+  obs::Gauge plan_m_gauge_;
   obs::Gauge max_depth_gauge_;
   obs::Gauge pending_gauge_;
   obs::Gauge cells_pending_gauge_;

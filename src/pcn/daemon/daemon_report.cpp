@@ -16,7 +16,17 @@ DaemonRunReport make_daemon_report(const Pcnd& daemon, std::uint64_t seed,
   report.queue_max_pending = config.queue.max_pending;
   report.queue_lifetime_slots = config.queue.lifetime_slots;
   report.queue_groups = config.queue.groups;
+  report.queue_admission = to_string(config.queue.admission);
   report.sla_delay_slots = config.sla_delay_slots;
+  report.plan_mode = to_string(config.plan.mode);
+  if (const DelayFeedbackPlanner* planner = daemon.planner()) {
+    report.plan_m_min = config.plan.m_min;
+    report.plan_m_max = config.plan.m_max;
+    report.plan_m_start = config.plan.m_start;
+    report.plan_effective_m = planner->effective_m();
+    report.plan_widen = planner->widen_count();
+    report.plan_narrow = planner->narrow_count();
+  }
   report.slots = daemon.now();
   report.terminals = terminals;
 
@@ -26,14 +36,17 @@ DaemonRunReport make_daemon_report(const Pcnd& daemon, std::uint64_t seed,
   report.pages_duplicate = m.counter_value("daemon.page.duplicate");
   report.pages_served = m.counter_value("daemon.page.served");
   report.pages_dropped = m.counter_value("daemon.page.dropped");
+  report.pages_evicted = m.counter_value("daemon.page.evicted");
   report.pages_expired = m.counter_value("daemon.page.expired");
   report.pages_unknown = m.counter_value("daemon.page.unknown_terminal");
   report.sla_violations = m.counter_value("daemon.page.sla_violation");
+  // Evicted pages were counted `queued` when admitted, so they are
+  // already inside `offered`; they join the failure numerator only.
   report.pages_offered = report.pages_queued + report.pages_duplicate +
                          report.pages_dropped + report.pages_unknown;
   if (report.pages_offered > 0) {
-    report.drop_rate = double(report.pages_dropped + report.pages_expired +
-                              report.pages_unknown) /
+    report.drop_rate = double(report.pages_dropped + report.pages_evicted +
+                              report.pages_expired + report.pages_unknown) /
                        double(report.pages_offered);
   }
   report.max_queue_depth = daemon.max_queue_depth();
@@ -110,7 +123,17 @@ std::string to_json(const DaemonRunReport& report) {
               static_cast<std::int64_t>(report.queue_max_pending));
   json.member("queue_lifetime_slots", report.queue_lifetime_slots);
   json.member("queue_groups", report.queue_groups);
+  json.member("queue_admission", report.queue_admission);
   json.member("sla_delay_slots", report.sla_delay_slots);
+  json.end_object();
+  json.key("plan").begin_object();
+  json.member("mode", report.plan_mode);
+  json.member("m_min", report.plan_m_min);
+  json.member("m_max", report.plan_m_max);
+  json.member("m_start", report.plan_m_start);
+  json.member("effective_m", report.plan_effective_m);
+  json.member("widen", report.plan_widen);
+  json.member("narrow", report.plan_narrow);
   json.end_object();
   json.member("terminals", report.terminals);
   json.member("slots", report.slots);
@@ -120,6 +143,7 @@ std::string to_json(const DaemonRunReport& report) {
   json.member("duplicate", report.pages_duplicate);
   json.member("served", report.pages_served);
   json.member("dropped", report.pages_dropped);
+  json.member("evicted", report.pages_evicted);
   json.member("expired", report.pages_expired);
   json.member("unknown_terminal", report.pages_unknown);
   json.member("drop_rate", report.drop_rate);

@@ -6,7 +6,9 @@
 //   * `pages` — offered / queued / duplicate / served / dropped /
 //     expired / unknown_terminal counts, and `drop_rate` = the fraction
 //     of offered pages that never reached the paging channel
-//     ((dropped + expired + unknown) / offered) — the overload headline;
+//     ((dropped + evicted + expired + unknown) / offered) — the overload
+//     headline; `evicted` counts pages an admission policy displaced
+//     after they had been queued;
 //   * `queue_delay_slots` — exact per-slot delay distribution of served
 //     pages with mean/p50/p95/p99/max (percentiles over served pages);
 //   * `sla` — the configured delay bound and total violations (served
@@ -37,7 +39,17 @@ struct DaemonRunReport {
   std::size_t queue_max_pending = 0;
   std::int64_t queue_lifetime_slots = 0;
   int queue_groups = 0;
+  std::string queue_admission;
   int sla_delay_slots = 0;
+
+  // Delay-feedback planner ("off" = legacy open-loop budget).
+  std::string plan_mode;
+  int plan_m_min = 0;
+  int plan_m_max = 0;
+  int plan_m_start = 0;
+  int plan_effective_m = 0;
+  std::int64_t plan_widen = 0;
+  std::int64_t plan_narrow = 0;
 
   std::int64_t slots = 0;
   std::int64_t terminals = 0;
@@ -48,6 +60,7 @@ struct DaemonRunReport {
   std::int64_t pages_duplicate = 0;
   std::int64_t pages_served = 0;
   std::int64_t pages_dropped = 0;
+  std::int64_t pages_evicted = 0;
   std::int64_t pages_expired = 0;
   std::int64_t pages_unknown = 0;
   double drop_rate = 0.0;

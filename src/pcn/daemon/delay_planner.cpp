@@ -1,0 +1,80 @@
+#include "pcn/daemon/delay_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcn::daemon {
+
+DelayFeedbackPlanner::DelayFeedbackPlanner(
+    const DelayPlanConfig& config,
+    const capacity::PagingCapacityModel& capacity, std::int64_t sla_delay_slots)
+    : config_(config), capacity_(capacity), sla_delay_slots_(sla_delay_slots) {
+  PCN_EXPECT(config_.mode != DelayPlanConfig::Mode::kOff,
+             "DelayFeedbackPlanner: construct only when a plan mode is on");
+  PCN_EXPECT(config_.m_min >= 1, "DelayFeedbackPlanner: m_min must be >= 1");
+  PCN_EXPECT(config_.m_max >= config_.m_min,
+             "DelayFeedbackPlanner: m_max must be >= m_min");
+  PCN_EXPECT(config_.adjust_every_slots >= 1,
+             "DelayFeedbackPlanner: adjust_every_slots must be >= 1");
+  PCN_EXPECT(config_.ewma_shift >= 0 && config_.ewma_shift <= 16,
+             "DelayFeedbackPlanner: ewma_shift must be in [0, 16]");
+  if (config_.mode == DelayPlanConfig::Mode::kFeedback) {
+    PCN_EXPECT(sla_delay_slots_ > 0,
+               "DelayFeedbackPlanner: feedback mode needs sla_delay_slots > 0 "
+               "(the EWMA is compared against it)");
+  }
+  m_ = std::clamp(config_.m_start, config_.m_min, config_.m_max);
+}
+
+std::int64_t DelayFeedbackPlanner::cell_ewma_q16(geometry::Cell cell) const {
+  const auto it = cell_ewma_q16_.find(cell);
+  return it == cell_ewma_q16_.end() ? 0 : it->second;
+}
+
+int DelayFeedbackPlanner::budget_for_slot(std::int64_t slot) {
+  (void)slot;  // the accumulator carries all cross-slot state
+  budget_acc_ += capacity_.pages_per_slot() * factor_of(m_);
+  const int budget = static_cast<int>(std::floor(budget_acc_));
+  budget_acc_ -= budget;
+  return budget;
+}
+
+void DelayFeedbackPlanner::observe_cell(geometry::Cell cell,
+                                        std::int64_t served,
+                                        std::int64_t delay_sum_slots) {
+  if (served <= 0) return;
+  slot_served_ += served;
+  slot_delay_sum_ += delay_sum_slots;
+  const std::int64_t mean_q16 = (delay_sum_slots << 16) / served;
+  std::int64_t& ewma = cell_ewma_q16_[cell];
+  ewma = ewma_step(ewma, mean_q16, config_.ewma_shift);
+}
+
+void DelayFeedbackPlanner::end_slot(std::int64_t slot) {
+  if (slot_served_ > 0) {
+    const std::int64_t mean_q16 = (slot_delay_sum_ << 16) / slot_served_;
+    global_ewma_q16_ =
+        ewma_step(global_ewma_q16_, mean_q16, config_.ewma_shift);
+  }
+  slot_served_ = 0;
+  slot_delay_sum_ = 0;
+  if (config_.mode != DelayPlanConfig::Mode::kFeedback) return;
+  if ((slot + 1) % config_.adjust_every_slots != 0) return;
+  // Thresholds off the daemon SLA: above a quarter of the bound the
+  // queue is eating the delay budget (served delays are survivor-biased
+  // low — pages dropped or evicted never report one) — widen m for
+  // cheaper pages and a faster drain; below a sixteenth there is clear
+  // headroom — narrow m back toward fast per-call paging.  The 4x dead
+  // band between them stops hunting.
+  const std::int64_t high_q16 = (sla_delay_slots_ << 16) / 4;
+  const std::int64_t low_q16 = (sla_delay_slots_ << 16) / 16;
+  if (global_ewma_q16_ > high_q16 && m_ < config_.m_max) {
+    ++m_;
+    ++widens_;
+  } else if (global_ewma_q16_ < low_q16 && m_ > config_.m_min) {
+    --m_;
+    ++narrows_;
+  }
+}
+
+}  // namespace pcn::daemon

@@ -1,0 +1,147 @@
+// Delay-feedback paging planner: closes the loop between the measured
+// queueing delay the daemon already records and the paging delay bound
+// `m` the paper treats as a free design parameter.
+//
+// The paper's sequential-paging tradeoff: a page allowed m polling
+// rounds partitions the candidate cells into m groups and polls them in
+// decreasing-probability order, so the expected number of polled cells
+// falls roughly as (m+1)/(2m) of the one-shot cost.  Fewer polled cells
+// per page means more pages fit on the same paging channel, so the
+// *service rate* of a cell's paging queue scales with the paging bound:
+//
+//     rate(m) = base_rate * factor(m),
+//     factor(m) = m * (m_max + 1) / (m_max * (m + 1))
+//
+// normalized so factor(m_max) = 1 (the widest bound recovers the full
+// PagingCapacityModel budget; m = 1 at m_max = 8 yields ~0.56).  A small
+// m pages fast per call but wastes channel on broad polls; a large m is
+// channel-frugal but slow per call.  Open-loop you must guess; this
+// planner measures.
+//
+// Feedback rule (Mode::kFeedback): maintain an EWMA of the mean served
+// queueing delay per slot (plus a per-cell EWMA for introspection, both
+// in Q16 fixed point so the arithmetic is exact and identical on every
+// platform).  Every adjust_every_slots, compare the EWMA against the
+// daemon's sla_delay_slots: above sla/4, queueing delay is eating the
+// budget — widen m (cheaper pages, faster drain); below sla/16, there is
+// headroom — narrow m back toward fast per-call paging.  Mode::kStatic
+// pins m at m_start forever: the open-loop plan the feedback mode is
+// benchmarked against.
+//
+// Determinism: every method runs in a *serial* phase of the slot loop
+// (budget_for_slot in INGEST, observe_cell / end_slot in FINALIZE), the
+// EWMAs are integer fixed point, and the per-slot aggregate is a
+// commutative sum over cells — so the planner's trajectory, and thus
+// every downstream counter, is bit-identical at any worker-thread count.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "pcn/capacity/paging_capacity.hpp"
+#include "pcn/common/error.hpp"
+#include "pcn/geometry/cell.hpp"
+
+namespace pcn::daemon {
+
+struct DelayPlanConfig {
+  enum class Mode : std::uint8_t {
+    kOff = 0,      ///< legacy open-loop budget_for_slot (planner unused)
+    kStatic = 1,   ///< fixed m = m_start (the open-loop comparison plan)
+    kFeedback = 2  ///< m adapts to the measured queueing-delay EWMA
+  };
+  Mode mode = Mode::kOff;
+  /// Paging-delay-bound range the planner may move in.
+  int m_min = 1;
+  int m_max = 8;
+  /// Initial (kFeedback) or permanent (kStatic) paging delay bound.
+  int m_start = 2;
+  /// Slots between feedback decisions.
+  int adjust_every_slots = 16;
+  /// EWMA smoothing: alpha = 2^-ewma_shift (3 -> 1/8).
+  int ewma_shift = 3;
+};
+
+inline const char* to_string(DelayPlanConfig::Mode mode) {
+  switch (mode) {
+    case DelayPlanConfig::Mode::kOff:
+      return "off";
+    case DelayPlanConfig::Mode::kStatic:
+      return "static";
+    case DelayPlanConfig::Mode::kFeedback:
+      return "feedback";
+  }
+  return "?";
+}
+
+class DelayFeedbackPlanner {
+ public:
+  DelayFeedbackPlanner(const DelayPlanConfig& config,
+                       const capacity::PagingCapacityModel& capacity,
+                       std::int64_t sla_delay_slots);
+
+  const DelayPlanConfig& config() const { return config_; }
+
+  /// The paging delay bound currently in force.
+  int effective_m() const { return m_; }
+  /// Times the feedback rule widened / narrowed m.
+  std::int64_t widen_count() const { return widens_; }
+  std::int64_t narrow_count() const { return narrows_; }
+  /// Service-rate multiplier for the current m (1.0 at m_max).
+  double rate_factor() const { return factor_of(m_); }
+  /// Global served-delay EWMA in Q16 fixed point (slots << 16).
+  std::int64_t global_ewma_q16() const { return global_ewma_q16_; }
+  /// Cells with a per-cell EWMA on file.
+  std::size_t cells_tracked() const { return cell_ewma_q16_.size(); }
+  /// Per-cell EWMA in Q16 (0 when the cell has never served a page).
+  std::int64_t cell_ewma_q16(geometry::Cell cell) const;
+
+  /// Serial INGEST: the slot's paging-channel budget under the current m.
+  /// Fractional rates accumulate across slots, like budget_for_slot.
+  int budget_for_slot(std::int64_t slot);
+
+  /// Serial FINALIZE: fold one cell's served pages for the slot into the
+  /// per-cell EWMA and the slot aggregate.  Cells may arrive in any
+  /// order — the aggregate is a commutative sum.
+  void observe_cell(geometry::Cell cell, std::int64_t served,
+                    std::int64_t delay_sum_slots);
+
+  /// Serial FINALIZE, after every observe_cell of the slot: updates the
+  /// global EWMA and, on adjust boundaries, the feedback rule.
+  void end_slot(std::int64_t slot);
+
+ private:
+  struct CellHash {
+    std::size_t operator()(const geometry::Cell& cell) const noexcept {
+      return geometry::HexCellHash{}(cell);
+    }
+  };
+
+  double factor_of(int m) const {
+    return static_cast<double>(m) * (config_.m_max + 1) /
+           (static_cast<double>(config_.m_max) * (m + 1));
+  }
+
+  static std::int64_t ewma_step(std::int64_t ewma, std::int64_t sample_q16,
+                                int shift) {
+    // ewma += alpha * (sample - ewma), alpha = 2^-shift, exact in Q16.
+    return ewma + ((sample_q16 - ewma) >> shift);
+  }
+
+  DelayPlanConfig config_;
+  capacity::PagingCapacityModel capacity_;
+  std::int64_t sla_delay_slots_ = 0;
+
+  int m_ = 1;
+  std::int64_t widens_ = 0;
+  std::int64_t narrows_ = 0;
+
+  double budget_acc_ = 0.0;  ///< fractional budget carried across slots
+
+  std::int64_t slot_served_ = 0;     ///< served pages folded this slot
+  std::int64_t slot_delay_sum_ = 0;  ///< their total delay, in slots
+  std::int64_t global_ewma_q16_ = 0;
+  std::unordered_map<geometry::Cell, std::int64_t, CellHash> cell_ewma_q16_;
+};
+
+}  // namespace pcn::daemon

@@ -114,6 +114,11 @@ void ClosedLoopWorkload::on_outcome(std::uint64_t terminal_id,
     case proto::PageOutcomeKind::kExpired:
       expired_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case proto::PageOutcomeKind::kRejected:
+      // Only socket-fed loops see this (a full request ring answers the
+      // submit immediately); the terminal is free to page again.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
 }
 

@@ -76,6 +76,9 @@ class ClosedLoopWorkload final : public SlotWorkload {
   std::int64_t outcomes_expired() const {
     return expired_.load(std::memory_order_relaxed);
   }
+  std::int64_t outcomes_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
   /// Terminals with a page still in flight.
   std::int64_t outstanding_count() const;
 
@@ -106,6 +109,7 @@ class ClosedLoopWorkload final : public SlotWorkload {
   std::atomic<std::int64_t> served_{0};
   std::atomic<std::int64_t> dropped_{0};
   std::atomic<std::int64_t> expired_{0};
+  std::atomic<std::int64_t> rejected_{0};
 };
 
 }  // namespace pcn::daemon

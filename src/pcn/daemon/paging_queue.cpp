@@ -22,7 +22,68 @@ bool BoundedPagingQueue::contains(std::uint64_t terminal_id) const {
   return false;
 }
 
-EnqueueResult BoundedPagingQueue::add(const PendingPage& page) {
+std::int64_t BoundedPagingQueue::deadline_for(std::int64_t enqueued_slot) const {
+  // With no SLA configured the deadline collapses onto lifetime expiry:
+  // "slack" then means "slots until the page is discarded anyway".
+  const std::int64_t bound = config_.sla_delay_slots > 0
+                                 ? config_.sla_delay_slots
+                                 : config_.lifetime_slots;
+  return enqueued_slot + bound;
+}
+
+bool BoundedPagingQueue::evict_oldest(PendingPage* evicted) {
+  // The victim group is the one whose *head* has waited longest; evicting
+  // a head (never a middle entry) keeps FIFO-within-group intact for the
+  // survivors.  Ties break toward the lowest group index so the choice is
+  // a pure function of queue contents.
+  int victim = -1;
+  for (int g = 0; g < config_.groups; ++g) {
+    const auto& group = groups_[static_cast<std::size_t>(g)];
+    if (group.empty()) continue;
+    if (victim < 0 ||
+        group.front().enqueued_slot <
+            groups_[static_cast<std::size_t>(victim)].front().enqueued_slot) {
+      victim = g;
+    }
+  }
+  if (victim < 0) return false;
+  auto& group = groups_[static_cast<std::size_t>(victim)];
+  *evicted = group.front();
+  group.pop_front();
+  --size_;
+  return true;
+}
+
+bool BoundedPagingQueue::evict_most_slack(std::int64_t incoming_deadline,
+                                          PendingPage* evicted) {
+  // The victim is the pending page with the latest deadline (most SLA
+  // slack).  Ties break toward the latest-scanned entry, so among equal
+  // deadlines the most recently enqueued page gives way to the older
+  // ones already close to service.  A victim with *less* slack than the
+  // incoming page would invert the priority, so then nobody is evicted.
+  int victim_group = -1;
+  std::size_t victim_index = 0;
+  std::int64_t victim_deadline = 0;
+  for (int g = 0; g < config_.groups; ++g) {
+    const auto& group = groups_[static_cast<std::size_t>(g)];
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (victim_group < 0 || group[i].deadline_slot >= victim_deadline) {
+        victim_group = g;
+        victim_index = i;
+        victim_deadline = group[i].deadline_slot;
+      }
+    }
+  }
+  if (victim_group < 0 || victim_deadline < incoming_deadline) return false;
+  auto& group = groups_[static_cast<std::size_t>(victim_group)];
+  *evicted = group[victim_index];
+  group.erase(group.begin() + static_cast<std::ptrdiff_t>(victim_index));
+  --size_;
+  return true;
+}
+
+EnqueueResult BoundedPagingQueue::add(const PendingPage& page,
+                                      PendingPage* evicted) {
   auto& group = groups_[static_cast<std::size_t>(group_of(page.terminal_id))];
   // Dedup before the capacity check (osmo paging_add_identity): a refresh
   // of an already-pending terminal must succeed even on a full queue.
@@ -31,15 +92,38 @@ EnqueueResult BoundedPagingQueue::add(const PendingPage& page) {
       pending.expiry_slot =
           std::max(pending.expiry_slot,
                    page.enqueued_slot + config_.lifetime_slots);
+      pending.deadline_slot =
+          std::max(pending.deadline_slot, deadline_for(page.enqueued_slot));
       return EnqueueResult::kRefreshed;
     }
   }
-  if (size_ >= config_.max_pending) return EnqueueResult::kFull;
   PendingPage accepted = page;
   accepted.expiry_slot = page.enqueued_slot + config_.lifetime_slots;
+  accepted.deadline_slot = deadline_for(page.enqueued_slot);
+  EnqueueResult result = EnqueueResult::kQueued;
+  if (size_ >= config_.max_pending) {
+    switch (config_.admission) {
+      case AdmissionPolicy::kDropNewest:
+        return EnqueueResult::kFull;
+      case AdmissionPolicy::kDropOldest:
+        PCN_EXPECT(evicted != nullptr,
+                   "BoundedPagingQueue: eviction policy needs an out-param");
+        if (!evict_oldest(evicted)) return EnqueueResult::kFull;
+        result = EnqueueResult::kEvicted;
+        break;
+      case AdmissionPolicy::kPriorityDelayBound:
+        PCN_EXPECT(evicted != nullptr,
+                   "BoundedPagingQueue: eviction policy needs an out-param");
+        if (!evict_most_slack(accepted.deadline_slot, evicted)) {
+          return EnqueueResult::kFull;
+        }
+        result = EnqueueResult::kEvicted;
+        break;
+    }
+  }
   group.push_back(accepted);
   ++size_;
-  return EnqueueResult::kQueued;
+  return result;
 }
 
 namespace {

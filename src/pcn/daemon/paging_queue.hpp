@@ -32,6 +32,31 @@
 
 namespace pcn::daemon {
 
+/// What a full queue does with a new identity.
+enum class AdmissionPolicy : std::uint8_t {
+  /// Reject the incoming page (classic tail drop; the osmo behavior).
+  kDropNewest = 0,
+  /// Evict the oldest pending page — the head of the group whose head
+  /// has been waiting longest — and admit the incoming one.
+  kDropOldest = 1,
+  /// Evict the pending page with the most remaining SLA slack (the
+  /// latest deadline), provided it has at least as much slack as the
+  /// incoming page; otherwise reject the incoming page.
+  kPriorityDelayBound = 2,
+};
+
+inline const char* to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kDropNewest:
+      return "drop_newest";
+    case AdmissionPolicy::kDropOldest:
+      return "drop_oldest";
+    case AdmissionPolicy::kPriorityDelayBound:
+      return "priority_delay_bound";
+  }
+  return "?";
+}
+
 struct PagingQueueConfig {
   /// Upper bound on pages pending in this cell (osmo num_paging_max).
   std::size_t max_pending = 64;
@@ -41,6 +66,11 @@ struct PagingQueueConfig {
   std::int64_t lifetime_slots = 128;
   /// Round-robin paging groups; terminal_id % groups picks the group.
   int groups = 4;
+  /// Full-queue behavior for a new identity.
+  AdmissionPolicy admission = AdmissionPolicy::kDropNewest;
+  /// Delay bound used to compute per-page deadlines for the priority
+  /// policy.  0 means "no SLA": deadlines coincide with lifetime expiry.
+  std::int64_t sla_delay_slots = 0;
 };
 
 /// One page waiting on the cell's paging channel.
@@ -50,6 +80,7 @@ struct PendingPage {
   std::uint32_t client = 0;        ///< outcome routing (0 = in-process)
   std::int64_t enqueued_slot = 0;
   std::int64_t expiry_slot = 0;    ///< last slot the page may be served in
+  std::int64_t deadline_slot = 0;  ///< SLA deadline (priority eviction rank)
 };
 
 /// A page the drain put on the paging channel.
@@ -63,6 +94,7 @@ enum class EnqueueResult : std::uint8_t {
   kQueued = 0,     ///< accepted; a new entry joined the queue
   kRefreshed = 1,  ///< duplicate identity; existing entry's lifetime renewed
   kFull = 2,       ///< rejected; the queue is at max_pending
+  kEvicted = 3,    ///< accepted; an existing entry was evicted to make room
 };
 
 class BoundedPagingQueue {
@@ -84,7 +116,11 @@ class BoundedPagingQueue {
   /// Enqueues a page observed in slot `slot`.  A terminal already pending
   /// is deduplicated: its expiry is refreshed (and the stored page/client
   /// keep their original values and FIFO position), result kRefreshed.
-  EnqueueResult add(const PendingPage& page);
+  /// On a full queue the configured AdmissionPolicy decides: kDropNewest
+  /// rejects (kFull); kDropOldest and kPriorityDelayBound may instead
+  /// evict a pending page — the victim is copied to `*evicted` and the
+  /// result is kEvicted.  `evicted` may be null only under kDropNewest.
+  EnqueueResult add(const PendingPage& page, PendingPage* evicted = nullptr);
 
   /// Serves up to `budget` pages in slot `slot`: rotates across groups
   /// (continuing from where the previous drain stopped), FIFO within a
@@ -96,6 +132,10 @@ class BoundedPagingQueue {
             std::vector<PendingPage>* expired);
 
  private:
+  std::int64_t deadline_for(std::int64_t enqueued_slot) const;
+  bool evict_oldest(PendingPage* evicted);
+  bool evict_most_slack(std::int64_t incoming_deadline, PendingPage* evicted);
+
   int group_of(std::uint64_t terminal_id) const {
     return static_cast<int>(terminal_id %
                             static_cast<std::uint64_t>(config_.groups));

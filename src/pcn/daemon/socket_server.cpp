@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "pcn/common/error.hpp"
 #include "pcn/proto/wire.hpp"
@@ -66,6 +68,7 @@ SocketServer::SocketServer(Pcnd* daemon, std::string path)
   frames_out_ = registry.counter("daemon.socket.frames_out");
   decode_errors_ = registry.counter("daemon.socket.decode_errors");
   rejected_ = registry.counter("daemon.socket.rejected_ring_full");
+  accept_errors_ = registry.counter("daemon.socket.accept_errors");
   disconnects_ = registry.counter("daemon.socket.disconnects");
   outbox_bytes_gauge_ = registry.gauge("daemon.socket.outbox_bytes");
 }
@@ -88,15 +91,36 @@ void SocketServer::stop() {
   // Shut the listener down; accept() returns and the loop exits.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Verdicts settled since the last flush would otherwise vanish with
+  // the connections: stage them now, then give every outbox a bounded
+  // final drain before tearing the socket down.
+  flush_outcomes();
   std::unordered_map<std::uint32_t, std::shared_ptr<Connection>> connections;
   {
     const std::lock_guard<std::mutex> lock(connections_mutex_);
     connections.swap(connections_);
   }
   for (auto& [client, connection] : connections) {
+    drain_outbox_bounded(*connection);
     ::shutdown(connection->fd, SHUT_RDWR);
     if (connection->reader.joinable()) connection->reader.join();
     ::close(connection->fd);
+  }
+}
+
+void SocketServer::drain_outbox_bounded(Connection& connection) {
+  // Non-blocking pumps with short sleeps in between, ~100 ms worst case:
+  // a reader keeping up receives everything staged for it, while a dead
+  // or stalled one can only delay shutdown by the bound, never hang it.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    {
+      const std::lock_guard<std::mutex> write_lock(connection.write_mutex);
+      if (connection.write_failed.load(std::memory_order_acquire)) return;
+      if (connection.outbox.empty()) return;
+      pump_outbox(connection);
+      if (connection.outbox.empty()) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
 
@@ -110,6 +134,23 @@ void SocketServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED ||
+          errno == ENOBUFS || errno == ENOMEM || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        // Transient resource pressure (fd table full, aborted handshake,
+        // kernel buffers exhausted).  Exiting here would silently stop
+        // accepting *forever* while the daemon keeps running; instead
+        // count the error and retry after a short backoff.  The backoff
+        // sleeps in 1 ms steps so stop() is never delayed noticeably,
+        // and under EMFILE it also gives reap_connections a chance to
+        // return fds before the retry.
+        accept_errors_.increment();
+        for (int i = 0; i < 10 && running_.load(std::memory_order_acquire);
+             ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        continue;
+      }
       break;  // listener shut down (or broken beyond repair)
     }
     if (!running_.load(std::memory_order_acquire)) {
@@ -147,14 +188,14 @@ void SocketServer::reader_loop(std::uint32_t client, int fd,
     }
     frame.resize(length);
     if (!read_exact(fd, frame.data(), length)) break;
-    handle_frame(client, frame);
+    handle_frame(client, connection, frame);
   }
   // flush_outcomes' reap sweep closes the fd and joins this thread once
   // any staged verdicts have drained (stop() covers the rest).
   connection.reader_done.store(true, std::memory_order_release);
 }
 
-void SocketServer::handle_frame(std::uint32_t client,
+void SocketServer::handle_frame(std::uint32_t client, Connection& connection,
                                 const std::vector<std::uint8_t>& frame) {
   frames_in_.increment(client);
   DaemonRequest request;
@@ -180,7 +221,25 @@ void SocketServer::handle_frame(std::uint32_t client,
     decode_errors_.increment(client);
     return;
   }
-  if (!daemon_->submit(request)) rejected_.increment(client);
+  if (!daemon_->submit(request)) {
+    rejected_.increment(client);
+    if (request.kind == DaemonRequest::Kind::kPage) {
+      // A page that never entered the ring will never settle, so the
+      // daemon will never emit a verdict for it — a closed-loop client
+      // would wait forever.  Answer right here with an explicit
+      // kRejected outcome so backpressure is visible end to end.
+      proto::PageOutcome outcome;
+      outcome.page_id = request.page_id;
+      outcome.terminal_id = request.terminal_id;
+      outcome.outcome = proto::PageOutcomeKind::kRejected;
+      const std::vector<std::uint8_t> reply = proto::encode(outcome);
+      const std::lock_guard<std::mutex> write_lock(connection.write_mutex);
+      if (stage_frame(connection, reply)) {
+        frames_out_.increment(client);
+        pump_outbox(connection);
+      }
+    }
+  }
 }
 
 bool SocketServer::stage_frame(Connection& connection,

@@ -94,8 +94,11 @@ class SocketServer {
 
   void accept_loop();
   void reader_loop(std::uint32_t client, int fd, Connection& connection);
-  void handle_frame(std::uint32_t client,
+  void handle_frame(std::uint32_t client, Connection& connection,
                     const std::vector<std::uint8_t>& frame);
+  /// Final non-blocking drain of one connection's outbox, bounded to
+  /// ~100 ms; used by stop() so staged verdicts reach a live reader.
+  void drain_outbox_bounded(Connection& connection);
   /// Appends one length-prefixed frame to the outbox (write_mutex held
   /// by caller); fails the connection instead of exceeding the bound.
   bool stage_frame(Connection& connection,
@@ -122,6 +125,7 @@ class SocketServer {
   obs::Counter frames_out_;
   obs::Counter decode_errors_;
   obs::Counter rejected_;
+  obs::Counter accept_errors_;
   obs::Counter disconnects_;
   obs::Gauge outbox_bytes_gauge_;
   /// High watermark of total staged outbox bytes, sampled at each flush

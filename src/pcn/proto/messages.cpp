@@ -211,7 +211,7 @@ PageOutcome decode_page_outcome(std::span<const std::uint8_t> frame) {
   message.terminal_id = reader.get_varint();
   const std::uint8_t outcome = reader.get_u8();
   if (outcome < static_cast<std::uint8_t>(PageOutcomeKind::kServed) ||
-      outcome > static_cast<std::uint8_t>(PageOutcomeKind::kExpired)) {
+      outcome > static_cast<std::uint8_t>(PageOutcomeKind::kRejected)) {
     throw DecodeError("page outcome: unknown outcome kind");
   }
   message.outcome = static_cast<PageOutcomeKind>(outcome);

@@ -82,9 +82,10 @@ struct PageSubmit {
 
 /// Lifecycle verdict for a submitted page.
 enum class PageOutcomeKind : std::uint8_t {
-  kServed = 1,   ///< drained onto the paging channel within its lifetime
-  kDropped = 2,  ///< rejected (queue full, or unknown terminal)
-  kExpired = 3,  ///< lifetime elapsed while still queued
+  kServed = 1,    ///< drained onto the paging channel within its lifetime
+  kDropped = 2,   ///< rejected (queue full, or unknown terminal)
+  kExpired = 3,   ///< lifetime elapsed while still queued
+  kRejected = 4,  ///< never admitted: the daemon's request ring was full
 };
 
 /// Upper bound accepted for PageOutcome::queue_depth — a daemon queue is

@@ -45,7 +45,9 @@ struct SoakResult {
   std::int64_t workload_outstanding = 0;
 };
 
-SoakResult run_soak(int threads) {
+SoakResult run_soak(
+    int threads, AdmissionPolicy admission = AdmissionPolicy::kDropNewest,
+    DelayPlanConfig::Mode plan_mode = DelayPlanConfig::Mode::kOff) {
   const std::int64_t terminals = env_or("PCN_SOAK_TERMINALS", 8000);
   const std::int64_t slots = env_or("PCN_SOAK_SLOTS", 400);
   constexpr int kRegion = 16;  // 256 cells
@@ -57,7 +59,9 @@ SoakResult run_soak(int threads) {
   config.queue.max_pending = 8;
   config.queue.lifetime_slots = 16;
   config.queue.groups = 4;
+  config.queue.admission = admission;
   config.sla_delay_slots = 8;
+  config.plan.mode = plan_mode;
   config.record_flight = true;
   config.flight_sample_every = 64;
   Pcnd daemon(config);
@@ -156,6 +160,81 @@ TEST(DaemonSoak, TwoTimesCapacityOverloadIsDeterministicAcrossThreads) {
   EXPECT_NE(json.find("\"schema\":\"pcn.run_report.v1\""),
             std::string::npos);
   EXPECT_NE(json.find("\"kind\":\"daemon\""), std::string::npos);
+}
+
+// The eviction policies under the same 2x overload: still bit-identical
+// across thread counts, still inside the overload band — but the failure
+// mass moves from tail drops to explicit evictions.
+TEST(DaemonSoak, EvictionPoliciesAreDeterministicAndStayInTheOverloadBand) {
+  for (const AdmissionPolicy policy :
+       {AdmissionPolicy::kDropOldest, AdmissionPolicy::kPriorityDelayBound}) {
+    SCOPED_TRACE(to_string(policy));
+    const SoakResult one = run_soak(1, policy);
+    const SoakResult four = run_soak(4, policy);
+
+    EXPECT_EQ(counter_fingerprint(one.report),
+              counter_fingerprint(four.report));
+    EXPECT_EQ(one.delay_histogram, four.delay_histogram);
+    EXPECT_EQ(one.flight_jsonl, four.flight_jsonl);
+    EXPECT_EQ(one.workload_submitted, four.workload_submitted);
+    EXPECT_EQ(one.workload_outstanding, four.workload_outstanding);
+
+    const DaemonRunReport& report = one.report;
+    EXPECT_EQ(report.queue_admission, to_string(policy));
+    // Same overload band as drop_newest: a visible failure share, but a
+    // served majority.
+    EXPECT_GE(report.drop_rate, 0.01);
+    EXPECT_LE(report.drop_rate, 0.60);
+    EXPECT_GT(report.pages_served, report.pages_dropped +
+                                       report.pages_evicted +
+                                       report.pages_expired);
+    if (policy == AdmissionPolicy::kDropOldest) {
+      // drop_oldest always finds a victim: the tail-drop counter stays
+      // at zero and the whole failure mass is evictions.
+      EXPECT_EQ(report.pages_dropped, 0);
+      EXPECT_GT(report.pages_evicted, 0);
+    } else {
+      // priority evicts when the newcomer is more urgent and rejects
+      // otherwise; under a uniform workload both paths must trigger.
+      EXPECT_GT(report.pages_evicted, 0);
+    }
+
+    // Accounting still closes exactly (evicted pages were counted as
+    // queued on admission; they only join the failure numerator).
+    EXPECT_EQ(report.pages_offered,
+              report.pages_queued + report.pages_duplicate +
+                  report.pages_dropped + report.pages_unknown);
+    EXPECT_EQ(one.workload_submitted,
+              one.workload_served + one.workload_dropped +
+                  one.workload_expired + one.workload_outstanding);
+    EXPECT_LE(report.max_queue_depth,
+              static_cast<std::int64_t>(report.queue_max_pending));
+  }
+}
+
+// The delay-feedback planner folds its EWMAs in serial FINALIZE, so a
+// planner-steered run must stay bit-identical across thread counts too —
+// including the adjustment trail itself.
+TEST(DaemonSoak, FeedbackPlannerIsDeterministicAcrossThreads) {
+  const SoakResult one =
+      run_soak(1, AdmissionPolicy::kDropOldest,
+               DelayPlanConfig::Mode::kFeedback);
+  const SoakResult four =
+      run_soak(4, AdmissionPolicy::kDropOldest,
+               DelayPlanConfig::Mode::kFeedback);
+
+  EXPECT_EQ(counter_fingerprint(one.report), counter_fingerprint(four.report));
+  EXPECT_EQ(one.delay_histogram, four.delay_histogram);
+  EXPECT_EQ(one.flight_jsonl, four.flight_jsonl);
+  EXPECT_EQ(one.report.plan_effective_m, four.report.plan_effective_m);
+  EXPECT_EQ(one.report.plan_widen, four.report.plan_widen);
+  EXPECT_EQ(one.report.plan_narrow, four.report.plan_narrow);
+
+  // Under sustained 2x overload the controller must have widened the
+  // paging factor away from its starting point at least once.
+  EXPECT_EQ(one.report.plan_mode, "feedback");
+  EXPECT_GT(one.report.plan_widen, 0);
+  EXPECT_GE(one.report.plan_effective_m, one.report.plan_m_start);
 }
 
 }  // namespace

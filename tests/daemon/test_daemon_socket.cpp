@@ -5,6 +5,8 @@
 #include "pcn/daemon/socket_server.hpp"
 
 #include <gtest/gtest.h>
+#include <fcntl.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -272,6 +274,150 @@ TEST(SocketServer, TwoClientsGetTheirOwnOutcomes) {
   ::close(fd_a);
   ::close(fd_b);
   server.stop();
+}
+
+TEST(SocketServer, RingFullPageIsAnsweredWithRejectedOutcome) {
+  PcndConfig config;
+  config.collect_outcomes = true;
+  config.ring_capacity = 1;  // rounds up to the 2-slot minimum ring
+  Pcnd daemon(config);
+  SocketServer server(&daemon, socket_path("pcnd_ring_full.sock"));
+  server.start();
+
+  // Four submits against a 2-slot ring with no slot running: the first
+  // two fill the ring, the last two must come straight back as kRejected
+  // instead of being counted and then never answered.
+  const int fd = connect_client(server.path());
+  proto::PageSubmit submit;
+  submit.terminal_id = 42;
+  for (std::uint64_t page_id = 1; page_id <= 4; ++page_id) {
+    submit.page_id = page_id;
+    send_frame(fd, proto::encode(submit));
+  }
+  await_counter(daemon, "daemon.socket.rejected_ring_full", 2);
+
+  // The rejections are pumped from the reader thread immediately, before
+  // any slot runs.
+  for (const std::uint64_t page_id : {std::uint64_t{3}, std::uint64_t{4}}) {
+    const std::vector<std::uint8_t> frame = recv_frame(fd);
+    ASSERT_FALSE(frame.empty());
+    const proto::PageOutcome outcome = proto::decode_page_outcome(frame);
+    EXPECT_EQ(outcome.page_id, page_id);
+    EXPECT_EQ(outcome.terminal_id, 42u);
+    EXPECT_EQ(outcome.outcome, proto::PageOutcomeKind::kRejected);
+  }
+
+  // The two admitted pages still settle normally (unknown terminal ->
+  // kDropped) once a slot runs.
+  daemon.run_slots(1);
+  EXPECT_EQ(server.flush_outcomes(), 2u);
+  for (const std::uint64_t page_id : {std::uint64_t{1}, std::uint64_t{2}}) {
+    const proto::PageOutcome outcome =
+        proto::decode_page_outcome(recv_frame(fd));
+    EXPECT_EQ(outcome.page_id, page_id);
+    EXPECT_EQ(outcome.outcome, proto::PageOutcomeKind::kDropped);
+  }
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(SocketServer, AcceptLoopSurvivesFdExhaustionAndRecovers) {
+  PcndConfig config;
+  config.collect_outcomes = true;
+  Pcnd daemon(config);
+  SocketServer server(&daemon, socket_path("pcnd_emfile.sock"));
+  server.start();
+
+  // Reserve the client's fd before exhausting the table: connect() needs
+  // no new descriptor on an already-created socket, but accept() does.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  rlimit tight = old_limit;
+  tight.rlim_cur = 128;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> fillers;
+  for (;;) {
+    const int filler = ::open("/dev/null", O_RDONLY);
+    if (filler < 0) break;
+    fillers.push_back(filler);
+  }
+
+  // The connection parks in the listen backlog; accept() fails with
+  // EMFILE.  The old accept loop exited permanently here.
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  const std::string path = server.path();
+  ASSERT_LT(path.size(), sizeof(address.sun_path));
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof(address)),
+            0)
+      << "connect: " << std::strerror(errno);
+  await_counter(daemon, "daemon.socket.accept_errors", 1);
+
+  // Free the table; the retrying loop must pick the parked client up.
+  for (const int filler : fillers) ::close(filler);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  for (int i = 0; i < 5000 && server.connections_accepted() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.connections_accepted(), 1u);
+
+  // And the recovered connection serves end to end.
+  proto::PageSubmit submit;
+  submit.page_id = 77;
+  submit.terminal_id = 9;
+  send_frame(fd, proto::encode(submit));
+  await_counter(daemon, "daemon.socket.frames_in", 1);
+  daemon.run_slots(1);
+  EXPECT_EQ(server.flush_outcomes(), 1u);
+  const proto::PageOutcome outcome =
+      proto::decode_page_outcome(recv_frame(fd));
+  EXPECT_EQ(outcome.page_id, 77u);
+  EXPECT_EQ(outcome.outcome, proto::PageOutcomeKind::kDropped);
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(SocketServer, StopDeliversSettledVerdictsBeforeClosing) {
+  PcndConfig config;
+  config.collect_outcomes = true;
+  Pcnd daemon(config);
+  SocketServer server(&daemon, socket_path("pcnd_stop_drain.sock"));
+  server.start();
+
+  const int fd = connect_client(server.path());
+  proto::LocationUpdate update;
+  update.terminal_id = 3;
+  update.sequence = 1;
+  update.cell = {1, 1};
+  update.containment_radius = 3;
+  send_frame(fd, proto::encode(update));
+  proto::PageSubmit submit;
+  submit.page_id = 31;
+  submit.terminal_id = 3;
+  send_frame(fd, proto::encode(submit));
+  await_counter(daemon, "daemon.socket.frames_in", 2);
+  daemon.run_slots(1);
+
+  // The verdict has settled but was never flushed.  stop() used to close
+  // the connection with the frame still unstaged; now it performs a
+  // final flush plus a bounded outbox drain, so the client reads its
+  // verdict even after the server is gone.
+  server.stop();
+
+  const std::vector<std::uint8_t> frame = recv_frame(fd);
+  ASSERT_FALSE(frame.empty());
+  const proto::PageOutcome outcome = proto::decode_page_outcome(frame);
+  EXPECT_EQ(outcome.page_id, 31u);
+  EXPECT_EQ(outcome.terminal_id, 3u);
+  EXPECT_EQ(outcome.outcome, proto::PageOutcomeKind::kServed);
+  ::close(fd);
 }
 
 }  // namespace

@@ -182,6 +182,108 @@ TEST(BoundedPagingQueue, BudgetZeroServesNothingButStillSweeps) {
   EXPECT_TRUE(queue.empty());
 }
 
+TEST(BoundedPagingQueue, DropOldestEvictsTheLongestWaitingHead) {
+  PagingQueueConfig config;
+  config.max_pending = 3;
+  config.lifetime_slots = 32;
+  config.groups = 2;
+  config.admission = AdmissionPolicy::kDropOldest;
+  BoundedPagingQueue queue(config);
+  queue.add(page_for(1, 10, 0));  // group 1, oldest
+  queue.add(page_for(2, 11, 1));  // group 0
+  queue.add(page_for(3, 12, 2));  // group 1
+
+  PendingPage evicted;
+  EXPECT_EQ(queue.add(page_for(4, 13, 3), &evicted), EnqueueResult::kEvicted);
+  EXPECT_EQ(evicted.terminal_id, 1u);  // slot-0 head, the oldest
+  EXPECT_EQ(evicted.page_id, 10u);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_FALSE(queue.contains(1));
+  EXPECT_TRUE(queue.contains(4));
+
+  // Survivors keep FIFO order within their groups.
+  std::vector<ServedPage> served;
+  std::vector<PendingPage> expired;
+  queue.drain(3, 3, &served, &expired);
+  ASSERT_EQ(served.size(), 3u);
+  EXPECT_EQ(served[0].page.page_id, 11u);  // group 0 head
+  EXPECT_EQ(served[1].page.page_id, 12u);  // group 1: 12 before 13
+  EXPECT_EQ(served[2].page.page_id, 13u);
+}
+
+TEST(BoundedPagingQueue, DropOldestTieBreaksTowardLowestGroup) {
+  PagingQueueConfig config;
+  config.max_pending = 2;
+  config.lifetime_slots = 32;
+  config.groups = 2;
+  config.admission = AdmissionPolicy::kDropOldest;
+  BoundedPagingQueue queue(config);
+  queue.add(page_for(1, 10, 0));  // group 1
+  queue.add(page_for(2, 11, 0));  // group 0, same slot
+  PendingPage evicted;
+  EXPECT_EQ(queue.add(page_for(3, 12, 1), &evicted), EnqueueResult::kEvicted);
+  EXPECT_EQ(evicted.terminal_id, 2u);  // group 0 wins the tie
+}
+
+TEST(BoundedPagingQueue, DropOldestStillRefreshesDuplicatesOnFullQueue) {
+  PagingQueueConfig config;
+  config.max_pending = 2;
+  config.lifetime_slots = 4;
+  config.groups = 1;
+  config.admission = AdmissionPolicy::kDropOldest;
+  BoundedPagingQueue queue(config);
+  queue.add(page_for(1, 1, 0));
+  queue.add(page_for(2, 2, 0));
+  PendingPage evicted;
+  EXPECT_EQ(queue.add(page_for(1, 9, 3), &evicted), EnqueueResult::kRefreshed);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedPagingQueue, PriorityEvictsTheMostSlackAndKeepsUrgentPages) {
+  PagingQueueConfig config;
+  config.max_pending = 2;
+  config.lifetime_slots = 32;
+  config.groups = 1;
+  config.admission = AdmissionPolicy::kPriorityDelayBound;
+  config.sla_delay_slots = 8;
+  BoundedPagingQueue queue(config);
+  queue.add(page_for(1, 1, 0));  // deadline 8
+  queue.add(page_for(2, 2, 5));  // deadline 13 — the most slack
+
+  PendingPage evicted;
+  // Incoming at slot 7 has deadline 15; the best victim (13) has *less*
+  // slack, so evicting it would invert the priority: reject instead.
+  EXPECT_EQ(queue.add(page_for(3, 3, 7), &evicted), EnqueueResult::kFull);
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Incoming at slot 5 has deadline 13; victim deadline 13 >= 13, so the
+  // most recently enqueued of the equals (terminal 2) gives way.
+  EXPECT_EQ(queue.add(page_for(4, 4, 5), &evicted), EnqueueResult::kEvicted);
+  EXPECT_EQ(evicted.terminal_id, 2u);
+  EXPECT_TRUE(queue.contains(1));  // the urgent page survived
+  EXPECT_TRUE(queue.contains(4));
+}
+
+TEST(BoundedPagingQueue, PriorityDeadlineFallsBackToLifetimeWithoutSla) {
+  PagingQueueConfig config;
+  config.max_pending = 1;
+  config.lifetime_slots = 16;
+  config.groups = 1;
+  config.admission = AdmissionPolicy::kPriorityDelayBound;
+  config.sla_delay_slots = 0;  // deadlines coincide with expiry
+  BoundedPagingQueue queue(config);
+  queue.add(page_for(1, 1, 0));  // deadline 16
+  PendingPage evicted;
+  EXPECT_EQ(queue.add(page_for(2, 2, 0), &evicted), EnqueueResult::kEvicted);
+  EXPECT_EQ(evicted.terminal_id, 1u);
+}
+
+TEST(BoundedPagingQueue, DropNewestNeedsNoEvictedOutParam) {
+  BoundedPagingQueue queue(single_group(1, 16));
+  EXPECT_EQ(queue.add(page_for(1, 1, 0)), EnqueueResult::kQueued);
+  EXPECT_EQ(queue.add(page_for(2, 2, 0)), EnqueueResult::kFull);
+}
+
 TEST(BoundedPagingQueue, RejectsBadConfig) {
   PagingQueueConfig config;
   config.max_pending = 0;

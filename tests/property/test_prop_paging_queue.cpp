@@ -3,7 +3,8 @@
 // what the osmo-style queue promises:
 //
 //   * the depth never exceeds max_pending, and an enqueue at the bound is
-//     rejected (kFull) — never silently absorbed;
+//     rejected (kFull) or — under an eviction policy — admitted with an
+//     explicit victim (kEvicted); never silently absorbed;
 //   * one entry per identity: a second add of a pending terminal refreshes
 //     (kRefreshed) instead of duplicating, and size() always equals the
 //     number of distinct pending terminals;
@@ -14,10 +15,21 @@
 //     per-group deque of expected page ids and insists drains consume a
 //     front segment of it, serves in order.
 //
+// Per-admission-policy oracles on the eviction path:
+//
+//   * drop_newest never evicts;
+//   * drop_oldest only evicts group heads, never evicts a younger page
+//     than it admits, and always picks the longest-waiting head (ties to
+//     the lowest group index);
+//   * priority_delay_bound never evicts a page with less SLA slack than
+//     the admitted one, always picks the latest-deadline victim (ties to
+//     the most recently scanned), and rejects only when every pending
+//     deadline is strictly earlier than the incoming one.
+//
 // Queue parameters derive from the scenario (threshold -> capacity and
-// groups, delay bound -> lifetime), so shrinking walks toward a minimal
-// failing configuration; the op stream derives from the seed alone, and a
-// failure prints the usual PCN-REPRO line.
+// groups, delay bound -> lifetime and SLA), so shrinking walks toward a
+// minimal failing configuration; the op stream derives from the seed
+// alone, and a failure prints the usual PCN-REPRO line.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -34,6 +46,7 @@
 namespace pcn::proptest {
 namespace {
 
+using pcn::daemon::AdmissionPolicy;
 using pcn::daemon::BoundedPagingQueue;
 using pcn::daemon::EnqueueResult;
 using pcn::daemon::PagingQueueConfig;
@@ -43,16 +56,31 @@ using pcn::daemon::ServedPage;
 struct ModelEntry {
   std::uint64_t terminal_id = 0;
   std::uint64_t page_id = 0;
+  std::int64_t enqueued_slot = 0;
+  std::int64_t deadline_slot = 0;
 };
 
-std::optional<std::string> check_paging_queue(const Scenario& scenario) {
+std::optional<std::string> check_paging_queue(const Scenario& scenario,
+                                              AdmissionPolicy policy) {
   PagingQueueConfig config;
   config.max_pending = static_cast<std::size_t>(2 + scenario.threshold);
   config.groups = 1 + scenario.threshold % 4;
   config.lifetime_slots = scenario.bound.is_unbounded()
                               ? 8
                               : std::int64_t{2} * scenario.bound.cycles();
+  config.admission = policy;
+  // Exercise both deadline flavors: a real SLA bound when the scenario
+  // has one, the lifetime fallback when it does not.
+  config.sla_delay_slots =
+      scenario.bound.is_unbounded() ? 0 : scenario.bound.cycles();
   BoundedPagingQueue queue(config);
+
+  const auto deadline_for = [&](std::int64_t slot) {
+    const std::int64_t bound = config.sla_delay_slots > 0
+                                   ? config.sla_delay_slots
+                                   : config.lifetime_slots;
+    return slot + bound;
+  };
 
   // The transparent model: who is pending, and per group, in what order.
   std::set<std::uint64_t> pending;
@@ -79,22 +107,125 @@ std::optional<std::string> check_paging_queue(const Scenario& scenario) {
       page.enqueued_slot = slot;
       const bool was_pending = pending.count(page.terminal_id) > 0;
       const bool was_full = queue.size() >= config.max_pending;
-      const EnqueueResult result = queue.add(page);
+      PendingPage evicted{};
+      const EnqueueResult result = queue.add(page, &evicted);
       switch (result) {
         case EnqueueResult::kQueued:
           if (was_pending) return "duplicate identity accepted as new";
           if (was_full) return "enqueue accepted past max_pending";
           pending.insert(page.terminal_id);
           groups[group_of(page.terminal_id)].push_back(
-              {page.terminal_id, page.page_id});
+              {page.terminal_id, page.page_id, slot, deadline_for(slot)});
           break;
-        case EnqueueResult::kRefreshed:
+        case EnqueueResult::kRefreshed: {
           if (!was_pending) return "refresh of a terminal not pending";
+          auto& group = groups[group_of(page.terminal_id)];
+          for (ModelEntry& entry : group) {
+            if (entry.terminal_id == page.terminal_id) {
+              entry.deadline_slot =
+                  std::max(entry.deadline_slot, deadline_for(slot));
+            }
+          }
           break;
-        case EnqueueResult::kFull:
+        }
+        case EnqueueResult::kFull: {
           if (was_pending) return "pending terminal rejected as full";
           if (!was_full) return "rejection below max_pending";
+          if (policy == AdmissionPolicy::kDropOldest) {
+            return "drop_oldest rejected instead of evicting";
+          }
+          if (policy == AdmissionPolicy::kPriorityDelayBound) {
+            // Legal only when every pending page has strictly less
+            // slack than the incoming one.
+            for (const auto& group : groups) {
+              for (const ModelEntry& entry : group) {
+                if (entry.deadline_slot >= deadline_for(slot)) {
+                  return "priority rejected although a pending page had "
+                         "at least as much slack";
+                }
+              }
+            }
+          }
           break;
+        }
+        case EnqueueResult::kEvicted: {
+          if (policy == AdmissionPolicy::kDropNewest) {
+            return "drop_newest must never evict";
+          }
+          if (was_pending) {
+            return "pending terminal triggered eviction instead of refresh";
+          }
+          if (!was_full) return "eviction below max_pending";
+          // The victim must be a page the model holds.
+          auto& victim_group = groups[group_of(evicted.terminal_id)];
+          std::size_t victim_index = victim_group.size();
+          for (std::size_t k = 0; k < victim_group.size(); ++k) {
+            if (victim_group[k].terminal_id == evicted.terminal_id) {
+              victim_index = k;
+              break;
+            }
+          }
+          if (victim_index == victim_group.size()) {
+            return "evicted a page the model does not hold";
+          }
+          const ModelEntry victim = victim_group[victim_index];
+          if (victim.page_id != evicted.page_id) {
+            return "evicted page_id does not match the pending entry";
+          }
+          if (policy == AdmissionPolicy::kDropOldest) {
+            if (victim_index != 0) {
+              return "drop_oldest evicted a non-head page";
+            }
+            // Oracle: never evict a younger page than the one admitted.
+            if (victim.enqueued_slot > slot) {
+              return "drop_oldest evicted a younger page than it admitted";
+            }
+            // Exact choice: the longest-waiting head, ties to the
+            // lowest group index.
+            for (std::size_t g = 0; g < groups.size(); ++g) {
+              if (groups[g].empty()) continue;
+              const ModelEntry& head = groups[g].front();
+              if (head.enqueued_slot < victim.enqueued_slot ||
+                  (head.enqueued_slot == victim.enqueued_slot &&
+                   g < group_of(evicted.terminal_id))) {
+                return "drop_oldest did not evict the longest-waiting head";
+              }
+            }
+          } else {  // kPriorityDelayBound
+            // Oracle: never evict a page with less slack than the
+            // admitted one.
+            if (victim.deadline_slot < deadline_for(slot)) {
+              return "priority evicted a page with less slack than the "
+                     "admitted one";
+            }
+            // Exact choice: the latest deadline wins; among equals the
+            // last in scan order (groups ascending, front to back).
+            std::size_t best_group = groups.size();
+            std::size_t best_index = 0;
+            std::int64_t best_deadline = 0;
+            for (std::size_t g = 0; g < groups.size(); ++g) {
+              for (std::size_t k = 0; k < groups[g].size(); ++k) {
+                if (best_group == groups.size() ||
+                    groups[g][k].deadline_slot >= best_deadline) {
+                  best_group = g;
+                  best_index = k;
+                  best_deadline = groups[g][k].deadline_slot;
+                }
+              }
+            }
+            if (best_group != group_of(evicted.terminal_id) ||
+                best_index != victim_index) {
+              return "priority did not evict the most-slack page";
+            }
+          }
+          pending.erase(victim.terminal_id);
+          victim_group.erase(victim_group.begin() +
+                             static_cast<std::ptrdiff_t>(victim_index));
+          pending.insert(page.terminal_id);
+          groups[group_of(page.terminal_id)].push_back(
+              {page.terminal_id, page.page_id, slot, deadline_for(slot)});
+          break;
+        }
       }
       if (queue.size() > config.max_pending) {
         return "depth exceeded max_pending";
@@ -190,7 +321,35 @@ std::optional<std::string> check_paging_queue(const Scenario& scenario) {
 TEST(PropPagingQueue, BoundedDedupedFifoWithExpiry) {
   PropertyOptions options;
   options.scenarios = 40;
-  check_property("daemon/paging-queue", check_paging_queue, options);
+  check_property(
+      "daemon/paging-queue",
+      [](const Scenario& scenario) {
+        return check_paging_queue(scenario, AdmissionPolicy::kDropNewest);
+      },
+      options);
+}
+
+TEST(PropPagingQueue, DropOldestAdmissionOracles) {
+  PropertyOptions options;
+  options.scenarios = 40;
+  check_property(
+      "daemon/paging-queue-drop-oldest",
+      [](const Scenario& scenario) {
+        return check_paging_queue(scenario, AdmissionPolicy::kDropOldest);
+      },
+      options);
+}
+
+TEST(PropPagingQueue, PriorityDelayBoundAdmissionOracles) {
+  PropertyOptions options;
+  options.scenarios = 40;
+  check_property(
+      "daemon/paging-queue-priority",
+      [](const Scenario& scenario) {
+        return check_paging_queue(scenario,
+                                  AdmissionPolicy::kPriorityDelayBound);
+      },
+      options);
 }
 
 }  // namespace

@@ -27,7 +27,18 @@
 //   --queue-max N      bounded queue depth per cell (default 64)
 //   --lifetime N       page lifetime in slots (default 128)
 //   --groups N         round-robin paging groups (default 4)
+//   --admission P      full-queue admission policy: drop_newest (default),
+//                      drop_oldest, or priority_delay_bound (evict the
+//                      pending page with the most remaining SLA slack)
 //   --sla N            queueing-delay SLA in slots (0 = none, default 8)
+//   --plan MODE        paging-delay-bound planner: off (default; the
+//                      open-loop capacity budget), static (fixed m =
+//                      --plan-m), or feedback (m adapts to the measured
+//                      queueing-delay EWMA; needs --sla > 0)
+//   --plan-m N         static/initial paging delay bound m (default 2)
+//   --plan-m-min N     smallest m the feedback rule may pick (default 1)
+//   --plan-m-max N     largest m; the full-budget bound (default 8)
+//   --plan-adjust N    slots between feedback decisions (default 16)
 //   --offered F        scale --c so offered load is F times the fleet's
 //                      aggregate paging capacity (overrides --c)
 //   --metrics-out F    write the pcn.run_report.v1 JSON report to F
@@ -81,12 +92,17 @@ commands:
 
 run:   --terminals N --slots N --threads N --seed N --dim {1|2} --region N
        --q F --c F --d N --channels N --service-slots F --queue-max N
-       --lifetime N --groups N --sla N --offered F
-       --metrics-out FILE --trace-out FILE --trace-sample N
+       --lifetime N --groups N --admission P --sla N --offered F
+       --plan {off|static|feedback} --plan-m N --plan-m-min N --plan-m-max N
+       --plan-adjust N --metrics-out FILE --trace-out FILE --trace-sample N
        --admin-socket PATH --series-out FILE --series-every N
 serve: --socket PATH --slots N --slot-us N --threads N --dim {1|2}
        --channels N --service-slots F --queue-max N --lifetime N --groups N
-       --sla N --admin-socket PATH --series-out FILE --series-every N
+       --admission P --sla N --plan MODE --plan-m N --plan-m-min N
+       --plan-m-max N --plan-adjust N --admin-socket PATH
+       --series-out FILE --series-every N
+
+admission policies (P): drop_newest | drop_oldest | priority_delay_bound
 )";
 
 pcn::Dimension parse_dim(const Args& args) {
@@ -107,7 +123,34 @@ pcn::daemon::PcndConfig parse_daemon_config(const Args& args) {
       static_cast<std::size_t>(args.get_int_or("queue-max", 64));
   config.queue.lifetime_slots = args.get_int_or("lifetime", 128);
   config.queue.groups = static_cast<int>(args.get_int_or("groups", 4));
+  const std::string admission = args.get_string_or("admission", "drop_newest");
+  if (admission == "drop_newest") {
+    config.queue.admission = pcn::daemon::AdmissionPolicy::kDropNewest;
+  } else if (admission == "drop_oldest") {
+    config.queue.admission = pcn::daemon::AdmissionPolicy::kDropOldest;
+  } else if (admission == "priority_delay_bound" || admission == "priority") {
+    config.queue.admission = pcn::daemon::AdmissionPolicy::kPriorityDelayBound;
+  } else {
+    throw UsageError(
+        "--admission must be drop_newest, drop_oldest, or "
+        "priority_delay_bound");
+  }
   config.sla_delay_slots = static_cast<int>(args.get_int_or("sla", 8));
+  const std::string plan = args.get_string_or("plan", "off");
+  if (plan == "off") {
+    config.plan.mode = pcn::daemon::DelayPlanConfig::Mode::kOff;
+  } else if (plan == "static") {
+    config.plan.mode = pcn::daemon::DelayPlanConfig::Mode::kStatic;
+  } else if (plan == "feedback") {
+    config.plan.mode = pcn::daemon::DelayPlanConfig::Mode::kFeedback;
+  } else {
+    throw UsageError("--plan must be off, static, or feedback");
+  }
+  config.plan.m_start = static_cast<int>(args.get_int_or("plan-m", 2));
+  config.plan.m_min = static_cast<int>(args.get_int_or("plan-m-min", 1));
+  config.plan.m_max = static_cast<int>(args.get_int_or("plan-m-max", 8));
+  config.plan.adjust_every_slots =
+      static_cast<int>(args.get_int_or("plan-adjust", 16));
   return config;
 }
 
@@ -198,9 +241,20 @@ int cmd_run(const Args& args) {
               report.terminals, report.slots, report.threads, report.channels,
               report.channels == 1 ? "" : "s");
   std::printf("pages    : %" PRId64 " offered, %" PRId64 " served, %" PRId64
-              " dropped, %" PRId64 " expired, %" PRId64 " duplicate\n",
+              " dropped, %" PRId64 " evicted, %" PRId64 " expired, %" PRId64
+              " duplicate\n",
               report.pages_offered, report.pages_served, report.pages_dropped,
-              report.pages_expired, report.pages_duplicate);
+              report.pages_evicted, report.pages_expired,
+              report.pages_duplicate);
+  std::printf("admission: %s\n", report.queue_admission.c_str());
+  if (report.plan_mode != "off") {
+    std::printf("plan     : %s, m %d (start %d, range [%d, %d]), %" PRId64
+                " widen%s, %" PRId64 " narrow%s\n",
+                report.plan_mode.c_str(), report.plan_effective_m,
+                report.plan_m_start, report.plan_m_min, report.plan_m_max,
+                report.plan_widen, report.plan_widen == 1 ? "" : "s",
+                report.plan_narrow, report.plan_narrow == 1 ? "" : "s");
+  }
   std::printf("drop rate: %.4f  (queue max depth %" PRId64 "/%zu)\n",
               report.drop_rate, report.max_queue_depth,
               config.queue.max_pending);

@@ -46,7 +46,14 @@
 #      pcn.timeseries.v1 file byte-exactly (cmp), its CUSUM changepoint
 #      verdict must place overload_onset_slot inside the blessed band,
 #      and the timeseries capture-overhead measurement from gate 9's
-#      perf_daemon run must stay within 2 percentage points.
+#      perf_daemon run must stay within 2 percentage points,
+#  12. admission-policy gate — the 2x-overload pcnd scenario runs once
+#      per admission policy (drop_newest, drop_oldest,
+#      priority_delay_bound) at 1 and 4 threads; every deterministic
+#      report line (pages, admission, drop rate, delay, sla) must be
+#      byte-identical across thread counts, the failure mass must sit on
+#      the policy's own counter (tail drops vs evictions), and each
+#      policy's drop rate must land in the blessed overload band.
 #
 # Environment:
 #   JOBS=N   parallelism for builds and ctest (default: nproc)
@@ -69,13 +76,13 @@ jobs=${JOBS:-$(nproc)}
 scale_terminals=${PCN_SCALE_TERMINALS:-100000}
 scale_slots=${PCN_SCALE_SLOTS:-256}
 
-echo "== [1/11] default build: tier-1 + tier-2 =="
+echo "== [1/12] default build: tier-1 + tier-2 =="
 cmake --preset default
 cmake --build --preset default -j "$jobs"
 ctest --preset tier1 -j "$jobs"
 ctest --preset tier2 -j "$jobs"
 
-echo "== [2/11] TSan: sharded-run determinism + metrics registry =="
+echo "== [2/12] TSan: sharded-run determinism + metrics registry =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
   --target test_network_parallel test_metrics_registry \
@@ -87,14 +94,14 @@ PCN_SOAK_TERMINALS=2000 PCN_SOAK_SLOTS=160 \
   -R 'NetworkParallel|MetricsRegistry|AdminIntrospection' \
   --output-on-failure -j "$jobs"
 
-echo "== [3/11] ASan+UBSan: wire codec round-trips =="
+echo "== [3/12] ASan+UBSan: wire codec round-trips =="
 cmake --preset asan
 cmake --build --preset asan -j "$jobs" \
   --target test_wire test_messages test_wire_fuzz
 ctest --test-dir build-asan -R 'Wire|Messages|PropWireFuzz' \
   --output-on-failure -j "$jobs"
 
-echo "== [4/11] observability overhead gates (<= 3% each) =="
+echo "== [4/12] observability overhead gates (<= 3% each) =="
 cmake --build --preset default -j "$jobs" --target perf_scale
 # Skip the google-benchmark sweep; the interleaved gate measurement in
 # main() still runs.  The release preset gives steadier numbers, but the
@@ -154,7 +161,7 @@ if [ "$overhead_ok" != 1 ]; then
   exit 1
 fi
 
-echo "== [5/11] trace SLA gate + bench baseline diff =="
+echo "== [5/12] trace SLA gate + bench baseline diff =="
 cmake --build --preset default -j "$jobs" --target pcnctl table1_one_dim
 # A canned delay-bounded scenario: every call must be answered within the
 # delay bound m; trace-summary exits 1 on any SLA violation.
@@ -175,7 +182,7 @@ else
   echo "bench_compare: skipped (python3 not found)"
 fi
 
-echo "== [6/11] engine equivalence gate (reference vs soa, exact diff) =="
+echo "== [6/12] engine equivalence gate (reference vs soa, exact diff) =="
 engine_dir=$(mktemp -d)
 for engine in reference soa; do
   ./build/tools/pcnctl simulate --dim 2 --policy distance --delay 3 \
@@ -191,7 +198,7 @@ else
 fi
 rm -rf "$engine_dir"
 
-echo "== [7/11] SIMD gate: statistical equivalence + perf_micro smoke =="
+echo "== [7/12] SIMD gate: statistical equivalence + perf_micro smoke =="
 cmake --build --preset default -j "$jobs" \
   --target test_prop_simd_statistical test_counter_rng perf_micro pcnctl
 # The tier-2 oracle suite compares SIMD metrics against the bit-exact
@@ -221,13 +228,13 @@ else
   echo "simd CLI gate ok: forced simd without kernels errors"
 fi
 
-echo "== [8/11] portable-fallback build (-DPCN_SIMD_AVX2=OFF): tier-1 =="
+echo "== [8/12] portable-fallback build (-DPCN_SIMD_AVX2=OFF): tier-1 =="
 cmake -S . -B build-portable -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPCN_SIMD_AVX2=OFF
 cmake --build build-portable -j "$jobs"
 ctest --test-dir build-portable -LE tier2 --output-on-failure -j "$jobs"
 
-echo "== [9/11] pcnd daemon gate: property + soak + overload bench =="
+echo "== [9/12] pcnd daemon gate: property + soak + overload bench =="
 cmake --build --preset default -j "$jobs" \
   --target pcnd perf_daemon test_prop_paging_queue test_daemon_soak
 # The property suite and the deterministic overload soak, the latter at
@@ -287,7 +294,7 @@ else
   echo "bench_compare: skipped (python3 not found)"
 fi
 
-echo "== [10/11] live introspection gate: admin scrape + pcnctl top =="
+echo "== [10/12] live introspection gate: admin scrape + pcnctl top =="
 cmake --build --preset default -j "$jobs" --target pcnd pcnctl
 # A 2x-overload run serving live scrapes on --admin-socket; pcnctl top
 # must get a pcn.live_snapshot.v1 document out of it mid-flight.  The
@@ -333,7 +340,7 @@ else
   echo "introspection overhead: skipped (python3 not found, no bench run)"
 fi
 
-echo "== [11/11] run-timeline gate: capture + codec + changepoint =="
+echo "== [11/12] run-timeline gate: capture + codec + changepoint =="
 cmake --build --preset default -j "$jobs" --target pcnd pcnctl
 # The 2x-overload soak scenario (small queues, 16 channels short) with a
 # timeline sampled every 4 slots.  Everything below is deterministic:
@@ -383,5 +390,56 @@ if [ -n "$daemon_line" ]; then
 else
   echo "timeseries overhead: skipped (python3 not found, no bench run)"
 fi
+
+echo "== [12/12] admission-policy gate: per-policy determinism + bands =="
+cmake --build --preset default -j "$jobs" --target pcnd
+# The same 2x-overload scenario under each admission policy, at 1 and 4
+# worker threads.  The textual report is deterministic except the wall
+# line and the thread count echoed in the header, so stripping those two
+# must leave byte-identical output — the cheap end-to-end restatement of
+# the bit-identity contract, now covering the eviction paths and the
+# victim-choice ordering.
+admission_dir=$(mktemp -d)
+for policy in drop_newest drop_oldest priority_delay_bound; do
+  for threads in 1 4; do
+    ./build/tools/pcnd run --terminals 20000 --slots 128 --region 16 \
+      --offered 2.0 --threads "$threads" --queue-max 8 --lifetime 16 \
+      --groups 4 --sla 8 --admission "$policy" \
+      | grep -v '^wall' | sed 's/[0-9]* threads/N threads/' \
+      > "$admission_dir/$policy.t$threads.txt"
+  done
+  if ! cmp -s "$admission_dir/$policy.t1.txt" "$admission_dir/$policy.t4.txt"; then
+    echo "admission gate FAILED: $policy report differs at 1 vs 4 threads"
+    diff "$admission_dir/$policy.t1.txt" "$admission_dir/$policy.t4.txt" || true
+    rm -rf "$admission_dir"
+    exit 1
+  fi
+  # Failure-mass placement and the blessed drop-rate band: drop_newest
+  # fails pages as tail drops only; the eviction policies as evictions
+  # only.  All three sit near 0.45 at this scale — the band leaves room
+  # for queue-tuning drift without letting a policy stop biting.
+  summary=$(grep '^pages' "$admission_dir/$policy.t1.txt")
+  dropped=$(echo "$summary" | sed 's/.* \([0-9]*\) dropped.*/\1/')
+  evicted=$(echo "$summary" | sed 's/.* \([0-9]*\) evicted.*/\1/')
+  rate=$(grep '^drop rate' "$admission_dir/$policy.t1.txt" \
+    | sed 's/drop rate: \([0-9.]*\).*/\1/')
+  if [ "$policy" = drop_newest ]; then
+    bad=$([ "$evicted" -eq 0 ] && [ "$dropped" -gt 0 ] || echo 1)
+  else
+    bad=$([ "$dropped" -eq 0 ] && [ "$evicted" -gt 0 ] || echo 1)
+  fi
+  if [ -n "$bad" ]; then
+    echo "admission gate FAILED: $policy failure mass misplaced ($summary)"
+    rm -rf "$admission_dir"
+    exit 1
+  fi
+  if ! awk -v r="$rate" 'BEGIN { exit !(r >= 0.20 && r <= 0.60) }'; then
+    echo "admission gate FAILED: $policy drop rate $rate outside [0.20, 0.60]"
+    rm -rf "$admission_dir"
+    exit 1
+  fi
+  echo "admission gate ok: $policy deterministic at 1 vs 4 threads, drop rate $rate"
+done
+rm -rf "$admission_dir"
 
 echo "run_checks: all gates passed."
